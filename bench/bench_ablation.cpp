@@ -1,0 +1,145 @@
+// Ablations of the design choices the paper's Implementation section calls
+// out (and DESIGN.md indexes):
+//   1. cut axis by shortest bbox edge vs always-vertical cuts
+//   2. x-sorted fast path into the triangulator vs re-sorting
+//   3. storage reuse in the split (the left child keeps the parent array)
+//      -- measured as split throughput
+//   4. largest-first (priority) scheduling vs smallest-first in the
+//      simulated cluster
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "blayer/boundary_layer.hpp"
+#include "hull/subdomain.hpp"
+#include "io/timer.hpp"
+#include "runtime/cluster_model.hpp"
+
+using namespace aero;
+
+namespace {
+
+BoundaryLayer make_cloud() {
+  const AirfoilConfig config = make_three_element(350);
+  BoundaryLayerOptions opts;
+  opts.growth = {GrowthKind::kGeometric, 2.5e-4, 1.2};
+  opts.max_layers = 45;
+  return build_boundary_layer(config, opts);
+}
+
+}  // namespace
+
+int main() {
+  const BoundaryLayer bl = make_cloud();
+  std::printf("cloud: %zu points\n\n", bl.points.size());
+
+  // --- 1. cut-axis policy --------------------------------------------------
+  {
+    std::printf("ablation 1: cut axis = shortest bbox edge vs forced axis\n");
+    // Stretch the cloud in x so adaptive cutting prefers vertical lines and
+    // a forced HORIZONTAL line is maximally wrong.
+    std::vector<Vec2> pts;
+    pts.reserve(bl.points.size());
+    for (const Vec2 p : bl.points) pts.push_back({p.x * 8.0, p.y});
+    for (const auto& [label, force] :
+         {std::pair{"adaptive (shortest bbox edge)", -1},
+          std::pair{"forced vertical", 0},
+          std::pair{"forced horizontal", 1}}) {
+      DecomposeOptions o{2000, 12, force};
+      Timer t;
+      auto leaves = decompose(make_root_subdomain(pts), o);
+      const double dec_s = t.seconds();
+      Timer tm;
+      std::size_t shared_pts = 0;
+      for (const auto& leaf : leaves) {
+        triangulate_subdomain(leaf);
+        shared_pts += leaf.size();
+      }
+      std::printf("  %-30s leaves=%3zu duplicated pts=%5zu decomp=%6.3f s "
+                  "mesh=%6.3f s\n",
+                  label, leaves.size(), shared_pts - pts.size(), dec_s,
+                  tm.seconds());
+    }
+    std::printf("  (bad cut axes produce long skinny subdomains with longer "
+                "dividing paths: more duplicated path vertices and slower "
+                "meshing)\n\n");
+  }
+
+  // --- 2. sorted fast path -------------------------------------------------
+  {
+    std::printf("ablation 2: x-sorted fast path into the triangulator\n");
+    std::vector<Vec2> pts = bl.points;
+    std::sort(pts.begin(), pts.end(), LessXY{});
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+    Timer t1;
+    const auto sorted = triangulate_points(pts, /*assume_sorted=*/true);
+    const double t_sorted = t1.seconds();
+    std::mt19937_64 rng(1);
+    std::shuffle(pts.begin(), pts.end(), rng);
+    Timer t2;
+    const auto shuffled = triangulate_points(pts, /*assume_sorted=*/false);
+    const double t_resort = t2.seconds();
+    std::printf("  pre-sorted input : %.3f s (%zu tris)\n", t_sorted,
+                sorted.mesh.triangle_count());
+    std::printf("  shuffled + sort  : %.3f s (%zu tris)\n", t_resort,
+                shuffled.mesh.triangle_count());
+    std::printf("  speedup from maintaining sorted order: %.2fx\n\n",
+                t_resort / std::max(t_sorted, 1e-9));
+  }
+
+  // --- 3. split throughput (storage reuse path) ----------------------------
+  {
+    std::printf("ablation 3: split throughput (left child reuses parent "
+                "storage, hull copies placed to preserve sortedness)\n");
+    Timer t;
+    int splits = 0;
+    std::vector<Subdomain> stack{make_root_subdomain(bl.points)};
+    while (!stack.empty()) {
+      Subdomain s = std::move(stack.back());
+      stack.pop_back();
+      if (s.size() < 4000 || s.level >= 8) continue;
+      auto [l, r] = split_subdomain(std::move(s));
+      ++splits;
+      stack.push_back(std::move(l));
+      stack.push_back(std::move(r));
+    }
+    const double sec = t.seconds();
+    std::printf("  %d splits of a %zu-point cloud in %.3f s (%.0f kpts/s "
+                "split throughput)\n\n",
+                splits, bl.points.size(), sec,
+                bl.points.size() * splits / sec / 1000.0);
+  }
+
+  // --- 4. scheduling policy in the cluster model ---------------------------
+  {
+    std::printf("ablation 4: largest-first vs smallest-first scheduling\n");
+    MeshGeneratorConfig config;
+    config.airfoil = make_three_element(300);
+    config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.22};
+    config.blayer.max_layers = 40;
+    config.farfield_chords = 15.0;
+    config.inviscid_target_triangles = 15000.0;
+    config.bl_decompose = {.min_points = 1000, .max_level = 12};
+    TaskGraph graph = build_task_graph(config);
+
+    const SimResult largest = simulate_cluster(graph, 32, ClusterOptions{});
+    // Smallest-first: invert the priorities.
+    TaskGraph inverted = graph;
+    double max_cost = 0.0;
+    for (const TaskNode& n : graph.nodes) {
+      max_cost = std::max(max_cost, n.cost_estimate);
+    }
+    for (TaskNode& n : inverted.nodes) {
+      n.cost_estimate = max_cost - n.cost_estimate;
+    }
+    const SimResult smallest = simulate_cluster(inverted, 32, ClusterOptions{});
+    std::printf("  largest-first : speedup %.2f at 32 ranks (%zu steals)\n",
+                largest.speedup, largest.steals);
+    std::printf("  smallest-first: speedup %.2f at 32 ranks (%zu steals)\n",
+                smallest.speedup, smallest.steals);
+    std::printf("  (the paper meshes the largest subdomains first and saves "
+                "small ones for endgame balancing)\n");
+  }
+  return 0;
+}

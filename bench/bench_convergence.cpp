@@ -1,0 +1,134 @@
+// Figure 16 + the element-count comparison: the anisotropic mesh contains
+// ~14x fewer elements than an isotropic mesh built from the same surface
+// distribution and sizing function, and its solution converges to the
+// 1e-12 residual tolerance in roughly half the iterations.
+//
+// Paper: anisotropic 360,241 triangles converged ~5,000 FUN3D iterations;
+// isotropic 5,314,372 triangles (20.7-degree quality) took ~10,000.
+// Substitute solver: Jacobi-preconditioned CG on a P1 diffusion
+// discretization of the same domains to the same 1e-12 tolerance.
+
+#include <cstdio>
+
+#include "core/mesh_generator.hpp"
+#include "delaunay/stats.hpp"
+#include "delaunay/triangulator.hpp"
+#include "core/distance_field.hpp"
+#include "solver/fem.hpp"
+
+using namespace aero;
+
+namespace {
+
+/// Isotropic reference: same surfaces, same sizing function, but the
+/// boundary layer region is refined isotropically (quality 20.7 degrees and
+/// the near-body area bound everywhere) instead of anisotropically.
+MergedMesh isotropic_reference(const MeshGeneratorConfig& config,
+                               const GradedSizing& sizing,
+                               double wall_length, double band) {
+  // Distance field over the near-body region: inside `band` of a surface the
+  // isotropic mesh must resolve the boundary-layer gradients with edges of
+  // ~wall_length -- this is exactly why the paper's isotropic reference blew
+  // up to 14.8x the elements.
+  std::vector<std::vector<Vec2>> loops;
+  for (const auto& e : config.airfoil.elements) loops.push_back(e.surface);
+  const DistanceField field(loops,
+                            config.airfoil.bbox().inflated(4.0 * band), 768);
+
+  Pslg pslg;
+  for (const auto& e : config.airfoil.elements) {
+    const auto base = static_cast<std::uint32_t>(pslg.points.size());
+    pslg.points.insert(pslg.points.end(), e.surface.begin(), e.surface.end());
+    const auto n = static_cast<std::uint32_t>(e.surface.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      pslg.segments.emplace_back(base + i, base + (i + 1) % n);
+    }
+    pslg.holes.push_back(e.interior_point());
+  }
+  // Outer boundary box.
+  const Vec2 c = config.airfoil.bbox().center();
+  const double h = config.farfield_chords * config.airfoil.chord;
+  const auto base = static_cast<std::uint32_t>(pslg.points.size());
+  pslg.points.push_back({c.x - h, c.y - h});
+  pslg.points.push_back({c.x + h, c.y - h});
+  pslg.points.push_back({c.x + h, c.y + h});
+  pslg.points.push_back({c.x - h, c.y + h});
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    pslg.segments.emplace_back(base + i, base + (i + 1) % 4);
+  }
+
+  TriangulateOptions opts;
+  opts.refine = true;
+  opts.refine_options.radius_edge_bound = 1.4142135623730951;  // 20.7 deg
+  const double wall_area = 0.4330127018922193 * wall_length * wall_length;
+  opts.refine_options.sizing = [sizing, &field, wall_area, band](Vec2 p) {
+    const double graded = sizing.area_at(p);
+    return field.distance(p) < band ? std::min(graded, wall_area) : graded;
+  };
+  const auto r = triangulate(pslg, opts);
+  MergedMesh m;
+  m.append(r.mesh);
+  return m;
+}
+
+std::pair<std::size_t, std::size_t> solve_iterations(const MergedMesh& mesh,
+                                                     const char* name) {
+  // Pure diffusion (symmetric) so the Jacobi-preconditioned CG scheme
+  // applies; Dirichlet data separates the body region from the far field.
+  FemProblem problem(mesh, 1.0, {0.0, 0.0}, nullptr, [](Vec2 p) {
+    return std::abs(p.x - 0.5) < 2.0 && std::abs(p.y) < 2.0 ? 1.0 : 0.0;
+  });
+  SolveOptions opts;
+  opts.scheme = IterScheme::kConjugateGradient;
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 400000;
+  const SolveResult r = problem.solve(opts);
+  std::printf("  %-12s %9zu unknowns, %8zu iterations to 1e-12 (%s)\n", name,
+              problem.unknowns(), r.iterations,
+              r.converged ? "converged" : "NOT CONVERGED");
+  return {r.iterations, problem.unknowns()};
+}
+
+}  // namespace
+
+int main() {
+  MeshGeneratorConfig config;
+  config.airfoil = make_three_element(260);
+  config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.25};
+  config.blayer.max_layers = 40;
+  config.farfield_chords = 8.0;
+  config.grade = 0.35;  // coarse shared background: the ratio is about the
+                        // near-wall resolution difference
+  config.surface_length_factor = 2.5;
+
+  std::printf("generating anisotropic mesh (this library)...\n");
+  const MeshGenerationResult aniso = generate_mesh(config);
+  std::printf("generating isotropic reference (same sizing, 20.7 deg "
+              "quality everywhere)...\n");
+  // Wall resolution ~3x the first boundary-layer cell, banded over the
+  // boundary-layer thickness.
+  const MergedMesh iso = isotropic_reference(
+      config, aniso.sizing, 1.5 * config.blayer.growth.first_height, 0.012);
+
+  const std::size_t n_aniso = aniso.mesh.triangle_count();
+  const std::size_t n_iso = iso.triangle_count();
+  std::printf("\nelement counts:\n");
+  std::printf("  anisotropic: %zu triangles\n", n_aniso);
+  std::printf("  isotropic  : %zu triangles\n", n_iso);
+  std::printf("  ratio      : %.1fx   [paper: 5,314,372 / 360,241 = 14.8x]\n",
+              static_cast<double>(n_iso) / static_cast<double>(n_aniso));
+
+  std::printf("\nFigure 16: convergence to 1e-12 residual\n");
+  const auto [it_a, unk_a] = solve_iterations(aniso.mesh, "anisotropic");
+  const auto [it_i, unk_i] = solve_iterations(iso, "isotropic");
+  std::printf("  iteration ratio (iso/aniso): %.2fx   "
+              "[paper: ~10,000 / ~5,000 = 2x]\n",
+              static_cast<double>(it_i) / static_cast<double>(it_a));
+  // FUN3D's per-iteration cost scales with the mesh; the honest total-work
+  // comparison multiplies iterations by unknowns.
+  std::printf("  work ratio (iters x unknowns)     : %.1fx   "
+              "[paper: ~29x]\n",
+              static_cast<double>(it_i) * static_cast<double>(unk_i) /
+                  (static_cast<double>(it_a) * static_cast<double>(unk_a)));
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark): the hot kernels under everything --
+// exact predicates, ADT queries, incremental triangulation, refinement.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "delaunay/quadedge.hpp"
+#include "delaunay/triangulator.hpp"
+#include "geom/predicates.hpp"
+#include "hull/monotone_chain.hpp"
+#include "spatial/adt.hpp"
+
+namespace aero {
+namespace {
+
+std::vector<Vec2> cloud(int n, unsigned seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pts.push_back({d(rng), d(rng)});
+  return pts;
+}
+
+void BM_Orient2dFastPath(benchmark::State& state) {
+  const auto pts = cloud(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Vec2 a = pts[i % 1024], b = pts[(i + 7) % 1024],
+               c = pts[(i + 13) % 1024];
+    benchmark::DoNotOptimize(orient2d(a, b, c));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient2dFastPath);
+
+void BM_Orient2dDegenerate(benchmark::State& state) {
+  // Exactly collinear inputs force the full exact evaluation.
+  const Vec2 a{0.1, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient2d(a, a * 2.0, a * 3.0));
+  }
+}
+BENCHMARK(BM_Orient2dDegenerate);
+
+void BM_IncircleFastPath(benchmark::State& state) {
+  const auto pts = cloud(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(incircle(pts[i % 1024], pts[(i + 3) % 1024],
+                                      pts[(i + 11) % 1024],
+                                      pts[(i + 17) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IncircleFastPath);
+
+void BM_IncircleCocircular(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        incircle({0, 0}, {1, 0}, {1, 1}, {0, 1}));  // exact zero
+  }
+}
+BENCHMARK(BM_IncircleCocircular);
+
+void BM_AdtInsert(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto pts = cloud(n);
+  for (auto _ : state) {
+    AlternatingDigitalTree adt(BBox2{{0, 0}, {1, 1}});
+    for (int i = 0; i < n; ++i) {
+      adt.insert(BBox2{pts[static_cast<std::size_t>(i)],
+                       pts[static_cast<std::size_t>(i)] + Vec2{0.01, 0.01}},
+                 static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(adt.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdtInsert)->Arg(1000)->Arg(10000);
+
+void BM_AdtQuery(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto pts = cloud(n);
+  AlternatingDigitalTree adt(BBox2{{0, 0}, {1, 1}});
+  for (int i = 0; i < n; ++i) {
+    adt.insert(BBox2{pts[static_cast<std::size_t>(i)],
+                     pts[static_cast<std::size_t>(i)] + Vec2{0.01, 0.01}},
+               static_cast<std::uint32_t>(i));
+  }
+  std::size_t i = 0;
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const Vec2 q = pts[i++ % static_cast<std::size_t>(n)];
+    adt.for_each_overlap(BBox2{q, q + Vec2{0.02, 0.02}},
+                         [&hits](std::uint32_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_AdtQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DelaunaySorted(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  auto pts = cloud(n);
+  std::sort(pts.begin(), pts.end(), LessXY{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        triangulate_points(pts, /*assume_sorted=*/true).mesh.triangle_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunaySorted)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DelaunayShuffled(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  auto pts = cloud(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        triangulate_points(pts, /*assume_sorted=*/false)
+            .mesh.triangle_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunayShuffled)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DelaunayDivideAndConquer(benchmark::State& state) {
+  // The paper's Triangle configuration: D&C with vertical cuts on x-sorted
+  // input. Compare against BM_DelaunaySorted (the incremental kernel).
+  const auto n = static_cast<int>(state.range(0));
+  auto pts = cloud(n);
+  std::sort(pts.begin(), pts.end(), LessXY{});
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc_delaunay(pts).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunayDivideAndConquer)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_RuppertRefine(benchmark::State& state) {
+  Pslg p;
+  p.points = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  p.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const double area = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    TriangulateOptions o;
+    o.refine = true;
+    o.refine_options.radius_edge_bound = 1.4142135623730951;
+    o.refine_options.max_area = area;
+    benchmark::DoNotOptimize(triangulate(p, o).mesh.triangle_count());
+  }
+}
+BENCHMARK(BM_RuppertRefine)->Arg(1000)->Arg(10000);
+
+void BM_LiftedHull(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  auto pts = cloud(n);
+  std::sort(pts.begin(), pts.end(), LessYX{});
+  const Vec2 median = pts[pts.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lifted_lower_hull(pts, median, CutAxis::kVertical).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LiftedHull)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,63 @@
+// Multi-element high-lift meshing: the paper's 30P30N scenario (Figure 13).
+//
+// The synthetic three-element configuration exercises every special case:
+//   (b) self-intersecting rays in the slat cove,
+//   (c) self-intersections at concave corners,
+//   (d) multi-element intersections in the slat/main and main/flap gaps,
+//   (e) fans at the sharp and blunt trailing edges.
+// The example reports how each case resolved and writes the mesh.
+
+#include <cstdio>
+
+#include "core/mesh_generator.hpp"
+#include "io/mesh_io.hpp"
+
+int main() {
+  using namespace aero;
+
+  MeshGeneratorConfig config;
+  config.airfoil = make_three_element(360);
+  config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.22};
+  config.blayer.max_layers = 40;
+  config.blayer.large_angle_deg = 20.0;
+  config.farfield_chords = 15.0;
+
+  std::printf("Elements:\n");
+  for (const auto& e : config.airfoil.elements) {
+    const BBox2 b = e.bbox();
+    std::printf("  %-6s %4zu surface points, bbox [%.3f,%.3f]x[%.3f,%.3f]\n",
+                e.name.c_str(), e.surface.size(), b.lo.x, b.hi.x, b.lo.y,
+                b.hi.y);
+  }
+
+  const MeshGenerationResult result = generate_mesh(config);
+  const IntersectionStats& s = result.boundary_layer.stats;
+
+  std::printf("\nBoundary-layer special cases (paper Figure 13):\n");
+  std::printf("  fans emitted (cusps/corners)        : %zu (%zu rays)\n",
+              s.fans, s.fan_rays);
+  std::printf("  curvature refinement rays           : %zu\n",
+              s.edge_refinement_rays);
+  std::printf("  self-intersection ray truncations   : %zu\n",
+              s.self_truncations);
+  std::printf("  ray-vs-own-surface truncations      : %zu\n",
+              s.surface_truncations);
+  std::printf("  multi-element candidates (AABB prune): %zu\n",
+              s.multi_candidates);
+  std::printf("  multi-element pairs tested (ADT)    : %zu\n",
+              s.multi_pairs_tested);
+  std::printf("  multi-element ray truncations       : %zu\n",
+              s.multi_truncations);
+
+  const MergedStats stats = compute_stats(result.mesh);
+  const auto conf = result.mesh.check_conformity();
+  std::printf("\nMesh: %zu triangles (%zu boundary layer, %zu inviscid)\n",
+              stats.triangles, result.bl_triangles,
+              result.inviscid_triangles);
+  std::printf("Conformity: manifold=%s nonmanifold_edges=%zu\n",
+              conf.manifold ? "yes" : "NO", conf.nonmanifold_edges);
+
+  write_vtk(result.mesh, "three_element.vtk");
+  std::printf("Wrote three_element.vtk\n");
+  return conf.manifold ? 0 : 1;
+}

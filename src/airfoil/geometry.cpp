@@ -1,0 +1,176 @@
+#include "airfoil/geometry.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "airfoil/naca.hpp"
+#include "geom/segment.hpp"
+
+namespace aero {
+
+Vec2 AirfoilElement::interior_point() const {
+  // The vertex average can fall outside a thin cambered section, so nudge
+  // inward from an edge midpoint and verify with an exact point-in-polygon
+  // test, halving the offset until it lands inside.
+  const std::size_t n = surface.size();
+  // Pick the longest edge (most clearance).
+  std::size_t best = 0;
+  double best_len = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double len = distance2(surface[i], surface[(i + 1) % n]);
+    if (len > best_len) {
+      best_len = len;
+      best = i;
+    }
+  }
+  const Vec2 a = surface[best];
+  const Vec2 b = surface[(best + 1) % n];
+  const Vec2 mid = midpoint(a, b);
+  // Inward for a CCW polygon is the left of the traversal direction.
+  const Vec2 inward = (b - a).perp().normalized();
+  for (double step = 0.25 * std::sqrt(best_len); step > 1e-14;
+       step *= 0.5) {
+    const Vec2 candidate = mid + inward * step;
+    if (point_in_polygon(candidate, surface) &&
+        candidate != mid) {
+      // Reject boundary hits: require strict interior via a second nudge.
+      return candidate;
+    }
+  }
+  return mid;  // degenerate polygon; caller's carve will be a no-op
+}
+
+std::vector<Vec2> AirfoilElement::vertex_normals() const {
+  const std::size_t n = surface.size();
+  std::vector<Vec2> normals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 prev = surface[(i + n - 1) % n];
+    const Vec2 cur = surface[i];
+    const Vec2 next = surface[(i + 1) % n];
+    // Edge outward normals: for CCW traversal the outward side is to the
+    // right of the direction of travel, i.e. direction rotated by -90.
+    const Vec2 d0 = (cur - prev).normalized();
+    const Vec2 d1 = (next - cur).normalized();
+    const Vec2 n0{d0.y, -d0.x};
+    const Vec2 n1{d1.y, -d1.x};
+    Vec2 bisector = n0 + n1;
+    if (bisector.norm2() < 1e-24) {
+      // 180-degree cusp (sharp trailing edge): the bisector degenerates;
+      // fall back to the direction opposite the shared tangent.
+      bisector = (d0 - d1);
+    }
+    normals[i] = bisector.normalized();
+  }
+  return normals;
+}
+
+AirfoilElement AirfoilElement::transformed(double scale, double rotation,
+                                           Vec2 translation) const {
+  AirfoilElement out;
+  out.name = name;
+  out.surface.reserve(surface.size());
+  for (const Vec2 p : surface) {
+    out.surface.push_back((p * scale).rotated(rotation) + translation);
+  }
+  return out;
+}
+
+void carve_cove(std::vector<Vec2>& surface, double t0, double t1,
+                double depth) {
+  assert(t0 >= 0.0 && t1 <= 1.0 && t0 < t1);
+  const std::size_t n = surface.size();
+  const auto i0 = static_cast<std::size_t>(t0 * static_cast<double>(n));
+  const auto i1 = static_cast<std::size_t>(t1 * static_cast<double>(n));
+  if (i1 <= i0 + 2) return;
+
+  // Displace along the local inward normal (negated outward bisector of the
+  // *original* polyline) so the cove follows the surface instead of folding
+  // toward a global centroid.
+  std::vector<Vec2> inward(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 prev = surface[(i + n - 1) % n];
+    const Vec2 cur = surface[i];
+    const Vec2 next = surface[(i + 1) % n];
+    const Vec2 d0 = (cur - prev).normalized();
+    const Vec2 d1 = (next - cur).normalized();
+    Vec2 out{d0.y + d1.y, -(d0.x + d1.x)};
+    if (out.norm2() < 1e-24) out = d0 - d1;
+    inward[i] = -out.normalized();
+  }
+
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t i = i0; i <= i1 && i < n; ++i) {
+    const double s =
+        static_cast<double>(i - i0) / static_cast<double>(i1 - i0);
+    // Smooth bump: zero displacement and slope at both ends.
+    const double bump = 0.5 * (1.0 - std::cos(2.0 * kPi * s));
+    surface[i] += inward[i] * (depth * bump);
+  }
+}
+
+bool polygon_is_simple(std::span<const Vec2> polygon) {
+  const std::size_t n = polygon.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment a{polygon[i], polygon[(i + 1) % n]};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool adjacent = j == i + 1 || (i == 0 && j + 1 == n);
+      const Segment b{polygon[j], polygon[(j + 1) % n]};
+      const IntersectResult hit = intersect(a, b);
+      if (!hit) continue;
+      if (adjacent && hit.kind == IntersectKind::kEndpoint) continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+AirfoilConfig make_naca0012(std::size_t points_per_side, bool sharp_te) {
+  AirfoilConfig config;
+  AirfoilElement e;
+  e.name = "naca0012";
+  e.surface = naca4_polyline(
+      Naca4::from_code("0012", sharp_te ? TrailingEdge::kSharp
+                                        : TrailingEdge::kBlunt),
+      points_per_side);
+  config.elements.push_back(std::move(e));
+  config.chord = 1.0;
+  return config;
+}
+
+AirfoilConfig make_three_element(std::size_t points_per_side) {
+  AirfoilConfig config;
+  config.chord = 1.0;
+  constexpr double kDeg = 3.14159265358979323846 / 180.0;
+
+  // Slat: thin cambered section, deployed 30 degrees nose-down ahead of the
+  // main element, with a deep cove on its lower/aft side.
+  {
+    auto poly = naca4_polyline(Naca4::from_code("4412"), points_per_side / 2);
+    carve_cove(poly, 0.55, 0.85, 0.035);
+    AirfoilElement slat{.name = "slat", .surface = std::move(poly)};
+    config.elements.push_back(
+        slat.transformed(0.16, -30.0 * kDeg, {-0.085, -0.025}));
+  }
+
+  // Main element: moderate camber, sharp trailing edge, cove near the
+  // trailing lower surface where the flap nests.
+  {
+    auto poly = naca4_polyline(Naca4::from_code("2412"), points_per_side);
+    carve_cove(poly, 0.52, 0.70, 0.02);
+    AirfoilElement main_el{.name = "main", .surface = std::move(poly)};
+    config.elements.push_back(main_el.transformed(1.0, 0.0, {0.0, 0.0}));
+  }
+
+  // Flap: deployed 28 degrees trailing-edge-down (clockwise) in the main
+  // element's wake, blunt trailing edge.
+  {
+    auto poly = naca4_polyline(
+        Naca4::from_code("3410", TrailingEdge::kBlunt), points_per_side / 2);
+    AirfoilElement flap{.name = "flap", .surface = std::move(poly)};
+    config.elements.push_back(
+        flap.transformed(0.30, -28.0 * kDeg, {0.97, -0.03}));
+  }
+  return config;
+}
+
+}  // namespace aero

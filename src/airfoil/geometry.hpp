@@ -1,0 +1,77 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// One body of a (possibly multi-element) configuration: a closed
+/// counter-clockwise surface polyline (the closing edge is implicit between
+/// the last and first point).
+struct AirfoilElement {
+  std::string name;
+  std::vector<Vec2> surface;
+
+  BBox2 bbox() const {
+    BBox2 b;
+    for (const Vec2 p : surface) b.expand(p);
+    return b;
+  }
+
+  /// A point strictly inside the body (hole seed for carving).
+  Vec2 interior_point() const;
+
+  /// Outward unit normal at each surface vertex: the angle bisector of the
+  /// two adjacent edge normals (for a CCW polyline the outward side is the
+  /// right-hand side of the traversal direction).
+  std::vector<Vec2> vertex_normals() const;
+
+  /// Apply scale, rotation (radians, about the origin), then translation.
+  AirfoilElement transformed(double scale, double rotation,
+                             Vec2 translation) const;
+};
+
+/// A full configuration: one or more elements plus the reference chord.
+struct AirfoilConfig {
+  std::vector<AirfoilElement> elements;
+  double chord = 1.0;
+
+  BBox2 bbox() const {
+    BBox2 b;
+    for (const auto& e : elements) b.expand(e.bbox());
+    return b;
+  }
+  std::size_t surface_point_count() const {
+    std::size_t n = 0;
+    for (const auto& e : elements) n += e.surface.size();
+    return n;
+  }
+};
+
+/// Single NACA 0012 at zero incidence (the paper's Figure 2 geometry).
+AirfoilConfig make_naca0012(std::size_t points_per_side, bool sharp_te = true);
+
+/// Synthetic three-element high-lift configuration standing in for the
+/// 30P30N: a deployed leading-edge slat with a concave cove, a main element
+/// with a cove at its trailing lower surface, and a slotted trailing-edge
+/// flap with a blunt trailing edge. Exercises every special case of the
+/// paper's Figure 13: self-intersections in the coves, multi-element ray
+/// intersections in the slat/main and main/flap gaps, a sharp trailing edge
+/// cusp (slat, main) and a blunt trailing edge (flap).
+AirfoilConfig make_three_element(std::size_t points_per_side);
+
+/// Carve a circular-arc concavity ("cove") into a surface polyline between
+/// parameter fractions [t0, t1] of the vertex range, pushing vertices toward
+/// the interior by up to `depth` (smoothly feathered at the ends). Used to
+/// build the high-lift coves that trigger self-intersecting rays.
+void carve_cove(std::vector<Vec2>& surface, double t0, double t1, double depth);
+
+/// True if the closed polyline has no self-intersections (adjacent edges may
+/// share their common endpoint). Every generated element must be simple.
+bool polygon_is_simple(std::span<const Vec2> polygon);
+
+}  // namespace aero

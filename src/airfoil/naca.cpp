@@ -1,0 +1,89 @@
+#include "airfoil/naca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aero {
+
+Naca4 Naca4::from_code(const std::string& code, TrailingEdge te) {
+  if (code.size() != 4) {
+    throw std::invalid_argument("NACA 4-digit code must have 4 digits");
+  }
+  Naca4 p;
+  p.max_camber = (code[0] - '0') / 100.0;
+  p.camber_position = (code[1] - '0') / 10.0;
+  p.thickness = ((code[2] - '0') * 10 + (code[3] - '0')) / 100.0;
+  p.trailing_edge = te;
+  return p;
+}
+
+double naca4_thickness(const Naca4& params, double x) {
+  const double t = params.thickness;
+  // The -0.1036 final coefficient closes the trailing edge exactly; the
+  // original -0.1015 leaves the classic finite base thickness.
+  const double a4 =
+      params.trailing_edge == TrailingEdge::kSharp ? -0.1036 : -0.1015;
+  return 5.0 * t *
+         (0.2969 * std::sqrt(x) - 0.1260 * x - 0.3516 * x * x +
+          0.2843 * x * x * x + a4 * x * x * x * x);
+}
+
+void naca4_camber(const Naca4& params, double x, double& yc, double& slope) {
+  const double m = params.max_camber;
+  const double p = params.camber_position;
+  if (m == 0.0 || p == 0.0) {
+    yc = 0.0;
+    slope = 0.0;
+    return;
+  }
+  if (x < p) {
+    yc = m / (p * p) * (2.0 * p * x - x * x);
+    slope = 2.0 * m / (p * p) * (p - x);
+  } else {
+    yc = m / ((1.0 - p) * (1.0 - p)) * ((1.0 - 2.0 * p) + 2.0 * p * x - x * x);
+    slope = 2.0 * m / ((1.0 - p) * (1.0 - p)) * (p - x);
+  }
+}
+
+std::vector<Vec2> naca4_polyline(const Naca4& params,
+                                 std::size_t points_per_side) {
+  if (points_per_side < 8) {
+    throw std::invalid_argument("need at least 8 points per side");
+  }
+  const std::size_t n = points_per_side;
+  std::vector<Vec2> upper, lower;
+  upper.reserve(n);
+  lower.reserve(n);
+  constexpr double kPi = 3.14159265358979323846;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Cosine clustering: dense at both the leading and trailing edge.
+    const double beta = kPi * static_cast<double>(i) / static_cast<double>(n - 1);
+    const double x = 0.5 * (1.0 - std::cos(beta));
+    const double yt = naca4_thickness(params, x);
+    double yc, slope;
+    naca4_camber(params, x, yc, slope);
+    const double theta = std::atan(slope);
+    upper.push_back({x - yt * std::sin(theta), yc + yt * std::cos(theta)});
+    lower.push_back({x + yt * std::sin(theta), yc - yt * std::cos(theta)});
+  }
+
+  // Assemble CCW: trailing edge -> upper surface backwards (x descending)
+  // -> leading edge -> lower surface forwards (x ascending) -> (implicitly
+  // closed back to the trailing edge).
+  std::vector<Vec2> poly;
+  poly.reserve(2 * n);
+  if (params.trailing_edge == TrailingEdge::kSharp) {
+    // Upper and lower trailing-edge points coincide; emit once.
+    for (std::size_t i = n; i-- > 1;) poly.push_back(upper[i]);
+    poly.push_back(upper[0]);  // leading edge (x = 0)
+    for (std::size_t i = 1; i + 1 < n; ++i) poly.push_back(lower[i]);
+  } else {
+    for (std::size_t i = n; i-- > 1;) poly.push_back(upper[i]);
+    poly.push_back(upper[0]);
+    for (std::size_t i = 1; i < n; ++i) poly.push_back(lower[i]);
+  }
+  return poly;
+}
+
+}  // namespace aero

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Trailing-edge treatment for generated sections.
+enum class TrailingEdge {
+  kSharp,  ///< closed, zero-thickness trailing edge (slope discontinuity cusp)
+  kBlunt,  ///< finite-thickness trailing edge closed by a base segment
+};
+
+/// Parameters of a NACA 4-digit section (e.g. 0012: camber 0, position 0,
+/// thickness 0.12).
+struct Naca4 {
+  double max_camber = 0.0;       ///< m, fraction of chord (first digit / 100)
+  double camber_position = 0.0;  ///< p, fraction of chord (second digit / 10)
+  double thickness = 0.12;       ///< t, fraction of chord (last two digits / 100)
+  TrailingEdge trailing_edge = TrailingEdge::kSharp;
+
+  /// Parse a 4-digit code like "0012" or "2412".
+  static Naca4 from_code(const std::string& code,
+                         TrailingEdge te = TrailingEdge::kSharp);
+};
+
+/// Generate a closed counter-clockwise surface polyline of a NACA 4-digit
+/// section with unit chord, leading edge at the origin, chord along +x.
+///
+/// Points are cosine-clustered toward the leading and trailing edges (where
+/// curvature and the paper's high-gradient stagnation regions live). The
+/// polyline starts at the trailing edge, runs over the upper surface to the
+/// leading edge and back along the lower surface; it is closed implicitly
+/// (last point != first point; the closing edge is last->first). For a blunt
+/// trailing edge the upper and lower TE points are distinct and the base is
+/// the closing segment, giving the two slope discontinuities of the paper's
+/// Figure 13(e).
+std::vector<Vec2> naca4_polyline(const Naca4& params, std::size_t points_per_side);
+
+/// Thickness distribution y_t(x) of the NACA 4-digit family at unit chord.
+double naca4_thickness(const Naca4& params, double x);
+
+/// Camber line y_c(x) and its slope at unit chord.
+void naca4_camber(const Naca4& params, double x, double& yc, double& slope);
+
+}  // namespace aero

@@ -1,0 +1,65 @@
+#include "blayer/boundary_layer.hpp"
+
+#include <cmath>
+
+#include "geom/segment.hpp"
+
+namespace aero {
+
+BoundaryLayer build_boundary_layer(const AirfoilConfig& config,
+                                   const BoundaryLayerOptions& opts) {
+  BoundaryLayer bl;
+
+  std::vector<ElementRays> elements;
+  elements.reserve(config.elements.size());
+  for (std::uint32_t e = 0; e < config.elements.size(); ++e) {
+    elements.push_back(build_rays(config.elements[e], opts, e, &bl.stats));
+    bl.hole_seeds.push_back(config.elements[e].interior_point());
+  }
+
+  for (auto& er : elements) {
+    resolve_self_intersections(er, opts, &bl.stats);
+  }
+  resolve_multi_element_intersections(elements, opts, &bl.stats);
+
+  for (const auto& er : elements) {
+    bl.surfaces.push_back(er.surface);
+
+    const std::size_t nr = er.rays.size();
+    std::vector<Vec2> border;
+    border.reserve(nr);
+    for (std::size_t i = 0; i < nr; ++i) {
+      const Ray& r = er.rays[i];
+      const Ray& prev = er.rays[(i + nr - 1) % nr];
+      const Ray& next = er.rays[(i + 1) % nr];
+      // Lateral spacing: mean distance to the neighboring ray origins; for
+      // fan rays (shared origin) the divergence term h * angle dominates.
+      const double s0 = 0.5 * (distance(r.origin, prev.origin) +
+                               distance(r.origin, next.origin));
+      const double spread =
+          0.5 * (std::fabs(signed_angle(prev.dir, r.dir)) +
+                 std::fabs(signed_angle(r.dir, next.dir)));
+      const int layers = layer_count(r, s0, spread, opts);
+      bl.layers_per_ray.push_back(layers);
+
+      for (int k = 1; k <= layers; ++k) {
+        bl.points.push_back(r.origin + r.dir * opts.growth.height(k));
+      }
+      // A few ring seeds per element: half a first-layer height above the
+      // surface is strictly inside the ring wherever a layer exists.
+      if (layers > 0 && i % std::max<std::size_t>(1, nr / 24) == 0) {
+        bl.ring_seeds.push_back(r.origin +
+                                r.dir * (0.5 * opts.growth.height(1)));
+      }
+      const Vec2 tip = ray_tip(r, layers, opts.growth);
+      if (border.empty() || border.back() != tip) border.push_back(tip);
+    }
+    bl.outer_borders.push_back(std::move(border));
+
+    // Surface points are part of the cloud exactly once.
+    bl.points.insert(bl.points.end(), er.surface.begin(), er.surface.end());
+  }
+  return bl;
+}
+
+}  // namespace aero

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "blayer/rays.hpp"
+
+namespace aero {
+
+/// The generated anisotropic boundary layer: the full point cloud plus the
+/// polylines needed downstream (surfaces for hole carving, outer borders for
+/// diagnostics and the smooth-transition figure).
+struct BoundaryLayer {
+  /// Every boundary-layer point: surface vertices plus all inserted layer
+  /// points. Input to the projection-based parallel triangulation.
+  std::vector<Vec2> points;
+  /// Refined surface polyline per element (closed CCW; constrained edges and
+  /// carve barrier of the merged mesh).
+  std::vector<std::vector<Vec2>> surfaces;
+  /// Outer border polyline per element (consecutive ray tips; Figure 5's
+  /// variable boundary-layer height is this series).
+  std::vector<std::vector<Vec2>> outer_borders;
+  /// One interior seed per element (hole carving).
+  std::vector<Vec2> hole_seeds;
+  /// Seeds strictly inside the boundary-layer ring (between surface and
+  /// outer border), several per element: used to keep exactly the ring
+  /// triangles of the assembled triangulation.
+  std::vector<Vec2> ring_seeds;
+  /// Layer count per ray, concatenated over elements in ray order.
+  std::vector<int> layers_per_ray;
+  IntersectionStats stats;
+};
+
+/// Full boundary-layer generation (paper Sections II.A-II.C): rays with fan
+/// and curvature refinement, self- and multi-element intersection
+/// resolution, then growth-function point insertion with the isotropy
+/// transition rule.
+BoundaryLayer build_boundary_layer(const AirfoilConfig& config,
+                                   const BoundaryLayerOptions& opts);
+
+}  // namespace aero

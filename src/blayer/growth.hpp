@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aero {
+
+/// Family of growth functions for boundary-layer point spacing along a ray
+/// (Garimella & Shephard 2000). All are parameterized by the first layer
+/// height h0; `spacing(k)` is the gap between layer k-1 and layer k
+/// (1-based), `height(k)` the cumulative offset of layer k from the surface.
+enum class GrowthKind {
+  kGeometric,   ///< spacing h0 * r^(k-1)
+  kPolynomial,  ///< spacing h0 * k^p
+  kAdaptive,    ///< geometric with a smoothly ramped ratio (gentler start)
+};
+
+struct GrowthFunction {
+  GrowthKind kind = GrowthKind::kGeometric;
+  double first_height = 1e-3;  ///< h0
+  double rate = 1.2;           ///< r for geometric/adaptive, p for polynomial
+
+  double spacing(int layer) const {
+    if (layer < 1) throw std::invalid_argument("layer must be >= 1");
+    switch (kind) {
+      case GrowthKind::kGeometric:
+        return first_height * std::pow(rate, layer - 1);
+      case GrowthKind::kPolynomial:
+        return first_height * std::pow(static_cast<double>(layer), rate);
+      case GrowthKind::kAdaptive: {
+        // Ratio ramps from 1 to `rate` over the first ten layers: keeps the
+        // wall-adjacent layers nearly uniform, then grows geometrically.
+        double h = first_height;
+        double s = first_height;
+        for (int k = 2; k <= layer; ++k) {
+          const double ramp = std::min(1.0, (k - 1) / 10.0);
+          const double r = 1.0 + (rate - 1.0) * ramp;
+          s *= r;
+          h += 0.0;  // (height accumulated by caller)
+        }
+        (void)h;
+        return s;
+      }
+    }
+    return 0.0;
+  }
+
+  double height(int layer) const {
+    if (layer == 0) return 0.0;
+    if (kind == GrowthKind::kGeometric && rate != 1.0) {
+      // Closed form for the geometric series.
+      return first_height * (std::pow(rate, layer) - 1.0) / (rate - 1.0);
+    }
+    double h = 0.0;
+    for (int k = 1; k <= layer; ++k) h += spacing(k);
+    return h;
+  }
+};
+
+}  // namespace aero

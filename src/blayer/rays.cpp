@@ -1,0 +1,271 @@
+#include "blayer/rays.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/segment.hpp"
+#include "spatial/adt.hpp"
+
+namespace aero {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Interpolate unit direction from d0 to d1 by fraction t (constant angular
+/// velocity — the "linear interpolation between the two original normals").
+Vec2 slerp_dir(Vec2 d0, Vec2 d1, double t) {
+  const double total = signed_angle(d0, d1);
+  return d0.rotated(total * t);
+}
+
+double cap_height(const Ray& r, const BoundaryLayerOptions& opts) {
+  return std::min(r.max_height, opts.growth.height(opts.max_layers));
+}
+
+}  // namespace
+
+ElementRays build_rays(const AirfoilElement& element,
+                       const BoundaryLayerOptions& opts,
+                       std::uint32_t element_id, IntersectionStats* stats) {
+  const double threshold = opts.large_angle_deg * kPi / 180.0;
+  const double cusp = opts.cusp_angle_deg * kPi / 180.0;
+  const std::vector<Vec2>& s = element.surface;
+  const std::size_t n = s.size();
+
+  // Per-vertex pass: single bisector ray, or a fan where the edge normals
+  // diverge beyond the threshold (sharp trailing-edge cusps, blunt
+  // trailing-edge corners, any convex kink).
+  struct VertexRays {
+    std::vector<Vec2> dirs;
+  };
+  std::vector<VertexRays> per_vertex(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 prev = s[(i + n - 1) % n];
+    const Vec2 cur = s[i];
+    const Vec2 next = s[(i + 1) % n];
+    const Vec2 d0 = (cur - prev).normalized();
+    const Vec2 d1 = (next - cur).normalized();
+    const Vec2 n0{d0.y, -d0.x};
+    const Vec2 n1{d1.y, -d1.x};
+    const double turn = signed_angle(n0, n1);
+    if (turn > cusp) {
+      // Diverging normals (convex kink): emit a fan anchored at the vertex.
+      // The interpolated directions make the fan curve around the kink --
+      // at a trailing edge this is the paper's fan curving into the wake.
+      const int nrays =
+          static_cast<int>(std::ceil(turn / threshold)) + 1;
+      VertexRays vr;
+      vr.dirs.reserve(static_cast<std::size_t>(nrays));
+      for (int j = 0; j < nrays; ++j) {
+        vr.dirs.push_back(
+            slerp_dir(n0, n1, static_cast<double>(j) / (nrays - 1)));
+      }
+      per_vertex[i] = std::move(vr);
+      if (stats) {
+        ++stats->fans;
+        stats->fan_rays += static_cast<std::size_t>(nrays);
+      }
+    } else {
+      // Single ray along the (possibly converging) bisector normal.
+      Vec2 bis = n0 + n1;
+      if (bis.norm2() < 1e-24) bis = d0 - d1;  // 180-degree cusp fallback
+      per_vertex[i].dirs.push_back(bis.normalized());
+    }
+  }
+
+  // Per-edge pass: if the angle between the last ray of vertex i and the
+  // first ray of vertex i+1 is still too large (coarse discretization of a
+  // curved region, e.g. the leading edge), insert uniformly spaced surface
+  // points along the edge with interpolated normals.
+  ElementRays out;
+  out.rays.reserve(n * 2);
+  out.surface.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    out.surface.push_back(s[i]);
+    for (const Vec2 d : per_vertex[i].dirs) {
+      out.rays.push_back(Ray{s[i], d, std::numeric_limits<double>::infinity(),
+                             element_id, per_vertex[i].dirs.size() > 1});
+    }
+    const Vec2 last_dir = per_vertex[i].dirs.back();
+    const Vec2 next_dir = per_vertex[j].dirs.front();
+    const double gap = std::fabs(signed_angle(last_dir, next_dir));
+    if (gap > threshold) {
+      const int extra = static_cast<int>(std::ceil(gap / threshold)) - 1;
+      for (int k = 1; k <= extra; ++k) {
+        const double t = static_cast<double>(k) / (extra + 1);
+        const Vec2 origin = lerp(s[i], s[j], t);
+        out.surface.push_back(origin);
+        out.rays.push_back(Ray{origin, slerp_dir(last_dir, next_dir, t),
+                               std::numeric_limits<double>::infinity(),
+                               element_id, false});
+        if (stats) ++stats->edge_refinement_rays;
+      }
+    }
+  }
+  return out;
+}
+
+void resolve_self_intersections(ElementRays& er,
+                                const BoundaryLayerOptions& opts,
+                                IntersectionStats* stats) {
+  const std::size_t nr = er.rays.size();
+  const std::size_t ns = er.surface.size();
+  if (nr == 0) return;
+
+  // Segment per ray at its current cap, plus the element's own surface
+  // segments (a cove wall's rays must not pierce the opposite wall).
+  std::vector<Segment> segs(nr + ns);
+  BBox2 world;
+  for (std::size_t i = 0; i < nr; ++i) {
+    const Ray& r = er.rays[i];
+    segs[i] = Segment{r.origin, r.origin + r.dir * cap_height(r, opts)};
+    world.expand(segs[i].bbox());
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    segs[nr + i] = Segment{er.surface[i], er.surface[(i + 1) % ns]};
+    world.expand(segs[nr + i].bbox());
+  }
+
+  AlternatingDigitalTree adt(world.inflated(1e-12 + 1e-9 * world.width()));
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    adt.insert(segs[i].bbox(), static_cast<std::uint32_t>(i));
+  }
+
+  for (std::size_t i = 0; i < nr; ++i) {
+    Ray& ri = er.rays[i];
+    adt.for_each_overlap(segs[i].bbox(), [&](std::uint32_t j) {
+      if (j <= i && j < nr) return;  // each ray pair once
+      const bool other_is_surface = j >= nr;
+      const Ray* rj = other_is_surface ? nullptr : &er.rays[j];
+      if (rj && rj->origin == ri.origin) return;  // fan siblings
+      if (stats) ++stats->self_pairs_tested;
+      const IntersectResult hit = intersect(segs[i], segs[j]);
+      if (!hit) return;
+      if (other_is_surface) {
+        if (hit.kind != IntersectKind::kProper) return;  // origin touches
+        const double d = distance(ri.origin, hit.point);
+        ri.max_height =
+            std::min(ri.max_height, d * opts.truncation_margin);
+        if (stats) ++stats->surface_truncations;
+        return;
+      }
+      if (hit.kind == IntersectKind::kEndpoint &&
+          (hit.point == ri.origin || hit.point == rj->origin)) {
+        return;  // touching at the surface is not a collision
+      }
+      Ray& rjm = er.rays[j];
+      const double di = distance(ri.origin, hit.point);
+      const double dj = distance(rjm.origin, hit.point);
+      ri.max_height = std::min(ri.max_height, di * opts.truncation_margin);
+      rjm.max_height = std::min(rjm.max_height, dj * opts.truncation_margin);
+      if (stats) ++stats->self_truncations;
+    });
+  }
+}
+
+int layer_count(const Ray& ray, double lateral_spacing, double angle_spread,
+                const BoundaryLayerOptions& opts) {
+  int k = 0;
+  while (k < opts.max_layers) {
+    const double next_height = opts.growth.height(k + 1);
+    if (next_height > ray.max_height) break;
+    // Lateral spacing at this height: base spacing plus fan divergence.
+    const double lateral =
+        lateral_spacing + next_height * angle_spread;
+    if (lateral > 0.0 &&
+        opts.growth.spacing(k + 1) >= opts.isotropy_factor * lateral) {
+      break;  // the next layer's triangles would already be isotropic
+    }
+    ++k;
+  }
+  return k;
+}
+
+Vec2 ray_tip(const Ray& ray, int layers, const GrowthFunction& growth) {
+  return ray.origin + ray.dir * growth.height(layers);
+}
+
+void resolve_multi_element_intersections(std::vector<ElementRays>& elements,
+                                         const BoundaryLayerOptions& opts,
+                                         IntersectionStats* stats) {
+  const std::size_t ne = elements.size();
+  if (ne < 2) return;
+
+  // Outer borders at current truncation heights (isotropy ignored here: the
+  // conservative full-height border only over-truncates slightly).
+  struct Border {
+    std::vector<Segment> segs;
+    BBox2 aabb;
+  };
+  std::vector<Border> borders(ne);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const auto& rays = elements[e].rays;
+    Border& b = borders[e];
+    b.segs.reserve(rays.size());
+    for (std::size_t i = 0; i < rays.size(); ++i) {
+      const Ray& r0 = rays[i];
+      const Ray& r1 = rays[(i + 1) % rays.size()];
+      const Vec2 t0 = r0.origin + r0.dir * cap_height(r0, opts);
+      const Vec2 t1 = r1.origin + r1.dir * cap_height(r1, opts);
+      if (t0 == t1) continue;
+      b.segs.push_back(Segment{t0, t1});
+      b.aabb.expand(t0);
+      b.aabb.expand(t1);
+    }
+    // The whole boundary layer of e also spans from the surface outward.
+    for (const Ray& r : rays) {
+      b.aabb.expand(r.origin);
+    }
+  }
+
+  for (std::size_t a = 0; a < ne; ++a) {
+    for (std::size_t b = 0; b < ne; ++b) {
+      if (a == b || borders[b].segs.empty()) continue;
+      // Stage 1: AABB prune with Cohen-Sutherland clipping.
+      std::vector<std::uint32_t> candidates;
+      for (std::uint32_t i = 0; i < elements[a].rays.size(); ++i) {
+        const Ray& r = elements[a].rays[i];
+        const Vec2 tip = r.origin + r.dir * cap_height(r, opts);
+        if (segment_intersects_box(r.origin, tip, borders[b].aabb)) {
+          candidates.push_back(i);
+        }
+      }
+      if (candidates.empty()) continue;
+      if (stats) stats->multi_candidates += candidates.size();
+
+      // Stage 2: ADT over the border segments' extent boxes.
+      BBox2 world = borders[b].aabb;
+      for (const std::uint32_t i : candidates) {
+        const Ray& r = elements[a].rays[i];
+        world.expand(r.origin);
+        world.expand(r.origin + r.dir * cap_height(r, opts));
+      }
+      AlternatingDigitalTree adt(world.inflated(1e-12 + 1e-9 * world.width()));
+      for (std::uint32_t j = 0; j < borders[b].segs.size(); ++j) {
+        adt.insert(borders[b].segs[j].bbox(), j);
+      }
+
+      // Stage 3: exact intersection for surviving pairs.
+      for (const std::uint32_t i : candidates) {
+        Ray& r = elements[a].rays[i];
+        const Segment rs{r.origin, r.origin + r.dir * cap_height(r, opts)};
+        double nearest = std::numeric_limits<double>::infinity();
+        adt.for_each_overlap(rs.bbox(), [&](std::uint32_t j) {
+          if (stats) ++stats->multi_pairs_tested;
+          const IntersectResult hit = intersect(rs, borders[b].segs[j]);
+          if (!hit) return;
+          nearest = std::min(nearest, distance(r.origin, hit.point));
+        });
+        if (nearest < std::numeric_limits<double>::infinity()) {
+          r.max_height =
+              std::min(r.max_height, nearest * opts.truncation_margin);
+          if (stats) ++stats->multi_truncations;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aero

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "airfoil/geometry.hpp"
+#include "blayer/growth.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// One extrusion ray of the advancing-front boundary layer: points are
+/// inserted along `dir` from `origin` according to the growth function,
+/// up to `max_height` (set by intersection resolution) and the isotropy
+/// criterion.
+struct Ray {
+  Vec2 origin;
+  Vec2 dir;  ///< unit direction (outward surface normal or fan direction)
+  double max_height = std::numeric_limits<double>::infinity();
+  std::uint32_t element = 0;  ///< owning element index
+  bool fan = false;           ///< emitted by cusp/large-angle fan refinement
+};
+
+/// Options for boundary-layer generation.
+struct BoundaryLayerOptions {
+  GrowthFunction growth;
+  /// Angle between neighboring rays above which interpolated rays are
+  /// inserted along the surface edge (coarsely discretized curvature, e.g.
+  /// the leading edge).
+  double large_angle_deg = 20.0;
+  /// Divergence of a vertex's own edge normals above which the vertex is a
+  /// slope discontinuity and emits a fan of curved rays from a single origin
+  /// (trailing-edge cusps, blunt-TE corners, any sharp convex kink).
+  double cusp_angle_deg = 60.0;
+  /// Terminate a ray when the next layer spacing reaches this multiple of
+  /// the local lateral spacing (triangles become isotropic, Figure 5).
+  double isotropy_factor = 1.0;
+  int max_layers = 60;
+  /// Fraction of the distance to an intersection that remains usable for
+  /// point insertion after a ray is truncated.
+  double truncation_margin = 0.45;
+};
+
+/// Ray set of one element, including the surface refinement (extra surface
+/// vertices inserted by the large-angle rule become part of the PSLG).
+struct ElementRays {
+  std::vector<Ray> rays;      ///< in surface order (fans contiguous)
+  std::vector<Vec2> surface;  ///< refined closed CCW surface polyline
+};
+
+/// Counters reported by intersection resolution (paper Section II.B).
+struct IntersectionStats {
+  std::size_t fans = 0;
+  std::size_t fan_rays = 0;
+  std::size_t edge_refinement_rays = 0;
+  std::size_t self_pairs_tested = 0;
+  std::size_t self_truncations = 0;
+  std::size_t surface_truncations = 0;
+  std::size_t multi_candidates = 0;
+  std::size_t multi_pairs_tested = 0;
+  std::size_t multi_truncations = 0;
+};
+
+/// Build the rays of one element: bisector normals, fans at vertices whose
+/// edge normals diverge beyond the threshold (cusps and convex corners), and
+/// interpolated rays along coarsely discretized curved edges.
+ElementRays build_rays(const AirfoilElement& element,
+                       const BoundaryLayerOptions& opts,
+                       std::uint32_t element_id, IntersectionStats* stats);
+
+/// Truncate rays of `er` that properly cross each other or the element's own
+/// surface. Uses an alternating digital tree over segment extent boxes for
+/// the O(n log n) candidate search the paper describes.
+void resolve_self_intersections(ElementRays& er,
+                                const BoundaryLayerOptions& opts,
+                                IntersectionStats* stats);
+
+/// Truncate rays of each element that would pierce another element's
+/// boundary-layer outer border: AABB prune (Cohen-Sutherland) then ADT prune
+/// then exact segment intersection.
+void resolve_multi_element_intersections(std::vector<ElementRays>& elements,
+                                         const BoundaryLayerOptions& opts,
+                                         IntersectionStats* stats);
+
+/// Number of layers to insert on `ray` given its neighbors' spacing (the
+/// isotropy transition rule) and its truncation height.
+int layer_count(const Ray& ray, double lateral_spacing, double angle_spread,
+                const BoundaryLayerOptions& opts);
+
+/// Final tip of a ray (origin if no layers fit).
+Vec2 ray_tip(const Ray& ray, int layers, const GrowthFunction& growth);
+
+}  // namespace aero

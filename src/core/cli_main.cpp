@@ -1,0 +1,209 @@
+// aeromesh: the push-button command-line mesh generator.
+//
+// "The user only needs to specify the input geometry and boundary layer
+// parameters to start the program, then momentarily wait for the resulting
+// mesh without having to further interact with the application."
+//
+// Usage:
+//   aeromesh [options]
+// Options:
+//   --geometry naca0012|naca<code>|three-element   (default naca0012)
+//   --poly <file.poly>        custom PSLG geometry (closed CCW loop(s))
+//   --surface-points N        points per side for generated sections (300)
+//   --first-height H          first boundary-layer cell height (2e-4)
+//   --growth-ratio R          geometric growth ratio (1.2)
+//   --growth geometric|polynomial|adaptive
+//   --max-layers N            cap on boundary-layer layers (40)
+//   --farfield C              far-field half-extent in chords (30)
+//   --grade G                 inviscid edge-length growth per unit (0.25)
+//   --ranks P                 mesh on a P-rank in-process pool (sequential
+//                             when omitted)
+//   --output BASE             output basename (default "mesh")
+//   --format vtk|node-ele|binary|all   (default vtk)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "airfoil/naca.hpp"
+#include "core/mesh_generator.hpp"
+#include "io/mesh_io.hpp"
+#include "runtime/parallel_driver.hpp"
+
+namespace {
+
+using namespace aero;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--geometry naca0012|naca<code>|three-element]\n"
+               "  [--poly file.poly] [--surface-points N] [--first-height H]\n"
+               "  [--growth-ratio R] [--growth geometric|polynomial|adaptive]\n"
+               "  [--max-layers N] [--farfield C] [--grade G] [--ranks P]\n"
+               "  [--output BASE] [--format vtk|node-ele|binary|all]\n",
+               argv0);
+  std::exit(2);
+}
+
+AirfoilConfig load_poly_geometry(const std::string& path) {
+  // A .poly whose segments form closed loops; each loop becomes an element.
+  const Pslg pslg = read_poly(path);
+  AirfoilConfig config;
+  std::vector<bool> used(pslg.points.size(), false);
+  // Walk loops: follow segments from an unused start point.
+  std::vector<std::vector<std::uint32_t>> adjacency(pslg.points.size());
+  for (std::size_t s = 0; s < pslg.segments.size(); ++s) {
+    adjacency[pslg.segments[s].first].push_back(pslg.segments[s].second);
+    adjacency[pslg.segments[s].second].push_back(pslg.segments[s].first);
+  }
+  for (std::uint32_t start = 0; start < pslg.points.size(); ++start) {
+    if (used[start] || adjacency[start].size() != 2) continue;
+    std::vector<Vec2> loop;
+    std::uint32_t prev = start, cur = start;
+    do {
+      used[cur] = true;
+      loop.push_back(pslg.points[cur]);
+      const auto& nb = adjacency[cur];
+      const std::uint32_t next = (nb[0] == prev && nb.size() > 1) ? nb[1] : nb[0];
+      prev = cur;
+      cur = next;
+    } while (cur != start && !used[cur]);
+    if (loop.size() >= 3) {
+      // Ensure CCW orientation.
+      double area2 = 0.0;
+      for (std::size_t i = 0; i < loop.size(); ++i) {
+        area2 += loop[i].cross(loop[(i + 1) % loop.size()]);
+      }
+      if (area2 < 0.0) std::reverse(loop.begin(), loop.end());
+      AirfoilElement e;
+      e.name = "element" + std::to_string(config.elements.size());
+      e.surface = std::move(loop);
+      if (!polygon_is_simple(e.surface)) {
+        std::fprintf(stderr, "error: loop %zu in %s self-intersects\n",
+                     config.elements.size(), path.c_str());
+        std::exit(1);
+      }
+      config.elements.push_back(std::move(e));
+    }
+  }
+  if (config.elements.empty()) {
+    std::fprintf(stderr, "error: no closed loops in %s\n", path.c_str());
+    std::exit(1);
+  }
+  const BBox2 box = config.bbox();
+  config.chord = std::max(box.width(), box.height());
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string geometry = "naca0012";
+  std::string poly_path;
+  std::string output = "mesh";
+  std::string format = "vtk";
+  std::size_t surface_points = 300;
+  MeshGeneratorConfig config;
+  config.blayer.growth = {GrowthKind::kGeometric, 2e-4, 1.2};
+  config.blayer.max_layers = 40;
+  int ranks = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* name) {
+      if (std::strcmp(argv[i], name) != 0) return static_cast<const char*>(nullptr);
+      if (i + 1 >= argc) usage(argv[0]);
+      return static_cast<const char*>(argv[++i]);
+    };
+    if (const char* v = arg("--geometry")) {
+      geometry = v;
+    } else if (const char* v = arg("--poly")) {
+      poly_path = v;
+    } else if (const char* v = arg("--surface-points")) {
+      surface_points = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = arg("--first-height")) {
+      config.blayer.growth.first_height = std::strtod(v, nullptr);
+    } else if (const char* v = arg("--growth-ratio")) {
+      config.blayer.growth.rate = std::strtod(v, nullptr);
+    } else if (const char* v = arg("--growth")) {
+      const std::string g = v;
+      config.blayer.growth.kind = g == "polynomial" ? GrowthKind::kPolynomial
+                                  : g == "adaptive" ? GrowthKind::kAdaptive
+                                                    : GrowthKind::kGeometric;
+    } else if (const char* v = arg("--max-layers")) {
+      config.blayer.max_layers = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = arg("--farfield")) {
+      config.farfield_chords = std::strtod(v, nullptr);
+    } else if (const char* v = arg("--grade")) {
+      config.grade = std::strtod(v, nullptr);
+    } else if (const char* v = arg("--ranks")) {
+      ranks = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = arg("--output")) {
+      output = v;
+    } else if (const char* v = arg("--format")) {
+      format = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (!poly_path.empty()) {
+    config.airfoil = load_poly_geometry(poly_path);
+  } else if (geometry == "three-element") {
+    config.airfoil = make_three_element(surface_points);
+  } else if (geometry.rfind("naca", 0) == 0 && geometry.size() == 8) {
+    AirfoilElement e;
+    e.name = geometry;
+    e.surface = naca4_polyline(Naca4::from_code(geometry.substr(4)),
+                               surface_points);
+    config.airfoil.elements.push_back(std::move(e));
+  } else if (geometry == "naca0012") {
+    config.airfoil = make_naca0012(surface_points);
+  } else {
+    usage(argv[0]);
+  }
+
+  std::printf("aeromesh: %zu element(s), %zu surface points, farfield %g "
+              "chords%s\n",
+              config.airfoil.elements.size(),
+              config.airfoil.surface_point_count(), config.farfield_chords,
+              ranks > 0 ? " (parallel pool)" : "");
+
+  MergedMesh mesh;
+  PhaseTimings timings;
+  if (ranks > 0) {
+    ParallelMeshResult r = parallel_generate_mesh(config, ranks);
+    mesh = std::move(r.mesh);
+    timings = r.timings;
+    std::printf("pool steals: %zu (bl) + %zu (inviscid)\n", r.bl_pool.steals,
+                r.inviscid_pool.steals);
+  } else {
+    MeshGenerationResult r = generate_mesh(config);
+    mesh = std::move(r.mesh);
+    timings = r.timings;
+  }
+
+  const MergedStats stats = compute_stats(mesh);
+  const auto conf = mesh.check_conformity();
+  std::printf("mesh: %zu triangles, %zu vertices, min angle %.2f deg, "
+              "manifold=%s\n",
+              stats.triangles, stats.vertices, stats.min_angle_deg,
+              conf.manifold ? "yes" : "NO");
+  for (const auto& [phase, sec] : timings.entries()) {
+    std::printf("  %-32s %8.3f s\n", phase.c_str(), sec);
+  }
+
+  if (format == "vtk" || format == "all") {
+    write_vtk(mesh, output + ".vtk");
+    std::printf("wrote %s.vtk\n", output.c_str());
+  }
+  if (format == "node-ele" || format == "all") {
+    write_node_ele(mesh, output);
+    std::printf("wrote %s.node/.ele\n", output.c_str());
+  }
+  if (format == "binary" || format == "all") {
+    write_binary(mesh, output + ".bin");
+    std::printf("wrote %s.bin\n", output.c_str());
+  }
+  return conf.manifold ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+#include "core/distance_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aero {
+
+DistanceField::DistanceField(const std::vector<std::vector<Vec2>>& loops,
+                             const BBox2& box, int resolution)
+    : box_(box) {
+  const double longer = std::max(box.width(), box.height());
+  cell_ = longer / resolution;
+  nx_ = std::max(2, static_cast<int>(std::ceil(box.width() / cell_)) + 1);
+  ny_ = std::max(2, static_cast<int>(std::ceil(box.height() / cell_)) + 1);
+  dist_.assign(static_cast<std::size_t>(nx_) * ny_,
+               std::numeric_limits<float>::infinity());
+
+  const auto idx = [this](int i, int j) {
+    return static_cast<std::size_t>(j) * nx_ + i;
+  };
+
+  // Seed: sample every loop edge at sub-cell spacing.
+  for (const auto& loop : loops) {
+    for (std::size_t k = 0; k < loop.size(); ++k) {
+      const Vec2 a = loop[k];
+      const Vec2 b = loop[(k + 1) % loop.size()];
+      const double len = (b - a).norm();  // aero::distance is shadowed here
+      const int steps = std::max(1, static_cast<int>(len / (0.5 * cell_)));
+      for (int s = 0; s <= steps; ++s) {
+        const Vec2 p = lerp(a, b, static_cast<double>(s) / steps);
+        const int i = std::clamp(
+            static_cast<int>((p.x - box_.lo.x) / cell_), 0, nx_ - 1);
+        const int j = std::clamp(
+            static_cast<int>((p.y - box_.lo.y) / cell_), 0, ny_ - 1);
+        dist_[idx(i, j)] = 0.0f;
+      }
+    }
+  }
+
+  // Two-pass chamfer sweep (3-4 metric scaled to the cell size).
+  const float straight = static_cast<float>(cell_);
+  const float diag = static_cast<float>(cell_ * 1.41421356237);
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      float d = dist_[idx(i, j)];
+      if (i > 0) d = std::min(d, dist_[idx(i - 1, j)] + straight);
+      if (j > 0) d = std::min(d, dist_[idx(i, j - 1)] + straight);
+      if (i > 0 && j > 0) d = std::min(d, dist_[idx(i - 1, j - 1)] + diag);
+      if (i + 1 < nx_ && j > 0) {
+        d = std::min(d, dist_[idx(i + 1, j - 1)] + diag);
+      }
+      dist_[idx(i, j)] = d;
+    }
+  }
+  for (int j = ny_; j-- > 0;) {
+    for (int i = nx_; i-- > 0;) {
+      float d = dist_[idx(i, j)];
+      if (i + 1 < nx_) d = std::min(d, dist_[idx(i + 1, j)] + straight);
+      if (j + 1 < ny_) d = std::min(d, dist_[idx(i, j + 1)] + straight);
+      if (i + 1 < nx_ && j + 1 < ny_) {
+        d = std::min(d, dist_[idx(i + 1, j + 1)] + diag);
+      }
+      if (i > 0 && j + 1 < ny_) d = std::min(d, dist_[idx(i - 1, j + 1)] + diag);
+      dist_[idx(i, j)] = d;
+    }
+  }
+}
+
+double DistanceField::distance(Vec2 p) const {
+  const int i = std::clamp(static_cast<int>((p.x - box_.lo.x) / cell_), 0,
+                           nx_ - 1);
+  const int j = std::clamp(static_cast<int>((p.y - box_.lo.y) / cell_), 0,
+                           ny_ - 1);
+  return dist_[static_cast<std::size_t>(j) * nx_ + i];
+}
+
+}  // namespace aero

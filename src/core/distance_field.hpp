@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Approximate unsigned distance-to-polyline field on a uniform grid
+/// (multi-source chamfer sweep). O(1) lookups make it usable inside sizing
+/// functions evaluated millions of times during refinement -- e.g. to band
+/// an isotropic reference mesh around the airfoil surfaces the way a
+/// solution-adapted isotropic mesher would.
+class DistanceField {
+ public:
+  /// Build from polyline(s): each inner vector is a closed loop of points.
+  /// `box` is the coverage area (distance saturates at the boundary);
+  /// `resolution` is the grid size along the longer box edge.
+  DistanceField(const std::vector<std::vector<Vec2>>& loops, const BBox2& box,
+                int resolution = 512);
+
+  /// Approximate distance from p to the nearest polyline (clamped to the
+  /// grid's coverage; points outside the box return the boundary value).
+  double distance(Vec2 p) const;
+
+ private:
+  BBox2 box_;
+  int nx_ = 0, ny_ = 0;
+  double cell_ = 0.0;
+  std::vector<float> dist_;
+};
+
+}  // namespace aero

@@ -1,0 +1,211 @@
+#include "core/merged_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "geom/predicates.hpp"
+#include "geom/segment.hpp"
+#include "geom/triangle_quality.hpp"
+
+namespace aero {
+
+std::uint32_t MergedMesh::add_point(Vec2 p) {
+  const auto [it, inserted] =
+      point_index_.try_emplace(p, static_cast<std::uint32_t>(points_.size()));
+  if (inserted) points_.push_back(p);
+  return it->second;
+}
+
+void MergedMesh::add_triangle(Vec2 a, Vec2 b, Vec2 c) {
+  tris_.push_back({add_point(a), add_point(b), add_point(c)});
+  dead_.push_back(0);
+}
+
+void MergedMesh::append(const DelaunayMesh& mesh) {
+  mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = mesh.tri(t);
+    if (!mt.inside) return;
+    add_triangle(mesh.point(mt.v[0]), mesh.point(mt.v[1]),
+                 mesh.point(mt.v[2]));
+  });
+}
+
+std::vector<std::uint8_t> MergedMesh::flood_from(
+    const std::vector<std::pair<Vec2, Vec2>>& barrier,
+    const std::vector<Vec2>& seeds) const {
+  // Edge -> incident live triangles.
+  std::unordered_map<EdgeKey, std::array<std::int64_t, 2>, EdgeKeyHash> edges;
+  edges.reserve(tris_.size() * 2);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (dead_[t]) continue;
+    for (int i = 0; i < 3; ++i) {
+      const EdgeKey k = edge_key(tris_[t][i], tris_[t][(i + 1) % 3]);
+      auto [it, fresh] = edges.try_emplace(k, std::array<std::int64_t, 2>{-1, -1});
+      auto& slots = it->second;
+      (slots[0] < 0 ? slots[0] : slots[1]) = static_cast<std::int64_t>(t);
+    }
+  }
+
+  std::unordered_set<EdgeKey, EdgeKeyHash> blocked;
+  blocked.reserve(barrier.size() * 2);
+  for (const auto& [a, b] : barrier) {
+    const auto ia = point_index_.find(a);
+    const auto ib = point_index_.find(b);
+    if (ia == point_index_.end() || ib == point_index_.end()) continue;
+    blocked.insert(edge_key(ia->second, ib->second));
+  }
+
+  std::vector<std::uint8_t> reached(tris_.size(), 0);
+  for (const Vec2 seed : seeds) {
+    // Locate a live triangle containing the seed (linear scan: seeds are
+    // few and this is a one-shot assembly pass).
+    std::int64_t start = -1;
+    for (std::size_t t = 0; t < tris_.size() && start < 0; ++t) {
+      if (dead_[t] || reached[t]) continue;
+      const Vec2 a = points_[tris_[t][0]];
+      const Vec2 b = points_[tris_[t][1]];
+      const Vec2 c = points_[tris_[t][2]];
+      if (orient2d(a, b, seed) >= 0.0 && orient2d(b, c, seed) >= 0.0 &&
+          orient2d(c, a, seed) >= 0.0) {
+        start = static_cast<std::int64_t>(t);
+      }
+    }
+    if (start < 0) continue;
+
+    std::vector<std::int64_t> stack{start};
+    reached[static_cast<std::size_t>(start)] = 1;
+    while (!stack.empty()) {
+      const auto t = static_cast<std::size_t>(stack.back());
+      stack.pop_back();
+      for (int i = 0; i < 3; ++i) {
+        const EdgeKey k = edge_key(tris_[t][i], tris_[t][(i + 1) % 3]);
+        if (blocked.contains(k)) continue;
+        const auto it = edges.find(k);
+        if (it == edges.end()) continue;
+        for (const std::int64_t nb : it->second) {
+          if (nb < 0 || dead_[static_cast<std::size_t>(nb)] ||
+              reached[static_cast<std::size_t>(nb)]) {
+            continue;
+          }
+          reached[static_cast<std::size_t>(nb)] = 1;
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+  return reached;
+}
+
+void MergedMesh::carve(const std::vector<std::pair<Vec2, Vec2>>& barrier,
+                       const std::vector<Vec2>& seeds) {
+  const std::vector<std::uint8_t> reached = flood_from(barrier, seeds);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (!dead_[t] && reached[t]) {
+      dead_[t] = 1;
+      ++dead_count_;
+    }
+  }
+}
+
+void MergedMesh::keep_only(const std::vector<std::pair<Vec2, Vec2>>& barrier,
+                           const std::vector<Vec2>& seeds) {
+  const std::vector<std::uint8_t> reached = flood_from(barrier, seeds);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (!dead_[t] && !reached[t]) {
+      dead_[t] = 1;
+      ++dead_count_;
+    }
+  }
+}
+
+std::vector<std::pair<Vec2, Vec2>> MergedMesh::boundary_edges(
+    const std::vector<std::pair<Vec2, Vec2>>& exclude) const {
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> counts;
+  counts.reserve(tris_.size() * 2);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (dead_[t]) continue;
+    for (int i = 0; i < 3; ++i) {
+      ++counts[edge_key(tris_[t][i], tris_[t][(i + 1) % 3])];
+    }
+  }
+  std::unordered_set<EdgeKey, EdgeKeyHash> excluded;
+  excluded.reserve(exclude.size() * 2);
+  for (const auto& [a, b] : exclude) {
+    const auto ia = point_index_.find(a);
+    const auto ib = point_index_.find(b);
+    if (ia == point_index_.end() || ib == point_index_.end()) continue;
+    excluded.insert(edge_key(ia->second, ib->second));
+  }
+  std::vector<std::pair<Vec2, Vec2>> out;
+  for (const auto& [k, n] : counts) {
+    if (n != 1 || excluded.contains(k)) continue;
+    out.emplace_back(points_[k.first], points_[k.second]);
+  }
+  return out;
+}
+
+std::vector<std::pair<Vec2, Vec2>> MergedMesh::missing_edges(
+    const std::vector<std::pair<Vec2, Vec2>>& candidates) const {
+  std::unordered_set<EdgeKey, EdgeKeyHash> present;
+  present.reserve(tris_.size() * 2);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (dead_[t]) continue;
+    for (int i = 0; i < 3; ++i) {
+      present.insert(edge_key(tris_[t][i], tris_[t][(i + 1) % 3]));
+    }
+  }
+  std::vector<std::pair<Vec2, Vec2>> out;
+  for (const auto& [a, b] : candidates) {
+    const auto ia = point_index_.find(a);
+    const auto ib = point_index_.find(b);
+    if (ia == point_index_.end() || ib == point_index_.end() ||
+        !present.contains(edge_key(ia->second, ib->second))) {
+      out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+MergedMesh::Conformity MergedMesh::check_conformity() const {
+  Conformity c;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> counts;
+  counts.reserve(tris_.size() * 2);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (dead_[t]) continue;
+    const Vec2 a = points_[tris_[t][0]];
+    const Vec2 b = points_[tris_[t][1]];
+    const Vec2 cc = points_[tris_[t][2]];
+    if (orient2d(a, b, cc) <= 0.0) c.orientation_ok = false;
+    for (int i = 0; i < 3; ++i) {
+      ++counts[edge_key(tris_[t][i], tris_[t][(i + 1) % 3])];
+    }
+  }
+  for (const auto& [k, n] : counts) {
+    if (n == 1) {
+      ++c.boundary_edges;
+    } else if (n == 2) {
+      ++c.interior_edges;
+    } else {
+      ++c.nonmanifold_edges;
+      c.manifold = false;
+    }
+  }
+  return c;
+}
+
+MergedStats compute_stats(const MergedMesh& mesh) {
+  MergedStats s;
+  s.vertices = mesh.points().size();
+  mesh.for_each_triangle([&](Vec2 a, Vec2 b, Vec2 c) {
+    ++s.triangles;
+    constexpr double kRad2Deg = 180.0 / 3.14159265358979323846;
+    s.min_angle_deg = std::min(s.min_angle_deg, min_angle(a, b, c) * kRad2Deg);
+    s.max_angle_deg = std::max(s.max_angle_deg, max_angle(a, b, c) * kRad2Deg);
+    s.max_aspect_ratio = std::max(s.max_aspect_ratio, aspect_ratio(a, b, c));
+    s.total_area += signed_area(a, b, c);
+  });
+  return s;
+}
+
+}  // namespace aero

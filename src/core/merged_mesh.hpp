@@ -1,0 +1,129 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "delaunay/mesh.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Global mesh assembled from independently generated pieces (boundary-layer
+/// subdomain triangulations and inviscid subdomain refinements). Vertices
+/// are welded by exact coordinate identity -- the whole pipeline guarantees
+/// shared border points are bit-identical on both sides, which is what makes
+/// the distributed pieces conform without any stitching pass.
+class MergedMesh {
+ public:
+  /// Intern a point, returning its global index.
+  std::uint32_t add_point(Vec2 p);
+
+  /// Append one triangle by coordinates (CCW).
+  void add_triangle(Vec2 a, Vec2 b, Vec2 c);
+
+  /// Append every live inside triangle of a piece.
+  void append(const DelaunayMesh& mesh);
+
+  /// Remove the triangles enclosed by `barrier` edges around each `seed`
+  /// (flood fill from the seed's containing triangle, stopping at barrier
+  /// edges). Used to cut the airfoil interiors out of the boundary-layer
+  /// triangulation.
+  void carve(const std::vector<std::pair<Vec2, Vec2>>& barrier,
+             const std::vector<Vec2>& seeds);
+
+  /// Complement of carve: keep only the triangles reachable from the seeds
+  /// without crossing a barrier edge. Used to restrict the boundary-layer
+  /// triangulation to the ring between the surface and the outer border
+  /// (the junk triangles a Delaunay triangulation puts in coves, gaps, and
+  /// hole interiors are dropped; the inviscid near-body refinement meshes
+  /// those regions isotropically instead).
+  void keep_only(const std::vector<std::pair<Vec2, Vec2>>& barrier,
+                 const std::vector<Vec2>& seeds);
+
+  std::size_t triangle_count() const { return tris_.size() - dead_count_; }
+  const std::vector<Vec2>& points() const { return points_; }
+  /// All triangle records including carved ones; check alive().
+  const std::vector<std::array<std::uint32_t, 3>>& triangles() const {
+    return tris_;
+  }
+  bool alive(std::size_t t) const { return !dead_[t]; }
+  Vec2 point(std::uint32_t i) const { return points_[i]; }
+
+  /// Remove a single triangle by record index.
+  void kill(std::size_t t) {
+    if (!dead_[t]) {
+      dead_[t] = 1;
+      ++dead_count_;
+    }
+  }
+
+  /// Visit each live triangle's vertex coordinates.
+  template <typename Fn>
+  void for_each_triangle(Fn&& fn) const {
+    for (std::size_t t = 0; t < tris_.size(); ++t) {
+      if (dead_[t]) continue;
+      fn(points_[tris_[t][0]], points_[tris_[t][1]], points_[tris_[t][2]]);
+    }
+  }
+
+  /// Edges incident to exactly one live triangle, excluding any listed in
+  /// `exclude` (coordinate pairs, unordered). These are the mesh boundary
+  /// edges; after the ring restriction they are the exact interface the
+  /// near-body inviscid subdomain must conform to.
+  std::vector<std::pair<Vec2, Vec2>> boundary_edges(
+      const std::vector<std::pair<Vec2, Vec2>>& exclude) const;
+
+  /// Subset of `candidates` that are NOT edges of any live triangle (either
+  /// endpoint missing or edge count zero).
+  std::vector<std::pair<Vec2, Vec2>> missing_edges(
+      const std::vector<std::pair<Vec2, Vec2>>& candidates) const;
+
+  /// Conformity audit of the assembled mesh.
+  struct Conformity {
+    bool manifold = true;          ///< no edge with more than two triangles
+    std::size_t interior_edges = 0;
+    std::size_t boundary_edges = 0;
+    std::size_t nonmanifold_edges = 0;
+    bool orientation_ok = true;    ///< all triangles CCW with positive area
+  };
+  Conformity check_conformity() const;
+
+ private:
+  using EdgeKey = std::pair<std::uint32_t, std::uint32_t>;
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& e) const {
+      return (static_cast<std::size_t>(e.first) << 32) ^ e.second;
+    }
+  };
+  static EdgeKey edge_key(std::uint32_t a, std::uint32_t b) {
+    return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+  }
+
+  /// Flood fill from seed-containing triangles across non-barrier edges;
+  /// returns a reached flag per triangle record.
+  std::vector<std::uint8_t> flood_from(
+      const std::vector<std::pair<Vec2, Vec2>>& barrier,
+      const std::vector<Vec2>& seeds) const;
+
+  std::vector<Vec2> points_;
+  std::unordered_map<Vec2, std::uint32_t, Vec2Hash> point_index_;
+  std::vector<std::array<std::uint32_t, 3>> tris_;
+  std::vector<std::uint8_t> dead_;
+  std::size_t dead_count_ = 0;
+};
+
+/// Quality statistics of a merged mesh (same fields as delaunay/stats).
+struct MergedStats {
+  std::size_t triangles = 0;
+  std::size_t vertices = 0;
+  double min_angle_deg = 180.0;
+  double max_angle_deg = 0.0;
+  double max_aspect_ratio = 0.0;
+  double total_area = 0.0;
+};
+MergedStats compute_stats(const MergedMesh& mesh);
+
+}  // namespace aero

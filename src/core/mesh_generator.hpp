@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "airfoil/geometry.hpp"
+#include "blayer/boundary_layer.hpp"
+#include "core/merged_mesh.hpp"
+#include "hull/subdomain.hpp"
+#include "inviscid/decouple.hpp"
+#include "io/timer.hpp"
+
+namespace aero {
+
+/// Configuration of the push-button mesh generator: the user provides the
+/// geometry and boundary-layer parameters; everything else is derived.
+struct MeshGeneratorConfig {
+  AirfoilConfig airfoil;
+  BoundaryLayerOptions blayer;
+
+  /// Far-field half-extent in chord lengths (paper: 30-50).
+  double farfield_chords = 30.0;
+  /// Near-body box margin beyond the boundary-layer cloud, in chords. Keep
+  /// it tight: the near-body subdomain is never split (it owns the airfoil
+  /// holes), so everything inside it is one rank's work.
+  double nearbody_margin = 0.12;
+  /// Inviscid edge-length growth per unit distance from the near-body box.
+  double grade = 0.25;
+  /// Inviscid sizing at the near-body box, as a multiple of the mean
+  /// boundary-layer outer-border spacing (the isotropic transition size).
+  double surface_length_factor = 1.5;
+
+  /// Boundary-layer decomposition tolerances (coarse partitioner).
+  DecomposeOptions bl_decompose{.min_points = 2048, .max_level = 12};
+  /// Inviscid decoupling recursion target.
+  double inviscid_target_triangles = 40000.0;
+  int inviscid_max_level = 10;
+};
+
+/// Everything the pipeline produces, including the per-stage artifacts the
+/// benchmarks and figures are generated from.
+struct MeshGenerationResult {
+  MergedMesh mesh;
+  BoundaryLayer boundary_layer;
+  GradedSizing sizing;
+
+  std::size_t bl_subdomains = 0;
+  std::size_t inviscid_subdomains = 0;
+  std::size_t bl_triangles = 0;
+  std::size_t inviscid_triangles = 0;
+  PhaseTimings timings;
+
+  /// Per-subdomain meshing costs in seconds, in completion order; the
+  /// cluster performance model replays these through the work-stealing
+  /// scheduler to produce the strong-scaling curves.
+  std::vector<double> bl_task_seconds;
+  std::vector<double> inviscid_task_seconds;
+};
+
+/// The push-button sequential pipeline (the parallel driver in src/runtime
+/// runs exactly these stages with the subdomain work distributed).
+MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config);
+
+/// Stage: triangulate the boundary-layer cloud by projection-based
+/// decomposition, merge the owned triangles, and keep exactly the ring
+/// between the surfaces and the outer borders. Exposed for tests/benches.
+void triangulate_boundary_layer(const BoundaryLayer& bl,
+                                const DecomposeOptions& opts,
+                                MergedMesh& out, std::size_t* subdomains,
+                                std::vector<double>* task_seconds);
+
+/// Restrict an assembled boundary-layer triangulation to the ring between
+/// the surfaces and the outer borders (flood from the ring seeds bounded by
+/// the nominal barrier edges, then an exact purge of any triangle crossing
+/// or inside a body -- concave surface edges may legitimately be absent from
+/// the Delaunay triangulation, letting the flood leak). Shared by the
+/// sequential pipeline, the parallel driver, and the cluster-model builder.
+void restrict_to_ring(MergedMesh& mesh, const BoundaryLayer& bl);
+
+/// Stage: build the inviscid domain description around the assembled
+/// boundary-layer mesh (whose actual boundary becomes the near-body hole).
+InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
+                                    const MeshGeneratorConfig& config,
+                                    const MergedMesh& bl_mesh);
+
+}  // namespace aero

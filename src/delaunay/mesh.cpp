@@ -1,0 +1,833 @@
+#include "delaunay/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstdio>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "geom/predicates.hpp"
+
+namespace aero {
+
+namespace {
+
+// Small deterministic PRNG for the stochastic walk (avoids pathological
+// cycles in point location without the cost of <random>).
+inline std::uint32_t next_rand() {
+  thread_local std::uint32_t state = 0x9d2c5680u;
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return state;
+}
+
+}  // namespace
+
+std::size_t DelaunayMesh::inside_triangle_count() const {
+  std::size_t n = 0;
+  for (const MeshTri& t : tris_) {
+    if (!t.dead && !t.is_ghost() && t.inside) ++n;
+  }
+  return n;
+}
+
+TriIndex DelaunayMesh::new_tri() {
+  tris_.emplace_back();
+  return static_cast<TriIndex>(tris_.size() - 1);
+}
+
+void DelaunayMesh::kill_tri(TriIndex t) {
+  MeshTri& mt = tris_[static_cast<size_t>(t)];
+  assert(!mt.dead);
+  if (!mt.is_ghost()) --live_finite_;
+  mt.dead = true;
+}
+
+void DelaunayMesh::link(TriIndex t, int edge, TriIndex u, int uedge) {
+  tris_[static_cast<size_t>(t)].n[edge] = u;
+  tris_[static_cast<size_t>(u)].n[uedge] = t;
+}
+
+void DelaunayMesh::set_vert_tri(TriIndex t) {
+  const MeshTri& mt = tris_[static_cast<size_t>(t)];
+  for (const VertIndex v : mt.v) {
+    if (v != kGhost) vert_tri_[static_cast<size_t>(v)] = t;
+  }
+}
+
+bool DelaunayMesh::in_cavity(TriIndex t, Vec2 p) const {
+  const MeshTri& mt = tris_[static_cast<size_t>(t)];
+  if (!mt.is_ghost()) {
+    return incircle(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]), p) > 0.0;
+  }
+  // Ghost (w, u, kGhost) for finite hull edge (u, w): its "circumdisk" is
+  // the open half-plane strictly beyond the hull edge, plus the open edge
+  // itself (a point landing exactly on the hull edge splits it, so the ghost
+  // must dissolve). A point collinear with the edge but beyond its endpoints
+  // leaves this hull edge intact and must NOT claim the ghost, or the star
+  // retriangulation would emit a degenerate collinear triangle.
+  const Vec2 w = point(mt.v[0]);
+  const Vec2 u = point(mt.v[1]);
+  const double o = orient2d(w, u, p);
+  if (o > 0.0) return true;
+  if (o < 0.0) return false;
+  return (p - u).dot(w - u) > 0.0 && (p - w).dot(u - w) > 0.0;
+}
+
+bool DelaunayMesh::triangulate(const std::vector<Vec2>& pts,
+                               std::vector<VertIndex>* ids) {
+  points_.clear();
+  tris_.clear();
+  vert_tri_.clear();
+  live_finite_ = 0;
+  last_tri_ = kNoTri;
+
+  if (pts.size() < 3) return false;
+
+  // Find an initial non-collinear triple (i, j, k) with i=0, j = first point
+  // distinct from p0, and k the first point not collinear with them.
+  const Vec2 p0 = pts[0];
+  std::size_t j = 1;
+  while (j < pts.size() && pts[j] == p0) ++j;
+  if (j == pts.size()) return false;
+  const Vec2 p1 = pts[j];
+  std::size_t k = j + 1;
+  double orient = 0.0;
+  while (k < pts.size()) {
+    orient = orient2d(p0, p1, pts[k]);
+    if (orient != 0.0) break;
+    ++k;
+  }
+  if (k == pts.size()) return false;  // all collinear
+
+  // Seed triangle (CCW) plus three ghosts closing the sphere.
+  points_ = {p0, p1, pts[k]};
+  if (orient < 0.0) std::swap(points_[1], points_[2]);
+  vert_tri_.assign(3, kNoTri);
+
+  const TriIndex f = new_tri();
+  tris_[static_cast<size_t>(f)].v = {0, 1, 2};
+  live_finite_ = 1;
+  // Ghost for hull edge (a, b) is stored (b, a, kGhost); finite edge slots:
+  // edge 0 = (1,2), edge 1 = (2,0), edge 2 = (0,1).
+  const TriIndex g01 = new_tri();
+  const TriIndex g12 = new_tri();
+  const TriIndex g20 = new_tri();
+  tris_[static_cast<size_t>(g01)].v = {1, 0, kGhost};
+  tris_[static_cast<size_t>(g12)].v = {2, 1, kGhost};
+  tris_[static_cast<size_t>(g20)].v = {0, 2, kGhost};
+  tris_[static_cast<size_t>(g01)].inside = false;
+  tris_[static_cast<size_t>(g12)].inside = false;
+  tris_[static_cast<size_t>(g20)].inside = false;
+  link(f, 2, g01, 2);  // finite edge (0,1) <-> ghost edge (1,0)
+  link(f, 0, g12, 2);
+  link(f, 1, g20, 2);
+  // Ghost ring: ghost (b, a, G) has edge 0 = (a, G) and edge 1 = (G, b).
+  // g01 = (1,0,G): edge0=(0,G), edge1=(G,1); g20 = (0,2,G): edge1=(G,0).
+  link(g01, 0, g20, 1);  // shared vertex 0
+  link(g12, 0, g01, 1);  // shared vertex 1
+  link(g20, 0, g12, 1);  // shared vertex 2
+  set_vert_tri(f);
+  last_tri_ = f;
+
+  if (ids) {
+    ids->assign(pts.size(), kGhost);
+    (*ids)[0] = 0;
+    (*ids)[j] = orient < 0.0 ? 2 : 1;
+    (*ids)[k] = orient < 0.0 ? 1 : 2;
+  }
+
+  // Insert the remaining points in input order (duplicates merge).
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (i == j || i == k) continue;
+    const VertIndex vi = insert_point(pts[i], /*respect_constraints=*/false);
+    if (ids) (*ids)[i] = vi;
+  }
+  if (ids) {
+    // Duplicates of the seed points that preceded them positionally.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if ((*ids)[i] == kGhost) {
+        // pts[i] equals one of the seed coordinates.
+        for (VertIndex s = 0; s < 3; ++s) {
+          if (points_[static_cast<size_t>(s)] == pts[i]) (*ids)[i] = s;
+        }
+      }
+    }
+  }
+  input_point_count_ = points_.size();
+  return true;
+}
+
+LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
+  LocateResult res;
+  TriIndex t = hint != kNoTri ? hint : last_tri_;
+  if (t == kNoTri || tris_[static_cast<size_t>(t)].dead) {
+    // Fallback: any live finite triangle.
+    t = kNoTri;
+    for (TriIndex i = 0; i < static_cast<TriIndex>(tris_.size()); ++i) {
+      if (is_live_finite(i)) {
+        t = i;
+        break;
+      }
+    }
+    if (t == kNoTri) throw std::logic_error("locate on empty triangulation");
+  }
+  if (tris_[static_cast<size_t>(t)].is_ghost()) {
+    t = tris_[static_cast<size_t>(t)].n[2];  // its finite partner
+  }
+
+  int came_from = -1;  // edge slot we entered through, in current triangle
+  for (std::size_t guard = 0; guard <= 4 * tris_.size() + 16; ++guard) {
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    double o[3];
+    int neg[3];
+    int nneg = 0;
+    int zero_mask = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (i == came_from) {
+        o[i] = 1.0;  // we came from there; p is on this side by construction
+        continue;
+      }
+      o[i] = orient2d(point(mt.v[(i + 1) % 3]), point(mt.v[(i + 2) % 3]), p);
+      if (o[i] < 0.0) neg[nneg++] = i;
+      if (o[i] == 0.0) zero_mask |= 1 << i;
+    }
+    if (nneg == 0) {
+      // Inside or on boundary of this triangle.
+      const int nzero = (zero_mask & 1) + ((zero_mask >> 1) & 1) +
+                        ((zero_mask >> 2) & 1);
+      last_tri_ = t;
+      res.tri = t;
+      if (nzero == 0) {
+        res.kind = LocateResult::Kind::kInside;
+      } else if (nzero == 1) {
+        res.kind = LocateResult::Kind::kOnEdge;
+        res.edge = zero_mask == 1 ? 0 : (zero_mask == 2 ? 1 : 2);
+      } else {
+        // On the vertex shared by the two zero edges.
+        int e0 = -1, e1 = -1;
+        for (int i = 0; i < 3; ++i) {
+          if (zero_mask & (1 << i)) (e0 < 0 ? e0 : e1) = i;
+        }
+        res.kind = LocateResult::Kind::kOnVertex;
+        res.edge = 3 - e0 - e1;
+      }
+      return res;
+    }
+    // Cross a random violated edge (stochastic walk: terminates with exact
+    // predicates).
+    const int cross = neg[nneg == 1 ? 0 : static_cast<int>(next_rand() % static_cast<unsigned>(nneg))];
+    const TriIndex nb = mt.n[cross];
+    const MeshTri& nbt = tris_[static_cast<size_t>(nb)];
+    if (nbt.is_ghost()) {
+      last_tri_ = t;
+      res.kind = LocateResult::Kind::kOutside;
+      res.tri = nb;
+      return res;
+    }
+    // Entering nb across the shared edge; find its slot in nb.
+    came_from = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (nbt.n[i] == t) {
+        came_from = i;
+        break;
+      }
+    }
+    t = nb;
+  }
+  throw std::logic_error("locate: walk failed to terminate");
+}
+
+VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
+                                           const std::vector<TriIndex>& seeds,
+                                           bool respect_constraints) {
+  const auto vi = static_cast<VertIndex>(points_.size());
+  points_.push_back(p);
+  vert_tri_.push_back(kNoTri);
+
+  in_cavity_mark_.resize(tris_.size() + 8 + 4 * seeds.size(), 0);
+  cavity_.clear();
+  std::vector<TriIndex> stack(seeds.begin(), seeds.end());
+  for (const TriIndex s : stack) in_cavity_mark_[static_cast<size_t>(s)] = 1;
+
+  while (!stack.empty()) {
+    const TriIndex t = stack.back();
+    stack.pop_back();
+    cavity_.push_back(t);
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const TriIndex nb = mt.n[i];
+      if (nb == kNoTri || in_cavity_mark_[static_cast<size_t>(nb)]) continue;
+      if (respect_constraints && mt.constrained[i]) continue;
+      if (in_cavity(nb, p)) {
+        in_cavity_mark_[static_cast<size_t>(nb)] = 1;
+        stack.push_back(nb);
+      }
+    }
+  }
+
+  // Collect the directed boundary cycle of the cavity. Edge i of cavity
+  // triangle t runs (v[i+1], v[i+2]) with the cavity on its left.
+  struct BoundaryEdge {
+    VertIndex a, b;
+    TriIndex outside;
+    int outside_edge;
+    bool constrained;
+    bool inside_region;
+  };
+  std::vector<BoundaryEdge> boundary;
+  boundary.reserve(cavity_.size() + 2);
+  for (const TriIndex t : cavity_) {
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const TriIndex nb = mt.n[i];
+      if (nb != kNoTri && in_cavity_mark_[static_cast<size_t>(nb)]) continue;
+      int nb_edge = -1;
+      const MeshTri& nbt = tris_[static_cast<size_t>(nb)];
+      for (int j = 0; j < 3; ++j) {
+        if (nbt.n[j] == t) {
+          nb_edge = j;
+          break;
+        }
+      }
+      // Region inheritance: a new triangle occupies the region of the
+      // cavity triangle that owned its boundary edge. Ghost owners mean the
+      // hull is being extended, which only happens during construction
+      // (pre-carve), where everything is inside.
+      boundary.push_back({mt.v[(i + 1) % 3], mt.v[(i + 2) % 3], nb, nb_edge,
+                          mt.constrained[i],
+                          mt.is_ghost() ? true : mt.inside});
+    }
+  }
+
+  // Star retriangulation: one new triangle (vi, a, b) per boundary edge.
+  // Rotate storage so a ghost vertex always lands in slot 2.
+  std::unordered_map<VertIndex, TriIndex> tri_starting_at;
+  tri_starting_at.reserve(boundary.size() * 2);
+  std::vector<TriIndex> fresh;
+  fresh.reserve(boundary.size());
+  for (const BoundaryEdge& be : boundary) {
+    const TriIndex nt = new_tri();
+    MeshTri& m = tris_[static_cast<size_t>(nt)];
+    if (be.a == kGhost) {
+      m.v = {be.b, vi, kGhost};
+      m.inside = false;
+    } else if (be.b == kGhost) {
+      m.v = {vi, be.a, kGhost};
+      m.inside = false;
+    } else {
+      m.v = {vi, be.a, be.b};
+      m.inside = be.inside_region;
+      ++live_finite_;
+    }
+    // Wire across the boundary edge (the slot opposite vi).
+    const int s_ab = m.index_of(vi);
+    link(nt, s_ab, be.outside, be.outside_edge);
+    m.constrained[s_ab] = be.constrained;
+    tris_[static_cast<size_t>(be.outside)].constrained[be.outside_edge] =
+        be.constrained;
+    tri_starting_at.emplace(be.a, nt);
+    fresh.push_back(nt);
+  }
+
+  // Wire the fan: triangle for boundary edge (a, b) shares edge {vi, b} with
+  // the triangle for the boundary edge starting at b.
+  for (std::size_t idx = 0; idx < boundary.size(); ++idx) {
+    const BoundaryEdge& be = boundary[idx];
+    const TriIndex nt = fresh[idx];
+    const auto it = tri_starting_at.find(be.b);
+    assert(it != tri_starting_at.end());
+    const TriIndex mt2 = it->second;
+    // In nt, the edge {vi, b} is the one excluding a.
+    const int slot_nt = tris_[static_cast<size_t>(nt)].index_of(be.a);
+    // In mt2 (edge (b, c)), the edge {vi, b} is the one excluding c, i.e.
+    // excluding the vertex that is neither vi nor b.
+    const MeshTri& m2 = tris_[static_cast<size_t>(mt2)];
+    int slot_m2 = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (m2.v[i] != vi && m2.v[i] != be.b) {
+        slot_m2 = i;
+        break;
+      }
+    }
+    link(nt, slot_nt, mt2, slot_m2);
+  }
+
+  for (const TriIndex t : cavity_) {
+    in_cavity_mark_[static_cast<size_t>(t)] = 0;
+    kill_tri(t);
+  }
+  for (const TriIndex t : fresh) set_vert_tri(t);
+  if (!fresh.empty()) {
+    // Prefer a finite triangle as the next walk hint.
+    last_tri_ = fresh[0];
+    for (const TriIndex t : fresh) {
+      if (!tris_[static_cast<size_t>(t)].is_ghost()) {
+        last_tri_ = t;
+        break;
+      }
+    }
+  }
+  return vi;
+}
+
+VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints) {
+  const LocateResult loc = locate(p);
+  switch (loc.kind) {
+    case LocateResult::Kind::kOnVertex:
+      return tris_[static_cast<size_t>(loc.tri)].v[loc.edge];
+    case LocateResult::Kind::kOnEdge: {
+      const MeshTri& mt = tris_[static_cast<size_t>(loc.tri)];
+      if (mt.constrained[loc.edge]) {
+        return insert_point_on_edge(p, loc.tri, loc.edge);
+      }
+      return insert_into_cavity(p, {loc.tri, mt.n[loc.edge]},
+                                respect_constraints);
+    }
+    case LocateResult::Kind::kInside:
+      return insert_into_cavity(p, {loc.tri}, respect_constraints);
+    case LocateResult::Kind::kOutside:
+      return insert_into_cavity(p, {loc.tri}, respect_constraints);
+  }
+  return -1;  // unreachable
+}
+
+VertIndex DelaunayMesh::insert_point_on_edge(Vec2 p, TriIndex t, int edge) {
+  MeshTri& mt = tris_[static_cast<size_t>(t)];
+  const VertIndex u = mt.v[(edge + 1) % 3];
+  const VertIndex w = mt.v[(edge + 2) % 3];
+  const TriIndex s = mt.n[edge];
+  assert(s != kNoTri);
+  MeshTri& ms = tris_[static_cast<size_t>(s)];
+  int sedge = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (ms.n[i] == t) {
+      sedge = i;
+      break;
+    }
+  }
+  const bool was_constrained = mt.constrained[edge];
+  // Temporarily unmark so the cavity can span both sides of the split edge.
+  mt.constrained[edge] = false;
+  ms.constrained[sedge] = false;
+
+  const VertIndex vi = insert_into_cavity(p, {t, s},
+                                          /*respect_constraints=*/true);
+  if (was_constrained) {
+    for (const VertIndex end : {u, w}) {
+      const auto [et, eslot] = find_edge(vi, end);
+      assert(et != kNoTri);
+      MeshTri& m = tris_[static_cast<size_t>(et)];
+      m.constrained[eslot] = true;
+      const TriIndex other = m.n[eslot];
+      MeshTri& mo = tris_[static_cast<size_t>(other)];
+      for (int i = 0; i < 3; ++i) {
+        if (mo.n[i] == et) mo.constrained[i] = true;
+      }
+    }
+  }
+  return vi;
+}
+
+std::pair<TriIndex, int> DelaunayMesh::find_edge(VertIndex u,
+                                                 VertIndex w) const {
+  const TriIndex start = vert_tri_[static_cast<size_t>(u)];
+  if (start == kNoTri) return {kNoTri, -1};
+  TriIndex t = start;
+  // Rotate around u; the sphere topology guarantees the orbit closes.
+  do {
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    const int k = mt.index_of(u);
+    assert(k >= 0);
+    if (mt.v[(k + 1) % 3] == w) {
+      // Directed edge (u, w) is edge (k+... ) — edge containing (u, w) is the
+      // one excluding the third vertex, slot (k + 2) % 3.
+      return {t, (k + 2) % 3};
+    }
+    // Advance: cross the edge (v[k+2], v[k]) to rotate around u.
+    t = mt.n[(k + 1) % 3];
+  } while (t != start && t != kNoTri);
+  return {kNoTri, -1};
+}
+
+void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
+  if (u == w) return;
+  const auto mark_constrained = [this](TriIndex t, int slot) {
+    MeshTri& mt = tris_[static_cast<size_t>(t)];
+    mt.constrained[slot] = true;
+    const TriIndex o = mt.n[slot];
+    MeshTri& mo = tris_[static_cast<size_t>(o)];
+    for (int i = 0; i < 3; ++i) {
+      if (mo.n[i] == t) mo.constrained[i] = true;
+    }
+  };
+  {
+    const auto [t, slot] = find_edge(u, w);
+    if (t != kNoTri) {
+      mark_constrained(t, slot);
+      return;
+    }
+  }
+
+  const Vec2 pu = point(u);
+  const Vec2 pw = point(w);
+
+  // Scan the wedge fan around u: either a vertex lies exactly on the open
+  // segment (split and recurse), or we find the triangle whose far edge the
+  // segment exits through. For the CCW triangle (u, a, b) whose wedge
+  // contains the direction u->w, a lies right of the line and b lies left.
+  const TriIndex start = vert_tri_[static_cast<size_t>(u)];
+  TriIndex entry = kNoTri;
+  VertIndex split_vertex = kGhost;
+  {
+    TriIndex t = start;
+    do {
+      const MeshTri& mt = tris_[static_cast<size_t>(t)];
+      const int k = mt.index_of(u);
+      const VertIndex a = mt.v[(k + 1) % 3];
+      const VertIndex b = mt.v[(k + 2) % 3];
+      if (!mt.is_ghost() && a != kGhost && b != kGhost) {
+        const double oa = orient2d(pu, pw, point(a));
+        const double ob = orient2d(pu, pw, point(b));
+        if (oa == 0.0 && (point(a) - pu).dot(pw - pu) > 0.0 &&
+            distance2(point(a), pu) < distance2(pw, pu)) {
+          split_vertex = a;
+          break;
+        }
+        if (ob == 0.0 && (point(b) - pu).dot(pw - pu) > 0.0 &&
+            distance2(point(b), pu) < distance2(pw, pu)) {
+          split_vertex = b;
+          break;
+        }
+        if (oa < 0.0 && ob > 0.0) {
+          entry = t;
+          break;
+        }
+      }
+      t = mt.n[(k + 1) % 3];
+    } while (t != start);
+  }
+  if (split_vertex != kGhost) {
+    insert_segment(u, split_vertex);
+    insert_segment(split_vertex, w);
+    return;
+  }
+  if (entry == kNoTri) {
+    throw std::logic_error("insert_segment: no crossing wedge found");
+  }
+
+  // Walk the channel from u to w once, collecting every crossing edge as a
+  // vertex pair (stable across flips). A vertex exactly on the open segment
+  // splits the insertion.
+  std::deque<std::pair<VertIndex, VertIndex>> queue;
+  {
+    TriIndex cur = entry;
+    int cure = tris_[static_cast<size_t>(entry)].index_of(u);
+    while (true) {
+      const MeshTri& mc = tris_[static_cast<size_t>(cur)];
+      const VertIndex a = mc.v[(cure + 1) % 3];
+      const VertIndex b = mc.v[(cure + 2) % 3];
+      if (mc.constrained[cure]) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "insert_segment: segment (%.17g,%.17g)-(%.17g,%.17g) "
+                      "crosses constrained edge (%.17g,%.17g)-(%.17g,%.17g)",
+                      pu.x, pu.y, pw.x, pw.y, point(a).x, point(a).y,
+                      point(b).x, point(b).y);
+        throw std::logic_error(buf);
+      }
+      queue.emplace_back(a, b);
+
+      const TriIndex nb = mc.n[cure];
+      const MeshTri& mn = tris_[static_cast<size_t>(nb)];
+      int nbslot = -1;
+      for (int i = 0; i < 3; ++i) {
+        if (mn.n[i] == cur) nbslot = i;
+      }
+      const VertIndex q = mn.v[nbslot];
+      if (q == w) break;  // reached the far endpoint
+      if (q == kGhost) {
+        throw std::logic_error("insert_segment: channel left the hull");
+      }
+      const double oq = orient2d(pu, pw, point(q));
+      if (oq == 0.0) {
+        insert_segment(u, q);
+        insert_segment(q, w);
+        return;
+      }
+      // The segment continues through (q, a) or (q, b), whichever straddles.
+      const int qslot = nbslot;
+      // In mn, q is at qslot; edges (q, a) and (q, b) are the two slots
+      // other than qslot; pick by which far vertex lies across the line.
+      cure = oq > 0.0 ? (qslot + 2) % 3   // continue through edge (b, q)?
+                      : (qslot + 1) % 3;
+      // Edge (cure) of mn excludes mn.v[cure]; verify it straddles: its
+      // endpoints are q and one of a/b with opposite orientation signs.
+      {
+        const VertIndex e1 = mn.v[(cure + 1) % 3];
+        const VertIndex e2 = mn.v[(cure + 2) % 3];
+        const double o1 = orient2d(pu, pw, point(e1));
+        const double o2 = orient2d(pu, pw, point(e2));
+        if (!((o1 > 0.0 && o2 < 0.0) || (o1 < 0.0 && o2 > 0.0))) {
+          // Picked the wrong side; take the other non-shared edge.
+          cure = oq > 0.0 ? (qslot + 1) % 3 : (qslot + 2) % 3;
+        }
+      }
+      cur = nb;
+    }
+  }
+
+  // Sloan's forcing loop: pop a crossing edge; if its quad is strictly
+  // convex, flip it (the new diagonal is re-queued if it still crosses);
+  // otherwise re-queue it and let its neighbors be processed first.
+  std::vector<std::pair<VertIndex, VertIndex>> new_edges;
+  std::size_t stall = 0;
+  const std::size_t stall_limit = 64 + 8 * queue.size() * queue.size();
+  while (!queue.empty()) {
+    const auto [a, b] = queue.front();
+    queue.pop_front();
+    const auto [t, slot] = find_edge(a, b);
+    if (t == kNoTri) continue;  // removed by an earlier flip
+    {
+      // Still crossing (u, w)?
+      const double oa = orient2d(pu, pw, point(a));
+      const double ob = orient2d(pu, pw, point(b));
+      if (!((oa > 0.0 && ob < 0.0) || (oa < 0.0 && ob > 0.0))) continue;
+    }
+    MeshTri& mt = tris_[static_cast<size_t>(t)];
+    const int e = (slot + 0) % 3;  // edge slot containing (a, b) is `slot`
+    const VertIndex p = mt.v[e];
+    const TriIndex s = mt.n[e];
+    const MeshTri& ms = tris_[static_cast<size_t>(s)];
+    int sedge = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (ms.n[i] == t) sedge = i;
+    }
+    const VertIndex q = ms.v[sedge];
+    bool convex = false;
+    if (q != kGhost && p != kGhost) {
+      const double op1 = orient2d(point(p), point(q), point(a));
+      const double op2 = orient2d(point(p), point(q), point(b));
+      convex = (op1 > 0.0 && op2 < 0.0) || (op1 < 0.0 && op2 > 0.0);
+    }
+    if (!convex) {
+      queue.emplace_back(a, b);
+      if (++stall > stall_limit) {
+        throw std::logic_error("insert_segment: flip forcing stalled");
+      }
+      continue;
+    }
+    stall = 0;
+    flip_edge(t, e);
+    new_edges.emplace_back(p, q);
+    // Re-queue the new diagonal if it still crosses the segment.
+    const double op = orient2d(pu, pw, point(p));
+    const double oq = orient2d(pu, pw, point(q));
+    if ((op > 0.0 && oq < 0.0) || (op < 0.0 && oq > 0.0)) {
+      queue.emplace_back(p, q);
+    }
+  }
+
+  {
+    const auto [et, eslot] = find_edge(u, w);
+    if (et == kNoTri) {
+      throw std::logic_error("insert_segment: edge missing after forcing");
+    }
+    mark_constrained(et, eslot);
+  }
+
+  // Restore the constrained-Delaunay property around the edges the forcing
+  // pass created.
+  for (const auto& [a, b] : new_edges) {
+    const auto [et, eslot] = find_edge(a, b);
+    if (et != kNoTri) legalize_edge(et, eslot);
+  }
+}
+
+void DelaunayMesh::carve(const std::vector<Vec2>& hole_seeds) {
+  std::vector<TriIndex> stack;
+  // Phase 1: everything reachable from the outer face without crossing a
+  // constrained edge is outside.
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
+    MeshTri& mt = tris_[static_cast<size_t>(t)];
+    if (mt.dead) continue;
+    if (mt.is_ghost()) {
+      mt.inside = false;
+      stack.push_back(t);
+    } else {
+      mt.inside = true;
+    }
+  }
+  auto flood = [this, &stack]() {
+    while (!stack.empty()) {
+      const TriIndex t = stack.back();
+      stack.pop_back();
+      const MeshTri& mt = tris_[static_cast<size_t>(t)];
+      for (int i = 0; i < 3; ++i) {
+        if (mt.constrained[i]) continue;
+        const TriIndex nb = mt.n[i];
+        if (nb == kNoTri) continue;
+        MeshTri& mn = tris_[static_cast<size_t>(nb)];
+        if (mn.dead || !mn.inside) continue;
+        mn.inside = false;
+        stack.push_back(nb);
+      }
+    }
+  };
+  flood();
+
+  // Phase 2: hole seeds.
+  for (const Vec2 h : hole_seeds) {
+    const LocateResult loc = locate(h);
+    if (loc.kind == LocateResult::Kind::kOutside) continue;
+    MeshTri& mt = tris_[static_cast<size_t>(loc.tri)];
+    if (!mt.inside) continue;
+    mt.inside = false;
+    stack.push_back(loc.tri);
+    flood();
+  }
+}
+
+void DelaunayMesh::flip_edge(TriIndex t, int edge) {
+  MeshTri& mt = tris_[static_cast<size_t>(t)];
+  const TriIndex s = mt.n[edge];
+  MeshTri& ms = tris_[static_cast<size_t>(s)];
+  assert(!mt.is_ghost() && !ms.is_ghost());
+  int sedge = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (ms.n[i] == t) sedge = i;
+  }
+  assert(sedge >= 0);
+
+  const VertIndex p = mt.v[edge];
+  const VertIndex a = mt.v[(edge + 1) % 3];
+  const VertIndex b = mt.v[(edge + 2) % 3];
+  const VertIndex q = ms.v[sedge];
+  assert(ms.v[(sedge + 1) % 3] == b && ms.v[(sedge + 2) % 3] == a);
+
+  const TriIndex t_bp = mt.n[(edge + 1) % 3];
+  const TriIndex t_pa = mt.n[(edge + 2) % 3];
+  const bool c_bp = mt.constrained[(edge + 1) % 3];
+  const bool c_pa = mt.constrained[(edge + 2) % 3];
+  const TriIndex s_aq = ms.n[(sedge + 1) % 3];
+  const TriIndex s_qb = ms.n[(sedge + 2) % 3];
+  const bool c_aq = ms.constrained[(sedge + 1) % 3];
+  const bool c_qb = ms.constrained[(sedge + 2) % 3];
+
+  // Reuse storage: t becomes (p, a, q), s becomes (q, b, p).
+  mt.v = {p, a, q};
+  mt.constrained = {c_aq, false, c_pa};
+  ms.v = {q, b, p};
+  ms.constrained = {c_bp, false, c_qb};
+  mt.n = {s_aq, s, t_pa};
+  ms.n = {t_bp, t, s_qb};
+
+  // Fix the two backlinks that changed owners.
+  MeshTri& maq = tris_[static_cast<size_t>(s_aq)];
+  for (int i = 0; i < 3; ++i) {
+    if (maq.n[i] == s && maq.v[(i + 1) % 3] == q && maq.v[(i + 2) % 3] == a) {
+      maq.n[i] = t;
+    }
+  }
+  MeshTri& mbp = tris_[static_cast<size_t>(t_bp)];
+  for (int i = 0; i < 3; ++i) {
+    if (mbp.n[i] == t && mbp.v[(i + 1) % 3] == p && mbp.v[(i + 2) % 3] == b) {
+      mbp.n[i] = s;
+    }
+  }
+
+  vert_tri_[static_cast<size_t>(p)] = t;
+  vert_tri_[static_cast<size_t>(a)] = t;
+  vert_tri_[static_cast<size_t>(q)] = s;
+  vert_tri_[static_cast<size_t>(b)] = s;
+  last_tri_ = t;
+}
+
+void DelaunayMesh::legalize_edge(TriIndex t0, int e0) {
+  std::vector<std::pair<TriIndex, int>> stack{{t0, e0}};
+  while (!stack.empty()) {
+    const auto [t, e] = stack.back();
+    stack.pop_back();
+    MeshTri& mt = tris_[static_cast<size_t>(t)];
+    if (mt.dead || mt.is_ghost() || mt.constrained[e]) continue;
+    const TriIndex s = mt.n[e];
+    const MeshTri& ms = tris_[static_cast<size_t>(s)];
+    if (ms.is_ghost()) continue;
+    int sedge = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (ms.n[i] == t) sedge = i;
+    }
+    const VertIndex q = ms.v[sedge];
+    if (incircle(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]), point(q)) >
+        0.0) {
+      flip_edge(t, e);
+      // After the flip t = (p, a, q) and s = (q, b, p); re-examine the four
+      // outer edges (the re-check before each flip keeps this safe even if a
+      // queued (tri, slot) pair has been reused by a later flip).
+      stack.push_back({t, 0});
+      stack.push_back({t, 2});
+      stack.push_back({s, 0});
+      stack.push_back({s, 2});
+    }
+  }
+}
+
+bool DelaunayMesh::check_topology() const {
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    if (mt.dead) continue;
+    if (!mt.is_ghost()) {
+      if (orient2d(point(mt.v[0]), point(mt.v[1]), point(mt.v[2])) <= 0.0) {
+        return false;  // not CCW / degenerate
+      }
+    } else if (mt.v[0] == kGhost || mt.v[1] == kGhost) {
+      return false;  // ghost vertex must be in slot 2
+    }
+    for (int i = 0; i < 3; ++i) {
+      const TriIndex nb = mt.n[i];
+      if (nb == kNoTri) return false;  // sphere: every edge has two sides
+      const MeshTri& mn = tris_[static_cast<size_t>(nb)];
+      if (mn.dead) return false;
+      int back = -1;
+      for (int j = 0; j < 3; ++j) {
+        if (mn.n[j] == t) back = j;
+      }
+      if (back < 0) return false;  // adjacency not mutual
+      // Shared edge must have the same vertex set, opposite direction.
+      const VertIndex a = mt.v[(i + 1) % 3];
+      const VertIndex b = mt.v[(i + 2) % 3];
+      const VertIndex c = mn.v[(back + 1) % 3];
+      const VertIndex d = mn.v[(back + 2) % 3];
+      if (!(a == d && b == c)) return false;
+      if (mt.constrained[i] != mn.constrained[back]) return false;
+    }
+  }
+  return true;
+}
+
+bool DelaunayMesh::check_delaunay() const {
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
+    if (!is_live_finite(t)) continue;
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      if (mt.constrained[i]) continue;
+      const MeshTri& mn = tris_[static_cast<size_t>(mt.n[i])];
+      if (mn.is_ghost()) continue;
+      int back = -1;
+      for (int j = 0; j < 3; ++j) {
+        if (mn.n[j] == t) back = j;
+      }
+      const VertIndex apex = mn.v[back];
+      if (incircle(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]),
+                   point(apex)) > 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace aero

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Vertex index. kGhost denotes the single topological vertex "at infinity"
+/// that closes the triangulation into a sphere; every convex-hull edge is
+/// shared between a finite triangle and a ghost triangle incident to kGhost.
+using VertIndex = std::int32_t;
+using TriIndex = std::int32_t;
+inline constexpr VertIndex kGhost = -1;
+inline constexpr TriIndex kNoTri = -1;
+
+/// A triangle of the mesh. Finite triangles store their vertices in
+/// counter-clockwise order. Ghost triangles have v[2] == kGhost and
+/// (v[0], v[1]) traversing the convex hull so that the finite interior is on
+/// the right of v[0]->v[1] (i.e. the matching finite triangle owns the
+/// directed hull edge (v[1], v[0])).
+struct MeshTri {
+  std::array<VertIndex, 3> v{kGhost, kGhost, kGhost};
+  /// Neighbor across the edge opposite v[i]; edge i is (v[i+1], v[i+2]).
+  std::array<TriIndex, 3> n{kNoTri, kNoTri, kNoTri};
+  /// Per-edge constraint marks, aligned with `n`.
+  std::array<bool, 3> constrained{false, false, false};
+  /// Region flag maintained by carving: true while the triangle belongs to
+  /// the meshed domain. Ghost triangles are never inside.
+  bool inside = true;
+  bool dead = false;
+
+  bool is_ghost() const { return v[2] == kGhost; }
+  /// Local index (0..2) of vertex `u`, or -1.
+  int index_of(VertIndex u) const {
+    for (int i = 0; i < 3; ++i) {
+      if (v[i] == u) return i;
+    }
+    return -1;
+  }
+};
+
+/// Result of point location.
+struct LocateResult {
+  enum class Kind {
+    kInside,      ///< strictly inside a finite triangle
+    kOnEdge,      ///< on the interior of edge `edge` of triangle `tri`
+    kOnVertex,    ///< coincides with vertex v[edge] of triangle `tri`
+    kOutside,     ///< outside the convex hull; `tri` is a ghost triangle
+  };
+  Kind kind = Kind::kInside;
+  TriIndex tri = kNoTri;
+  int edge = 0;  ///< meaning depends on kind (edge index or vertex slot)
+};
+
+/// Delaunay triangulation with incremental Bowyer-Watson insertion,
+/// constrained edges, and region carving.
+///
+/// The structure is a topological sphere: in addition to the finite
+/// triangles, a ring of ghost triangles (incident to the virtual vertex
+/// kGhost) covers the outer face. This removes every hull special case from
+/// insertion: a point outside the current hull simply has ghost triangles in
+/// its cavity.
+class DelaunayMesh {
+ public:
+  DelaunayMesh() = default;
+
+  /// Number of live finite triangles.
+  std::size_t triangle_count() const { return live_finite_; }
+  /// Number of live finite triangles marked inside the domain.
+  std::size_t inside_triangle_count() const;
+  std::size_t point_count() const { return points_.size(); }
+
+  const std::vector<Vec2>& points() const { return points_; }
+  Vec2 point(VertIndex v) const { return points_[static_cast<size_t>(v)]; }
+
+  /// All triangle storage including dead and ghost entries; callers filter
+  /// with is_live_finite(). Index stability: triangle ids are never reused
+  /// within one triangulation run.
+  const std::vector<MeshTri>& triangles() const { return tris_; }
+  const MeshTri& tri(TriIndex t) const { return tris_[static_cast<size_t>(t)]; }
+
+  /// Override the region flag of a triangle (used by the decomposition's
+  /// circumcenter ownership rule and by global carving).
+  void set_inside(TriIndex t, bool inside) {
+    tris_[static_cast<size_t>(t)].inside = inside;
+  }
+
+  bool is_live_finite(TriIndex t) const {
+    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    return !mt.dead && !mt.is_ghost();
+  }
+
+  /// Initialize from at least two distinct points; returns false if all
+  /// input points are collinear (no 2D triangulation exists).
+  /// Points are inserted in the given order — pre-sorting them (x-sorted, as
+  /// the paper maintains through every decomposition step) makes the
+  /// walk-from-previous point location near O(1) per insertion.
+  /// If `ids` is non-null it receives, for each input position, the vertex
+  /// index assigned in the mesh (duplicates map to the first occurrence).
+  bool triangulate(const std::vector<Vec2>& pts,
+                   std::vector<VertIndex>* ids = nullptr);
+
+  /// Insert one point. Returns the vertex index (an existing index if the
+  /// point duplicates a present vertex). `respect_constraints` stops the
+  /// cavity from crossing constrained edges (required once segments exist).
+  VertIndex insert_point(Vec2 p, bool respect_constraints);
+
+  /// Insert a point known to lie in the interior of constrained edge
+  /// `edge` of triangle `t`. Splits the constraint into two constrained
+  /// subedges. Returns the new vertex index.
+  VertIndex insert_point_on_edge(Vec2 p, TriIndex t, int edge);
+
+  /// Force edge (u, w) into the triangulation (constrained Delaunay): removes
+  /// crossing edges and retriangulates both side polygons, then marks the
+  /// edge constrained. Existing constrained edges must not cross it; input
+  /// vertices lying exactly on the segment split it automatically.
+  void insert_segment(VertIndex u, VertIndex w);
+
+  /// Locate point p starting from triangle `hint` (or the last touched
+  /// triangle when kNoTri).
+  LocateResult locate(Vec2 p, TriIndex hint = kNoTri) const;
+
+  /// Find the triangle/edge pair for directed edge (u, w), or kNoTri.
+  std::pair<TriIndex, int> find_edge(VertIndex u, VertIndex w) const;
+
+  /// Mark triangles outside the outer boundary and inside holes as
+  /// !inside, flooding from ghost triangles / hole seeds and stopping at
+  /// constrained edges.
+  void carve(const std::vector<Vec2>& hole_seeds);
+
+  /// Some incident live triangle of v (kNoTri if isolated, which cannot
+  /// happen after triangulate()).
+  TriIndex incident_triangle(VertIndex v) const {
+    return vert_tri_[static_cast<size_t>(v)];
+  }
+
+  /// True if vertex v was present in the original input (not a Steiner
+  /// point added by refinement). Valid after triangulate().
+  bool is_input_vertex(VertIndex v) const {
+    return static_cast<std::size_t>(v) < input_point_count_;
+  }
+  std::size_t input_point_count() const { return input_point_count_; }
+
+  /// Visit each live finite triangle index.
+  template <typename Fn>
+  void for_each_triangle(Fn&& fn) const {
+    for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
+      if (is_live_finite(t)) fn(t);
+    }
+  }
+
+  /// Validate internal adjacency/orientation invariants (tests only; O(n)).
+  bool check_topology() const;
+  /// Validate the (constrained) Delaunay property of every inside edge
+  /// (tests only; O(n)).
+  bool check_delaunay() const;
+
+ private:
+  friend class RuppertRefiner;
+
+  TriIndex new_tri();
+  void kill_tri(TriIndex t);
+  void link(TriIndex t, int edge, TriIndex u, int uedge);
+  void set_vert_tri(TriIndex t);
+
+  /// True if p lies in the circumdisk of triangle t (half-plane test for
+  /// ghosts). Exact.
+  bool in_cavity(TriIndex t, Vec2 p) const;
+
+  /// Bowyer-Watson cavity insertion. `seeds` are triangles already known to
+  /// be in the cavity. Returns the new vertex.
+  VertIndex insert_into_cavity(Vec2 p, const std::vector<TriIndex>& seeds,
+                               bool respect_constraints);
+
+  /// Replace diagonal (a, b) of the strictly convex quad around edge `edge`
+  /// of t with the opposite diagonal. Both incident triangles must be finite.
+  void flip_edge(TriIndex t, int edge);
+
+  /// Restore the (constrained) Delaunay property by flip propagation
+  /// starting from the given edge.
+  void legalize_edge(TriIndex t, int edge);
+
+  std::vector<Vec2> points_;
+  std::vector<MeshTri> tris_;
+  std::vector<TriIndex> vert_tri_;
+  std::size_t live_finite_ = 0;
+  std::size_t input_point_count_ = 0;
+  mutable TriIndex last_tri_ = kNoTri;
+
+  // Scratch buffers reused across insertions to avoid churn.
+  std::vector<TriIndex> cavity_;
+  std::vector<std::uint8_t> in_cavity_mark_;
+};
+
+}  // namespace aero

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Planar straight-line graph: the input format of the triangulator.
+///
+/// Mirrors the information content of Triangle's .poly format: a set of
+/// vertices, a set of constraining segments between them, and a set of hole
+/// seed points (a triangulated region containing a hole point is carved out
+/// of the final mesh, as is everything outside the outermost boundary).
+struct Pslg {
+  std::vector<Vec2> points;
+  /// Segments as index pairs into `points`.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> segments;
+  /// One interior point per hole.
+  std::vector<Vec2> holes;
+  /// Optional per-point boundary markers (0 = interior). Empty means all 0.
+  std::vector<int> point_markers;
+
+  BBox2 bbox() const {
+    BBox2 b;
+    for (const Vec2 p : points) b.expand(p);
+    return b;
+  }
+};
+
+}  // namespace aero

@@ -1,0 +1,221 @@
+// Guibas-Stolfi divide-and-conquer Delaunay triangulation.
+//
+//   L. Guibas and J. Stolfi, "Primitives for the Manipulation of General
+//   Subdivisions and the Computation of Voronoi Diagrams," ACM TOG 4(2),
+//   1985 -- including the classic merge-loop pseudocode reproduced (with
+//   exact predicates) below.
+
+#include "delaunay/quadedge.hpp"
+
+#include <stdexcept>
+
+#include "geom/predicates.hpp"
+
+namespace aero {
+
+QuadEdge::EdgeRef QuadEdge::make_edge(VertIndex o, VertIndex d) {
+  EdgeRef base;
+  if (!free_.empty()) {
+    base = free_.back();
+    free_.pop_back();
+    dead_[base >> 2] = 0;
+  } else {
+    base = static_cast<EdgeRef>(next_.size());
+    next_.resize(next_.size() + 4);
+    data_.resize(data_.size() + 4, kGhost);
+    dead_.push_back(0);
+  }
+  // e and Sym e are their own Onext rings; the dual quarters form a ring of
+  // two (a single edge's left and right face are the same face).
+  next_[base + 0] = base + 0;
+  next_[base + 1] = base + 3;
+  next_[base + 2] = base + 2;
+  next_[base + 3] = base + 1;
+  data_[base + 0] = o;
+  data_[base + 2] = d;
+  return base;
+}
+
+void QuadEdge::splice(EdgeRef a, EdgeRef b) {
+  const EdgeRef alpha = rot(next_[a]);
+  const EdgeRef beta = rot(next_[b]);
+  const EdgeRef t1 = next_[b];
+  const EdgeRef t2 = next_[a];
+  const EdgeRef t3 = next_[beta];
+  const EdgeRef t4 = next_[alpha];
+  next_[a] = t1;
+  next_[b] = t2;
+  next_[alpha] = t3;
+  next_[beta] = t4;
+}
+
+QuadEdge::EdgeRef QuadEdge::connect(EdgeRef a, EdgeRef b) {
+  const EdgeRef e = make_edge(dest(a), org(b));
+  splice(e, lnext(a));
+  splice(sym(e), b);
+  return e;
+}
+
+void QuadEdge::delete_edge(EdgeRef e) {
+  splice(e, oprev(e));
+  splice(sym(e), oprev(sym(e)));
+  dead_[e >> 2] = 1;
+  free_.push_back(e & ~3u);
+}
+
+namespace {
+
+using EdgeRef = QuadEdge::EdgeRef;
+
+struct DcContext {
+  QuadEdge q;
+  const std::vector<Vec2>& pts;
+
+  bool ccw(VertIndex a, VertIndex b, VertIndex c) const {
+    return orient2d(pts[static_cast<std::size_t>(a)],
+                    pts[static_cast<std::size_t>(b)],
+                    pts[static_cast<std::size_t>(c)]) > 0.0;
+  }
+  bool in_circle(VertIndex a, VertIndex b, VertIndex c, VertIndex d) const {
+    return incircle(pts[static_cast<std::size_t>(a)],
+                    pts[static_cast<std::size_t>(b)],
+                    pts[static_cast<std::size_t>(c)],
+                    pts[static_cast<std::size_t>(d)]) > 0.0;
+  }
+  bool right_of(VertIndex p, EdgeRef e) const {
+    return ccw(p, q.dest(e), q.org(e));
+  }
+  bool left_of(VertIndex p, EdgeRef e) const {
+    return ccw(p, q.org(e), q.dest(e));
+  }
+};
+
+/// Recursive kernel over points [lo, hi) (x-sorted). Returns the
+/// counter-clockwise convex hull edge out of the leftmost vertex (le) and
+/// the clockwise hull edge out of the rightmost vertex (re).
+std::pair<EdgeRef, EdgeRef> delaunay_rec(DcContext& ctx, VertIndex lo,
+                                         VertIndex hi) {
+  QuadEdge& q = ctx.q;
+  const VertIndex n = hi - lo;
+  if (n == 2) {
+    const EdgeRef a = q.make_edge(lo, lo + 1);
+    return {a, QuadEdge::sym(a)};
+  }
+  if (n == 3) {
+    const VertIndex s1 = lo, s2 = lo + 1, s3 = lo + 2;
+    const EdgeRef a = q.make_edge(s1, s2);
+    const EdgeRef b = q.make_edge(s2, s3);
+    q.splice(QuadEdge::sym(a), b);
+    if (ctx.ccw(s1, s2, s3)) {
+      q.connect(b, a);
+      return {a, QuadEdge::sym(b)};
+    }
+    if (ctx.ccw(s1, s3, s2)) {
+      const EdgeRef c = q.connect(b, a);
+      return {QuadEdge::sym(c), c};
+    }
+    return {a, QuadEdge::sym(b)};  // collinear
+  }
+
+  // Divide at the midpoint of the x-sorted range: every cut is vertical.
+  const VertIndex mid = lo + n / 2;
+  auto [ldo, ldi] = delaunay_rec(ctx, lo, mid);
+  auto [rdi, rdo] = delaunay_rec(ctx, mid, hi);
+
+  // Lower common tangent of the two hulls.
+  while (true) {
+    if (ctx.left_of(q.org(rdi), ldi)) {
+      ldi = q.lnext(ldi);
+    } else if (ctx.right_of(q.org(ldi), rdi)) {
+      rdi = q.rprev(rdi);
+    } else {
+      break;
+    }
+  }
+
+  EdgeRef basel = q.connect(QuadEdge::sym(rdi), ldi);
+  if (q.org(ldi) == q.org(ldo)) ldo = QuadEdge::sym(basel);
+  if (q.org(rdi) == q.org(rdo)) rdo = basel;
+
+  // Merge loop: rise the bubble.
+  while (true) {
+    const auto valid = [&](EdgeRef e) {
+      return ctx.right_of(q.dest(e), basel);
+    };
+    EdgeRef lcand = q.onext(QuadEdge::sym(basel));
+    if (valid(lcand)) {
+      while (ctx.in_circle(q.dest(basel), q.org(basel), q.dest(lcand),
+                           q.dest(q.onext(lcand)))) {
+        const EdgeRef t = q.onext(lcand);
+        q.delete_edge(lcand);
+        lcand = t;
+      }
+    }
+    EdgeRef rcand = q.oprev(basel);
+    if (valid(rcand)) {
+      while (ctx.in_circle(q.dest(basel), q.org(basel), q.dest(rcand),
+                           q.dest(q.oprev(rcand)))) {
+        const EdgeRef t = q.oprev(rcand);
+        q.delete_edge(rcand);
+        rcand = t;
+      }
+    }
+    const bool lvalid = valid(lcand);
+    const bool rvalid = valid(rcand);
+    if (!lvalid && !rvalid) break;  // upper common tangent reached
+    if (!lvalid ||
+        (rvalid && ctx.in_circle(q.dest(lcand), q.org(lcand), q.org(rcand),
+                                 q.dest(rcand)))) {
+      basel = q.connect(rcand, QuadEdge::sym(basel));
+    } else {
+      basel = q.connect(QuadEdge::sym(basel), QuadEdge::sym(lcand));
+    }
+  }
+  return {ldo, rdo};
+}
+
+}  // namespace
+
+std::vector<std::array<VertIndex, 3>> dc_delaunay(
+    const std::vector<Vec2>& points) {
+  std::vector<std::array<VertIndex, 3>> out;
+  if (points.size() < 3) return out;
+  if (points.size() > static_cast<std::size_t>(1) << 31) {
+    throw std::invalid_argument("dc_delaunay: too many points");
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (!LessXY{}(points[i - 1], points[i])) {
+      throw std::invalid_argument(
+          "dc_delaunay: input must be x-sorted and deduplicated");
+    }
+  }
+
+  DcContext ctx{QuadEdge{}, points};
+  delaunay_rec(ctx, 0, static_cast<VertIndex>(points.size()));
+
+  // Extract CCW faces: visit each primal quarter-edge once; a triangle is
+  // reported from its lexicographically smallest quarter to dedupe.
+  const QuadEdge& q = ctx.q;
+  std::vector<std::uint8_t> seen(q.capacity(), 0);
+  for (EdgeRef e = 0; e < q.capacity(); e += 2) {
+    // Primal quarters are e and e^2 within each group of 4: iterate 0 and 2.
+    if ((e & 3u) != 0 && (e & 3u) != 2) continue;
+    if (q.dead(e) || seen[e]) continue;
+    const EdgeRef e1 = q.lnext(e);
+    const EdgeRef e2 = q.lnext(e1);
+    if (q.lnext(e2) != e) {
+      seen[e] = 1;
+      continue;  // outer face (hull walk longer than 3)
+    }
+    seen[e] = 1;
+    seen[e1] = 1;
+    seen[e2] = 1;
+    const VertIndex a = q.org(e);
+    const VertIndex b = q.org(e1);
+    const VertIndex c = q.org(e2);
+    if (ctx.ccw(a, b, c)) out.push_back({a, b, c});
+  }
+  return out;
+}
+
+}  // namespace aero

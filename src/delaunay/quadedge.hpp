@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delaunay/mesh.hpp"  // VertIndex
+
+namespace aero {
+
+/// Guibas-Stolfi quad-edge structure, primal-only usage.
+///
+/// Each physical edge owns four directed quarter-edges (e, Rot e, Sym e,
+/// InvRot e) stored contiguously; the edge algebra is pure index arithmetic:
+///   Rot e    = (e & ~3) | ((e + 1) & 3)
+///   Sym e    =  e ^ 2
+///   InvRot e = (e & ~3) | ((e + 3) & 3)
+/// Topology lives entirely in the Onext ring; Splice is the single mutator
+/// (Guibas & Stolfi 1985). This is the classic substrate of the
+/// divide-and-conquer Delaunay algorithm -- the algorithm Triangle runs,
+/// including the "vertical cuts only" variant the paper enables for small
+/// vertex sets.
+class QuadEdge {
+ public:
+  using EdgeRef = std::uint32_t;
+  static constexpr EdgeRef kNil = 0xffffffffu;
+
+  static EdgeRef rot(EdgeRef e) { return (e & ~3u) | ((e + 1) & 3u); }
+  static EdgeRef sym(EdgeRef e) { return e ^ 2u; }
+  static EdgeRef rot_inv(EdgeRef e) { return (e & ~3u) | ((e + 3) & 3u); }
+
+  EdgeRef onext(EdgeRef e) const { return next_[e]; }
+  EdgeRef oprev(EdgeRef e) const { return rot(next_[rot(e)]); }
+  EdgeRef lnext(EdgeRef e) const { return rot(next_[rot_inv(e)]); }
+  EdgeRef lprev(EdgeRef e) const { return sym(next_[e]); }
+  EdgeRef rnext(EdgeRef e) const { return rot_inv(next_[rot(e)]); }
+  EdgeRef rprev(EdgeRef e) const { return next_[sym(e)]; }
+  EdgeRef dnext(EdgeRef e) const { return sym(next_[sym(e)]); }
+  EdgeRef dprev(EdgeRef e) const { return rot_inv(next_[rot_inv(e)]); }
+
+  VertIndex org(EdgeRef e) const { return data_[e]; }
+  VertIndex dest(EdgeRef e) const { return data_[sym(e)]; }
+  void set_ends(EdgeRef e, VertIndex o, VertIndex d) {
+    data_[e] = o;
+    data_[sym(e)] = d;
+  }
+
+  /// A fresh edge o -> d, its own Onext ring (an isolated edge).
+  EdgeRef make_edge(VertIndex o, VertIndex d);
+
+  /// Guibas-Stolfi splice: swaps the Onext rings of a and b and of their
+  /// duals, merging or splitting rings.
+  void splice(EdgeRef a, EdgeRef b);
+
+  /// Connect dest(a) to org(b) with a new edge so all three share faces.
+  EdgeRef connect(EdgeRef a, EdgeRef b);
+
+  /// Disconnect and recycle an edge.
+  void delete_edge(EdgeRef e);
+
+  bool dead(EdgeRef e) const { return dead_[e >> 2]; }
+  std::size_t capacity() const { return next_.size(); }
+
+ private:
+  std::vector<EdgeRef> next_;     ///< Onext per quarter-edge
+  std::vector<VertIndex> data_;   ///< origin vertex per primal quarter
+  std::vector<std::uint8_t> dead_;///< per physical edge
+  std::vector<EdgeRef> free_;     ///< recycled physical edges (base ids)
+};
+
+/// Divide-and-conquer Delaunay triangulation (Guibas-Stolfi) with vertical
+/// cuts -- exactly the Triangle configuration the paper selects ("only use
+/// vertical cuts for the divide-and-conquer algorithm, which improves the
+/// performance for small vertex sets").
+///
+/// `points` must be sorted lexicographically (x, then y) and deduplicated.
+/// Returns CCW triangles as vertex-index triples. Fully collinear inputs
+/// yield an empty triangle list. All decisions use the exact predicates.
+std::vector<std::array<VertIndex, 3>> dc_delaunay(
+    const std::vector<Vec2>& points);
+
+}  // namespace aero

@@ -1,0 +1,53 @@
+#include "delaunay/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "geom/triangle_quality.hpp"
+
+namespace aero {
+
+MeshStats compute_stats(const DelaunayMesh& mesh) {
+  MeshStats s;
+  s.vertices = mesh.point_count();
+  s.min_angle_deg = 180.0;
+  s.min_area = std::numeric_limits<double>::infinity();
+
+  mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = mesh.tri(t);
+    if (!mt.inside) return;
+    const Vec2 a = mesh.point(mt.v[0]);
+    const Vec2 b = mesh.point(mt.v[1]);
+    const Vec2 c = mesh.point(mt.v[2]);
+    ++s.triangles;
+    constexpr double kRad2Deg = 180.0 / 3.14159265358979323846;
+    const double amin = min_angle(a, b, c) * kRad2Deg;
+    const double amax = max_angle(a, b, c) * kRad2Deg;
+    s.min_angle_deg = std::min(s.min_angle_deg, amin);
+    s.max_angle_deg = std::max(s.max_angle_deg, amax);
+    s.max_aspect_ratio = std::max(s.max_aspect_ratio, aspect_ratio(a, b, c));
+    s.max_radius_edge = std::max(s.max_radius_edge, radius_edge_ratio(a, b, c));
+    const double area = signed_area(a, b, c);
+    s.total_area += area;
+    s.min_area = std::min(s.min_area, area);
+    s.max_area = std::max(s.max_area, area);
+    const auto bin = static_cast<std::size_t>(
+        std::min(5.0, std::floor(amin / 10.0)));
+    ++s.min_angle_histogram[bin];
+  });
+  if (s.triangles == 0) s.min_area = 0.0;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const MeshStats& s) {
+  os << "triangles=" << s.triangles << " vertices=" << s.vertices
+     << " min_angle=" << s.min_angle_deg << " max_angle=" << s.max_angle_deg
+     << " max_aspect=" << s.max_aspect_ratio
+     << " max_radius_edge=" << s.max_radius_edge
+     << " total_area=" << s.total_area;
+  return os;
+}
+
+}  // namespace aero

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+#include "delaunay/mesh.hpp"
+
+namespace aero {
+
+/// Aggregate quality statistics over the inside triangles of a mesh.
+struct MeshStats {
+  std::size_t triangles = 0;
+  std::size_t vertices = 0;
+  double min_angle_deg = 0.0;
+  double max_angle_deg = 0.0;
+  double max_aspect_ratio = 0.0;
+  double max_radius_edge = 0.0;
+  double total_area = 0.0;
+  double min_area = 0.0;
+  double max_area = 0.0;
+  /// Histogram of minimum angles in 10-degree bins [0,10), [10,20), ... [50,60].
+  std::array<std::size_t, 6> min_angle_histogram{};
+};
+
+/// Compute statistics over all live inside triangles.
+MeshStats compute_stats(const DelaunayMesh& mesh);
+
+std::ostream& operator<<(std::ostream& os, const MeshStats& s);
+
+}  // namespace aero

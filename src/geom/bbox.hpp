@@ -1,0 +1,65 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Axis-aligned bounding box in two dimensions.
+///
+/// An empty box has min > max and behaves as the identity for `expand`.
+struct BBox2 {
+  Vec2 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec2 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  constexpr BBox2() = default;
+  constexpr BBox2(Vec2 lo_, Vec2 hi_) : lo(lo_), hi(hi_) {}
+
+  /// Box spanning exactly the segment [a, b].
+  static constexpr BBox2 of_segment(Vec2 a, Vec2 b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  constexpr bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr Vec2 center() const {
+    return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+
+  /// Grow to include point p.
+  void expand(Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grow to include another box.
+  void expand(const BBox2& b) {
+    if (b.empty()) return;
+    expand(b.lo);
+    expand(b.hi);
+  }
+
+  /// Uniformly inflate by `margin` on every side.
+  constexpr BBox2 inflated(double margin) const {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  constexpr bool intersects(const BBox2& b) const {
+    return !(b.lo.x > hi.x || b.hi.x < lo.x || b.lo.y > hi.y || b.hi.y < lo.y);
+  }
+};
+
+}  // namespace aero

@@ -1,0 +1,78 @@
+#include "geom/expansion.hpp"
+
+namespace aero::expansion {
+
+int fast_expansion_sum_zeroelim(int elen, const double* e, int flen,
+                                const double* f, double* h) {
+  double q, qnew, hh;
+  int eindex = 0, findex = 0, hindex = 0;
+  double enow = e[0];
+  double fnow = f[0];
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    if (++eindex < elen) enow = e[eindex];
+  } else {
+    q = fnow;
+    if (++findex < flen) fnow = f[findex];
+  }
+  if ((eindex < elen) && (findex < flen)) {
+    if ((fnow > enow) == (fnow > -enow)) {
+      fast_two_sum(enow, q, qnew, hh);
+      if (++eindex < elen) enow = e[eindex];
+    } else {
+      fast_two_sum(fnow, q, qnew, hh);
+      if (++findex < flen) fnow = f[findex];
+    }
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+    while ((eindex < elen) && (findex < flen)) {
+      if ((fnow > enow) == (fnow > -enow)) {
+        two_sum(q, enow, qnew, hh);
+        if (++eindex < elen) enow = e[eindex];
+      } else {
+        two_sum(q, fnow, qnew, hh);
+        if (++findex < flen) fnow = f[findex];
+      }
+      q = qnew;
+      if (hh != 0.0) h[hindex++] = hh;
+    }
+  }
+  while (eindex < elen) {
+    two_sum(q, enow, qnew, hh);
+    if (++eindex < elen) enow = e[eindex];
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  while (findex < flen) {
+    two_sum(q, fnow, qnew, hh);
+    if (++findex < flen) fnow = f[findex];
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if ((q != 0.0) || (hindex == 0)) h[hindex++] = q;
+  return hindex;
+}
+
+int scale_expansion_zeroelim(int elen, const double* e, double b, double* h) {
+  double q, sum, hh, product1, product0;
+  int hindex = 0;
+  two_product(e[0], b, q, hh);
+  if (hh != 0.0) h[hindex++] = hh;
+  for (int eindex = 1; eindex < elen; ++eindex) {
+    two_product(e[eindex], b, product1, product0);
+    two_sum(q, product0, sum, hh);
+    if (hh != 0.0) h[hindex++] = hh;
+    fast_two_sum(product1, sum, q, hh);
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if ((q != 0.0) || (hindex == 0)) h[hindex++] = q;
+  return hindex;
+}
+
+double estimate(int elen, const double* e) {
+  double q = e[0];
+  for (int i = 1; i < elen; ++i) q += e[i];
+  return q;
+}
+
+}  // namespace aero::expansion

@@ -1,0 +1,87 @@
+#pragma once
+
+// Error-free floating-point transformations and expansion arithmetic
+// (Shewchuk 1997). An "expansion" is a sum of doubles with nonoverlapping,
+// increasing-magnitude components; arithmetic on expansions is exact. These
+// primitives back both the classic orient2d/incircle predicates and the
+// custom lifted-turn predicate used by the projection-based domain
+// decomposition.
+
+#include <cmath>
+
+namespace aero::expansion {
+
+/// Requires |a| >= |b| (or a == 0). x + y == a + b exactly, x == fl(a + b).
+inline void fast_two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bvirt = x - a;
+  y = b - bvirt;
+}
+
+inline void two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bvirt = x - a;
+  const double avirt = x - bvirt;
+  const double bround = b - bvirt;
+  const double around = a - avirt;
+  y = around + bround;
+}
+
+inline void two_diff(double a, double b, double& x, double& y) {
+  x = a - b;
+  const double bvirt = a - x;
+  const double avirt = x + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  y = around + bround;
+}
+
+/// Tail of a - b given the already-rounded difference x.
+inline double two_diff_tail(double a, double b, double x) {
+  const double bvirt = a - x;
+  const double avirt = x + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  return around + bround;
+}
+
+/// x + y == a * b exactly, x == fl(a * b). Uses FMA for the exact tail.
+inline void two_product(double a, double b, double& x, double& y) {
+  x = a * b;
+  y = std::fma(a, b, -x);
+}
+
+/// (a1, a0) - b -> (x2, x1, x0).
+inline void two_one_diff(double a1, double a0, double b, double& x2,
+                         double& x1, double& x0) {
+  double i;
+  two_diff(a0, b, i, x0);
+  two_sum(a1, i, x2, x1);
+}
+
+/// (a1, a0) - (b1, b0) -> (x3, x2, x1, x0).
+inline void two_two_diff(double a1, double a0, double b1, double b0,
+                         double& x3, double& x2, double& x1, double& x0) {
+  double j, r0;
+  two_one_diff(a1, a0, b0, j, r0, x0);
+  two_one_diff(j, r0, b1, x3, x2, x1);
+}
+
+/// h = e + f for expansions sorted by increasing magnitude; returns the
+/// number of components written (zero components eliminated, at least one).
+int fast_expansion_sum_zeroelim(int elen, const double* e, int flen,
+                                const double* f, double* h);
+
+/// h = e * b; returns the component count (zero components eliminated).
+int scale_expansion_zeroelim(int elen, const double* e, double b, double* h);
+
+/// Approximate value of an expansion (useful with a forward error bound).
+double estimate(int elen, const double* e);
+
+/// Exact sign of an expansion: sign of its largest-magnitude component.
+inline int sign(int elen, const double* e) {
+  const double top = e[elen - 1];
+  return top > 0.0 ? 1 : (top < 0.0 ? -1 : 0);
+}
+
+}  // namespace aero::expansion

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Orientation of an ordered point triple.
+enum class Orientation {
+  kClockwise = -1,
+  kCollinear = 0,
+  kCounterClockwise = 1,
+};
+
+/// Adaptive-precision orientation test (Shewchuk).
+///
+/// Returns a positive value if the points a, b, c occur in counter-clockwise
+/// order; a negative value if they occur in clockwise order; and zero if they
+/// are exactly collinear. The magnitude approximates twice the signed area of
+/// the triangle, and the *sign* is always exact: a fast floating-point filter
+/// handles the common case and progressively more precise stages (culminating
+/// in exact expansion arithmetic) resolve near-degenerate inputs.
+double orient2d(Vec2 a, Vec2 b, Vec2 c);
+
+/// Adaptive-precision in-circle test (Shewchuk).
+///
+/// Returns a positive value if point d lies strictly inside the circle
+/// through a, b, c; negative if strictly outside; zero if the four points are
+/// exactly cocircular. The points a, b, c must be in counter-clockwise order
+/// or the sign is reversed. The sign is always exact.
+double incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// Classified orientation of a, b, c with an exact sign.
+inline Orientation orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double d = orient2d(a, b, c);
+  if (d > 0.0) return Orientation::kCounterClockwise;
+  if (d < 0.0) return Orientation::kClockwise;
+  return Orientation::kCollinear;
+}
+
+/// True if d is strictly inside the circumcircle of ccw triangle (a, b, c).
+inline bool in_circle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  return incircle(a, b, c, d) > 0.0;
+}
+
+/// Exact test for c lying on the closed segment [a, b].
+/// Requires collinearity to be established by the caller or checks it itself.
+bool on_segment(Vec2 a, Vec2 b, Vec2 c);
+
+namespace predicates_detail {
+/// Counters for predicate stage usage; exposed for tests and benchmarks so we
+/// can verify the exact fallback actually fires on degenerate inputs.
+struct StageCounters {
+  long fast = 0;    ///< resolved by the stage-A floating-point filter
+  long adapt = 0;   ///< resolved by an adaptive refinement stage
+  long exact = 0;   ///< resolved by full exact expansion arithmetic
+};
+StageCounters& counters();
+void reset_counters();
+}  // namespace predicates_detail
+
+}  // namespace aero

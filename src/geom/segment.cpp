@@ -1,0 +1,212 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.hpp"
+
+namespace aero {
+
+namespace {
+
+// Representative point of the overlap of two collinear segments.
+Vec2 collinear_overlap_point(const Segment& s1, const Segment& s2) {
+  // Order the four endpoints along the dominant axis and take the midpoint of
+  // the middle two; for touching segments this is the shared endpoint.
+  Vec2 pts[4] = {s1.a, s1.b, s2.a, s2.b};
+  const bool use_x =
+      std::fabs(s1.b.x - s1.a.x) >= std::fabs(s1.b.y - s1.a.y);
+  std::sort(pts, pts + 4, [use_x](Vec2 p, Vec2 q) {
+    return use_x ? p.x < q.x : p.y < q.y;
+  });
+  return midpoint(pts[1], pts[2]);
+}
+
+}  // namespace
+
+IntersectResult intersect(const Segment& s1, const Segment& s2) {
+  const double d1 = orient2d(s2.a, s2.b, s1.a);
+  const double d2 = orient2d(s2.a, s2.b, s1.b);
+  const double d3 = orient2d(s1.a, s1.b, s2.a);
+  const double d4 = orient2d(s1.a, s1.b, s2.b);
+
+  IntersectResult res;
+
+  if (((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0)) &&
+      ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))) {
+    // Proper crossing. Solve for the point with the (well-conditioned here)
+    // parametric form; the classification above is exact.
+    const Vec2 r = s1.b - s1.a;
+    const Vec2 s = s2.b - s2.a;
+    const double denom = r.cross(s);
+    const double t = (s2.a - s1.a).cross(s) / denom;
+    res.kind = IntersectKind::kProper;
+    res.t = std::clamp(t, 0.0, 1.0);
+    res.point = lerp(s1.a, s1.b, res.t);
+    return res;
+  }
+
+  // Collinear: all four orientations are zero. Distinguish a genuine
+  // 1-dimensional overlap from segments that merely touch at an endpoint.
+  if (d1 == 0.0 && d2 == 0.0 && d3 == 0.0 && d4 == 0.0) {
+    if (!s1.bbox().intersects(s2.bbox())) return res;
+    const bool use_x =
+        std::fabs(s1.b.x - s1.a.x) >= std::fabs(s1.b.y - s1.a.y);
+    const auto coord = [use_x](Vec2 p) { return use_x ? p.x : p.y; };
+    const double lo1 = std::min(coord(s1.a), coord(s1.b));
+    const double hi1 = std::max(coord(s1.a), coord(s1.b));
+    const double lo2 = std::min(coord(s2.a), coord(s2.b));
+    const double hi2 = std::max(coord(s2.a), coord(s2.b));
+    const double lo = std::max(lo1, lo2);
+    const double hi = std::min(hi1, hi2);
+    if (lo > hi) return res;  // disjoint along the carrier line
+    const Vec2 r = s1.b - s1.a;
+    const double rr = r.norm2();
+    if (lo == hi) {
+      // Touching at a single shared point.
+      res.kind = IntersectKind::kEndpoint;
+      res.point = coord(s1.a) == lo ? s1.a
+                  : coord(s1.b) == lo ? s1.b
+                  : coord(s2.a) == lo ? s2.a
+                                      : s2.b;
+      res.t = rr > 0.0
+                  ? std::clamp((res.point - s1.a).dot(r) / rr, 0.0, 1.0)
+                  : 0.0;
+      return res;
+    }
+    res.kind = IntersectKind::kCollinear;
+    res.point = collinear_overlap_point(s1, s2);
+    res.t = rr > 0.0 ? std::clamp((res.point - s1.a).dot(r) / rr, 0.0, 1.0)
+                     : 0.0;
+    return res;
+  }
+
+  // Endpoint touch: exactly one orientation is zero and that endpoint lies
+  // on the other closed segment.
+  auto endpoint_hit = [&](Vec2 p, const Segment& other,
+                          double t_on_s1) -> bool {
+    if (!on_segment(other.a, other.b, p)) return false;
+    res.kind = IntersectKind::kEndpoint;
+    res.point = p;
+    res.t = t_on_s1;
+    return true;
+  };
+
+  if (d1 == 0.0 && endpoint_hit(s1.a, s2, 0.0)) return res;
+  if (d2 == 0.0 && endpoint_hit(s1.b, s2, 1.0)) return res;
+  if (d3 == 0.0 && on_segment(s1.a, s1.b, s2.a)) {
+    res.kind = IntersectKind::kEndpoint;
+    res.point = s2.a;
+    const Vec2 r = s1.b - s1.a;
+    const double rr = r.norm2();
+    res.t = rr > 0.0 ? std::clamp((s2.a - s1.a).dot(r) / rr, 0.0, 1.0) : 0.0;
+    return res;
+  }
+  if (d4 == 0.0 && on_segment(s1.a, s1.b, s2.b)) {
+    res.kind = IntersectKind::kEndpoint;
+    res.point = s2.b;
+    const Vec2 r = s1.b - s1.a;
+    const double rr = r.norm2();
+    res.t = rr > 0.0 ? std::clamp((s2.b - s1.a).dot(r) / rr, 0.0, 1.0) : 0.0;
+    return res;
+  }
+  return res;
+}
+
+bool segments_intersect(const Segment& s1, const Segment& s2) {
+  return static_cast<bool>(intersect(s1, s2));
+}
+
+unsigned cohen_sutherland_outcode(Vec2 p, const BBox2& box) {
+  unsigned code = 0;
+  if (p.x < box.lo.x) {
+    code |= 1u;  // left
+  } else if (p.x > box.hi.x) {
+    code |= 2u;  // right
+  }
+  if (p.y < box.lo.y) {
+    code |= 4u;  // bottom
+  } else if (p.y > box.hi.y) {
+    code |= 8u;  // top
+  }
+  return code;
+}
+
+std::optional<Segment> clip_to_box(Vec2 a, Vec2 b, const BBox2& box) {
+  unsigned code_a = cohen_sutherland_outcode(a, box);
+  unsigned code_b = cohen_sutherland_outcode(b, box);
+
+  // Classic Cohen–Sutherland loop: trivially accept when both inside,
+  // trivially reject when both outcodes share a side, otherwise clip the
+  // endpoint that is outside against one violated boundary and re-code.
+  while (true) {
+    if ((code_a | code_b) == 0u) return Segment{a, b};
+    if ((code_a & code_b) != 0u) return std::nullopt;
+
+    const unsigned out = code_a != 0u ? code_a : code_b;
+    Vec2 p;
+    if (out & 8u) {  // above
+      p.x = a.x + (b.x - a.x) * (box.hi.y - a.y) / (b.y - a.y);
+      p.y = box.hi.y;
+    } else if (out & 4u) {  // below
+      p.x = a.x + (b.x - a.x) * (box.lo.y - a.y) / (b.y - a.y);
+      p.y = box.lo.y;
+    } else if (out & 2u) {  // right
+      p.y = a.y + (b.y - a.y) * (box.hi.x - a.x) / (b.x - a.x);
+      p.x = box.hi.x;
+    } else {  // left
+      p.y = a.y + (b.y - a.y) * (box.lo.x - a.x) / (b.x - a.x);
+      p.x = box.lo.x;
+    }
+
+    if (out == code_a) {
+      a = p;
+      code_a = cohen_sutherland_outcode(a, box);
+    } else {
+      b = p;
+      code_b = cohen_sutherland_outcode(b, box);
+    }
+  }
+}
+
+bool segment_intersects_box(Vec2 a, Vec2 b, const BBox2& box) {
+  return clip_to_box(a, b, box).has_value();
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+bool point_in_polygon(Vec2 p, std::span<const Vec2> polygon) {
+  const std::size_t n = polygon.size();
+  bool inside = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = polygon[i];
+    const Vec2 b = polygon[(i + 1) % n];
+    if (on_segment(a, b, p)) return true;
+    // Half-open vertical span rule + exact side test: the edge crosses the
+    // rightward horizontal ray from p iff its endpoints straddle p's y and
+    // the crossing lies right of p.
+    if ((a.y <= p.y) != (b.y <= p.y)) {
+      const double o = orient2d(a, b, p);
+      if (b.y > a.y ? o > 0.0 : o < 0.0) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double angle_at(Vec2 a, Vec2 b, Vec2 c) {
+  const Vec2 u = (a - b).normalized();
+  const Vec2 v = (c - b).normalized();
+  return std::atan2(std::fabs(u.cross(v)), u.dot(v));
+}
+
+double signed_angle(Vec2 u, Vec2 v) {
+  return std::atan2(u.cross(v), u.dot(v));
+}
+
+}  // namespace aero

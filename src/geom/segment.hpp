@@ -1,0 +1,81 @@
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Closed line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  BBox2 bbox() const { return BBox2::of_segment(a, b); }
+  double length() const { return distance(a, b); }
+  Vec2 direction() const { return (b - a).normalized(); }
+};
+
+/// How two segments meet, as classified by `intersect`.
+enum class IntersectKind {
+  kNone,        ///< disjoint
+  kProper,      ///< cross at a single interior point of both
+  kEndpoint,    ///< touch at an endpoint of at least one segment
+  kCollinear,   ///< overlap along a shared collinear stretch
+};
+
+/// Result of a segment-segment intersection query.
+struct IntersectResult {
+  IntersectKind kind = IntersectKind::kNone;
+  /// Intersection point (for kProper / kEndpoint) or a representative point
+  /// of the overlap (for kCollinear).
+  Vec2 point{};
+  /// Parameter along the first segment in [0, 1] at `point` (approximate;
+  /// the classification itself is exact).
+  double t = 0.0;
+
+  explicit operator bool() const { return kind != IntersectKind::kNone; }
+};
+
+/// Exact-classification segment intersection.
+///
+/// The *decision* (whether and how the segments intersect) is made with the
+/// exact orient2d predicate; only the coordinates of the intersection point
+/// are computed in rounded arithmetic. This is the contract the boundary-layer
+/// ray clipping needs: a ray is truncated at an approximate point, but a
+/// crossing is never missed or invented.
+IntersectResult intersect(const Segment& s1, const Segment& s2);
+
+/// True if the segments share at least one point (any IntersectKind).
+bool segments_intersect(const Segment& s1, const Segment& s2);
+
+/// Cohen–Sutherland outcode for point p against box `box`.
+/// Bit layout: 1 = left, 2 = right, 4 = bottom, 8 = top; 0 means inside.
+unsigned cohen_sutherland_outcode(Vec2 p, const BBox2& box);
+
+/// Cohen–Sutherland line clipping. Returns the portion of [a, b] inside
+/// `box`, or nullopt if the segment lies entirely outside.
+std::optional<Segment> clip_to_box(Vec2 a, Vec2 b, const BBox2& box);
+
+/// Fast conservative test: does segment [a, b] possibly intersect `box`?
+/// (Trivial-reject via outcodes plus the clip; used to prune candidate rays
+/// against another element's boundary-layer AABB.)
+bool segment_intersects_box(Vec2 a, Vec2 b, const BBox2& box);
+
+/// Distance from point p to the closed segment [a, b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Exact point-in-polygon test (crossing parity with robust orientation
+/// tests). The polygon is closed implicitly (last -> first) and may be
+/// non-convex. Points exactly on the boundary report true.
+bool point_in_polygon(Vec2 p, std::span<const Vec2> polygon);
+
+/// Interior angle at vertex b of the polyline a-b-c, in radians [0, pi].
+double angle_at(Vec2 a, Vec2 b, Vec2 c);
+
+/// Signed angle from direction u to direction v in (-pi, pi].
+double signed_angle(Vec2 u, Vec2 v);
+
+}  // namespace aero

@@ -1,0 +1,58 @@
+#include "geom/triangle_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/segment.hpp"
+
+namespace aero {
+
+Vec2 circumcenter(Vec2 a, Vec2 b, Vec2 c) {
+  // Translate so `a` is the origin: better conditioning for thin triangles
+  // far from the origin, which boundary layers are full of.
+  const Vec2 ab = b - a;
+  const Vec2 ac = c - a;
+  const double d = 2.0 * ab.cross(ac);
+  const double ab2 = ab.norm2();
+  const double ac2 = ac.norm2();
+  const double ux = (ac.y * ab2 - ab.y * ac2) / d;
+  const double uy = (ab.x * ac2 - ac.x * ab2) / d;
+  return {a.x + ux, a.y + uy};
+}
+
+double circumradius(Vec2 a, Vec2 b, Vec2 c) {
+  return distance(circumcenter(a, b, c), a);
+}
+
+double shortest_edge(Vec2 a, Vec2 b, Vec2 c) {
+  return std::min({distance(a, b), distance(b, c), distance(c, a)});
+}
+
+double radius_edge_ratio(Vec2 a, Vec2 b, Vec2 c) {
+  const double s = shortest_edge(a, b, c);
+  return s > 0.0 ? circumradius(a, b, c) / s
+                 : std::numeric_limits<double>::infinity();
+}
+
+double min_angle(Vec2 a, Vec2 b, Vec2 c) {
+  return std::min({angle_at(c, a, b), angle_at(a, b, c), angle_at(b, c, a)});
+}
+
+double max_angle(Vec2 a, Vec2 b, Vec2 c) {
+  return std::max({angle_at(c, a, b), angle_at(a, b, c), angle_at(b, c, a)});
+}
+
+double aspect_ratio(Vec2 a, Vec2 b, Vec2 c) {
+  const double lab = distance(a, b);
+  const double lbc = distance(b, c);
+  const double lca = distance(c, a);
+  const double longest = std::max({lab, lbc, lca});
+  const double area = std::fabs(signed_area(a, b, c));
+  if (area == 0.0) return std::numeric_limits<double>::infinity();
+  const double s = (lab + lbc + lca) / 2.0;  // semi-perimeter
+  const double inradius = area / s;
+  return longest / (2.0 * inradius);
+}
+
+}  // namespace aero

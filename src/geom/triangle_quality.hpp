@@ -1,0 +1,36 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Signed area of triangle (a, b, c); positive when counter-clockwise.
+/// This is the rounded value — use orient2d for the exact sign.
+inline double signed_area(Vec2 a, Vec2 b, Vec2 c) {
+  return 0.5 * ((b - a).cross(c - a));
+}
+
+/// Circumcenter of triangle (a, b, c). The triangle must be non-degenerate.
+Vec2 circumcenter(Vec2 a, Vec2 b, Vec2 c);
+
+/// Circumradius of triangle (a, b, c).
+double circumradius(Vec2 a, Vec2 b, Vec2 c);
+
+/// Length of the shortest edge of triangle (a, b, c).
+double shortest_edge(Vec2 a, Vec2 b, Vec2 c);
+
+/// Circumradius-to-shortest-edge ratio. Ruppert's algorithm terminates with
+/// all ratios <= bound B; B = sqrt(2) corresponds to a 20.7 degree min angle.
+double radius_edge_ratio(Vec2 a, Vec2 b, Vec2 c);
+
+/// Smallest interior angle in radians.
+double min_angle(Vec2 a, Vec2 b, Vec2 c);
+
+/// Largest interior angle in radians.
+double max_angle(Vec2 a, Vec2 b, Vec2 c);
+
+/// Aspect ratio: longest edge / (2 * inradius). 1 for equilateral-ish, large
+/// for the slivers and needles of an anisotropic boundary layer.
+double aspect_ratio(Vec2 a, Vec2 b, Vec2 c);
+
+}  // namespace aero

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+
+namespace aero {
+
+/// Two-dimensional point / vector with double coordinates.
+///
+/// This is the coordinate type used throughout the mesh generator. It is a
+/// trivially-copyable aggregate so that arrays of vertices can be moved with
+/// low-level memory copies during subdomain partitioning (see the storage
+/// discussion in the paper's Implementation section).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// Z-component of the 3D cross product (signed parallelogram area).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction. Returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Counter-clockwise perpendicular (rotate by +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// Rotate by `theta` radians counter-clockwise.
+  Vec2 rotated(double theta) const {
+    const double c = std::cos(theta), s = std::sin(theta);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Midpoint of two points.
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) { return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0}; }
+
+/// Linear interpolation: t=0 gives a, t=1 gives b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+/// Lexicographic x-then-y ordering, used for x-sorted vertex arrays.
+struct LessXY {
+  constexpr bool operator()(Vec2 a, Vec2 b) const {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  }
+};
+
+/// Lexicographic y-then-x ordering, used for y-sorted vertex arrays.
+struct LessYX {
+  constexpr bool operator()(Vec2 a, Vec2 b) const {
+    return a.y < b.y || (a.y == b.y && a.x < b.x);
+  }
+};
+
+struct Vec2Hash {
+  std::size_t operator()(Vec2 v) const {
+    const std::size_t hx = std::hash<double>{}(v.x);
+    const std::size_t hy = std::hash<double>{}(v.y);
+    return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};
+
+}  // namespace aero

@@ -1,0 +1,192 @@
+#include "hull/lifted.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "geom/expansion.hpp"
+
+namespace aero {
+
+namespace {
+
+using namespace aero::expansion;
+
+constexpr double kEps = std::numeric_limits<double>::epsilon() / 2.0;
+// Conservative forward error coefficient for the filtered evaluation below
+// (a handful of multiplies and adds; the exact fallback makes looseness
+// harmless).
+constexpr double kFilterCoeff = 64.0 * kEps;
+
+/// Exact expansion for w(p) = (p - m) . (p - m). Writes <= 16 components
+/// into `out`; returns the count.
+int lift_w(Vec2 m, Vec2 p, double* out) {
+  double dx[2], dy[2];
+  two_diff(p.x, m.x, dx[1], dx[0]);
+  two_diff(p.y, m.y, dy[1], dy[0]);
+
+  double tx1[4], tx2[4], x2[8];
+  const int lx1 = scale_expansion_zeroelim(2, dx, dx[1], tx1);
+  const int lx2 = scale_expansion_zeroelim(2, dx, dx[0], tx2);
+  const int lxx = fast_expansion_sum_zeroelim(lx1, tx1, lx2, tx2, x2);
+
+  double ty1[4], ty2[4], y2[8];
+  const int ly1 = scale_expansion_zeroelim(2, dy, dy[1], ty1);
+  const int ly2 = scale_expansion_zeroelim(2, dy, dy[0], ty2);
+  const int lyy = fast_expansion_sum_zeroelim(ly1, ty1, ly2, ty2, y2);
+
+  return fast_expansion_sum_zeroelim(lxx, x2, lyy, y2, out);
+}
+
+/// out = e - f (expansion difference); returns component count.
+int expansion_diff(int elen, const double* e, int flen, const double* f,
+                   double* out) {
+  double negf[16];
+  for (int i = 0; i < flen; ++i) negf[i] = -f[i];
+  return fast_expansion_sum_zeroelim(elen, e, flen, negf, out);
+}
+
+/// out = (2-component a) * (expansion e); returns component count.
+/// `out` must hold 4 * elen doubles.
+int mul2_expansion(const double a[2], int elen, const double* e, double* out,
+                   double* scratch) {
+  const int l1 = scale_expansion_zeroelim(elen, e, a[1], scratch);
+  double* s2 = scratch + 2 * elen;
+  const int l2 = scale_expansion_zeroelim(elen, e, a[0], s2);
+  return fast_expansion_sum_zeroelim(l1, scratch, l2, s2, out);
+}
+
+}  // namespace
+
+int lifted_w_compare(Vec2 m, Vec2 p, Vec2 q) {
+  // Filter.
+  const double wp = (p - m).norm2();
+  const double wq = (q - m).norm2();
+  const double diff = wq - wp;
+  const double err = kFilterCoeff * (wq + wp);
+  if (diff > err) return 1;
+  if (diff < -err) return -1;
+
+  double ep[16], eq[16], d[32];
+  const int lp = lift_w(m, p, ep);
+  const int lq = lift_w(m, q, eq);
+  const int ld = expansion_diff(lq, eq, lp, ep, d);
+  return sign(ld, d);
+}
+
+int circumcenter_side(Vec2 a, Vec2 b, Vec2 c, CutAxis axis, double line) {
+  // For a vertical line x == l:
+  //   cc.x - l = (a.x - l) + (ac.y*|ab|^2 - ab.y*|ac|^2) / (2 ab x ac)
+  // so sign(cc.x - l) = sign((a.x-l)*d + ac.y*|ab|^2 - ab.y*|ac|^2) * sign(d)
+  // with d = 2 (ab x ac). The horizontal case swaps the roles of x and y
+  // (with the complementary sign structure). All computed exactly.
+  const bool v = axis == CutAxis::kVertical;
+
+  // Filter.
+  {
+    const Vec2 ab = b - a;
+    const Vec2 ac = c - a;
+    const double d = 2.0 * ab.cross(ac);
+    const double ab2 = ab.norm2();
+    const double ac2 = ac.norm2();
+    const double e = (v ? a.x : a.y) - line;
+    const double num = v ? (e * d + ac.y * ab2 - ab.y * ac2)
+                         : (e * d + ab.x * ac2 - ac.x * ab2);
+    const double perm = std::fabs(e * d) +
+                        (v ? std::fabs(ac.y) : std::fabs(ac.x)) * ab2 +
+                        (v ? std::fabs(ab.y) : std::fabs(ab.x)) * ac2;
+    const double err = 128.0 * kEps * perm;
+    if (num > err) return d > 0.0 ? 1 : -1;
+    if (num < -err) return d > 0.0 ? -1 : 1;
+    // fall through to exact (also covers |d| itself being unreliable; the
+    // exact path recomputes everything including the orientation sign)
+  }
+
+  double abx[2], aby[2], acx[2], acy[2], e2[2];
+  two_diff(b.x, a.x, abx[1], abx[0]);
+  two_diff(b.y, a.y, aby[1], aby[0]);
+  two_diff(c.x, a.x, acx[1], acx[0]);
+  two_diff(c.y, a.y, acy[1], acy[0]);
+  two_diff(v ? a.x : a.y, line, e2[1], e2[0]);
+
+  double scratch[64];
+  // d = 2 (abx*acy - aby*acx)
+  double t1[8], t2[8], d16[16];
+  const int lt1 = mul2_expansion(abx, 2, acy, t1, scratch);
+  const int lt2 = mul2_expansion(aby, 2, acx, t2, scratch);
+  for (int i = 0; i < lt2; ++i) t2[i] = -t2[i];
+  int ld = fast_expansion_sum_zeroelim(lt1, t1, lt2, t2, d16);
+  for (int i = 0; i < ld; ++i) d16[i] *= 2.0;  // exact: power-of-two scale
+  const int dsign = sign(ld, d16);
+  if (dsign == 0) return 0;  // degenerate triangle; caller filters
+
+  // ab2 = abx^2 + aby^2, ac2 likewise.
+  double sq1[8], sq2[8], ab2e[16], ac2e[16];
+  int l1 = mul2_expansion(abx, 2, abx, sq1, scratch);
+  int l2 = mul2_expansion(aby, 2, aby, sq2, scratch);
+  const int lab2 = fast_expansion_sum_zeroelim(l1, sq1, l2, sq2, ab2e);
+  l1 = mul2_expansion(acx, 2, acx, sq1, scratch);
+  l2 = mul2_expansion(acy, 2, acy, sq2, scratch);
+  const int lac2 = fast_expansion_sum_zeroelim(l1, sq1, l2, sq2, ac2e);
+
+  double scratch2[128];
+  double term1[64], term2[64], term3[64];
+  const int lt1b = mul2_expansion(e2, ld, d16, term1, scratch2);
+  int lt2b, lt3b;
+  if (v) {
+    lt2b = mul2_expansion(acy, lab2, ab2e, term2, scratch2);
+    lt3b = mul2_expansion(aby, lac2, ac2e, term3, scratch2);
+  } else {
+    lt2b = mul2_expansion(abx, lac2, ac2e, term2, scratch2);
+    lt3b = mul2_expansion(acx, lab2, ab2e, term3, scratch2);
+  }
+  for (int i = 0; i < lt3b; ++i) term3[i] = -term3[i];
+  double s12[128], num[192];
+  const int ls12 = fast_expansion_sum_zeroelim(lt1b, term1, lt2b, term2, s12);
+  const int lnum = fast_expansion_sum_zeroelim(ls12, s12, lt3b, term3, num);
+  return sign(lnum, num) * dsign;
+}
+
+int lifted_turn(Vec2 m, Vec2 p, Vec2 q, Vec2 r, CutAxis axis) {
+  const double up = lifted_u(p, axis);
+  const double uq = lifted_u(q, axis);
+  const double ur = lifted_u(r, axis);
+
+  // Filtered evaluation.
+  const double wp = (p - m).norm2();
+  const double wq = (q - m).norm2();
+  const double wr = (r - m).norm2();
+  const double duq = uq - up;
+  const double dur = ur - up;
+  const double det = duq * (wr - wp) - dur * (wq - wp);
+  const double permanent =
+      std::fabs(duq) * (std::fabs(wr) + std::fabs(wp)) +
+      std::fabs(dur) * (std::fabs(wq) + std::fabs(wp));
+  const double errbound = kFilterCoeff * permanent;
+  if (det > errbound) return 1;
+  if (det < -errbound) return -1;
+
+  // Exact evaluation.
+  double ewp[16], ewq[16], ewr[16];
+  const int lwp = lift_w(m, p, ewp);
+  const int lwq = lift_w(m, q, ewq);
+  const int lwr = lift_w(m, r, ewr);
+
+  double dwq[32], dwr[32];
+  const int ldwq = expansion_diff(lwq, ewq, lwp, ewp, dwq);
+  const int ldwr = expansion_diff(lwr, ewr, lwp, ewp, dwr);
+
+  double eduq[2], edur[2];
+  two_diff(uq, up, eduq[1], eduq[0]);
+  two_diff(ur, up, edur[1], edur[0]);
+
+  double term1[128], term2[128], scratch[128];
+  const int lt1 = mul2_expansion(eduq, ldwr, dwr, term1, scratch);
+  const int lt2 = mul2_expansion(edur, ldwq, dwq, term2, scratch);
+
+  double cross[256];
+  for (int i = 0; i < lt2; ++i) term2[i] = -term2[i];
+  const int lc = fast_expansion_sum_zeroelim(lt1, term1, lt2, term2, cross);
+  return sign(lc, cross);
+}
+
+}  // namespace aero

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Orientation of the median line used by a decomposition split.
+/// kVertical = median line x == const (cut of the x-extent, paper's "cut axis
+/// parallel to the y-axis"); kHorizontal = median line y == const.
+enum class CutAxis { kVertical, kHorizontal };
+
+/// The projection-based decomposition lifts every point p of a subdomain to
+///   ( u(p), w(p) ) = ( secondary coordinate, |p - m|^2 )
+/// where m is the median vertex: the paraboloid centered at the median
+/// vertex, flattened onto the vertical plane through the median line. The
+/// lower convex hull of the lifted points is the dividing Delaunay path
+/// (Blelloch et al. 1996). Both predicates below are exact (floating-point
+/// filter + expansion arithmetic): the path must consist of true Delaunay
+/// edges or the independently triangulated subdomains would not conform.
+
+/// u-coordinate of the flattening for the given median-line orientation.
+inline double lifted_u(Vec2 p, CutAxis axis) {
+  return axis == CutAxis::kVertical ? p.y : p.x;
+}
+
+/// Sign of the turn p -> q -> r in lifted space: +1 left (counter-clockwise),
+/// -1 right, 0 collinear (three points on a circle centered on the median
+/// line). Points' u-coordinates must be used consistently with `axis`.
+int lifted_turn(Vec2 m, Vec2 p, Vec2 q, Vec2 r, CutAxis axis);
+
+/// Sign of w(q) - w(p): compares squared distances to the median vertex
+/// exactly. Used to order equal-u runs before the hull scan.
+int lifted_w_compare(Vec2 m, Vec2 p, Vec2 q);
+
+/// Exact side of the circumcenter of triangle (a, b, c) relative to the
+/// median line (x == line for kVertical, y == line for kHorizontal):
+/// -1 = left/below, 0 = exactly on the line, +1 = right/above.
+///
+/// This is the Blelloch partition criterion: a subdomain's Delaunay
+/// triangulation keeps exactly the triangles whose circumcenter falls on its
+/// side of every ancestor median line (ties broken to the left/below side,
+/// identically in all subdomains, so degenerate triangles are kept exactly
+/// once). The triangle may have either orientation.
+int circumcenter_side(Vec2 a, Vec2 b, Vec2 c, CutAxis axis, double line);
+
+}  // namespace aero

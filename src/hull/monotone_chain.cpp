@@ -1,0 +1,91 @@
+#include "hull/monotone_chain.hpp"
+
+#include <algorithm>
+
+#include "geom/predicates.hpp"
+
+namespace aero {
+
+std::vector<std::uint32_t> lower_hull(std::span<const Vec2> pts) {
+  std::vector<std::uint32_t> h;
+  h.reserve(16);
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    // Pop the previous point while it makes a non-left turn (the paper's
+    // "right-hand turn" removal, Figure 7).
+    while (h.size() >= 2 &&
+           orient2d(pts[h[h.size() - 2]], pts[h.back()], pts[i]) <= 0.0) {
+      h.pop_back();
+    }
+    h.push_back(i);
+  }
+  return h;
+}
+
+std::vector<std::uint32_t> convex_hull_ccw(std::span<const Vec2> pts) {
+  const std::size_t n = pts.size();
+  std::vector<std::uint32_t> h;
+  if (n < 3) {
+    for (std::uint32_t i = 0; i < n; ++i) h.push_back(i);
+    return h;
+  }
+  // Lower then upper chain; pop only on strict right turns so collinear
+  // boundary points survive.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    while (h.size() >= 2 &&
+           orient2d(pts[h[h.size() - 2]], pts[h.back()], pts[i]) < 0.0) {
+      h.pop_back();
+    }
+    h.push_back(i);
+  }
+  const std::size_t lower_len = h.size();
+  for (std::uint32_t i = static_cast<std::uint32_t>(n - 1); i-- > 0;) {
+    while (h.size() > lower_len &&
+           orient2d(pts[h[h.size() - 2]], pts[h.back()], pts[i]) < 0.0) {
+      h.pop_back();
+    }
+    h.push_back(i);
+  }
+  h.pop_back();  // the first point would repeat
+  return h;
+}
+
+std::vector<std::uint32_t> lifted_lower_hull(std::span<const Vec2> pts,
+                                             Vec2 median, CutAxis axis) {
+  // Index order: by u, with equal-u runs ordered by exact lifted w so the
+  // chain scan sees a proper lexicographic (u, w) order.
+  std::vector<std::uint32_t> order(pts.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::size_t run = 0;
+  while (run < order.size()) {
+    std::size_t end = run + 1;
+    while (end < order.size() &&
+           lifted_u(pts[order[end]], axis) == lifted_u(pts[order[run]], axis)) {
+      ++end;
+    }
+    if (end - run > 1) {
+      std::sort(order.begin() + static_cast<std::ptrdiff_t>(run),
+                order.begin() + static_cast<std::ptrdiff_t>(end),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return lifted_w_compare(median, pts[a], pts[b]) > 0;
+                });
+      // Sorted descending? No: we want ascending w; lifted_w_compare(m,p,q)
+      // returns sign(w(q) - w(p)), so "a before b" iff w(a) < w(b), i.e.
+      // compare(m, a, b) > 0. (Kept explicit for clarity.)
+    }
+    run = end;
+  }
+
+  std::vector<std::uint32_t> h;
+  h.reserve(16);
+  for (const std::uint32_t i : order) {
+    while (h.size() >= 2 &&
+           lifted_turn(median, pts[h[h.size() - 2]], pts[h.back()], pts[i],
+                       axis) <= 0) {
+      h.pop_back();
+    }
+    h.push_back(i);
+  }
+  return h;
+}
+
+}  // namespace aero

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hull/lifted.hpp"
+
+namespace aero {
+
+/// Lower convex hull of a point set in the plane, by Andrew's monotone chain.
+/// `pts` must be sorted lexicographically (x, then y). Returns indices of the
+/// hull vertices in increasing-x order. Runs in linear time on sorted input:
+/// each point is pushed once and popped at most once. Collinear points are
+/// removed (minimal hull).
+std::vector<std::uint32_t> lower_hull(std::span<const Vec2> pts);
+
+/// Full convex hull (counter-clockwise, starting at the lexicographic
+/// minimum) of `pts`, which must be sorted lexicographically. Collinear
+/// boundary points are KEPT on the hull: downstream the hull polygon is used
+/// as a conforming border of the boundary-layer triangulation, whose hull
+/// edges stop at every collinear point.
+std::vector<std::uint32_t> convex_hull_ccw(std::span<const Vec2> pts);
+
+/// Lower convex hull of the *lifted* subdomain points: the dividing Delaunay
+/// path of the projection-based decomposition.
+///
+/// `pts` must be sorted by the u-coordinate for `axis` (y for a vertical
+/// median line, x for a horizontal one); ties in u are reordered internally
+/// by exact lifted w. `median` is the median vertex the paraboloid is
+/// centered on. Returns indices into `pts` of the path vertices in u order.
+/// All turn decisions use exact arithmetic: the returned chain consists of
+/// true Delaunay edges of the point set.
+std::vector<std::uint32_t> lifted_lower_hull(std::span<const Vec2> pts,
+                                             Vec2 median, CutAxis axis);
+
+}  // namespace aero

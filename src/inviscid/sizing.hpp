@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Graded isotropic sizing for the inviscid region: the target edge length
+/// grows linearly with distance from the near-body box toward the far-field,
+/// so triangle count stays bounded even though the far-field spans 30-50
+/// chord lengths (the "exponentially growing area" the paper parallelizes).
+struct GradedSizing {
+  BBox2 inner;                  ///< near-body box the grading measures from
+  double surface_length = 0.02; ///< target edge length at the near-body box
+  double grade = 0.25;          ///< edge-length growth per unit distance
+
+  /// Distance from p to the inner box (0 inside).
+  double distance_to_inner(Vec2 p) const {
+    const double dx =
+        std::max({inner.lo.x - p.x, 0.0, p.x - inner.hi.x});
+    const double dy =
+        std::max({inner.lo.y - p.y, 0.0, p.y - inner.hi.y});
+    return std::hypot(dx, dy);
+  }
+
+  /// Target edge length at p.
+  double length_at(Vec2 p) const {
+    return surface_length + grade * distance_to_inner(p);
+  }
+
+  /// Target (maximum) triangle area at p: area of an equilateral triangle
+  /// with the target edge length.
+  double area_at(Vec2 p) const {
+    const double l = length_at(p);
+    return 0.4330127018922193 * l * l;  // sqrt(3)/4 * l^2
+  }
+
+  /// Decoupling zone size from the paper's equation (1):
+  ///   k = 1/2 * sqrt(A / sqrt(2))
+  /// where A is the desired area at the location. Border points spaced
+  /// D in [2k/sqrt(3), 2k) keep independently refined neighbors Delaunay-
+  /// conforming under Ruppert's sqrt(2) circumradius-to-edge bound.
+  double k_at(Vec2 p) const {
+    return 0.5 * std::sqrt(area_at(p) / 1.4142135623730951);
+  }
+};
+
+}  // namespace aero

@@ -1,0 +1,150 @@
+#include "io/mesh_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace aero {
+
+namespace {
+
+std::ofstream open_out(const std::string& path, bool binary = false) {
+  std::ofstream f(path, binary ? std::ios::binary : std::ios::out);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_vtk(const MergedMesh& mesh, const std::string& path,
+               const std::vector<double>* point_scalars,
+               const std::string& scalar_name) {
+  std::ofstream f = open_out(path);
+  f << "# vtk DataFile Version 3.0\naeromesh\nASCII\n"
+    << "DATASET UNSTRUCTURED_GRID\n";
+  const auto& pts = mesh.points();
+  f << "POINTS " << pts.size() << " double\n";
+  for (const Vec2 p : pts) f << p.x << ' ' << p.y << " 0\n";
+
+  const std::size_t nt = mesh.triangle_count();
+  f << "CELLS " << nt << ' ' << nt * 4 << '\n';
+  const auto& tris = mesh.triangles();
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    if (!mesh.alive(t)) continue;
+    f << "3 " << tris[t][0] << ' ' << tris[t][1] << ' ' << tris[t][2] << '\n';
+  }
+  f << "CELL_TYPES " << nt << '\n';
+  for (std::size_t t = 0; t < nt; ++t) f << "5\n";
+
+  if (point_scalars) {
+    if (point_scalars->size() != pts.size()) {
+      throw std::invalid_argument("scalar field size mismatch");
+    }
+    f << "POINT_DATA " << pts.size() << "\nSCALARS " << scalar_name
+      << " double 1\nLOOKUP_TABLE default\n";
+    for (const double v : *point_scalars) f << v << '\n';
+  }
+}
+
+void write_node_ele(const MergedMesh& mesh, const std::string& basename) {
+  {
+    std::ofstream f = open_out(basename + ".node");
+    const auto& pts = mesh.points();
+    f << pts.size() << " 2 0 0\n";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      f << i << ' ' << pts[i].x << ' ' << pts[i].y << '\n';
+    }
+  }
+  {
+    std::ofstream f = open_out(basename + ".ele");
+    f << mesh.triangle_count() << " 3 0\n";
+    const auto& tris = mesh.triangles();
+    std::size_t id = 0;
+    for (std::size_t t = 0; t < tris.size(); ++t) {
+      if (!mesh.alive(t)) continue;
+      f << id++ << ' ' << tris[t][0] << ' ' << tris[t][1] << ' '
+        << tris[t][2] << '\n';
+    }
+  }
+}
+
+void write_binary(const MergedMesh& mesh, const std::string& path) {
+  std::ofstream f = open_out(path, /*binary=*/true);
+  const auto& pts = mesh.points();
+  const std::uint64_t np = pts.size();
+  const std::uint64_t nt = mesh.triangle_count();
+  f.write(reinterpret_cast<const char*>(&np), sizeof np);
+  f.write(reinterpret_cast<const char*>(&nt), sizeof nt);
+  for (const Vec2 p : pts) {
+    f.write(reinterpret_cast<const char*>(&p.x), sizeof p.x);
+    f.write(reinterpret_cast<const char*>(&p.y), sizeof p.y);
+  }
+  const auto& tris = mesh.triangles();
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    if (!mesh.alive(t)) continue;
+    f.write(reinterpret_cast<const char*>(tris[t].data()),
+            sizeof(std::uint32_t) * 3);
+  }
+}
+
+void write_poly(const Pslg& pslg, const std::string& path) {
+  std::ofstream f = open_out(path);
+  f << pslg.points.size() << " 2 0 "
+    << (pslg.point_markers.empty() ? 0 : 1) << '\n';
+  for (std::size_t i = 0; i < pslg.points.size(); ++i) {
+    f << i << ' ' << pslg.points[i].x << ' ' << pslg.points[i].y;
+    if (!pslg.point_markers.empty()) f << ' ' << pslg.point_markers[i];
+    f << '\n';
+  }
+  f << pslg.segments.size() << " 0\n";
+  for (std::size_t i = 0; i < pslg.segments.size(); ++i) {
+    f << i << ' ' << pslg.segments[i].first << ' ' << pslg.segments[i].second
+      << '\n';
+  }
+  f << pslg.holes.size() << '\n';
+  for (std::size_t i = 0; i < pslg.holes.size(); ++i) {
+    f << i << ' ' << pslg.holes[i].x << ' ' << pslg.holes[i].y << '\n';
+  }
+}
+
+Pslg read_poly(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  Pslg pslg;
+  std::size_t np, dim, nattr, nmark;
+  f >> np >> dim >> nattr >> nmark;
+  if (!f || dim != 2) throw std::runtime_error("bad .poly header: " + path);
+  pslg.points.resize(np);
+  if (nmark) pslg.point_markers.resize(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    std::size_t id;
+    f >> id >> pslg.points[i].x >> pslg.points[i].y;
+    for (std::size_t a = 0; a < nattr; ++a) {
+      double skip;
+      f >> skip;
+    }
+    if (nmark) f >> pslg.point_markers[i];
+  }
+  std::size_t ns, smark;
+  f >> ns >> smark;
+  pslg.segments.resize(ns);
+  for (std::size_t i = 0; i < ns; ++i) {
+    std::size_t id;
+    f >> id >> pslg.segments[i].first >> pslg.segments[i].second;
+    for (std::size_t a = 0; a < smark; ++a) {
+      int skip;
+      f >> skip;
+    }
+  }
+  std::size_t nh;
+  f >> nh;
+  pslg.holes.resize(nh);
+  for (std::size_t i = 0; i < nh; ++i) {
+    std::size_t id;
+    f >> id >> pslg.holes[i].x >> pslg.holes[i].y;
+  }
+  if (!f) throw std::runtime_error("truncated .poly file: " + path);
+  return pslg;
+}
+
+}  // namespace aero

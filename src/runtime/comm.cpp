@@ -1,0 +1,46 @@
+#include "runtime/comm.hpp"
+
+#include <stdexcept>
+
+namespace aero {
+
+Communicator::Communicator(int nranks)
+    : boxes_(static_cast<std::size_t>(nranks)) {
+  if (nranks < 1) throw std::invalid_argument("need at least one rank");
+}
+
+void Communicator::send(int from, int to, int tag,
+                        std::vector<std::uint8_t> payload) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard lock(box.m);
+    box.q.push_back(Message{tag, from, std::move(payload)});
+  }
+  box.cv.notify_one();
+}
+
+Message Communicator::recv(int rank) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lock(box.m);
+  box.cv.wait(lock, [&box] { return !box.q.empty(); });
+  Message msg = std::move(box.q.front());
+  box.q.pop_front();
+  return msg;
+}
+
+std::optional<Message> Communicator::try_recv(int rank) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(box.m);
+  if (box.q.empty()) return std::nullopt;
+  Message msg = std::move(box.q.front());
+  box.q.pop_front();
+  return msg;
+}
+
+std::size_t Communicator::pending(int rank) const {
+  const Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(box.m);
+  return box.q.size();
+}
+
+}  // namespace aero

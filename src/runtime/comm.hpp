@@ -1,0 +1,85 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace aero {
+
+/// Message tags used by the mesh-generation protocol (mirrors the paper's
+/// MPI tag usage).
+enum MsgTag : int {
+  kTagWorkRequest = 1,   ///< "I am running low; send me a subdomain"
+  kTagWorkTransfer = 2,  ///< serialized subdomain payload
+  kTagNoWork = 3,        ///< request denied (nothing spare)
+  kTagShutdown = 4,      ///< global termination
+  kTagResult = 5,        ///< triangle soup gathered to the root
+};
+
+/// A point-to-point message.
+struct Message {
+  int tag = 0;
+  int from = -1;
+  std::vector<std::uint8_t> payload;
+};
+
+/// In-process message-passing fabric: one mailbox per rank, blocking
+/// receives, FIFO per sender-receiver pair. This is the MPI send/recv
+/// substitute -- the communication *structure* of the paper's implementation
+/// (who sends what to whom, and when) is preserved exactly; only the wire is
+/// shared memory instead of Infiniband.
+class Communicator {
+ public:
+  explicit Communicator(int nranks);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Enqueue a message into `to`'s mailbox.
+  void send(int from, int to, int tag, std::vector<std::uint8_t> payload = {});
+
+  /// Blocking receive of the next message for `rank`.
+  Message recv(int rank);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int rank);
+
+  /// Count of queued messages (diagnostics).
+  std::size_t pending(int rank) const;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> q;
+  };
+  std::vector<Mailbox> boxes_;
+};
+
+/// Remote-memory-access window emulation: an array of work-load estimates
+/// hosted on the root, written with `put` (MPI_Put) by each rank's
+/// communicator thread and snapshot with `get_all` (MPI_Get) when a rank
+/// decides whom to steal from.
+class RmaWindow {
+ public:
+  explicit RmaWindow(std::size_t n) : data_(n, 0.0) {}
+
+  void put(std::size_t index, double value) {
+    std::lock_guard lock(m_);
+    data_[index] = value;
+  }
+
+  std::vector<double> get_all() const {
+    std::lock_guard lock(m_);
+    return data_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<double> data_;
+};
+
+}  // namespace aero

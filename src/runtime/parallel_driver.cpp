@@ -1,0 +1,63 @@
+#include "runtime/parallel_driver.hpp"
+
+namespace aero {
+
+ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
+                                          int nranks) {
+  ParallelMeshResult result;
+  Timer total;
+
+  Timer t1;
+  result.boundary_layer = build_boundary_layer(config.airfoil, config.blayer);
+  result.timings.record("boundary_layer_points", t1.seconds());
+
+  PoolOptions pool_opts;
+  pool_opts.nranks = nranks;
+  pool_opts.bl_decompose = config.bl_decompose;
+  pool_opts.inviscid_target_triangles = config.inviscid_target_triangles;
+  pool_opts.inviscid_max_level = config.inviscid_max_level;
+
+  // Phase 1 pool: boundary-layer decomposition + triangulation. The sizing
+  // is not needed by BL units; pass a placeholder.
+  Timer t2;
+  GradedSizing placeholder;
+  {
+    std::vector<WorkUnit> initial;
+    initial.push_back(WorkUnit{WorkUnit::Kind::kBlDecompose,
+                               make_root_subdomain(result.boundary_layer.points),
+                               {}});
+    result.bl_pool =
+        run_pool(std::move(initial), placeholder, pool_opts, result.mesh);
+  }
+  // Ring restriction on the gathered mesh (root side).
+  restrict_to_ring(result.mesh, result.boundary_layer);
+  result.timings.record("boundary_layer_pool", t2.seconds());
+
+  // Interface + inviscid layout.
+  Timer t3;
+  const InviscidDomain domain =
+      make_inviscid_domain(result.boundary_layer, config, result.mesh);
+  result.sizing = domain.sizing;
+  result.timings.record("inviscid_layout", t3.seconds());
+
+  // Phase 2 pool: inviscid decoupling + refinement.
+  Timer t4;
+  {
+    std::vector<WorkUnit> initial;
+    for (InviscidSubdomain& quad : initial_quadrants(domain)) {
+      initial.push_back(
+          WorkUnit{WorkUnit::Kind::kInviscidDecouple, {}, std::move(quad)});
+    }
+    initial.push_back(WorkUnit{WorkUnit::Kind::kInviscidDecouple,
+                               {},
+                               near_body_subdomain(domain)});
+    result.inviscid_pool =
+        run_pool(std::move(initial), domain.sizing, pool_opts, result.mesh);
+  }
+  result.timings.record("inviscid_pool", t4.seconds());
+
+  result.timings.record("total", total.seconds());
+  return result;
+}
+
+}  // namespace aero

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/mesh_generator.hpp"
+#include "runtime/pool.hpp"
+
+namespace aero {
+
+/// Result of a parallel (in-process rank pool) mesh generation run.
+struct ParallelMeshResult {
+  MergedMesh mesh;
+  BoundaryLayer boundary_layer;
+  GradedSizing sizing;
+  PoolStats bl_pool;
+  PoolStats inviscid_pool;
+  PhaseTimings timings;
+};
+
+/// The push-button pipeline with the subdomain work distributed over an
+/// in-process rank pool (the MPI-substitute runtime): boundary-layer
+/// decomposition+triangulation in one pool pass, then inviscid
+/// decoupling+refinement in a second pass (the interface between them is
+/// extracted from the assembled boundary-layer mesh, which is the one global
+/// synchronization point of the pipeline).
+ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
+                                          int nranks);
+
+}  // namespace aero

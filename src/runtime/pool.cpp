@@ -1,0 +1,285 @@
+#include "runtime/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "io/timer.hpp"
+
+namespace aero {
+
+namespace {
+
+/// Per-rank shared state between its mesher and communicator threads.
+struct RankState {
+  std::mutex m;
+  std::condition_variable cv;
+  /// Cost-descending priority queue (paper: largest subdomains meshed first,
+  /// small ones saved for endgame load balancing).
+  std::multimap<double, WorkUnit, std::greater<>> queue;
+  double queued_cost = 0.0;
+  bool shutdown = false;
+  std::vector<std::array<Vec2, 3>> triangles;
+  std::size_t tasks_done = 0;
+};
+
+struct SharedState {
+  Communicator comm;
+  RmaWindow window;
+  std::atomic<long> outstanding{0};
+  std::atomic<std::size_t> steals{0};
+  std::atomic<std::size_t> denials{0};
+  std::atomic<std::size_t> transfer_bytes{0};
+  const GradedSizing* sizing = nullptr;
+  const PoolOptions* opts = nullptr;
+
+  SharedState(int nranks) : comm(nranks), window(static_cast<std::size_t>(nranks)) {}
+};
+
+void push_local(SharedState& shared, RankState& rs, WorkUnit unit) {
+  const double c = unit.cost(*shared.sizing);
+  {
+    std::lock_guard lock(rs.m);
+    rs.queue.emplace(c, std::move(unit));
+    rs.queued_cost += c;
+  }
+  rs.cv.notify_one();
+}
+
+/// Process one unit on `rank`: either split it (spawning new local units) or
+/// mesh it (collecting inside triangles).
+void process_unit(SharedState& shared, RankState& rs, WorkUnit unit) {
+  const PoolOptions& opts = *shared.opts;
+  // Children are accounted in `outstanding` BEFORE they are enqueued, so the
+  // counter can never reach zero while spawned work is still invisible.
+  if (unit.kind == WorkUnit::Kind::kBlDecompose) {
+    const std::size_t parent_size = unit.bl.size();
+    if (sufficiently_decomposed(unit.bl, opts.bl_decompose)) {
+      unit.bl.finalize();
+      for (const auto& tri : triangulate_subdomain_dc(unit.bl)) {
+        rs.triangles.push_back(tri);
+      }
+    } else {
+      auto [l, r] = split_subdomain(std::move(unit.bl));
+      if (l.size() >= parent_size || r.size() >= parent_size) {
+        Subdomain whole = l.size() >= parent_size ? std::move(l) : std::move(r);
+        whole.level -= 1;
+        whole.cuts.pop_back();
+        whole.finalize();
+        for (const auto& tri : triangulate_subdomain_dc(whole)) {
+          rs.triangles.push_back(tri);
+        }
+      } else {
+        shared.outstanding.fetch_add(2);
+        push_local(shared, rs, WorkUnit{WorkUnit::Kind::kBlDecompose,
+                                        std::move(l), {}});
+        push_local(shared, rs, WorkUnit{WorkUnit::Kind::kBlDecompose,
+                                        std::move(r), {}});
+      }
+    }
+  } else {
+    const bool leaf =
+        !unit.inv.hole_segments.empty() ||
+        unit.inv.level >= opts.inviscid_max_level ||
+        unit.inv.estimated_triangles(*shared.sizing) <=
+            opts.inviscid_target_triangles;
+    std::vector<InviscidSubdomain> children;
+    if (!leaf) children = plus_split(unit.inv, *shared.sizing);
+    if (leaf || children.empty()) {
+      const TriangulateResult r = refine_subdomain(unit.inv, *shared.sizing);
+      r.mesh.for_each_triangle([&](TriIndex t) {
+        const MeshTri& mt = r.mesh.tri(t);
+        if (!mt.inside) return;
+        rs.triangles.push_back({r.mesh.point(mt.v[0]), r.mesh.point(mt.v[1]),
+                                r.mesh.point(mt.v[2])});
+      });
+    } else {
+      shared.outstanding.fetch_add(static_cast<long>(children.size()));
+      for (auto& c : children) {
+        push_local(shared, rs,
+                   WorkUnit{WorkUnit::Kind::kInviscidDecouple, {}, std::move(c)});
+      }
+    }
+  }
+  ++rs.tasks_done;
+
+  if (shared.outstanding.fetch_sub(1) == 1) {
+    // Global termination: every created unit has completed.
+    for (int r = 0; r < shared.comm.size(); ++r) {
+      shared.comm.send(-1, r, kTagShutdown);
+    }
+  }
+}
+
+void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
+                 int rank) {
+  RankState& rs = ranks[static_cast<std::size_t>(rank)];
+  while (true) {
+    WorkUnit unit;
+    {
+      std::unique_lock lock(rs.m);
+      rs.cv.wait(lock, [&rs] { return rs.shutdown || !rs.queue.empty(); });
+      if (rs.queue.empty()) {
+        if (rs.shutdown) return;
+        continue;
+      }
+      auto it = rs.queue.begin();  // largest cost first
+      rs.queued_cost -= it->first;
+      unit = std::move(it->second);
+      rs.queue.erase(it);
+    }
+    process_unit(shared, rs, std::move(unit));
+    // Give the communicator threads a scheduling window (matters on
+    // oversubscribed machines; a real cluster has a core per thread).
+    std::this_thread::yield();
+  }
+}
+
+void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
+                       int rank) {
+  RankState& rs = ranks[static_cast<std::size_t>(rank)];
+  const PoolOptions& opts = *shared.opts;
+  bool requested = false;
+  auto last_update = std::chrono::steady_clock::now();
+
+  while (true) {
+    if (auto msg = shared.comm.try_recv(rank)) {
+      switch (msg->tag) {
+        case kTagWorkRequest: {
+          // Donate the largest queued unit if we can spare it.
+          std::optional<WorkUnit> donation;
+          {
+            std::lock_guard lock(rs.m);
+            if (rs.queue.size() > 1 &&
+                rs.queued_cost > opts.steal_threshold) {
+              auto it = rs.queue.begin();
+              rs.queued_cost -= it->first;
+              donation = std::move(it->second);
+              rs.queue.erase(it);
+            }
+          }
+          if (donation) {
+            auto bytes = serialize(*donation);
+            shared.transfer_bytes += bytes.size();
+            shared.steals += 1;
+            shared.comm.send(rank, msg->from, kTagWorkTransfer,
+                             std::move(bytes));
+          } else {
+            shared.denials += 1;
+            shared.comm.send(rank, msg->from, kTagNoWork);
+          }
+          break;
+        }
+        case kTagWorkTransfer: {
+          WorkUnit unit = deserialize_work(msg->payload);
+          push_local(shared, rs, std::move(unit));
+          requested = false;
+          break;
+        }
+        case kTagNoWork:
+          requested = false;
+          break;
+        case kTagShutdown: {
+          {
+            std::lock_guard lock(rs.m);
+            rs.shutdown = true;
+          }
+          rs.cv.notify_all();
+          if (rank != 0) {
+            // Gather this rank's triangles at the root ("the points are
+            // gathered at the root process").
+            shared.comm.send(rank, 0, kTagResult,
+                             serialize_triangles(rs.triangles));
+          }
+          return;
+        }
+        default:
+          break;
+      }
+      continue;  // drain the mailbox before housekeeping
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_update >= opts.update_period) {
+      last_update = now;
+      double cost;
+      {
+        std::lock_guard lock(rs.m);
+        cost = rs.queued_cost;
+      }
+      shared.window.put(static_cast<std::size_t>(rank), cost);
+
+      if (!requested && cost < opts.steal_threshold) {
+        // Fetch the global loads and ask the busiest rank for work.
+        const std::vector<double> loads = shared.window.get_all();
+        int target = -1;
+        double best = opts.steal_threshold;
+        for (int r = 0; r < shared.comm.size(); ++r) {
+          if (r != rank && loads[static_cast<std::size_t>(r)] > best) {
+            best = loads[static_cast<std::size_t>(r)];
+            target = r;
+          }
+        }
+        if (target >= 0) {
+          shared.comm.send(rank, target, kTagWorkRequest);
+          requested = true;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace
+
+PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
+                   const PoolOptions& opts, MergedMesh& out) {
+  PoolStats stats;
+  Timer timer;
+
+  SharedState shared(opts.nranks);
+  shared.sizing = &sizing;
+  shared.opts = &opts;
+  shared.outstanding = static_cast<long>(initial.size());
+
+  std::vector<RankState> ranks(static_cast<std::size_t>(opts.nranks));
+  for (auto& unit : initial) {
+    push_local(shared, ranks[0], std::move(unit));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opts.nranks) * 2);
+  for (int r = 0; r < opts.nranks; ++r) {
+    threads.emplace_back(mesher_main, std::ref(shared), std::ref(ranks), r);
+    threads.emplace_back(communicator_main, std::ref(shared), std::ref(ranks),
+                         r);
+  }
+  for (auto& t : threads) t.join();
+
+  // Root-side gather: rank 0's own triangles plus every other rank's
+  // serialized soup (already sitting in rank 0's mailbox).
+  for (const auto& tri : ranks[0].triangles) {
+    out.add_triangle(tri[0], tri[1], tri[2]);
+  }
+  int results = 0;
+  while (results < opts.nranks - 1) {
+    const Message msg = shared.comm.recv(0);
+    if (msg.tag != kTagResult) continue;
+    stats.result_bytes += msg.payload.size();
+    for (const auto& tri : deserialize_triangles(msg.payload)) {
+      out.add_triangle(tri[0], tri[1], tri[2]);
+    }
+    ++results;
+  }
+
+  stats.steals = shared.steals;
+  stats.steal_denials = shared.denials;
+  stats.transfer_bytes = shared.transfer_bytes;
+  for (const auto& rs : ranks) stats.tasks_per_rank.push_back(rs.tasks_done);
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace aero

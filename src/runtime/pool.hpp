@@ -1,0 +1,51 @@
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "core/merged_mesh.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/work.hpp"
+
+namespace aero {
+
+/// Options of the in-process work-stealing pool.
+struct PoolOptions {
+  int nranks = 4;
+  /// A rank's communicator requests work when its queued cost estimate
+  /// falls below this many estimated triangles.
+  double steal_threshold = 5000.0;
+  /// Period of the RMA window load updates.
+  std::chrono::microseconds update_period{200};
+
+  /// Boundary-layer decomposition tolerances.
+  DecomposeOptions bl_decompose;
+  /// Inviscid decoupling recursion target and cap.
+  double inviscid_target_triangles = 40000.0;
+  int inviscid_max_level = 10;
+};
+
+/// Statistics of a pool run.
+struct PoolStats {
+  std::size_t steals = 0;          ///< successful work transfers
+  std::size_t steal_denials = 0;   ///< requests answered with no-work
+  std::size_t transfer_bytes = 0;  ///< total serialized work payload moved
+  std::size_t result_bytes = 0;    ///< triangle payload gathered to the root
+  std::vector<std::size_t> tasks_per_rank;
+  double wall_seconds = 0.0;
+};
+
+/// Run the distributed mesh generation protocol: every rank hosts a mesher
+/// thread (splitting and meshing subdomains from a cost-ordered priority
+/// queue, largest first) and a communicator thread (periodic RMA load
+/// updates, steal requests toward the most-loaded rank, request service,
+/// shutdown, and the final gather of triangle soups to the root).
+///
+/// `initial` work is handed to rank 0, matching the paper's pipeline where
+/// the root owns the undecomposed domain and the decomposition itself is
+/// distributed by the load balancer. The merged triangles of all ranks are
+/// appended to `out` (root side).
+PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
+                   const PoolOptions& opts, MergedMesh& out);
+
+}  // namespace aero

@@ -1,0 +1,146 @@
+#include "runtime/work.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aero {
+
+namespace {
+
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+  void put_points(const std::vector<Vec2>& pts) {
+    put<std::uint64_t>(pts.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(pts.data());
+    bytes_.insert(bytes_.end(), p, p + pts.size() * sizeof(Vec2));
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      throw std::runtime_error("work unit payload truncated");
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::vector<Vec2> get_points() {
+    const auto n = get<std::uint64_t>();
+    if (pos_ + n * sizeof(Vec2) > bytes_.size()) {
+      throw std::runtime_error("work unit payload truncated");
+    }
+    std::vector<Vec2> pts(n);
+    std::memcpy(pts.data(), bytes_.data() + pos_, n * sizeof(Vec2));
+    pos_ += n * sizeof(Vec2);
+    return pts;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const WorkUnit& unit) {
+  Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(unit.kind));
+  if (unit.kind == WorkUnit::Kind::kBlDecompose) {
+    const Subdomain& s = unit.bl;
+    w.put<std::int32_t>(s.level);
+    w.put<std::uint8_t>(s.final_ ? 1 : 0);
+    w.put<std::uint64_t>(s.cuts.size());
+    for (const Cut& c : s.cuts) {
+      w.put<std::uint8_t>(c.axis == CutAxis::kVertical ? 1 : 0);
+      w.put<double>(c.line);
+      w.put<std::uint8_t>(c.keep_left ? 1 : 0);
+    }
+    w.put_points(s.xsorted);
+    if (!s.final_) w.put_points(s.ysorted);
+  } else {
+    const InviscidSubdomain& s = unit.inv;
+    w.put<std::int32_t>(s.level);
+    for (const std::size_t c : s.corners) w.put<std::uint64_t>(c);
+    w.put_points(s.border);
+    w.put<std::uint64_t>(s.hole_segments.size());
+    for (const auto& [a, b] : s.hole_segments) {
+      w.put<Vec2>(a);
+      w.put<Vec2>(b);
+    }
+    w.put_points(s.hole_seeds);
+  }
+  return w.take();
+}
+
+WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  WorkUnit unit;
+  unit.kind = static_cast<WorkUnit::Kind>(r.get<std::uint8_t>());
+  if (unit.kind == WorkUnit::Kind::kBlDecompose) {
+    Subdomain& s = unit.bl;
+    s.level = r.get<std::int32_t>();
+    s.final_ = r.get<std::uint8_t>() != 0;
+    const auto ncuts = r.get<std::uint64_t>();
+    s.cuts.resize(ncuts);
+    for (auto& c : s.cuts) {
+      c.axis = r.get<std::uint8_t>() ? CutAxis::kVertical
+                                     : CutAxis::kHorizontal;
+      c.line = r.get<double>();
+      c.keep_left = r.get<std::uint8_t>() != 0;
+    }
+    s.xsorted = r.get_points();
+    if (!s.final_) s.ysorted = r.get_points();
+  } else {
+    InviscidSubdomain& s = unit.inv;
+    s.level = r.get<std::int32_t>();
+    for (auto& c : s.corners) c = r.get<std::uint64_t>();
+    s.border = r.get_points();
+    const auto nholes = r.get<std::uint64_t>();
+    s.hole_segments.resize(nholes);
+    for (auto& [a, b] : s.hole_segments) {
+      a = r.get<Vec2>();
+      b = r.get<Vec2>();
+    }
+    s.hole_seeds = r.get_points();
+  }
+  return unit;
+}
+
+std::vector<std::uint8_t> serialize_triangles(
+    const std::vector<std::array<Vec2, 3>>& tris) {
+  Writer w;
+  w.put<std::uint64_t>(tris.size());
+  for (const auto& t : tris) {
+    for (const Vec2 p : t) w.put<Vec2>(p);
+  }
+  return w.take();
+}
+
+std::vector<std::array<Vec2, 3>> deserialize_triangles(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const auto n = r.get<std::uint64_t>();
+  std::vector<std::array<Vec2, 3>> tris(n);
+  for (auto& t : tris) {
+    for (Vec2& p : t) p = r.get<Vec2>();
+  }
+  return tris;
+}
+
+}  // namespace aero

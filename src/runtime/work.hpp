@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hull/subdomain.hpp"
+#include "inviscid/decouple.hpp"
+
+namespace aero {
+
+/// One schedulable unit of meshing work. Mirrors the paper's subdomain work
+/// units: boundary-layer subdomains still being decomposed, and decoupled
+/// inviscid subdomains awaiting refinement. Both decomposition and meshing
+/// happen inside the pool, so splits spawn new units dynamically.
+struct WorkUnit {
+  enum class Kind : std::uint8_t {
+    kBlDecompose,      ///< boundary-layer subdomain (split or triangulate)
+    kInviscidDecouple, ///< inviscid subdomain (split or refine)
+  };
+  Kind kind = Kind::kBlDecompose;
+  Subdomain bl;
+  InviscidSubdomain inv;
+
+  /// Estimated triangles produced (the load-balancing cost of the paper:
+  /// boundary-layer units carry their point payload and sort first).
+  double cost(const GradedSizing& sizing) const {
+    return kind == Kind::kBlDecompose ? bl.cost()
+                                      : inv.estimated_triangles(sizing);
+  }
+};
+
+/// Serialize a work unit for transfer to another rank. Finalized
+/// boundary-layer subdomains ship only their x-sorted vertices (the paper's
+/// communication optimization); unfinalized ones also ship the y-sorted
+/// copy. Projected coordinates are never shipped -- they depend on the next
+/// median vertex and are recomputed after transfer.
+std::vector<std::uint8_t> serialize(const WorkUnit& unit);
+WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes);
+
+/// Serialize a triangle soup (coordinate triples) for the result gather.
+std::vector<std::uint8_t> serialize_triangles(
+    const std::vector<std::array<Vec2, 3>>& tris);
+std::vector<std::array<Vec2, 3>> deserialize_triangles(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace aero

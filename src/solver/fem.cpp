@@ -1,0 +1,234 @@
+#include "solver/fem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "geom/triangle_quality.hpp"
+
+namespace aero {
+
+void CsrMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+  y.assign(rows(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      acc += val[k] * x[col[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+FemProblem::FemProblem(const MergedMesh& mesh, double nu, Vec2 advection,
+                       std::function<double(Vec2)> forcing,
+                       std::function<double(Vec2)> dirichlet)
+    : mesh_(mesh) {
+  const std::size_t np = mesh.points().size();
+
+  // Boundary vertices: endpoints of edges with a single incident triangle.
+  std::vector<std::uint8_t> is_boundary(np, 0);
+  {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> counts;
+    const auto& tris = mesh.triangles();
+    for (std::size_t t = 0; t < tris.size(); ++t) {
+      if (!mesh.alive(t)) continue;
+      for (int i = 0; i < 3; ++i) {
+        auto a = tris[t][i];
+        auto b = tris[t][(i + 1) % 3];
+        if (b < a) std::swap(a, b);
+        ++counts[{a, b}];
+      }
+    }
+    for (const auto& [e, c] : counts) {
+      if (c == 1) {
+        is_boundary[e.first] = 1;
+        is_boundary[e.second] = 1;
+      }
+    }
+  }
+
+  vertex_to_unknown_.assign(np, -1);
+  boundary_value_.assign(np, 0.0);
+  for (std::uint32_t v = 0; v < np; ++v) {
+    if (is_boundary[v]) {
+      boundary_value_[v] = dirichlet(mesh.points()[v]);
+    } else {
+      vertex_to_unknown_[v] = static_cast<std::int64_t>(free_.size());
+      free_.push_back(v);
+    }
+  }
+
+  // Element-wise assembly into a map-of-rows, then CSR.
+  std::vector<std::map<std::uint32_t, double>> rows(free_.size());
+  rhs_.assign(free_.size(), 0.0);
+
+  const auto& tris = mesh.triangles();
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    if (!mesh.alive(t)) continue;
+    const std::uint32_t vid[3] = {tris[t][0], tris[t][1], tris[t][2]};
+    const Vec2 p0 = mesh.points()[vid[0]];
+    const Vec2 p1 = mesh.points()[vid[1]];
+    const Vec2 p2 = mesh.points()[vid[2]];
+    const double area = signed_area(p0, p1, p2);
+    if (area <= 0.0) continue;
+
+    // P1 shape function gradients: grad phi_i = perp(opposite edge) / (2A).
+    const Vec2 grad[3] = {
+        Vec2{p1.y - p2.y, p2.x - p1.x} / (2.0 * area),
+        Vec2{p2.y - p0.y, p0.x - p2.x} / (2.0 * area),
+        Vec2{p0.y - p1.y, p1.x - p0.x} / (2.0 * area),
+    };
+    const Vec2 centroid{(p0.x + p1.x + p2.x) / 3.0,
+                        (p0.y + p1.y + p2.y) / 3.0};
+    const double f_mid = forcing ? forcing(centroid) : 0.0;
+
+    for (int i = 0; i < 3; ++i) {
+      const std::int64_t row = vertex_to_unknown_[vid[i]];
+      if (row < 0) continue;
+      // Load: one-point quadrature.
+      rhs_[static_cast<std::size_t>(row)] += f_mid * area / 3.0;
+      for (int j = 0; j < 3; ++j) {
+        // Diffusion + advection (one-point quadrature for b . grad).
+        const double a_ij = nu * grad[i].dot(grad[j]) * area +
+                            advection.dot(grad[j]) * area / 3.0;
+        const std::int64_t cj = vertex_to_unknown_[vid[j]];
+        if (cj >= 0) {
+          rows[static_cast<std::size_t>(row)][static_cast<std::uint32_t>(cj)] +=
+              a_ij;
+        } else {
+          rhs_[static_cast<std::size_t>(row)] -=
+              a_ij * boundary_value_[vid[j]];
+        }
+      }
+    }
+  }
+
+  matrix_.row_ptr.assign(free_.size() + 1, 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    matrix_.row_ptr[r + 1] = matrix_.row_ptr[r] + rows[r].size();
+  }
+  matrix_.col.reserve(matrix_.row_ptr.back());
+  matrix_.val.reserve(matrix_.row_ptr.back());
+  for (const auto& row : rows) {
+    for (const auto& [c, v] : row) {
+      matrix_.col.push_back(c);
+      matrix_.val.push_back(v);
+    }
+  }
+}
+
+SolveResult FemProblem::solve(const SolveOptions& opts) const {
+  SolveResult result;
+  const std::size_t n = matrix_.rows();
+  result.u.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Diagonal extraction.
+  std::vector<double> diag(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = matrix_.row_ptr[r]; k < matrix_.row_ptr[r + 1]; ++k) {
+      if (matrix_.col[k] == r) diag[r] = matrix_.val[k];
+    }
+  }
+
+  double rhs_norm = 0.0;
+  for (const double b : rhs_) rhs_norm += b * b;
+  rhs_norm = std::sqrt(rhs_norm);
+  if (rhs_norm == 0.0) rhs_norm = 1.0;
+
+  std::vector<double> ax(n);
+  std::vector<double> next(n);
+  result.residual_history.reserve(1024);
+
+  if (opts.scheme == IterScheme::kConjugateGradient) {
+    // Jacobi-preconditioned CG from the zero initial guess.
+    std::vector<double> r = rhs_;
+    std::vector<double> z(n), p(n), ap(n);
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    p = z;
+    double rz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+    for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+      matrix_.multiply(p, ap);
+      double pap = 0.0;
+      for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+      if (pap == 0.0) break;
+      const double alpha = rz / pap;
+      double rnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        result.u[i] += alpha * p[i];
+        r[i] -= alpha * ap[i];
+        rnorm += r[i] * r[i];
+      }
+      rnorm = std::sqrt(rnorm) / rhs_norm;
+      result.residual_history.push_back(rnorm);
+      result.iterations = it + 1;
+      if (rnorm < opts.tolerance) {
+        result.converged = true;
+        break;
+      }
+      double rz_new = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        z[i] = r[i] / diag[i];
+        rz_new += r[i] * z[i];
+      }
+      const double beta = rz_new / rz;
+      rz = rz_new;
+      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    return result;
+  }
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (opts.scheme == IterScheme::kJacobi) {
+      matrix_.multiply(result.u, ax);
+      for (std::size_t r = 0; r < n; ++r) {
+        next[r] = result.u[r] + opts.omega * (rhs_[r] - ax[r]) / diag[r];
+      }
+      result.u.swap(next);
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        double acc = rhs_[r];
+        double d = diag[r];
+        for (std::size_t k = matrix_.row_ptr[r]; k < matrix_.row_ptr[r + 1];
+             ++k) {
+          if (matrix_.col[k] == r) continue;
+          acc -= matrix_.val[k] * result.u[matrix_.col[k]];
+        }
+        result.u[r] =
+            (1.0 - opts.omega) * result.u[r] + opts.omega * acc / d;
+      }
+    }
+
+    // Residual check (every iteration: the history is the figure's series).
+    matrix_.multiply(result.u, ax);
+    double rnorm = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double e = rhs_[r] - ax[r];
+      rnorm += e * e;
+    }
+    rnorm = std::sqrt(rnorm) / rhs_norm;
+    result.residual_history.push_back(rnorm);
+    result.iterations = it + 1;
+    if (rnorm < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> FemProblem::expand(const std::vector<double>& u) const {
+  std::vector<double> full = boundary_value_;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    full[free_[i]] = u[i];
+  }
+  return full;
+}
+
+}  // namespace aero

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/merged_mesh.hpp"
+
+namespace aero {
+
+/// Compressed sparse row matrix (symmetric structure, general values).
+struct CsrMatrix {
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+  std::size_t rows() const { return row_ptr.size() - 1; }
+
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+};
+
+/// Iteration schemes for the stationary solver.
+enum class IterScheme {
+  kJacobi,
+  kGaussSeidel,
+  /// Jacobi-preconditioned conjugate gradients. Valid only for symmetric
+  /// problems (zero advection); used by the Figure 16 convergence study so
+  /// the 1e-12 tolerance is reachable on large meshes.
+  kConjugateGradient,
+};
+
+/// Options of the convergence study.
+struct SolveOptions {
+  IterScheme scheme = IterScheme::kGaussSeidel;
+  double tolerance = 1e-12;  ///< relative residual (paper Figure 16: 1e-12)
+  std::size_t max_iterations = 200000;
+  double omega = 1.0;  ///< relaxation factor
+};
+
+/// Result of an iterative solve.
+struct SolveResult {
+  std::vector<double> u;               ///< solution per mesh vertex
+  std::vector<double> residual_history;///< relative residual per iteration
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// P1 Galerkin discretization of the steady advection-diffusion problem
+///   -div(nu grad u) + b . grad u = f
+/// on the triangulation, with Dirichlet values on the boundary vertices.
+/// This is the substitute for the paper's FUN3D runs: the convergence
+/// iteration count of a stationary scheme on the same anisotropic vs
+/// isotropic meshes reproduces the trade-off of Figure 16.
+class FemProblem {
+ public:
+  /// `dirichlet` returns the boundary value at a boundary vertex position
+  /// (applied at every vertex of a count-1 edge).
+  FemProblem(const MergedMesh& mesh, double nu, Vec2 advection,
+             std::function<double(Vec2)> forcing,
+             std::function<double(Vec2)> dirichlet);
+
+  /// Run the stationary iteration from a zero initial guess.
+  SolveResult solve(const SolveOptions& opts) const;
+
+  std::size_t unknowns() const { return matrix_.rows(); }
+  const CsrMatrix& matrix() const { return matrix_; }
+  const std::vector<double>& rhs() const { return rhs_; }
+  /// Mesh vertex index of each unknown.
+  const std::vector<std::uint32_t>& free_vertices() const { return free_; }
+  /// Full per-vertex field from a solution vector (boundary values filled).
+  std::vector<double> expand(const std::vector<double>& u) const;
+
+ private:
+  const MergedMesh& mesh_;
+  CsrMatrix matrix_;
+  std::vector<double> rhs_;
+  std::vector<std::uint32_t> free_;            ///< unknown -> vertex
+  std::vector<std::int64_t> vertex_to_unknown_;///< vertex -> unknown or -1
+  std::vector<double> boundary_value_;         ///< per vertex (0 if free)
+};
+
+}  // namespace aero

@@ -1,0 +1,181 @@
+#include "solver/panel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aero {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Dense Gaussian elimination with partial pivoting (the influence matrix is
+/// small and dense; no substrate needed).
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::fabs(a[r][k]) > std::fabs(a[pivot][k])) pivot = r;
+    }
+    if (a[pivot][k] == 0.0) {
+      throw std::runtime_error("panel method: singular influence matrix");
+    }
+    std::swap(a[k], a[pivot]);
+    std::swap(b[k], b[pivot]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = a[r][k] / a[k][k];
+      if (f == 0.0) continue;
+      for (std::size_t c = k; c < n; ++c) a[r][c] -= f * a[k][c];
+      b[r] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t k = n; k-- > 0;) {
+    double acc = b[k];
+    for (std::size_t c = k + 1; c < n; ++c) acc -= a[k][c] * x[c];
+    x[k] = acc / a[k][k];
+  }
+  return x;
+}
+
+}  // namespace
+
+void PanelMethod::panel_influence(const Panel& panel, Vec2 p, Vec2& source_vel,
+                                  Vec2& vortex_vel) {
+  // Local frame: x along the tangent from endpoint a, y along the normal.
+  const Vec2 d = p - panel.a;
+  const double x = d.dot(panel.tangent);
+  const double y = d.dot(panel.normal);
+  const double len = panel.length;
+
+  if (p == panel.mid) {
+    // Self-influence of the collocation point: half-strength jump.
+    source_vel = panel.normal * 0.5;
+    vortex_vel = panel.tangent * 0.5;
+    return;
+  }
+
+  const double r1sq = x * x + y * y;
+  const double r2sq = (x - len) * (x - len) + y * y;
+  const double theta1 = std::atan2(y, x);
+  const double theta2 = std::atan2(y, x - len);
+  const double dln = 0.5 * std::log(r1sq / r2sq);
+  const double dth = theta2 - theta1;
+
+  const double su = dln / (2.0 * kPi);
+  const double sv = dth / (2.0 * kPi);
+  source_vel = panel.tangent * su + panel.normal * sv;
+
+  const double vu = dth / (2.0 * kPi);
+  const double vv = -dln / (2.0 * kPi);
+  vortex_vel = panel.tangent * vu + panel.normal * vv;
+}
+
+PanelMethod::PanelMethod(const AirfoilConfig& config, double alpha)
+    : alpha_(alpha) {
+  freestream_ = Vec2{std::cos(alpha), std::sin(alpha)};
+
+  for (std::size_t e = 0; e < config.elements.size(); ++e) {
+    const auto& surf = config.elements[e].surface;
+    const std::size_t n = surf.size();
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 a = surf[i];
+      const Vec2 b = surf[(i + 1) % n];
+      const double len = distance(a, b);
+      if (len == 0.0) continue;
+      Panel panel;
+      panel.a = a;
+      panel.b = b;
+      panel.mid = midpoint(a, b);
+      panel.length = len;
+      panel.tangent = (b - a) / len;
+      // CCW surface: outward normal is the tangent rotated by -90 degrees.
+      panel.normal = Vec2{panel.tangent.y, -panel.tangent.x};
+      panel.element = e;
+      panels_.push_back(panel);
+      ++count;
+    }
+    panels_per_element_.push_back(count);
+  }
+
+  const std::size_t np = panels_.size();
+  const std::size_t ne = config.elements.size();
+  const std::size_t dim = np + ne;
+  std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> rhs(dim, 0.0);
+
+  // Flow tangency at every collocation point.
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < np; ++j) {
+      Vec2 sv, vv;
+      panel_influence(panels_[j], panels_[i].mid, sv, vv);
+      a[i][j] = sv.dot(panels_[i].normal);
+      a[i][np + panels_[j].element] += vv.dot(panels_[i].normal);
+    }
+    rhs[i] = -freestream_.dot(panels_[i].normal);
+  }
+
+  // Kutta condition per element: equal-and-opposite tangential velocities on
+  // the two panels adjacent to the trailing edge (the first and last panel
+  // of the element's closed polyline, which starts at the trailing edge).
+  std::size_t base = 0;
+  for (std::size_t e = 0; e < ne; ++e) {
+    const std::size_t first = base;
+    const std::size_t last = base + panels_per_element_[e] - 1;
+    const std::size_t row = np + e;
+    for (std::size_t j = 0; j < np; ++j) {
+      Vec2 sv1, vv1, sv2, vv2;
+      panel_influence(panels_[j], panels_[first].mid, sv1, vv1);
+      panel_influence(panels_[j], panels_[last].mid, sv2, vv2);
+      a[row][j] = sv1.dot(panels_[first].tangent) +
+                  sv2.dot(panels_[last].tangent);
+      a[row][np + panels_[j].element] +=
+          vv1.dot(panels_[first].tangent) + vv2.dot(panels_[last].tangent);
+    }
+    rhs[row] = -freestream_.dot(panels_[first].tangent) -
+               freestream_.dot(panels_[last].tangent);
+    base += panels_per_element_[e];
+  }
+
+  const std::vector<double> solution = solve_dense(std::move(a), std::move(rhs));
+  source_strength_.assign(solution.begin(),
+                          solution.begin() + static_cast<std::ptrdiff_t>(np));
+  vortex_strength_.assign(solution.begin() + static_cast<std::ptrdiff_t>(np),
+                          solution.end());
+}
+
+Vec2 PanelMethod::velocity(Vec2 p) const {
+  Vec2 v = freestream_;
+  for (std::size_t j = 0; j < panels_.size(); ++j) {
+    Vec2 sv, vv;
+    panel_influence(panels_[j], p, sv, vv);
+    v += sv * source_strength_[j] + vv * vortex_strength_[panels_[j].element];
+  }
+  return v;
+}
+
+std::vector<double> PanelMethod::surface_cp() const {
+  std::vector<double> cp;
+  cp.reserve(panels_.size());
+  for (const Panel& panel : panels_) {
+    const double vt = velocity(panel.mid).dot(panel.tangent);
+    cp.push_back(1.0 - vt * vt);
+  }
+  return cp;
+}
+
+double PanelMethod::lift_coefficient() const {
+  // Kutta-Joukowski: Cl = 2 Gamma / (V c) with Gamma the clockwise
+  // circulation; our vortex strengths are counter-clockwise-positive, hence
+  // the sign flip. Gamma_e = gamma_e * perimeter_e.
+  double gamma_total = 0.0;
+  for (const Panel& panel : panels_) {
+    gamma_total += vortex_strength_[panel.element] * panel.length;
+  }
+  return -2.0 * gamma_total;
+}
+
+}  // namespace aero

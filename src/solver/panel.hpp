@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "airfoil/geometry.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Hess-Smith panel method: constant-strength source panels on every surface
+/// segment plus one vortex strength per element, closed with the Kutta
+/// condition at each trailing edge. This is the qualitative flow-field
+/// substitute for the paper's FUN3D runs (Figures 14 and 15): it produces
+/// the surface pressure distribution and the velocity field the figures
+/// visualize (high pressure below / low above at incidence; acceleration
+/// through the slat gaps).
+class PanelMethod {
+ public:
+  /// `alpha` is the angle of attack in radians; freestream speed is 1.
+  PanelMethod(const AirfoilConfig& config, double alpha);
+
+  /// Velocity at a field point (freestream + induced).
+  Vec2 velocity(Vec2 p) const;
+
+  /// Pressure coefficient Cp = 1 - |V|^2.
+  double pressure_coefficient(Vec2 p) const {
+    const Vec2 v = velocity(p);
+    return 1.0 - v.norm2();
+  }
+
+  /// Local "Mach" proxy: M_inf * |V| / V_inf.
+  double mach(Vec2 p, double mach_inf) const {
+    return mach_inf * velocity(p).norm();
+  }
+
+  /// Surface pressure coefficient at each panel midpoint (per element,
+  /// concatenated; use panel_counts() to split).
+  std::vector<double> surface_cp() const;
+  const std::vector<std::size_t>& panel_counts() const {
+    return panels_per_element_;
+  }
+
+  /// Lift coefficient from the integrated circulation (Kutta-Joukowski).
+  double lift_coefficient() const;
+
+ private:
+  struct Panel {
+    Vec2 a, b;        ///< endpoints (surface order)
+    Vec2 mid;         ///< collocation point
+    Vec2 tangent;     ///< unit, a -> b
+    Vec2 normal;      ///< unit outward
+    double length;
+    std::size_t element;
+  };
+
+  /// Velocity induced at p by a unit-strength source panel / vortex panel.
+  static void panel_influence(const Panel& panel, Vec2 p, Vec2& source_vel,
+                              Vec2& vortex_vel);
+
+  std::vector<Panel> panels_;
+  std::vector<double> source_strength_;   ///< per panel
+  std::vector<double> vortex_strength_;   ///< per element
+  std::vector<std::size_t> panels_per_element_;
+  Vec2 freestream_;
+  double alpha_;
+};
+
+}  // namespace aero

@@ -1,0 +1,64 @@
+#include "spatial/adt.hpp"
+
+#include <cassert>
+
+namespace aero {
+
+Range4 overlap_range(const BBox2& q, const BBox2& world) {
+  // A stored extent box (x0, y0, x1, y1) overlaps q iff
+  //   x0 <= q.hi.x  and  y0 <= q.hi.y  and  x1 >= q.lo.x  and  y1 >= q.lo.y.
+  // Expressed as a 4D interval with the world box providing the open sides.
+  Range4 r;
+  r.lo = {world.lo.x, world.lo.y, q.lo.x, q.lo.y};
+  r.hi = {q.hi.x, q.hi.y, world.hi.x, world.hi.y};
+  return r;
+}
+
+AlternatingDigitalTree::AlternatingDigitalTree(const BBox2& world)
+    : world_(world) {
+  assert(!world.empty());
+}
+
+void AlternatingDigitalTree::insert(const BBox2& box, std::uint32_t id) {
+  Node fresh{to_point4(box), id, -1, -1};
+  if (nodes_.empty()) {
+    nodes_.push_back(fresh);
+    return;
+  }
+
+  Point4 lo{world_.lo.x, world_.lo.y, world_.lo.x, world_.lo.y};
+  Point4 hi{world_.hi.x, world_.hi.y, world_.hi.x, world_.hi.y};
+  std::int32_t current = 0;
+  int depth = 0;
+  while (true) {
+    const int k = depth % 4;
+    const double mid = (lo[k] + hi[k]) / 2.0;
+    Node& node = nodes_[static_cast<std::size_t>(current)];
+    const bool go_left = fresh.point[k] < mid;
+    std::int32_t& child = go_left ? node.left : node.right;
+    if (child < 0) {
+      // Appending may reallocate nodes_, so compute the index first and do
+      // not touch `node` afterwards.
+      const auto new_index = static_cast<std::int32_t>(nodes_.size());
+      child = new_index;
+      nodes_.push_back(fresh);
+      return;
+    }
+    if (go_left) {
+      hi[k] = mid;
+    } else {
+      lo[k] = mid;
+    }
+    current = child;
+    ++depth;
+  }
+}
+
+std::vector<std::uint32_t> AlternatingDigitalTree::query_overlaps(
+    const BBox2& query) const {
+  std::vector<std::uint32_t> out;
+  for_each_overlap(query, [&out](std::uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace aero

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// A point in the 4-dimensional space of segment extent boxes:
+/// (xmin, ymin, xmax, ymax).
+using Point4 = std::array<double, 4>;
+
+/// Map a 2D extent box to its 4D point representation.
+inline Point4 to_point4(const BBox2& b) {
+  return {b.lo.x, b.lo.y, b.hi.x, b.hi.y};
+}
+
+/// The 4D query range whose member points are exactly the extent boxes that
+/// intersect `q`: a box (x0,y0,x1,y1) overlaps q iff
+///   x0 <= q.hi.x, y0 <= q.hi.y, x1 >= q.lo.x, y1 >= q.lo.y.
+struct Range4 {
+  Point4 lo;
+  Point4 hi;
+
+  bool contains(const Point4& p) const {
+    for (int k = 0; k < 4; ++k) {
+      if (p[k] < lo[k] || p[k] > hi[k]) return false;
+    }
+    return true;
+  }
+};
+
+/// Query range for "all stored extent boxes intersecting box q", bounded by
+/// the world box the tree was constructed with.
+Range4 overlap_range(const BBox2& q, const BBox2& world);
+
+/// Alternating Digital Tree (Bonet & Peraire, 1991).
+///
+/// A binary tree over k-dimensional points (k = 4 here) where the
+/// discriminating coordinate alternates with depth and each node bisects its
+/// hyper-subregion at the midpoint. Inserting n segment extent boxes and then
+/// querying each against the rest resolves all pairwise box overlaps in
+/// O(n log n) expected time -- this is the pruning structure the paper uses
+/// for both self-intersection and multi-element intersection checks on
+/// boundary-layer rays.
+class AlternatingDigitalTree {
+ public:
+  /// `world` must enclose every box that will be inserted; it defines the
+  /// root subregion in all four dimensions.
+  explicit AlternatingDigitalTree(const BBox2& world);
+
+  /// Insert an extent box with a caller-chosen id (e.g. a ray index).
+  void insert(const BBox2& box, std::uint32_t id);
+
+  /// Ids of all stored boxes that intersect `query` (inclusive of touching).
+  std::vector<std::uint32_t> query_overlaps(const BBox2& query) const;
+
+  /// Visit ids of all stored boxes intersecting `query` without allocating.
+  template <typename Fn>
+  void for_each_overlap(const BBox2& query, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    const Range4 range = overlap_range(query, world_);
+    Point4 lo{world_.lo.x, world_.lo.y, world_.lo.x, world_.lo.y};
+    Point4 hi{world_.hi.x, world_.hi.y, world_.hi.x, world_.hi.y};
+    search(0, 0, lo, hi, range, fn);
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// World box the tree was constructed with.
+  const BBox2& world() const { return world_; }
+
+ private:
+  struct Node {
+    Point4 point;
+    std::uint32_t id;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  template <typename Fn>
+  void search(std::int32_t node_index, int depth, Point4 lo, Point4 hi,
+              const Range4& range, Fn&& fn) const {
+    const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (range.contains(node.point)) fn(node.id);
+
+    const int k = depth % 4;
+    const double mid = (lo[k] + hi[k]) / 2.0;
+    // Left subregion: coordinate k in [lo, mid); right: [mid, hi].
+    if (node.left >= 0 && range.lo[k] < mid) {
+      Point4 child_hi = hi;
+      child_hi[k] = mid;
+      search(node.left, depth + 1, lo, child_hi, range, fn);
+    }
+    if (node.right >= 0 && range.hi[k] >= mid) {
+      Point4 child_lo = lo;
+      child_lo[k] = mid;
+      search(node.right, depth + 1, child_lo, hi, range, fn);
+    }
+  }
+
+  BBox2 world_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace aero

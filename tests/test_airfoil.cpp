@@ -1,0 +1,164 @@
+// Airfoil geometry generation: NACA sections, multi-element configuration,
+// normals, interior points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "airfoil/geometry.hpp"
+#include "airfoil/naca.hpp"
+#include "geom/predicates.hpp"
+#include "geom/segment.hpp"
+
+namespace aero {
+namespace {
+
+TEST(Naca, CodeParsing) {
+  const Naca4 p = Naca4::from_code("2412");
+  EXPECT_DOUBLE_EQ(p.max_camber, 0.02);
+  EXPECT_DOUBLE_EQ(p.camber_position, 0.4);
+  EXPECT_DOUBLE_EQ(p.thickness, 0.12);
+  EXPECT_THROW(Naca4::from_code("12"), std::invalid_argument);
+}
+
+TEST(Naca, ThicknessProfile) {
+  const Naca4 p = Naca4::from_code("0012");
+  EXPECT_DOUBLE_EQ(naca4_thickness(p, 0.0), 0.0);
+  // Closed trailing edge: thickness returns to ~0 at x=1.
+  EXPECT_NEAR(naca4_thickness(p, 1.0), 0.0, 1e-4);
+  // Max thickness ~ 0.06 (half of 12%) near x = 0.3.
+  EXPECT_NEAR(naca4_thickness(p, 0.3), 0.06, 0.002);
+}
+
+TEST(Naca, SymmetricSectionIsSymmetric) {
+  const auto poly = naca4_polyline(Naca4::from_code("0012"), 64);
+  // For every point (x, y) the mirrored point (x, -y) is also present.
+  for (const Vec2 p : poly) {
+    bool found = false;
+    for (const Vec2 q : poly) {
+      if (std::fabs(q.x - p.x) < 1e-12 && std::fabs(q.y + p.y) < 1e-12) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << p;
+  }
+}
+
+TEST(Naca, PolylineIsCcwAndSimple) {
+  for (const char* code : {"0012", "2412", "4412"}) {
+    for (const TrailingEdge te : {TrailingEdge::kSharp, TrailingEdge::kBlunt}) {
+      const auto poly = naca4_polyline(Naca4::from_code(code, te), 80);
+      double area2 = 0.0;
+      for (std::size_t i = 0; i < poly.size(); ++i) {
+        area2 += poly[i].cross(poly[(i + 1) % poly.size()]);
+      }
+      EXPECT_GT(area2, 0.0) << code;  // CCW
+      EXPECT_TRUE(polygon_is_simple(poly)) << code;
+    }
+  }
+}
+
+TEST(Naca, BluntTrailingEdgeHasBase) {
+  const auto sharp = naca4_polyline(
+      Naca4::from_code("0012", TrailingEdge::kSharp), 64);
+  const auto blunt = naca4_polyline(
+      Naca4::from_code("0012", TrailingEdge::kBlunt), 64);
+  // Blunt: one extra point (distinct upper/lower TE).
+  EXPECT_EQ(blunt.size(), sharp.size() + 1);
+  // The closing edge of the blunt polyline is the vertical base.
+  const Vec2 first = blunt.front();
+  const Vec2 last = blunt.back();
+  EXPECT_NEAR(first.x, last.x, 1e-12);
+  EXPECT_GT(std::fabs(first.y - last.y), 1e-4);
+}
+
+TEST(Element, InteriorPointIsStrictlyInside) {
+  for (std::size_t e = 0; e < 3; ++e) {
+    const AirfoilConfig config = make_three_element(160);
+    const Vec2 p = config.elements[e].interior_point();
+    EXPECT_TRUE(point_in_polygon(p, config.elements[e].surface))
+        << config.elements[e].name;
+  }
+  // Thin cambered single element too.
+  AirfoilElement thin{.name = "thin",
+                      .surface = naca4_polyline(Naca4::from_code("4408"), 64)};
+  EXPECT_TRUE(point_in_polygon(thin.interior_point(), thin.surface));
+}
+
+TEST(Element, NormalsPointOutward) {
+  const AirfoilConfig config = make_naca0012(128);
+  const auto& e = config.elements[0];
+  const auto normals = e.vertex_normals();
+  ASSERT_EQ(normals.size(), e.surface.size());
+  for (std::size_t i = 0; i < normals.size(); ++i) {
+    EXPECT_NEAR(normals[i].norm(), 1.0, 1e-12);
+    // Marching a small step along the normal leaves the body.
+    const Vec2 out = e.surface[i] + normals[i] * 1e-6;
+    EXPECT_FALSE(point_in_polygon(out, e.surface)) << i;
+  }
+}
+
+TEST(Element, TransformPreservesShape) {
+  const AirfoilConfig config = make_naca0012(64);
+  const auto& e = config.elements[0];
+  const AirfoilElement t = e.transformed(2.0, 0.5, {3.0, -1.0});
+  ASSERT_EQ(t.surface.size(), e.surface.size());
+  // Pairwise distances scale by exactly 2.
+  const double d0 = distance(e.surface[0], e.surface[10]);
+  const double d1 = distance(t.surface[0], t.surface[10]);
+  EXPECT_NEAR(d1, 2.0 * d0, 1e-12);
+}
+
+TEST(ThreeElement, HasAllSpecialFeatures) {
+  const AirfoilConfig config = make_three_element(240);
+  ASSERT_EQ(config.elements.size(), 3u);
+  for (const auto& e : config.elements) {
+    EXPECT_TRUE(polygon_is_simple(e.surface)) << e.name;
+    double area2 = 0.0;
+    for (std::size_t i = 0; i < e.surface.size(); ++i) {
+      area2 += e.surface[i].cross(e.surface[(i + 1) % e.surface.size()]);
+    }
+    EXPECT_GT(area2, 0.0) << e.name << " must stay CCW after transforms";
+  }
+  // Elements do not overlap: surfaces must not intersect pairwise.
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      const auto& sa = config.elements[a].surface;
+      const auto& sb = config.elements[b].surface;
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        for (std::size_t j = 0; j < sb.size(); ++j) {
+          const auto hit =
+              intersect({sa[i], sa[(i + 1) % sa.size()]},
+                        {sb[j], sb[(j + 1) % sb.size()]});
+          EXPECT_FALSE(static_cast<bool>(hit))
+              << config.elements[a].name << " x " << config.elements[b].name;
+        }
+      }
+    }
+  }
+}
+
+TEST(CarveCove, CreatesConcavityButStaysSimple) {
+  auto poly = naca4_polyline(Naca4::from_code("0012"), 100);
+  const auto before = poly;
+  carve_cove(poly, 0.55, 0.8, 0.02);
+  EXPECT_TRUE(polygon_is_simple(poly));
+  // Some vertices moved inward.
+  bool moved = false;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (poly[i] != before[i]) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  // A cove means at least one reflex vertex (concave corner).
+  std::size_t reflex = 0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Vec2 prev = poly[(i + poly.size() - 1) % poly.size()];
+    const Vec2 next = poly[(i + 1) % poly.size()];
+    if (orient2d(prev, poly[i], next) < 0.0) ++reflex;
+  }
+  EXPECT_GT(reflex, 0u);
+}
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,216 @@
+// Boundary layer: growth functions, ray construction with fans and
+// curvature refinement, self- and multi-element intersection resolution,
+// isotropy transition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blayer/boundary_layer.hpp"
+#include "geom/segment.hpp"
+
+namespace aero {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Growth, GeometricClosedForm) {
+  const GrowthFunction g{GrowthKind::kGeometric, 1e-3, 1.2};
+  EXPECT_DOUBLE_EQ(g.spacing(1), 1e-3);
+  EXPECT_DOUBLE_EQ(g.spacing(2), 1.2e-3);
+  EXPECT_DOUBLE_EQ(g.height(0), 0.0);
+  // height(k) = sum of spacings.
+  double acc = 0.0;
+  for (int k = 1; k <= 10; ++k) {
+    acc += g.spacing(k);
+    EXPECT_NEAR(g.height(k), acc, 1e-15);
+  }
+}
+
+TEST(Growth, PolynomialAndAdaptiveMonotone) {
+  for (const GrowthKind kind :
+       {GrowthKind::kPolynomial, GrowthKind::kAdaptive}) {
+    const GrowthFunction g{kind, 1e-3, 1.5};
+    double prev_h = 0.0;
+    for (int k = 1; k <= 30; ++k) {
+      EXPECT_GT(g.spacing(k), 0.0);
+      EXPECT_GE(g.spacing(k), g.spacing(std::max(1, k - 1)) * 0.999);
+      const double h = g.height(k);
+      EXPECT_GT(h, prev_h);
+      prev_h = h;
+    }
+  }
+}
+
+TEST(Growth, InvalidLayerThrows) {
+  const GrowthFunction g{GrowthKind::kGeometric, 1e-3, 1.2};
+  EXPECT_THROW(g.spacing(0), std::invalid_argument);
+}
+
+BoundaryLayerOptions default_opts() {
+  BoundaryLayerOptions o;
+  o.growth = {GrowthKind::kGeometric, 5e-4, 1.25};
+  o.max_layers = 30;
+  return o;
+}
+
+TEST(Rays, OneRayPerSmoothVertex) {
+  // A circle is smooth: with enough points, no fans and no edge refinement.
+  AirfoilElement circle{.name = "circle", .surface = {}};
+  for (int i = 0; i < 128; ++i) {
+    const double th = 2 * kPi * i / 128;
+    circle.surface.push_back({std::cos(th), std::sin(th)});
+  }
+  IntersectionStats stats;
+  const auto er = build_rays(circle, default_opts(), 0, &stats);
+  EXPECT_EQ(er.rays.size(), 128u);
+  EXPECT_EQ(stats.fans, 0u);
+  EXPECT_EQ(stats.edge_refinement_rays, 0u);
+  // Rays point radially outward.
+  for (const Ray& r : er.rays) {
+    EXPECT_GT(r.dir.dot(r.origin), 0.9);
+  }
+}
+
+TEST(Rays, CoarseCircleGetsEdgeRefinement) {
+  AirfoilElement circle{.name = "coarse", .surface = {}};
+  for (int i = 0; i < 8; ++i) {
+    const double th = 2 * kPi * i / 8;
+    circle.surface.push_back({std::cos(th), std::sin(th)});
+  }
+  IntersectionStats stats;
+  const auto er = build_rays(circle, default_opts(), 0, &stats);
+  // 45-degree normal jumps far exceed the 20-degree threshold.
+  EXPECT_GT(stats.edge_refinement_rays, 0u);
+  EXPECT_GT(er.rays.size(), 8u);
+  EXPECT_EQ(er.surface.size(), er.rays.size());  // one ray per refined vertex
+}
+
+TEST(Rays, SquareCornersGetFans) {
+  AirfoilElement square{.name = "square",
+                        .surface = {{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+  IntersectionStats stats;
+  const auto er = build_rays(square, default_opts(), 0, &stats);
+  EXPECT_EQ(stats.fans, 4u);  // every 90-degree corner diverges
+  // Fan rays share their origin.
+  std::size_t shared_origin_pairs = 0;
+  for (std::size_t i = 0; i + 1 < er.rays.size(); ++i) {
+    if (er.rays[i].origin == er.rays[i + 1].origin) ++shared_origin_pairs;
+  }
+  EXPECT_GT(shared_origin_pairs, 0u);
+}
+
+TEST(Rays, SharpTrailingEdgeFanCurvesAround) {
+  const AirfoilConfig config = make_naca0012(100);
+  IntersectionStats stats;
+  const auto er = build_rays(config.elements[0], default_opts(), 0, &stats);
+  ASSERT_GE(stats.fans, 1u);  // the trailing-edge cusp
+  // The trailing-edge fan rays all originate at the TE point (1 - eps, 0).
+  std::size_t te_rays = 0;
+  for (const Ray& r : er.rays) {
+    if (r.fan) ++te_rays;
+  }
+  EXPECT_GE(te_rays, 5u);  // a near-180-degree cusp needs many rays
+}
+
+TEST(SelfIntersection, ConcaveChannelTruncatesRays) {
+  // A "U" channel: rays from the two inner walls collide.
+  AirfoilElement u{.name = "u", .surface = {}};
+  // Outer boundary CCW with a deep thin slot.
+  u.surface = {{0, 0},      {3, 0},     {3, 2},     {1.6, 2},
+               {1.6, 0.5},  {1.4, 0.5}, {1.4, 2},   {0, 2}};
+  BoundaryLayerOptions opts = default_opts();
+  opts.growth.first_height = 0.01;
+  opts.max_layers = 20;
+  IntersectionStats stats;
+  auto er = build_rays(u, opts, 0, &stats);
+  resolve_self_intersections(er, opts, &stats);
+  EXPECT_GT(stats.self_truncations + stats.surface_truncations, 0u);
+  // Rays inside the 0.2-wide slot must be truncated below half the width.
+  for (const Ray& r : er.rays) {
+    if (r.origin.x > 1.35 && r.origin.x < 1.65 && r.origin.y > 0.6 &&
+        r.origin.y < 1.9 && std::fabs(r.dir.x) > 0.9) {
+      EXPECT_LT(r.max_height, 0.2);
+    }
+  }
+}
+
+TEST(MultiElement, CloseBodiesTruncateEachOther) {
+  // Two circles 0.1 apart with boundary layers that would be 0.3 thick.
+  AirfoilConfig config;
+  for (int e = 0; e < 2; ++e) {
+    AirfoilElement c{.name = e == 0 ? "left" : "right", .surface = {}};
+    const double cx = e == 0 ? 0.0 : 2.1;
+    for (int i = 0; i < 64; ++i) {
+      const double th = 2 * kPi * i / 64;
+      c.surface.push_back({cx + std::cos(th), std::sin(th)});
+    }
+    config.elements.push_back(std::move(c));
+  }
+  BoundaryLayerOptions opts = default_opts();
+  opts.growth.first_height = 0.02;
+  opts.max_layers = 20;
+  const BoundaryLayer bl = build_boundary_layer(config, opts);
+  EXPECT_GT(bl.stats.multi_candidates, 0u);
+  EXPECT_GT(bl.stats.multi_truncations, 0u);
+}
+
+TEST(BoundaryLayer, PointsGrowAlongNormalsWithGrowthSpacing) {
+  const AirfoilConfig config = make_naca0012(64);
+  BoundaryLayerOptions opts = default_opts();
+  const BoundaryLayer bl = build_boundary_layer(config, opts);
+  EXPECT_GT(bl.points.size(), config.elements[0].surface.size());
+  ASSERT_EQ(bl.surfaces.size(), 1u);
+  ASSERT_EQ(bl.outer_borders.size(), 1u);
+  ASSERT_EQ(bl.hole_seeds.size(), 1u);
+  EXPECT_FALSE(bl.ring_seeds.empty());
+  // The isotropy rule keeps layer counts finite even without truncation.
+  for (const int layers : bl.layers_per_ray) {
+    EXPECT_LE(layers, opts.max_layers);
+  }
+}
+
+TEST(BoundaryLayer, IsotropyStopsAtLocalSpacing) {
+  // Dense surface spacing ~ 0.0015 with first height 5e-4 growing by 1.25:
+  // spacing(k) exceeds the lateral spacing after a handful of layers.
+  const AirfoilConfig config = make_naca0012(2000);
+  BoundaryLayerOptions opts = default_opts();
+  const BoundaryLayer bl = build_boundary_layer(config, opts);
+  double mean_layers = 0.0;
+  for (const int l : bl.layers_per_ray) mean_layers += l;
+  mean_layers /= static_cast<double>(bl.layers_per_ray.size());
+  EXPECT_LT(mean_layers, 15.0);
+  EXPECT_GT(mean_layers, 1.0);
+}
+
+TEST(BoundaryLayer, VariableHeightSmoothTransition) {
+  // Figure 5's content: boundary-layer heights vary along the surface; the
+  // border must stay a single polyline without gaps.
+  const AirfoilConfig config = make_three_element(160);
+  const BoundaryLayer bl = build_boundary_layer(config, default_opts());
+  ASSERT_EQ(bl.outer_borders.size(), 3u);
+  for (const auto& border : bl.outer_borders) {
+    EXPECT_GT(border.size(), 10u);
+    for (std::size_t i = 0; i + 1 < border.size(); ++i) {
+      EXPECT_NE(border[i], border[i + 1]);  // consecutive deduped
+    }
+  }
+  // The three-element configuration triggers every special case.
+  EXPECT_GT(bl.stats.fans, 0u);
+  EXPECT_GT(bl.stats.self_truncations + bl.stats.surface_truncations, 0u);
+  EXPECT_GT(bl.stats.multi_truncations, 0u);
+}
+
+TEST(LayerCount, RespectsTruncationHeight) {
+  const BoundaryLayerOptions opts = default_opts();
+  Ray r{{0, 0}, {0, 1}, 0.002, 0, false};
+  const int layers = layer_count(r, 1.0, 0.0, opts);
+  EXPECT_LE(opts.growth.height(layers), 0.002);
+  // Untruncated ray with huge lateral spacing: limited by max_layers.
+  Ray free_ray{{0, 0}, {0, 1},
+               std::numeric_limits<double>::infinity(), 0, false};
+  EXPECT_EQ(layer_count(free_ray, 1e9, 0.0, opts), opts.max_layers);
+}
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,179 @@
+// Constrained Delaunay: segment insertion (flip forcing), carving, and the
+// triangulator facade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "delaunay/triangulator.hpp"
+
+namespace aero {
+namespace {
+
+bool has_edge(const DelaunayMesh& m, Vec2 a, Vec2 b) {
+  bool found = false;
+  m.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = m.tri(t);
+    for (int i = 0; i < 3; ++i) {
+      if ((m.point(mt.v[i]) == a &&
+           m.point(mt.v[(i + 1) % 3]) == b) ||
+          (m.point(mt.v[i]) == b && m.point(mt.v[(i + 1) % 3]) == a)) {
+        found = true;
+      }
+    }
+  });
+  return found;
+}
+
+TEST(Cdt, ForcesMissingDiagonal) {
+  // Four points whose Delaunay diagonal is (1,0)-(0,1); force the other.
+  Pslg p;
+  p.points = {{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  p.segments = {{0, 3}};
+  TriangulateOptions o;
+  o.carve = false;
+  const auto r = triangulate(p, o);
+  EXPECT_TRUE(r.mesh.check_topology());
+  EXPECT_TRUE(has_edge(r.mesh, {0, 0}, {2, 2}));
+  EXPECT_TRUE(r.mesh.check_delaunay());  // constrained edges are exempt
+}
+
+TEST(Cdt, ForcedEdgeThroughManyPoints) {
+  // A long segment across a random cloud: the flip-forcing walk crosses
+  // many triangles.
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  Pslg p;
+  p.points = {{-0.1, 0.5}, {1.1, 0.5}};
+  for (int i = 0; i < 500; ++i) p.points.push_back({d(rng), d(rng)});
+  p.segments = {{0, 1}};
+  TriangulateOptions o;
+  o.carve = false;
+  const auto r = triangulate(p, o);
+  EXPECT_TRUE(r.mesh.check_topology());
+  EXPECT_TRUE(r.mesh.check_delaunay());
+  // The forced edge may have been split by exactly-on-segment vertices
+  // (none here with random data): the full edge must exist.
+  EXPECT_TRUE(has_edge(r.mesh, {-0.1, 0.5}, {1.1, 0.5}));
+}
+
+TEST(Cdt, SegmentThroughCollinearVertexSplits) {
+  Pslg p;
+  p.points = {{0, 0}, {2, 0}, {1, 0}, {1, 2}, {1, -2}};
+  p.segments = {{0, 1}};  // passes exactly through (1,0)
+  TriangulateOptions o;
+  o.carve = false;
+  const auto r = triangulate(p, o);
+  EXPECT_TRUE(r.mesh.check_topology());
+  EXPECT_TRUE(has_edge(r.mesh, {0, 0}, {1, 0}));
+  EXPECT_TRUE(has_edge(r.mesh, {1, 0}, {2, 0}));
+}
+
+TEST(Cdt, SegmentInsertionOrderIrrelevant) {
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<Vec2> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  for (int i = 0; i < 200; ++i) pts.push_back({d(rng), d(rng)});
+
+  Pslg p1;
+  p1.points = pts;
+  p1.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  Pslg p2 = p1;
+  std::reverse(p2.segments.begin(), p2.segments.end());
+
+  TriangulateOptions o;
+  o.carve = false;
+  const auto r1 = triangulate(p1, o);
+  const auto r2 = triangulate(p2, o);
+  EXPECT_EQ(r1.mesh.triangle_count(), r2.mesh.triangle_count());
+  EXPECT_TRUE(r1.mesh.check_topology());
+  EXPECT_TRUE(r2.mesh.check_topology());
+}
+
+TEST(Cdt, CarveSquareWithHole) {
+  Pslg p;
+  p.points = {{0, 0}, {4, 0}, {4, 4}, {0, 4},
+              {1, 1}, {3, 1}, {3, 3}, {1, 3}};
+  p.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                {4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  p.holes = {{2, 2}};
+  const auto r = triangulate(p, TriangulateOptions{});
+  EXPECT_TRUE(r.mesh.check_topology());
+  // Inside area = 16 - 4 = 12.
+  double area = 0.0;
+  r.mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = r.mesh.tri(t);
+    if (!mt.inside) return;
+    const Vec2 a = r.mesh.point(mt.v[0]);
+    const Vec2 b = r.mesh.point(mt.v[1]);
+    const Vec2 c = r.mesh.point(mt.v[2]);
+    area += 0.5 * (b - a).cross(c - a);
+  });
+  EXPECT_NEAR(area, 12.0, 1e-12);
+}
+
+TEST(Cdt, CarveWithoutHoleSeedsRemovesExteriorOnly) {
+  Pslg p;
+  p.points = {{0, 0}, {4, 0}, {2, 3}};
+  p.segments = {{0, 1}, {1, 2}, {2, 0}};
+  const auto r = triangulate(p, TriangulateOptions{});
+  EXPECT_EQ(r.mesh.inside_triangle_count(), r.mesh.triangle_count());
+}
+
+TEST(Cdt, NonConvexBoundaryCarved) {
+  // L-shaped domain: the convex-hull pocket must be removed.
+  Pslg p;
+  p.points = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+  p.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}};
+  const auto r = triangulate(p, TriangulateOptions{});
+  double area = 0.0;
+  r.mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = r.mesh.tri(t);
+    if (!mt.inside) return;
+    const Vec2 a = r.mesh.point(mt.v[0]);
+    const Vec2 b = r.mesh.point(mt.v[1]);
+    const Vec2 c = r.mesh.point(mt.v[2]);
+    area += 0.5 * (b - a).cross(c - a);
+  });
+  EXPECT_NEAR(area, 3.0, 1e-12);
+}
+
+TEST(Cdt, SortedFastPathMatchesSortingPath) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({d(rng), d(rng)});
+  std::sort(pts.begin(), pts.end(), LessXY{});
+
+  const auto r1 = triangulate_points(pts, /*assume_sorted=*/true);
+  const auto r2 = triangulate_points(pts, /*assume_sorted=*/false);
+  EXPECT_EQ(r1.mesh.triangle_count(), r2.mesh.triangle_count());
+  EXPECT_TRUE(r1.mesh.check_delaunay());
+}
+
+TEST(Cdt, VertexIdsMapBackToInputOrder) {
+  Pslg p;
+  p.points = {{5, 5}, {0, 0}, {9, 1}, {3, 7}};
+  p.segments = {};
+  TriangulateOptions o;
+  o.carve = false;
+  o.constrained = false;
+  const auto r = triangulate(p, o);
+  ASSERT_EQ(r.vertex_ids.size(), 4u);
+  for (std::size_t i = 0; i < p.points.size(); ++i) {
+    EXPECT_EQ(r.mesh.point(r.vertex_ids[i]), p.points[i]);
+  }
+}
+
+TEST(Cdt, ThrowsOnTrueCrossingConstraints) {
+  Pslg p;
+  p.points = {{0, 0}, {2, 2}, {0, 2}, {2, 0}, {5, 1}, {1, 5}};
+  p.segments = {{0, 1}, {2, 3}};  // the two diagonals properly cross
+  TriangulateOptions o;
+  o.carve = false;
+  EXPECT_THROW(triangulate(p, o), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,121 @@
+// Tests of the error-free transformations and expansion arithmetic that
+// every exact predicate is built on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/expansion.hpp"
+
+namespace aero::expansion {
+namespace {
+
+TEST(TwoSum, ExactForRepresentableResults) {
+  double x, y;
+  two_sum(1.0, 2.0, x, y);
+  EXPECT_EQ(x, 3.0);
+  EXPECT_EQ(y, 0.0);
+}
+
+TEST(TwoSum, CapturesRoundoff) {
+  double x, y;
+  two_sum(1.0, 1e-30, x, y);
+  EXPECT_EQ(x, 1.0);
+  EXPECT_EQ(y, 1e-30);  // the tail is the lost low part, exactly
+}
+
+TEST(TwoSum, RandomPairsReconstruct) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> mag(-40, 40);
+  std::uniform_real_distribution<double> mant(-1.0, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = std::ldexp(mant(rng), static_cast<int>(mag(rng)));
+    const double b = std::ldexp(mant(rng), static_cast<int>(mag(rng)));
+    double x, y;
+    two_sum(a, b, x, y);
+    EXPECT_EQ(x, a + b);
+    // x + y == a + b exactly: verify via long double (106-bit enough here).
+    EXPECT_EQ(static_cast<long double>(x) + y,
+              static_cast<long double>(a) + b);
+  }
+}
+
+TEST(TwoDiff, TailMatchesTwoDiffTail) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> d(-1e6, 1e6);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = d(rng), b = d(rng);
+    double x, y;
+    two_diff(a, b, x, y);
+    EXPECT_EQ(x, a - b);
+    EXPECT_EQ(y, two_diff_tail(a, b, x));
+  }
+}
+
+TEST(TwoProduct, ExactViaFma) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> d(-1e8, 1e8);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = d(rng), b = d(rng);
+    double x, y;
+    two_product(a, b, x, y);
+    EXPECT_EQ(x, a * b);
+    EXPECT_EQ(y, std::fma(a, b, -x));
+    // |y| must be below half an ulp of x.
+    if (x != 0.0) {
+      EXPECT_LE(std::fabs(y), std::ldexp(std::fabs(x), -52));
+    }
+  }
+}
+
+TEST(FastExpansionSum, SumsSmallExpansions) {
+  // e = 1 + 2^-60, f = 1 - 2^-60: sum must be exactly 2.
+  double e[2] = {std::ldexp(1.0, -60), 1.0};
+  double f[2] = {-std::ldexp(1.0, -60), 1.0};
+  double h[4];
+  const int len = fast_expansion_sum_zeroelim(2, e, 2, f, h);
+  long double total = 0.0L;
+  for (int i = 0; i < len; ++i) total += h[i];
+  EXPECT_EQ(total, 2.0L);
+}
+
+TEST(FastExpansionSum, ZeroEliminationLeavesAtLeastOneComponent) {
+  double e[1] = {1.0};
+  double f[1] = {-1.0};
+  double h[2];
+  const int len = fast_expansion_sum_zeroelim(1, e, 1, f, h);
+  ASSERT_GE(len, 1);
+  EXPECT_EQ(h[len - 1], 0.0);
+}
+
+TEST(ScaleExpansion, MatchesLongDouble) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> d(-1e3, 1e3);
+  for (int i = 0; i < 2000; ++i) {
+    double e[2];
+    two_sum(d(rng), d(rng) * 1e-12, e[1], e[0]);
+    const double b = d(rng);
+    double h[8];
+    const int len = scale_expansion_zeroelim(2, e, b, h);
+    long double expect = (static_cast<long double>(e[0]) + e[1]) * b;
+    long double got = 0.0L;
+    for (int k = 0; k < len; ++k) got += h[k];
+    // The expansion is exact; long double (64-bit mantissa) comparison needs
+    // a tolerance only because `expect` itself is rounded.
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(expect),
+                std::fabs(static_cast<double>(expect)) * 1e-18 + 1e-300);
+  }
+}
+
+TEST(Sign, TopComponentDecides) {
+  double e[3] = {0.5, -1.0, 2.0};
+  EXPECT_EQ(sign(3, e), 1);
+  double f[2] = {1.0, -2.0};
+  EXPECT_EQ(sign(2, f), -1);
+  double z[1] = {0.0};
+  EXPECT_EQ(sign(1, z), 0);
+}
+
+}  // namespace
+}  // namespace aero::expansion

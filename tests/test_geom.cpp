@@ -1,0 +1,253 @@
+// Vec2 / BBox2 / segment intersection / clipping / polygon utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/bbox.hpp"
+#include "geom/segment.hpp"
+#include "geom/triangle_quality.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec2, Algebra) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Vec2, PerpAndRotate) {
+  const Vec2 v{1, 0};
+  EXPECT_EQ(v.perp(), (Vec2{0, 1}));
+  const Vec2 r = v.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, NormalizedZeroIsZero) {
+  EXPECT_EQ((Vec2{0, 0}).normalized(), (Vec2{0, 0}));
+}
+
+TEST(Vec2, Orderings) {
+  EXPECT_TRUE(LessXY{}({0, 5}, {1, 0}));
+  EXPECT_TRUE(LessXY{}({1, 0}, {1, 1}));
+  EXPECT_FALSE(LessXY{}({1, 1}, {1, 1}));
+  EXPECT_TRUE(LessYX{}({5, 0}, {0, 1}));
+  EXPECT_TRUE(LessYX{}({0, 1}, {1, 1}));
+}
+
+TEST(BBox2, EmptyAndExpand) {
+  BBox2 b;
+  EXPECT_TRUE(b.empty());
+  b.expand({1, 2});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.lo, (Vec2{1, 2}));
+  EXPECT_EQ(b.hi, (Vec2{1, 2}));
+  b.expand({-1, 5});
+  EXPECT_EQ(b.lo, (Vec2{-1, 2}));
+  EXPECT_EQ(b.hi, (Vec2{1, 5}));
+  EXPECT_DOUBLE_EQ(b.width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3.0);
+}
+
+TEST(BBox2, IntersectsAndContains) {
+  const BBox2 a{{0, 0}, {2, 2}};
+  EXPECT_TRUE(a.intersects(BBox2{{1, 1}, {3, 3}}));
+  EXPECT_TRUE(a.intersects(BBox2{{2, 2}, {3, 3}}));  // touching counts
+  EXPECT_FALSE(a.intersects(BBox2{{2.1, 0}, {3, 1}}));
+  EXPECT_TRUE(a.contains({1, 1}));
+  EXPECT_TRUE(a.contains({2, 2}));
+  EXPECT_FALSE(a.contains({2.0001, 1}));
+}
+
+TEST(SegmentIntersect, ProperCross) {
+  const auto hit = intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}});
+  ASSERT_EQ(hit.kind, IntersectKind::kProper);
+  EXPECT_NEAR(hit.point.x, 1.0, 1e-15);
+  EXPECT_NEAR(hit.point.y, 1.0, 1e-15);
+  EXPECT_NEAR(hit.t, 0.5, 1e-15);
+}
+
+TEST(SegmentIntersect, Disjoint) {
+  EXPECT_FALSE(intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  EXPECT_FALSE(intersect({{0, 0}, {1, 0}}, {{2, -1}, {2, 1}}));
+}
+
+TEST(SegmentIntersect, EndpointTouch) {
+  const auto hit = intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}});
+  EXPECT_EQ(hit.kind, IntersectKind::kEndpoint);
+  EXPECT_EQ(hit.point, (Vec2{1, 1}));
+}
+
+TEST(SegmentIntersect, TVertexTouch) {
+  // Endpoint of one segment in the interior of the other.
+  const auto hit = intersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 5}});
+  EXPECT_EQ(hit.kind, IntersectKind::kEndpoint);
+  EXPECT_EQ(hit.point, (Vec2{1, 0}));
+}
+
+TEST(SegmentIntersect, CollinearOverlap) {
+  const auto hit = intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}});
+  EXPECT_EQ(hit.kind, IntersectKind::kCollinear);
+  // Representative point inside the shared stretch [1,2].
+  EXPECT_GE(hit.point.x, 1.0);
+  EXPECT_LE(hit.point.x, 2.0);
+}
+
+TEST(SegmentIntersect, CollinearTouchIsEndpoint) {
+  // Adjacent collinear segments share exactly one point: NOT an overlap.
+  const auto hit = intersect({{0, 0}, {1, 0}}, {{1, 0}, {2, 0}});
+  EXPECT_EQ(hit.kind, IntersectKind::kEndpoint);
+  EXPECT_EQ(hit.point, (Vec2{1, 0}));
+}
+
+TEST(SegmentIntersect, CollinearDisjoint) {
+  EXPECT_FALSE(intersect({{0, 0}, {1, 0}}, {{1.5, 0}, {2, 0}}));
+}
+
+TEST(SegmentIntersect, NearMissIsExact) {
+  // Segments passing within 1 ulp of each other must not report a crossing.
+  const double y = std::nextafter(0.0, 1.0);
+  EXPECT_FALSE(intersect({{0, y}, {1, y}}, {{0, 0}, {1, 0}}));
+}
+
+TEST(CohenSutherland, Outcodes) {
+  const BBox2 box{{0, 0}, {10, 10}};
+  EXPECT_EQ(cohen_sutherland_outcode({5, 5}, box), 0u);
+  EXPECT_EQ(cohen_sutherland_outcode({-1, 5}, box), 1u);
+  EXPECT_EQ(cohen_sutherland_outcode({11, 5}, box), 2u);
+  EXPECT_EQ(cohen_sutherland_outcode({5, -1}, box), 4u);
+  EXPECT_EQ(cohen_sutherland_outcode({5, 11}, box), 8u);
+  EXPECT_EQ(cohen_sutherland_outcode({-1, -1}, box), 5u);
+  EXPECT_EQ(cohen_sutherland_outcode({11, 11}, box), 10u);
+}
+
+TEST(CohenSutherland, TrivialAcceptAndReject) {
+  const BBox2 box{{0, 0}, {10, 10}};
+  const auto in = clip_to_box({1, 1}, {9, 9}, box);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->a, (Vec2{1, 1}));
+  EXPECT_EQ(in->b, (Vec2{9, 9}));
+  EXPECT_FALSE(clip_to_box({-5, -1}, {-1, -5}, box).has_value());
+}
+
+TEST(CohenSutherland, ClipsCrossingSegment) {
+  const BBox2 box{{0, 0}, {10, 10}};
+  const auto clipped = clip_to_box({-10, 5}, {20, 5}, box);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_NEAR(clipped->a.x, 0.0, 1e-12);
+  EXPECT_NEAR(clipped->b.x, 10.0, 1e-12);
+  EXPECT_NEAR(clipped->a.y, 5.0, 1e-12);
+}
+
+TEST(CohenSutherland, CornerGrazing) {
+  const BBox2 box{{0, 0}, {10, 10}};
+  // Passes exactly through the corner (0, 10).
+  const auto clipped = clip_to_box({-5, 5}, {5, 15}, box);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_NEAR(distance(clipped->a, clipped->b), 0.0, 1e-9);
+  // Misses the box entirely past the corner.
+  EXPECT_FALSE(clip_to_box({-5, 6}, {5, 16}, box).has_value());
+}
+
+TEST(CohenSutherland, AgreesWithExactIntersectionSweep) {
+  const BBox2 box{{0, 0}, {1, 1}};
+  const Segment sides[4] = {{{0, 0}, {1, 0}},
+                            {{1, 0}, {1, 1}},
+                            {{1, 1}, {0, 1}},
+                            {{0, 1}, {0, 0}}};
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> d(-2.0, 3.0);
+  for (int i = 0; i < 20000; ++i) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)};
+    const bool clip = segment_intersects_box(a, b, box);
+    bool exact = box.contains(a) || box.contains(b);
+    for (const Segment& s : sides) {
+      exact = exact || static_cast<bool>(intersect({a, b}, s));
+    }
+    EXPECT_EQ(clip, exact) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(PointSegmentDistance, Cases) {
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 0}, {-1, 0}, {1, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 0}, {0, 0}, {0, 0}), 0.0);
+}
+
+TEST(Angles, AngleAt) {
+  EXPECT_NEAR(angle_at({1, 0}, {0, 0}, {0, 1}), kPi / 2, 1e-14);
+  EXPECT_NEAR(angle_at({1, 0}, {0, 0}, {-1, 0}), kPi, 1e-14);
+  EXPECT_NEAR(angle_at({1, 0}, {0, 0}, {1, 1}), kPi / 4, 1e-14);
+}
+
+TEST(Angles, SignedAngle) {
+  EXPECT_NEAR(signed_angle({1, 0}, {0, 1}), kPi / 2, 1e-14);
+  EXPECT_NEAR(signed_angle({1, 0}, {0, -1}), -kPi / 2, 1e-14);
+  EXPECT_NEAR(signed_angle({1, 0}, {1, 0}), 0.0, 1e-14);
+}
+
+TEST(PointInPolygon, SquareWithBoundary) {
+  const std::vector<Vec2> square{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_TRUE(point_in_polygon({1, 1}, square));
+  EXPECT_TRUE(point_in_polygon({0, 0}, square));   // vertex
+  EXPECT_TRUE(point_in_polygon({1, 0}, square));   // edge
+  EXPECT_FALSE(point_in_polygon({3, 1}, square));
+  EXPECT_FALSE(point_in_polygon({-1e-12, 1}, square));
+}
+
+TEST(PointInPolygon, NonConvex) {
+  // A "C" shape.
+  const std::vector<Vec2> c{{0, 0}, {4, 0}, {4, 1}, {1, 1},
+                            {1, 3}, {4, 3}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(point_in_polygon({0.5, 2}, c));
+  EXPECT_FALSE(point_in_polygon({2, 2}, c));  // inside the notch
+  EXPECT_TRUE(point_in_polygon({2, 0.5}, c));
+}
+
+TEST(TriangleQuality, Equilateral) {
+  const Vec2 a{0, 0}, b{1, 0}, c{0.5, std::sqrt(3.0) / 2.0};
+  EXPECT_NEAR(min_angle(a, b, c), kPi / 3, 1e-12);
+  EXPECT_NEAR(max_angle(a, b, c), kPi / 3, 1e-12);
+  EXPECT_NEAR(radius_edge_ratio(a, b, c), 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(aspect_ratio(a, b, c), std::sqrt(3.0), 1e-12);
+  const Vec2 cc = circumcenter(a, b, c);
+  EXPECT_NEAR(distance(cc, a), distance(cc, b), 1e-14);
+  EXPECT_NEAR(distance(cc, b), distance(cc, c), 1e-14);
+}
+
+TEST(TriangleQuality, RightTriangle) {
+  const Vec2 a{0, 0}, b{3, 0}, c{0, 4};
+  // Circumcenter of a right triangle is the hypotenuse midpoint.
+  const Vec2 cc = circumcenter(a, b, c);
+  EXPECT_NEAR(cc.x, 1.5, 1e-13);
+  EXPECT_NEAR(cc.y, 2.0, 1e-13);
+  EXPECT_NEAR(circumradius(a, b, c), 2.5, 1e-13);
+  EXPECT_DOUBLE_EQ(shortest_edge(a, b, c), 3.0);
+}
+
+TEST(TriangleQuality, AnisotropicSliver) {
+  // A boundary-layer triangle: base 1, height 1e-4 (aspect ~ 10^4).
+  const Vec2 a{0, 0}, b{1, 0}, c{0.5, 1e-4};
+  EXPECT_GT(aspect_ratio(a, b, c), 1000.0);
+  EXPECT_LT(min_angle(a, b, c) * 180.0 / kPi, 0.1);
+  EXPECT_GT(radius_edge_ratio(a, b, c), 100.0);
+}
+
+TEST(TriangleQuality, SignedArea) {
+  EXPECT_DOUBLE_EQ(signed_area({0, 0}, {1, 0}, {0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(signed_area({0, 0}, {0, 1}, {1, 0}), -0.5);
+}
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,168 @@
+// Monotone chain hulls and the exact lifted-space predicates of the
+// projection-based decomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/predicates.hpp"
+#include "hull/monotone_chain.hpp"
+
+namespace aero {
+namespace {
+
+TEST(LowerHull, Triangle) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 5}, {2, 0}};
+  const auto h = lower_hull(pts);
+  EXPECT_EQ(h, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(LowerHull, CollinearMiddleRemoved) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 0}, {2, 0}};
+  const auto h = lower_hull(pts);
+  EXPECT_EQ(h, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(LowerHull, RandomIsBelowAllPoints) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({d(rng), d(rng)});
+  std::sort(pts.begin(), pts.end(), LessXY{});
+  const auto h = lower_hull(pts);
+  // Every point is on or above every hull segment.
+  for (std::size_t k = 0; k + 1 < h.size(); ++k) {
+    for (const Vec2 p : pts) {
+      EXPECT_GE(orient2d(pts[h[k]], pts[h[k + 1]], p), 0.0);
+    }
+  }
+}
+
+TEST(ConvexHull, SquareWithInteriorAndBoundaryPoints) {
+  std::vector<Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2},
+                        {1, 0}, {1, 1}, {0, 1}};
+  std::sort(pts.begin(), pts.end(), LessXY{});
+  const auto h = convex_hull_ccw(pts);
+  // Collinear boundary points (1,0) and (0,1) are KEPT.
+  EXPECT_EQ(h.size(), 6u);
+  // CCW orientation: positive shoelace.
+  double area2 = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    area2 += pts[h[i]].cross(pts[h[(i + 1) % h.size()]]);
+  }
+  EXPECT_GT(area2, 0.0);
+  EXPECT_NEAR(area2, 8.0, 1e-12);
+}
+
+TEST(LiftedW, ComparesSquaredDistanceExactly) {
+  const Vec2 m{0.5, 0.5};
+  EXPECT_EQ(lifted_w_compare(m, {0.5, 0.625}, {0.5, 0.75}), 1);
+  EXPECT_EQ(lifted_w_compare(m, {0.5, 0.75}, {0.5, 0.625}), -1);
+  // Symmetric points with exactly representable coordinates: exactly equal
+  // squared distances. (Decimal coordinates like 0.3/0.7 are NOT symmetric
+  // after rounding to binary, and the exact predicate notices.)
+  EXPECT_EQ(lifted_w_compare(m, {0.25, 0.5}, {0.75, 0.5}), 0);
+  EXPECT_EQ(lifted_w_compare(m, {0.25, 0.375}, {0.75, 0.625}), 0);
+  // One-ulp perturbation is detected.
+  EXPECT_EQ(lifted_w_compare(m, {0.25, 0.5},
+                             {std::nextafter(0.75, 1.0), 0.5}), 1);
+}
+
+TEST(LiftedTurn, CocircularAboutMedianCenteredCircleIsZero) {
+  // Points on a circle centered on the vertical median line x = m.x lift to
+  // collinear points.
+  const Vec2 m{0.0, 0.0};
+  const Vec2 a{0.0, -1.0};   // angle -90
+  const Vec2 b{1.0, 0.0};    // angle 0
+  const Vec2 c{0.0, 1.0};    // angle 90
+  EXPECT_EQ(lifted_turn(m, a, b, c, CutAxis::kVertical), 0);
+  // Point strictly inside the circle lifts strictly below the chord.
+  const Vec2 inside{0.5, 0.0};
+  EXPECT_NE(lifted_turn(m, a, inside, c, CutAxis::kVertical), 0);
+}
+
+TEST(LiftedTurn, MatchesRoundedEvaluationWhenSafe) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 m{d(rng), d(rng)};
+    const Vec2 p{d(rng), d(rng)}, q{d(rng), d(rng)}, r{d(rng), d(rng)};
+    for (const CutAxis axis : {CutAxis::kVertical, CutAxis::kHorizontal}) {
+      const double up = lifted_u(p, axis), uq = lifted_u(q, axis),
+                   ur = lifted_u(r, axis);
+      const double wp = (p - m).norm2(), wq = (q - m).norm2(),
+                   wr = (r - m).norm2();
+      const double det = (uq - up) * (wr - wp) - (ur - up) * (wq - wp);
+      const int exact = lifted_turn(m, p, q, r, axis);
+      if (std::fabs(det) > 1e-9) {
+        EXPECT_EQ(exact, det > 0 ? 1 : -1);
+      }
+    }
+  }
+}
+
+TEST(LiftedLowerHull, PathOfGridColumnIsChain) {
+  // A single vertical column of points, vertical median line through them:
+  // the lifted points form a parabola in w; the hull spans them all.
+  std::vector<Vec2> pts;
+  for (int j = 0; j < 9; ++j) pts.push_back({0.0, j * 1.0});
+  const Vec2 m{0.0, 4.0};
+  const auto h = lifted_lower_hull(pts, m, CutAxis::kVertical);
+  // u = y strictly increasing, w convex: all points are on the hull.
+  EXPECT_EQ(h.size(), pts.size());
+}
+
+TEST(LiftedLowerHull, EqualURunsOrderedByW) {
+  // Two points at the same u (y): only the closer one can start the chain.
+  std::vector<Vec2> pts{{3.0, 0.0}, {1.0, 0.0}, {0.5, 1.0}, {0.5, 2.0}};
+  std::sort(pts.begin(), pts.end(), LessYX{});
+  const Vec2 m{0.0, 0.0};
+  const auto h = lifted_lower_hull(pts, m, CutAxis::kVertical);
+  ASSERT_GE(h.size(), 2u);
+  // First hull point is the equal-u point with smaller w: (1, 0).
+  EXPECT_EQ(pts[h[0]], (Vec2{1.0, 0.0}));
+}
+
+TEST(CircumcenterSide, KnownPositions) {
+  // Circumcenter of this triangle is (1, 1).
+  const Vec2 a{0, 0}, b{2, 0}, c{2, 2};
+  EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kVertical, 0.0), 1);
+  EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kVertical, 2.0), -1);
+  EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kVertical, 1.0), 0);
+  EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kHorizontal, 0.5), 1);
+  EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kHorizontal, 1.0), 0);
+  EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kHorizontal, 1.5), -1);
+}
+
+TEST(CircumcenterSide, OrientationIndependent) {
+  const Vec2 a{0, 0}, b{2, 0}, c{2, 2};
+  for (const double line : {0.3, 0.99999999, 1.0, 1.1}) {
+    EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kVertical, line),
+              circumcenter_side(a, c, b, CutAxis::kVertical, line));
+  }
+}
+
+TEST(CircumcenterSide, AgreesWithRoundedCircumcenter) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> d(-10.0, 10.0);
+  int checked = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)}, c{d(rng), d(rng)};
+    if (orient2d(a, b, c) == 0.0) continue;
+    // Rounded circumcenter.
+    const Vec2 ab = b - a, ac = c - a;
+    const double den = 2.0 * ab.cross(ac);
+    const double ux = (ac.y * ab.norm2() - ab.y * ac.norm2()) / den;
+    const double ccx = a.x + ux;
+    const double line = d(rng);
+    if (std::fabs(ccx - line) < 1e-6) continue;  // too close to trust rounding
+    EXPECT_EQ(circumcenter_side(a, b, c, CutAxis::kVertical, line),
+              ccx > line ? 1 : -1);
+    ++checked;
+  }
+  EXPECT_GT(checked, 4000);
+}
+
+}  // namespace
+}  // namespace aero

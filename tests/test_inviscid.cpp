@@ -1,0 +1,234 @@
+// Graded Delaunay decoupling: the k-rule spacing, quadrant layout, '+'
+// splits, and the central decoupling property -- independent refinement
+// never touches a shared border.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "delaunay/stats.hpp"
+#include "inviscid/decouple.hpp"
+
+namespace aero {
+namespace {
+
+constexpr double kSqrt3 = 1.7320508075688772;
+
+GradedSizing test_sizing() {
+  return GradedSizing{BBox2{{-1, -1}, {1, 1}}, 0.05, 0.3};
+}
+
+TEST(Sizing, DistanceAndGrading) {
+  const GradedSizing s = test_sizing();
+  EXPECT_DOUBLE_EQ(s.distance_to_inner({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.distance_to_inner({3, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(s.distance_to_inner({4, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(s.length_at({0, 0}), 0.05);
+  EXPECT_DOUBLE_EQ(s.length_at({3, 0}), 0.05 + 0.6);
+  EXPECT_GT(s.area_at({10, 10}), s.area_at({0, 0}));
+}
+
+TEST(Sizing, PaperEquationOne) {
+  const GradedSizing s = test_sizing();
+  const Vec2 p{2, 3};
+  EXPECT_DOUBLE_EQ(s.k_at(p),
+                   0.5 * std::sqrt(s.area_at(p) / std::sqrt(2.0)));
+}
+
+TEST(DecoupleSegment, SpacingWithinBounds) {
+  const GradedSizing s = test_sizing();
+  const Vec2 a{-5, 2}, b{7, 2};
+  const auto pts = decouple_segment(a, b, s);
+  ASSERT_GT(pts.size(), 2u);
+  std::vector<Vec2> full{a};
+  full.insert(full.end(), pts.begin(), pts.end());
+  full.push_back(b);
+  for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+    const double d = distance(full[i], full[i + 1]);
+    const double k_here = s.k_at(full[i]);
+    const double k_next = s.k_at(full[i + 1]);
+    // Paper's bounds: 2k/sqrt(3) <= D < 2k at the current vertex, and the
+    // Delaunay repair D < 2 k_next (the final gap may be shorter -- denser
+    // is conservative).
+    EXPECT_LT(d, 2.0 * k_here + 1e-12);
+    EXPECT_LT(d, 2.0 * k_next + 1e-12);
+    if (i + 2 < full.size()) {
+      EXPECT_GE(d, 2.0 * k_here / kSqrt3 - 1e-12);
+    }
+  }
+}
+
+TEST(DecoupleSegment, GradedDensity) {
+  // March away from the inner box: spacing must grow monotonically-ish.
+  const GradedSizing s = test_sizing();
+  const auto pts = decouple_segment({1, 0}, {30, 0}, s);
+  ASSERT_GT(pts.size(), 4u);
+  const double first_gap = distance(Vec2{1, 0}, pts[0]);
+  const double late_gap = distance(pts[pts.size() - 2], pts.back());
+  EXPECT_GT(late_gap, 3.0 * first_gap);
+}
+
+TEST(DecoupleSegment, ZeroLengthIsEmpty) {
+  const GradedSizing s = test_sizing();
+  EXPECT_TRUE(decouple_segment({1, 1}, {1, 1}, s).empty());
+}
+
+InviscidDomain test_domain() {
+  InviscidDomain d;
+  d.inner = BBox2{{-1, -1}, {1, 1}};
+  d.outer = BBox2{{-8, -8}, {8, 8}};
+  d.sizing = GradedSizing{d.inner, 0.08, 0.3};
+  return d;
+}
+
+TEST(Quadrants, SharedBordersIdentical) {
+  const auto quads = initial_quadrants(test_domain());
+  ASSERT_EQ(quads.size(), 4u);
+  // Collect every border edge; each diagonal edge must appear exactly twice
+  // (once per adjacent quadrant) with identical coordinates.
+  std::map<std::pair<std::pair<double, double>, std::pair<double, double>>,
+           int>
+      edges;
+  for (const auto& q : quads) {
+    for (std::size_t i = 0; i < q.border.size(); ++i) {
+      const Vec2 a = q.border[i];
+      const Vec2 b = q.border[(i + 1) % q.border.size()];
+      auto ka = std::make_pair(a.x, a.y);
+      auto kb = std::make_pair(b.x, b.y);
+      if (kb < ka) std::swap(ka, kb);
+      ++edges[{ka, kb}];
+    }
+  }
+  std::size_t shared = 0;
+  for (const auto& [k, c] : edges) {
+    EXPECT_LE(c, 2);
+    if (c == 2) ++shared;
+  }
+  EXPECT_GT(shared, 8u);  // the four diagonals are finely discretized
+}
+
+TEST(Quadrants, ConvexCcwPolygons) {
+  for (const auto& q : initial_quadrants(test_domain())) {
+    double area2 = 0.0;
+    for (std::size_t i = 0; i < q.border.size(); ++i) {
+      area2 += q.border[i].cross(q.border[(i + 1) % q.border.size()]);
+    }
+    EXPECT_GT(area2, 0.0);
+  }
+}
+
+TEST(PlusSplit, FourConvexChildrenCoverParent) {
+  auto quads = initial_quadrants(test_domain());
+  const double parent_est = quads[0].estimated_triangles(test_domain().sizing);
+  const auto children = plus_split(quads[0], test_domain().sizing);
+  ASSERT_EQ(children.size(), 4u);
+  double child_est = 0.0;
+  for (const auto& c : children) {
+    EXPECT_GE(c.border.size(), 4u);
+    EXPECT_EQ(c.level, quads[0].level + 1);
+    child_est += c.estimated_triangles(test_domain().sizing);
+  }
+  // Children tile the parent: estimates agree within the integration error.
+  EXPECT_NEAR(child_est, parent_est, 0.25 * parent_est);
+}
+
+TEST(PlusSplit, NearBodyNeverSplits) {
+  InviscidDomain d = test_domain();
+  d.bl_interface = {{{-0.5, -0.5}, {0.5, -0.5}},
+                    {{0.5, -0.5}, {0.0, 0.5}},
+                    {{0.0, 0.5}, {-0.5, -0.5}}};
+  d.hole_seeds = {{0.0, 0.0}};
+  const auto nb = near_body_subdomain(d);
+  EXPECT_TRUE(plus_split(nb, d.sizing).empty());
+}
+
+TEST(DecoupleRecursive, ReachesTarget) {
+  auto quads = initial_quadrants(test_domain());
+  const double parent_est =
+      quads[0].estimated_triangles(test_domain().sizing);
+  const auto leaves = decouple_recursive(std::move(quads[0]),
+                                         test_domain().sizing,
+                                         parent_est / 10.0, 8);
+  EXPECT_GT(leaves.size(), 4u);
+  for (const auto& leaf : leaves) {
+    // Leaves meet the target unless the recursion cap or geometry stopped
+    // them; all must still be valid polygons.
+    EXPECT_GE(leaf.border.size(), 4u);
+  }
+}
+
+TEST(Refinement, DecoupledBordersUntouched) {
+  // THE decoupling property: refine two adjacent subdomains independently
+  // and verify the shared border vertices are exactly the pre-refinement
+  // decoupled points on both sides.
+  const InviscidDomain d = test_domain();
+  auto quads = initial_quadrants(d);
+
+  const auto boundary_points_on =
+      [](const TriangulateResult& r, auto predicate) {
+        std::set<std::pair<double, double>> pts;
+        r.mesh.for_each_triangle([&](TriIndex t) {
+          const MeshTri& mt = r.mesh.tri(t);
+          for (int i = 0; i < 3; ++i) {
+            if (!mt.constrained[i]) continue;
+            for (const VertIndex v :
+                 {mt.v[(i + 1) % 3], mt.v[(i + 2) % 3]}) {
+              const Vec2 p = r.mesh.point(v);
+              if (predicate(p)) pts.insert({p.x, p.y});
+            }
+          }
+        });
+        return pts;
+      };
+
+  // Bottom (quads[0]) and right (quads[1]) share the diagonal from
+  // (8,-8) to (1,-1).
+  const auto on_diagonal = [](Vec2 p) {
+    return std::fabs(p.x + p.y) < 1e-9 && p.x >= 1.0 && p.x <= 8.0;
+  };
+  const auto r0 = refine_subdomain(quads[0], d.sizing);
+  const auto r1 = refine_subdomain(quads[1], d.sizing);
+  EXPECT_EQ(r0.refine_stats.segment_splits, 0u);
+  EXPECT_EQ(r1.refine_stats.segment_splits, 0u);
+  const auto pts0 = boundary_points_on(r0, on_diagonal);
+  const auto pts1 = boundary_points_on(r1, on_diagonal);
+  EXPECT_EQ(pts0, pts1);
+  EXPECT_GT(pts0.size(), 4u);
+}
+
+TEST(Refinement, QualityInsideSubdomain) {
+  const InviscidDomain d = test_domain();
+  auto quads = initial_quadrants(d);
+  const auto r = refine_subdomain(quads[2], d.sizing);
+  const MeshStats st = compute_stats(r.mesh);
+  // The graded decoupling is built for Ruppert's sqrt(2) bound; interior
+  // quality must reach it (protected borders could in principle block a few
+  // fixes, so allow a whisker).
+  EXPECT_GE(st.min_angle_deg, 19.0);
+  EXPECT_TRUE(r.mesh.check_topology());
+}
+
+TEST(Refinement, SizingBoundHolds) {
+  const InviscidDomain d = test_domain();
+  auto quads = initial_quadrants(d);
+  const auto r = refine_subdomain(quads[0], d.sizing);
+  std::size_t violations = 0, total = 0;
+  r.mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = r.mesh.tri(t);
+    if (!mt.inside) return;
+    const Vec2 a = r.mesh.point(mt.v[0]);
+    const Vec2 b = r.mesh.point(mt.v[1]);
+    const Vec2 c = r.mesh.point(mt.v[2]);
+    const Vec2 centroid{(a.x + b.x + c.x) / 3, (a.y + b.y + c.y) / 3};
+    const double area = 0.5 * (b - a).cross(c - a);
+    ++total;
+    if (area > d.sizing.area_at(centroid) * 1.0000001) ++violations;
+  });
+  EXPECT_EQ(violations, 0u);
+  EXPECT_GT(total, 100u);
+}
+
+}  // namespace
+}  // namespace aero

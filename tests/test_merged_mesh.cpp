@@ -1,0 +1,135 @@
+// Merged mesh assembly: point welding, carving, ring restriction, boundary
+// extraction, conformity audit.
+
+#include <gtest/gtest.h>
+
+#include "core/merged_mesh.hpp"
+#include "delaunay/triangulator.hpp"
+
+namespace aero {
+namespace {
+
+TEST(MergedMesh, WeldsIdenticalPoints) {
+  MergedMesh m;
+  m.add_triangle({0, 0}, {1, 0}, {0, 1});
+  m.add_triangle({1, 0}, {1, 1}, {0, 1});
+  EXPECT_EQ(m.points().size(), 4u);  // shared edge endpoints welded
+  EXPECT_EQ(m.triangle_count(), 2u);
+  const auto conf = m.check_conformity();
+  EXPECT_TRUE(conf.manifold);
+  EXPECT_EQ(conf.interior_edges, 1u);
+  EXPECT_EQ(conf.boundary_edges, 4u);
+  EXPECT_TRUE(conf.orientation_ok);
+}
+
+TEST(MergedMesh, AppendFromDelaunayMesh) {
+  const auto r = triangulate_points({{0, 0}, {2, 0}, {1, 2}, {1, 0.5}});
+  MergedMesh m;
+  m.append(r.mesh);
+  EXPECT_EQ(m.triangle_count(), r.mesh.triangle_count());
+  EXPECT_TRUE(m.check_conformity().manifold);
+}
+
+TEST(MergedMesh, DetectsNonManifoldOverlap) {
+  MergedMesh m;
+  m.add_triangle({0, 0}, {1, 0}, {0, 1});
+  m.add_triangle({1, 0}, {1, 1}, {0, 1});
+  m.add_triangle({1, 0}, {2, 1}, {0, 1});  // third triangle on edge (1,0)-(0,1)
+  const auto conf = m.check_conformity();
+  EXPECT_FALSE(conf.manifold);
+  EXPECT_EQ(conf.nonmanifold_edges, 1u);
+}
+
+TEST(MergedMesh, DetectsBadOrientation) {
+  MergedMesh m;
+  m.add_triangle({0, 0}, {0, 1}, {1, 0});  // clockwise
+  EXPECT_FALSE(m.check_conformity().orientation_ok);
+}
+
+MergedMesh grid_mesh(int n) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) pts.push_back({i * 1.0, j * 1.0});
+  }
+  const auto r = triangulate_points(pts);
+  MergedMesh m;
+  m.append(r.mesh);
+  return m;
+}
+
+TEST(MergedMesh, CarveRemovesEnclosedRegion) {
+  MergedMesh m = grid_mesh(4);
+  const std::size_t before = m.triangle_count();
+  // Barrier: the unit square [1,3]x[1,3] boundary along grid edges.
+  std::vector<std::pair<Vec2, Vec2>> barrier;
+  for (int i = 1; i < 3; ++i) {
+    barrier.push_back({{static_cast<double>(i), 1}, {static_cast<double>(i + 1), 1}});
+    barrier.push_back({{static_cast<double>(i), 3}, {static_cast<double>(i + 1), 3}});
+    barrier.push_back({{1, static_cast<double>(i)}, {1, static_cast<double>(i + 1)}});
+    barrier.push_back({{3, static_cast<double>(i)}, {3, static_cast<double>(i + 1)}});
+  }
+  m.carve(barrier, {{2.0, 2.0}});
+  // The 2x2 interior block (8 triangles) is gone.
+  EXPECT_EQ(m.triangle_count(), before - 8);
+  EXPECT_TRUE(m.check_conformity().manifold);
+}
+
+TEST(MergedMesh, KeepOnlyIsComplementOfCarve) {
+  MergedMesh a = grid_mesh(4);
+  MergedMesh b = grid_mesh(4);
+  std::vector<std::pair<Vec2, Vec2>> barrier;
+  for (int i = 1; i < 3; ++i) {
+    barrier.push_back({{static_cast<double>(i), 1}, {static_cast<double>(i + 1), 1}});
+    barrier.push_back({{static_cast<double>(i), 3}, {static_cast<double>(i + 1), 3}});
+    barrier.push_back({{1, static_cast<double>(i)}, {1, static_cast<double>(i + 1)}});
+    barrier.push_back({{3, static_cast<double>(i)}, {3, static_cast<double>(i + 1)}});
+  }
+  const std::size_t total = a.triangle_count();
+  a.carve(barrier, {{2.0, 2.0}});
+  b.keep_only(barrier, {{2.0, 2.0}});
+  EXPECT_EQ(a.triangle_count() + b.triangle_count(), total);
+  EXPECT_EQ(b.triangle_count(), 8u);
+}
+
+TEST(MergedMesh, CarveWithSeedOutsideMeshIsNoOp) {
+  MergedMesh m = grid_mesh(2);
+  const std::size_t before = m.triangle_count();
+  m.carve({}, {{100.0, 100.0}});
+  EXPECT_EQ(m.triangle_count(), before);
+}
+
+TEST(MergedMesh, BoundaryEdgesOfGrid) {
+  MergedMesh m = grid_mesh(3);
+  const auto boundary = m.boundary_edges({});
+  EXPECT_EQ(boundary.size(), 12u);  // 4 sides x 3 edges
+  // Excluding one side's edges removes them from the report.
+  std::vector<std::pair<Vec2, Vec2>> exclude;
+  for (int i = 0; i < 3; ++i) {
+    exclude.push_back({{static_cast<double>(i), 0}, {static_cast<double>(i + 1), 0}});
+  }
+  EXPECT_EQ(m.boundary_edges(exclude).size(), 9u);
+}
+
+TEST(MergedMesh, MissingEdges) {
+  MergedMesh m = grid_mesh(2);
+  const std::vector<std::pair<Vec2, Vec2>> candidates = {
+      {{0, 0}, {1, 0}},    // present
+      {{0, 0}, {2, 2}},    // absent (not a grid edge)
+      {{5, 5}, {6, 6}},    // endpoints not even in the mesh
+  };
+  const auto missing = m.missing_edges(candidates);
+  ASSERT_EQ(missing.size(), 2u);
+}
+
+TEST(MergedStats, GridValues) {
+  MergedMesh m = grid_mesh(4);
+  const MergedStats st = compute_stats(m);
+  EXPECT_EQ(st.triangles, 32u);
+  EXPECT_EQ(st.vertices, 25u);
+  EXPECT_NEAR(st.total_area, 16.0, 1e-12);
+  EXPECT_NEAR(st.min_angle_deg, 45.0, 1e-9);
+  EXPECT_NEAR(st.max_angle_deg, 90.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aero

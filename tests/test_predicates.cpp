@@ -1,0 +1,142 @@
+// Exactness tests of the adaptive orient2d / incircle predicates, including
+// the degenerate near-collinear and near-cocircular inputs that break naive
+// floating-point evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/predicates.hpp"
+
+namespace aero {
+namespace {
+
+TEST(Orient2d, BasicSigns) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0.0);
+  EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0.0);
+  EXPECT_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(Orient2d, ExactlyCollinearAtAwkwardScales) {
+  // Points on y = x with coordinates that are not powers of two.
+  const Vec2 a{0.1, 0.1}, b{0.2, 0.2}, c{0.3, 0.3};
+  // 0.1 + 0.2 != 0.3 in binary, but these are THE SAME multiples: c = 3a,
+  // b = 2a exactly? Not exactly -- so this triple is NOT collinear exactly.
+  // The predicate must agree with exact rational arithmetic:
+  // orient = (b-a) x (c-a) computed exactly.
+  const double exact_sign = orient2d(a, b, c);
+  // Verified against exact rational arithmetic offline: with these doubles,
+  // 0.2 - 0.1 and 0.3 - 0.2 differ in the last ulp; the triple is slightly
+  // bent. All we assert here is stability: sign is consistent under cyclic
+  // permutation and anti-symmetric under swap.
+  EXPECT_EQ(exact_sign > 0, orient2d(b, c, a) > 0);
+  EXPECT_EQ(exact_sign > 0, orient2d(c, a, b) > 0);
+  EXPECT_EQ(exact_sign > 0, orient2d(b, a, c) < 0);
+}
+
+TEST(Orient2d, SignConsistencyUnderPermutation) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)};
+    // Nearly-collinear third point: c = a + t(b - a) + tiny perpendicular.
+    const double t = d(rng);
+    const Vec2 ab = b - a;
+    const Vec2 c = a + ab * t + ab.perp() * (d(rng) * 1e-18);
+    const double o1 = orient2d(a, b, c);
+    const double o2 = orient2d(b, c, a);
+    const double o3 = orient2d(c, a, b);
+    EXPECT_EQ(o1 > 0, o2 > 0);
+    EXPECT_EQ(o1 > 0, o3 > 0);
+    EXPECT_EQ(o1 == 0, o2 == 0);
+    const double om = orient2d(b, a, c);
+    EXPECT_EQ(o1 > 0, om < 0);
+    EXPECT_EQ(o1 == 0, om == 0);
+  }
+}
+
+TEST(Orient2d, AdaptiveStagesFire) {
+  predicates_detail::reset_counters();
+  // Force near-collinear inputs that defeat the stage-A filter.
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)};
+    const Vec2 c = midpoint(a, b);  // exactly on the segment in many cases
+    orient2d(a, b, c);
+  }
+  const auto& counters = predicates_detail::counters();
+  EXPECT_GT(counters.adapt + counters.exact, 0);
+}
+
+TEST(Incircle, UnitSquareCocircular) {
+  // Four corners of a square are exactly cocircular.
+  EXPECT_EQ(incircle({0, 0}, {1, 0}, {1, 1}, {0, 1}), 0.0);
+  // Strictly inside / outside.
+  EXPECT_GT(incircle({0, 0}, {1, 0}, {1, 1}, {0.5, 0.5}), 0.0);
+  EXPECT_LT(incircle({0, 0}, {1, 0}, {1, 1}, {5, 5}), 0.0);
+}
+
+TEST(Incircle, TranslationOfCocircularQuadStaysExact) {
+  // Cocircular quadruples moved far from the origin: the fixed-point of
+  // naive evaluation, routine for the exact predicate.
+  for (const double off : {0.0, 1.0, 1e3, 1e6, 1e9}) {
+    const Vec2 a{off + 0, off + 0}, b{off + 1, off + 0};
+    const Vec2 c{off + 1, off + 1}, d{off + 0, off + 1};
+    EXPECT_EQ(incircle(a, b, c, d), 0.0) << "offset " << off;
+  }
+}
+
+TEST(Incircle, AntiSymmetryInLastTwoArguments) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)}, c{d(rng), d(rng)},
+        p{d(rng), d(rng)};
+    if (orient2d(a, b, c) <= 0.0) continue;
+    const double v1 = incircle(a, b, c, p);
+    // Swapping two points of the triangle flips orientation, so the sign
+    // must flip.
+    const double v2 = incircle(b, a, c, p);
+    EXPECT_EQ(v1 > 0, v2 < 0);
+    EXPECT_EQ(v1 == 0, v2 == 0);
+  }
+}
+
+TEST(Incircle, PerturbationByOneUlpDetected) {
+  // d exactly on the circle through a,b,c, then nudged by one ulp.
+  const Vec2 a{0, 0}, b{2, 0}, c{2, 2};
+  const Vec2 on{0, 2};
+  EXPECT_EQ(incircle(a, b, c, on), 0.0);
+  const Vec2 inside{0, std::nextafter(2.0, 0.0)};
+  EXPECT_GT(incircle(a, b, c, inside), 0.0);
+  const Vec2 outside{0, std::nextafter(2.0, 3.0)};
+  EXPECT_LT(incircle(a, b, c, outside), 0.0);
+}
+
+TEST(Incircle, GridCocircularSweep) {
+  // Structured-grid quadruples (the boundary-layer degeneracy): every unit
+  // grid square is exactly cocircular at any offset.
+  for (int ox = -3; ox <= 3; ++ox) {
+    for (int oy = -3; oy <= 3; ++oy) {
+      const double x = ox * 1234.5, y = oy * 987.25;
+      EXPECT_EQ(
+          incircle({x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}), 0.0);
+    }
+  }
+}
+
+TEST(OnSegment, EndpointsAndInterior) {
+  EXPECT_TRUE(on_segment({0, 0}, {2, 2}, {1, 1}));
+  EXPECT_TRUE(on_segment({0, 0}, {2, 2}, {0, 0}));
+  EXPECT_TRUE(on_segment({0, 0}, {2, 2}, {2, 2}));
+  EXPECT_FALSE(on_segment({0, 0}, {2, 2}, {3, 3}));   // beyond
+  EXPECT_FALSE(on_segment({0, 0}, {2, 2}, {1, 1.5})); // off the line
+  // Vertical segment (x-extent zero) exercises the y-range branch.
+  EXPECT_TRUE(on_segment({1, 0}, {1, 4}, {1, 2}));
+  EXPECT_FALSE(on_segment({1, 0}, {1, 4}, {1, 5}));
+}
+
+}  // namespace
+}  // namespace aero

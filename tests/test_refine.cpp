@@ -1,0 +1,161 @@
+// Ruppert refinement: quality bounds, area/sizing bounds, concentric shells
+// near small input angles, protected segments.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delaunay/stats.hpp"
+#include "delaunay/triangulator.hpp"
+
+namespace aero {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+Pslg unit_square(double s = 1.0) {
+  Pslg p;
+  p.points = {{0, 0}, {s, 0}, {s, s}, {0, s}};
+  p.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  return p;
+}
+
+TriangulateResult refine_square(double max_area, double bound = kSqrt2) {
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.radius_edge_bound = bound;
+  o.refine_options.max_area = max_area;
+  return triangulate(unit_square(), o);
+}
+
+TEST(Refine, QualityBoundAchieved) {
+  const auto r = refine_square(0.01);
+  const MeshStats st = compute_stats(r.mesh);
+  // radius-edge sqrt(2) corresponds to a 20.7 degree minimum angle.
+  EXPECT_GE(st.min_angle_deg, 20.6);
+  EXPECT_LE(st.max_radius_edge, kSqrt2 + 1e-9);
+  EXPECT_TRUE(r.mesh.check_topology());
+  EXPECT_TRUE(r.mesh.check_delaunay());
+}
+
+TEST(Refine, AreaBoundRespected) {
+  for (const double max_area : {0.1, 0.01, 0.001}) {
+    const auto r = refine_square(max_area);
+    const MeshStats st = compute_stats(r.mesh);
+    EXPECT_LE(st.max_area, max_area + 1e-12) << "bound " << max_area;
+    EXPECT_NEAR(st.total_area, 1.0, 1e-9);
+    // Triangle count should scale like 1/area.
+    EXPECT_GE(st.triangles, static_cast<std::size_t>(0.5 / max_area));
+  }
+}
+
+TEST(Refine, SizingFunctionGradesMesh) {
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.radius_edge_bound = kSqrt2;
+  // Fine near x=0, coarse near x=1.
+  o.refine_options.sizing = [](Vec2 p) {
+    const double l = 0.01 + 0.2 * p.x;
+    return 0.5 * l * l;
+  };
+  const auto r = triangulate(unit_square(), o);
+  // Count triangles with centroid in the left vs right quarter.
+  std::size_t left = 0, right = 0;
+  r.mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = r.mesh.tri(t);
+    if (!mt.inside) return;
+    const double cx = (r.mesh.point(mt.v[0]).x + r.mesh.point(mt.v[1]).x +
+                       r.mesh.point(mt.v[2]).x) / 3.0;
+    if (cx < 0.25) ++left;
+    if (cx > 0.75) ++right;
+  });
+  EXPECT_GT(left, right * 5) << "left " << left << " right " << right;
+  EXPECT_TRUE(r.mesh.check_delaunay());
+}
+
+TEST(Refine, SmallInputAngleTerminates) {
+  // A 10-degree wedge: classic Ruppert non-termination case, survivable
+  // with concentric shells + the seditious-edge rule.
+  Pslg p;
+  constexpr double kA = 10.0 * 3.14159265358979323846 / 180.0;
+  p.points = {{0, 0}, {1, 0}, {std::cos(kA), std::sin(kA)},
+              {1.2, 0.6}, {-0.2, 0.8}};
+  p.segments = {{0, 1}, {0, 2}, {1, 3}, {3, 4}, {4, 2}};
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.radius_edge_bound = kSqrt2;
+  o.refine_options.max_steiner = 200000;
+  const auto r = triangulate(p, o);
+  EXPECT_FALSE(r.refine_stats.hit_steiner_cap);
+  EXPECT_TRUE(r.mesh.check_topology());
+}
+
+TEST(Refine, ProtectedSegmentsNeverSplit) {
+  Pslg p = unit_square();
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.radius_edge_bound = kSqrt2;
+  o.refine_options.max_area = 0.005;
+  o.refine_options.splittable = [](Vec2, Vec2) { return false; };
+  const auto r = triangulate(p, o);
+  EXPECT_EQ(r.refine_stats.segment_splits, 0u);
+  // The four original corners must still bound the mesh: corner vertices
+  // are input vertices 0..3 and every boundary edge endpoint coordinate
+  // must lie on the square border.
+  r.mesh.for_each_triangle([&](TriIndex t) {
+    const MeshTri& mt = r.mesh.tri(t);
+    for (int i = 0; i < 3; ++i) {
+      if (!mt.constrained[i]) continue;
+      for (const Vec2 q : {r.mesh.point(mt.v[(i + 1) % 3]),
+                           r.mesh.point(mt.v[(i + 2) % 3])}) {
+        const bool on_border = q.x == 0.0 || q.x == 1.0 || q.y == 0.0 ||
+                               q.y == 1.0;
+        EXPECT_TRUE(on_border);
+        // No Steiner point may appear in a border segment's interior:
+        // only the original corners are allowed as constrained endpoints.
+        const bool corner = (q.x == 0.0 || q.x == 1.0) &&
+                            (q.y == 0.0 || q.y == 1.0);
+        EXPECT_TRUE(corner) << q;
+      }
+    }
+  });
+}
+
+TEST(Refine, SteinerCapStopsRunaway) {
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.max_area = 1e-7;
+  o.refine_options.max_steiner = 100;
+  const auto r = triangulate(unit_square(), o);
+  EXPECT_TRUE(r.refine_stats.hit_steiner_cap);
+  EXPECT_LE(r.refine_stats.steiner_points, 101u);
+  EXPECT_TRUE(r.mesh.check_topology());  // still a valid mesh
+}
+
+TEST(Refine, StatsAreConsistent) {
+  const auto r = refine_square(0.01);
+  EXPECT_EQ(r.refine_stats.steiner_points,
+            r.refine_stats.segment_splits + r.refine_stats.circumcenters);
+  EXPECT_GT(r.refine_stats.steiner_points, 0u);
+}
+
+TEST(Refine, HoleBoundaryRefinedConformally) {
+  // Square with square hole: refinement must respect the hole.
+  Pslg p;
+  p.points = {{0, 0}, {4, 0}, {4, 4}, {0, 4},
+              {1.8, 1.8}, {2.2, 1.8}, {2.2, 2.2}, {1.8, 2.2}};
+  p.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                {4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  p.holes = {{2, 2}};
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.radius_edge_bound = kSqrt2;
+  o.refine_options.max_area = 0.05;
+  const auto r = triangulate(p, o);
+  const MeshStats st = compute_stats(r.mesh);
+  EXPECT_NEAR(st.total_area, 16.0 - 0.16, 1e-9);
+  EXPECT_GE(st.min_angle_deg, 20.6);
+}
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,190 @@
+// FEM substitute solver and the panel method.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mesh_generator.hpp"
+#include "delaunay/triangulator.hpp"
+#include "solver/fem.hpp"
+#include "solver/panel.hpp"
+
+namespace aero {
+namespace {
+
+MergedMesh unit_square_mesh(double max_area) {
+  Pslg p;
+  p.points = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  p.segments = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  TriangulateOptions o;
+  o.refine = true;
+  o.refine_options.radius_edge_bound = 1.4142135623730951;
+  o.refine_options.max_area = max_area;
+  const auto r = triangulate(p, o);
+  MergedMesh m;
+  m.append(r.mesh);
+  return m;
+}
+
+TEST(Fem, LaplaceLinearSolutionIsExact) {
+  // u = x is harmonic: with Dirichlet u = x on the boundary, the P1 Galerkin
+  // solution is exactly u = x at every vertex.
+  const MergedMesh mesh = unit_square_mesh(0.01);
+  FemProblem problem(mesh, 1.0, {0, 0}, nullptr,
+                     [](Vec2 p) { return p.x; });
+  SolveOptions opts;
+  opts.tolerance = 1e-13;
+  const SolveResult r = problem.solve(opts);
+  ASSERT_TRUE(r.converged);
+  const auto full = problem.expand(r.u);
+  for (std::size_t v = 0; v < mesh.points().size(); ++v) {
+    EXPECT_NEAR(full[v], mesh.points()[v].x, 1e-8);
+  }
+}
+
+TEST(Fem, PoissonAgainstManufacturedSolution) {
+  // -lap(u) = 2 pi^2 sin(pi x) sin(pi y), u = 0 on the boundary.
+  constexpr double kPi = 3.14159265358979323846;
+  const MergedMesh mesh = unit_square_mesh(0.002);
+  FemProblem problem(
+      mesh, 1.0, {0, 0},
+      [](Vec2 p) {
+        return 2.0 * kPi * kPi * std::sin(kPi * p.x) * std::sin(kPi * p.y);
+      },
+      [](Vec2) { return 0.0; });
+  SolveOptions opts;
+  opts.tolerance = 1e-12;
+  const SolveResult r = problem.solve(opts);
+  ASSERT_TRUE(r.converged);
+  const auto full = problem.expand(r.u);
+  double max_err = 0.0;
+  for (std::size_t v = 0; v < mesh.points().size(); ++v) {
+    const Vec2 p = mesh.points()[v];
+    const double exact = std::sin(kPi * p.x) * std::sin(kPi * p.y);
+    max_err = std::max(max_err, std::fabs(full[v] - exact));
+  }
+  EXPECT_LT(max_err, 0.01);  // O(h^2) with h ~ 0.06
+}
+
+TEST(Fem, ResidualHistoryMonotoneForGs) {
+  const MergedMesh mesh = unit_square_mesh(0.01);
+  FemProblem problem(mesh, 1.0, {0, 0}, [](Vec2) { return 1.0; },
+                     [](Vec2) { return 0.0; });
+  SolveOptions opts;
+  opts.tolerance = 1e-12;
+  const SolveResult r = problem.solve(opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.residual_history.size(), r.iterations);
+  // Gauss-Seidel on an M-matrix: residual decreases monotonically (allow
+  // tiny numerical wiggle).
+  for (std::size_t i = 1; i < r.residual_history.size(); ++i) {
+    EXPECT_LE(r.residual_history[i], r.residual_history[i - 1] * 1.01);
+  }
+}
+
+TEST(Fem, JacobiSlowerThanGaussSeidel) {
+  const MergedMesh mesh = unit_square_mesh(0.02);
+  FemProblem problem(mesh, 1.0, {0, 0}, [](Vec2) { return 1.0; },
+                     [](Vec2) { return 0.0; });
+  SolveOptions gs;
+  gs.scheme = IterScheme::kGaussSeidel;
+  gs.tolerance = 1e-10;
+  SolveOptions jac;
+  jac.scheme = IterScheme::kJacobi;
+  jac.tolerance = 1e-10;
+  const auto rg = problem.solve(gs);
+  const auto rj = problem.solve(jac);
+  ASSERT_TRUE(rg.converged);
+  ASSERT_TRUE(rj.converged);
+  EXPECT_LT(rg.iterations, rj.iterations);  // classic 2x factor
+}
+
+TEST(Fem, FinerMeshNeedsMoreIterations) {
+  // The conditioning argument behind the paper's Figure 16: more elements
+  // (same physics) => more stationary iterations to a fixed tolerance.
+  FemProblem coarse(unit_square_mesh(0.02), 1.0, {0, 0},
+                    [](Vec2) { return 1.0; }, [](Vec2) { return 0.0; });
+  FemProblem fine(unit_square_mesh(0.002), 1.0, {0, 0},
+                  [](Vec2) { return 1.0; }, [](Vec2) { return 0.0; });
+  SolveOptions opts;
+  opts.tolerance = 1e-8;
+  const auto rc = coarse.solve(opts);
+  const auto rf = fine.solve(opts);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rf.converged);
+  EXPECT_GT(rf.iterations, rc.iterations * 2);
+}
+
+TEST(Fem, AdvectionSkewsSolution) {
+  const MergedMesh mesh = unit_square_mesh(0.005);
+  FemProblem diffusion(mesh, 0.05, {0, 0}, [](Vec2) { return 1.0; },
+                       [](Vec2) { return 0.0; });
+  FemProblem advected(mesh, 0.05, {1.0, 0}, [](Vec2) { return 1.0; },
+                      [](Vec2) { return 0.0; });
+  SolveOptions opts;
+  opts.tolerance = 1e-10;
+  const auto rd = diffusion.solve(opts);
+  const auto ra = advected.solve(opts);
+  ASSERT_TRUE(rd.converged);
+  ASSERT_TRUE(ra.converged);
+  // Advection in +x pushes the maximum downstream: compare the center of
+  // mass of the two solutions.
+  const auto full_d = diffusion.expand(rd.u);
+  const auto full_a = advected.expand(ra.u);
+  double cx_d = 0, sum_d = 0, cx_a = 0, sum_a = 0;
+  for (std::size_t v = 0; v < mesh.points().size(); ++v) {
+    cx_d += full_d[v] * mesh.points()[v].x;
+    sum_d += full_d[v];
+    cx_a += full_a[v] * mesh.points()[v].x;
+    sum_a += full_a[v];
+  }
+  EXPECT_GT(cx_a / sum_a, cx_d / sum_d + 0.02);
+}
+
+TEST(Panel, FlatPlateLiftSlope) {
+  // Thin symmetric section at small incidence: Cl ~ 2 pi alpha.
+  const AirfoilConfig config = make_naca0012(200);
+  const double alpha = 0.0523598776;  // 3 degrees
+  PanelMethod panel(config, alpha);
+  const double cl = panel.lift_coefficient();
+  EXPECT_NEAR(cl, 2.0 * 3.14159265358979323846 * alpha, 0.12);
+}
+
+TEST(Panel, ZeroLiftAtZeroAlphaSymmetric) {
+  PanelMethod panel(make_naca0012(200), 0.0);
+  EXPECT_NEAR(panel.lift_coefficient(), 0.0, 1e-6);
+}
+
+TEST(Panel, FarFieldRecoversFreestream) {
+  PanelMethod panel(make_naca0012(128), 0.05);
+  const Vec2 v = panel.velocity({50.0, 40.0});
+  EXPECT_NEAR(v.x, std::cos(0.05), 1e-3);
+  EXPECT_NEAR(v.y, std::sin(0.05), 1e-3);
+  EXPECT_NEAR(panel.pressure_coefficient({50.0, 40.0}), 0.0, 1e-3);
+}
+
+TEST(Panel, StagnationNearLeadingEdge) {
+  PanelMethod panel(make_naca0012(256), 0.0);
+  // At zero incidence the stagnation point is the leading edge: velocity
+  // just ahead of it is far below freestream.
+  const double speed = panel.velocity({-0.002, 0.0}).norm();
+  EXPECT_LT(speed, 0.5);
+}
+
+TEST(Panel, HighLiftConfigurationCarriesMoreLift) {
+  const double alpha = 0.0872664626;  // 5 degrees (the paper's run)
+  PanelMethod single(make_naca0012(160), alpha);
+  PanelMethod high_lift(make_three_element(160), alpha);
+  EXPECT_GT(high_lift.lift_coefficient(), single.lift_coefficient());
+}
+
+TEST(Panel, SurfaceCpBoundedByStagnation) {
+  PanelMethod panel(make_naca0012(200), 0.05);
+  for (const double cp : panel.surface_cp()) {
+    EXPECT_LE(cp, 1.0 + 1e-9);  // Cp = 1 at stagnation is the maximum
+    EXPECT_GT(cp, -8.0);        // sane suction bound
+  }
+}
+
+}  // namespace
+}  // namespace aero

@@ -1,0 +1,123 @@
+// Alternating digital tree: correctness against brute force, including the
+// parameterized property sweep over point-set shapes and sizes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "spatial/adt.hpp"
+
+namespace aero {
+namespace {
+
+TEST(Adt, EmptyTreeReturnsNothing) {
+  AlternatingDigitalTree adt(BBox2{{0, 0}, {1, 1}});
+  EXPECT_TRUE(adt.empty());
+  EXPECT_TRUE(adt.query_overlaps(BBox2{{0, 0}, {1, 1}}).empty());
+}
+
+TEST(Adt, SingleBox) {
+  AlternatingDigitalTree adt(BBox2{{0, 0}, {10, 10}});
+  adt.insert(BBox2{{1, 1}, {2, 2}}, 42);
+  EXPECT_EQ(adt.size(), 1u);
+  auto hits = adt.query_overlaps(BBox2{{1.5, 1.5}, {3, 3}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  EXPECT_TRUE(adt.query_overlaps(BBox2{{5, 5}, {6, 6}}).empty());
+}
+
+TEST(Adt, TouchingBoxesCount) {
+  AlternatingDigitalTree adt(BBox2{{0, 0}, {10, 10}});
+  adt.insert(BBox2{{0, 0}, {1, 1}}, 0);
+  // Query box sharing only the corner point (1,1).
+  auto hits = adt.query_overlaps(BBox2{{1, 1}, {2, 2}});
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(Adt, OverlapRangeConstruction) {
+  const BBox2 world{{0, 0}, {10, 10}};
+  const Range4 r = overlap_range(BBox2{{2, 3}, {4, 5}}, world);
+  // A box (x0,y0,x1,y1) overlaps [2,4]x[3,5] iff x0<=4, y0<=5, x1>=2, y1>=3.
+  EXPECT_TRUE(r.contains(to_point4(BBox2{{3, 4}, {3.5, 4.5}})));
+  EXPECT_TRUE(r.contains(to_point4(BBox2{{0, 0}, {2, 3}})));   // corner touch
+  EXPECT_FALSE(r.contains(to_point4(BBox2{{5, 0}, {6, 1}})));
+}
+
+struct AdtSweepParam {
+  int n;
+  unsigned seed;
+  double box_scale;  // typical extent of inserted boxes
+};
+
+class AdtSweep : public ::testing::TestWithParam<AdtSweepParam> {};
+
+TEST_P(AdtSweep, MatchesBruteForce) {
+  const auto [n, seed, box_scale] = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, 100.0);
+  std::uniform_real_distribution<double> ext(0.0, box_scale);
+
+  std::vector<BBox2> boxes;
+  boxes.reserve(static_cast<std::size_t>(n));
+  BBox2 world;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 lo{pos(rng), pos(rng)};
+    const BBox2 b{lo, lo + Vec2{ext(rng), ext(rng)}};
+    boxes.push_back(b);
+    world.expand(b);
+  }
+
+  AlternatingDigitalTree adt(world.inflated(1e-9));
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    adt.insert(boxes[i], static_cast<std::uint32_t>(i));
+  }
+
+  for (int q = 0; q < 50; ++q) {
+    const Vec2 lo{pos(rng), pos(rng)};
+    const BBox2 query{lo, lo + Vec2{ext(rng) * 2, ext(rng) * 2}};
+    auto hits = adt.query_overlaps(query);
+    std::sort(hits.begin(), hits.end());
+
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].intersects(query)) {
+        expected.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdtSweep,
+    ::testing::Values(AdtSweepParam{10, 1, 5.0}, AdtSweepParam{100, 2, 5.0},
+                      AdtSweepParam{1000, 3, 5.0},
+                      AdtSweepParam{1000, 4, 0.5},   // tiny boxes
+                      AdtSweepParam{1000, 5, 50.0},  // huge overlapping boxes
+                      AdtSweepParam{5000, 6, 2.0}));
+
+TEST(Adt, DegenerateSegmentBoxes) {
+  // Extent boxes of axis-parallel segments are degenerate (zero width or
+  // height) -- the boundary-layer rays of a flat surface produce these.
+  AlternatingDigitalTree adt(BBox2{{0, 0}, {10, 10}});
+  for (int i = 0; i < 10; ++i) {
+    adt.insert(BBox2{{static_cast<double>(i), 0}, {static_cast<double>(i), 5}},
+               static_cast<std::uint32_t>(i));
+  }
+  auto hits = adt.query_overlaps(BBox2{{2.5, 1}, {4.5, 2}});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{3, 4}));
+}
+
+TEST(Adt, ManyIdenticalBoxes) {
+  // Identical boxes all go down the same side; the tree degenerates to a
+  // list but must stay correct.
+  AlternatingDigitalTree adt(BBox2{{0, 0}, {1, 1}});
+  const BBox2 b{{0.25, 0.25}, {0.5, 0.5}};
+  for (std::uint32_t i = 0; i < 64; ++i) adt.insert(b, i);
+  EXPECT_EQ(adt.query_overlaps(b).size(), 64u);
+  EXPECT_TRUE(adt.query_overlaps(BBox2{{0.6, 0.6}, {0.9, 0.9}}).empty());
+}
+
+}  // namespace
+}  // namespace aero
