@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blayer.dir/bench_blayer.cpp.o"
+  "CMakeFiles/bench_blayer.dir/bench_blayer.cpp.o.d"
+  "bench_blayer"
+  "bench_blayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_convergence.cpp" "bench/CMakeFiles/bench_convergence.dir/bench_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_convergence.dir/bench_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aero_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aero_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aero_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/aero_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/blayer/CMakeFiles/aero_blayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/aero_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/inviscid/CMakeFiles/aero_inviscid.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaunay/CMakeFiles/aero_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/aero_airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoupling.dir/bench_decoupling.cpp.o"
+  "CMakeFiles/bench_decoupling.dir/bench_decoupling.cpp.o.d"
+  "bench_decoupling"
+  "bench_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

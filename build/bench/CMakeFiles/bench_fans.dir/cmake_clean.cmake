@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fans.dir/bench_fans.cpp.o"
+  "CMakeFiles/bench_fans.dir/bench_fans.cpp.o.d"
+  "bench_fans"
+  "bench_fans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intersections.dir/bench_intersections.cpp.o"
+  "CMakeFiles/bench_intersections.dir/bench_intersections.cpp.o.d"
+  "bench_intersections"
+  "bench_intersections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intersections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_solution.dir/flow_solution.cpp.o"
+  "CMakeFiles/flow_solution.dir/flow_solution.cpp.o.d"
+  "flow_solution"
+  "flow_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_element.dir/multi_element.cpp.o"
+  "CMakeFiles/multi_element.dir/multi_element.cpp.o.d"
+  "multi_element"
+  "multi_element.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

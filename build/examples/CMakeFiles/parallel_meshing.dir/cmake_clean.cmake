@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_meshing.dir/parallel_meshing.cpp.o"
+  "CMakeFiles/parallel_meshing.dir/parallel_meshing.cpp.o.d"
+  "parallel_meshing"
+  "parallel_meshing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_meshing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airfoil/geometry.cpp" "src/airfoil/CMakeFiles/aero_airfoil.dir/geometry.cpp.o" "gcc" "src/airfoil/CMakeFiles/aero_airfoil.dir/geometry.cpp.o.d"
+  "/root/repo/src/airfoil/naca.cpp" "src/airfoil/CMakeFiles/aero_airfoil.dir/naca.cpp.o" "gcc" "src/airfoil/CMakeFiles/aero_airfoil.dir/naca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_airfoil.dir/geometry.cpp.o"
+  "CMakeFiles/aero_airfoil.dir/geometry.cpp.o.d"
+  "CMakeFiles/aero_airfoil.dir/naca.cpp.o"
+  "CMakeFiles/aero_airfoil.dir/naca.cpp.o.d"
+  "libaero_airfoil.a"
+  "libaero_airfoil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

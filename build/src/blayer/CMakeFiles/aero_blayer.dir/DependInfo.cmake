@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blayer/boundary_layer.cpp" "src/blayer/CMakeFiles/aero_blayer.dir/boundary_layer.cpp.o" "gcc" "src/blayer/CMakeFiles/aero_blayer.dir/boundary_layer.cpp.o.d"
+  "/root/repo/src/blayer/rays.cpp" "src/blayer/CMakeFiles/aero_blayer.dir/rays.cpp.o" "gcc" "src/blayer/CMakeFiles/aero_blayer.dir/rays.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/aero_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/aero_airfoil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_blayer.dir/boundary_layer.cpp.o"
+  "CMakeFiles/aero_blayer.dir/boundary_layer.cpp.o.d"
+  "CMakeFiles/aero_blayer.dir/rays.cpp.o"
+  "CMakeFiles/aero_blayer.dir/rays.cpp.o.d"
+  "libaero_blayer.a"
+  "libaero_blayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_blayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

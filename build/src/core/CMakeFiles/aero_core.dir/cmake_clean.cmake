@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_core.dir/distance_field.cpp.o"
+  "CMakeFiles/aero_core.dir/distance_field.cpp.o.d"
+  "CMakeFiles/aero_core.dir/merged_mesh.cpp.o"
+  "CMakeFiles/aero_core.dir/merged_mesh.cpp.o.d"
+  "CMakeFiles/aero_core.dir/mesh_generator.cpp.o"
+  "CMakeFiles/aero_core.dir/mesh_generator.cpp.o.d"
+  "libaero_core.a"
+  "libaero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeromesh.dir/cli_main.cpp.o"
+  "CMakeFiles/aeromesh.dir/cli_main.cpp.o.d"
+  "aeromesh"
+  "aeromesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeromesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delaunay/mesh.cpp" "src/delaunay/CMakeFiles/aero_delaunay.dir/mesh.cpp.o" "gcc" "src/delaunay/CMakeFiles/aero_delaunay.dir/mesh.cpp.o.d"
+  "/root/repo/src/delaunay/quadedge.cpp" "src/delaunay/CMakeFiles/aero_delaunay.dir/quadedge.cpp.o" "gcc" "src/delaunay/CMakeFiles/aero_delaunay.dir/quadedge.cpp.o.d"
+  "/root/repo/src/delaunay/refine.cpp" "src/delaunay/CMakeFiles/aero_delaunay.dir/refine.cpp.o" "gcc" "src/delaunay/CMakeFiles/aero_delaunay.dir/refine.cpp.o.d"
+  "/root/repo/src/delaunay/stats.cpp" "src/delaunay/CMakeFiles/aero_delaunay.dir/stats.cpp.o" "gcc" "src/delaunay/CMakeFiles/aero_delaunay.dir/stats.cpp.o.d"
+  "/root/repo/src/delaunay/triangulator.cpp" "src/delaunay/CMakeFiles/aero_delaunay.dir/triangulator.cpp.o" "gcc" "src/delaunay/CMakeFiles/aero_delaunay.dir/triangulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_delaunay.dir/mesh.cpp.o"
+  "CMakeFiles/aero_delaunay.dir/mesh.cpp.o.d"
+  "CMakeFiles/aero_delaunay.dir/quadedge.cpp.o"
+  "CMakeFiles/aero_delaunay.dir/quadedge.cpp.o.d"
+  "CMakeFiles/aero_delaunay.dir/refine.cpp.o"
+  "CMakeFiles/aero_delaunay.dir/refine.cpp.o.d"
+  "CMakeFiles/aero_delaunay.dir/stats.cpp.o"
+  "CMakeFiles/aero_delaunay.dir/stats.cpp.o.d"
+  "CMakeFiles/aero_delaunay.dir/triangulator.cpp.o"
+  "CMakeFiles/aero_delaunay.dir/triangulator.cpp.o.d"
+  "libaero_delaunay.a"
+  "libaero_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/expansion.cpp" "src/geom/CMakeFiles/aero_geom.dir/expansion.cpp.o" "gcc" "src/geom/CMakeFiles/aero_geom.dir/expansion.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/aero_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/aero_geom.dir/predicates.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/geom/CMakeFiles/aero_geom.dir/segment.cpp.o" "gcc" "src/geom/CMakeFiles/aero_geom.dir/segment.cpp.o.d"
+  "/root/repo/src/geom/triangle_quality.cpp" "src/geom/CMakeFiles/aero_geom.dir/triangle_quality.cpp.o" "gcc" "src/geom/CMakeFiles/aero_geom.dir/triangle_quality.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/geom/CMakeFiles/aero_geom.dir/vec2.cpp.o" "gcc" "src/geom/CMakeFiles/aero_geom.dir/vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

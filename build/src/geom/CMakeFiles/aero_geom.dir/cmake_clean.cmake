@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_geom.dir/expansion.cpp.o"
+  "CMakeFiles/aero_geom.dir/expansion.cpp.o.d"
+  "CMakeFiles/aero_geom.dir/predicates.cpp.o"
+  "CMakeFiles/aero_geom.dir/predicates.cpp.o.d"
+  "CMakeFiles/aero_geom.dir/segment.cpp.o"
+  "CMakeFiles/aero_geom.dir/segment.cpp.o.d"
+  "CMakeFiles/aero_geom.dir/triangle_quality.cpp.o"
+  "CMakeFiles/aero_geom.dir/triangle_quality.cpp.o.d"
+  "CMakeFiles/aero_geom.dir/vec2.cpp.o"
+  "CMakeFiles/aero_geom.dir/vec2.cpp.o.d"
+  "libaero_geom.a"
+  "libaero_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

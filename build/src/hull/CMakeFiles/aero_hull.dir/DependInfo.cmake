@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hull/lifted.cpp" "src/hull/CMakeFiles/aero_hull.dir/lifted.cpp.o" "gcc" "src/hull/CMakeFiles/aero_hull.dir/lifted.cpp.o.d"
+  "/root/repo/src/hull/monotone_chain.cpp" "src/hull/CMakeFiles/aero_hull.dir/monotone_chain.cpp.o" "gcc" "src/hull/CMakeFiles/aero_hull.dir/monotone_chain.cpp.o.d"
+  "/root/repo/src/hull/subdomain.cpp" "src/hull/CMakeFiles/aero_hull.dir/subdomain.cpp.o" "gcc" "src/hull/CMakeFiles/aero_hull.dir/subdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaunay/CMakeFiles/aero_delaunay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_hull.dir/lifted.cpp.o"
+  "CMakeFiles/aero_hull.dir/lifted.cpp.o.d"
+  "CMakeFiles/aero_hull.dir/monotone_chain.cpp.o"
+  "CMakeFiles/aero_hull.dir/monotone_chain.cpp.o.d"
+  "CMakeFiles/aero_hull.dir/subdomain.cpp.o"
+  "CMakeFiles/aero_hull.dir/subdomain.cpp.o.d"
+  "libaero_hull.a"
+  "libaero_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

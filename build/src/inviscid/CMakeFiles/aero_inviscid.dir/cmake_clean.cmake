@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_inviscid.dir/decouple.cpp.o"
+  "CMakeFiles/aero_inviscid.dir/decouple.cpp.o.d"
+  "libaero_inviscid.a"
+  "libaero_inviscid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_inviscid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

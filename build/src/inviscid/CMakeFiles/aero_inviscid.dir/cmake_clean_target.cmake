@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaero_inviscid.a"
+)

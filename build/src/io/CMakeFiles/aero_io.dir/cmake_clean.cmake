@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_io.dir/mesh_io.cpp.o"
+  "CMakeFiles/aero_io.dir/mesh_io.cpp.o.d"
+  "libaero_io.a"
+  "libaero_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster_model.cpp" "src/runtime/CMakeFiles/aero_runtime.dir/cluster_model.cpp.o" "gcc" "src/runtime/CMakeFiles/aero_runtime.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "src/runtime/CMakeFiles/aero_runtime.dir/comm.cpp.o" "gcc" "src/runtime/CMakeFiles/aero_runtime.dir/comm.cpp.o.d"
+  "/root/repo/src/runtime/parallel_driver.cpp" "src/runtime/CMakeFiles/aero_runtime.dir/parallel_driver.cpp.o" "gcc" "src/runtime/CMakeFiles/aero_runtime.dir/parallel_driver.cpp.o.d"
+  "/root/repo/src/runtime/pool.cpp" "src/runtime/CMakeFiles/aero_runtime.dir/pool.cpp.o" "gcc" "src/runtime/CMakeFiles/aero_runtime.dir/pool.cpp.o.d"
+  "/root/repo/src/runtime/work.cpp" "src/runtime/CMakeFiles/aero_runtime.dir/work.cpp.o" "gcc" "src/runtime/CMakeFiles/aero_runtime.dir/work.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/aero_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/blayer/CMakeFiles/aero_blayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/aero_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/aero_airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/inviscid/CMakeFiles/aero_inviscid.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaunay/CMakeFiles/aero_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_runtime.dir/cluster_model.cpp.o"
+  "CMakeFiles/aero_runtime.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/aero_runtime.dir/comm.cpp.o"
+  "CMakeFiles/aero_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/aero_runtime.dir/parallel_driver.cpp.o"
+  "CMakeFiles/aero_runtime.dir/parallel_driver.cpp.o.d"
+  "CMakeFiles/aero_runtime.dir/pool.cpp.o"
+  "CMakeFiles/aero_runtime.dir/pool.cpp.o.d"
+  "CMakeFiles/aero_runtime.dir/work.cpp.o"
+  "CMakeFiles/aero_runtime.dir/work.cpp.o.d"
+  "libaero_runtime.a"
+  "libaero_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

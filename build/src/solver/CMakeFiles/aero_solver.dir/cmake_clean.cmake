@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_solver.dir/fem.cpp.o"
+  "CMakeFiles/aero_solver.dir/fem.cpp.o.d"
+  "CMakeFiles/aero_solver.dir/panel.cpp.o"
+  "CMakeFiles/aero_solver.dir/panel.cpp.o.d"
+  "libaero_solver.a"
+  "libaero_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_spatial.dir/adt.cpp.o"
+  "CMakeFiles/aero_spatial.dir/adt.cpp.o.d"
+  "libaero_spatial.a"
+  "libaero_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

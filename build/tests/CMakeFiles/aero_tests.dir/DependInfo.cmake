@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_airfoil.cpp" "tests/CMakeFiles/aero_tests.dir/test_airfoil.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_airfoil.cpp.o.d"
+  "/root/repo/tests/test_blayer.cpp" "tests/CMakeFiles/aero_tests.dir/test_blayer.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_blayer.cpp.o.d"
+  "/root/repo/tests/test_cdt.cpp" "tests/CMakeFiles/aero_tests.dir/test_cdt.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_cdt.cpp.o.d"
+  "/root/repo/tests/test_cluster_model.cpp" "tests/CMakeFiles/aero_tests.dir/test_cluster_model.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_cluster_model.cpp.o.d"
+  "/root/repo/tests/test_distance_field.cpp" "tests/CMakeFiles/aero_tests.dir/test_distance_field.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_distance_field.cpp.o.d"
+  "/root/repo/tests/test_expansion.cpp" "tests/CMakeFiles/aero_tests.dir/test_expansion.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_expansion.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/aero_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_hull.cpp" "tests/CMakeFiles/aero_tests.dir/test_hull.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_hull.cpp.o.d"
+  "/root/repo/tests/test_inviscid.cpp" "tests/CMakeFiles/aero_tests.dir/test_inviscid.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_inviscid.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/aero_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_merged_mesh.cpp" "tests/CMakeFiles/aero_tests.dir/test_merged_mesh.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_merged_mesh.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/aero_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/aero_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_predicates.cpp" "tests/CMakeFiles/aero_tests.dir/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_predicates.cpp.o.d"
+  "/root/repo/tests/test_quadedge.cpp" "tests/CMakeFiles/aero_tests.dir/test_quadedge.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_quadedge.cpp.o.d"
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/aero_tests.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/aero_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/aero_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_spatial.cpp" "tests/CMakeFiles/aero_tests.dir/test_spatial.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_spatial.cpp.o.d"
+  "/root/repo/tests/test_subdomain.cpp" "tests/CMakeFiles/aero_tests.dir/test_subdomain.cpp.o" "gcc" "tests/CMakeFiles/aero_tests.dir/test_subdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/aero_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/aero_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaunay/CMakeFiles/aero_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/aero_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/aero_airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/blayer/CMakeFiles/aero_blayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/inviscid/CMakeFiles/aero_inviscid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aero_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aero_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aero_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
