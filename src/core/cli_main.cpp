@@ -18,9 +18,17 @@
 //   --grade G                 inviscid edge-length growth per unit (0.25)
 //   --ranks P                 mesh on a P-rank in-process pool (sequential
 //                             when omitted)
+//   --fault-rate R            chaos run: inject message drops at rate R
+//                             (duplication/corruption/delay at R/2) into the
+//                             pool fabric; requires --ranks
+//   --fault-seed S            deterministic seed for fault injection (0)
 //   --output BASE             output basename (default "mesh")
 //   --format vtk|node-ele|binary|all   (default vtk)
+//
+// Exit codes: 0 success; 1 non-manifold mesh; 2 usage error; 3 partial or
+// failed parallel run (watchdog/lost results); 4 pipeline exception.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +49,7 @@ using namespace aero;
                "  [--poly file.poly] [--surface-points N] [--first-height H]\n"
                "  [--growth-ratio R] [--growth geometric|polynomial|adaptive]\n"
                "  [--max-layers N] [--farfield C] [--grade G] [--ranks P]\n"
+               "  [--fault-rate R] [--fault-seed S]\n"
                "  [--output BASE] [--format vtk|node-ele|binary|all]\n",
                argv0);
   std::exit(2);
@@ -108,6 +117,8 @@ int main(int argc, char** argv) {
   config.blayer.growth = {GrowthKind::kGeometric, 2e-4, 1.2};
   config.blayer.max_layers = 40;
   int ranks = 0;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* name) {
@@ -138,6 +149,10 @@ int main(int argc, char** argv) {
       config.grade = std::strtod(v, nullptr);
     } else if (const char* v = arg("--ranks")) {
       ranks = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = arg("--fault-rate")) {
+      fault_rate = std::strtod(v, nullptr);
+    } else if (const char* v = arg("--fault-seed")) {
+      fault_seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = arg("--output")) {
       output = v;
     } else if (const char* v = arg("--format")) {
@@ -169,18 +184,56 @@ int main(int argc, char** argv) {
               config.airfoil.surface_point_count(), config.farfield_chords,
               ranks > 0 ? " (parallel pool)" : "");
 
+  if (fault_rate > 0.0 && ranks <= 0) {
+    std::fprintf(stderr, "error: --fault-rate requires --ranks\n");
+    return 2;
+  }
+
   MergedMesh mesh;
   PhaseTimings timings;
-  if (ranks > 0) {
-    ParallelMeshResult r = parallel_generate_mesh(config, ranks);
-    mesh = std::move(r.mesh);
-    timings = r.timings;
-    std::printf("pool steals: %zu (bl) + %zu (inviscid)\n", r.bl_pool.steals,
-                r.inviscid_pool.steals);
-  } else {
-    MeshGenerationResult r = generate_mesh(config);
-    mesh = std::move(r.mesh);
-    timings = r.timings;
+  RunStatus status = RunStatus::kOk;
+  try {
+    if (ranks > 0) {
+      FaultConfig faults;
+      faults.enabled = fault_rate > 0.0;
+      faults.seed = fault_seed;
+      faults.drop_rate = fault_rate;
+      faults.duplicate_rate = fault_rate / 2.0;
+      faults.corrupt_rate = fault_rate / 2.0;
+      faults.delay_rate = fault_rate / 2.0;
+      ParallelMeshResult r = parallel_generate_mesh(config, ranks, faults);
+      mesh = std::move(r.mesh);
+      timings = r.timings;
+      status = r.status;
+      std::printf("pool steals: %zu (bl) + %zu (inviscid)\n", r.bl_pool.steals,
+                  r.inviscid_pool.steals);
+      if (faults.enabled) {
+        const PoolStats& b = r.bl_pool;
+        const PoolStats& i = r.inviscid_pool;
+        std::printf("faults: dropped %zu, corrupt %zu, retries %zu, "
+                    "requeued %zu, fallback %zu, retransmits %zu, "
+                    "dead ranks %zu\n",
+                    b.dropped_messages + i.dropped_messages,
+                    b.corrupt_payloads + i.corrupt_payloads,
+                    b.unit_retries + i.unit_retries,
+                    b.requeued_units + i.requeued_units,
+                    b.fallback_units + i.fallback_units,
+                    b.retransmits + i.retransmits,
+                    b.dead_ranks + i.dead_ranks);
+      }
+      if (status != RunStatus::kOk) {
+        std::fprintf(stderr, "warning: parallel run status: %s\n",
+                     to_string(status));
+      }
+    } else {
+      MeshGenerationResult r = generate_mesh(config);
+      mesh = std::move(r.mesh);
+      timings = r.timings;
+      status = r.status;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: mesh generation failed: %s\n", e.what());
+    return 4;
   }
 
   const MergedStats stats = compute_stats(mesh);

@@ -237,6 +237,7 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
       result.mesh.triangle_count() - result.bl_triangles;
   result.timings.record("inviscid_refinement", t5.seconds());
 
+  result.status = RunStatus::kOk;  // every stage completed (throws otherwise)
   result.timings.record("total", total.seconds());
   return result;
 }

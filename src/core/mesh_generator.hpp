@@ -6,6 +6,7 @@
 #include "airfoil/geometry.hpp"
 #include "blayer/boundary_layer.hpp"
 #include "core/merged_mesh.hpp"
+#include "core/run_status.hpp"
 #include "hull/subdomain.hpp"
 #include "inviscid/decouple.hpp"
 #include "io/timer.hpp"
@@ -43,6 +44,10 @@ struct MeshGenerationResult {
   MergedMesh mesh;
   BoundaryLayer boundary_layer;
   GradedSizing sizing;
+  /// Sequential runs either complete (kOk) or throw; the field exists so
+  /// every pipeline entry point surfaces the same success contract as the
+  /// fault-tolerant parallel driver instead of assuming success.
+  RunStatus status = RunStatus::kOk;
 
   std::size_t bl_subdomains = 0;
   std::size_t inviscid_subdomains = 0;

@@ -1,0 +1,27 @@
+#pragma once
+
+namespace aero {
+
+/// Outcome of a pipeline stage or pool run. The fault-tolerant runtime
+/// degrades instead of hanging or dying: a run that loses results to a dead
+/// rank or hits the watchdog bound reports so here instead of blocking
+/// forever or calling std::terminate.
+enum class RunStatus {
+  kOk = 0,   ///< complete result
+  kPartial,  ///< terminated in bounded time, but some results are missing
+  kFailed,   ///< aborted by the watchdog; result is best-effort
+};
+
+inline const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kPartial: return "partial";
+    case RunStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// Combine stage outcomes: the run is only as good as its worst stage.
+inline RunStatus worse(RunStatus a, RunStatus b) { return a < b ? b : a; }
+
+}  // namespace aero

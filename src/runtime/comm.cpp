@@ -1,36 +1,157 @@
 #include "runtime/comm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace aero {
+
+namespace {
+
+/// splitmix64: the standard seed-expansion mixer; full-period, well
+/// distributed, and cheap enough for a per-message draw.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) from the top 53 bits of a hash.
+double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double draw(std::uint64_t seed, std::uint64_t event, std::uint64_t salt) {
+  return unit_interval(mix64(seed ^ mix64(event ^ (salt << 56))));
+}
+
+}  // namespace
+
+bool FaultInjector::rank_dead(int rank) const {
+  if (!cfg_.enabled || rank == 0) return false;
+  return std::find(cfg_.dead_ranks.begin(), cfg_.dead_ranks.end(), rank) !=
+         cfg_.dead_ranks.end();
+}
+
+FaultInjector::Action FaultInjector::next_action() {
+  Action a;
+  if (!cfg_.enabled) return a;
+  const std::uint64_t e = event_.fetch_add(1, std::memory_order_relaxed);
+  if (draw(cfg_.seed, e, 1) < cfg_.drop_rate) {
+    a.drop = true;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  if (draw(cfg_.seed, e, 2) < cfg_.duplicate_rate) {
+    a.duplicate = true;
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (draw(cfg_.seed, e, 3) < cfg_.corrupt_rate) {
+    a.corrupt = true;
+    a.salt = mix64(cfg_.seed ^ mix64(e ^ 0x5151ull));
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (draw(cfg_.seed, e, 4) < cfg_.delay_rate) {
+    a.delay = cfg_.delay;
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return a;
+}
+
+bool FaultInjector::unit_should_fail(std::uint64_t unit_id) {
+  if (!cfg_.enabled) return false;
+  if (std::find(cfg_.fail_unit_ids.begin(), cfg_.fail_unit_ids.end(),
+                unit_id) != cfg_.fail_unit_ids.end()) {
+    unit_faults_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (cfg_.unit_failure_rate > 0.0) {
+    const std::uint64_t e = event_.fetch_add(1, std::memory_order_relaxed);
+    if (draw(cfg_.seed, e ^ unit_id, 5) < cfg_.unit_failure_rate) {
+      unit_faults_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
 
 Communicator::Communicator(int nranks)
     : boxes_(static_cast<std::size_t>(nranks)) {
   if (nranks < 1) throw std::invalid_argument("need at least one rank");
 }
 
-void Communicator::send(int from, int to, int tag,
-                        std::vector<std::uint8_t> payload) {
+void Communicator::promote_due(Mailbox& box,
+                               std::chrono::steady_clock::time_point now) {
+  if (box.delayed.empty()) return;
+  auto it = box.delayed.begin();
+  while (it != box.delayed.end()) {
+    if (it->due <= now) {
+      box.q.push_back(std::move(it->msg));
+      it = box.delayed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Communicator::deliver(int to, Message msg,
+                           std::chrono::microseconds delay) {
   Mailbox& box = boxes_[static_cast<std::size_t>(to)];
   {
     std::lock_guard lock(box.m);
-    box.q.push_back(Message{tag, from, std::move(payload)});
+    if (delay.count() > 0) {
+      box.delayed.push_back(
+          Delayed{std::chrono::steady_clock::now() + delay, std::move(msg)});
+    } else {
+      box.q.push_back(std::move(msg));
+    }
   }
   box.cv.notify_one();
+}
+
+void Communicator::send(int from, int to, int tag,
+                        std::vector<std::uint8_t> payload) {
+  Message msg{tag, from, std::move(payload)};
+  if (injector_ != nullptr && injector_->enabled()) {
+    const FaultInjector::Action a = injector_->next_action();
+    if (a.drop) return;
+    if (a.corrupt && !msg.payload.empty()) {
+      // Flip at least one bit of one deterministic byte.
+      const std::size_t i = a.salt % msg.payload.size();
+      msg.payload[i] ^= static_cast<std::uint8_t>(1 + ((a.salt >> 32) & 0x7f));
+    }
+    if (a.duplicate) deliver(to, msg, a.delay);
+    deliver(to, std::move(msg), a.delay);
+    return;
+  }
+  deliver(to, std::move(msg), std::chrono::microseconds{0});
 }
 
 Message Communicator::recv(int rank) {
   Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
   std::unique_lock lock(box.m);
-  box.cv.wait(lock, [&box] { return !box.q.empty(); });
-  Message msg = std::move(box.q.front());
-  box.q.pop_front();
-  return msg;
+  for (;;) {
+    promote_due(box, std::chrono::steady_clock::now());
+    if (!box.q.empty()) {
+      Message msg = std::move(box.q.front());
+      box.q.pop_front();
+      return msg;
+    }
+    if (box.delayed.empty()) {
+      box.cv.wait(lock,
+                  [&box] { return !box.q.empty() || !box.delayed.empty(); });
+    } else {
+      auto due = box.delayed.front().due;
+      for (const Delayed& d : box.delayed) due = std::min(due, d.due);
+      box.cv.wait_until(lock, due);
+    }
+  }
 }
 
 std::optional<Message> Communicator::try_recv(int rank) {
   Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
   std::lock_guard lock(box.m);
+  promote_due(box, std::chrono::steady_clock::now());
   if (box.q.empty()) return std::nullopt;
   Message msg = std::move(box.q.front());
   box.q.pop_front();
@@ -40,7 +161,7 @@ std::optional<Message> Communicator::try_recv(int rank) {
 std::size_t Communicator::pending(int rank) const {
   const Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
   std::lock_guard lock(box.m);
-  return box.q.size();
+  return box.q.size() + box.delayed.size();
 }
 
 }  // namespace aero

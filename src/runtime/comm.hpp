@@ -1,9 +1,12 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -18,6 +21,9 @@ enum MsgTag : int {
   kTagNoWork = 3,        ///< request denied (nothing spare)
   kTagShutdown = 4,      ///< global termination
   kTagResult = 5,        ///< triangle soup gathered to the root
+  kTagWorkAck = 6,       ///< acknowledges a work transfer (payload: nonce)
+  kTagFaultRetry = 7,    ///< unit re-queued away from a failing rank
+  kTagResultAck = 8,     ///< root acknowledges a rank's result payload
 };
 
 /// A point-to-point message.
@@ -27,18 +33,91 @@ struct Message {
   std::vector<std::uint8_t> payload;
 };
 
+/// Deterministic fault-injection configuration. All decisions derive from
+/// `seed` and a per-event counter (splitmix64), so a chaos run with a fixed
+/// seed injects a reproducible *amount* of faults regardless of thread
+/// interleaving, and two injectors with the same seed make identical
+/// decisions for the same event index.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  double drop_rate = 0.0;       ///< P(message silently dropped)
+  double duplicate_rate = 0.0;  ///< P(message delivered twice)
+  double corrupt_rate = 0.0;    ///< P(one payload byte flipped in transit)
+  double delay_rate = 0.0;      ///< P(delivery postponed by `delay`)
+  std::chrono::microseconds delay{300};
+  /// Ranks that die before doing any work (their threads never run, never
+  /// heartbeat, and never answer). Rank 0 is the root and is never killed.
+  std::vector<int> dead_ranks;
+  /// Units that throw on every in-pool processing attempt (exercises the
+  /// full retry -> re-queue -> root-fallback escalation).
+  std::vector<std::uint64_t> fail_unit_ids;
+  /// P(a unit-processing attempt throws), on top of `fail_unit_ids`.
+  double unit_failure_rate = 0.0;
+};
+
+/// Seed-driven chaos source consulted by the Communicator on every send and
+/// by the pool on every unit-processing attempt. Thread-safe; counters are
+/// cumulative over the injector's lifetime.
+class FaultInjector {
+ public:
+  /// What the fabric should do with one message.
+  struct Action {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    std::chrono::microseconds delay{0};
+    std::uint64_t salt = 0;  ///< deterministic byte/bit choice for corruption
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig cfg) : cfg_(std::move(cfg)) {}
+
+  const FaultConfig& config() const { return cfg_; }
+  bool enabled() const { return cfg_.enabled; }
+
+  /// True if `rank` is configured to be dead from the start (never rank 0).
+  bool rank_dead(int rank) const;
+
+  /// Draw the fabric's decision for the next message.
+  Action next_action();
+
+  /// True if this unit-processing attempt should throw.
+  bool unit_should_fail(std::uint64_t unit_id);
+
+  std::size_t dropped() const { return dropped_.load(); }
+  std::size_t duplicated() const { return duplicated_.load(); }
+  std::size_t corrupted() const { return corrupted_.load(); }
+  std::size_t delayed() const { return delayed_.load(); }
+  std::size_t unit_faults() const { return unit_faults_.load(); }
+
+ private:
+  FaultConfig cfg_;
+  std::atomic<std::uint64_t> event_{0};
+  std::atomic<std::size_t> dropped_{0};
+  std::atomic<std::size_t> duplicated_{0};
+  std::atomic<std::size_t> corrupted_{0};
+  std::atomic<std::size_t> delayed_{0};
+  std::atomic<std::size_t> unit_faults_{0};
+};
+
 /// In-process message-passing fabric: one mailbox per rank, blocking
 /// receives, FIFO per sender-receiver pair. This is the MPI send/recv
 /// substitute -- the communication *structure* of the paper's implementation
 /// (who sends what to whom, and when) is preserved exactly; only the wire is
-/// shared memory instead of Infiniband.
+/// shared memory instead of Infiniband. An optional FaultInjector sits on
+/// the wire and may drop, duplicate, corrupt, or delay any message.
 class Communicator {
  public:
   explicit Communicator(int nranks);
 
   int size() const { return static_cast<int>(boxes_.size()); }
 
-  /// Enqueue a message into `to`'s mailbox.
+  /// Attach a chaos source to the wire (nullptr detaches; not thread-safe
+  /// with concurrent sends -- install before the pool threads start).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Enqueue a message into `to`'s mailbox (subject to fault injection).
   void send(int from, int to, int tag, std::vector<std::uint8_t> payload = {});
 
   /// Blocking receive of the next message for `rank`.
@@ -47,25 +126,41 @@ class Communicator {
   /// Non-blocking receive.
   std::optional<Message> try_recv(int rank);
 
-  /// Count of queued messages (diagnostics).
+  /// Count of queued messages, including not-yet-due delayed ones.
   std::size_t pending(int rank) const;
 
  private:
+  struct Delayed {
+    std::chrono::steady_clock::time_point due;
+    Message msg;
+  };
   struct Mailbox {
     mutable std::mutex m;
     std::condition_variable cv;
     std::deque<Message> q;
+    std::vector<Delayed> delayed;
   };
+  /// Move due delayed messages into the FIFO. Caller holds `box.m`.
+  static void promote_due(Mailbox& box, std::chrono::steady_clock::time_point now);
+  void deliver(int to, Message msg, std::chrono::microseconds delay);
+
   std::vector<Mailbox> boxes_;
+  FaultInjector* injector_ = nullptr;
 };
 
 /// Remote-memory-access window emulation: an array of work-load estimates
 /// hosted on the root, written with `put` (MPI_Put) by each rank's
 /// communicator thread and snapshot with `get_all` (MPI_Get) when a rank
-/// decides whom to steal from.
+/// decides whom to steal from. Also hosts the liveness heartbeats: each
+/// communicator thread bumps its counter with `beat`, and the pool watchdog
+/// declares a rank dead when its counter stops advancing.
 class RmaWindow {
  public:
-  explicit RmaWindow(std::size_t n) : data_(n, 0.0) {}
+  explicit RmaWindow(std::size_t n)
+      : data_(n, 0.0),
+        beats_(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) beats_[i].store(0);
+  }
 
   void put(std::size_t index, double value) {
     std::lock_guard lock(m_);
@@ -77,9 +172,18 @@ class RmaWindow {
     return data_;
   }
 
+  void beat(std::size_t rank) {
+    beats_[rank].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t heartbeat(std::size_t rank) const {
+    return beats_[rank].load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex m_;
   std::vector<double> data_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> beats_;
 };
 
 }  // namespace aero

@@ -3,7 +3,8 @@
 namespace aero {
 
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
-                                          int nranks) {
+                                          int nranks,
+                                          const FaultConfig& faults) {
   ParallelMeshResult result;
   Timer total;
 
@@ -16,6 +17,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   pool_opts.bl_decompose = config.bl_decompose;
   pool_opts.inviscid_target_triangles = config.inviscid_target_triangles;
   pool_opts.inviscid_max_level = config.inviscid_max_level;
+  pool_opts.faults = faults;
 
   // Phase 1 pool: boundary-layer decomposition + triangulation. The sizing
   // is not needed by BL units; pass a placeholder.
@@ -56,6 +58,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   }
   result.timings.record("inviscid_pool", t4.seconds());
 
+  result.status = worse(result.bl_pool.status, result.inviscid_pool.status);
   result.timings.record("total", total.seconds());
   return result;
 }

@@ -13,6 +13,10 @@ struct ParallelMeshResult {
   PoolStats bl_pool;
   PoolStats inviscid_pool;
   PhaseTimings timings;
+  /// Worst outcome across the two pool passes: kOk when the mesh is
+  /// complete, kPartial/kFailed when a pool lost results or hit the
+  /// watchdog bound.
+  RunStatus status = RunStatus::kOk;
 };
 
 /// The push-button pipeline with the subdomain work distributed over an
@@ -21,7 +25,12 @@ struct ParallelMeshResult {
 /// decoupling+refinement in a second pass (the interface between them is
 /// extracted from the assembled boundary-layer mesh, which is the one global
 /// synchronization point of the pipeline).
+///
+/// `faults` configures the chaos fabric for the run (disabled by default);
+/// the fault-*tolerance* machinery (CRC framing, acked transfers, watchdog)
+/// is always on.
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
-                                          int nranks);
+                                          int nranks,
+                                          const FaultConfig& faults = {});
 
 }  // namespace aero

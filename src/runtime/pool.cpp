@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "io/timer.hpp"
@@ -21,6 +24,9 @@ struct RankState {
   std::multimap<double, WorkUnit, std::greater<>> queue;
   double queued_cost = 0.0;
   bool shutdown = false;
+  /// Units that exhausted this rank's retries, awaiting a reliable re-queue
+  /// to another rank (drained by the communicator thread).
+  std::vector<WorkUnit> retry_outbox;
   std::vector<std::array<Vec2, 3>> triangles;
   std::size_t tasks_done = 0;
 };
@@ -28,15 +34,121 @@ struct RankState {
 struct SharedState {
   Communicator comm;
   RmaWindow window;
+  FaultInjector injector;
   std::atomic<long> outstanding{0};
+  std::atomic<std::uint64_t> next_unit_id{0};
+  /// Per-dispatch transfer nonces (see make_frame). Starts at 1 so 0 never
+  /// names a live transfer.
+  std::atomic<std::uint64_t> next_transfer_seq{1};
+  std::atomic<bool> shutdown_broadcast{false};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> gather_timed_out{false};
+  /// Ranks declared dead by the heartbeat watchdog.
+  std::unique_ptr<std::atomic<bool>[]> dead;
+  /// Communicator threads that exited cleanly (dead ranks never set this).
+  std::unique_ptr<std::atomic<bool>[]> comm_exited;
+
   std::atomic<std::size_t> steals{0};
   std::atomic<std::size_t> denials{0};
   std::atomic<std::size_t> transfer_bytes{0};
+  std::atomic<std::size_t> result_bytes{0};
+  std::atomic<std::size_t> unit_retries{0};
+  std::atomic<std::size_t> unit_failures{0};
+  std::atomic<std::size_t> requeues{0};
+  std::atomic<std::size_t> retransmits{0};
+  std::atomic<std::size_t> crc_failures{0};
+  std::atomic<std::size_t> dead_count{0};
+  std::atomic<std::size_t> reclaimed{0};
+
+  /// Units escalated to the root-side sequential fallback (meshed after the
+  /// pool terminates, outside the fault injector's reach).
+  std::mutex fallback_m;
+  std::vector<WorkUnit> fallback;
+
+  /// Result gather, keyed by sender rank (deduplicates resends).
+  std::mutex results_m;
+  std::map<int, std::vector<std::array<Vec2, 3>>> results;
+
+  std::chrono::steady_clock::time_point deadline;
   const GradedSizing* sizing = nullptr;
   const PoolOptions* opts = nullptr;
 
-  SharedState(int nranks) : comm(nranks), window(static_cast<std::size_t>(nranks)) {}
+  explicit SharedState(const PoolOptions& o)
+      : comm(o.nranks),
+        window(static_cast<std::size_t>(o.nranks)),
+        injector(o.faults),
+        dead(std::make_unique<std::atomic<bool>[]>(
+            static_cast<std::size_t>(o.nranks))),
+        comm_exited(std::make_unique<std::atomic<bool>[]>(
+            static_cast<std::size_t>(o.nranks))) {
+    for (int r = 0; r < o.nranks; ++r) {
+      dead[static_cast<std::size_t>(r)].store(false);
+      comm_exited[static_cast<std::size_t>(r)].store(false);
+    }
+    comm.set_fault_injector(&injector);
+  }
 };
+
+/// Work acknowledgements carry the transfer nonce plus a CRC so a corrupted
+/// ack cannot erase the wrong in-flight entry (nonces are small integers; a
+/// single flipped byte could otherwise alias another pending transfer).
+std::vector<std::uint8_t> make_ack(std::uint64_t nonce) {
+  std::vector<std::uint8_t> b(12);
+  std::memcpy(b.data(), &nonce, sizeof(nonce));
+  const std::uint32_t c = crc32(b.data(), sizeof(nonce));
+  std::memcpy(b.data() + sizeof(nonce), &c, sizeof(c));
+  return b;
+}
+
+std::optional<std::uint64_t> parse_ack(const std::vector<std::uint8_t>& b) {
+  if (b.size() != 12) return std::nullopt;
+  std::uint32_t c;
+  std::memcpy(&c, b.data() + 8, sizeof(c));
+  if (c != crc32(b.data(), 8)) return std::nullopt;
+  std::uint64_t nonce;
+  std::memcpy(&nonce, b.data(), sizeof(nonce));
+  return nonce;
+}
+
+/// Transfer frames prepend a fresh per-dispatch nonce to the (already
+/// CRC-framed) unit payload: [nonce:8][crc32(nonce):4][unit bytes]. Acks and
+/// receiver-side deduplication key on the nonce, NOT the unit id:
+/// retransmissions and fabric-duplicated copies of one dispatch share its
+/// nonce and are dropped, while a unit that legitimately returns to a rank
+/// it visited before (endgame donation ping-pong, a fault re-queue cycling
+/// back) arrives under a fresh nonce and is accepted. Keying on the unit id
+/// would silently discard such returns -- an acked-but-dropped unit never
+/// completes and the pool would only terminate via the watchdog. The header
+/// carries its own CRC so a corrupted nonce cannot masquerade as a new
+/// dispatch (the donor would never see its ack and would re-deliver the
+/// unit under the forged nonce).
+constexpr std::size_t kFrameHeader = 12;
+
+std::vector<std::uint8_t> make_frame(
+    std::uint64_t nonce, const std::vector<std::uint8_t>& unit_bytes) {
+  std::vector<std::uint8_t> b(kFrameHeader + unit_bytes.size());
+  std::memcpy(b.data(), &nonce, sizeof(nonce));
+  const std::uint32_t c = crc32(b.data(), sizeof(nonce));
+  std::memcpy(b.data() + sizeof(nonce), &c, sizeof(c));
+  std::memcpy(b.data() + kFrameHeader, unit_bytes.data(), unit_bytes.size());
+  return b;
+}
+
+std::optional<std::uint64_t> frame_nonce(const std::vector<std::uint8_t>& b) {
+  if (b.size() < kFrameHeader) return std::nullopt;
+  std::uint32_t c;
+  std::memcpy(&c, b.data() + 8, sizeof(c));
+  if (c != crc32(b.data(), 8)) return std::nullopt;
+  std::uint64_t nonce;
+  std::memcpy(&nonce, b.data(), sizeof(nonce));
+  return nonce;
+}
+
+/// Deserialize the unit carried by a transfer frame (throws on corruption).
+WorkUnit frame_unit(const std::vector<std::uint8_t>& b) {
+  return deserialize_work(std::vector<std::uint8_t>(
+      b.begin() + static_cast<std::ptrdiff_t>(kFrameHeader), b.end()));
+}
 
 void push_local(SharedState& shared, RankState& rs, WorkUnit unit) {
   const double c = unit.cost(*shared.sizing);
@@ -48,79 +160,156 @@ void push_local(SharedState& shared, RankState& rs, WorkUnit unit) {
   rs.cv.notify_one();
 }
 
-/// Process one unit on `rank`: either split it (spawning new local units) or
-/// mesh it (collecting inside triangles).
-void process_unit(SharedState& shared, RankState& rs, WorkUnit unit) {
-  const PoolOptions& opts = *shared.opts;
-  // Children are accounted in `outstanding` BEFORE they are enqueued, so the
-  // counter can never reach zero while spawned work is still invisible.
-  if (unit.kind == WorkUnit::Kind::kBlDecompose) {
-    const std::size_t parent_size = unit.bl.size();
-    if (sufficiently_decomposed(unit.bl, opts.bl_decompose)) {
-      unit.bl.finalize();
-      for (const auto& tri : triangulate_subdomain_dc(unit.bl)) {
-        rs.triangles.push_back(tri);
-      }
-    } else {
-      auto [l, r] = split_subdomain(std::move(unit.bl));
-      if (l.size() >= parent_size || r.size() >= parent_size) {
-        Subdomain whole = l.size() >= parent_size ? std::move(l) : std::move(r);
-        whole.level -= 1;
-        whole.cuts.pop_back();
-        whole.finalize();
-        for (const auto& tri : triangulate_subdomain_dc(whole)) {
-          rs.triangles.push_back(tri);
-        }
-      } else {
-        shared.outstanding.fetch_add(2);
-        push_local(shared, rs, WorkUnit{WorkUnit::Kind::kBlDecompose,
-                                        std::move(l), {}});
-        push_local(shared, rs, WorkUnit{WorkUnit::Kind::kBlDecompose,
-                                        std::move(r), {}});
-      }
-    }
-  } else {
-    const bool leaf =
-        !unit.inv.hole_segments.empty() ||
-        unit.inv.level >= opts.inviscid_max_level ||
-        unit.inv.estimated_triangles(*shared.sizing) <=
-            opts.inviscid_target_triangles;
-    std::vector<InviscidSubdomain> children;
-    if (!leaf) children = plus_split(unit.inv, *shared.sizing);
-    if (leaf || children.empty()) {
-      const TriangulateResult r = refine_subdomain(unit.inv, *shared.sizing);
-      r.mesh.for_each_triangle([&](TriIndex t) {
-        const MeshTri& mt = r.mesh.tri(t);
-        if (!mt.inside) return;
-        rs.triangles.push_back({r.mesh.point(mt.v[0]), r.mesh.point(mt.v[1]),
-                                r.mesh.point(mt.v[2])});
-      });
-    } else {
-      shared.outstanding.fetch_add(static_cast<long>(children.size()));
-      for (auto& c : children) {
-        push_local(shared, rs,
-                   WorkUnit{WorkUnit::Kind::kInviscidDecouple, {}, std::move(c)});
-      }
-    }
-  }
-  ++rs.tasks_done;
-
+/// A completed (or fallback-escalated) unit leaves the outstanding count;
+/// the rank that drives it to zero broadcasts global termination.
+void complete_unit(SharedState& shared) {
   if (shared.outstanding.fetch_sub(1) == 1) {
-    // Global termination: every created unit has completed.
+    shared.shutdown_broadcast.store(true);
     for (int r = 0; r < shared.comm.size(); ++r) {
       shared.comm.send(-1, r, kTagShutdown);
     }
   }
 }
 
+/// Expand one unit: either split it (emitting child units) or mesh it
+/// (emitting inside triangles). Pure with respect to `unit`, so a throwing
+/// attempt can be retried from the unchanged input; nothing is committed to
+/// shared state here.
+void expand_unit(const GradedSizing& sizing, const PoolOptions& opts,
+                 const WorkUnit& unit, std::vector<WorkUnit>& children,
+                 std::vector<std::array<Vec2, 3>>& triangles) {
+  if (unit.kind == WorkUnit::Kind::kBlDecompose) {
+    const std::size_t parent_size = unit.bl.size();
+    if (sufficiently_decomposed(unit.bl, opts.bl_decompose)) {
+      Subdomain s = unit.bl;
+      s.finalize();
+      triangles = triangulate_subdomain_dc(s);
+    } else {
+      Subdomain parent = unit.bl;
+      auto [l, r] = split_subdomain(std::move(parent));
+      if (l.size() >= parent_size || r.size() >= parent_size) {
+        Subdomain whole = l.size() >= parent_size ? std::move(l) : std::move(r);
+        whole.level -= 1;
+        whole.cuts.pop_back();
+        whole.finalize();
+        triangles = triangulate_subdomain_dc(whole);
+      } else {
+        children.push_back(
+            WorkUnit{WorkUnit::Kind::kBlDecompose, std::move(l), {}});
+        children.push_back(
+            WorkUnit{WorkUnit::Kind::kBlDecompose, std::move(r), {}});
+      }
+    }
+  } else {
+    const bool leaf =
+        !unit.inv.hole_segments.empty() ||
+        unit.inv.level >= opts.inviscid_max_level ||
+        unit.inv.estimated_triangles(sizing) <= opts.inviscid_target_triangles;
+    std::vector<InviscidSubdomain> kids;
+    if (!leaf) kids = plus_split(unit.inv, sizing);
+    if (leaf || kids.empty()) {
+      const TriangulateResult r = refine_subdomain(unit.inv, sizing);
+      r.mesh.for_each_triangle([&](TriIndex t) {
+        const MeshTri& mt = r.mesh.tri(t);
+        if (!mt.inside) return;
+        triangles.push_back({r.mesh.point(mt.v[0]), r.mesh.point(mt.v[1]),
+                             r.mesh.point(mt.v[2])});
+      });
+    } else {
+      for (auto& c : kids) {
+        children.push_back(
+            WorkUnit{WorkUnit::Kind::kInviscidDecouple, {}, std::move(c)});
+      }
+    }
+  }
+}
+
+/// First rank (other than `self`) that has not already failed this unit and
+/// is not known dead; -1 when the unit has nowhere left to go.
+int pick_retry_rank(const SharedState& shared, int self, std::uint64_t mask) {
+  for (int r = 0; r < shared.comm.size(); ++r) {
+    if (r == self) continue;
+    if (r < 64 && ((mask >> r) & 1ull)) continue;
+    if (shared.dead[static_cast<std::size_t>(r)].load()) continue;
+    return r;
+  }
+  return -1;
+}
+
+/// Process one unit on `rank` with exception containment: a throwing
+/// attempt is retried locally, then re-queued to another rank, then
+/// escalated to the root-side sequential fallback. Triangles and children
+/// are committed only after a successful attempt, so a mid-expansion throw
+/// never leaks partial output.
+void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
+                  WorkUnit unit) {
+  RankState& rs = ranks[static_cast<std::size_t>(rank)];
+  const PoolOptions& opts = *shared.opts;
+  std::vector<WorkUnit> children;
+  std::vector<std::array<Vec2, 3>> triangles;
+  bool ok = false;
+  for (int attempt = 0; attempt <= opts.max_unit_retries; ++attempt) {
+    if (attempt > 0) shared.unit_retries.fetch_add(1);
+    children.clear();
+    triangles.clear();
+    try {
+      if (shared.injector.unit_should_fail(unit.id)) {
+        throw std::runtime_error("injected unit fault");
+      }
+      expand_unit(*shared.sizing, opts, unit, children, triangles);
+      ok = true;
+      break;
+    } catch (...) {
+      // Retry from the unchanged unit; fall through on exhaustion.
+    }
+  }
+
+  if (ok) {
+    if (!children.empty()) {
+      // Children are accounted in `outstanding` BEFORE they are enqueued, so
+      // the counter can never reach zero while spawned work is invisible.
+      shared.outstanding.fetch_add(static_cast<long>(children.size()));
+      for (auto& c : children) {
+        c.id = shared.next_unit_id.fetch_add(1);
+        push_local(shared, rs, std::move(c));
+      }
+    }
+    rs.triangles.insert(rs.triangles.end(), triangles.begin(),
+                        triangles.end());
+    ++rs.tasks_done;
+    complete_unit(shared);
+    return;
+  }
+
+  shared.unit_failures.fetch_add(1);
+  if (rank < 64) unit.failed_ranks |= 1ull << rank;
+  if (pick_retry_rank(shared, rank, unit.failed_ranks) >= 0) {
+    // Hand to our communicator for a reliable (acked) re-queue; the unit
+    // stays outstanding until its new host completes it.
+    {
+      std::lock_guard lock(rs.m);
+      rs.retry_outbox.push_back(std::move(unit));
+    }
+    rs.cv.notify_one();
+  } else {
+    {
+      std::lock_guard lock(shared.fallback_m);
+      shared.fallback.push_back(std::move(unit));
+    }
+    complete_unit(shared);
+  }
+}
+
 void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
                  int rank) {
+  if (shared.injector.rank_dead(rank)) return;
   RankState& rs = ranks[static_cast<std::size_t>(rank)];
   while (true) {
     WorkUnit unit;
     {
       std::unique_lock lock(rs.m);
       rs.cv.wait(lock, [&rs] { return rs.shutdown || !rs.queue.empty(); });
+      if (shared.abort.load()) return;
       if (rs.queue.empty()) {
         if (rs.shutdown) return;
         continue;
@@ -130,21 +319,87 @@ void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
       unit = std::move(it->second);
       rs.queue.erase(it);
     }
-    process_unit(shared, rs, std::move(unit));
+    process_unit(shared, ranks, rank, std::move(unit));
     // Give the communicator threads a scheduling window (matters on
     // oversubscribed machines; a real cluster has a core per thread).
     std::this_thread::yield();
   }
 }
 
+/// A payload sent but not yet acknowledged. The master copy lives here (the
+/// fabric may corrupt the transmitted copy) and is retransmitted until the
+/// receiver acks or is declared dead.
+struct InFlight {
+  int dest = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+  std::chrono::steady_clock::time_point deadline;
+  int tries = 0;
+};
+
+/// Accept one gathered result at the root (first copy wins; every copy is
+/// acked so a resending rank can stop).
+void root_accept_result(SharedState& shared, const Message& msg) {
+  std::vector<std::array<Vec2, 3>> tris;
+  try {
+    tris = deserialize_triangles(msg.payload);
+  } catch (const std::exception&) {
+    shared.crc_failures.fetch_add(1);
+    return;  // sender retransmits an intact copy
+  }
+  {
+    std::lock_guard lock(shared.results_m);
+    if (shared.results.emplace(msg.from, std::move(tris)).second) {
+      shared.result_bytes.fetch_add(msg.payload.size());
+    }
+  }
+  shared.comm.send(0, msg.from, kTagResultAck);
+}
+
+/// Send `unit` to another rank over the reliable channel, or escalate it to
+/// the root fallback when no candidate remains.
+void dispatch_retry(SharedState& shared, int rank, WorkUnit unit,
+                    std::map<std::uint64_t, InFlight>& in_flight) {
+  const PoolOptions& opts = *shared.opts;
+  const int dest = pick_retry_rank(shared, rank, unit.failed_ranks);
+  if (dest < 0) {
+    {
+      std::lock_guard lock(shared.fallback_m);
+      shared.fallback.push_back(std::move(unit));
+    }
+    complete_unit(shared);
+    return;
+  }
+  const auto unit_bytes = serialize(unit);
+  shared.requeues.fetch_add(1);
+  shared.transfer_bytes.fetch_add(unit_bytes.size());
+  const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+  auto frame = make_frame(nonce, unit_bytes);
+  auto copy = frame;
+  in_flight[nonce] =
+      InFlight{dest, kTagFaultRetry, std::move(frame),
+               std::chrono::steady_clock::now() + opts.ack_timeout, 0};
+  shared.comm.send(rank, dest, kTagFaultRetry, std::move(copy));
+}
+
 void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
                        int rank) {
+  if (shared.injector.rank_dead(rank)) return;  // never sets comm_exited
   RankState& rs = ranks[static_cast<std::size_t>(rank)];
   const PoolOptions& opts = *shared.opts;
+  const auto request_timeout = opts.ack_timeout * 4;
   bool requested = false;
+  auto request_deadline = std::chrono::steady_clock::now();
   auto last_update = std::chrono::steady_clock::now();
+  std::map<std::uint64_t, InFlight> in_flight;
+  /// Transfer nonces already queued here: dedupes retransmissions and
+  /// fabric-duplicated copies of one dispatch without rejecting a unit that
+  /// legitimately returns later under a new nonce.
+  std::set<std::uint64_t> seen_frames;
+  bool shut = false;
 
-  while (true) {
+  while (!shut && !shared.abort.load()) {
+    shared.window.beat(static_cast<std::size_t>(rank));
     if (auto msg = shared.comm.try_recv(rank)) {
       switch (msg->tag) {
         case kTagWorkRequest: {
@@ -161,40 +416,57 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
             }
           }
           if (donation) {
-            auto bytes = serialize(*donation);
-            shared.transfer_bytes += bytes.size();
-            shared.steals += 1;
+            const auto unit_bytes = serialize(*donation);
+            shared.transfer_bytes.fetch_add(unit_bytes.size());
+            shared.steals.fetch_add(1);
+            const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+            auto frame = make_frame(nonce, unit_bytes);
+            auto copy = frame;
+            in_flight[nonce] =
+                InFlight{msg->from, kTagWorkTransfer, std::move(frame),
+                         std::chrono::steady_clock::now() + opts.ack_timeout,
+                         0};
             shared.comm.send(rank, msg->from, kTagWorkTransfer,
-                             std::move(bytes));
+                             std::move(copy));
           } else {
-            shared.denials += 1;
+            shared.denials.fetch_add(1);
             shared.comm.send(rank, msg->from, kTagNoWork);
           }
           break;
         }
-        case kTagWorkTransfer: {
-          WorkUnit unit = deserialize_work(msg->payload);
+        case kTagWorkTransfer:
+        case kTagFaultRetry: {
+          const auto nonce = frame_nonce(msg->payload);
+          if (!nonce) {
+            shared.crc_failures.fetch_add(1);
+            break;  // sender retransmits an intact copy
+          }
+          WorkUnit unit;
+          try {
+            unit = frame_unit(msg->payload);
+          } catch (const std::exception&) {
+            shared.crc_failures.fetch_add(1);
+            break;  // sender retransmits an intact copy
+          }
+          shared.comm.send(rank, msg->from, kTagWorkAck, make_ack(*nonce));
+          if (!seen_frames.insert(*nonce).second) break;  // duplicate
           push_local(shared, rs, std::move(unit));
           requested = false;
+          break;
+        }
+        case kTagWorkAck: {
+          if (const auto id = parse_ack(msg->payload)) in_flight.erase(*id);
           break;
         }
         case kTagNoWork:
           requested = false;
           break;
-        case kTagShutdown: {
-          {
-            std::lock_guard lock(rs.m);
-            rs.shutdown = true;
-          }
-          rs.cv.notify_all();
-          if (rank != 0) {
-            // Gather this rank's triangles at the root ("the points are
-            // gathered at the root process").
-            shared.comm.send(rank, 0, kTagResult,
-                             serialize_triangles(rs.triangles));
-          }
-          return;
-        }
+        case kTagShutdown:
+          shut = true;
+          break;
+        case kTagResult:
+          if (rank == 0) root_accept_result(shared, *msg);
+          break;
         default:
           break;
       }
@@ -202,6 +474,50 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     }
 
     const auto now = std::chrono::steady_clock::now();
+
+    // Reliable-channel housekeeping: retransmit unacked payloads; recover
+    // payloads addressed to ranks the watchdog has since declared dead.
+    if (!in_flight.empty()) {
+      std::vector<InFlight> recovered;
+      for (auto it = in_flight.begin(); it != in_flight.end();) {
+        InFlight& f = it->second;
+        if (now < f.deadline) {
+          ++it;
+        } else if (shared.dead[static_cast<std::size_t>(f.dest)].load()) {
+          recovered.push_back(std::move(f));
+          it = in_flight.erase(it);
+        } else {
+          auto copy = f.payload;
+          shared.comm.send(rank, f.dest, f.tag, std::move(copy));
+          shared.retransmits.fetch_add(1);
+          f.deadline = now + opts.ack_timeout;
+          ++f.tries;
+          ++it;
+        }
+      }
+      for (InFlight& f : recovered) {
+        WorkUnit unit = frame_unit(f.payload);  // own bytes, intact
+        if (f.tag == kTagWorkTransfer) {
+          push_local(shared, rs, std::move(unit));  // donation comes home
+        } else {
+          if (f.dest < 64) unit.failed_ranks |= 1ull << f.dest;
+          dispatch_retry(shared, rank, std::move(unit), in_flight);
+        }
+      }
+    }
+
+    // Ship units that exhausted the mesher's local retries.
+    {
+      std::vector<WorkUnit> outbox;
+      {
+        std::lock_guard lock(rs.m);
+        outbox.swap(rs.retry_outbox);
+      }
+      for (WorkUnit& u : outbox) {
+        dispatch_retry(shared, rank, std::move(u), in_flight);
+      }
+    }
+
     if (now - last_update >= opts.update_period) {
       last_update = now;
       double cost;
@@ -211,13 +527,19 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
       }
       shared.window.put(static_cast<std::size_t>(rank), cost);
 
+      if (requested && now >= request_deadline) {
+        requested = false;  // request or its answer was lost; ask again
+      }
       if (!requested && cost < opts.steal_threshold) {
-        // Fetch the global loads and ask the busiest rank for work.
+        // Fetch the global loads and ask the busiest live rank for work.
         const std::vector<double> loads = shared.window.get_all();
         int target = -1;
         double best = opts.steal_threshold;
         for (int r = 0; r < shared.comm.size(); ++r) {
-          if (r != rank && loads[static_cast<std::size_t>(r)] > best) {
+          if (r == rank || shared.dead[static_cast<std::size_t>(r)].load()) {
+            continue;
+          }
+          if (loads[static_cast<std::size_t>(r)] > best) {
             best = loads[static_cast<std::size_t>(r)];
             target = r;
           }
@@ -225,10 +547,170 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         if (target >= 0) {
           shared.comm.send(rank, target, kTagWorkRequest);
           requested = true;
+          request_deadline = now + request_timeout;
         }
       }
     }
     std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  // Shutdown phase. Any in-flight residue is ack loss on completed work:
+  // termination implies every unit completed, so nothing is retransmitted.
+  in_flight.clear();
+  {
+    std::lock_guard lock(rs.m);
+    rs.shutdown = true;
+  }
+  rs.cv.notify_all();
+
+  if (rank == 0) {
+    // Bounded result gather: wait for every live rank's soup, re-acking
+    // resends, until the watchdog deadline.
+    while (!shared.abort.load()) {
+      bool complete = true;
+      {
+        std::lock_guard lock(shared.results_m);
+        for (int r = 1; r < shared.comm.size(); ++r) {
+          if (shared.dead[static_cast<std::size_t>(r)].load()) continue;
+          if (shared.results.find(r) == shared.results.end()) {
+            complete = false;
+            break;
+          }
+        }
+      }
+      if (complete) break;
+      if (auto msg = shared.comm.try_recv(0)) {
+        if (msg->tag == kTagResult) root_accept_result(shared, *msg);
+        continue;
+      }
+      if (std::chrono::steady_clock::now() > shared.deadline) {
+        shared.gather_timed_out.store(true);
+        break;
+      }
+      shared.window.beat(0);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  } else {
+    // Reliable result send: resend until the root acks ("the points are
+    // gathered at the root process"), bounded by the retransmit cap.
+    constexpr int kMaxResultTries = 64;
+    auto payload = serialize_triangles(rs.triangles);
+    auto copy = payload;
+    shared.comm.send(rank, 0, kTagResult, std::move(copy));
+    auto deadline = std::chrono::steady_clock::now() + opts.ack_timeout;
+    int tries = 0;
+    while (!shared.abort.load()) {
+      shared.window.beat(static_cast<std::size_t>(rank));
+      if (auto msg = shared.comm.try_recv(rank)) {
+        if (msg->tag == kTagResultAck) break;
+        continue;  // stray shutdown rebroadcasts etc.
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        if (++tries > kMaxResultTries) break;
+        auto again = payload;
+        shared.comm.send(rank, 0, kTagResult, std::move(again));
+        shared.retransmits.fetch_add(1);
+        deadline = now + opts.ack_timeout;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  shared.comm_exited[static_cast<std::size_t>(rank)].store(true);
+}
+
+/// Pool watchdog: declares silent ranks dead (reclaiming their queued work
+/// for the root), re-broadcasts dropped shutdowns, services late result
+/// resends after the root's communicator has exited, and enforces the
+/// global deadline.
+void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
+  const PoolOptions& opts = *shared.opts;
+  const int n = shared.comm.size();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> last_beat(static_cast<std::size_t>(n), 0);
+  std::vector<std::chrono::steady_clock::time_point> last_advance(
+      static_cast<std::size_t>(n), start);
+  auto last_rebroadcast = start;
+  bool aborted = false;
+
+  for (;;) {
+    bool all_done = true;
+    for (int r = 0; r < n; ++r) {
+      if (!shared.comm_exited[static_cast<std::size_t>(r)].load() &&
+          !shared.dead[static_cast<std::size_t>(r)].load()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return;
+
+    const auto now = std::chrono::steady_clock::now();
+    if (!aborted && now > shared.deadline) {
+      // Watchdog bound hit: force-terminate everything still running.
+      aborted = true;
+      shared.abort.store(true);
+      for (auto& rs : ranks) {
+        {
+          std::lock_guard lock(rs.m);
+          rs.shutdown = true;
+        }
+        rs.cv.notify_all();
+      }
+    }
+
+    if (shared.shutdown_broadcast.load() && !aborted &&
+        now - last_rebroadcast >= opts.ack_timeout) {
+      // A dropped shutdown must not strand a communicator forever.
+      last_rebroadcast = now;
+      for (int r = 0; r < n; ++r) {
+        if (!shared.comm_exited[static_cast<std::size_t>(r)].load() &&
+            !shared.dead[static_cast<std::size_t>(r)].load()) {
+          shared.comm.send(-1, r, kTagShutdown);
+        }
+      }
+    }
+
+    // Once the root communicator is gone the monitor is the sole consumer
+    // of mailbox 0: keep acking late result resends so their senders exit.
+    if (shared.comm_exited[0].load()) {
+      while (auto msg = shared.comm.try_recv(0)) {
+        if (msg->tag == kTagResult) root_accept_result(shared, *msg);
+      }
+    }
+
+    // Heartbeat scan (rank 0 is the root and is never declared dead).
+    for (int r = 1; r < n; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (shared.comm_exited[ri].load() || shared.dead[ri].load()) continue;
+      const std::uint64_t hb = shared.window.heartbeat(ri);
+      if (hb != last_beat[ri]) {
+        last_beat[ri] = hb;
+        last_advance[ri] = now;
+        continue;
+      }
+      if (now - last_advance[ri] >= opts.heartbeat_timeout) {
+        shared.dead[ri].store(true);
+        shared.dead_count.fetch_add(1);
+        // Reclaim the dead rank's queued work for the root. Its completed
+        // triangles are NOT recoverable (no persistence across death); a
+        // rank killed mid-run loses what it had meshed.
+        RankState& dr = ranks[ri];
+        std::vector<WorkUnit> orphans;
+        {
+          std::lock_guard lock(dr.m);
+          for (auto& kv : dr.queue) orphans.push_back(std::move(kv.second));
+          dr.queue.clear();
+          dr.queued_cost = 0.0;
+          dr.shutdown = true;
+        }
+        dr.cv.notify_all();
+        shared.reclaimed.fetch_add(orphans.size());
+        for (WorkUnit& u : orphans) {
+          push_local(shared, ranks[0], std::move(u));
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 
@@ -237,47 +719,107 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
 PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
                    const PoolOptions& opts, MergedMesh& out) {
   PoolStats stats;
+  stats.tasks_per_rank.assign(static_cast<std::size_t>(opts.nranks), 0);
+  if (initial.empty()) {
+    // Nothing to do: without this, `outstanding` starts at zero, no unit
+    // ever completes, shutdown is never broadcast, and every thread blocks
+    // forever.
+    return stats;
+  }
   Timer timer;
 
-  SharedState shared(opts.nranks);
+  SharedState shared(opts);
   shared.sizing = &sizing;
   shared.opts = &opts;
+  shared.deadline = std::chrono::steady_clock::now() + opts.watchdog_timeout;
   shared.outstanding = static_cast<long>(initial.size());
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opts.nranks));
   for (auto& unit : initial) {
+    unit.id = shared.next_unit_id.fetch_add(1);
     push_local(shared, ranks[0], std::move(unit));
   }
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(opts.nranks) * 2);
+  threads.reserve(static_cast<std::size_t>(opts.nranks) * 2 + 1);
   for (int r = 0; r < opts.nranks; ++r) {
     threads.emplace_back(mesher_main, std::ref(shared), std::ref(ranks), r);
     threads.emplace_back(communicator_main, std::ref(shared), std::ref(ranks),
                          r);
   }
+  threads.emplace_back(monitor_main, std::ref(shared), std::ref(ranks));
   for (auto& t : threads) t.join();
 
-  // Root-side gather: rank 0's own triangles plus every other rank's
-  // serialized soup (already sitting in rank 0's mailbox).
+  // Root-side sequential fallback: units every rank gave up on are meshed
+  // here, outside the fault injector's reach, so a poisoned unit still ends
+  // up in the final mesh.
+  std::size_t lost_units = 0;
+  std::vector<WorkUnit> fallback;
+  {
+    std::lock_guard lock(shared.fallback_m);
+    fallback.swap(shared.fallback);
+  }
+  stats.fallback_units = fallback.size();
+  while (!fallback.empty()) {
+    WorkUnit unit = std::move(fallback.back());
+    fallback.pop_back();
+    std::vector<WorkUnit> children;
+    std::vector<std::array<Vec2, 3>> triangles;
+    try {
+      expand_unit(sizing, opts, unit, children, triangles);
+    } catch (...) {
+      ++lost_units;  // genuinely unmeshable, not an injected fault
+      continue;
+    }
+    for (auto& c : children) {
+      c.id = shared.next_unit_id.fetch_add(1);
+      fallback.push_back(std::move(c));
+    }
+    ranks[0].triangles.insert(ranks[0].triangles.end(), triangles.begin(),
+                              triangles.end());
+  }
+
+  // Root-side merge: rank 0's own triangles plus every gathered soup.
   for (const auto& tri : ranks[0].triangles) {
     out.add_triangle(tri[0], tri[1], tri[2]);
   }
-  int results = 0;
-  while (results < opts.nranks - 1) {
-    const Message msg = shared.comm.recv(0);
-    if (msg.tag != kTagResult) continue;
-    stats.result_bytes += msg.payload.size();
-    for (const auto& tri : deserialize_triangles(msg.payload)) {
-      out.add_triangle(tri[0], tri[1], tri[2]);
+  {
+    std::lock_guard lock(shared.results_m);
+    for (const auto& [from, tris] : shared.results) {
+      for (const auto& tri : tris) {
+        out.add_triangle(tri[0], tri[1], tri[2]);
+      }
     }
-    ++results;
+    for (int r = 1; r < opts.nranks; ++r) {
+      if (shared.dead[static_cast<std::size_t>(r)].load()) continue;
+      if (shared.results.find(r) == shared.results.end()) {
+        ++stats.missing_results;
+      }
+    }
   }
 
   stats.steals = shared.steals;
   stats.steal_denials = shared.denials;
   stats.transfer_bytes = shared.transfer_bytes;
-  for (const auto& rs : ranks) stats.tasks_per_rank.push_back(rs.tasks_done);
+  stats.result_bytes = shared.result_bytes;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    stats.tasks_per_rank[r] = ranks[r].tasks_done;
+  }
+  stats.unit_retries = shared.unit_retries;
+  stats.unit_failures = shared.unit_failures;
+  stats.requeued_units = shared.requeues;
+  stats.dropped_messages = shared.injector.dropped();
+  stats.duplicated_messages = shared.injector.duplicated();
+  stats.corrupt_payloads = shared.crc_failures;
+  stats.retransmits = shared.retransmits;
+  stats.dead_ranks = shared.dead_count;
+  stats.reclaimed_units = shared.reclaimed;
+  if (shared.abort.load()) {
+    stats.status = RunStatus::kFailed;
+  } else if (shared.gather_timed_out.load() || stats.missing_results > 0 ||
+             lost_units > 0) {
+    stats.status = RunStatus::kPartial;
+  }
   stats.wall_seconds = timer.seconds();
   return stats;
 }

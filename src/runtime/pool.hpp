@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/merged_mesh.hpp"
+#include "core/run_status.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/work.hpp"
 
@@ -23,6 +24,20 @@ struct PoolOptions {
   /// Inviscid decoupling recursion target and cap.
   double inviscid_target_triangles = 40000.0;
   int inviscid_max_level = 10;
+
+  /// Fault injection (off by default; the recovery machinery is always on).
+  FaultConfig faults;
+  /// Re-attempts of a throwing unit on the same rank before it is re-queued
+  /// to another rank / escalated to the root-side sequential fallback.
+  int max_unit_retries = 2;
+  /// Unacknowledged work transfers are retransmitted after this long.
+  std::chrono::milliseconds ack_timeout{25};
+  /// A rank whose heartbeat stalls this long is declared dead: its queued
+  /// work is reclaimed by the root and nobody waits on its results.
+  std::chrono::milliseconds heartbeat_timeout{500};
+  /// Global bound on the whole run (including the result gather). When it
+  /// expires the pool is force-terminated and reports RunStatus::kFailed.
+  std::chrono::seconds watchdog_timeout{120};
 };
 
 /// Statistics of a pool run.
@@ -33,13 +48,30 @@ struct PoolStats {
   std::size_t result_bytes = 0;    ///< triangle payload gathered to the root
   std::vector<std::size_t> tasks_per_rank;
   double wall_seconds = 0.0;
+
+  // Fault-tolerance accounting.
+  std::size_t unit_retries = 0;    ///< same-rank re-attempts after a throw
+  std::size_t unit_failures = 0;   ///< units that exhausted a rank's retries
+  std::size_t fallback_units = 0;  ///< units meshed by the root-side fallback
+  std::size_t requeued_units = 0;  ///< cross-rank fault re-queues sent
+  std::size_t dropped_messages = 0;    ///< injector-dropped messages
+  std::size_t duplicated_messages = 0; ///< injector-duplicated messages
+  std::size_t corrupt_payloads = 0;    ///< CRC failures seen at receivers
+  std::size_t retransmits = 0;     ///< unacked payloads sent again
+  std::size_t dead_ranks = 0;      ///< ranks declared dead by the watchdog
+  std::size_t reclaimed_units = 0; ///< queued units rescued off dead ranks
+  std::size_t missing_results = 0; ///< live ranks whose gather never landed
+  RunStatus status = RunStatus::kOk;
 };
 
 /// Run the distributed mesh generation protocol: every rank hosts a mesher
 /// thread (splitting and meshing subdomains from a cost-ordered priority
 /// queue, largest first) and a communicator thread (periodic RMA load
 /// updates, steal requests toward the most-loaded rank, request service,
-/// shutdown, and the final gather of triangle soups to the root).
+/// shutdown, and the final gather of triangle soups to the root). A monitor
+/// thread watches heartbeats, reclaims dead ranks' queues, re-broadcasts
+/// dropped shutdowns, and enforces the watchdog bound, so a faulty fabric
+/// degrades the run instead of deadlocking it.
 ///
 /// `initial` work is handed to rank 0, matching the paper's pipeline where
 /// the root owns the undecomposed domain and the decomposition itself is

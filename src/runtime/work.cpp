@@ -1,11 +1,37 @@
 #include "runtime/work.hpp"
 
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
 namespace aero {
 
 namespace {
+
+/// Slice-by-8 CRC-32 tables: table[0] is the classic byte-at-a-time table;
+/// table[k][b] extends a byte processed k positions earlier, so eight bytes
+/// fold into the running CRC with eight independent lookups per iteration
+/// instead of a serial chain. Byte-at-a-time runs ~0.35 GB/s here; the
+/// result gather alone moves hundreds of KB per run, and the framing must
+/// stay under the 2% overhead budget.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xffu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
 
 class Writer {
  public:
@@ -20,7 +46,12 @@ class Writer {
     const auto* p = reinterpret_cast<const std::uint8_t*>(pts.data());
     bytes_.insert(bytes_.end(), p, p + pts.size() * sizeof(Vec2));
   }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  /// Append the CRC-32 trailer and hand out the framed payload.
+  std::vector<std::uint8_t> take() {
+    const std::uint32_t crc = crc32(bytes_.data(), bytes_.size());
+    put<std::uint32_t>(crc);
+    return std::move(bytes_);
+  }
 
  private:
   std::vector<std::uint8_t> bytes_;
@@ -28,11 +59,22 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  /// Validates the CRC-32 trailer up front; the readable range excludes it.
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {
+    if (bytes_.size() < sizeof(std::uint32_t)) {
+      throw std::runtime_error("work unit payload truncated");
+    }
+    end_ = bytes_.size() - sizeof(std::uint32_t);
+    std::uint32_t stored;
+    std::memcpy(&stored, bytes_.data() + end_, sizeof(stored));
+    if (stored != crc32(bytes_.data(), end_)) {
+      throw std::runtime_error("work unit payload corrupt (CRC-32 mismatch)");
+    }
+  }
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > bytes_.size()) {
+    if (pos_ + sizeof(T) > end_) {
       throw std::runtime_error("work unit payload truncated");
     }
     T v;
@@ -42,7 +84,7 @@ class Reader {
   }
   std::vector<Vec2> get_points() {
     const auto n = get<std::uint64_t>();
-    if (pos_ + n * sizeof(Vec2) > bytes_.size()) {
+    if (pos_ + n * sizeof(Vec2) > end_) {
       throw std::runtime_error("work unit payload truncated");
     }
     std::vector<Vec2> pts(n);
@@ -54,12 +96,37 @@ class Reader {
  private:
   const std::vector<std::uint8_t>& bytes_;
   std::size_t pos_ = 0;
+  std::size_t end_ = 0;
 };
 
 }  // namespace
 
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables =
+      make_crc_tables();
+  std::uint32_t c = 0xffffffffu;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, data + i, 4);
+    std::memcpy(&hi, data + i + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
+        kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+        kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+  }
+  for (; i < n; ++i) {
+    c = kTables[0][(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
 std::vector<std::uint8_t> serialize(const WorkUnit& unit) {
   Writer w;
+  w.put<std::uint64_t>(unit.id);
+  w.put<std::uint64_t>(unit.failed_ranks);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(unit.kind));
   if (unit.kind == WorkUnit::Kind::kBlDecompose) {
     const Subdomain& s = unit.bl;
@@ -91,6 +158,8 @@ std::vector<std::uint8_t> serialize(const WorkUnit& unit) {
 WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
   WorkUnit unit;
+  unit.id = r.get<std::uint64_t>();
+  unit.failed_ranks = r.get<std::uint64_t>();
   unit.kind = static_cast<WorkUnit::Kind>(r.get<std::uint8_t>());
   if (unit.kind == WorkUnit::Kind::kBlDecompose) {
     Subdomain& s = unit.bl;

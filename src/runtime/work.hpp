@@ -21,6 +21,15 @@ struct WorkUnit {
   Subdomain bl;
   InviscidSubdomain inv;
 
+  /// Pool-wide unique identity, assigned at creation. Targets injected unit
+  /// faults and names the unit in diagnostics; transfers themselves are
+  /// acknowledged and deduplicated by a per-dispatch nonce (see pool.cpp),
+  /// never by this id, so a unit may revisit a rank it has been on before.
+  std::uint64_t id = 0;
+  /// Bitmask of ranks on which processing this unit already failed; a
+  /// fault re-queue excludes them when picking the next host.
+  std::uint64_t failed_ranks = 0;
+
   /// Estimated triangles produced (the load-balancing cost of the paper:
   /// boundary-layer units carry their point payload and sort first).
   double cost(const GradedSizing& sizing) const {
@@ -29,15 +38,23 @@ struct WorkUnit {
   }
 };
 
+/// CRC-32 (IEEE 802.3, reflected) of a byte range. Every protocol payload
+/// carries this as a 4-byte little-endian trailer so a corrupted message is
+/// detected at the receiver instead of being deserialized into garbage.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
 /// Serialize a work unit for transfer to another rank. Finalized
 /// boundary-layer subdomains ship only their x-sorted vertices (the paper's
 /// communication optimization); unfinalized ones also ship the y-sorted
 /// copy. Projected coordinates are never shipped -- they depend on the next
-/// median vertex and are recomputed after transfer.
+/// median vertex and are recomputed after transfer. The payload ends with a
+/// CRC-32 trailer; `deserialize_work` throws `std::runtime_error` on a
+/// truncated or corrupted payload.
 std::vector<std::uint8_t> serialize(const WorkUnit& unit);
 WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes);
 
 /// Serialize a triangle soup (coordinate triples) for the result gather.
+/// Same CRC-32 trailer contract as work-unit payloads.
 std::vector<std::uint8_t> serialize_triangles(
     const std::vector<std::array<Vec2, 3>>& tris);
 std::vector<std::array<Vec2, 3>> deserialize_triangles(
