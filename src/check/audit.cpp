@@ -1,0 +1,727 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geom/bbox.hpp"
+#include "geom/predicates.hpp"
+#include "geom/segment.hpp"
+
+namespace aero {
+
+namespace {
+
+std::string fmt_point(Vec2 p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "(" << p.x << ", " << p.y << ")";
+  return os.str();
+}
+
+/// Usable extent of a resolved ray: the truncation height capped by the
+/// deepest layer the growth function can ever place. Rays never receive
+/// points beyond this, so this is the segment the crossing audit tests.
+double usable_extent(const Ray& r, const BoundaryLayerOptions& opts) {
+  return std::min(r.max_height, opts.growth.height(opts.max_layers));
+}
+
+/// Proper-crossing scan of one closed polyline (exact predicate, bbox
+/// prune). Endpoint and collinear contacts are legal -- consecutive border
+/// segments share tips and fans pivot around one origin -- so only kProper
+/// is a defect.
+void audit_closed_polyline(const std::vector<Vec2>& poly, const char* what,
+                           std::size_t element, AuditReport& report) {
+  const std::size_t n = poly.size();
+  if (n < 3) return;
+  struct Seg {
+    Segment s;
+    BBox2 box;
+    std::size_t i;
+  };
+  std::vector<Seg> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[(i + 1) % n];
+    if (a == b) continue;  // dedupe tolerance at the closing wrap
+    segs.push_back(Seg{Segment{a, b}, BBox2::of_segment(a, b), i});
+  }
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      if (!segs[i].box.intersects(segs[j].box)) continue;
+      const IntersectResult r = intersect(segs[i].s, segs[j].s);
+      if (r.kind == IntersectKind::kProper) {
+        std::ostringstream os;
+        os << what << " of element " << element << " self-intersects: segment "
+           << segs[i].i << " crosses segment " << segs[j].i << " at "
+           << fmt_point(r.point);
+        report.fail(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void AuditReport::fail(std::string issue) {
+  ++defect_count;
+  if (issues.size() < kMaxIssues) issues.push_back(std::move(issue));
+}
+
+void AuditReport::merge(const AuditReport& other) {
+  defect_count += other.defect_count;
+  checked += other.checked;
+  for (const std::string& s : other.issues) {
+    if (issues.size() >= kMaxIssues) break;
+    issues.push_back(s);
+  }
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "ok (" << checked << " entities)";
+    return os.str();
+  }
+  os << defect_count << " defect(s) over " << checked << " entities";
+  for (const std::string& s : issues) os << "\n  - " << s;
+  if (defect_count > issues.size()) {
+    os << "\n  ... " << (defect_count - issues.size()) << " more";
+  }
+  return os.str();
+}
+
+AuditReport audit_quadedge(const QuadEdge& q) {
+  using EdgeRef = QuadEdge::EdgeRef;
+  AuditReport report;
+  const EdgeRef cap = static_cast<EdgeRef>(q.capacity());
+
+  // Pass 1: local pointer sanity. Everything else assumes these hold for the
+  // quarters it walks, so remember which quarters are locally sound.
+  std::vector<std::uint8_t> sound(cap, 0);
+  for (EdgeRef e = 0; e < cap; ++e) {
+    if (q.dead(e)) continue;
+    ++report.checked;
+    const EdgeRef nxt = q.onext(e);
+    if (nxt >= cap) {
+      std::ostringstream os;
+      os << "quarter " << e << ": Onext " << nxt << " out of range (capacity "
+         << cap << ")";
+      report.fail(os.str());
+      continue;
+    }
+    if (q.dead(nxt)) {
+      std::ostringstream os;
+      os << "quarter " << e << ": Onext " << nxt << " is a dead edge";
+      report.fail(os.str());
+      continue;
+    }
+    if ((nxt & 1u) != (e & 1u)) {
+      std::ostringstream os;
+      os << "quarter " << e << ": Onext " << nxt
+         << " crosses the primal/dual parity";
+      report.fail(os.str());
+      continue;
+    }
+    sound[e] = 1;
+  }
+
+  // Pass 2: Onext/Oprev must be inverse permutations (the Guibas-Stolfi
+  // dual-linkage invariant; a splice applied to only one side breaks it).
+  for (EdgeRef e = 0; e < cap; ++e) {
+    if (!sound[e]) continue;
+    const EdgeRef back = q.oprev(q.onext(e));
+    if (back != e) {
+      std::ostringstream os;
+      os << "quarter " << e << ": Oprev(Onext(e)) = " << back
+         << ", dual linkage broken";
+      report.fail(os.str());
+    }
+  }
+
+  // Pass 3: every Onext ring closes, and the primal quarters of one ring all
+  // report the same origin vertex. Rings are walked once each via a visited
+  // mark; a walk is abandoned (and reported) if it fails to return within
+  // `cap` steps, which is the longest any true cycle can be.
+  std::vector<std::uint8_t> visited(cap, 0);
+  for (EdgeRef e = 0; e < cap; ++e) {
+    if (!sound[e] || visited[e]) continue;
+    const VertIndex origin = (e & 1u) == 0 ? q.org(e) : 0;
+    EdgeRef cur = e;
+    EdgeRef steps = 0;
+    bool closed = false;
+    while (steps <= cap) {
+      visited[cur] = 1;
+      if ((e & 1u) == 0 && q.org(cur) != origin) {
+        std::ostringstream os;
+        os << "quarter " << cur << ": origin " << q.org(cur)
+           << " disagrees with ring origin " << origin << " (ring of quarter "
+           << e << ")";
+        report.fail(os.str());
+      }
+      const EdgeRef nxt = q.onext(cur);
+      if (!sound[nxt]) break;  // already reported by pass 1
+      if (nxt == e) {
+        closed = true;
+        break;
+      }
+      cur = nxt;
+      ++steps;
+    }
+    if (!closed && sound[q.onext(cur)]) {
+      std::ostringstream os;
+      os << "Onext ring of quarter " << e << " does not close (walked " << steps
+         << " steps)";
+      report.fail(os.str());
+    }
+  }
+  return report;
+}
+
+AuditReport audit_delaunay(
+    const DelaunayMesh& m,
+    const std::vector<std::pair<VertIndex, VertIndex>>& required_segments) {
+  AuditReport report;
+  const std::vector<MeshTri>& tris = m.triangles();
+  const auto tri_count = static_cast<TriIndex>(tris.size());
+
+  for (TriIndex t = 0; t < tri_count; ++t) {
+    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    if (mt.dead) continue;
+    ++report.checked;
+
+    if (!mt.is_ghost()) {
+      if (orient2d(m.point(mt.v[0]), m.point(mt.v[1]), m.point(mt.v[2])) <=
+          0.0) {
+        std::ostringstream os;
+        os << "triangle " << t << " (" << mt.v[0] << ", " << mt.v[1] << ", "
+           << mt.v[2] << ") is not strictly CCW";
+        report.fail(os.str());
+      }
+    } else if (mt.v[0] == kGhost || mt.v[1] == kGhost) {
+      std::ostringstream os;
+      os << "ghost triangle " << t << " carries kGhost outside slot 2";
+      report.fail(os.str());
+      continue;  // slot arithmetic below would index with kGhost
+    }
+
+    for (int i = 0; i < 3; ++i) {
+      const TriIndex nb = mt.n[i];
+      if (nb == kNoTri || nb < 0 || nb >= tri_count) {
+        std::ostringstream os;
+        os << "triangle " << t << " edge " << i
+           << ": missing/out-of-range neighbor " << nb
+           << " (the structure must be a closed sphere)";
+        report.fail(os.str());
+        continue;
+      }
+      const MeshTri& mn = tris[static_cast<std::size_t>(nb)];
+      if (mn.dead) {
+        std::ostringstream os;
+        os << "triangle " << t << " edge " << i << ": neighbor " << nb
+           << " is dead";
+        report.fail(os.str());
+        continue;
+      }
+      int back = -1;
+      for (int j = 0; j < 3; ++j) {
+        if (mn.n[j] == t) back = j;
+      }
+      if (back < 0) {
+        std::ostringstream os;
+        os << "triangle " << t << " edge " << i << ": neighbor " << nb
+           << " does not point back (adjacency not mutual)";
+        report.fail(os.str());
+        continue;
+      }
+      const VertIndex a = mt.v[(i + 1) % 3];
+      const VertIndex b = mt.v[(i + 2) % 3];
+      const VertIndex c = mn.v[(back + 1) % 3];
+      const VertIndex d = mn.v[(back + 2) % 3];
+      if (!(a == d && b == c)) {
+        std::ostringstream os;
+        os << "triangle " << t << " edge " << i << " and triangle " << nb
+           << " edge " << back << " disagree on the shared edge: (" << a << ", "
+           << b << ") vs (" << c << ", " << d << ")";
+        report.fail(os.str());
+      }
+      if (mt.constrained[i] != mn.constrained[back]) {
+        std::ostringstream os;
+        os << "triangle " << t << " edge " << i << " and triangle " << nb
+           << " edge " << back << " disagree on the constraint mark";
+        report.fail(os.str());
+      }
+
+      // Empty circumcircle across unconstrained finite-finite edges; checked
+      // from the lower triangle id so each edge is tested once.
+      if (!mt.is_ghost() && !mn.is_ghost() && !mt.constrained[i] && t < nb &&
+          back >= 0 && a == d && b == c) {
+        const VertIndex apex = mn.v[back];
+        if (incircle(m.point(mt.v[0]), m.point(mt.v[1]), m.point(mt.v[2]),
+                     m.point(apex)) > 0.0) {
+          std::ostringstream os;
+          os << "edge (" << a << ", " << b << ") between triangles " << t
+             << " and " << nb << " is not locally Delaunay (apex " << apex
+             << " lies inside the circumcircle)";
+          report.fail(os.str());
+        }
+      }
+    }
+  }
+
+  for (const auto& [u, w] : required_segments) {
+    const auto [t, e] = m.find_edge(u, w);
+    if (t == kNoTri) {
+      std::ostringstream os;
+      os << "required segment (" << u << ", " << w
+         << ") is not an edge of the triangulation";
+      report.fail(os.str());
+    } else if (!m.tri(t).constrained[static_cast<std::size_t>(e)]) {
+      std::ostringstream os;
+      os << "required segment (" << u << ", " << w
+         << ") is present but not marked constrained";
+      report.fail(os.str());
+    }
+  }
+  return report;
+}
+
+AuditReport audit_rays(const ElementRays& er,
+                       const BoundaryLayerOptions& opts) {
+  AuditReport report;
+  report.checked = er.rays.size();
+
+  // Surface lookup: every ray origin must be a vertex of the refined surface
+  // polyline (the large-angle rule inserts interpolated origins into it).
+  std::unordered_map<Vec2, std::size_t, Vec2Hash> surface_index;
+  for (std::size_t i = 0; i < er.surface.size(); ++i) {
+    surface_index.emplace(er.surface[i], i);
+  }
+
+  // Per-ray local checks plus the run structure: rays sharing an origin must
+  // be contiguous (a fan pivots around one vertex), and a multi-ray run is a
+  // fan by definition.
+  std::unordered_set<Vec2, Vec2Hash> finished_runs;
+  std::vector<std::size_t> run_surface_order;
+  for (std::size_t i = 0; i < er.rays.size(); ++i) {
+    const Ray& r = er.rays[i];
+    if (!std::isfinite(r.origin.x) || !std::isfinite(r.origin.y)) {
+      std::ostringstream os;
+      os << "ray " << i << ": non-finite origin " << fmt_point(r.origin);
+      report.fail(os.str());
+      continue;
+    }
+    if (std::abs(r.dir.norm2() - 1.0) > 1e-9) {
+      std::ostringstream os;
+      os << "ray " << i << ": direction " << fmt_point(r.dir)
+         << " is not unit length";
+      report.fail(os.str());
+    }
+    if (!(r.max_height > 0.0)) {
+      std::ostringstream os;
+      os << "ray " << i << ": non-positive truncation height " << r.max_height;
+      report.fail(os.str());
+    }
+
+    const bool starts_run = i == 0 || !(er.rays[i - 1].origin == r.origin);
+    if (starts_run) {
+      if (i > 0) finished_runs.insert(er.rays[i - 1].origin);
+      if (finished_runs.count(r.origin) != 0) {
+        std::ostringstream os;
+        os << "ray " << i << ": origin " << fmt_point(r.origin)
+           << " reappears after its run ended (fans must be contiguous)";
+        report.fail(os.str());
+      }
+      const auto it = surface_index.find(r.origin);
+      if (it == surface_index.end()) {
+        std::ostringstream os;
+        os << "ray " << i << ": origin " << fmt_point(r.origin)
+           << " is not a vertex of the refined surface";
+        report.fail(os.str());
+      } else {
+        run_surface_order.push_back(it->second);
+      }
+    } else {
+      if (r.fan != er.rays[i - 1].fan) {
+        std::ostringstream os;
+        os << "ray " << i << ": fan flag differs from ray " << (i - 1)
+           << " of the same origin run";
+        report.fail(os.str());
+      }
+      if (!r.fan) {
+        std::ostringstream os;
+        os << "rays " << (i - 1) << " and " << i << " share origin "
+           << fmt_point(r.origin) << " but are not marked as a fan";
+        report.fail(os.str());
+      }
+    }
+  }
+
+  // The run origins must traverse the (cyclic) surface in order: strictly
+  // increasing surface indices with at most one wrap-around descent.
+  std::size_t descents = 0;
+  for (std::size_t i = 0; i + 1 < run_surface_order.size(); ++i) {
+    if (run_surface_order[i + 1] <= run_surface_order[i]) ++descents;
+  }
+  if (descents > 1) {
+    std::ostringstream os;
+    os << "ray origins leave surface order " << descents
+       << " times (expected a single cyclic rotation)";
+    report.fail(os.str());
+  }
+
+  // No two truncated rays' usable extents may properly cross: intersection
+  // resolution truncates at `truncation_margin` (< 1/2) of the distance to
+  // the crossing, so after resolution the extents provably clear each other.
+  // Untruncated rays were never party to a crossing and are skipped.
+  struct Extent {
+    Segment s;
+    BBox2 box;
+    std::size_t i;
+  };
+  std::vector<Extent> extents;
+  for (std::size_t i = 0; i < er.rays.size(); ++i) {
+    const Ray& r = er.rays[i];
+    if (!std::isfinite(r.max_height)) continue;
+    const double h = usable_extent(r, opts);
+    if (!(h > 0.0)) continue;
+    const Vec2 tip = r.origin + r.dir * h;
+    extents.push_back(
+        Extent{Segment{r.origin, tip}, BBox2::of_segment(r.origin, tip), i});
+  }
+  for (std::size_t a = 0; a < extents.size(); ++a) {
+    for (std::size_t b = a + 1; b < extents.size(); ++b) {
+      if (!extents[a].box.intersects(extents[b].box)) continue;
+      const IntersectResult res = intersect(extents[a].s, extents[b].s);
+      if (res.kind == IntersectKind::kProper) {
+        std::ostringstream os;
+        os << "truncated rays " << extents[a].i << " and " << extents[b].i
+           << " still cross at " << fmt_point(res.point)
+           << " within their usable extents";
+        report.fail(os.str());
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_blayer(const BoundaryLayer& bl) {
+  AuditReport report;
+  const std::size_t elements = bl.surfaces.size();
+  report.checked = elements + bl.layers_per_ray.size();
+
+  if (bl.outer_borders.size() != elements || bl.hole_seeds.size() != elements) {
+    std::ostringstream os;
+    os << "per-element arrays disagree: " << elements << " surfaces, "
+       << bl.outer_borders.size() << " outer borders, " << bl.hole_seeds.size()
+       << " hole seeds";
+    report.fail(os.str());
+  }
+
+  for (std::size_t i = 0; i < bl.layers_per_ray.size(); ++i) {
+    if (bl.layers_per_ray[i] < 0) {
+      std::ostringstream os;
+      os << "ray " << i << ": negative layer count " << bl.layers_per_ray[i];
+      report.fail(os.str());
+    }
+  }
+
+  // Each outer-border vertex is the tip of one ray (consecutive duplicate
+  // tips are deduplicated), so the borders can never hold more points than
+  // there are rays.
+  std::size_t border_points = 0;
+  for (const std::vector<Vec2>& border : bl.outer_borders) {
+    border_points += border.size();
+  }
+  if (border_points > bl.layers_per_ray.size()) {
+    std::ostringstream os;
+    os << "outer borders hold " << border_points << " points but only "
+       << bl.layers_per_ray.size() << " rays exist";
+    report.fail(os.str());
+  }
+
+  // Conformity contract: surfaces and border tips are bit-identical reuses
+  // of inserted points, which is what lets the merged mesh weld by exact
+  // coordinate identity. A vertex missing from the cloud breaks the weld.
+  std::unordered_set<Vec2, Vec2Hash> cloud(bl.points.begin(), bl.points.end());
+  for (std::size_t e = 0; e < bl.surfaces.size(); ++e) {
+    for (const Vec2& p : bl.surfaces[e]) {
+      if (cloud.count(p) == 0) {
+        std::ostringstream os;
+        os << "surface vertex " << fmt_point(p) << " of element " << e
+           << " is missing from the point cloud";
+        report.fail(os.str());
+      }
+    }
+  }
+  for (std::size_t e = 0; e < bl.outer_borders.size(); ++e) {
+    for (const Vec2& p : bl.outer_borders[e]) {
+      if (cloud.count(p) == 0) {
+        std::ostringstream os;
+        os << "outer-border vertex " << fmt_point(p) << " of element " << e
+           << " is missing from the point cloud";
+        report.fail(os.str());
+      }
+    }
+  }
+
+  for (std::size_t e = 0; e < bl.surfaces.size(); ++e) {
+    audit_closed_polyline(bl.surfaces[e], "surface", e, report);
+  }
+  for (std::size_t e = 0; e < bl.outer_borders.size(); ++e) {
+    audit_closed_polyline(bl.outer_borders[e], "outer border", e, report);
+  }
+  return report;
+}
+
+AuditReport audit_merged(const MergedMesh& mesh) {
+  AuditReport report;
+  const std::vector<Vec2>& pts = mesh.points();
+
+  std::unordered_set<Vec2, Vec2Hash> seen;
+  seen.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!seen.insert(pts[i]).second) {
+      std::ostringstream os;
+      os << "point " << i << " " << fmt_point(pts[i])
+         << " duplicates an earlier interned point";
+      report.fail(os.str());
+    }
+  }
+
+  struct EdgeUse {
+    std::size_t count = 0;          ///< live triangles on this edge
+    std::size_t forward_count = 0;  ///< traversals in (lo, hi) direction
+  };
+  std::unordered_map<std::uint64_t, EdgeUse> edges;
+  const std::vector<std::array<std::uint32_t, 3>>& tris = mesh.triangles();
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    if (!mesh.alive(t)) continue;
+    ++report.checked;
+    const std::array<std::uint32_t, 3>& tri = tris[t];
+
+    bool degenerate = false;
+    for (int i = 0; i < 3; ++i) {
+      if (tri[i] >= pts.size()) {
+        std::ostringstream os;
+        os << "triangle " << t << ": vertex index " << tri[i]
+           << " out of range (" << pts.size() << " points)";
+        report.fail(os.str());
+        degenerate = true;
+      }
+    }
+    if (!degenerate &&
+        (tri[0] == tri[1] || tri[1] == tri[2] || tri[2] == tri[0])) {
+      std::ostringstream os;
+      os << "triangle " << t << " (" << tri[0] << ", " << tri[1] << ", "
+         << tri[2] << ") repeats a vertex";
+      report.fail(os.str());
+      degenerate = true;
+    }
+    if (degenerate) continue;
+
+    if (orient2d(pts[tri[0]], pts[tri[1]], pts[tri[2]]) <= 0.0) {
+      std::ostringstream os;
+      os << "triangle " << t << " (" << tri[0] << ", " << tri[1] << ", "
+         << tri[2] << ") is not strictly CCW";
+      report.fail(os.str());
+    }
+    for (int i = 0; i < 3; ++i) {
+      const std::uint32_t a = tri[i];
+      const std::uint32_t b = tri[(i + 1) % 3];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+      EdgeUse& use = edges[key];
+      ++use.count;
+      if (a < b) ++use.forward_count;
+    }
+  }
+
+  for (const auto& [key, use] : edges) {
+    const auto a = static_cast<std::uint32_t>(key >> 32);
+    const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    if (use.count > 2) {
+      std::ostringstream os;
+      os << "edge (" << a << ", " << b << ") borders " << use.count
+         << " live triangles (non-manifold)";
+      report.fail(os.str());
+    } else if (use.count == 2 && use.forward_count != 1) {
+      std::ostringstream os;
+      os << "edge (" << a << ", " << b
+         << ") is traversed twice in the same direction (inconsistent "
+            "orientation)";
+      report.fail(os.str());
+    }
+  }
+  return report;
+}
+
+AuditReport audit_protocol(const ProtocolTrace& trace, bool run_aborted) {
+  AuditReport report;
+  const std::vector<ProtocolEvent> events = trace.snapshot();
+  report.checked = events.size();
+  using Kind = ProtocolEvent::Kind;
+
+  struct NonceState {
+    std::size_t dispatched = 0;
+    std::size_t accepted = 0;
+    std::size_t resolved = 0;  ///< ack-matched + recovered + abandoned
+  };
+  struct UnitState {
+    std::size_t created = 0;
+    std::size_t finished = 0;  ///< completed + lost
+    bool fallback = false;
+  };
+  // Unit ids and nonces restart with every pool run (a pipeline runs two
+  // pools over one trace), so all state is keyed by (run, id).
+  using Key = std::pair<std::uint32_t, std::uint64_t>;
+  std::map<Key, NonceState> nonces;
+  std::map<Key, UnitState> units;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ProtocolEvent& ev = events[i];
+    switch (ev.kind) {
+      case Kind::kDispatch: {
+        NonceState& ns = nonces[{ev.run, ev.id}];
+        if (ns.dispatched > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " dispatched twice (nonces must be fresh per transfer)";
+          report.fail(os.str());
+        }
+        ++ns.dispatched;
+        break;
+      }
+      case Kind::kAccept: {
+        NonceState& ns = nonces[{ev.run, ev.id}];
+        if (ns.dispatched == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " accepted without a prior dispatch";
+          report.fail(os.str());
+        }
+        if (ns.accepted > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " accepted twice (receiver dedupe failed)";
+          report.fail(os.str());
+        }
+        ++ns.accepted;
+        break;
+      }
+      case Kind::kDuplicate: {
+        if (nonces[{ev.run, ev.id}].accepted == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " flagged duplicate before any accept";
+          report.fail(os.str());
+        }
+        break;
+      }
+      case Kind::kAckMatched:
+      case Kind::kRecovered:
+      case Kind::kAbandoned: {
+        NonceState& ns = nonces[{ev.run, ev.id}];
+        if (ns.dispatched == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " resolved without a prior dispatch";
+          report.fail(os.str());
+        }
+        if (ev.kind == Kind::kAckMatched && ns.accepted == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " ack-matched but the frame was never accepted";
+          report.fail(os.str());
+        }
+        if (ns.resolved > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " resolved twice (in-flight entry handled more than once)";
+          report.fail(os.str());
+        }
+        ++ns.resolved;
+        break;
+      }
+      case Kind::kUnitCreated: {
+        UnitState& us = units[{ev.run, ev.id}];
+        if (us.created > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": unit " << ev.id << " created twice";
+          report.fail(os.str());
+        }
+        ++us.created;
+        break;
+      }
+      case Kind::kUnitCompleted:
+      case Kind::kUnitLost: {
+        UnitState& us = units[{ev.run, ev.id}];
+        if (us.created == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": unit " << ev.id
+             << " finished but was never created";
+          report.fail(os.str());
+        }
+        if (us.finished > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": unit " << ev.id
+             << " finished twice (exactly-once completion violated)";
+          report.fail(os.str());
+        }
+        ++us.finished;
+        break;
+      }
+      case Kind::kUnitRequeued:
+      case Kind::kUnitReclaimed:
+      case Kind::kUnitFallback: {
+        UnitState& us = units[{ev.run, ev.id}];
+        if (us.created == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": unit " << ev.id
+             << " moved but was never created";
+          report.fail(os.str());
+        }
+        if (us.finished > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": unit " << ev.id
+             << " re-queued/reclaimed after it already finished";
+          report.fail(os.str());
+        }
+        if (ev.kind == Kind::kUnitFallback) us.fallback = true;
+        break;
+      }
+    }
+  }
+
+  // Completeness: only meaningful for runs that ran to completion. A
+  // watchdog-aborted run legitimately leaves nonces unresolved and units
+  // unfinished; the exactly-once and ordering checks above still apply.
+  if (!run_aborted) {
+    for (const auto& [key, ns] : nonces) {
+      if (ns.dispatched > 0 && ns.resolved == 0) {
+        std::ostringstream os;
+        os << "nonce " << key.second << " (run " << key.first << ")"
+           << " was dispatched but never resolved (ack, recovery, or "
+              "shutdown abandonment)";
+        report.fail(os.str());
+      }
+    }
+    for (const auto& [key, us] : units) {
+      if (us.created > 0 && us.finished == 0) {
+        std::ostringstream os;
+        os << "unit " << key.second << " (run " << key.first
+           << ") was created but never completed or lost";
+        report.fail(os.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace aero

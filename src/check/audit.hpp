@@ -1,0 +1,96 @@
+#pragma once
+
+// Deep structural auditors for the mesh and protocol invariants the type
+// system cannot express. Each audit walks one data structure and reports
+// every violated invariant with enough context to locate the defect -- the
+// point is to catch corruption where it happens instead of thousands of
+// Bowyer-Watson steps later, when the symptom (a non-manifold merge, a hung
+// gather) is far from the cause.
+//
+// All geometric decisions route through the exact adaptive predicates, so an
+// audit never disagrees with the mesher about orientation or circumcircles.
+// Audits are read-only and side-effect free: a pipeline run with --audit
+// produces a mesh bit-identical to a run without.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blayer/boundary_layer.hpp"
+#include "check/protocol_trace.hpp"
+#include "core/merged_mesh.hpp"
+#include "delaunay/mesh.hpp"
+#include "delaunay/quadedge.hpp"
+
+namespace aero {
+
+/// Outcome of one audit: a (bounded) list of human-readable defects.
+struct AuditReport {
+  /// Individual defects, most precise location first. Bounded at
+  /// `kMaxIssues` so a systematically corrupt structure reports a sample,
+  /// not a gigabyte.
+  std::vector<std::string> issues;
+  /// Violations found, including ones dropped by the issue cap.
+  std::size_t defect_count = 0;
+  /// Entities examined (edges, triangles, rays, events -- audit-specific).
+  std::size_t checked = 0;
+
+  static constexpr std::size_t kMaxIssues = 32;
+
+  bool ok() const { return defect_count == 0; }
+  /// "ok (N entities)" or "M defects (N entities): first issue; ..."
+  std::string summary() const;
+  /// Record one defect (respects the cap).
+  void fail(std::string issue);
+  /// Merge another report into this one (issue cap re-applied).
+  void merge(const AuditReport& other);
+};
+
+/// Audit a quad-edge structure: every live quarter-edge's Onext pointer must
+/// land on a live quarter of the same duality (primal/dual), oprev must
+/// invert onext (the Guibas-Stolfi dual-linkage invariant), every Onext ring
+/// must close, and all primal quarters of one origin ring must agree on
+/// their origin vertex.
+AuditReport audit_quadedge(const QuadEdge& q);
+
+/// Audit a Delaunay mesh: mutual adjacency with matching shared edges and
+/// constraint marks, exact CCW orientation of finite triangles, ghost
+/// vertices confined to slot 2, the empty-circumcircle property across every
+/// unconstrained finite-finite edge (exact incircle), and -- when
+/// `required_segments` is given -- presence of each segment as a constrained
+/// edge (the constrained-Delaunay contract).
+AuditReport audit_delaunay(
+    const DelaunayMesh& m,
+    const std::vector<std::pair<VertIndex, VertIndex>>& required_segments = {});
+
+/// Audit one element's resolved ray set: unit directions, positive
+/// truncation heights, fan rays contiguous per origin, non-fan origins in
+/// surface order, and no two truncated rays' usable extents properly
+/// crossing (exact segment predicate; untruncated rays were never near an
+/// intersection and are skipped).
+AuditReport audit_rays(const ElementRays& er, const BoundaryLayerOptions& opts);
+
+/// Audit an assembled boundary layer: per-element outer border and surface
+/// sizes consistent with the per-ray layer counts, no negative layer counts,
+/// no self-intersecting surface or outer-border polyline (exact segment
+/// predicate), and every surface/border vertex present in the point cloud.
+AuditReport audit_blayer(const BoundaryLayer& bl);
+
+/// Audit a merged mesh: no duplicate interned points, no degenerate
+/// triangle records, exact CCW orientation of every live triangle, and
+/// manifoldness (no edge with more than two live triangles).
+AuditReport audit_merged(const MergedMesh& mesh);
+
+/// Audit a pool protocol trace. Exactly-once invariants: every dispatched
+/// nonce is resolved exactly once (ack-matched, dead-destination recovery,
+/// or shutdown abandonment), every accepted nonce was dispatched and is
+/// accepted at most once globally, every duplicate had a prior accept. Unit
+/// lifecycle: every created unit finishes exactly once (completed or lost),
+/// is never re-queued after completing, and a fallback escalation is
+/// followed by its root-side completion. With `run_aborted` (watchdog fired)
+/// the completeness checks are skipped and only the exactly-once /
+/// ordering invariants remain.
+AuditReport audit_protocol(const ProtocolTrace& trace, bool run_aborted = false);
+
+}  // namespace aero

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+namespace aero {
+
+/// One recorded event of the pool's work-distribution protocol. Plain data:
+/// `id` is a unit id for the kUnit* kinds and a transfer nonce for the
+/// transfer kinds; `rank`/`peer` identify the recording rank and the other
+/// endpoint where meaningful (-1 otherwise).
+struct ProtocolEvent {
+  /// Pool run the event belongs to (run_pool calls begin_run() on entry).
+  /// Unit ids and transfer nonces restart per run, so the auditor scopes
+  /// every exactly-once check to (run, id).
+  std::uint32_t run = 0;
+  enum class Kind : std::uint8_t {
+    kUnitCreated,    ///< a unit id was assigned (initial or spawned child)
+    kUnitCompleted,  ///< unit expanded successfully (pool or root fallback)
+    kUnitRequeued,   ///< unit exhausted local retries, shipped to another rank
+    kUnitReclaimed,  ///< queued unit rescued off a dead rank by the watchdog
+    kUnitFallback,   ///< unit escalated to the root-side sequential fallback
+    kUnitLost,       ///< unit threw even in the fallback (genuinely unmeshable)
+    kDispatch,       ///< transfer frame sent under a fresh nonce
+    kAccept,         ///< frame accepted by the receiver (first copy)
+    kDuplicate,      ///< frame copy dropped by the receiver's nonce dedupe
+    kAckMatched,     ///< ack erased the matching in-flight entry
+    kRecovered,      ///< in-flight entry recovered because its dest died
+    kAbandoned,      ///< in-flight entry discarded at shutdown (ack loss on
+                     ///< completed work; see pool.cpp shutdown phase)
+  };
+  Kind kind = Kind::kUnitCreated;
+  std::uint64_t id = 0;
+  int rank = -1;
+  int peer = -1;
+};
+
+/// Thread-safe append-only recorder the pool fills when a trace is attached
+/// (PoolOptions::trace). The single mutex makes the event sequence a total
+/// order, which is what lets audit_protocol() check ordering invariants
+/// ("no unit re-queued after completion") and not just counts.
+///
+/// This lives in src/check (not src/runtime) so the auditor can replay a
+/// trace without depending on the runtime; the runtime depends on the
+/// checker, never the reverse.
+class ProtocolTrace {
+ public:
+  /// Mark the start of a pool run; subsequent events belong to it. Unit ids
+  /// and nonces are only unique within one run.
+  void begin_run() {
+    MutexLock lock(m_);
+    ++run_;
+  }
+
+  void record(ProtocolEvent::Kind kind, std::uint64_t id, int rank = -1,
+              int peer = -1) {
+    MutexLock lock(m_);
+    events_.push_back(ProtocolEvent{run_, kind, id, rank, peer});
+  }
+
+  std::vector<ProtocolEvent> snapshot() const {
+    MutexLock lock(m_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(m_);
+    return events_.size();
+  }
+
+ private:
+  mutable Mutex m_;
+  std::uint32_t run_ AERO_GUARDED_BY(m_) = 0;
+  std::vector<ProtocolEvent> events_ AERO_GUARDED_BY(m_);
+};
+
+}  // namespace aero

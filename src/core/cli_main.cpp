@@ -22,11 +22,17 @@
 //                             (duplication/corruption/delay at R/2) into the
 //                             pool fabric; requires --ranks
 //   --fault-seed S            deterministic seed for fault injection (0)
+//   --audit                   run the src/check invariant auditors at every
+//                             phase boundary (and over the pool protocol
+//                             trace when combined with --ranks); audits are
+//                             read-only, so the mesh is identical to a
+//                             non-audit run
 //   --output BASE             output basename (default "mesh")
 //   --format vtk|node-ele|binary|all   (default vtk)
 //
 // Exit codes: 0 success; 1 non-manifold mesh; 2 usage error; 3 partial or
-// failed parallel run (watchdog/lost results); 4 pipeline exception.
+// failed parallel run (watchdog/lost results); 4 pipeline exception; 5 an
+// --audit pass reported defects.
 
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +41,7 @@
 #include <string>
 
 #include "airfoil/naca.hpp"
+#include "check/audit.hpp"
 #include "core/mesh_generator.hpp"
 #include "io/mesh_io.hpp"
 #include "runtime/parallel_driver.hpp"
@@ -49,7 +56,7 @@ using namespace aero;
                "  [--poly file.poly] [--surface-points N] [--first-height H]\n"
                "  [--growth-ratio R] [--growth geometric|polynomial|adaptive]\n"
                "  [--max-layers N] [--farfield C] [--grade G] [--ranks P]\n"
-               "  [--fault-rate R] [--fault-seed S]\n"
+               "  [--fault-rate R] [--fault-seed S] [--audit]\n"
                "  [--output BASE] [--format vtk|node-ele|binary|all]\n",
                argv0);
   std::exit(2);
@@ -119,8 +126,13 @@ int main(int argc, char** argv) {
   int ranks = 0;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0;
+  bool audit = false;
 
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--audit") == 0) {
+      audit = true;
+      continue;
+    }
     const auto arg = [&](const char* name) {
       if (std::strcmp(argv[i], name) != 0) return static_cast<const char*>(nullptr);
       if (i + 1 >= argc) usage(argv[0]);
@@ -192,6 +204,23 @@ int main(int argc, char** argv) {
   MergedMesh mesh;
   PhaseTimings timings;
   RunStatus status = RunStatus::kOk;
+  ProtocolTrace trace;
+  std::size_t audit_defects = 0;
+  if (audit) {
+    // Deep invariant audits at every phase boundary. Read-only: the mesh of
+    // an audited run is bit-identical to an unaudited one.
+    config.phase_hook = [&audit_defects](const char* phase,
+                                         const PhaseArtifacts& a) {
+      AuditReport report;
+      if (std::strcmp(phase, "boundary_layer") == 0 &&
+          a.boundary_layer != nullptr) {
+        report.merge(audit_blayer(*a.boundary_layer));
+      }
+      if (a.mesh != nullptr) report.merge(audit_merged(*a.mesh));
+      std::printf("audit[%s]: %s\n", phase, report.summary().c_str());
+      audit_defects += report.defect_count;
+    };
+  }
   try {
     if (ranks > 0) {
       FaultConfig faults;
@@ -201,7 +230,8 @@ int main(int argc, char** argv) {
       faults.duplicate_rate = fault_rate / 2.0;
       faults.corrupt_rate = fault_rate / 2.0;
       faults.delay_rate = fault_rate / 2.0;
-      ParallelMeshResult r = parallel_generate_mesh(config, ranks, faults);
+      ParallelMeshResult r = parallel_generate_mesh(
+          config, ranks, faults, audit ? &trace : nullptr);
       mesh = std::move(r.mesh);
       timings = r.timings;
       status = r.status;
@@ -224,6 +254,15 @@ int main(int argc, char** argv) {
       if (status != RunStatus::kOk) {
         std::fprintf(stderr, "warning: parallel run status: %s\n",
                      to_string(status));
+      }
+      if (audit) {
+        // Replay the recorded pool protocol. A watchdog-aborted run
+        // legitimately leaves work unfinished; only the exactly-once and
+        // ordering invariants are enforced then.
+        const AuditReport report =
+            audit_protocol(trace, status == RunStatus::kFailed);
+        std::printf("audit[protocol]: %s\n", report.summary().c_str());
+        audit_defects += report.defect_count;
       }
     } else {
       MeshGenerationResult r = generate_mesh(config);
@@ -257,6 +296,11 @@ int main(int argc, char** argv) {
   if (format == "binary" || format == "all") {
     write_binary(mesh, output + ".bin");
     std::printf("wrote %s.bin\n", output.c_str());
+  }
+  if (audit_defects > 0) {
+    std::fprintf(stderr, "error: --audit reported %zu defect(s)\n",
+                 audit_defects);
+    return 5;
   }
   return conf.manifold ? 0 : 1;
 }

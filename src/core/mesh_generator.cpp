@@ -100,6 +100,14 @@ std::vector<std::pair<Vec2, Vec2>> ring_barrier(const BoundaryLayer& bl) {
   return barrier;
 }
 
+/// Fire the configured phase observer (no-op when none is installed).
+void notify_phase(const MeshGeneratorConfig& config, const char* phase,
+                  const BoundaryLayer* bl, const MergedMesh* mesh) {
+  if (config.phase_hook) {
+    config.phase_hook(phase, PhaseArtifacts{bl, mesh});
+  }
+}
+
 }  // namespace
 
 void triangulate_boundary_layer(const BoundaryLayer& bl,
@@ -195,6 +203,7 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
   Timer t1;
   result.boundary_layer = build_boundary_layer(config.airfoil, config.blayer);
   result.timings.record("boundary_layer_points", t1.seconds());
+  notify_phase(config, "boundary_layer", &result.boundary_layer, nullptr);
 
   // Stage 2: parallel-decomposed boundary-layer triangulation.
   Timer t3;
@@ -203,6 +212,8 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
                              &result.bl_task_seconds);
   result.bl_triangles = result.mesh.triangle_count();
   result.timings.record("boundary_layer_triangulation", t3.seconds());
+  notify_phase(config, "boundary_layer_mesh", &result.boundary_layer,
+               &result.mesh);
 
   // Stage 3: inviscid domain layout around the boundary-layer mesh.
   Timer t2;
@@ -236,6 +247,7 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
   result.inviscid_triangles =
       result.mesh.triangle_count() - result.bl_triangles;
   result.timings.record("inviscid_refinement", t5.seconds());
+  notify_phase(config, "final_mesh", &result.boundary_layer, &result.mesh);
 
   result.status = RunStatus::kOk;  // every stage completed (throws otherwise)
   result.timings.record("total", total.seconds());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "airfoil/geometry.hpp"
@@ -9,9 +10,23 @@
 #include "core/run_status.hpp"
 #include "hull/subdomain.hpp"
 #include "inviscid/decouple.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 
 namespace aero {
+
+/// Artifacts visible to a phase observer; pointers are null for artifacts
+/// the pipeline has not produced yet.
+struct PhaseArtifacts {
+  const BoundaryLayer* boundary_layer = nullptr;
+  const MergedMesh* mesh = nullptr;
+};
+
+/// Observer invoked at pipeline phase boundaries. The pipeline stays
+/// ignorant of who observes it (the CLI's --audit mode installs the
+/// src/check invariant auditors here); observers must be read-only so an
+/// observed run produces a mesh bit-identical to an unobserved one.
+using PhaseHook =
+    std::function<void(const char* phase, const PhaseArtifacts&)>;
 
 /// Configuration of the push-button mesh generator: the user provides the
 /// geometry and boundary-layer parameters; everything else is derived.
@@ -36,6 +51,13 @@ struct MeshGeneratorConfig {
   /// Inviscid decoupling recursion target.
   double inviscid_target_triangles = 40000.0;
   int inviscid_max_level = 10;
+
+  /// Optional phase-boundary observer (see PhaseHook). Both the sequential
+  /// pipeline and the parallel driver fire it after the boundary layer is
+  /// built ("boundary_layer"), after the boundary-layer triangulation is
+  /// assembled and ring-restricted ("boundary_layer_mesh"), and after the
+  /// final mesh is complete ("final_mesh").
+  PhaseHook phase_hook;
 };
 
 /// Everything the pipeline produces, including the per-stage artifacts the

@@ -161,6 +161,11 @@ class DelaunayMesh {
   /// (tests only; O(n)).
   bool check_delaunay() const;
 
+  /// Test-only backdoor (defined in tests/test_audit.cpp): the audit tests
+  /// corrupt triangles and points through it to prove audit_delaunay()
+  /// detects each defect class. Never used by library code.
+  struct TestAccess;
+
  private:
   friend class RuppertRefiner;
 

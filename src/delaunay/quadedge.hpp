@@ -60,6 +60,11 @@ class QuadEdge {
   bool dead(EdgeRef e) const { return dead_[e >> 2]; }
   std::size_t capacity() const { return next_.size(); }
 
+  /// Test-only backdoor (defined in tests/test_audit.cpp): the audit tests
+  /// corrupt the structure through it to prove audit_quadedge() detects each
+  /// defect class. Never used by library code.
+  struct TestAccess;
+
  private:
   std::vector<EdgeRef> next_;     ///< Onext per quarter-edge
   std::vector<VertIndex> data_;   ///< origin vertex per primal quarter

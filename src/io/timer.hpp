@@ -1,44 +1,6 @@
 #pragma once
 
-#include <chrono>
-#include <string>
-#include <utility>
-#include <vector>
-
-namespace aero {
-
-/// Wall-clock stopwatch.
-class Timer {
- public:
-  Timer() : start_(clock::now()) {}
-  void reset() { start_ = clock::now(); }
-  /// Elapsed seconds since construction / last reset.
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
- private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
-
-/// Named phase timings accumulated through a pipeline run.
-class PhaseTimings {
- public:
-  void record(std::string name, double seconds) {
-    entries_.emplace_back(std::move(name), seconds);
-  }
-  const std::vector<std::pair<std::string, double>>& entries() const {
-    return entries_;
-  }
-  double total() const {
-    double t = 0.0;
-    for (const auto& [_, s] : entries_) t += s;
-    return t;
-  }
-
- private:
-  std::vector<std::pair<std::string, double>> entries_;
-};
-
-}  // namespace aero
+// Forwarding shim: the timer moved to src/core so that core (which times its
+// pipeline phases) does not depend on the io layer. Kept so existing
+// includes of "io/timer.hpp" continue to work.
+#include "core/timer.hpp"  // IWYU pragma: export

@@ -4,7 +4,7 @@
 #include <map>
 #include <queue>
 
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 #include "runtime/work.hpp"
 
 namespace aero {

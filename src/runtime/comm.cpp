@@ -98,7 +98,7 @@ void Communicator::deliver(int to, Message msg,
                            std::chrono::microseconds delay) {
   Mailbox& box = boxes_[static_cast<std::size_t>(to)];
   {
-    std::lock_guard lock(box.m);
+    MutexLock lock(box.m);
     if (delay.count() > 0) {
       box.delayed.push_back(
           Delayed{std::chrono::steady_clock::now() + delay, std::move(msg)});
@@ -129,7 +129,7 @@ void Communicator::send(int from, int to, int tag,
 
 Message Communicator::recv(int rank) {
   Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock lock(box.m);
+  UniqueLock lock(box.m);
   for (;;) {
     promote_due(box, std::chrono::steady_clock::now());
     if (!box.q.empty()) {
@@ -138,19 +138,18 @@ Message Communicator::recv(int rank) {
       return msg;
     }
     if (box.delayed.empty()) {
-      box.cv.wait(lock,
-                  [&box] { return !box.q.empty() || !box.delayed.empty(); });
+      while (box.q.empty() && box.delayed.empty()) lock.wait(box.cv);
     } else {
       auto due = box.delayed.front().due;
       for (const Delayed& d : box.delayed) due = std::min(due, d.due);
-      box.cv.wait_until(lock, due);
+      lock.wait_until(box.cv, due);
     }
   }
 }
 
 std::optional<Message> Communicator::try_recv(int rank) {
   Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard lock(box.m);
+  MutexLock lock(box.m);
   promote_due(box, std::chrono::steady_clock::now());
   if (box.q.empty()) return std::nullopt;
   Message msg = std::move(box.q.front());
@@ -160,7 +159,7 @@ std::optional<Message> Communicator::try_recv(int rank) {
 
 std::size_t Communicator::pending(int rank) const {
   const Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard lock(box.m);
+  MutexLock lock(box.m);
   return box.q.size() + box.delayed.size();
 }
 

@@ -2,14 +2,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace aero {
 
@@ -135,13 +135,14 @@ class Communicator {
     Message msg;
   };
   struct Mailbox {
-    mutable std::mutex m;
-    std::condition_variable cv;
-    std::deque<Message> q;
-    std::vector<Delayed> delayed;
+    mutable Mutex m;
+    CondVar cv;
+    std::deque<Message> q AERO_GUARDED_BY(m);
+    std::vector<Delayed> delayed AERO_GUARDED_BY(m);
   };
   /// Move due delayed messages into the FIFO. Caller holds `box.m`.
-  static void promote_due(Mailbox& box, std::chrono::steady_clock::time_point now);
+  static void promote_due(Mailbox& box, std::chrono::steady_clock::time_point now)
+      AERO_REQUIRES(box.m);
   void deliver(int to, Message msg, std::chrono::microseconds delay);
 
   std::vector<Mailbox> boxes_;
@@ -163,12 +164,12 @@ class RmaWindow {
   }
 
   void put(std::size_t index, double value) {
-    std::lock_guard lock(m_);
+    MutexLock lock(m_);
     data_[index] = value;
   }
 
   std::vector<double> get_all() const {
-    std::lock_guard lock(m_);
+    MutexLock lock(m_);
     return data_;
   }
 
@@ -181,8 +182,8 @@ class RmaWindow {
   }
 
  private:
-  mutable std::mutex m_;
-  std::vector<double> data_;
+  mutable Mutex m_;
+  std::vector<double> data_ AERO_GUARDED_BY(m_);
   std::unique_ptr<std::atomic<std::uint64_t>[]> beats_;
 };
 

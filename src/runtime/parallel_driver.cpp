@@ -4,13 +4,18 @@ namespace aero {
 
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           int nranks,
-                                          const FaultConfig& faults) {
+                                          const FaultConfig& faults,
+                                          ProtocolTrace* trace) {
   ParallelMeshResult result;
   Timer total;
 
   Timer t1;
   result.boundary_layer = build_boundary_layer(config.airfoil, config.blayer);
   result.timings.record("boundary_layer_points", t1.seconds());
+  if (config.phase_hook) {
+    config.phase_hook("boundary_layer",
+                      PhaseArtifacts{&result.boundary_layer, nullptr});
+  }
 
   PoolOptions pool_opts;
   pool_opts.nranks = nranks;
@@ -18,6 +23,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   pool_opts.inviscid_target_triangles = config.inviscid_target_triangles;
   pool_opts.inviscid_max_level = config.inviscid_max_level;
   pool_opts.faults = faults;
+  pool_opts.trace = trace;
 
   // Phase 1 pool: boundary-layer decomposition + triangulation. The sizing
   // is not needed by BL units; pass a placeholder.
@@ -34,6 +40,10 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   // Ring restriction on the gathered mesh (root side).
   restrict_to_ring(result.mesh, result.boundary_layer);
   result.timings.record("boundary_layer_pool", t2.seconds());
+  if (config.phase_hook) {
+    config.phase_hook("boundary_layer_mesh",
+                      PhaseArtifacts{&result.boundary_layer, &result.mesh});
+  }
 
   // Interface + inviscid layout.
   Timer t3;
@@ -57,6 +67,10 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
         run_pool(std::move(initial), domain.sizing, pool_opts, result.mesh);
   }
   result.timings.record("inviscid_pool", t4.seconds());
+  if (config.phase_hook) {
+    config.phase_hook("final_mesh",
+                      PhaseArtifacts{&result.boundary_layer, &result.mesh});
+  }
 
   result.status = worse(result.bl_pool.status, result.inviscid_pool.status);
   result.timings.record("total", total.seconds());

@@ -28,9 +28,12 @@ struct ParallelMeshResult {
 ///
 /// `faults` configures the chaos fabric for the run (disabled by default);
 /// the fault-*tolerance* machinery (CRC framing, acked transfers, watchdog)
-/// is always on.
+/// is always on. A non-null `trace` records both pool passes' protocol
+/// events for audit_protocol(); `config.phase_hook` fires at the same phase
+/// boundaries as in the sequential pipeline.
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           int nranks,
-                                          const FaultConfig& faults = {});
+                                          const FaultConfig& faults = {},
+                                          ProtocolTrace* trace = nullptr);
 
 }  // namespace aero

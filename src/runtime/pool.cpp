@@ -1,15 +1,13 @@
 #include "runtime/pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 
 namespace aero {
 
@@ -17,16 +15,19 @@ namespace {
 
 /// Per-rank shared state between its mesher and communicator threads.
 struct RankState {
-  std::mutex m;
-  std::condition_variable cv;
+  Mutex m;
+  CondVar cv;
   /// Cost-descending priority queue (paper: largest subdomains meshed first,
   /// small ones saved for endgame load balancing).
-  std::multimap<double, WorkUnit, std::greater<>> queue;
-  double queued_cost = 0.0;
-  bool shutdown = false;
+  std::multimap<double, WorkUnit, std::greater<>> queue AERO_GUARDED_BY(m);
+  double queued_cost AERO_GUARDED_BY(m) = 0.0;
+  bool shutdown AERO_GUARDED_BY(m) = false;
   /// Units that exhausted this rank's retries, awaiting a reliable re-queue
   /// to another rank (drained by the communicator thread).
-  std::vector<WorkUnit> retry_outbox;
+  std::vector<WorkUnit> retry_outbox AERO_GUARDED_BY(m);
+  /// Not lock-guarded: owned by the mesher thread until it observes
+  /// `shutdown` (set under `m`, which orders the hand-off), then read by the
+  /// communicator thread for the result gather.
   std::vector<std::array<Vec2, 3>> triangles;
   std::size_t tasks_done = 0;
 };
@@ -62,12 +63,13 @@ struct SharedState {
 
   /// Units escalated to the root-side sequential fallback (meshed after the
   /// pool terminates, outside the fault injector's reach).
-  std::mutex fallback_m;
-  std::vector<WorkUnit> fallback;
+  Mutex fallback_m;
+  std::vector<WorkUnit> fallback AERO_GUARDED_BY(fallback_m);
 
   /// Result gather, keyed by sender rank (deduplicates resends).
-  std::mutex results_m;
-  std::map<int, std::vector<std::array<Vec2, 3>>> results;
+  Mutex results_m;
+  std::map<int, std::vector<std::array<Vec2, 3>>> results
+      AERO_GUARDED_BY(results_m);
 
   std::chrono::steady_clock::time_point deadline;
   const GradedSizing* sizing = nullptr;
@@ -88,6 +90,17 @@ struct SharedState {
     comm.set_fault_injector(&injector);
   }
 };
+
+/// Record one protocol event on the attached trace (no-op when auditing is
+/// off). Every site below mirrors an invariant audit_protocol() checks, so a
+/// new protocol path must record its events or the audit reports it as a
+/// completeness violation.
+void trace_event(SharedState& shared, ProtocolEvent::Kind kind,
+                 std::uint64_t id, int rank = -1, int peer = -1) {
+  if (shared.opts->trace != nullptr) {
+    shared.opts->trace->record(kind, id, rank, peer);
+  }
+}
 
 /// Work acknowledgements carry the transfer nonce plus a CRC so a corrupted
 /// ack cannot erase the wrong in-flight entry (nonces are small integers; a
@@ -153,7 +166,7 @@ WorkUnit frame_unit(const std::vector<std::uint8_t>& b) {
 void push_local(SharedState& shared, RankState& rs, WorkUnit unit) {
   const double c = unit.cost(*shared.sizing);
   {
-    std::lock_guard lock(rs.m);
+    MutexLock lock(rs.m);
     rs.queue.emplace(c, std::move(unit));
     rs.queued_cost += c;
   }
@@ -271,12 +284,14 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
       shared.outstanding.fetch_add(static_cast<long>(children.size()));
       for (auto& c : children) {
         c.id = shared.next_unit_id.fetch_add(1);
+        trace_event(shared, ProtocolEvent::Kind::kUnitCreated, c.id, rank);
         push_local(shared, rs, std::move(c));
       }
     }
     rs.triangles.insert(rs.triangles.end(), triangles.begin(),
                         triangles.end());
     ++rs.tasks_done;
+    trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, rank);
     complete_unit(shared);
     return;
   }
@@ -287,13 +302,14 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
     // Hand to our communicator for a reliable (acked) re-queue; the unit
     // stays outstanding until its new host completes it.
     {
-      std::lock_guard lock(rs.m);
+      MutexLock lock(rs.m);
       rs.retry_outbox.push_back(std::move(unit));
     }
     rs.cv.notify_one();
   } else {
+    trace_event(shared, ProtocolEvent::Kind::kUnitFallback, unit.id, rank);
     {
-      std::lock_guard lock(shared.fallback_m);
+      MutexLock lock(shared.fallback_m);
       shared.fallback.push_back(std::move(unit));
     }
     complete_unit(shared);
@@ -307,8 +323,8 @@ void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
   while (true) {
     WorkUnit unit;
     {
-      std::unique_lock lock(rs.m);
-      rs.cv.wait(lock, [&rs] { return rs.shutdown || !rs.queue.empty(); });
+      UniqueLock lock(rs.m);
+      while (!rs.shutdown && rs.queue.empty()) lock.wait(rs.cv);
       if (shared.abort.load()) return;
       if (rs.queue.empty()) {
         if (rs.shutdown) return;
@@ -348,7 +364,7 @@ void root_accept_result(SharedState& shared, const Message& msg) {
     return;  // sender retransmits an intact copy
   }
   {
-    std::lock_guard lock(shared.results_m);
+    MutexLock lock(shared.results_m);
     if (shared.results.emplace(msg.from, std::move(tris)).second) {
       shared.result_bytes.fetch_add(msg.payload.size());
     }
@@ -363,8 +379,9 @@ void dispatch_retry(SharedState& shared, int rank, WorkUnit unit,
   const PoolOptions& opts = *shared.opts;
   const int dest = pick_retry_rank(shared, rank, unit.failed_ranks);
   if (dest < 0) {
+    trace_event(shared, ProtocolEvent::Kind::kUnitFallback, unit.id, rank);
     {
-      std::lock_guard lock(shared.fallback_m);
+      MutexLock lock(shared.fallback_m);
       shared.fallback.push_back(std::move(unit));
     }
     complete_unit(shared);
@@ -374,6 +391,8 @@ void dispatch_retry(SharedState& shared, int rank, WorkUnit unit,
   shared.requeues.fetch_add(1);
   shared.transfer_bytes.fetch_add(unit_bytes.size());
   const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+  trace_event(shared, ProtocolEvent::Kind::kUnitRequeued, unit.id, rank, dest);
+  trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank, dest);
   auto frame = make_frame(nonce, unit_bytes);
   auto copy = frame;
   in_flight[nonce] =
@@ -406,7 +425,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
           // Donate the largest queued unit if we can spare it.
           std::optional<WorkUnit> donation;
           {
-            std::lock_guard lock(rs.m);
+            MutexLock lock(rs.m);
             if (rs.queue.size() > 1 &&
                 rs.queued_cost > opts.steal_threshold) {
               auto it = rs.queue.begin();
@@ -420,6 +439,8 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
             shared.transfer_bytes.fetch_add(unit_bytes.size());
             shared.steals.fetch_add(1);
             const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+            trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank,
+                        msg->from);
             auto frame = make_frame(nonce, unit_bytes);
             auto copy = frame;
             in_flight[nonce] =
@@ -448,14 +469,27 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
             shared.crc_failures.fetch_add(1);
             break;  // sender retransmits an intact copy
           }
+          // Record the accept/duplicate verdict BEFORE the ack leaves: the
+          // sender records kAckMatched on receipt, and the audit requires
+          // the accept to precede its ack in the trace's total order.
+          const bool fresh = seen_frames.insert(*nonce).second;
+          trace_event(shared,
+                      fresh ? ProtocolEvent::Kind::kAccept
+                            : ProtocolEvent::Kind::kDuplicate,
+                      *nonce, rank, msg->from);
           shared.comm.send(rank, msg->from, kTagWorkAck, make_ack(*nonce));
-          if (!seen_frames.insert(*nonce).second) break;  // duplicate
+          if (!fresh) break;
           push_local(shared, rs, std::move(unit));
           requested = false;
           break;
         }
         case kTagWorkAck: {
-          if (const auto id = parse_ack(msg->payload)) in_flight.erase(*id);
+          if (const auto id = parse_ack(msg->payload)) {
+            if (in_flight.erase(*id) > 0) {
+              trace_event(shared, ProtocolEvent::Kind::kAckMatched, *id, rank,
+                          msg->from);
+            }
+          }
           break;
         }
         case kTagNoWork:
@@ -484,6 +518,8 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         if (now < f.deadline) {
           ++it;
         } else if (shared.dead[static_cast<std::size_t>(f.dest)].load()) {
+          trace_event(shared, ProtocolEvent::Kind::kRecovered, it->first, rank,
+                      f.dest);
           recovered.push_back(std::move(f));
           it = in_flight.erase(it);
         } else {
@@ -510,7 +546,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     {
       std::vector<WorkUnit> outbox;
       {
-        std::lock_guard lock(rs.m);
+        MutexLock lock(rs.m);
         outbox.swap(rs.retry_outbox);
       }
       for (WorkUnit& u : outbox) {
@@ -522,7 +558,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
       last_update = now;
       double cost;
       {
-        std::lock_guard lock(rs.m);
+        MutexLock lock(rs.m);
         cost = rs.queued_cost;
       }
       shared.window.put(static_cast<std::size_t>(rank), cost);
@@ -556,9 +592,12 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
 
   // Shutdown phase. Any in-flight residue is ack loss on completed work:
   // termination implies every unit completed, so nothing is retransmitted.
+  for (const auto& [nonce, f] : in_flight) {
+    trace_event(shared, ProtocolEvent::Kind::kAbandoned, nonce, rank, f.dest);
+  }
   in_flight.clear();
   {
-    std::lock_guard lock(rs.m);
+    MutexLock lock(rs.m);
     rs.shutdown = true;
   }
   rs.cv.notify_all();
@@ -569,7 +608,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     while (!shared.abort.load()) {
       bool complete = true;
       {
-        std::lock_guard lock(shared.results_m);
+        MutexLock lock(shared.results_m);
         for (int r = 1; r < shared.comm.size(); ++r) {
           if (shared.dead[static_cast<std::size_t>(r)].load()) continue;
           if (shared.results.find(r) == shared.results.end()) {
@@ -651,7 +690,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
       shared.abort.store(true);
       for (auto& rs : ranks) {
         {
-          std::lock_guard lock(rs.m);
+          MutexLock lock(rs.m);
           rs.shutdown = true;
         }
         rs.cv.notify_all();
@@ -697,7 +736,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
         RankState& dr = ranks[ri];
         std::vector<WorkUnit> orphans;
         {
-          std::lock_guard lock(dr.m);
+          MutexLock lock(dr.m);
           for (auto& kv : dr.queue) orphans.push_back(std::move(kv.second));
           dr.queue.clear();
           dr.queued_cost = 0.0;
@@ -706,6 +745,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
         dr.cv.notify_all();
         shared.reclaimed.fetch_add(orphans.size());
         for (WorkUnit& u : orphans) {
+          trace_event(shared, ProtocolEvent::Kind::kUnitReclaimed, u.id, r);
           push_local(shared, ranks[0], std::move(u));
         }
       }
@@ -727,6 +767,7 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     return stats;
   }
   Timer timer;
+  if (opts.trace != nullptr) opts.trace->begin_run();
 
   SharedState shared(opts);
   shared.sizing = &sizing;
@@ -737,6 +778,7 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   std::vector<RankState> ranks(static_cast<std::size_t>(opts.nranks));
   for (auto& unit : initial) {
     unit.id = shared.next_unit_id.fetch_add(1);
+    trace_event(shared, ProtocolEvent::Kind::kUnitCreated, unit.id, 0);
     push_local(shared, ranks[0], std::move(unit));
   }
 
@@ -756,7 +798,7 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   std::size_t lost_units = 0;
   std::vector<WorkUnit> fallback;
   {
-    std::lock_guard lock(shared.fallback_m);
+    MutexLock lock(shared.fallback_m);
     fallback.swap(shared.fallback);
   }
   stats.fallback_units = fallback.size();
@@ -769,10 +811,13 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
       expand_unit(sizing, opts, unit, children, triangles);
     } catch (...) {
       ++lost_units;  // genuinely unmeshable, not an injected fault
+      trace_event(shared, ProtocolEvent::Kind::kUnitLost, unit.id, 0);
       continue;
     }
+    trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, 0);
     for (auto& c : children) {
       c.id = shared.next_unit_id.fetch_add(1);
+      trace_event(shared, ProtocolEvent::Kind::kUnitCreated, c.id, 0);
       fallback.push_back(std::move(c));
     }
     ranks[0].triangles.insert(ranks[0].triangles.end(), triangles.begin(),
@@ -784,7 +829,7 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     out.add_triangle(tri[0], tri[1], tri[2]);
   }
   {
-    std::lock_guard lock(shared.results_m);
+    MutexLock lock(shared.results_m);
     for (const auto& [from, tris] : shared.results) {
       for (const auto& tri : tris) {
         out.add_triangle(tri[0], tri[1], tri[2]);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <vector>
 
+#include "check/protocol_trace.hpp"
 #include "core/merged_mesh.hpp"
 #include "core/run_status.hpp"
 #include "runtime/comm.hpp"
@@ -38,6 +39,10 @@ struct PoolOptions {
   /// Global bound on the whole run (including the result gather). When it
   /// expires the pool is force-terminated and reports RunStatus::kFailed.
   std::chrono::seconds watchdog_timeout{120};
+
+  /// Optional protocol event recorder (audit_protocol replays it). Off by
+  /// default; recording takes one short lock per protocol event.
+  ProtocolTrace* trace = nullptr;
 };
 
 /// Statistics of a pool run.

@@ -1,0 +1,349 @@
+#!/usr/bin/env python3
+"""aerolint: in-tree static guardrails for the aeromesh library sources.
+
+Dependency-free (stdlib only). Lints every .hpp/.cpp under src/ for the
+project-specific rules that generic tools cannot know:
+
+  geom-predicates  Floating-point orientation/incircle arithmetic (sign tests
+                   of cross products, inline 2x2 determinants) belongs in
+                   src/geom/ behind the exact predicates, nowhere else.
+  determinism      No rand()/srand(), std::random_device, time(), or
+                   system_clock::now in the library: meshes must be
+                   bit-reproducible across runs (seeded engines are fine).
+  no-stdout        Library code never prints to stdout (std::cout/printf);
+                   diagnostics go through return values or stderr. The CLI
+                   entry point is the only exempt file.
+  naked-new        No naked new/delete; use containers or smart pointers
+                   (`= delete` declarations and placement forms are fine).
+  runtime-throw    src/runtime/ throws only at allowlisted sites: every other
+                   throw risks crossing the communicator thread boundary
+                   where nothing catches it and std::terminate kills the run.
+  layering         #include edges between src/ modules must follow the
+                   dependency DAG below; no cycles, no upward includes.
+
+A line may opt out of one rule with an inline escape comment:
+
+    some_code();  // aerolint: allow(rule-name)
+
+Usage:
+    aerolint.py <repo-root>     lint the tree (exit 0 clean, 1 violations)
+    aerolint.py --self-test     prove each rule fires on a seeded violation
+"""
+
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Module dependency DAG: src/<module> -> modules it may #include from.
+# Every module may include itself; anything absent here (or an edge not
+# listed) is a layering violation. Keep this in sync with DESIGN.md.
+ALLOWED_DEPS = {
+    "geom": set(),
+    "spatial": {"geom"},
+    "airfoil": {"geom"},
+    "delaunay": {"geom"},
+    "hull": {"delaunay", "geom"},
+    "inviscid": {"delaunay", "geom"},
+    "blayer": {"airfoil", "geom", "spatial"},
+    "core": {"airfoil", "blayer", "delaunay", "geom", "hull", "inviscid",
+             "spatial"},
+    "io": {"core", "delaunay"},
+    "check": {"blayer", "core", "delaunay", "geom"},
+    "runtime": {"check", "core", "hull", "inviscid", "io"},
+    "solver": {"airfoil", "core", "geom"},
+}
+
+# Files exempt from per-rule checks. cli_main.cpp is the application layer:
+# it wires every module together and owns the terminal, so layering and
+# stdout rules do not apply to it.
+APP_FILES = {os.path.join("src", "core", "cli_main.cpp")}
+
+# Throws permitted in src/runtime/: (file basename, regex over the line).
+# Everything here is thrown on the mesher thread or before threads start,
+# inside an established catch scope (see pool.cpp process_unit / run_pool).
+RUNTIME_THROW_ALLOW = [
+    ("comm.cpp", r"std::invalid_argument"),
+    ("work.cpp", r'std::runtime_error\("work unit payload'),
+    ("pool.cpp", r'std::runtime_error\("injected unit fault"\)'),
+]
+
+ESCAPE_RE = re.compile(r"//\s*aerolint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_code(raw, in_block):
+    """Return (code, in_block): the line with string/char literals and
+    comments blanked out, preserving length where convenient. `in_block`
+    tracks /* */ state across lines."""
+    out = []
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        if in_block:
+            if raw.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if raw.startswith("//", i):
+            break
+        if raw.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and raw[i] != quote:
+                i += 2 if raw[i] == "\\" else 1
+            i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+# ---------------------------------------------------------------------------
+# Rules: name -> (applies(relpath), check(code) -> message or None).
+
+CROSS_SIGN_RE = re.compile(r"\.cross\([^;]*\)\s*(==|!=|<=|>=|<|>)\s*")
+INLINE_DET_RE = re.compile(
+    r"\)\s*\*\s*\([^)]*\.y\b[^)]*\)\s*-\s*\([^)]*\.y\b[^)]*\)\s*\*\s*\(")
+DETERMINISM_RE = re.compile(
+    r"\b(rand|srand)\s*\(|std::random_device|system_clock::now"
+    r"|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)")
+STDOUT_RE = re.compile(r"std::cout\b|(?<![\w.>])printf\s*\(")
+NEW_RE = re.compile(r"(?<!\boperator )\bnew\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"(?<![=\w] )\bdelete(\[\])?\s+[A-Za-z_*(]")
+THROW_RE = re.compile(r"\bthrow\s+[A-Za-z_:]")
+
+
+def in_module(relpath, module):
+    return relpath.startswith(os.path.join("src", module) + os.sep)
+
+
+def check_geom_predicates(relpath, code, raw):
+    if in_module(relpath, "geom"):
+        return None
+    if CROSS_SIGN_RE.search(code):
+        return ("sign test of a floating-point cross product; use the exact "
+                "predicates in geom/predicates.hpp")
+    if INLINE_DET_RE.search(code):
+        return ("inline 2x2 determinant; orientation arithmetic belongs in "
+                "src/geom/ behind exact predicates")
+    return None
+
+
+def check_determinism(relpath, code, raw):
+    m = DETERMINISM_RE.search(code)
+    if m:
+        return ("non-deterministic source '%s'; meshes must be reproducible "
+                "(use a seeded engine)" % m.group(0).strip())
+    return None
+
+
+def check_no_stdout(relpath, code, raw):
+    if relpath in APP_FILES:
+        return None
+    if STDOUT_RE.search(code):
+        return "library code must not print to stdout (std::cout/printf)"
+    return None
+
+
+def check_naked_new(relpath, code, raw):
+    if NEW_RE.search(code):
+        return "naked 'new'; use containers or std::make_unique"
+    if DELETE_RE.search(code):
+        return "naked 'delete'; use containers or smart pointers"
+    return None
+
+
+def check_runtime_throw(relpath, code, raw):
+    if not in_module(relpath, "runtime"):
+        return None
+    if not THROW_RE.search(code):
+        return None
+    # The allowlist patterns name the thrown message, so match the raw line
+    # (string literals are blanked out of `code`).
+    base = os.path.basename(relpath)
+    for allowed_base, pattern in RUNTIME_THROW_ALLOW:
+        if base == allowed_base and re.search(pattern, raw):
+            return None
+    return ("throw in src/runtime/ outside the allowlist; an exception that "
+            "crosses the communicator thread boundary calls std::terminate")
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s+"([A-Za-z0-9_]+)/')
+
+
+def check_layering(relpath, code, raw):
+    if relpath in APP_FILES:
+        return None
+    parts = relpath.split(os.sep)
+    if len(parts) < 3 or parts[0] != "src":
+        return None
+    module = parts[1]
+    # Include targets live inside string literals, so scan the raw line (but
+    # only when the stripped line shows a real preprocessor directive, so a
+    # quoted example inside a comment cannot fire).
+    if not code.lstrip().startswith("#"):
+        return None
+    m = INCLUDE_RE.search(raw)
+    if not m:
+        return None
+    target = m.group(1)
+    if target == module or target not in ALLOWED_DEPS:
+        return None
+    if target not in ALLOWED_DEPS.get(module, set()):
+        return ("module '%s' may not include from '%s' (allowed: %s)"
+                % (module, target,
+                   ", ".join(sorted(ALLOWED_DEPS.get(module, set()))) or
+                   "nothing"))
+    return None
+
+
+RULES = [
+    ("geom-predicates", check_geom_predicates),
+    ("determinism", check_determinism),
+    ("no-stdout", check_no_stdout),
+    ("naked-new", check_naked_new),
+    ("runtime-throw", check_runtime_throw),
+    ("layering", check_layering),
+]
+
+
+def lint_lines(relpath, lines):
+    """Yield (lineno, rule, message) violations for one file's lines."""
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        code, in_block = strip_code(raw, in_block)
+        escapes = set(ESCAPE_RE.findall(raw))
+        for rule, check in RULES:
+            if rule in escapes:
+                continue
+            msg = check(relpath, code, raw)
+            if msg is not None:
+                yield (lineno, rule, msg)
+
+
+def lint_tree(root):
+    violations = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith((".hpp", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            relpath = os.path.relpath(path, root)
+            with open(path, "r", encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            for lineno, rule, msg in lint_lines(relpath, lines):
+                violations.append("%s:%d: [%s] %s"
+                                  % (relpath, lineno, rule, msg))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every rule class must fire on a seeded violation, stay quiet on
+# the matching clean line, and honor the inline escape.
+
+SEEDED = [
+    # (rule, relpath it is checked under, violating line, clean counterpart)
+    ("geom-predicates", os.path.join("src", "hull", "x.cpp"),
+     "if (ab.cross(ac) > 0) {",
+     "const double w = ab.cross(ac);"),
+    ("geom-predicates", os.path.join("src", "blayer", "x.cpp"),
+     "double d = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);",
+     "double d = orient2d(a, b, c);"),
+    ("determinism", os.path.join("src", "core", "x.cpp"),
+     "int r = rand() % 7;",
+     "int r = engine() % 7;"),
+    ("determinism", os.path.join("src", "runtime", "x.cpp"),
+     "std::random_device rd;",
+     "std::mt19937_64 rd(seed);"),
+    ("determinism", os.path.join("src", "io", "x.cpp"),
+     "auto t = std::chrono::system_clock::now();",
+     "auto t = std::chrono::steady_clock::now();"),
+    ("no-stdout", os.path.join("src", "delaunay", "x.cpp"),
+     'std::cout << "tris: " << n;',
+     'std::snprintf(buf, sizeof(buf), "tris: %zu", n);'),
+    ("no-stdout", os.path.join("src", "io", "x.cpp"),
+     'printf("done\\n");',
+     'std::fprintf(stderr, "done\\n");'),
+    ("naked-new", os.path.join("src", "spatial", "x.cpp"),
+     "Node* n = new Node(k);",
+     "auto n = std::make_unique<Node>(k);"),
+    ("naked-new", os.path.join("src", "spatial", "x.cpp"),
+     "delete node;",
+     "Tree(const Tree&) = delete;"),
+    ("runtime-throw", os.path.join("src", "runtime", "x.cpp"),
+     'throw std::logic_error("bad state");',
+     'throw_flag = true;'),
+    ("layering", os.path.join("src", "geom", "x.hpp"),
+     '#include "delaunay/mesh.hpp"',
+     '#include "geom/vec2.hpp"'),
+    ("layering", os.path.join("src", "core", "x.cpp"),
+     '#include "runtime/pool.hpp"',
+     '#include "hull/subdomain.hpp"'),
+]
+
+
+def self_test():
+    failures = []
+    for rule, relpath, bad, good in SEEDED:
+        hits = [r for (_ln, r, _m) in lint_lines(relpath, [bad])]
+        if rule not in hits:
+            failures.append("rule %s did not fire on: %s" % (rule, bad))
+        hits = [r for (_ln, r, _m) in lint_lines(relpath, [good])]
+        if rule in hits:
+            failures.append("rule %s false-positived on: %s" % (rule, good))
+        escaped = bad + "  // aerolint: allow(%s)" % rule
+        hits = [r for (_ln, r, _m) in lint_lines(relpath, [escaped])]
+        if rule in hits:
+            failures.append("escape comment did not suppress %s" % rule)
+    # Comment/string stripping: keywords inside comments and literals are not
+    # code and must never fire.
+    quiet = [
+        "// spawns new units dynamically",
+        "/* delete the old ring */",
+        'log("rand() is banned");',
+    ]
+    for line in quiet:
+        hits = [r for (_ln, r, _m)
+                in lint_lines(os.path.join("src", "core", "x.cpp"), [line])]
+        if hits:
+            failures.append("fired %s inside comment/string: %s"
+                            % (hits, line))
+    if failures:
+        for f in failures:
+            sys.stderr.write("aerolint self-test FAIL: %s\n" % f)
+        return 1
+    sys.stderr.write("aerolint self-test: %d seeded violations, all rules "
+                     "fire and all escapes hold\n" % len(SEEDED))
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    root = argv[1]
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write("aerolint: no src/ under %s\n" % root)
+        return 2
+    violations = lint_tree(root)
+    for v in violations:
+        sys.stderr.write(v + "\n")
+    if violations:
+        sys.stderr.write("aerolint: %d violation(s)\n" % len(violations))
+        return 1
+    sys.stderr.write("aerolint: clean\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

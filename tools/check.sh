@@ -1,0 +1,29 @@
+#!/bin/sh
+# One-shot local gate: everything CI runs, in dependency order. Fails fast.
+#
+#   1. configure + build (compile_commands.json exported for tidy)
+#   2. aerolint (project-specific static rules) + its self-test
+#   3. the full ctest suite (unit, pipeline, runtime, audit tests)
+#   4. clang-tidy profile (no-op when clang-tidy is absent)
+#
+# Usage: tools/check.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+echo "== configure + build"
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j"$(nproc)"
+
+echo "== aerolint"
+python3 "$repo_root/tools/aerolint.py" --self-test
+python3 "$repo_root/tools/aerolint.py" "$repo_root"
+
+echo "== ctest"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+
+echo "== clang-tidy"
+"$repo_root/tools/run_tidy.sh" "$build_dir"
+
+echo "check: all gates passed"

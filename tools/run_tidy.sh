@@ -1,0 +1,26 @@
+#!/bin/sh
+# Run clang-tidy (profile: .clang-tidy) over every library/test source using
+# the exported compile database. A quiet no-op when clang-tidy is not
+# installed, so CI images without LLVM still pass tools/check.sh.
+#
+# Usage: tools/run_tidy.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy: clang-tidy not found; skipping (install LLVM to enable)"
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing; configure first" >&2
+  exit 2
+fi
+
+# Library and test sources only; generated/external code is excluded by the
+# compile database itself (we list our own files explicitly).
+files=$(find "$repo_root/src" "$repo_root/tests" -name '*.cpp' | sort)
+# shellcheck disable=SC2086  # word-splitting of the file list is intended
+clang-tidy -p "$build_dir" --quiet $files
+echo "run_tidy: clean"
