@@ -13,7 +13,7 @@
 
 #include "blayer/boundary_layer.hpp"
 #include "hull/subdomain.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 #include "runtime/cluster_model.hpp"
 
 using namespace aero;

@@ -11,7 +11,7 @@
 
 #include "blayer/boundary_layer.hpp"
 #include "hull/subdomain.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 
 using namespace aero;
 

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "inviscid/decouple.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 
 using namespace aero;
 

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "core/mesh_generator.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 #include "runtime/pool.hpp"
 
 int main() {

@@ -7,7 +7,7 @@
 
 #include "blayer/boundary_layer.hpp"
 #include "geom/segment.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 
 using namespace aero;
 

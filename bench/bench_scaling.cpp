@@ -25,10 +25,13 @@
 #include <vector>
 #include <string_view>
 
+#include "core/timer.hpp"
+#include "obs/bench_report.hpp"
 #include "runtime/cluster_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace aero;
+  Timer bench_wall;
 
   // --big roughly quadruples the measured mesh (slower, sharper curves).
   const bool big = argc > 1 && std::string_view(argv[1]) == "--big";
@@ -81,7 +84,8 @@ int main(int argc, char** argv) {
     std::printf("%s\n", title);
     std::printf("%8s %12s %10s %12s %8s  %s\n", "ranks", "makespan(s)",
                 "speedup", "efficiency", "steals", "paper (speedup/eff)");
-    for (const SimResult& r : strong_scaling_sweep(g, ranks, ClusterOptions{})) {
+    const auto sweep = strong_scaling_sweep(g, ranks, ClusterOptions{});
+    for (const SimResult& r : sweep) {
       const char* paper = "";
       if (r.ranks == 128) paper = "~102 / ~80%";
       if (r.ranks == 256) paper = "~180 / ~70%";
@@ -90,9 +94,11 @@ int main(int argc, char** argv) {
                   r.steals, paper);
     }
     std::printf("\n");
+    return sweep;
   };
 
-  print_sweep(graph, "Figure 11/12 (as measured, laptop-scale mesh):");
+  const auto measured =
+      print_sweep(graph, "Figure 11/12 (as measured, laptop-scale mesh):");
 
   // Paper-scale extrapolation: the paper's fixed mesh divided by ours.
   // Task costs scale with the triangles they produce; payloads scale with
@@ -112,6 +118,31 @@ int main(int argc, char** argv) {
   for (double& s : scaled.distributable_before) s *= scale;
   std::printf("paper-scale factor: x%.0f (measured ~%.0f estimated "
               "triangles -> 172.77M)\n\n", scale, measured_triangles);
-  print_sweep(scaled, "Figure 11/12 (paper scale, 172.77M triangles):");
+  const auto paper_scale =
+      print_sweep(scaled, "Figure 11/12 (paper scale, 172.77M triangles):");
+
+  obs::BenchReport report;
+  report.bench = "bench_scaling";
+  report.case_name = big ? "three-element-600" : "three-element-400";
+  report.ranks = 256;
+  report.wall_ms = 1000.0 * bench_wall.seconds();
+  report.counters.emplace_back("tasks", static_cast<double>(graph.nodes.size()));
+  report.counters.emplace_back("total_work_s", graph.total_seconds());
+  report.counters.emplace_back("measured_triangles", measured_triangles);
+  for (const SimResult& r : measured) {
+    if (r.ranks == 128 || r.ranks == 256) {
+      report.counters.emplace_back(
+          "speedup_measured_" + std::to_string(r.ranks), r.speedup);
+    }
+  }
+  for (const SimResult& r : paper_scale) {
+    if (r.ranks == 128 || r.ranks == 256) {
+      report.counters.emplace_back(
+          "speedup_paper_scale_" + std::to_string(r.ranks), r.speedup);
+    }
+  }
+  if (write_bench_json(report, "BENCH_scaling.json")) {
+    std::printf("wrote BENCH_scaling.json\n");
+  }
   return 0;
 }

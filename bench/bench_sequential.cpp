@@ -14,10 +14,12 @@
 #include "delaunay/triangulator.hpp"
 #include <unordered_map>
 
-#include "io/timer.hpp"
+#include "core/timer.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace aero;
+  Timer bench_wall;
 
   MeshGeneratorConfig config;
   config.airfoil = make_three_element(400);
@@ -122,5 +124,24 @@ int main() {
   std::printf("sequential efficiency (reference / pipeline): %.1f%%   "
               "[paper: ~98%% (192 s vs 196 s)]\n",
               100.0 * t_reference / t_pipeline);
+
+  obs::BenchReport report;
+  report.bench = "bench_sequential";
+  report.case_name = "three-element-400";
+  report.ranks = 1;
+  report.wall_ms = 1000.0 * bench_wall.seconds();
+  report.counters = {
+      {"cloud_points", static_cast<double>(bl.points.size())},
+      {"bl_direct_s", t_direct},
+      {"bl_decomposed_s", t_decomposed},
+      {"reference_s", t_reference},
+      {"pipeline_s", t_pipeline},
+      {"pipeline_triangles",
+       static_cast<double>(full.mesh.triangle_count())},
+      {"sequential_efficiency_pct", 100.0 * t_reference / t_pipeline},
+  };
+  if (write_bench_json(report, "BENCH_sequential.json")) {
+    std::printf("wrote BENCH_sequential.json\n");
+  }
   return 0;
 }

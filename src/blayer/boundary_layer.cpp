@@ -3,25 +3,37 @@
 #include <cmath>
 
 #include "geom/segment.hpp"
+#include "obs/trace.hpp"
 
 namespace aero {
 
 BoundaryLayer build_boundary_layer(const AirfoilConfig& config,
                                    const BoundaryLayerOptions& opts) {
+  AERO_TRACE_SPAN("blayer", "build_boundary_layer");
   BoundaryLayer bl;
 
   std::vector<ElementRays> elements;
   elements.reserve(config.elements.size());
-  for (std::uint32_t e = 0; e < config.elements.size(); ++e) {
-    elements.push_back(build_rays(config.elements[e], opts, e, &bl.stats));
-    bl.hole_seeds.push_back(config.elements[e].interior_point());
+  {
+    AERO_TRACE_SPAN("blayer", "build_rays");
+    for (std::uint32_t e = 0; e < config.elements.size(); ++e) {
+      elements.push_back(build_rays(config.elements[e], opts, e, &bl.stats));
+      bl.hole_seeds.push_back(config.elements[e].interior_point());
+    }
   }
 
-  for (auto& er : elements) {
-    resolve_self_intersections(er, opts, &bl.stats);
+  {
+    AERO_TRACE_SPAN("blayer", "resolve_self_intersections");
+    for (auto& er : elements) {
+      resolve_self_intersections(er, opts, &bl.stats);
+    }
   }
-  resolve_multi_element_intersections(elements, opts, &bl.stats);
+  {
+    AERO_TRACE_SPAN("blayer", "resolve_multi_element_intersections");
+    resolve_multi_element_intersections(elements, opts, &bl.stats);
+  }
 
+  AERO_TRACE_SPAN("blayer", "assemble_cloud");
   for (const auto& er : elements) {
     bl.surfaces.push_back(er.surface);
 

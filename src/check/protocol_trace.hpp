@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/annotations.hpp"
+#include "obs/annotations.hpp"
 
 namespace aero {
 

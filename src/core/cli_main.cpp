@@ -27,8 +27,18 @@
 //                             trace when combined with --ranks); audits are
 //                             read-only, so the mesh is identical to a
 //                             non-audit run
+//   --trace FILE              record an execution timeline and write it as
+//                             Chrome trace_event JSON (open chrome://tracing
+//                             or ui.perfetto.dev); observation-only, the
+//                             mesh is bit-identical to an untraced run
+//   --metrics FILE            write metrics.json: every named counter/gauge/
+//                             histogram plus the per-rank load-balance table
+//                             (busy/comm/idle time, units, steals) when
+//                             combined with --ranks
 //   --output BASE             output basename (default "mesh")
 //   --format vtk|node-ele|binary|all   (default vtk)
+//
+// Long options also accept --name=value syntax (e.g. --trace=run.json).
 //
 // Exit codes: 0 success; 1 non-manifold mesh; 2 usage error; 3 partial or
 // failed parallel run (watchdog/lost results); 4 pipeline exception; 5 an
@@ -44,6 +54,8 @@
 #include "check/audit.hpp"
 #include "core/mesh_generator.hpp"
 #include "io/mesh_io.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/parallel_driver.hpp"
 
 namespace {
@@ -57,6 +69,7 @@ using namespace aero;
                "  [--growth-ratio R] [--growth geometric|polynomial|adaptive]\n"
                "  [--max-layers N] [--farfield C] [--grade G] [--ranks P]\n"
                "  [--fault-rate R] [--fault-seed S] [--audit]\n"
+               "  [--trace FILE] [--metrics FILE]\n"
                "  [--output BASE] [--format vtk|node-ele|binary|all]\n",
                argv0);
   std::exit(2);
@@ -127,16 +140,23 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0;
   bool audit = false;
+  std::string trace_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--audit") == 0) {
       audit = true;
       continue;
     }
-    const auto arg = [&](const char* name) {
-      if (std::strcmp(argv[i], name) != 0) return static_cast<const char*>(nullptr);
+    // Value-taking option, in "--name value" or "--name=value" form.
+    const auto arg = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
       if (i + 1 >= argc) usage(argv[0]);
-      return static_cast<const char*>(argv[++i]);
+      return argv[++i];
     };
     if (const char* v = arg("--geometry")) {
       geometry = v;
@@ -165,6 +185,10 @@ int main(int argc, char** argv) {
       fault_rate = std::strtod(v, nullptr);
     } else if (const char* v = arg("--fault-seed")) {
       fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = arg("--trace")) {
+      trace_path = v;
+    } else if (const char* v = arg("--metrics")) {
+      metrics_path = v;
     } else if (const char* v = arg("--output")) {
       output = v;
     } else if (const char* v = arg("--format")) {
@@ -173,6 +197,7 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+  config.trace.enabled = !trace_path.empty();
 
   if (!poly_path.empty()) {
     config.airfoil = load_poly_geometry(poly_path);
@@ -205,6 +230,7 @@ int main(int argc, char** argv) {
   PhaseTimings timings;
   RunStatus status = RunStatus::kOk;
   ProtocolTrace trace;
+  std::vector<obs::RankLoad> load_rows;
   std::size_t audit_defects = 0;
   if (audit) {
     // Deep invariant audits at every phase boundary. Read-only: the mesh of
@@ -235,6 +261,7 @@ int main(int argc, char** argv) {
       mesh = std::move(r.mesh);
       timings = r.timings;
       status = r.status;
+      load_rows = rank_loads(r);
       std::printf("pool steals: %zu (bl) + %zu (inviscid)\n", r.bl_pool.steals,
                   r.inviscid_pool.steals);
       if (faults.enabled) {
@@ -283,6 +310,36 @@ int main(int argc, char** argv) {
               conf.manifold ? "yes" : "NO");
   for (const auto& [phase, sec] : timings.entries()) {
     std::printf("  %-32s %8.3f s\n", phase.c_str(), sec);
+  }
+
+  {
+    // Mesh- and phase-level metrics, published whether or not they are
+    // exported (recording is cheap; the registry is process-global).
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.gauge("mesh.triangles").set(static_cast<double>(stats.triangles));
+    reg.gauge("mesh.vertices").set(static_cast<double>(stats.vertices));
+    reg.gauge("mesh.min_angle_deg").set(stats.min_angle_deg);
+    for (const auto& [phase, sec] : timings.entries()) {
+      reg.gauge("phase." + phase + "_seconds").set(sec);
+    }
+  }
+  if (!trace_path.empty()) {
+    if (obs::write_chrome_trace(obs::TraceRecorder::global(), trace_path)) {
+      std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (obs::write_metrics_json(obs::MetricsRegistry::global(), load_rows,
+                                metrics_path)) {
+      std::printf("wrote %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
   }
 
   if (format == "vtk" || format == "all") {

@@ -197,19 +197,29 @@ InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
 
 MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
   MeshGenerationResult result;
+  obs::apply(config.trace);
+  AERO_TRACE_THREAD("pipeline", -1);
+  AERO_TRACE_SPAN("pipeline", "generate_mesh");
   Timer total;
 
   // Stage 1: anisotropic boundary layer (rays, fans, intersections, points).
   Timer t1;
-  result.boundary_layer = build_boundary_layer(config.airfoil, config.blayer);
+  {
+    AERO_TRACE_SPAN("pipeline", "boundary_layer_points");
+    result.boundary_layer =
+        build_boundary_layer(config.airfoil, config.blayer);
+  }
   result.timings.record("boundary_layer_points", t1.seconds());
   notify_phase(config, "boundary_layer", &result.boundary_layer, nullptr);
 
   // Stage 2: parallel-decomposed boundary-layer triangulation.
   Timer t3;
-  triangulate_boundary_layer(result.boundary_layer, config.bl_decompose,
-                             result.mesh, &result.bl_subdomains,
-                             &result.bl_task_seconds);
+  {
+    AERO_TRACE_SPAN("pipeline", "boundary_layer_triangulation");
+    triangulate_boundary_layer(result.boundary_layer, config.bl_decompose,
+                               result.mesh, &result.bl_subdomains,
+                               &result.bl_task_seconds);
+  }
   result.bl_triangles = result.mesh.triangle_count();
   result.timings.record("boundary_layer_triangulation", t3.seconds());
   notify_phase(config, "boundary_layer_mesh", &result.boundary_layer,
@@ -217,32 +227,40 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
 
   // Stage 3: inviscid domain layout around the boundary-layer mesh.
   Timer t2;
-  const InviscidDomain domain =
-      make_inviscid_domain(result.boundary_layer, config, result.mesh);
+  const InviscidDomain domain = [&] {
+    AERO_TRACE_SPAN("pipeline", "inviscid_layout");
+    return make_inviscid_domain(result.boundary_layer, config, result.mesh);
+  }();
   result.sizing = domain.sizing;
   result.timings.record("inviscid_layout", t2.seconds());
 
   // Stage 4: decoupled inviscid refinement.
   Timer t4;
   std::vector<InviscidSubdomain> subdomains;
-  for (InviscidSubdomain& quad : initial_quadrants(domain)) {
-    for (InviscidSubdomain& leaf :
-         decouple_recursive(std::move(quad), domain.sizing,
-                            config.inviscid_target_triangles,
-                            config.inviscid_max_level)) {
-      subdomains.push_back(std::move(leaf));
+  {
+    AERO_TRACE_SPAN("pipeline", "inviscid_decoupling");
+    for (InviscidSubdomain& quad : initial_quadrants(domain)) {
+      for (InviscidSubdomain& leaf :
+           decouple_recursive(std::move(quad), domain.sizing,
+                              config.inviscid_target_triangles,
+                              config.inviscid_max_level)) {
+        subdomains.push_back(std::move(leaf));
+      }
     }
+    subdomains.push_back(near_body_subdomain(domain));
   }
-  subdomains.push_back(near_body_subdomain(domain));
   result.inviscid_subdomains = subdomains.size();
   result.timings.record("inviscid_decoupling", t4.seconds());
 
   Timer t5;
-  for (const InviscidSubdomain& sub : subdomains) {
-    Timer t;
-    const TriangulateResult r = refine_subdomain(sub, domain.sizing);
-    result.inviscid_task_seconds.push_back(t.seconds());
-    result.mesh.append(r.mesh);
+  {
+    AERO_TRACE_SPAN("pipeline", "inviscid_refinement");
+    for (const InviscidSubdomain& sub : subdomains) {
+      Timer t;
+      const TriangulateResult r = refine_subdomain(sub, domain.sizing);
+      result.inviscid_task_seconds.push_back(t.seconds());
+      result.mesh.append(r.mesh);
+    }
   }
   result.inviscid_triangles =
       result.mesh.triangle_count() - result.bl_triangles;

@@ -11,6 +11,7 @@
 #include "hull/subdomain.hpp"
 #include "inviscid/decouple.hpp"
 #include "core/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace aero {
 
@@ -58,6 +59,11 @@ struct MeshGeneratorConfig {
   /// assembled and ring-restricted ("boundary_layer_mesh"), and after the
   /// final mesh is complete ("final_mesh").
   PhaseHook phase_hook;
+
+  /// Observability trace settings (see src/obs). Applied on entry to the
+  /// pipeline; recording is observation-only, so a traced run produces a
+  /// mesh bit-identical to an untraced one.
+  obs::TraceConfig trace;
 };
 
 /// Everything the pipeline produces, including the per-stage artifacts the

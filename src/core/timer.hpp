@@ -7,6 +7,14 @@
 
 namespace aero {
 
+/// The project's single raw monotonic-clock read. Everything outside the
+/// observability layer times through Timer or this helper (the aerolint
+/// no-raw-clock rule enforces it), so clock usage stays auditable and
+/// swappable in one place.
+inline std::chrono::steady_clock::time_point mono_now() {
+  return std::chrono::steady_clock::now();
+}
+
 /// Wall-clock stopwatch.
 class Timer {
  public:

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "geom/predicates.hpp"
+#include "obs/trace.hpp"
 
 namespace aero {
 
@@ -375,6 +376,10 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
 }
 
 VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints) {
+  // Sampled: point insertion is the per-triangle hot path; recording every
+  // call would swamp the trace buffer, a 1/256 sample still shows the
+  // latency shape of the Bowyer-Watson cavity walk.
+  AERO_TRACE_SPAN_SAMPLED("delaunay", "bw_insert", 256);
   const LocateResult loc = locate(p);
   switch (loc.kind) {
     case LocateResult::Kind::kOnVertex:

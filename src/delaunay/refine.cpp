@@ -5,6 +5,8 @@
 
 #include "geom/predicates.hpp"
 #include "geom/triangle_quality.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aero {
 
@@ -184,6 +186,7 @@ void RuppertRefiner::scan_star(VertIndex v) {
 }
 
 RefineStats RuppertRefiner::refine() {
+  AERO_TRACE_SPAN("delaunay", "ruppert_refine");
   stats_ = RefineStats{};
   shell_origin_.assign(mesh_.point_count(), kGhost);
   seg_queue_.clear();
@@ -298,6 +301,15 @@ RefineStats RuppertRefiner::refine() {
       scan_star(vi);
     }
   }
+
+  // Flush once per refinement run (not per point): registry lookups lock.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("delaunay.refine_calls").add(1);
+  reg.counter("delaunay.steiner_points").add(stats_.steiner_points);
+  reg.counter("delaunay.circumcenters").add(stats_.circumcenters);
+  if (stats_.hit_steiner_cap) reg.counter("delaunay.steiner_cap_hits").add(1);
+  reg.histogram("delaunay.steiner_per_refine")
+      .observe(static_cast<double>(stats_.steiner_points));
   return stats_;
 }
 

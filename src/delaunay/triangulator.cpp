@@ -4,10 +4,13 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace aero {
 
 TriangulateResult triangulate(const Pslg& pslg,
                               const TriangulateOptions& opts) {
+  AERO_TRACE_SPAN("delaunay", "triangulate");
   TriangulateResult out;
 
   // Determine insertion order. Triangle sorts its input by x-coordinate on

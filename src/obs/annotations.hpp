@@ -10,6 +10,10 @@
 // AERO_ANALYZE=ON CMake option); under GCC and unanalyzed Clang builds they
 // expand to nothing, so the annotated code is identical to the plain code.
 //
+// Lives in src/obs (the bottom-most module) so that the observability
+// recorder and every concurrent layer above it share one lock vocabulary
+// without upward include edges.
+//
 // Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
 
 #include <condition_variable>

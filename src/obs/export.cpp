@@ -1,0 +1,202 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace aero::obs {
+
+namespace {
+
+/// Microseconds with sub-ns resolution preserved (Chrome's ts unit).
+double us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// JSON number from a double; JSON has no Infinity/NaN, map those to null.
+void put_number(std::ostream& out, double v) {
+  if (std::isfinite(v)) {
+    const long long as_int = static_cast<long long>(v);
+    if (static_cast<double>(as_int) == v) {
+      out << as_int;
+    } else {
+      const auto flags = out.flags();
+      const auto prec = out.precision();
+      out.precision(9);
+      out << v;
+      out.precision(prec);
+      out.flags(flags);
+    }
+  } else {
+    out << "null";
+  }
+}
+
+int pid_of(int rank) { return rank + 1; }  // rank -1 (host threads) -> pid 0
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(const TraceRecorder::Snapshot& snap,
+                        std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":\""
+      << snap.total_dropped << "\"},\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata: one process_name per distinct pid, one thread_name per thread.
+  std::set<int> pids;
+  for (const auto& t : snap.threads) pids.insert(pid_of(t.rank));
+  for (const int pid : pids) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    if (pid == 0) {
+      out << "host";
+    } else {
+      out << "rank " << (pid - 1);
+    }
+    out << "\"}}";
+  }
+  for (const auto& t : snap.threads) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid_of(t.rank) << ",\"tid\":" << t.tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(t.name) << "\"}}";
+  }
+
+  for (const auto& t : snap.threads) {
+    for (const TraceEvent& e : t.events) {
+      sep();
+      out << "{\"ph\":\"" << (e.kind == TraceEvent::Kind::kSpan ? "X" : "i")
+          << "\",\"pid\":" << pid_of(t.rank) << ",\"tid\":" << t.tid
+          << ",\"ts\":";
+      put_number(out, us(e.start_ns));
+      if (e.kind == TraceEvent::Kind::kSpan) {
+        out << ",\"dur\":";
+        put_number(out, us(e.duration_ns));
+      } else {
+        out << ",\"s\":\"t\"";
+      }
+      out << ",\"cat\":\"" << json_escape(e.category ? e.category : "")
+          << "\",\"name\":\"" << json_escape(e.name ? e.name : "") << "\"";
+      if (e.arg != 0) {
+        out << ",\"args\":{\"arg\":" << e.arg << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(recorder.snapshot(), out);
+  return static_cast<bool>(out);
+}
+
+void write_metrics_json(const MetricsRegistry::Snapshot& snap,
+                        const std::vector<RankLoad>& ranks,
+                        std::ostream& out) {
+  out << "{\n\"schema\":\"aeromesh.metrics.v1\",\n";
+
+  out << "\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n\"" << json_escape(snap.counters[i].first)
+        << "\":" << snap.counters[i].second;
+  }
+  out << "\n},\n";
+
+  out << "\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n\"" << json_escape(snap.gauges[i].first) << "\":";
+    put_number(out, snap.gauges[i].second);
+  }
+  out << "\n},\n";
+
+  out << "\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i > 0) out << ",";
+    out << "\n\"" << json_escape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum\":";
+    put_number(out, h.sum);
+    out << ",\"bins\":[";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      if (b > 0) out << ",";
+      out << "[";
+      put_number(out, h.bins[b].first);  // open-ended last bin -> null
+      out << "," << h.bins[b].second << "]";
+    }
+    out << "]}";
+  }
+  out << "\n},\n";
+
+  out << "\"load_balance\":[";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankLoad& r = ranks[i];
+    if (i > 0) out << ",";
+    out << "\n{\"rank\":" << r.rank << ",\"busy_s\":";
+    put_number(out, r.busy_seconds);
+    out << ",\"comm_s\":";
+    put_number(out, r.comm_seconds);
+    out << ",\"idle_s\":";
+    put_number(out, r.idle_seconds);
+    out << ",\"units\":" << r.units << ",\"donated\":" << r.donated
+        << ",\"received\":" << r.received
+        << ",\"retransmits\":" << r.retransmits << "}";
+  }
+  out << "\n]\n}\n";
+}
+
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::vector<RankLoad>& ranks,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(registry.snapshot(), ranks, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace aero::obs

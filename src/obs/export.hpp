@@ -1,0 +1,53 @@
+#pragma once
+
+// Exporters of the observability subsystem: the Chrome trace_event JSON
+// (open chrome://tracing or https://ui.perfetto.dev and load the file) and a
+// machine-readable metrics.json with the per-rank load-balance report.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aero::obs {
+
+/// One row of the per-rank load-balance report (built from PoolStats by the
+/// runtime; obs only defines the shape so the exporter stays at the bottom
+/// of the layering).
+struct RankLoad {
+  int rank = 0;
+  double busy_seconds = 0.0;   ///< mesher thread time spent expanding units
+  double comm_seconds = 0.0;   ///< communicator time spent on protocol work
+  double idle_seconds = 0.0;   ///< wall minus busy minus comm, clamped at 0
+  std::uint64_t units = 0;     ///< work units expanded on this rank
+  std::uint64_t donated = 0;   ///< work transfers sent to other ranks
+  std::uint64_t received = 0;  ///< work transfers accepted from other ranks
+  std::uint64_t retransmits = 0;  ///< unacked payloads this rank re-sent
+};
+
+/// Chrome trace_event JSON ("X" complete spans, "i" instants, "M" thread and
+/// process names; pid = rank + 1 so rank-tagged threads group per rank and
+/// host threads land in pid 0). Timestamps in microseconds since the
+/// recorder epoch.
+void write_chrome_trace(const TraceRecorder::Snapshot& snap,
+                        std::ostream& out);
+/// Convenience file wrapper; returns false when the file cannot be written.
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+/// metrics.json: every registered counter/gauge/histogram plus the per-rank
+/// load-balance table (empty for sequential runs).
+void write_metrics_json(const MetricsRegistry::Snapshot& snap,
+                        const std::vector<RankLoad>& ranks,
+                        std::ostream& out);
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::vector<RankLoad>& ranks,
+                        const std::string& path);
+
+/// Escape a string for inclusion in a JSON string literal (quotes excluded).
+std::string json_escape(const std::string& s);
+
+}  // namespace aero::obs

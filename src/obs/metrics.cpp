@@ -1,0 +1,86 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace aero::obs {
+
+void Histogram::observe(double v) {
+  if (!(v >= 0.0)) v = 0.0;  // negatives and NaN clamp into bin 0
+  std::size_t bin = 0;
+  if (v >= 1.0) {
+    // bin i holds [2^(i-1), 2^i): ilogb(v) is floor(log2 v) for finite v.
+    const int e = std::ilogb(v);
+    bin = static_cast<std::size_t>(e) + 1;
+    if (bin >= kBins) bin = kBins - 1;
+  }
+  bins_[bin].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bin_upper_edge(std::size_t i) {
+  if (i + 1 >= kBins) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(m_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  MutexLock lock(m_);
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist out;
+    out.name = name;
+    out.count = h->count();
+    out.sum = h->sum();
+    for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+      const std::uint64_t n = h->bin(i);
+      if (n > 0) out.bins.emplace_back(Histogram::bin_upper_edge(i), n);
+    }
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(m_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace aero::obs

@@ -1,0 +1,102 @@
+#pragma once
+
+// Named counters, gauges, and histograms for the mesher. All instruments are
+// plain atomics, so recording from the pool's mesher/communicator/monitor
+// threads is TSan-clean and wait-free; registration (name -> instrument) is
+// the only locked operation and is meant to happen once per call site, on
+// the cold path. Snapshots feed the metrics.json exporter (obs/export.hpp).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/annotations.hpp"
+
+namespace aero::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log2-binned histogram of non-negative samples: bin 0 holds [0, 1), bin i
+/// holds [2^(i-1), 2^i), the last bin is open-ended. Coarse by design --
+/// enough to see latency shape without per-sample allocation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBins = 32;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bin(std::size_t i) const {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+  /// Exclusive upper edge of bin i (last bin: +inf).
+  static double bin_upper_edge(std::size_t i);
+
+ private:
+  std::atomic<std::uint64_t> bins_[kBins] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide instrument registry. Lookups lock; cache the returned
+/// reference at hot call sites (instruments live as long as the registry and
+/// are never invalidated by later registrations).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct Hist {
+      std::string name;
+      std::uint64_t count = 0;
+      double sum = 0.0;
+      std::vector<std::pair<double, std::uint64_t>> bins;  ///< (upper, count)
+    };
+    std::vector<Hist> histograms;
+  };
+  /// Name-sorted copy of every instrument's current value.
+  Snapshot snapshot() const;
+
+  /// Drop every instrument (tests; references from before are invalidated).
+  void reset();
+
+ private:
+  mutable Mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      AERO_GUARDED_BY(m_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ AERO_GUARDED_BY(m_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      AERO_GUARDED_BY(m_);
+};
+
+}  // namespace aero::obs

@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+namespace aero::obs {
+
+namespace {
+
+/// Per-thread cached registration: valid while the recorder generation
+/// matches (reset() bumps the generation to orphan stale caches without
+/// touching other threads).
+struct LocalCache {
+  ThreadBuffer* buffer = nullptr;
+  std::uint64_t generation = ~0ull;
+};
+
+thread_local LocalCache t_cache;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_capacity(std::size_t events_per_thread) {
+  capacity_.store(events_per_thread > 0 ? events_per_thread : 1,
+                  std::memory_order_relaxed);
+}
+
+ThreadBuffer& TraceRecorder::local() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_cache.buffer != nullptr && t_cache.generation == gen) {
+    return *t_cache.buffer;
+  }
+  MutexLock lock(m_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      static_cast<std::uint32_t>(buffers_.size()), capacity()));
+  t_cache.buffer = buffers_.back().get();
+  t_cache.generation = gen;
+  return *t_cache.buffer;
+}
+
+void TraceRecorder::tag_thread(const char* name, int rank) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local();
+  buf.set_name(name);
+  buf.set_rank(rank);
+}
+
+TraceRecorder::Snapshot TraceRecorder::snapshot() const {
+  Snapshot snap;
+  MutexLock lock(m_);
+  snap.threads.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    Snapshot::Thread t;
+    t.tid = buf->tid();
+    t.name = buf->name();
+    t.rank = buf->rank();
+    t.dropped = buf->dropped();
+    const std::size_t n = buf->size();
+    t.events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) t.events.push_back(buf->event(i));
+    snap.total_dropped += t.dropped;
+    snap.threads.push_back(std::move(t));
+  }
+  return snap;
+}
+
+std::uint64_t TraceRecorder::total_dropped() const {
+  MutexLock lock(m_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->dropped();
+  return total;
+}
+
+void TraceRecorder::reset() {
+  MutexLock lock(m_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  buffers_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void apply(const TraceConfig& cfg) {
+  if (!cfg.enabled) return;
+  TraceRecorder& r = TraceRecorder::global();
+  r.set_capacity(cfg.events_per_thread);
+  r.set_enabled(true);
+}
+
+void instant(const char* category, const char* name, std::uint64_t arg) {
+  TraceRecorder& r = TraceRecorder::global();
+  if (r.enabled()) r.instant(category, name, arg);
+}
+
+void tag_thread(const char* name, int rank) {
+  TraceRecorder::global().tag_thread(name, rank);
+}
+
+}  // namespace aero::obs

@@ -1,0 +1,258 @@
+#pragma once
+
+// Low-overhead tracing for the mesher: every thread that emits events owns a
+// fixed-capacity buffer of spans and instants, written without locks or heap
+// allocation on the hot path and drained once by the exporters after the run.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   * zero heap allocation per event: names/categories are static string
+//     literals carried by pointer, the buffer is preallocated at thread
+//     registration (the only locked, cold operation);
+//   * single-writer buffers: only the owning thread emits, so the hot path
+//     is one relaxed index load, one struct store, one release index store;
+//   * bounded memory: a full buffer drops new events and counts the drops --
+//     a trace is diagnostic data, never a reason to stall the mesher;
+//   * observation only: recording never feeds back into the pipeline, so a
+//     traced run produces a mesh bit-identical to an untraced one.
+//
+// Compile-out: building with -DAERO_TRACE=OFF (CMake) defines
+// AERO_TRACE_ENABLED=0 and every AERO_TRACE_* macro expands to nothing; the
+// recorder itself stays linkable so the exporters and tests still build.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/annotations.hpp"
+
+#ifndef AERO_TRACE_ENABLED
+#define AERO_TRACE_ENABLED 1
+#endif
+
+namespace aero::obs {
+
+/// One recorded event. Plain data; `category`/`name` must be string literals
+/// (or otherwise outlive the recorder) -- they are interned by pointer so
+/// recording never copies or allocates.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;     ///< steady-clock time since recorder epoch
+  std::int64_t duration_ns = 0;  ///< 0 for instants
+  std::uint64_t arg = 0;         ///< optional payload (unit id, bytes, ...)
+  Kind kind = Kind::kSpan;
+};
+
+/// Fixed-capacity single-writer event buffer. Only the owning thread calls
+/// emit(); readers (exporters, tests) see a consistent prefix through the
+/// release/acquire handshake on `size_`, so a snapshot taken while the owner
+/// is still running is safe, just possibly short.
+class ThreadBuffer {
+ public:
+  ThreadBuffer(std::uint32_t tid, std::size_t capacity)
+      : events_(capacity), tid_(tid) {}
+
+  /// Hot path: record one event, or count a drop when full.
+  void emit(const TraceEvent& e) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    if (i >= events_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[i] = e;
+    size_.store(i + 1, std::memory_order_release);
+  }
+
+  std::uint32_t tid() const { return tid_; }
+  int rank() const { return rank_.load(std::memory_order_relaxed); }
+  void set_rank(int r) { rank_.store(r, std::memory_order_relaxed); }
+  const char* name() const { return name_.load(std::memory_order_relaxed); }
+  void set_name(const char* n) { name_.store(n, std::memory_order_relaxed); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return events_.size(); }
+
+  /// Reader side: events [0, size()) are fully written.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  const TraceEvent& event(std::size_t i) const { return events_[i]; }
+
+ private:
+  std::vector<TraceEvent> events_;  ///< preallocated; slots written in order
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<const char*> name_{"thread"};
+  std::atomic<int> rank_{-1};
+  std::uint32_t tid_;
+};
+
+/// Per-run trace configuration, surfaced on MeshGeneratorConfig and the
+/// aeromesh --trace flag.
+struct TraceConfig {
+  bool enabled = false;
+  /// Capacity of each thread's event buffer; overflowing events are dropped
+  /// (and counted), never grown -- the trace has a fixed memory ceiling.
+  std::size_t events_per_thread = 1u << 16;
+};
+
+/// Process-wide recorder: owns every thread's buffer, hands threads their
+/// buffer on first emit (the one locked, cold operation), and timestamps
+/// events against a common steady-clock epoch. Buffers outlive their owning
+/// threads so pool workers' events survive until the exporter drains them.
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Applies to buffers registered after the call (existing ones keep their
+  /// size); configure before the instrumented run starts.
+  void set_capacity(std::size_t events_per_thread);
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the recorder epoch (monotonic).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// This thread's buffer, registering it on first use.
+  ThreadBuffer& local();
+
+  /// Name/rank-tag the calling thread for the exporters (rank -1 = host).
+  void tag_thread(const char* name, int rank);
+
+  void span(const char* category, const char* name, std::int64_t start_ns,
+            std::int64_t duration_ns, std::uint64_t arg = 0) {
+    local().emit(TraceEvent{category, name, start_ns, duration_ns, arg,
+                            TraceEvent::Kind::kSpan});
+  }
+  void instant(const char* category, const char* name, std::uint64_t arg = 0) {
+    local().emit(TraceEvent{category, name, now_ns(), 0, arg,
+                            TraceEvent::Kind::kInstant});
+  }
+
+  /// Flattened copy of every buffer, safe concurrently with live emitters
+  /// (their in-progress events may be missing, never torn).
+  struct Snapshot {
+    struct Thread {
+      std::uint32_t tid = 0;
+      const char* name = "thread";
+      int rank = -1;
+      std::uint64_t dropped = 0;
+      std::vector<TraceEvent> events;
+    };
+    std::vector<Thread> threads;
+    std::uint64_t total_dropped = 0;
+  };
+  Snapshot snapshot() const;
+
+  std::uint64_t total_dropped() const;
+
+  /// Drop every buffer and invalidate threads' cached registrations (they
+  /// re-register on next emit). Callers must ensure no thread is emitting
+  /// concurrently; meant for tests and between independent runs.
+  void reset();
+
+ private:
+  mutable Mutex m_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ AERO_GUARDED_BY(m_);
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{1u << 16};
+  /// Bumped by reset(); threads holding a stale generation re-register.
+  std::atomic<std::uint64_t> generation_{0};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Enable the global recorder per `cfg`. Only ever turns tracing ON (a
+/// disabled TraceConfig must not cancel a trace the CLI already requested).
+void apply(const TraceConfig& cfg);
+
+/// Free-function helpers behind the macros.
+void instant(const char* category, const char* name, std::uint64_t arg = 0);
+void tag_thread(const char* name, int rank);
+
+/// RAII span: captures the start time on construction (when the recorder is
+/// enabled and `sampled` is true) and emits one complete-span event on
+/// destruction. When disabled, cost is a single relaxed atomic load.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name, bool sampled = true) {
+    TraceRecorder& r = TraceRecorder::global();
+    if (sampled && r.enabled()) {
+      rec_ = &r;
+      category_ = category;
+      name_ = name;
+      start_ns_ = r.now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (rec_ != nullptr) {
+      rec_->span(category_, name_, start_ns_, rec_->now_ns() - start_ns_,
+                 arg_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a numeric payload to the span (recorded at destruction).
+  void set_arg(std::uint64_t arg) { arg_ = arg; }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
+};
+
+}  // namespace aero::obs
+
+#if AERO_TRACE_ENABLED
+
+#define AERO_OBS_CAT2(a, b) a##b
+#define AERO_OBS_CAT(a, b) AERO_OBS_CAT2(a, b)
+
+/// Span covering the rest of the enclosing scope. `name` may be a runtime
+/// expression, but must evaluate to a string with static storage duration.
+#define AERO_TRACE_SPAN(category, name) \
+  ::aero::obs::ScopedSpan AERO_OBS_CAT(aero_obs_span_, __LINE__)(category, \
+                                                                 name)
+
+/// Like AERO_TRACE_SPAN, but only every `every`-th execution of this site
+/// (per thread) actually records -- for hot loops where a per-iteration span
+/// would swamp the buffer. The recorded spans are an unbiased 1/every sample
+/// of iteration latency.
+#define AERO_TRACE_SPAN_SAMPLED(category, name, every)                       \
+  static thread_local std::uint32_t AERO_OBS_CAT(aero_obs_n_, __LINE__) = 0; \
+  ::aero::obs::ScopedSpan AERO_OBS_CAT(aero_obs_span_, __LINE__)(            \
+      category, name, (AERO_OBS_CAT(aero_obs_n_, __LINE__)++ % (every)) == 0)
+
+#define AERO_TRACE_INSTANT(category, name) \
+  ::aero::obs::instant(category, name)
+#define AERO_TRACE_INSTANT_ARG(category, name, arg) \
+  ::aero::obs::instant(category, name, static_cast<std::uint64_t>(arg))
+
+/// Name/rank-tag the calling thread in the exported trace.
+#define AERO_TRACE_THREAD(name, rank) ::aero::obs::tag_thread(name, rank)
+
+#else  // AERO_TRACE_ENABLED
+
+#define AERO_TRACE_SPAN(category, name) ((void)0)
+#define AERO_TRACE_SPAN_SAMPLED(category, name, every) ((void)0)
+#define AERO_TRACE_INSTANT(category, name) ((void)0)
+#define AERO_TRACE_INSTANT_ARG(category, name, arg) ((void)0)
+#define AERO_TRACE_THREAD(name, rank) ((void)0)
+
+#endif  // AERO_TRACE_ENABLED

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace aero {
 
 namespace {
@@ -100,8 +103,7 @@ void Communicator::deliver(int to, Message msg,
   {
     MutexLock lock(box.m);
     if (delay.count() > 0) {
-      box.delayed.push_back(
-          Delayed{std::chrono::steady_clock::now() + delay, std::move(msg)});
+      box.delayed.push_back(Delayed{mono_now() + delay, std::move(msg)});
     } else {
       box.q.push_back(std::move(msg));
     }
@@ -111,16 +113,24 @@ void Communicator::deliver(int to, Message msg,
 
 void Communicator::send(int from, int to, int tag,
                         std::vector<std::uint8_t> payload) {
+  AERO_TRACE_SPAN("comm", "send");
   Message msg{tag, from, std::move(payload)};
   if (injector_ != nullptr && injector_->enabled()) {
     const FaultInjector::Action a = injector_->next_action();
-    if (a.drop) return;
+    if (a.drop) {
+      AERO_TRACE_INSTANT_ARG("comm", "injected_drop", tag);
+      return;
+    }
     if (a.corrupt && !msg.payload.empty()) {
       // Flip at least one bit of one deterministic byte.
       const std::size_t i = a.salt % msg.payload.size();
       msg.payload[i] ^= static_cast<std::uint8_t>(1 + ((a.salt >> 32) & 0x7f));
+      AERO_TRACE_INSTANT_ARG("comm", "injected_corrupt", tag);
     }
-    if (a.duplicate) deliver(to, msg, a.delay);
+    if (a.duplicate) {
+      AERO_TRACE_INSTANT_ARG("comm", "injected_duplicate", tag);
+      deliver(to, msg, a.delay);
+    }
     deliver(to, std::move(msg), a.delay);
     return;
   }
@@ -131,7 +141,7 @@ Message Communicator::recv(int rank) {
   Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
   UniqueLock lock(box.m);
   for (;;) {
-    promote_due(box, std::chrono::steady_clock::now());
+    promote_due(box, mono_now());
     if (!box.q.empty()) {
       Message msg = std::move(box.q.front());
       box.q.pop_front();
@@ -150,7 +160,7 @@ Message Communicator::recv(int rank) {
 std::optional<Message> Communicator::try_recv(int rank) {
   Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
   MutexLock lock(box.m);
-  promote_due(box, std::chrono::steady_clock::now());
+  promote_due(box, mono_now());
   if (box.q.empty()) return std::nullopt;
   Message msg = std::move(box.q.front());
   box.q.pop_front();

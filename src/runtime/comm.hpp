@@ -9,7 +9,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/annotations.hpp"
+#include "obs/annotations.hpp"
 
 namespace aero {
 

@@ -1,5 +1,9 @@
 #include "runtime/parallel_driver.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
 namespace aero {
 
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
@@ -7,10 +11,17 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           const FaultConfig& faults,
                                           ProtocolTrace* trace) {
   ParallelMeshResult result;
+  obs::apply(config.trace);
+  AERO_TRACE_THREAD("driver", -1);
+  AERO_TRACE_SPAN("pipeline", "parallel_generate_mesh");
   Timer total;
 
   Timer t1;
-  result.boundary_layer = build_boundary_layer(config.airfoil, config.blayer);
+  {
+    AERO_TRACE_SPAN("pipeline", "boundary_layer_points");
+    result.boundary_layer =
+        build_boundary_layer(config.airfoil, config.blayer);
+  }
   result.timings.record("boundary_layer_points", t1.seconds());
   if (config.phase_hook) {
     config.phase_hook("boundary_layer",
@@ -30,15 +41,17 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   Timer t2;
   GradedSizing placeholder;
   {
+    AERO_TRACE_SPAN("pipeline", "boundary_layer_pool");
     std::vector<WorkUnit> initial;
     initial.push_back(WorkUnit{WorkUnit::Kind::kBlDecompose,
                                make_root_subdomain(result.boundary_layer.points),
                                {}});
     result.bl_pool =
         run_pool(std::move(initial), placeholder, pool_opts, result.mesh);
+    // Ring restriction on the gathered mesh (root side).
+    restrict_to_ring(result.mesh, result.boundary_layer);
   }
-  // Ring restriction on the gathered mesh (root side).
-  restrict_to_ring(result.mesh, result.boundary_layer);
+  publish_pool_metrics(result.bl_pool, "pool.bl.");
   result.timings.record("boundary_layer_pool", t2.seconds());
   if (config.phase_hook) {
     config.phase_hook("boundary_layer_mesh",
@@ -47,14 +60,17 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
 
   // Interface + inviscid layout.
   Timer t3;
-  const InviscidDomain domain =
-      make_inviscid_domain(result.boundary_layer, config, result.mesh);
+  const InviscidDomain domain = [&] {
+    AERO_TRACE_SPAN("pipeline", "inviscid_layout");
+    return make_inviscid_domain(result.boundary_layer, config, result.mesh);
+  }();
   result.sizing = domain.sizing;
   result.timings.record("inviscid_layout", t3.seconds());
 
   // Phase 2 pool: inviscid decoupling + refinement.
   Timer t4;
   {
+    AERO_TRACE_SPAN("pipeline", "inviscid_pool");
     std::vector<WorkUnit> initial;
     for (InviscidSubdomain& quad : initial_quadrants(domain)) {
       initial.push_back(
@@ -66,6 +82,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
     result.inviscid_pool =
         run_pool(std::move(initial), domain.sizing, pool_opts, result.mesh);
   }
+  publish_pool_metrics(result.inviscid_pool, "pool.inviscid.");
   result.timings.record("inviscid_pool", t4.seconds());
   if (config.phase_hook) {
     config.phase_hook("final_mesh",
@@ -75,6 +92,68 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   result.status = worse(result.bl_pool.status, result.inviscid_pool.status);
   result.timings.record("total", total.seconds());
   return result;
+}
+
+void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const auto count = [&](const char* name, std::size_t v) {
+    reg.counter(prefix + name).add(v);
+  };
+  count("steals", stats.steals);
+  count("steal_denials", stats.steal_denials);
+  count("transfer_bytes", stats.transfer_bytes);
+  count("result_bytes", stats.result_bytes);
+  count("unit_retries", stats.unit_retries);
+  count("unit_failures", stats.unit_failures);
+  count("fallback_units", stats.fallback_units);
+  count("requeued_units", stats.requeued_units);
+  count("dropped_messages", stats.dropped_messages);
+  count("duplicated_messages", stats.duplicated_messages);
+  count("corrupt_payloads", stats.corrupt_payloads);
+  count("retransmits", stats.retransmits);
+  count("dead_ranks", stats.dead_ranks);
+  count("reclaimed_units", stats.reclaimed_units);
+  count("missing_results", stats.missing_results);
+  count("injected_corruptions", stats.injected_corruptions);
+  count("delayed_messages", stats.delayed_messages);
+  count("injected_unit_faults", stats.injected_unit_faults);
+  std::size_t units = 0;
+  for (const std::size_t t : stats.tasks_per_rank) units += t;
+  count("units_processed", units);
+  reg.gauge(prefix + "wall_seconds").set(stats.wall_seconds);
+}
+
+std::vector<obs::RankLoad> rank_loads(const ParallelMeshResult& result) {
+  const std::size_t n = std::max(result.bl_pool.tasks_per_rank.size(),
+                                 result.inviscid_pool.tasks_per_rank.size());
+  const double wall =
+      result.bl_pool.wall_seconds + result.inviscid_pool.wall_seconds;
+  std::vector<obs::RankLoad> rows(n);
+  const auto at = [](const std::vector<double>& v, std::size_t i) {
+    return i < v.size() ? v[i] : 0.0;
+  };
+  const auto atz = [](const std::vector<std::size_t>& v, std::size_t i) {
+    return i < v.size() ? v[i] : std::size_t{0};
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    obs::RankLoad& row = rows[r];
+    row.rank = static_cast<int>(r);
+    row.busy_seconds = at(result.bl_pool.busy_seconds_per_rank, r) +
+                       at(result.inviscid_pool.busy_seconds_per_rank, r);
+    row.comm_seconds = at(result.bl_pool.comm_seconds_per_rank, r) +
+                       at(result.inviscid_pool.comm_seconds_per_rank, r);
+    row.idle_seconds =
+        std::max(0.0, wall - row.busy_seconds - row.comm_seconds);
+    row.units = atz(result.bl_pool.tasks_per_rank, r) +
+                atz(result.inviscid_pool.tasks_per_rank, r);
+    row.donated = atz(result.bl_pool.donated_per_rank, r) +
+                  atz(result.inviscid_pool.donated_per_rank, r);
+    row.received = atz(result.bl_pool.received_per_rank, r) +
+                   atz(result.inviscid_pool.received_per_rank, r);
+    row.retransmits = atz(result.bl_pool.retransmits_per_rank, r) +
+                      atz(result.inviscid_pool.retransmits_per_rank, r);
+  }
+  return rows;
 }
 
 }  // namespace aero

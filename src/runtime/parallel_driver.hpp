@@ -1,6 +1,10 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/mesh_generator.hpp"
+#include "obs/export.hpp"
 #include "runtime/pool.hpp"
 
 namespace aero {
@@ -35,5 +39,15 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           int nranks,
                                           const FaultConfig& faults = {},
                                           ProtocolTrace* trace = nullptr);
+
+/// Publish one pool pass's statistics into the global metrics registry under
+/// `prefix` (e.g. "pool.bl." -> "pool.bl.steals"). Called by the driver for
+/// both passes; exposed so benches can publish standalone run_pool calls.
+void publish_pool_metrics(const PoolStats& stats, const std::string& prefix);
+
+/// Per-rank load-balance rows aggregated over both pool passes (the
+/// metrics.json load_balance table). Idle time is each rank's share of the
+/// two passes' wall time not spent meshing or on protocol work.
+std::vector<obs::RankLoad> rank_loads(const ParallelMeshResult& result);
 
 }  // namespace aero

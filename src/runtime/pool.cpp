@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace aero {
 
@@ -30,6 +31,15 @@ struct RankState {
   /// communicator thread for the result gather.
   std::vector<std::array<Vec2, 3>> triangles;
   std::size_t tasks_done = 0;
+
+  /// Load accounting with the same ownership discipline as `triangles`: the
+  /// mesher thread writes busy_seconds, the communicator thread writes the
+  /// rest, and run_pool reads them only after the threads join.
+  double busy_seconds = 0.0;   ///< mesher time spent inside units
+  double comm_seconds = 0.0;   ///< communicator time spent handling messages
+  std::size_t donated = 0;     ///< units donated to work stealers
+  std::size_t received = 0;    ///< transfers accepted fresh (non-duplicate)
+  std::size_t retransmits_sent = 0;  ///< unacked payloads this rank resent
 };
 
 struct SharedState {
@@ -319,6 +329,7 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
 void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
                  int rank) {
   if (shared.injector.rank_dead(rank)) return;
+  AERO_TRACE_THREAD("mesher", rank);
   RankState& rs = ranks[static_cast<std::size_t>(rank)];
   while (true) {
     WorkUnit unit;
@@ -335,7 +346,12 @@ void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
       unit = std::move(it->second);
       rs.queue.erase(it);
     }
-    process_unit(shared, ranks, rank, std::move(unit));
+    {
+      AERO_TRACE_SPAN("pool", "process_unit");
+      const Timer busy;
+      process_unit(shared, ranks, rank, std::move(unit));
+      rs.busy_seconds += busy.seconds();
+    }
     // Give the communicator threads a scheduling window (matters on
     // oversubscribed machines; a real cluster has a core per thread).
     std::this_thread::yield();
@@ -397,19 +413,20 @@ void dispatch_retry(SharedState& shared, int rank, WorkUnit unit,
   auto copy = frame;
   in_flight[nonce] =
       InFlight{dest, kTagFaultRetry, std::move(frame),
-               std::chrono::steady_clock::now() + opts.ack_timeout, 0};
+               mono_now() + opts.ack_timeout, 0};
   shared.comm.send(rank, dest, kTagFaultRetry, std::move(copy));
 }
 
 void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
                        int rank) {
   if (shared.injector.rank_dead(rank)) return;  // never sets comm_exited
+  AERO_TRACE_THREAD("comm", rank);
   RankState& rs = ranks[static_cast<std::size_t>(rank)];
   const PoolOptions& opts = *shared.opts;
   const auto request_timeout = opts.ack_timeout * 4;
   bool requested = false;
-  auto request_deadline = std::chrono::steady_clock::now();
-  auto last_update = std::chrono::steady_clock::now();
+  auto request_deadline = mono_now();
+  auto last_update = mono_now();
   std::map<std::uint64_t, InFlight> in_flight;
   /// Transfer nonces already queued here: dedupes retransmissions and
   /// fabric-duplicated copies of one dispatch without rejecting a unit that
@@ -420,6 +437,8 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
   while (!shut && !shared.abort.load()) {
     shared.window.beat(static_cast<std::size_t>(rank));
     if (auto msg = shared.comm.try_recv(rank)) {
+      AERO_TRACE_SPAN("pool", "handle_message");
+      const Timer handling;
       switch (msg->tag) {
         case kTagWorkRequest: {
           // Donate the largest queued unit if we can spare it.
@@ -438,15 +457,16 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
             const auto unit_bytes = serialize(*donation);
             shared.transfer_bytes.fetch_add(unit_bytes.size());
             shared.steals.fetch_add(1);
+            ++rs.donated;
             const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+            AERO_TRACE_INSTANT_ARG("pool", "donate", nonce);
             trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank,
                         msg->from);
             auto frame = make_frame(nonce, unit_bytes);
             auto copy = frame;
             in_flight[nonce] =
                 InFlight{msg->from, kTagWorkTransfer, std::move(frame),
-                         std::chrono::steady_clock::now() + opts.ack_timeout,
-                         0};
+                         mono_now() + opts.ack_timeout, 0};
             shared.comm.send(rank, msg->from, kTagWorkTransfer,
                              std::move(copy));
           } else {
@@ -460,6 +480,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
           const auto nonce = frame_nonce(msg->payload);
           if (!nonce) {
             shared.crc_failures.fetch_add(1);
+            AERO_TRACE_INSTANT("pool", "crc_reject");
             break;  // sender retransmits an intact copy
           }
           WorkUnit unit;
@@ -467,6 +488,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
             unit = frame_unit(msg->payload);
           } catch (const std::exception&) {
             shared.crc_failures.fetch_add(1);
+            AERO_TRACE_INSTANT("pool", "crc_reject");
             break;  // sender retransmits an intact copy
           }
           // Record the accept/duplicate verdict BEFORE the ack leaves: the
@@ -479,6 +501,8 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
                       *nonce, rank, msg->from);
           shared.comm.send(rank, msg->from, kTagWorkAck, make_ack(*nonce));
           if (!fresh) break;
+          ++rs.received;
+          AERO_TRACE_INSTANT_ARG("pool", "accept_work", *nonce);
           push_local(shared, rs, std::move(unit));
           requested = false;
           break;
@@ -504,10 +528,11 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         default:
           break;
       }
+      rs.comm_seconds += handling.seconds();
       continue;  // drain the mailbox before housekeeping
     }
 
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = mono_now();
 
     // Reliable-channel housekeeping: retransmit unacked payloads; recover
     // payloads addressed to ranks the watchdog has since declared dead.
@@ -526,6 +551,8 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
           auto copy = f.payload;
           shared.comm.send(rank, f.dest, f.tag, std::move(copy));
           shared.retransmits.fetch_add(1);
+          ++rs.retransmits_sent;
+          AERO_TRACE_INSTANT_ARG("pool", "retransmit", it->first);
           f.deadline = now + opts.ack_timeout;
           ++f.tries;
           ++it;
@@ -605,6 +632,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
   if (rank == 0) {
     // Bounded result gather: wait for every live rank's soup, re-acking
     // resends, until the watchdog deadline.
+    AERO_TRACE_SPAN("pool", "gather");
     while (!shared.abort.load()) {
       bool complete = true;
       {
@@ -622,7 +650,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         if (msg->tag == kTagResult) root_accept_result(shared, *msg);
         continue;
       }
-      if (std::chrono::steady_clock::now() > shared.deadline) {
+      if (mono_now() > shared.deadline) {
         shared.gather_timed_out.store(true);
         break;
       }
@@ -632,11 +660,12 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
   } else {
     // Reliable result send: resend until the root acks ("the points are
     // gathered at the root process"), bounded by the retransmit cap.
+    AERO_TRACE_SPAN("pool", "send_results");
     constexpr int kMaxResultTries = 64;
     auto payload = serialize_triangles(rs.triangles);
     auto copy = payload;
     shared.comm.send(rank, 0, kTagResult, std::move(copy));
-    auto deadline = std::chrono::steady_clock::now() + opts.ack_timeout;
+    auto deadline = mono_now() + opts.ack_timeout;
     int tries = 0;
     while (!shared.abort.load()) {
       shared.window.beat(static_cast<std::size_t>(rank));
@@ -644,12 +673,14 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         if (msg->tag == kTagResultAck) break;
         continue;  // stray shutdown rebroadcasts etc.
       }
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = mono_now();
       if (now >= deadline) {
         if (++tries > kMaxResultTries) break;
         auto again = payload;
         shared.comm.send(rank, 0, kTagResult, std::move(again));
         shared.retransmits.fetch_add(1);
+        ++rs.retransmits_sent;
+        AERO_TRACE_INSTANT("pool", "retransmit_result");
         deadline = now + opts.ack_timeout;
       }
       std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -663,9 +694,10 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
 /// resends after the root's communicator has exited, and enforces the
 /// global deadline.
 void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
+  AERO_TRACE_THREAD("monitor", -1);
   const PoolOptions& opts = *shared.opts;
   const int n = shared.comm.size();
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = mono_now();
   std::vector<std::uint64_t> last_beat(static_cast<std::size_t>(n), 0);
   std::vector<std::chrono::steady_clock::time_point> last_advance(
       static_cast<std::size_t>(n), start);
@@ -683,7 +715,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
     }
     if (all_done) return;
 
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = mono_now();
     if (!aborted && now > shared.deadline) {
       // Watchdog bound hit: force-terminate everything still running.
       aborted = true;
@@ -730,6 +762,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
       if (now - last_advance[ri] >= opts.heartbeat_timeout) {
         shared.dead[ri].store(true);
         shared.dead_count.fetch_add(1);
+        AERO_TRACE_INSTANT_ARG("pool", "rank_dead", r);
         // Reclaim the dead rank's queued work for the root. Its completed
         // triangles are NOT recoverable (no persistence across death); a
         // rank killed mid-run loses what it had meshed.
@@ -744,6 +777,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
         }
         dr.cv.notify_all();
         shared.reclaimed.fetch_add(orphans.size());
+        AERO_TRACE_INSTANT_ARG("pool", "reclaimed_units", orphans.size());
         for (WorkUnit& u : orphans) {
           trace_event(shared, ProtocolEvent::Kind::kUnitReclaimed, u.id, r);
           push_local(shared, ranks[0], std::move(u));
@@ -767,12 +801,13 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     return stats;
   }
   Timer timer;
+  AERO_TRACE_SPAN("pool", "run_pool");
   if (opts.trace != nullptr) opts.trace->begin_run();
 
   SharedState shared(opts);
   shared.sizing = &sizing;
   shared.opts = &opts;
-  shared.deadline = std::chrono::steady_clock::now() + opts.watchdog_timeout;
+  shared.deadline = mono_now() + opts.watchdog_timeout;
   shared.outstanding = static_cast<long>(initial.size());
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opts.nranks));
@@ -802,6 +837,7 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     fallback.swap(shared.fallback);
   }
   stats.fallback_units = fallback.size();
+  AERO_TRACE_SPAN("pool", "fallback_mesh");
   while (!fallback.empty()) {
     WorkUnit unit = std::move(fallback.back());
     fallback.pop_back();
@@ -859,6 +895,21 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   stats.retransmits = shared.retransmits;
   stats.dead_ranks = shared.dead_count;
   stats.reclaimed_units = shared.reclaimed;
+  stats.injected_corruptions = shared.injector.corrupted();
+  stats.delayed_messages = shared.injector.delayed();
+  stats.injected_unit_faults = shared.injector.unit_faults();
+  stats.busy_seconds_per_rank.resize(ranks.size());
+  stats.comm_seconds_per_rank.resize(ranks.size());
+  stats.donated_per_rank.resize(ranks.size());
+  stats.received_per_rank.resize(ranks.size());
+  stats.retransmits_per_rank.resize(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    stats.busy_seconds_per_rank[r] = ranks[r].busy_seconds;
+    stats.comm_seconds_per_rank[r] = ranks[r].comm_seconds;
+    stats.donated_per_rank[r] = ranks[r].donated;
+    stats.received_per_rank[r] = ranks[r].received;
+    stats.retransmits_per_rank[r] = ranks[r].retransmits_sent;
+  }
   if (shared.abort.load()) {
     stats.status = RunStatus::kFailed;
   } else if (shared.gather_timed_out.load() || stats.missing_results > 0 ||

@@ -66,6 +66,21 @@ struct PoolStats {
   std::size_t dead_ranks = 0;      ///< ranks declared dead by the watchdog
   std::size_t reclaimed_units = 0; ///< queued units rescued off dead ranks
   std::size_t missing_results = 0; ///< live ranks whose gather never landed
+
+  // Injector-side counters (what the chaos layer actually did, as opposed to
+  // the receiver-side observations above; e.g. a corrupted ack the receiver
+  // silently ignores shows up only here).
+  std::size_t injected_corruptions = 0;  ///< payload bytes flipped in transit
+  std::size_t delayed_messages = 0;      ///< deliveries postponed by the fabric
+  std::size_t injected_unit_faults = 0;  ///< unit attempts forced to throw
+
+  // Per-rank load balance, indexed by rank (filled from thread-owned
+  // accumulators after the pool threads join; feeds the obs load report).
+  std::vector<double> busy_seconds_per_rank;  ///< mesher time inside units
+  std::vector<double> comm_seconds_per_rank;  ///< communicator handling time
+  std::vector<std::size_t> donated_per_rank;   ///< units donated to stealers
+  std::vector<std::size_t> received_per_rank;  ///< transfers accepted (fresh)
+  std::vector<std::size_t> retransmits_per_rank;  ///< unacked resends sent
   RunStatus status = RunStatus::kOk;
 };
 

@@ -8,7 +8,7 @@
 
 #include "delaunay/triangulator.hpp"
 #include "io/mesh_io.hpp"
-#include "io/timer.hpp"
+#include "core/timer.hpp"
 
 namespace aero {
 namespace {

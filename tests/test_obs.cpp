@@ -1,0 +1,431 @@
+// Observability subsystem: ring-buffer overflow accounting, concurrent
+// emission (the TSan target), exporter golden files, and the determinism
+// guarantee that tracing never perturbs the mesh.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mesh_generator.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aero {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::RankLoad;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+
+/// Minimal JSON syntax checker: accepts iff `s` is exactly one complete JSON
+/// value. No semantics -- just enough to catch unbalanced braces, trailing
+/// commas, and unescaped strings in the exporters.
+bool is_valid_json(const std::string& s) {
+  std::size_t i = 0;
+  const auto ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  };
+  const std::function<bool()> value = [&]() -> bool {
+    const std::function<bool()> string_lit = [&]() -> bool {
+      if (i >= s.size() || s[i] != '"') return false;
+      for (++i; i < s.size(); ++i) {
+        if (s[i] == '\\') {
+          ++i;
+        } else if (s[i] == '"') {
+          ++i;
+          return true;
+        }
+      }
+      return false;
+    };
+    ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        ws();
+        if (!string_lit()) return false;
+        ws();
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i >= s.size() || s[i] != '}') return false;
+      ++i;
+      return true;
+    }
+    if (c == '[') {
+      ++i;
+      ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i >= s.size() || s[i] != ']') return false;
+      ++i;
+      return true;
+    }
+    if (c == '"') return string_lit();
+    if (std::strchr("-0123456789", c) != nullptr) {
+      ++i;
+      while (i < s.size() &&
+             std::strchr("0123456789.eE+-", s[i]) != nullptr) {
+        ++i;
+      }
+      return true;
+    }
+    for (const char* lit : {"true", "false", "null"}) {
+      const std::size_t n = std::strlen(lit);
+      if (s.compare(i, n, lit) == 0) {
+        i += n;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!value()) return false;
+  ws();
+  return i == s.size();
+}
+
+TEST(ObsRing, OverflowDropsAndCounts) {
+  TraceRecorder& r = TraceRecorder::global();
+  r.reset();
+  r.set_capacity(8);
+  r.set_enabled(true);
+  for (int k = 0; k < 20; ++k) {
+    r.instant("test", "tick", static_cast<std::uint64_t>(k));
+  }
+  EXPECT_EQ(r.local().size(), 8u);
+  EXPECT_EQ(r.local().dropped(), 12u);
+  EXPECT_EQ(r.total_dropped(), 12u);
+
+  const TraceRecorder::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  EXPECT_EQ(snap.threads[0].events.size(), 8u);
+  EXPECT_EQ(snap.total_dropped, 12u);
+  // The survivors are the FIRST 8 events, in emission order.
+  for (std::size_t k = 0; k < snap.threads[0].events.size(); ++k) {
+    EXPECT_EQ(snap.threads[0].events[k].arg, k);
+  }
+  r.set_enabled(false);
+  r.reset();
+}
+
+TEST(ObsRing, ResetOrphansStaleRegistrations) {
+  TraceRecorder& r = TraceRecorder::global();
+  r.reset();
+  r.set_capacity(16);
+  r.set_enabled(true);
+  r.instant("test", "before");
+  EXPECT_EQ(r.snapshot().threads.size(), 1u);
+  r.reset();  // this thread's cached buffer is now stale
+  r.instant("test", "after");
+  const TraceRecorder::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);  // re-registered, old buffer gone
+  ASSERT_EQ(snap.threads[0].events.size(), 1u);
+  EXPECT_STREQ(snap.threads[0].events[0].name, "after");
+  r.set_enabled(false);
+  r.reset();
+}
+
+// The TSan entry point (`ctest -R obs_tsan`): four rank-tagged threads emit
+// spans and instants into their own buffers while also bumping shared
+// metrics; any lock or ordering bug in the recorder or registry is a data
+// race here.
+TEST(ObsConcurrent, ParallelEmitIsCleanAndLossless) {
+  constexpr int kThreads = 4;
+  constexpr std::size_t kEvents = 2000;
+  static const char* kNames[kThreads] = {"w0", "w1", "w2", "w3"};
+
+  TraceRecorder& r = TraceRecorder::global();
+  r.reset();
+  r.set_capacity(2 * kEvents);
+  r.set_enabled(true);
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      r.tag_thread(kNames[t], t);
+      obs::Counter& emitted = reg.counter("test.emitted");
+      obs::Histogram& hist = reg.histogram("test.values");
+      for (std::size_t k = 0; k < kEvents; ++k) {
+        if (k % 2 == 0) {
+          r.span("test", "work", r.now_ns(), 10, k);
+        } else {
+          r.instant("test", "mark", k);
+        }
+        emitted.add(1);
+        hist.observe(static_cast<double>(k));
+        reg.gauge("test.last").set(static_cast<double>(k));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const TraceRecorder::Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.total_dropped, 0u);
+  std::size_t total = 0;
+  std::vector<bool> rank_seen(kThreads, false);
+  for (const auto& th : snap.threads) {
+    total += th.events.size();
+    if (th.rank >= 0 && th.rank < kThreads) {
+      EXPECT_EQ(th.events.size(), kEvents);
+      rank_seen[static_cast<std::size_t>(th.rank)] = true;
+    }
+  }
+  EXPECT_EQ(total, kThreads * kEvents);
+  for (const bool seen : rank_seen) EXPECT_TRUE(seen);
+
+  const MetricsRegistry::Snapshot ms = reg.snapshot();
+  ASSERT_EQ(ms.counters.size(), 1u);
+  EXPECT_EQ(ms.counters[0].second, kThreads * kEvents);
+  ASSERT_EQ(ms.histograms.size(), 1u);
+  EXPECT_EQ(ms.histograms[0].count, kThreads * kEvents);
+
+  r.set_enabled(false);
+  r.reset();
+  reg.reset();
+}
+
+TEST(ObsMetrics, HistogramLog2Binning) {
+  obs::Histogram h;
+  h.observe(0.0);     // bin 0: [0, 1)
+  h.observe(0.5);     // bin 0
+  h.observe(1.0);     // bin 1: [1, 2)
+  h.observe(3.0);     // bin 2: [2, 4)
+  h.observe(1024.0);  // bin 11: [1024, 2048)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1028.5);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_EQ(h.bin(11), 1u);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bin_upper_edge(0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bin_upper_edge(11), 2048.0);
+}
+
+TEST(ObsMetrics, RegistrySnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(2);
+  reg.counter("alpha").add(1);
+  reg.counter("alpha").add(4);  // same instrument, accumulated
+  reg.gauge("g").set(1.0);
+  reg.gauge("g").set(2.0);  // last write wins
+  const MetricsRegistry::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[0].second, 5u);
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.0);
+}
+
+// Golden file: a hand-built snapshot must serialize to exactly this Chrome
+// trace_event JSON (process/thread metadata, "X" complete span, "i" instant,
+// pid = rank + 1, microsecond timestamps).
+TEST(ObsExport, ChromeTraceGolden) {
+  TraceRecorder::Snapshot snap;
+  TraceRecorder::Snapshot::Thread t;
+  t.tid = 7;
+  t.name = "tester";
+  t.rank = 2;
+  t.dropped = 1;
+  t.events.push_back(TraceEvent{"pool", "process_unit", 1000, 2500, 0,
+                                TraceEvent::Kind::kSpan});
+  t.events.push_back(
+      TraceEvent{"comm", "donate", 3000, 0, 42, TraceEvent::Kind::kInstant});
+  snap.threads.push_back(std::move(t));
+  snap.total_dropped = 1;
+
+  std::ostringstream out;
+  obs::write_chrome_trace(snap, out);
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":\"1\"},"
+      "\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":3,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"rank 2\"}},\n"
+      "{\"ph\":\"M\",\"pid\":3,\"tid\":7,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"tester\"}},\n"
+      "{\"ph\":\"X\",\"pid\":3,\"tid\":7,\"ts\":1,\"dur\":2.5,"
+      "\"cat\":\"pool\",\"name\":\"process_unit\"},\n"
+      "{\"ph\":\"i\",\"pid\":3,\"tid\":7,\"ts\":3,\"s\":\"t\","
+      "\"cat\":\"comm\",\"name\":\"donate\",\"args\":{\"arg\":42}}\n"
+      "]}\n";
+  EXPECT_EQ(out.str(), expected);
+  EXPECT_TRUE(is_valid_json(out.str()));
+}
+
+TEST(ObsExport, MetricsJsonGolden) {
+  MetricsRegistry::Snapshot snap;
+  snap.counters = {{"pool.steals", 4}};
+  snap.gauges = {{"mesh.min_angle_deg", 30.5}};
+  MetricsRegistry::Snapshot::Hist h;
+  h.name = "delaunay.steiner";
+  h.count = 2;
+  h.sum = 10.0;
+  h.bins = {{1.0, 1}, {std::numeric_limits<double>::infinity(), 1}};
+  snap.histograms.push_back(std::move(h));
+  const std::vector<RankLoad> ranks = {
+      {/*rank=*/0, /*busy=*/1.5, /*comm=*/0.25, /*idle=*/0.0, /*units=*/12,
+       /*donated=*/3, /*received=*/1, /*retransmits=*/0}};
+
+  std::ostringstream out;
+  obs::write_metrics_json(snap, ranks, out);
+  const std::string expected =
+      "{\n"
+      "\"schema\":\"aeromesh.metrics.v1\",\n"
+      "\"counters\":{\n"
+      "\"pool.steals\":4\n"
+      "},\n"
+      "\"gauges\":{\n"
+      "\"mesh.min_angle_deg\":30.5\n"
+      "},\n"
+      "\"histograms\":{\n"
+      "\"delaunay.steiner\":{\"count\":2,\"sum\":10,"
+      "\"bins\":[[1,1],[null,1]]}\n"
+      "},\n"
+      "\"load_balance\":[\n"
+      "{\"rank\":0,\"busy_s\":1.5,\"comm_s\":0.25,\"idle_s\":0,"
+      "\"units\":12,\"donated\":3,\"received\":1,\"retransmits\":0}\n"
+      "]\n"
+      "}\n";
+  EXPECT_EQ(out.str(), expected);
+  EXPECT_TRUE(is_valid_json(out.str()));
+}
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+#if AERO_TRACE_ENABLED
+// End-to-end through the macros: nested spans, sampled spans, instants and
+// thread tags all land in the export, and the result parses as JSON.
+TEST(ObsExport, MacroEmissionExportsValidJson) {
+  TraceRecorder& r = TraceRecorder::global();
+  r.reset();
+  r.set_capacity(1u << 12);
+  r.set_enabled(true);
+  AERO_TRACE_THREAD("macro-test", 1);
+  {
+    AERO_TRACE_SPAN("outer", "scope");
+    for (int k = 0; k < 10; ++k) {
+      AERO_TRACE_SPAN_SAMPLED("inner", "hot_loop", 4);
+      AERO_TRACE_INSTANT_ARG("inner", "iter", k);
+    }
+    AERO_TRACE_INSTANT("outer", "done");
+  }
+  r.set_enabled(false);
+
+  const TraceRecorder::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  std::size_t sampled = 0, spans = 0, instants = 0;
+  for (const TraceEvent& e : snap.threads[0].events) {
+    if (e.kind == TraceEvent::Kind::kSpan) {
+      ++spans;
+      if (std::string(e.name) == "hot_loop") ++sampled;
+    } else {
+      ++instants;
+    }
+  }
+  // 1/4 sampling over 10 iterations records iterations 0, 4, and 8.
+  EXPECT_EQ(sampled, 3u);
+  EXPECT_EQ(spans, 4u);      // outer scope + 3 sampled
+  EXPECT_EQ(instants, 11u);  // 10 iters + done
+
+  std::ostringstream out;
+  obs::write_chrome_trace(snap, out);
+  EXPECT_TRUE(is_valid_json(out.str()));
+  EXPECT_NE(out.str().find("\"cat\":\"inner\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"name\":\"macro-test\""), std::string::npos);
+  r.reset();
+}
+#endif  // AERO_TRACE_ENABLED
+
+/// Exact byte image of a mesh: point coordinates plus live-triangle indices.
+std::string mesh_bytes(const MergedMesh& m) {
+  std::string bytes;
+  const std::vector<Vec2>& pts = m.points();
+  bytes.append(reinterpret_cast<const char*>(pts.data()),
+               pts.size() * sizeof(Vec2));
+  for (std::size_t t = 0; t < m.triangles().size(); ++t) {
+    if (!m.alive(t)) continue;
+    const auto& tri = m.triangles()[t];
+    bytes.append(reinterpret_cast<const char*>(tri.data()), sizeof(tri));
+  }
+  return bytes;
+}
+
+// The observation-only guarantee: a traced run produces a mesh bit-identical
+// to an untraced one (tracing must never feed back into the pipeline).
+TEST(ObsDeterminism, TraceLeavesMeshBitIdentical) {
+  MeshGeneratorConfig cfg;
+  cfg.airfoil = make_naca0012(150);
+  cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
+  cfg.blayer.max_layers = 20;
+  cfg.farfield_chords = 6.0;
+  cfg.inviscid_target_triangles = 8000.0;
+  cfg.bl_decompose = {.min_points = 800, .max_level = 8};
+
+  TraceRecorder::global().set_enabled(false);
+  TraceRecorder::global().reset();
+  const MeshGenerationResult plain = generate_mesh(cfg);
+
+  cfg.trace.enabled = true;
+  const MeshGenerationResult traced = generate_mesh(cfg);
+  TraceRecorder::global().set_enabled(false);
+
+#if AERO_TRACE_ENABLED
+  // Tracing actually happened (with AERO_TRACE=OFF the sites compile out and
+  // the run is trivially untraced -- the comparison below still must hold)...
+  const TraceRecorder::Snapshot snap = TraceRecorder::global().snapshot();
+  std::size_t events = 0;
+  for (const auto& t : snap.threads) events += t.events.size();
+  EXPECT_GT(events, 0u);
+#endif
+  TraceRecorder::global().reset();
+
+  // ...and changed nothing.
+  ASSERT_EQ(plain.mesh.points().size(), traced.mesh.points().size());
+  ASSERT_EQ(plain.mesh.triangle_count(), traced.mesh.triangle_count());
+  EXPECT_EQ(mesh_bytes(plain.mesh), mesh_bytes(traced.mesh));
+}
+
+}  // namespace
+}  // namespace aero

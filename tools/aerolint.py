@@ -10,6 +10,10 @@ project-specific rules that generic tools cannot know:
   determinism      No rand()/srand(), std::random_device, time(), or
                    system_clock::now in the library: meshes must be
                    bit-reproducible across runs (seeded engines are fine).
+  no-raw-clock     Outside src/obs/ and src/core/timer.hpp, no direct
+                   std::chrono::*_clock::now() reads: time through Timer /
+                   mono_now() or the obs trace API so every clock read in
+                   the tree is auditable and swappable in one place.
   no-stdout        Library code never prints to stdout (std::cout/printf);
                    diagnostics go through return values or stderr. The CLI
                    entry point is the only exempt file.
@@ -39,18 +43,19 @@ import sys
 # Every module may include itself; anything absent here (or an edge not
 # listed) is a layering violation. Keep this in sync with DESIGN.md.
 ALLOWED_DEPS = {
+    "obs": set(),
     "geom": set(),
     "spatial": {"geom"},
     "airfoil": {"geom"},
-    "delaunay": {"geom"},
+    "delaunay": {"geom", "obs"},
     "hull": {"delaunay", "geom"},
     "inviscid": {"delaunay", "geom"},
-    "blayer": {"airfoil", "geom", "spatial"},
+    "blayer": {"airfoil", "geom", "obs", "spatial"},
     "core": {"airfoil", "blayer", "delaunay", "geom", "hull", "inviscid",
-             "spatial"},
+             "obs", "spatial"},
     "io": {"core", "delaunay"},
-    "check": {"blayer", "core", "delaunay", "geom"},
-    "runtime": {"check", "core", "hull", "inviscid", "io"},
+    "check": {"blayer", "core", "delaunay", "geom", "obs"},
+    "runtime": {"check", "core", "hull", "inviscid", "io", "obs"},
     "solver": {"airfoil", "core", "geom"},
 }
 
@@ -144,6 +149,24 @@ def check_determinism(relpath, code, raw):
     return None
 
 
+RAW_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)::now\s*\(")
+
+# The two places allowed to read the clock directly: the observability
+# recorder (epoch + timestamps) and the Timer/mono_now() wrappers everything
+# else times through.
+CLOCK_EXEMPT_FILES = {os.path.join("src", "core", "timer.hpp")}
+
+
+def check_no_raw_clock(relpath, code, raw):
+    if in_module(relpath, "obs") or relpath in CLOCK_EXEMPT_FILES:
+        return None
+    if RAW_CLOCK_RE.search(code):
+        return ("direct clock read; time through core/timer.hpp (Timer, "
+                "mono_now) or the obs trace API")
+    return None
+
+
 def check_no_stdout(relpath, code, raw):
     if relpath in APP_FILES:
         return None
@@ -207,6 +230,7 @@ def check_layering(relpath, code, raw):
 RULES = [
     ("geom-predicates", check_geom_predicates),
     ("determinism", check_determinism),
+    ("no-raw-clock", check_no_raw_clock),
     ("no-stdout", check_no_stdout),
     ("naked-new", check_naked_new),
     ("runtime-throw", check_runtime_throw),
@@ -265,7 +289,10 @@ SEEDED = [
      "std::mt19937_64 rd(seed);"),
     ("determinism", os.path.join("src", "io", "x.cpp"),
      "auto t = std::chrono::system_clock::now();",
-     "auto t = std::chrono::steady_clock::now();"),
+     "auto t = mono_now();"),
+    ("no-raw-clock", os.path.join("src", "runtime", "x.cpp"),
+     "auto t0 = std::chrono::steady_clock::now();",
+     "auto t0 = mono_now();"),
     ("no-stdout", os.path.join("src", "delaunay", "x.cpp"),
      'std::cout << "tris: " << n;',
      'std::snprintf(buf, sizeof(buf), "tris: %zu", n);'),
