@@ -3,12 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
 #include <random>
 
 #include "delaunay/quadedge.hpp"
 #include "delaunay/triangulator.hpp"
 #include "geom/predicates.hpp"
 #include "hull/monotone_chain.hpp"
+#include "runtime/rma.hpp"
 #include "spatial/adt.hpp"
 
 namespace aero {
@@ -152,6 +154,78 @@ void BM_RuppertRefine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RuppertRefine)->Arg(1000)->Arg(10000);
+
+// -- Transport hot path ------------------------------------------------------
+// Control traffic (acks 12 B, steal requests 0 B, window control frames
+// 37 B) dominates message *count*; these measure one mailbox hop of such a
+// payload. The vector variant is the pre-inline-storage behavior: every send
+// heap-allocates. The ByteBuf variant must not touch the allocator at all
+// for payloads at or below ByteBuf::kInlineCapacity (64 B).
+
+void BM_SmallSendHeapVector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> src(n, 0x5a);
+  std::deque<std::vector<std::uint8_t>> mailbox;
+  for (auto _ : state) {
+    mailbox.emplace_back(src.begin(), src.end());  // alloc + copy per send
+    benchmark::DoNotOptimize(mailbox.back().data());
+    mailbox.pop_front();  // receiver consumes; allocation freed
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmallSendHeapVector)->Arg(12)->Arg(37)->Arg(64);
+
+void BM_SmallSendInlineByteBuf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> src(n, 0x5a);
+  std::deque<ByteBuf> mailbox;
+  for (auto _ : state) {
+    mailbox.emplace_back(src.data(), n);  // folds inline, no heap traffic
+    benchmark::DoNotOptimize(mailbox.back().data());
+    mailbox.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmallSendInlineByteBuf)->Arg(12)->Arg(37)->Arg(64);
+
+void BM_WindowFrameCodec(benchmark::State& state) {
+  // Sealing plus parsing of the 37-byte zero-copy control frame: the entire
+  // per-transfer mailbox cost of the RMA path.
+  std::uint64_t nonce = 1;
+  for (auto _ : state) {
+    const ByteBuf f = make_window_frame(nonce++, 3, 17, 1 << 20, 0xabcdef);
+    benchmark::DoNotOptimize(parse_frame(f));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowFrameCodec);
+
+void BM_BufferPoolCycle(benchmark::State& state) {
+  // Steady-state serialize/consume/release cycle against the size-classed
+  // pool; compare with BM_FreshAllocCycle to see what recycling saves.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BufferPool pool;
+  for (auto _ : state) {
+    auto buf = pool.acquire(n);
+    buf.resize(n);
+    benchmark::DoNotOptimize(buf.data());
+    pool.release(std::move(buf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolCycle)->Arg(4096)->Arg(262144);
+
+void BM_FreshAllocCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(n);
+    buf.resize(n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreshAllocCycle)->Arg(4096)->Arg(262144);
 
 void BM_LiftedHull(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));

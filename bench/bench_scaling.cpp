@@ -28,6 +28,7 @@
 #include "core/timer.hpp"
 #include "obs/bench_report.hpp"
 #include "runtime/cluster_model.hpp"
+#include "runtime/parallel_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace aero;
@@ -121,6 +122,57 @@ int main(int argc, char** argv) {
   const auto paper_scale =
       print_sweep(scaled, "Figure 11/12 (paper scale, 172.77M triangles):");
 
+  // Transport A/B: the real in-process pool at 8 ranks, zero-copy window
+  // transfers on vs. the full-copy mailbox path. Same work, same mesh --
+  // the only difference is how many payload bytes ride the fabric.
+  std::printf("Transport A/B (real pool, 8 ranks):\n");
+  MeshGeneratorConfig ab = config;
+  ab.airfoil = make_naca0012(200);
+  ab.blayer.growth = {GrowthKind::kGeometric, 5e-4, 1.25};
+  ab.blayer.max_layers = 30;
+  ab.farfield_chords = 10.0;
+  ab.grade = 0.05;
+  ab.inviscid_target_triangles = 4000.0;
+  ab.inviscid_max_level = 10;
+  ab.bl_decompose = {.min_points = 400, .max_level = 10};
+
+  const auto pool_bytes = [](const ParallelMeshResult& r) {
+    return r.bl_pool.comm_bytes + r.inviscid_pool.comm_bytes;
+  };
+  PoolTuning rma_on;  // defaults: window transfers enabled
+  PoolTuning rma_off;
+  rma_off.rma = false;
+
+  Timer t_rma;
+  const ParallelMeshResult with_rma =
+      parallel_generate_mesh(ab, 8, FaultConfig{}, nullptr, rma_on);
+  const double wall_rma_ms = 1000.0 * t_rma.seconds();
+  Timer t_copy;
+  const ParallelMeshResult with_copy =
+      parallel_generate_mesh(ab, 8, FaultConfig{}, nullptr, rma_off);
+  const double wall_copy_ms = 1000.0 * t_copy.seconds();
+
+  const double rma_bytes = static_cast<double>(pool_bytes(with_rma));
+  const double copy_bytes = static_cast<double>(pool_bytes(with_copy));
+  const double reduction_pct =
+      copy_bytes > 0.0 ? 100.0 * (1.0 - rma_bytes / copy_bytes) : 0.0;
+  const std::size_t zero_copy_hits = with_rma.bl_pool.zero_copy_hits +
+                                     with_rma.inviscid_pool.zero_copy_hits;
+  std::printf("  rma=on   copied %.0f B  zero-copy %zu payloads (%.0f B)"
+              "  wall %.0f ms  triangles %zu\n",
+              rma_bytes, zero_copy_hits,
+              static_cast<double>(with_rma.bl_pool.window_bytes +
+                                  with_rma.inviscid_pool.window_bytes),
+              wall_rma_ms, with_rma.mesh.triangle_count());
+  std::printf("  rma=off  copied %.0f B  wall %.0f ms  triangles %zu\n",
+              copy_bytes, wall_copy_ms, with_copy.mesh.triangle_count());
+  std::printf("  copied-bytes reduction: %.1f%% (acceptance bar: >= 50%%)"
+              "  meshes %s\n\n",
+              reduction_pct,
+              with_rma.mesh.triangle_count() == with_copy.mesh.triangle_count()
+                  ? "agree"
+                  : "DISAGREE");
+
   obs::BenchReport report;
   report.bench = "bench_scaling";
   report.case_name = big ? "three-element-600" : "three-element-400";
@@ -141,6 +193,19 @@ int main(int argc, char** argv) {
           "speedup_paper_scale_" + std::to_string(r.ranks), r.speedup);
     }
   }
+  report.counters.emplace_back("rma_comm_bytes", rma_bytes);
+  report.counters.emplace_back("copy_comm_bytes", copy_bytes);
+  report.counters.emplace_back("rma_reduction_pct", reduction_pct);
+  report.counters.emplace_back("rma_zero_copy_hits",
+                               static_cast<double>(zero_copy_hits));
+  report.counters.emplace_back("wall_rma_ms", wall_rma_ms);
+  report.counters.emplace_back("wall_copy_ms", wall_copy_ms);
+  report.counters.emplace_back(
+      "ab_triangles_rma",
+      static_cast<double>(with_rma.mesh.triangle_count()));
+  report.counters.emplace_back(
+      "ab_triangles_copy",
+      static_cast<double>(with_copy.mesh.triangle_count()));
   if (write_bench_json(report, "BENCH_scaling.json")) {
     std::printf("wrote BENCH_scaling.json\n");
   }

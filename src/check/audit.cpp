@@ -571,7 +571,9 @@ AuditReport audit_protocol(const ProtocolTrace& trace, bool run_aborted) {
   struct NonceState {
     std::size_t dispatched = 0;
     std::size_t accepted = 0;
-    std::size_t resolved = 0;  ///< ack-matched + recovered + abandoned
+    std::size_t resolved = 0;   ///< ack-matched + recovered + abandoned
+    std::size_t published = 0;  ///< payload registered in an RMA window
+    std::size_t taken = 0;      ///< payload consumed by ownership handoff
   };
   struct UnitState {
     std::size_t created = 0;
@@ -647,6 +649,41 @@ AuditReport audit_protocol(const ProtocolTrace& trace, bool run_aborted) {
           report.fail(os.str());
         }
         ++ns.resolved;
+        break;
+      }
+      case Kind::kWindowPublished: {
+        NonceState& ns = nonces[{ev.run, ev.id}];
+        if (ns.published > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " published twice (one window slot per dispatch)";
+          report.fail(os.str());
+        }
+        ++ns.published;
+        break;
+      }
+      case Kind::kWindowTaken: {
+        NonceState& ns = nonces[{ev.run, ev.id}];
+        if (ns.published == 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " taken from a window but never published";
+          report.fail(os.str());
+        }
+        if (ns.taken > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " taken twice (zero-copy handoff must be exactly-once)";
+          report.fail(os.str());
+        }
+        if (ns.accepted > 0) {
+          std::ostringstream os;
+          os << "event " << i << ": nonce " << ev.id
+             << " taken after it was already accepted (a duplicate control"
+                " frame must be answered from the dedupe, not the window)";
+          report.fail(os.str());
+        }
+        ++ns.taken;
         break;
       }
       case Kind::kUnitCreated: {

@@ -30,6 +30,8 @@ struct ProtocolEvent {
     kRecovered,      ///< in-flight entry recovered because its dest died
     kAbandoned,      ///< in-flight entry discarded at shutdown (ack loss on
                      ///< completed work; see pool.cpp shutdown phase)
+    kWindowPublished,///< payload registered in the sender's RMA window
+    kWindowTaken,    ///< payload consumed by ownership handoff (exactly once)
   };
   Kind kind = Kind::kUnitCreated;
   std::uint64_t id = 0;

@@ -22,6 +22,10 @@
 //                             (duplication/corruption/delay at R/2) into the
 //                             pool fabric; requires --ranks
 //   --fault-seed S            deterministic seed for fault injection (0)
+//   --rma on|off              zero-copy RMA-window transport for large pool
+//                             payloads (on); off forces full-copy frames
+//   --coalesce-us N           coalesce small pool control messages, flushing
+//                             lanes after N microseconds (0 = off)
 //   --audit                   run the src/check invariant auditors at every
 //                             phase boundary (and over the pool protocol
 //                             trace when combined with --ranks); audits are
@@ -68,7 +72,8 @@ using namespace aero;
                "  [--poly file.poly] [--surface-points N] [--first-height H]\n"
                "  [--growth-ratio R] [--growth geometric|polynomial|adaptive]\n"
                "  [--max-layers N] [--farfield C] [--grade G] [--ranks P]\n"
-               "  [--fault-rate R] [--fault-seed S] [--audit]\n"
+               "  [--fault-rate R] [--fault-seed S] [--rma on|off]\n"
+               "  [--coalesce-us N] [--audit]\n"
                "  [--trace FILE] [--metrics FILE]\n"
                "  [--output BASE] [--format vtk|node-ele|binary|all]\n",
                argv0);
@@ -139,6 +144,7 @@ int main(int argc, char** argv) {
   int ranks = 0;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0;
+  PoolTuning tuning;
   bool audit = false;
   std::string trace_path;
   std::string metrics_path;
@@ -185,6 +191,13 @@ int main(int argc, char** argv) {
       fault_rate = std::strtod(v, nullptr);
     } else if (const char* v = arg("--fault-seed")) {
       fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = arg("--rma")) {
+      const std::string m = v;
+      if (m != "on" && m != "off") usage(argv[0]);
+      tuning.rma = m == "on";
+    } else if (const char* v = arg("--coalesce-us")) {
+      tuning.coalesce_delay =
+          std::chrono::microseconds(std::strtol(v, nullptr, 10));
     } else if (const char* v = arg("--trace")) {
       trace_path = v;
     } else if (const char* v = arg("--metrics")) {
@@ -257,7 +270,7 @@ int main(int argc, char** argv) {
       faults.corrupt_rate = fault_rate / 2.0;
       faults.delay_rate = fault_rate / 2.0;
       ParallelMeshResult r = parallel_generate_mesh(
-          config, ranks, faults, audit ? &trace : nullptr);
+          config, ranks, faults, audit ? &trace : nullptr, tuning);
       mesh = std::move(r.mesh);
       timings = r.timings;
       status = r.status;

@@ -1,0 +1,55 @@
+#include "runtime/buffer_pool.hpp"
+
+namespace aero {
+
+namespace {
+
+/// Smallest class index whose capacity (1 << (kMinClassLog2 + i)) holds `n`
+/// bytes; one past the last class when `n` exceeds the largest.
+std::size_t class_for_request(std::size_t n, std::size_t min_log2,
+                              std::size_t classes) {
+  for (std::size_t i = 0; i < classes; ++i) {
+    if (n <= (std::size_t{1} << (min_log2 + i))) return i;
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t size_hint) {
+  const std::size_t ci = class_for_request(size_hint, kMinClassLog2, kClasses);
+  if (ci < kClasses) {
+    MutexLock lock(m_);
+    if (!free_[ci].empty()) {
+      std::vector<std::uint8_t> buf = std::move(free_[ci].back());
+      free_[ci].pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return buf;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(ci < kClasses ? (std::size_t{1} << (kMinClassLog2 + ci))
+                            : size_hint);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t> buf) {
+  const std::size_t cap = buf.capacity();
+  if (cap < (std::size_t{1} << kMinClassLog2)) return;
+  // File under the largest class the capacity fully covers, so an acquire
+  // from that class is guaranteed not to reallocate.
+  std::size_t ci = 0;
+  while (ci + 1 < kClasses &&
+         cap >= (std::size_t{1} << (kMinClassLog2 + ci + 1))) {
+    ++ci;
+  }
+  if (cap > (std::size_t{1} << kMaxClassLog2)) return;
+  buf.clear();
+  MutexLock lock(m_);
+  if (free_[ci].size() < kMaxFreePerClass) {
+    free_[ci].push_back(std::move(buf));
+  }
+}
+
+}  // namespace aero

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/annotations.hpp"
+
+namespace aero {
+
+/// Size-classed recycling pool for serialization buffers. The steady-state
+/// hot path of the pool -- serialize a unit, ship it, deserialize it, throw
+/// the bytes away -- allocated a fresh heap buffer per hop; under a
+/// refinement storm that is thousands of large, short-lived allocations per
+/// second. The pool keeps a small free list per power-of-two size class
+/// (1 KiB .. 16 MiB) so a buffer released by a receiver is handed back to
+/// the next serializer instead of the allocator. Thread-safe; buffers cross
+/// threads freely (donor serializes, receiver releases).
+class BufferPool {
+ public:
+  /// A buffer whose capacity is at least `size_hint`, empty, recycled when
+  /// one is available (counted as a hit), freshly reserved otherwise.
+  std::vector<std::uint8_t> acquire(std::size_t size_hint);
+
+  /// Return a consumed buffer for reuse. Buffers below the smallest class or
+  /// above the largest, and classes already at capacity, are simply freed.
+  void release(std::vector<std::uint8_t> buf);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kMinClassLog2 = 10;  ///< 1 KiB
+  static constexpr std::size_t kMaxClassLog2 = 24;  ///< 16 MiB
+  static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+  /// Free-list depth per class; beyond this, released buffers are freed (the
+  /// pool bounds steady-state memory, it is not a cache of everything ever).
+  static constexpr std::size_t kMaxFreePerClass = 8;
+
+  mutable Mutex m_;
+  std::array<std::vector<std::vector<std::uint8_t>>, kClasses> free_
+      AERO_GUARDED_BY(m_);
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace aero

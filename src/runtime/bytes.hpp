@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace aero {
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte range. Every protocol payload
+/// carries this as a 4-byte little-endian trailer so a corrupted message is
+/// detected at the receiver instead of being deserialized into garbage.
+/// (Implemented in work.cpp next to the serializer, slice-by-8.)
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Message payload container with inline small-buffer storage. Control
+/// traffic (acks, steal requests, window control frames) is 12-37 bytes;
+/// routing every such send through the heap made malloc the top cost of a
+/// refinement storm. Payloads at or below kInlineCapacity live inside the
+/// object; larger ones adopt the vector produced by the serializer without
+/// copying, so a mailbox send moves at most 64 bytes plus bookkeeping.
+class ByteBuf {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  ByteBuf() = default;
+
+  ByteBuf(const std::uint8_t* data, std::size_t n) {
+    if (n <= kInlineCapacity) {
+      size_ = n;
+      if (n > 0) std::memcpy(inline_, data, n);
+    } else {
+      heap_.assign(data, data + n);
+      size_ = n;
+    }
+  }
+
+  ByteBuf(std::initializer_list<std::uint8_t> init)
+      : ByteBuf(init.begin(), init.size()) {}
+
+  /// Implicit on purpose: `send(..., serialize(unit))` must keep working.
+  /// Large buffers are adopted (zero copy); small ones fold inline and the
+  /// source allocation is dropped.
+  ByteBuf(std::vector<std::uint8_t>&& v) {  // NOLINT(google-explicit-...)
+    if (v.size() <= kInlineCapacity) {
+      size_ = v.size();
+      if (size_ > 0) std::memcpy(inline_, v.data(), size_);
+    } else {
+      heap_ = std::move(v);
+      size_ = heap_.size();
+    }
+  }
+
+  ByteBuf(const ByteBuf&) = default;
+  ByteBuf& operator=(const ByteBuf&) = default;
+
+  ByteBuf(ByteBuf&& other) noexcept
+      : heap_(std::move(other.heap_)), size_(other.size_) {
+    if (size_ <= kInlineCapacity && size_ > 0) {
+      std::memcpy(inline_, other.inline_, size_);
+    }
+    other.size_ = 0;
+  }
+
+  ByteBuf& operator=(ByteBuf&& other) noexcept {
+    if (this != &other) {
+      heap_ = std::move(other.heap_);
+      size_ = other.size_;
+      if (size_ <= kInlineCapacity && size_ > 0) {
+        std::memcpy(inline_, other.inline_, size_);
+      }
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True while the bytes live inside the object (no heap allocation).
+  bool inline_storage() const { return size_ <= kInlineCapacity; }
+
+  const std::uint8_t* data() const {
+    return inline_storage() ? inline_ : heap_.data();
+  }
+  std::uint8_t* data() { return inline_storage() ? inline_ : heap_.data(); }
+
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+  std::uint8_t& operator[](std::size_t i) { return data()[i]; }
+
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + size_; }
+
+  friend bool operator==(const ByteBuf& a, const ByteBuf& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data(), b.data(), a.size_) == 0);
+  }
+  friend bool operator!=(const ByteBuf& a, const ByteBuf& b) {
+    return !(a == b);
+  }
+
+  /// Surrender the bytes as a vector (heap buffers move out without a copy;
+  /// inline ones are materialized). Used to recycle consumed payloads into
+  /// the BufferPool. Leaves the buffer empty.
+  std::vector<std::uint8_t> release() {
+    std::vector<std::uint8_t> out;
+    if (inline_storage()) {
+      out.assign(inline_, inline_ + size_);
+    } else {
+      out = std::move(heap_);
+    }
+    heap_.clear();
+    size_ = 0;
+    return out;
+  }
+
+ private:
+  std::uint8_t inline_[kInlineCapacity];
+  std::vector<std::uint8_t> heap_;
+  /// Authoritative length. Invariant: size_ > kInlineCapacity implies the
+  /// bytes are in heap_; otherwise they are in inline_ and heap_ is empty.
+  std::size_t size_ = 0;
+};
+
+}  // namespace aero

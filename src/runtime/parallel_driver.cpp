@@ -9,7 +9,8 @@ namespace aero {
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           int nranks,
                                           const FaultConfig& faults,
-                                          ProtocolTrace* trace) {
+                                          ProtocolTrace* trace,
+                                          const PoolTuning& tuning) {
   ParallelMeshResult result;
   obs::apply(config.trace);
   AERO_TRACE_THREAD("driver", -1);
@@ -35,6 +36,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   pool_opts.inviscid_max_level = config.inviscid_max_level;
   pool_opts.faults = faults;
   pool_opts.trace = trace;
+  pool_opts.transport = tuning;
 
   // Phase 1 pool: boundary-layer decomposition + triangulation. The sizing
   // is not needed by BL units; pass a placeholder.
@@ -117,10 +119,25 @@ void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {
   count("injected_corruptions", stats.injected_corruptions);
   count("delayed_messages", stats.delayed_messages);
   count("injected_unit_faults", stats.injected_unit_faults);
+  count("comm_messages", stats.comm_messages);
+  count("comm_bytes", stats.comm_bytes);
+  count("zero_copy_hits", stats.zero_copy_hits);
+  count("window_bytes", stats.window_bytes);
+  count("coalesced_messages", stats.coalesced_messages);
+  count("batch_rejects", stats.batch_rejects);
+  count("buffer_pool_hits", stats.buffer_pool_hits);
+  count("buffer_pool_misses", stats.buffer_pool_misses);
   std::size_t units = 0;
   for (const std::size_t t : stats.tasks_per_rank) units += t;
   count("units_processed", units);
   reg.gauge(prefix + "wall_seconds").set(stats.wall_seconds);
+
+  // Issue-mandated global names (aggregated across pool passes), alongside
+  // the per-pass prefixed counters above.
+  reg.counter("comm.bytes").add(stats.comm_bytes);
+  reg.counter("comm.msgs").add(stats.comm_messages);
+  reg.counter("comm.zero_copy_hits").add(stats.zero_copy_hits);
+  reg.counter("pool.coalesced").add(stats.coalesced_messages);
 }
 
 std::vector<obs::RankLoad> rank_loads(const ParallelMeshResult& result) {

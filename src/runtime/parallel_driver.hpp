@@ -34,11 +34,14 @@ struct ParallelMeshResult {
 /// the fault-*tolerance* machinery (CRC framing, acked transfers, watchdog)
 /// is always on. A non-null `trace` records both pool passes' protocol
 /// events for audit_protocol(); `config.phase_hook` fires at the same phase
-/// boundaries as in the sequential pipeline.
+/// boundaries as in the sequential pipeline. `tuning` selects the transport
+/// (RMA windows vs full-copy frames, small-message coalescing) for both pool
+/// passes; the default keeps zero-copy on and coalescing off.
 ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           int nranks,
                                           const FaultConfig& faults = {},
-                                          ProtocolTrace* trace = nullptr);
+                                          ProtocolTrace* trace = nullptr,
+                                          const PoolTuning& tuning = {});
 
 /// Publish one pool pass's statistics into the global metrics registry under
 /// `prefix` (e.g. "pool.bl." -> "pool.bl.steals"). Called by the driver for

@@ -1,7 +1,7 @@
 #include "runtime/pool.hpp"
 
 #include <atomic>
-#include <cstring>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -9,6 +9,7 @@
 
 #include "core/timer.hpp"
 #include "obs/trace.hpp"
+#include "runtime/rma.hpp"
 
 namespace aero {
 
@@ -46,6 +47,13 @@ struct SharedState {
   Communicator comm;
   RmaWindow window;
   FaultInjector injector;
+  /// Recycles serialization buffers across ranks and threads (donor
+  /// serializes, receiver releases): the steady-state hot path reuses
+  /// buffers instead of allocating.
+  BufferPool buffers;
+  /// Per-rank registered payload windows for zero-copy transfers (deque:
+  /// PayloadWindow owns a mutex and cannot move).
+  std::deque<PayloadWindow> payload_windows;
   std::atomic<long> outstanding{0};
   std::atomic<std::uint64_t> next_unit_id{0};
   /// Per-dispatch transfer nonces (see make_frame). Starts at 1 so 0 never
@@ -70,6 +78,8 @@ struct SharedState {
   std::atomic<std::size_t> crc_failures{0};
   std::atomic<std::size_t> dead_count{0};
   std::atomic<std::size_t> reclaimed{0};
+  std::atomic<std::size_t> zero_copy{0};
+  std::atomic<std::size_t> window_bytes{0};
 
   /// Units escalated to the root-side sequential fallback (meshed after the
   /// pool terminates, outside the fault injector's reach).
@@ -96,8 +106,12 @@ struct SharedState {
     for (int r = 0; r < o.nranks; ++r) {
       dead[static_cast<std::size_t>(r)].store(false);
       comm_exited[static_cast<std::size_t>(r)].store(false);
+      payload_windows.emplace_back(&buffers);
     }
     comm.set_fault_injector(&injector);
+    CoalesceOptions co;
+    co.flush_delay = o.transport.coalesce_delay;
+    comm.set_coalescing(co);
   }
 };
 
@@ -112,65 +126,69 @@ void trace_event(SharedState& shared, ProtocolEvent::Kind kind,
   }
 }
 
-/// Work acknowledgements carry the transfer nonce plus a CRC so a corrupted
-/// ack cannot erase the wrong in-flight entry (nonces are small integers; a
-/// single flipped byte could otherwise alias another pending transfer).
-std::vector<std::uint8_t> make_ack(std::uint64_t nonce) {
-  std::vector<std::uint8_t> b(12);
-  std::memcpy(b.data(), &nonce, sizeof(nonce));
-  const std::uint32_t c = crc32(b.data(), sizeof(nonce));
-  std::memcpy(b.data() + sizeof(nonce), &c, sizeof(c));
-  return b;
+/// Deserialize the unit carried by an inline transfer frame we built
+/// ourselves (the in-flight master copy; intact by construction).
+WorkUnit unit_from_inline_frame(const ByteBuf& frame) {
+  return deserialize_work(frame.data() + kInlineFrameHeader,
+                          frame.size() - kInlineFrameHeader);
 }
 
-std::optional<std::uint64_t> parse_ack(const std::vector<std::uint8_t>& b) {
-  if (b.size() != 12) return std::nullopt;
-  std::uint32_t c;
-  std::memcpy(&c, b.data() + 8, sizeof(c));
-  if (c != crc32(b.data(), 8)) return std::nullopt;
-  std::uint64_t nonce;
-  std::memcpy(&nonce, b.data(), sizeof(nonce));
-  return nonce;
-}
+/// A transfer sent but not yet acknowledged. On the copy path `payload` is
+/// the full framed master copy (the fabric may corrupt the transmitted
+/// copy); on the window path it is only the 37-byte control frame -- the
+/// payload master lives in this rank's PayloadWindow slot until the ack
+/// releases it or a dead destination lets us reclaim it.
+struct InFlight {
+  int dest = -1;
+  int tag = 0;
+  ByteBuf payload;
+  std::chrono::steady_clock::time_point deadline;
+  int tries = 0;
+  bool windowed = false;
+  std::uint32_t slot = 0;
+};
 
-/// Transfer frames prepend a fresh per-dispatch nonce to the (already
-/// CRC-framed) unit payload: [nonce:8][crc32(nonce):4][unit bytes]. Acks and
-/// receiver-side deduplication key on the nonce, NOT the unit id:
-/// retransmissions and fabric-duplicated copies of one dispatch share its
-/// nonce and are dropped, while a unit that legitimately returns to a rank
-/// it visited before (endgame donation ping-pong, a fault re-queue cycling
-/// back) arrives under a fresh nonce and is accepted. Keying on the unit id
-/// would silently discard such returns -- an acked-but-dropped unit never
-/// completes and the pool would only terminate via the watchdog. The header
-/// carries its own CRC so a corrupted nonce cannot masquerade as a new
-/// dispatch (the donor would never see its ack and would re-deliver the
-/// unit under the forged nonce).
-constexpr std::size_t kFrameHeader = 12;
-
-std::vector<std::uint8_t> make_frame(
-    std::uint64_t nonce, const std::vector<std::uint8_t>& unit_bytes) {
-  std::vector<std::uint8_t> b(kFrameHeader + unit_bytes.size());
-  std::memcpy(b.data(), &nonce, sizeof(nonce));
-  const std::uint32_t c = crc32(b.data(), sizeof(nonce));
-  std::memcpy(b.data() + sizeof(nonce), &c, sizeof(c));
-  std::memcpy(b.data() + kFrameHeader, unit_bytes.data(), unit_bytes.size());
-  return b;
-}
-
-std::optional<std::uint64_t> frame_nonce(const std::vector<std::uint8_t>& b) {
-  if (b.size() < kFrameHeader) return std::nullopt;
-  std::uint32_t c;
-  std::memcpy(&c, b.data() + 8, sizeof(c));
-  if (c != crc32(b.data(), 8)) return std::nullopt;
-  std::uint64_t nonce;
-  std::memcpy(&nonce, b.data(), sizeof(nonce));
-  return nonce;
-}
-
-/// Deserialize the unit carried by a transfer frame (throws on corruption).
-WorkUnit frame_unit(const std::vector<std::uint8_t>& b) {
-  return deserialize_work(std::vector<std::uint8_t>(
-      b.begin() + static_cast<std::ptrdiff_t>(kFrameHeader), b.end()));
+/// Frame and dispatch one unit to `dest` under a fresh nonce, choosing the
+/// transport by serialized size: at or above the RMA threshold the payload
+/// is published into this rank's window (zero-copy handoff; the mailbox
+/// carries a control frame), below it the whole frame rides the mailbox as
+/// before. Frames and in-flight bookkeeping are recorded identically so the
+/// ack/retransmit/dead-dest machinery is path-agnostic.
+void send_unit(SharedState& shared, int rank, int dest, int tag,
+               const WorkUnit& unit,
+               std::map<std::uint64_t, InFlight>& in_flight) {
+  const PoolOptions& opts = *shared.opts;
+  const std::size_t payload_size = serialized_size(unit);
+  const bool windowed = opts.transport.rma &&
+                        payload_size >= opts.transport.rma_threshold;
+  const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+  shared.transfer_bytes.fetch_add(payload_size);
+  if (windowed) {
+    AERO_TRACE_SPAN("rma", "publish");
+    auto bytes = serialize(unit, &shared.buffers);
+    const std::uint64_t len = bytes.size();
+    const std::uint64_t digest = payload_digest(bytes.data(), bytes.size());
+    const std::uint32_t slot =
+        shared.payload_windows[static_cast<std::size_t>(rank)].publish(
+            nonce, std::move(bytes));
+    trace_event(shared, ProtocolEvent::Kind::kWindowPublished, nonce, rank,
+                dest);
+    trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank, dest);
+    ByteBuf frame = make_window_frame(nonce, rank, slot, len, digest);
+    ByteBuf copy = frame;
+    in_flight[nonce] = InFlight{dest, tag, std::move(frame),
+                                mono_now() + opts.ack_timeout, 0, true, slot};
+    shared.comm.send(rank, dest, tag, std::move(copy));
+  } else {
+    auto bytes = serialize(unit, &shared.buffers, kInlineFrameHeader);
+    seal_inline_frame(nonce, bytes);
+    trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank, dest);
+    ByteBuf frame(std::move(bytes));
+    ByteBuf copy = frame;
+    in_flight[nonce] = InFlight{dest, tag, std::move(frame),
+                                mono_now() + opts.ack_timeout, 0, false, 0};
+    shared.comm.send(rank, dest, tag, std::move(copy));
+  }
 }
 
 void push_local(SharedState& shared, RankState& rs, WorkUnit unit) {
@@ -358,41 +376,77 @@ void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
   }
 }
 
-/// A payload sent but not yet acknowledged. The master copy lives here (the
-/// fabric may corrupt the transmitted copy) and is retransmitted until the
-/// receiver acks or is declared dead.
-struct InFlight {
-  int dest = -1;
-  int tag = 0;
-  std::vector<std::uint8_t> payload;
-  std::chrono::steady_clock::time_point deadline;
-  int tries = 0;
-};
-
 /// Accept one gathered result at the root (first copy wins; every copy is
-/// acked so a resending rank can stop).
+/// acked so a resending rank can stop). Each rank sends exactly one result
+/// under one nonce, so the rank-keyed results map doubles as the nonce
+/// dedupe -- and for window frames the dedupe is consulted BEFORE the take,
+/// so a resend racing the ack never consumes a second slot.
 void root_accept_result(SharedState& shared, const Message& msg) {
-  std::vector<std::array<Vec2, 3>> tris;
-  try {
-    tris = deserialize_triangles(msg.payload);
-  } catch (const std::exception&) {
+  const auto parsed = parse_frame(msg.payload);
+  if (!parsed) {
     shared.crc_failures.fetch_add(1);
-    return;  // sender retransmits an intact copy
+    return;  // sender retransmits an intact control frame
   }
+  const int from = msg.from;
+  bool fresh;
   {
     MutexLock lock(shared.results_m);
-    if (shared.results.emplace(msg.from, std::move(tris)).second) {
-      shared.result_bytes.fetch_add(msg.payload.size());
-    }
+    fresh = shared.results.find(from) == shared.results.end();
   }
-  shared.comm.send(0, msg.from, kTagResultAck);
+  if (fresh) {
+    std::vector<std::array<Vec2, 3>> tris;
+    std::size_t logical_bytes = 0;
+    if (parsed->windowed) {
+      if (parsed->src < 0 || parsed->src >= shared.comm.size()) {
+        shared.crc_failures.fetch_add(1);
+        return;
+      }
+      auto bytes =
+          shared.payload_windows[static_cast<std::size_t>(parsed->src)].take(
+              parsed->slot, parsed->nonce, parsed->length, parsed->digest);
+      if (!bytes) {
+        shared.crc_failures.fetch_add(1);
+        return;  // frame/slot mismatch; sender resends
+      }
+      trace_event(shared, ProtocolEvent::Kind::kWindowTaken, parsed->nonce, 0,
+                  from);
+      try {
+        tris = deserialize_triangles(bytes->data(), bytes->size());
+      } catch (const std::exception&) {
+        shared.crc_failures.fetch_add(1);
+        return;
+      }
+      shared.zero_copy.fetch_add(1);
+      shared.window_bytes.fetch_add(bytes->size());
+      logical_bytes = bytes->size();
+      shared.buffers.release(std::move(*bytes));
+    } else {
+      try {
+        tris = deserialize_triangles(parsed->data, parsed->size);
+      } catch (const std::exception&) {
+        shared.crc_failures.fetch_add(1);
+        return;  // sender retransmits an intact copy
+      }
+      logical_bytes = parsed->size;
+    }
+    {
+      MutexLock lock(shared.results_m);
+      if (shared.results.emplace(from, std::move(tris)).second) {
+        shared.result_bytes.fetch_add(logical_bytes);
+      }
+    }
+    trace_event(shared, ProtocolEvent::Kind::kAccept, parsed->nonce, 0, from);
+  } else {
+    trace_event(shared, ProtocolEvent::Kind::kDuplicate, parsed->nonce, 0,
+                from);
+  }
+  shared.comm.send(0, from, kTagResultAck, make_ack(parsed->nonce));
 }
 
 /// Send `unit` to another rank over the reliable channel, or escalate it to
 /// the root fallback when no candidate remains.
 void dispatch_retry(SharedState& shared, int rank, WorkUnit unit,
                     std::map<std::uint64_t, InFlight>& in_flight) {
-  const PoolOptions& opts = *shared.opts;
   const int dest = pick_retry_rank(shared, rank, unit.failed_ranks);
   if (dest < 0) {
     trace_event(shared, ProtocolEvent::Kind::kUnitFallback, unit.id, rank);
@@ -403,18 +457,9 @@ void dispatch_retry(SharedState& shared, int rank, WorkUnit unit,
     complete_unit(shared);
     return;
   }
-  const auto unit_bytes = serialize(unit);
   shared.requeues.fetch_add(1);
-  shared.transfer_bytes.fetch_add(unit_bytes.size());
-  const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
   trace_event(shared, ProtocolEvent::Kind::kUnitRequeued, unit.id, rank, dest);
-  trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank, dest);
-  auto frame = make_frame(nonce, unit_bytes);
-  auto copy = frame;
-  in_flight[nonce] =
-      InFlight{dest, kTagFaultRetry, std::move(frame),
-               mono_now() + opts.ack_timeout, 0};
-  shared.comm.send(rank, dest, kTagFaultRetry, std::move(copy));
+  send_unit(shared, rank, dest, kTagFaultRetry, unit, in_flight);
 }
 
 void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
@@ -436,6 +481,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
 
   while (!shut && !shared.abort.load()) {
     shared.window.beat(static_cast<std::size_t>(rank));
+    shared.comm.maybe_flush(rank);
     if (auto msg = shared.comm.try_recv(rank)) {
       AERO_TRACE_SPAN("pool", "handle_message");
       const Timer handling;
@@ -454,21 +500,11 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
             }
           }
           if (donation) {
-            const auto unit_bytes = serialize(*donation);
-            shared.transfer_bytes.fetch_add(unit_bytes.size());
             shared.steals.fetch_add(1);
             ++rs.donated;
-            const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
-            AERO_TRACE_INSTANT_ARG("pool", "donate", nonce);
-            trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank,
-                        msg->from);
-            auto frame = make_frame(nonce, unit_bytes);
-            auto copy = frame;
-            in_flight[nonce] =
-                InFlight{msg->from, kTagWorkTransfer, std::move(frame),
-                         mono_now() + opts.ack_timeout, 0};
-            shared.comm.send(rank, msg->from, kTagWorkTransfer,
-                             std::move(copy));
+            AERO_TRACE_INSTANT_ARG("pool", "donate", donation->id);
+            send_unit(shared, rank, msg->from, kTagWorkTransfer, *donation,
+                      in_flight);
           } else {
             shared.denials.fetch_add(1);
             shared.comm.send(rank, msg->from, kTagNoWork);
@@ -477,39 +513,84 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         }
         case kTagWorkTransfer:
         case kTagFaultRetry: {
-          const auto nonce = frame_nonce(msg->payload);
-          if (!nonce) {
+          const auto parsed = parse_frame(msg->payload);
+          if (!parsed) {
             shared.crc_failures.fetch_add(1);
             AERO_TRACE_INSTANT("pool", "crc_reject");
             break;  // sender retransmits an intact copy
           }
+          // The nonce dedupe is consulted BEFORE any window access so a
+          // duplicate control frame (fabric duplicate, or a retransmission
+          // racing the ack) is answered from the dedupe and never touches
+          // the already-consumed slot.
+          const bool fresh = seen_frames.count(parsed->nonce) == 0;
           WorkUnit unit;
-          try {
-            unit = frame_unit(msg->payload);
-          } catch (const std::exception&) {
-            shared.crc_failures.fetch_add(1);
-            AERO_TRACE_INSTANT("pool", "crc_reject");
-            break;  // sender retransmits an intact copy
+          if (fresh) {
+            if (parsed->windowed) {
+              AERO_TRACE_SPAN("rma", "take");
+              if (parsed->src < 0 || parsed->src >= shared.comm.size()) {
+                shared.crc_failures.fetch_add(1);
+                break;
+              }
+              auto bytes =
+                  shared.payload_windows[static_cast<std::size_t>(parsed->src)]
+                      .take(parsed->slot, parsed->nonce, parsed->length,
+                            parsed->digest);
+              if (!bytes) {
+                shared.crc_failures.fetch_add(1);
+                AERO_TRACE_INSTANT("pool", "window_reject");
+                break;  // slot intact; sender resends the control frame
+              }
+              trace_event(shared, ProtocolEvent::Kind::kWindowTaken,
+                          parsed->nonce, rank, parsed->src);
+              try {
+                unit = deserialize_work(bytes->data(), bytes->size());
+              } catch (const std::exception&) {
+                shared.crc_failures.fetch_add(1);
+                break;  // can't happen off the wire; payload never framed
+              }
+              shared.zero_copy.fetch_add(1);
+              shared.window_bytes.fetch_add(bytes->size());
+              shared.buffers.release(std::move(*bytes));
+            } else {
+              try {
+                unit = deserialize_work(parsed->data, parsed->size);
+              } catch (const std::exception&) {
+                shared.crc_failures.fetch_add(1);
+                AERO_TRACE_INSTANT("pool", "crc_reject");
+                break;  // sender retransmits an intact copy
+              }
+            }
+            seen_frames.insert(parsed->nonce);
           }
           // Record the accept/duplicate verdict BEFORE the ack leaves: the
           // sender records kAckMatched on receipt, and the audit requires
           // the accept to precede its ack in the trace's total order.
-          const bool fresh = seen_frames.insert(*nonce).second;
           trace_event(shared,
                       fresh ? ProtocolEvent::Kind::kAccept
                             : ProtocolEvent::Kind::kDuplicate,
-                      *nonce, rank, msg->from);
-          shared.comm.send(rank, msg->from, kTagWorkAck, make_ack(*nonce));
+                      parsed->nonce, rank, msg->from);
+          shared.comm.send(rank, msg->from, kTagWorkAck,
+                           make_ack(parsed->nonce));
           if (!fresh) break;
           ++rs.received;
-          AERO_TRACE_INSTANT_ARG("pool", "accept_work", *nonce);
+          AERO_TRACE_INSTANT_ARG("pool", "accept_work", parsed->nonce);
           push_local(shared, rs, std::move(unit));
           requested = false;
           break;
         }
         case kTagWorkAck: {
           if (const auto id = parse_ack(msg->payload)) {
-            if (in_flight.erase(*id) > 0) {
+            auto it = in_flight.find(*id);
+            if (it != in_flight.end()) {
+              if (it->second.windowed) {
+                // Ack on an untaken slot means the receiver accepted a
+                // duplicate nonce without consuming; either way the slot is
+                // finished -- drop it (recycling untaken bytes).
+                shared.payload_windows[static_cast<std::size_t>(rank)].release(
+                    it->second.slot, *id);
+              }
+              in_flight.erase(it);
               trace_event(shared, ProtocolEvent::Kind::kAckMatched, *id, rank,
                           msg->from);
             }
@@ -537,18 +618,19 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     // Reliable-channel housekeeping: retransmit unacked payloads; recover
     // payloads addressed to ranks the watchdog has since declared dead.
     if (!in_flight.empty()) {
-      std::vector<InFlight> recovered;
+      std::vector<std::pair<std::uint64_t, InFlight>> dead_dest;
       for (auto it = in_flight.begin(); it != in_flight.end();) {
         InFlight& f = it->second;
         if (now < f.deadline) {
           ++it;
         } else if (shared.dead[static_cast<std::size_t>(f.dest)].load()) {
-          trace_event(shared, ProtocolEvent::Kind::kRecovered, it->first, rank,
-                      f.dest);
-          recovered.push_back(std::move(f));
+          dead_dest.emplace_back(it->first, std::move(f));
           it = in_flight.erase(it);
         } else {
-          auto copy = f.payload;
+          // Retransmission needs a master copy: the frame must survive in
+          // in_flight until acked. Window payloads only ever resend the
+          // 37-byte control frame, so this never deep-copies mesh bytes.
+          auto copy = f.payload;  // aerolint: allow(payload-copy)
           shared.comm.send(rank, f.dest, f.tag, std::move(copy));
           shared.retransmits.fetch_add(1);
           ++rs.retransmits_sent;
@@ -558,13 +640,36 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
           ++it;
         }
       }
-      for (InFlight& f : recovered) {
-        WorkUnit unit = frame_unit(f.payload);  // own bytes, intact
-        if (f.tag == kTagWorkTransfer) {
-          push_local(shared, rs, std::move(unit));  // donation comes home
+      for (auto& [nonce, f] : dead_dest) {
+        std::optional<WorkUnit> unit;
+        if (f.windowed) {
+          // The payload master sits in our window. Reclaim returns the
+          // bytes only if the dest never took them; a taken slot means the
+          // dest queued the unit before dying, and the watchdog's queue
+          // reclamation owns it now -- re-dispatching here would
+          // double-process the unit.
+          auto bytes =
+              shared.payload_windows[static_cast<std::size_t>(rank)].reclaim(
+                  f.slot, nonce);
+          if (bytes) {
+            unit = deserialize_work(bytes->data(), bytes->size());
+            shared.buffers.release(std::move(*bytes));
+          }
         } else {
-          if (f.dest < 64) unit.failed_ranks |= 1ull << f.dest;
-          dispatch_retry(shared, rank, std::move(unit), in_flight);
+          unit = unit_from_inline_frame(f.payload);  // own bytes, intact
+        }
+        if (!unit) {
+          trace_event(shared, ProtocolEvent::Kind::kAbandoned, nonce, rank,
+                      f.dest);
+          continue;
+        }
+        trace_event(shared, ProtocolEvent::Kind::kRecovered, nonce, rank,
+                    f.dest);
+        if (f.tag == kTagWorkTransfer) {
+          push_local(shared, rs, std::move(*unit));  // donation comes home
+        } else {
+          if (f.dest < 64) unit->failed_ranks |= 1ull << f.dest;
+          dispatch_retry(shared, rank, std::move(*unit), in_flight);
         }
       }
     }
@@ -619,10 +724,17 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
 
   // Shutdown phase. Any in-flight residue is ack loss on completed work:
   // termination implies every unit completed, so nothing is retransmitted.
+  // Windowed residue was therefore taken; release is a harmless erase (and
+  // recycles the bytes in the ack-lost-before-take corner).
   for (const auto& [nonce, f] : in_flight) {
+    if (f.windowed) {
+      shared.payload_windows[static_cast<std::size_t>(rank)].release(f.slot,
+                                                                     nonce);
+    }
     trace_event(shared, ProtocolEvent::Kind::kAbandoned, nonce, rank, f.dest);
   }
   in_flight.clear();
+  shared.comm.flush(rank);  // staged acks must not outlive the poll loop
   {
     MutexLock lock(rs.m);
     rs.shutdown = true;
@@ -646,6 +758,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         }
       }
       if (complete) break;
+      shared.comm.maybe_flush(0);
       if (auto msg = shared.comm.try_recv(0)) {
         if (msg->tag == kTagResult) root_accept_result(shared, *msg);
         continue;
@@ -659,24 +772,55 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     }
   } else {
     // Reliable result send: resend until the root acks ("the points are
-    // gathered at the root process"), bounded by the retransmit cap.
+    // gathered at the root process"), bounded by the retransmit cap. The
+    // result rides the same two-path transport as work transfers: above the
+    // RMA threshold the soup is published into this rank's window and only
+    // the control frame is (re)sent.
     AERO_TRACE_SPAN("pool", "send_results");
     constexpr int kMaxResultTries = 64;
-    auto payload = serialize_triangles(rs.triangles);
-    auto copy = payload;
-    shared.comm.send(rank, 0, kTagResult, std::move(copy));
+    const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
+    const std::size_t logical = serialized_triangles_size(rs.triangles.size());
+    const bool windowed =
+        opts.transport.rma && logical >= opts.transport.rma_threshold;
+    ByteBuf frame;
+    std::uint32_t slot = 0;
+    if (windowed) {
+      AERO_TRACE_SPAN("rma", "publish_result");
+      auto bytes = serialize_triangles(rs.triangles, &shared.buffers);
+      const std::uint64_t len = bytes.size();
+      const std::uint64_t digest = payload_digest(bytes.data(), bytes.size());
+      slot = shared.payload_windows[static_cast<std::size_t>(rank)].publish(
+          nonce, std::move(bytes));
+      trace_event(shared, ProtocolEvent::Kind::kWindowPublished, nonce, rank,
+                  0);
+      frame = make_window_frame(nonce, rank, slot, len, digest);
+    } else {
+      auto bytes =
+          serialize_triangles(rs.triangles, &shared.buffers, kInlineFrameHeader);
+      seal_inline_frame(nonce, bytes);
+      frame = ByteBuf(std::move(bytes));
+    }
+    trace_event(shared, ProtocolEvent::Kind::kDispatch, nonce, rank, 0);
+    {
+      ByteBuf first = frame;
+      shared.comm.send(rank, 0, kTagResult, std::move(first));
+    }
     auto deadline = mono_now() + opts.ack_timeout;
     int tries = 0;
+    bool acked = false;
     while (!shared.abort.load()) {
       shared.window.beat(static_cast<std::size_t>(rank));
       if (auto msg = shared.comm.try_recv(rank)) {
-        if (msg->tag == kTagResultAck) break;
-        continue;  // stray shutdown rebroadcasts etc.
+        if (msg->tag == kTagResultAck && parse_ack(msg->payload) == nonce) {
+          acked = true;
+          break;
+        }
+        continue;  // stray shutdown rebroadcasts, corrupted acks, etc.
       }
       const auto now = mono_now();
       if (now >= deadline) {
         if (++tries > kMaxResultTries) break;
-        auto again = payload;
+        auto again = frame;
         shared.comm.send(rank, 0, kTagResult, std::move(again));
         shared.retransmits.fetch_add(1);
         ++rs.retransmits_sent;
@@ -685,7 +829,20 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
       }
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
+    if (acked) {
+      trace_event(shared, ProtocolEvent::Kind::kAckMatched, nonce, rank, 0);
+      if (windowed) {
+        shared.payload_windows[static_cast<std::size_t>(rank)].release(slot,
+                                                                       nonce);
+      }
+    } else {
+      // Gave up (abort or retry cap). The slot is deliberately NOT released:
+      // a frame already in flight (injector delay) may still reach the root
+      // or the monitor, and the window dies with the run anyway.
+      trace_event(shared, ProtocolEvent::Kind::kAbandoned, nonce, rank, 0);
+    }
   }
+  shared.comm.flush(rank);
   shared.comm_exited[static_cast<std::size_t>(rank)].store(true);
 }
 
@@ -747,6 +904,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
       while (auto msg = shared.comm.try_recv(0)) {
         if (msg->tag == kTagResult) root_accept_result(shared, *msg);
       }
+      shared.comm.flush(0);  // push out any acks staged on rank 0's behalf
     }
 
     // Heartbeat scan (rank 0 is the root and is never declared dead).
@@ -898,6 +1056,17 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   stats.injected_corruptions = shared.injector.corrupted();
   stats.delayed_messages = shared.injector.delayed();
   stats.injected_unit_faults = shared.injector.unit_faults();
+  {
+    const CommStats cs = shared.comm.stats();
+    stats.comm_messages = cs.messages;
+    stats.comm_bytes = cs.payload_bytes;
+    stats.coalesced_messages = cs.coalesced;
+    stats.batch_rejects = cs.batch_rejects;
+  }
+  stats.zero_copy_hits = shared.zero_copy;
+  stats.window_bytes = shared.window_bytes;
+  stats.buffer_pool_hits = shared.buffers.hits();
+  stats.buffer_pool_misses = shared.buffers.misses();
   stats.busy_seconds_per_rank.resize(ranks.size());
   stats.comm_seconds_per_rank.resize(ranks.size());
   stats.donated_per_rank.resize(ranks.size());

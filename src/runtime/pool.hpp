@@ -11,6 +11,22 @@
 
 namespace aero {
 
+/// Transport tuning shared by the pool, drivers, and CLI: the RMA-vs-copy
+/// A/B switch and the small-message coalescing bound. Kept as its own struct
+/// so callers (benches, tests, aeromesh flags) can thread it through
+/// parallel_generate_mesh without restating every pool option.
+struct PoolTuning {
+  /// Zero-copy transfers: payloads at or above `rma_threshold` bytes are
+  /// published into the sender's PayloadWindow and move by ownership
+  /// handoff; the mailbox carries a 37-byte control frame. Off = the PR 1
+  /// deep-copy path (kept for differential testing; results must be
+  /// bit-identical either way).
+  bool rma = true;
+  std::size_t rma_threshold = 1024;
+  /// Bounded flush delay for small-control-message coalescing (0 = off).
+  std::chrono::microseconds coalesce_delay{0};
+};
+
 /// Options of the in-process work-stealing pool.
 struct PoolOptions {
   int nranks = 4;
@@ -43,6 +59,9 @@ struct PoolOptions {
   /// Optional protocol event recorder (audit_protocol replays it). Off by
   /// default; recording takes one short lock per protocol event.
   ProtocolTrace* trace = nullptr;
+
+  /// RMA / coalescing transport switches (see PoolTuning).
+  PoolTuning transport;
 };
 
 /// Statistics of a pool run.
@@ -53,6 +72,18 @@ struct PoolStats {
   std::size_t result_bytes = 0;    ///< triangle payload gathered to the root
   std::vector<std::size_t> tasks_per_rank;
   double wall_seconds = 0.0;
+
+  // Transport accounting. transfer_bytes/result_bytes above count *logical*
+  // serialized payload (identical across the RMA and copy paths, so A/B
+  // comparisons line up); the fields below count what actually moved where.
+  std::size_t comm_messages = 0;  ///< messages posted into mailboxes
+  std::size_t comm_bytes = 0;     ///< payload bytes copied through mailboxes
+  std::size_t zero_copy_hits = 0; ///< payloads that moved by window handoff
+  std::size_t window_bytes = 0;   ///< payload bytes moved zero-copy
+  std::size_t coalesced_messages = 0;  ///< small messages that rode a batch
+  std::size_t batch_rejects = 0;  ///< corrupted batches dropped at unpack
+  std::size_t buffer_pool_hits = 0;    ///< serialization buffers recycled
+  std::size_t buffer_pool_misses = 0;  ///< fresh buffer allocations
 
   // Fault-tolerance accounting.
   std::size_t unit_retries = 0;    ///< same-rank re-attempts after a throw

@@ -35,6 +35,16 @@ constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
 
 class Writer {
  public:
+  /// `capacity` sizes the (optionally pooled) buffer exactly; `header_room`
+  /// zero bytes are reserved at the front and excluded from the CRC, to be
+  /// stamped by the transport (seal_inline_frame) without a payload copy.
+  Writer(std::size_t capacity, BufferPool* pool, std::size_t header_room)
+      : bytes_(pool != nullptr ? pool->acquire(capacity)
+                               : std::vector<std::uint8_t>()),
+        skip_(header_room) {
+    if (pool == nullptr) bytes_.reserve(capacity);
+    bytes_.assign(header_room, 0);
+  }
   template <typename T>
   void put(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -46,28 +56,31 @@ class Writer {
     const auto* p = reinterpret_cast<const std::uint8_t*>(pts.data());
     bytes_.insert(bytes_.end(), p, p + pts.size() * sizeof(Vec2));
   }
-  /// Append the CRC-32 trailer and hand out the framed payload.
+  /// Append the CRC-32 trailer (over the payload past the header room) and
+  /// hand out the framed payload.
   std::vector<std::uint8_t> take() {
-    const std::uint32_t crc = crc32(bytes_.data(), bytes_.size());
+    const std::uint32_t crc =
+        crc32(bytes_.data() + skip_, bytes_.size() - skip_);
     put<std::uint32_t>(crc);
     return std::move(bytes_);
   }
 
  private:
   std::vector<std::uint8_t> bytes_;
+  std::size_t skip_ = 0;
 };
 
 class Reader {
  public:
   /// Validates the CRC-32 trailer up front; the readable range excludes it.
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {
-    if (bytes_.size() < sizeof(std::uint32_t)) {
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data) {
+    if (n < sizeof(std::uint32_t)) {
       throw std::runtime_error("work unit payload truncated");
     }
-    end_ = bytes_.size() - sizeof(std::uint32_t);
+    end_ = n - sizeof(std::uint32_t);
     std::uint32_t stored;
-    std::memcpy(&stored, bytes_.data() + end_, sizeof(stored));
-    if (stored != crc32(bytes_.data(), end_)) {
+    std::memcpy(&stored, data_ + end_, sizeof(stored));
+    if (stored != crc32(data_, end_)) {
       throw std::runtime_error("work unit payload corrupt (CRC-32 mismatch)");
     }
   }
@@ -78,7 +91,7 @@ class Reader {
       throw std::runtime_error("work unit payload truncated");
     }
     T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
@@ -88,13 +101,13 @@ class Reader {
       throw std::runtime_error("work unit payload truncated");
     }
     std::vector<Vec2> pts(n);
-    std::memcpy(pts.data(), bytes_.data() + pos_, n * sizeof(Vec2));
+    std::memcpy(pts.data(), data_ + pos_, n * sizeof(Vec2));
     pos_ += n * sizeof(Vec2);
     return pts;
   }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  const std::uint8_t* data_;
   std::size_t pos_ = 0;
   std::size_t end_ = 0;
 };
@@ -123,8 +136,31 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
   return c ^ 0xffffffffu;
 }
 
-std::vector<std::uint8_t> serialize(const WorkUnit& unit) {
-  Writer w;
+std::size_t serialized_size(const WorkUnit& unit) {
+  std::size_t n = 8 + 8 + 1;  // id, failed_ranks, kind
+  if (unit.kind == WorkUnit::Kind::kBlDecompose) {
+    const Subdomain& s = unit.bl;
+    n += 4 + 1 + 8;                                  // level, final_, ncuts
+    n += s.cuts.size() * (1 + 8 + 1);                // axis, line, keep_left
+    n += 8 + s.xsorted.size() * sizeof(Vec2);        // xsorted
+    if (!s.final_) n += 8 + s.ysorted.size() * sizeof(Vec2);
+  } else {
+    const InviscidSubdomain& s = unit.inv;
+    n += 4 + s.corners.size() * 8;                   // level, corners
+    n += 8 + s.border.size() * sizeof(Vec2);
+    n += 8 + s.hole_segments.size() * 2 * sizeof(Vec2);
+    n += 8 + s.hole_seeds.size() * sizeof(Vec2);
+  }
+  return n + 4;  // CRC trailer
+}
+
+std::size_t serialized_triangles_size(std::size_t ntris) {
+  return 8 + ntris * 3 * sizeof(Vec2) + 4;
+}
+
+std::vector<std::uint8_t> serialize(const WorkUnit& unit, BufferPool* pool,
+                                    std::size_t header_room) {
+  Writer w(header_room + serialized_size(unit), pool, header_room);
   w.put<std::uint64_t>(unit.id);
   w.put<std::uint64_t>(unit.failed_ranks);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(unit.kind));
@@ -155,8 +191,8 @@ std::vector<std::uint8_t> serialize(const WorkUnit& unit) {
   return w.take();
 }
 
-WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes) {
-  Reader r(bytes);
+WorkUnit deserialize_work(const std::uint8_t* data, std::size_t n) {
+  Reader r(data, n);
   WorkUnit unit;
   unit.id = r.get<std::uint64_t>();
   unit.failed_ranks = r.get<std::uint64_t>();
@@ -191,9 +227,19 @@ WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes) {
   return unit;
 }
 
+WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes) {
+  return deserialize_work(bytes.data(), bytes.size());
+}
+
+WorkUnit deserialize_work(const ByteBuf& bytes) {
+  return deserialize_work(bytes.data(), bytes.size());
+}
+
 std::vector<std::uint8_t> serialize_triangles(
-    const std::vector<std::array<Vec2, 3>>& tris) {
-  Writer w;
+    const std::vector<std::array<Vec2, 3>>& tris, BufferPool* pool,
+    std::size_t header_room) {
+  Writer w(header_room + serialized_triangles_size(tris.size()), pool,
+           header_room);
   w.put<std::uint64_t>(tris.size());
   for (const auto& t : tris) {
     for (const Vec2 p : t) w.put<Vec2>(p);
@@ -202,14 +248,19 @@ std::vector<std::uint8_t> serialize_triangles(
 }
 
 std::vector<std::array<Vec2, 3>> deserialize_triangles(
-    const std::vector<std::uint8_t>& bytes) {
-  Reader r(bytes);
-  const auto n = r.get<std::uint64_t>();
-  std::vector<std::array<Vec2, 3>> tris(n);
+    const std::uint8_t* data, std::size_t n) {
+  Reader r(data, n);
+  const auto count = r.get<std::uint64_t>();
+  std::vector<std::array<Vec2, 3>> tris(count);
   for (auto& t : tris) {
     for (Vec2& p : t) p = r.get<Vec2>();
   }
   return tris;
+}
+
+std::vector<std::array<Vec2, 3>> deserialize_triangles(
+    const std::vector<std::uint8_t>& bytes) {
+  return deserialize_triangles(bytes.data(), bytes.size());
 }
 
 }  // namespace aero

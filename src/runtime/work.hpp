@@ -5,6 +5,8 @@
 
 #include "hull/subdomain.hpp"
 #include "inviscid/decouple.hpp"
+#include "runtime/buffer_pool.hpp"
+#include "runtime/bytes.hpp"
 
 namespace aero {
 
@@ -38,10 +40,12 @@ struct WorkUnit {
   }
 };
 
-/// CRC-32 (IEEE 802.3, reflected) of a byte range. Every protocol payload
-/// carries this as a 4-byte little-endian trailer so a corrupted message is
-/// detected at the receiver instead of being deserialized into garbage.
-std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+/// Exact size in bytes of serialize(unit) including the CRC trailer (and of
+/// serialize_triangles for a soup of `ntris`). Lets the transport pick the
+/// copy-vs-window path and size a pooled buffer before serializing, so the
+/// hot path writes once into a right-sized buffer and never reallocates.
+std::size_t serialized_size(const WorkUnit& unit);
+std::size_t serialized_triangles_size(std::size_t ntris);
 
 /// Serialize a work unit for transfer to another rank. Finalized
 /// boundary-layer subdomains ship only their x-sorted vertices (the paper's
@@ -50,13 +54,25 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 /// median vertex and are recomputed after transfer. The payload ends with a
 /// CRC-32 trailer; `deserialize_work` throws `std::runtime_error` on a
 /// truncated or corrupted payload.
-std::vector<std::uint8_t> serialize(const WorkUnit& unit);
+///
+/// `pool` (optional) recycles the output buffer; `header_room` reserves
+/// zeroed bytes at the front for a transfer-frame header (the CRC trailer
+/// covers only the serialized payload after the reserved room), so framing
+/// is an in-place header write instead of a second payload copy.
+std::vector<std::uint8_t> serialize(const WorkUnit& unit,
+                                    BufferPool* pool = nullptr,
+                                    std::size_t header_room = 0);
+WorkUnit deserialize_work(const std::uint8_t* data, std::size_t n);
 WorkUnit deserialize_work(const std::vector<std::uint8_t>& bytes);
+WorkUnit deserialize_work(const ByteBuf& bytes);
 
 /// Serialize a triangle soup (coordinate triples) for the result gather.
-/// Same CRC-32 trailer contract as work-unit payloads.
+/// Same CRC-32 trailer / pool / header-room contract as work-unit payloads.
 std::vector<std::uint8_t> serialize_triangles(
-    const std::vector<std::array<Vec2, 3>>& tris);
+    const std::vector<std::array<Vec2, 3>>& tris, BufferPool* pool = nullptr,
+    std::size_t header_room = 0);
+std::vector<std::array<Vec2, 3>> deserialize_triangles(
+    const std::uint8_t* data, std::size_t n);
 std::vector<std::array<Vec2, 3>> deserialize_triangles(
     const std::vector<std::uint8_t>& bytes);
 

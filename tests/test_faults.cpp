@@ -388,5 +388,42 @@ TEST(PoolFaults, ChaosRunProducesTheFaultFreeMesh) {
   EXPECT_GT(stats.retransmits, 0u);
 }
 
+TEST(PoolFaults, ChaosRecoversOnTheCopyPathWithCoalescing) {
+  // The deep-copy transport stays a first-class citizen behind the A/B
+  // flag: the same lossy fabric with --rma=off and small-message coalescing
+  // on (so injected drops and corruption also hit multi-message batches)
+  // must recover to the fault-free mesh without ever touching the window.
+  const ChaosFixture fx;
+
+  MergedMesh clean;
+  {
+    auto initial = fx.initial;
+    const PoolStats s = run_pool(std::move(initial), fx.sizing, fx.opts, clean);
+    EXPECT_EQ(s.status, RunStatus::kOk);
+  }
+
+  PoolOptions chaos_opts = fx.opts;
+  chaos_opts.transport.rma = false;
+  chaos_opts.transport.coalesce_delay = std::chrono::microseconds(150);
+  chaos_opts.faults.enabled = true;
+  chaos_opts.faults.seed = 31337;
+  chaos_opts.faults.drop_rate = 0.06;
+  chaos_opts.faults.duplicate_rate = 0.05;
+  chaos_opts.faults.corrupt_rate = 0.05;
+
+  MergedMesh chaotic;
+  auto initial = fx.initial;
+  const PoolStats stats =
+      run_pool(std::move(initial), fx.sizing, chaos_opts, chaotic);
+
+  EXPECT_EQ(stats.status, RunStatus::kOk);
+  EXPECT_EQ(chaotic.triangle_count(), clean.triangle_count());
+  EXPECT_EQ(chaotic.points().size(), clean.points().size());
+  EXPECT_EQ(stats.zero_copy_hits, 0u);
+  EXPECT_EQ(stats.window_bytes, 0u);
+  EXPECT_GT(stats.dropped_messages, 0u);
+  EXPECT_GT(stats.coalesced_messages, 0u);
+}
+
 }  // namespace
 }  // namespace aero

@@ -22,6 +22,11 @@ project-specific rules that generic tools cannot know:
   runtime-throw    src/runtime/ throws only at allowlisted sites: every other
                    throw risks crossing the communicator thread boundary
                    where nothing catches it and std::terminate kills the run.
+  payload-copy     Message payloads in src/runtime/ move by ownership handoff
+                   (std::move into the mailbox, publish/take through the
+                   payload window). memcpy/memmove outside the serializers
+                   and any by-value copy of a `.payload` member are deep
+                   copies the zero-copy transport exists to eliminate.
   layering         #include edges between src/ modules must follow the
                    dependency DAG below; no cycles, no upward includes.
 
@@ -198,6 +203,29 @@ def check_runtime_throw(relpath, code, raw):
             "crosses the communicator thread boundary calls std::terminate")
 
 
+MEMCPY_RE = re.compile(r"\b(?:std::)?mem(?:cpy|move)\s*\(")
+PAYLOAD_COPY_RE = re.compile(r"=\s*[\w.\[\]()>-]*(?:\.|->)payload\s*;")
+
+# The serializers: the only runtime files allowed to memcpy, because turning
+# structured work into wire bytes (and back) is the one legitimate byte-level
+# copy. Everything downstream of them hands the resulting buffer off by move.
+PAYLOAD_COPY_SERIALIZERS = {"work.cpp", "rma.cpp", "bytes.hpp"}
+
+
+def check_payload_copy(relpath, code, raw):
+    if not in_module(relpath, "runtime"):
+        return None
+    base = os.path.basename(relpath)
+    if base not in PAYLOAD_COPY_SERIALIZERS and MEMCPY_RE.search(code):
+        return ("memcpy/memmove in src/runtime/ outside the serializers (%s);"
+                " payloads transfer by ownership handoff, not deep copy"
+                % ", ".join(sorted(PAYLOAD_COPY_SERIALIZERS)))
+    if PAYLOAD_COPY_RE.search(code):
+        return ("by-value copy of a message payload; std::move it or publish "
+                "it through the payload window")
+    return None
+
+
 INCLUDE_RE = re.compile(r'#\s*include\s+"([A-Za-z0-9_]+)/')
 
 
@@ -234,6 +262,7 @@ RULES = [
     ("no-stdout", check_no_stdout),
     ("naked-new", check_naked_new),
     ("runtime-throw", check_runtime_throw),
+    ("payload-copy", check_payload_copy),
     ("layering", check_layering),
 ]
 
@@ -308,6 +337,12 @@ SEEDED = [
     ("runtime-throw", os.path.join("src", "runtime", "x.cpp"),
      'throw std::logic_error("bad state");',
      'throw_flag = true;'),
+    ("payload-copy", os.path.join("src", "runtime", "x.cpp"),
+     "std::memcpy(dst, msg.payload.data(), msg.payload.size());",
+     "auto bytes = std::move(msg.payload);"),
+    ("payload-copy", os.path.join("src", "runtime", "x.cpp"),
+     "ByteBuf staged = msg->payload;",
+     "comm.send(rank, dest, tag, std::move(msg->payload));"),
     ("layering", os.path.join("src", "geom", "x.hpp"),
      '#include "delaunay/mesh.hpp"',
      '#include "geom/vec2.hpp"'),

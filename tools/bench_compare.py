@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json benchmark reports against committed baselines.
+
+Every perf-trajectory bench writes a ``BENCH_<name>.json`` (schema in
+src/obs/bench_report.hpp) into its working directory. The repo root carries
+committed baselines of the headline benches; this tool diffs a fresh run
+against them and fails on a wall-clock regression beyond the tolerance, so a
+perf-sensitive PR can't silently lose what an earlier PR measured.
+
+Wall times on a loaded or oversubscribed box are noisy, hence the generous
+default tolerance (10%) and the counter report: counters (bytes moved,
+speedups, triangle counts) are deterministic and are compared exactly in the
+summary, but only ``wall_ms`` gates.
+
+Exit codes: 0 ok, 1 regression or malformed input, 77 soft-skip (either side
+has no reports -- e.g. the benches were never run in this build tree; the
+ctest entry maps 77 to SKIPPED so a test-only checkout stays green).
+
+Usage:
+  bench_compare.py --baseline <dir-or-file> --current <dir-or-file>
+                   [--tolerance 0.10]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SKIP = 77
+
+
+def collect(path):
+    """Map report basename -> parsed JSON for a file or a directory."""
+    if os.path.isfile(path):
+        files = [path]
+    else:
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    reports = {}
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                reports[os.path.basename(f)] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: cannot read {f}: {e}", file=sys.stderr)
+            sys.exit(1)
+    return reports
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline: a BENCH_*.json or a directory")
+    ap.add_argument("--current", required=True,
+                    help="fresh run: a BENCH_*.json or a directory")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional wall_ms increase (default 0.10)")
+    args = ap.parse_args()
+
+    base = collect(args.baseline)
+    cur = collect(args.current)
+    if not base:
+        print(f"bench_compare: no baselines under {args.baseline}; skipping")
+        return SKIP
+    if not cur:
+        print(f"bench_compare: no current reports under {args.current} "
+              "(run the benches first); skipping")
+        return SKIP
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("bench_compare: no report names in common; skipping")
+        return SKIP
+
+    failed = []
+    for name in shared:
+        b, c = base[name], cur[name]
+        try:
+            b_wall, c_wall = float(b["wall_ms"]), float(c["wall_ms"])
+        except (KeyError, TypeError, ValueError):
+            print(f"{name}: malformed report (missing wall_ms)")
+            return 1
+        ratio = c_wall / b_wall if b_wall > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failed.append(name)
+        print(f"{name}: wall_ms {b_wall:.1f} -> {c_wall:.1f} "
+              f"({100.0 * (ratio - 1.0):+.1f}%, tolerance "
+              f"{100.0 * args.tolerance:.0f}%) {verdict}")
+
+        b_counters = b.get("counters", {})
+        c_counters = c.get("counters", {})
+        for key in sorted(set(b_counters) & set(c_counters)):
+            bv, cv = b_counters[key], c_counters[key]
+            marker = "" if bv == cv else "  (changed)"
+            print(f"  {key}: {bv} -> {cv}{marker}")
+
+    skipped = sorted(set(base) ^ set(cur))
+    for name in skipped:
+        side = "baseline" if name in base else "current"
+        print(f"{name}: only in {side}; not compared")
+
+    if failed:
+        print(f"bench_compare: wall-clock regression in {', '.join(failed)}")
+        return 1
+    print(f"bench_compare: {len(shared)} report(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
