@@ -6,9 +6,11 @@
 #include <deque>
 #include <random>
 
+#include "delaunay/brio.hpp"
 #include "delaunay/quadedge.hpp"
 #include "delaunay/triangulator.hpp"
 #include "geom/predicates.hpp"
+#include "geom/predicates_fast.hpp"
 #include "hull/monotone_chain.hpp"
 #include "runtime/rma.hpp"
 #include "spatial/adt.hpp"
@@ -57,6 +59,32 @@ void BM_IncircleFastPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncircleFastPath);
+
+void BM_Orient2dFiltered(benchmark::State& state) {
+  // The kernel's semi-static filter entry (predicates_fast.hpp): on random
+  // input it should stay entirely in the inline stage-A path.
+  const auto pts = cloud(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Vec2 a = pts[i % 1024], b = pts[(i + 7) % 1024],
+               c = pts[(i + 13) % 1024];
+    benchmark::DoNotOptimize(orient2d_fast(a, b, c));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient2dFiltered);
+
+void BM_IncircleFiltered(benchmark::State& state) {
+  const auto pts = cloud(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(incircle_fast(pts[i % 1024], pts[(i + 3) % 1024],
+                                           pts[(i + 11) % 1024],
+                                           pts[(i + 17) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IncircleFiltered);
 
 void BM_IncircleCocircular(benchmark::State& state) {
   for (auto _ : state) {
@@ -139,6 +167,53 @@ void BM_DelaunayDivideAndConquer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_DelaunayDivideAndConquer)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BrioOrder(benchmark::State& state) {
+  // Cost of computing the BRIO/Hilbert permutation alone (the overhead
+  // kBrio pays up front before any insertion happens).
+  const auto n = static_cast<int>(state.range(0));
+  const auto pts = cloud(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brio_order(pts).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BrioOrder)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DelaunayBrio(benchmark::State& state) {
+  // Full kBrio construction; compare against BM_DelaunaySorted (kXSorted
+  // plus its sort) and BM_DelaunayShuffled on the same clouds.
+  const auto n = static_cast<int>(state.range(0));
+  const auto pts = cloud(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        triangulate_points(pts, InsertionOrder::kBrio).mesh.triangle_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunayBrio)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_InsertWithHint(benchmark::State& state) {
+  // Incremental insertion throughput into a warm mesh, seeding each locate
+  // with the previous result's triangle (the Ruppert circumcenter pattern).
+  const auto base = cloud(10000, 3);
+  const auto extra = cloud(4096, 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DelaunayMesh mesh;
+    mesh.triangulate(base);
+    state.ResumeTiming();
+    TriIndex hint = kNoTri;
+    for (const Vec2 p : extra) {
+      const LocateResult loc = mesh.locate(p, hint);
+      mesh.insert_point(p, /*respect_constraints=*/false, loc.tri);
+      hint = loc.tri;
+    }
+    benchmark::DoNotOptimize(mesh.triangle_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_InsertWithHint);
 
 void BM_RuppertRefine(benchmark::State& state) {
   Pslg p;

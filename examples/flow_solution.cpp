@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/mesh_generator.hpp"
+#include "aero.hpp"
 #include "io/mesh_io.hpp"
 #include "solver/fem.hpp"
 #include "solver/panel.hpp"

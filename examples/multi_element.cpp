@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/mesh_generator.hpp"
+#include "aero.hpp"
 #include "io/mesh_io.hpp"
 
 int main() {

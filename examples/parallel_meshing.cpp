@@ -14,17 +14,19 @@
 int main() {
   using namespace aero;
 
-  MeshGeneratorConfig config;
-  config.airfoil = make_naca0012(300);
-  config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.22};
-  config.blayer.max_layers = 40;
-  config.farfield_chords = 10.0;
-  config.grade = 0.05;
-  config.inviscid_target_triangles = 2000.0;
-  config.bl_decompose = {.min_points = 800, .max_level = 12};
+  const Options opts = Options()
+                           .geometry(make_naca0012(300))
+                           .set_first_height(3e-4)
+                           .set_growth_ratio(1.22)
+                           .set_max_layers(40)
+                           .set_farfield_chords(10.0)
+                           .set_grade(0.05)
+                           .set_inviscid_target_triangles(2000.0)
+                           .set_bl_min_points(800)
+                           .set_ranks(4);
 
   std::printf("=== 4-rank in-process pool ===\n");
-  const ParallelMeshResult par = parallel_generate_mesh(config, 4);
+  const ParallelMeshResult par = parallel_generate_mesh(opts);
   std::printf("mesh: %zu triangles\n", par.mesh.triangle_count());
   const auto show_pool = [](const char* name, const PoolStats& p) {
     std::printf("%s pool: steals=%zu denials=%zu transfer=%zu B, tasks:",
@@ -37,7 +39,7 @@ int main() {
 
   std::printf("\n=== cluster performance model ===\n");
   std::printf("building measured task graph...\n");
-  const TaskGraph graph = build_task_graph(config);
+  const TaskGraph graph = build_task_graph(opts.to_config());
   std::printf("tasks=%zu total work=%.2f s (distributable stages %.3f s)\n",
               graph.nodes.size(), graph.total_seconds(),
               graph.distributable_before[0] + graph.distributable_before[1]);

@@ -1,30 +1,33 @@
 // Quickstart: push-button mesh generation for a NACA 0012.
 //
-// Demonstrates the minimal API: describe the geometry and boundary-layer
-// growth, call generate_mesh, inspect the result, write VTK + Triangle
-// formats. This is the paper's "the user only needs to provide the input
-// configuration and wait for the output" workflow.
+// Demonstrates the minimal API: build an aero::Options with the fluent
+// setters, call generate_mesh (which validates first), inspect the result,
+// write VTK + Triangle formats. This is the paper's "the user only needs to
+// provide the input configuration and wait for the output" workflow.
 
 #include <cstdio>
 
-#include "core/mesh_generator.hpp"
+#include "aero.hpp"
 #include "io/mesh_io.hpp"
 
 int main() {
   using namespace aero;
 
-  MeshGeneratorConfig config;
   // Geometry: a NACA 0012 with 400 surface points per side, sharp TE.
-  config.airfoil = make_naca0012(400);
   // Boundary layer: first cell 2e-4 chords, geometric growth 1.2, until the
-  // triangles turn isotropic.
-  config.blayer.growth = {GrowthKind::kGeometric, 2e-4, 1.2};
-  config.blayer.max_layers = 40;
-  // Far field at 15 chords for a quick run (the paper uses 30-50).
-  config.farfield_chords = 15.0;
+  // triangles turn isotropic. Far field at 15 chords for a quick run (the
+  // paper uses 30-50). Every unset knob keeps the documented library
+  // default; generate_mesh(Options) rejects invalid combinations with a
+  // typed issue list before any work starts.
+  const Options opts = Options()
+                           .geometry(make_naca0012(400))
+                           .set_first_height(2e-4)
+                           .set_growth_ratio(1.2)
+                           .set_max_layers(40)
+                           .set_farfield_chords(15.0);
 
   std::printf("Generating mesh (push-button)...\n");
-  const MeshGenerationResult result = generate_mesh(config);
+  const MeshGenerationResult result = generate_mesh(opts);
 
   const MergedStats stats = compute_stats(result.mesh);
   std::printf("\nMesh: %zu triangles, %zu vertices\n", stats.triangles,

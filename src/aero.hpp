@@ -1,0 +1,28 @@
+#pragma once
+
+// Umbrella public header of the aeromesh library.
+//
+// External code (tests/, examples/, downstream users) should include this
+// plus, when needed, the public module headers below — never the internal
+// src/** headers directly (enforced by the aerolint `public-api` rule;
+// white-box tests opt out per include line with
+// `// aerolint: allow(public-api)`).
+//
+// Public surface re-exported here:
+//   core/options.hpp         aero::Options, validate(), option_specs(),
+//                            generate_mesh(Options)
+//   core/mesh_generator.hpp  MeshGeneratorConfig (deprecated shim),
+//                            MeshGenerationResult, pipeline stages
+//   core/run_status.hpp      RunStatus
+//
+// Additional public headers that stay separate (they pull heavier deps):
+//   io/mesh_io.hpp             mesh writers/readers
+//   runtime/parallel_driver.hpp  parallel_generate_mesh
+//   runtime/cluster_model.hpp    strong-scaling performance model
+//   solver/panel.hpp, solver/fem.hpp  verification solvers
+//   airfoil/naca.hpp, airfoil/geometry.hpp  input geometry builders
+//   delaunay/triangulator.hpp    standalone (C)DT + refinement entry point
+
+#include "core/mesh_generator.hpp"
+#include "core/options.hpp"
+#include "core/run_status.hpp"

@@ -4,43 +4,13 @@
 // parameters to start the program, then momentarily wait for the resulting
 // mesh without having to further interact with the application."
 //
-// Usage:
-//   aeromesh [options]
-// Options:
-//   --geometry naca0012|naca<code>|three-element   (default naca0012)
-//   --poly <file.poly>        custom PSLG geometry (closed CCW loop(s))
-//   --surface-points N        points per side for generated sections (300)
-//   --first-height H          first boundary-layer cell height (2e-4)
-//   --growth-ratio R          geometric growth ratio (1.2)
-//   --growth geometric|polynomial|adaptive
-//   --max-layers N            cap on boundary-layer layers (40)
-//   --farfield C              far-field half-extent in chords (30)
-//   --grade G                 inviscid edge-length growth per unit (0.25)
-//   --ranks P                 mesh on a P-rank in-process pool (sequential
-//                             when omitted)
-//   --fault-rate R            chaos run: inject message drops at rate R
-//                             (duplication/corruption/delay at R/2) into the
-//                             pool fabric; requires --ranks
-//   --fault-seed S            deterministic seed for fault injection (0)
-//   --rma on|off              zero-copy RMA-window transport for large pool
-//                             payloads (on); off forces full-copy frames
-//   --coalesce-us N           coalesce small pool control messages, flushing
-//                             lanes after N microseconds (0 = off)
-//   --audit                   run the src/check invariant auditors at every
-//                             phase boundary (and over the pool protocol
-//                             trace when combined with --ranks); audits are
-//                             read-only, so the mesh is identical to a
-//                             non-audit run
-//   --trace FILE              record an execution timeline and write it as
-//                             Chrome trace_event JSON (open chrome://tracing
-//                             or ui.perfetto.dev); observation-only, the
-//                             mesh is bit-identical to an untraced run
-//   --metrics FILE            write metrics.json: every named counter/gauge/
-//                             histogram plus the per-rank load-balance table
-//                             (busy/comm/idle time, units, steals) when
-//                             combined with --ranks
-//   --output BASE             output basename (default "mesh")
-//   --format vtk|node-ele|binary|all   (default vtk)
+// Usage: aeromesh [options]; run `aeromesh --help` for the full flag table.
+//
+// Application-level options (geometry selection, output, observers) are the
+// short table below; every library knob (boundary layer, sizing, pool,
+// faults, trace buffers) is parsed from aero::option_specs(), the metadata
+// table generated from `aero::Options` — so --help, the benches, and the CLI
+// can never drift from the library defaults documented in core/options.hpp.
 //
 // Long options also accept --name=value syntax (e.g. --trace=run.json).
 //
@@ -54,9 +24,9 @@
 #include <cstring>
 #include <string>
 
+#include "aero.hpp"
 #include "airfoil/naca.hpp"
 #include "check/audit.hpp"
-#include "core/mesh_generator.hpp"
 #include "io/mesh_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -66,18 +36,49 @@ namespace {
 
 using namespace aero;
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--geometry naca0012|naca<code>|three-element]\n"
-               "  [--poly file.poly] [--surface-points N] [--first-height H]\n"
-               "  [--growth-ratio R] [--growth geometric|polynomial|adaptive]\n"
-               "  [--max-layers N] [--farfield C] [--grade G] [--ranks P]\n"
-               "  [--fault-rate R] [--fault-seed S] [--rma on|off]\n"
-               "  [--coalesce-us N] [--audit]\n"
-               "  [--trace FILE] [--metrics FILE]\n"
-               "  [--output BASE] [--format vtk|node-ele|binary|all]\n",
-               argv0);
-  std::exit(2);
+/// Application options: everything that is about this program (inputs,
+/// outputs, observers) rather than about the mesher. Library knobs are NOT
+/// listed here — they come from aero::option_specs().
+struct AppFlag {
+  const char* flag;
+  const char* value_name;  ///< nullptr for boolean switches
+  const char* help;
+};
+
+constexpr AppFlag kAppFlags[] = {
+    {"--geometry", "NAME",
+     "naca0012 | naca<code> | three-element (default naca0012)"},
+    {"--poly", "FILE", "custom PSLG geometry (closed CCW loop(s))"},
+    {"--surface-points", "N",
+     "points per side for generated sections (default 300)"},
+    {"--audit", nullptr,
+     "run the invariant auditors at every phase boundary (read-only)"},
+    {"--trace", "FILE",
+     "record a timeline as Chrome trace_event JSON (observation-only)"},
+    {"--metrics", "FILE",
+     "write metrics.json (counters, gauges, per-rank load balance)"},
+    {"--output", "BASE", "output basename (default \"mesh\")"},
+    {"--format", "KIND", "vtk | node-ele | binary | all (default vtk)"},
+    {"--help", nullptr, "print this table and exit"},
+};
+
+[[noreturn]] void usage(const char* argv0, bool requested) {
+  FILE* out = requested ? stdout : stderr;
+  std::fprintf(out, "usage: %s [options]\n\napplication options:\n", argv0);
+  for (const AppFlag& f : kAppFlags) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "%s %s", f.flag,
+                  f.value_name != nullptr ? f.value_name : "");
+    std::fprintf(out, "  %-28s %s\n", head, f.help);
+  }
+  std::fprintf(out, "\nlibrary options (defaults from aero::Options):\n");
+  for (const OptionSpec& s : option_specs()) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "%s %s", s.flag, s.value_name);
+    std::fprintf(out, "  %-28s %s (default %s)\n", head, s.help,
+                 s.default_str.c_str());
+  }
+  std::exit(requested ? 0 : 2);
 }
 
 AirfoilConfig load_poly_geometry(const std::string& path) {
@@ -138,13 +139,7 @@ int main(int argc, char** argv) {
   std::string output = "mesh";
   std::string format = "vtk";
   std::size_t surface_points = 300;
-  MeshGeneratorConfig config;
-  config.blayer.growth = {GrowthKind::kGeometric, 2e-4, 1.2};
-  config.blayer.max_layers = 40;
-  int ranks = 0;
-  double fault_rate = 0.0;
-  std::uint64_t fault_seed = 0;
-  PoolTuning tuning;
+  Options opts;
   bool audit = false;
   std::string trace_path;
   std::string metrics_path;
@@ -154,6 +149,10 @@ int main(int argc, char** argv) {
       audit = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], /*requested=*/true);
+    }
     // Value-taking option, in "--name value" or "--name=value" form.
     const auto arg = [&](const char* name) -> const char* {
       const std::size_t len = std::strlen(name);
@@ -161,7 +160,7 @@ int main(int argc, char** argv) {
         return argv[i] + len + 1;
       }
       if (std::strcmp(argv[i], name) != 0) return nullptr;
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) usage(argv[0], false);
       return argv[++i];
     };
     if (const char* v = arg("--geometry")) {
@@ -170,34 +169,6 @@ int main(int argc, char** argv) {
       poly_path = v;
     } else if (const char* v = arg("--surface-points")) {
       surface_points = std::strtoul(v, nullptr, 10);
-    } else if (const char* v = arg("--first-height")) {
-      config.blayer.growth.first_height = std::strtod(v, nullptr);
-    } else if (const char* v = arg("--growth-ratio")) {
-      config.blayer.growth.rate = std::strtod(v, nullptr);
-    } else if (const char* v = arg("--growth")) {
-      const std::string g = v;
-      config.blayer.growth.kind = g == "polynomial" ? GrowthKind::kPolynomial
-                                  : g == "adaptive" ? GrowthKind::kAdaptive
-                                                    : GrowthKind::kGeometric;
-    } else if (const char* v = arg("--max-layers")) {
-      config.blayer.max_layers = static_cast<int>(std::strtol(v, nullptr, 10));
-    } else if (const char* v = arg("--farfield")) {
-      config.farfield_chords = std::strtod(v, nullptr);
-    } else if (const char* v = arg("--grade")) {
-      config.grade = std::strtod(v, nullptr);
-    } else if (const char* v = arg("--ranks")) {
-      ranks = static_cast<int>(std::strtol(v, nullptr, 10));
-    } else if (const char* v = arg("--fault-rate")) {
-      fault_rate = std::strtod(v, nullptr);
-    } else if (const char* v = arg("--fault-seed")) {
-      fault_seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = arg("--rma")) {
-      const std::string m = v;
-      if (m != "on" && m != "off") usage(argv[0]);
-      tuning.rma = m == "on";
-    } else if (const char* v = arg("--coalesce-us")) {
-      tuning.coalesce_delay =
-          std::chrono::microseconds(std::strtol(v, nullptr, 10));
     } else if (const char* v = arg("--trace")) {
       trace_path = v;
     } else if (const char* v = arg("--metrics")) {
@@ -207,37 +178,61 @@ int main(int argc, char** argv) {
     } else if (const char* v = arg("--format")) {
       format = v;
     } else {
-      usage(argv[0]);
+      // Library knobs: every remaining flag is looked up in the Options
+      // metadata table, so the CLI needs no per-knob code at all.
+      bool matched = false;
+      for (const OptionSpec& spec : option_specs()) {
+        if (const char* v = arg(spec.flag)) {
+          if (!spec.apply(opts, v)) {
+            std::fprintf(stderr, "error: bad value for %s: '%s'\n", spec.flag,
+                         v);
+            return 2;
+          }
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) usage(argv[0], false);
     }
   }
-  config.trace.enabled = !trace_path.empty();
+  opts.trace = !trace_path.empty();
 
   if (!poly_path.empty()) {
-    config.airfoil = load_poly_geometry(poly_path);
+    opts.airfoil = load_poly_geometry(poly_path);
   } else if (geometry == "three-element") {
-    config.airfoil = make_three_element(surface_points);
+    opts.airfoil = make_three_element(surface_points);
   } else if (geometry.rfind("naca", 0) == 0 && geometry.size() == 8) {
     AirfoilElement e;
     e.name = geometry;
     e.surface = naca4_polyline(Naca4::from_code(geometry.substr(4)),
                                surface_points);
-    config.airfoil.elements.push_back(std::move(e));
+    opts.airfoil.elements.push_back(std::move(e));
   } else if (geometry == "naca0012") {
-    config.airfoil = make_naca0012(surface_points);
+    opts.airfoil = make_naca0012(surface_points);
   } else {
-    usage(argv[0]);
+    usage(argv[0], false);
   }
 
+  // Typed validation of the whole option set: print every issue, stop on
+  // errors (warnings are advisory).
+  {
+    const std::vector<OptionIssue> issues = opts.validate();
+    bool fatal = false;
+    for (const OptionIssue& issue : issues) {
+      std::fprintf(stderr, "%s: %s: %s\n",
+                   issue.is_error() ? "error" : "warning", issue.field.c_str(),
+                   issue.message.c_str());
+      fatal = fatal || issue.is_error();
+    }
+    if (fatal) return 2;
+  }
+
+  const int ranks = opts.ranks;
   std::printf("aeromesh: %zu element(s), %zu surface points, farfield %g "
               "chords%s\n",
-              config.airfoil.elements.size(),
-              config.airfoil.surface_point_count(), config.farfield_chords,
+              opts.airfoil.elements.size(),
+              opts.airfoil.surface_point_count(), opts.farfield_chords,
               ranks > 0 ? " (parallel pool)" : "");
-
-  if (fault_rate > 0.0 && ranks <= 0) {
-    std::fprintf(stderr, "error: --fault-rate requires --ranks\n");
-    return 2;
-  }
 
   MergedMesh mesh;
   PhaseTimings timings;
@@ -248,8 +243,8 @@ int main(int argc, char** argv) {
   if (audit) {
     // Deep invariant audits at every phase boundary. Read-only: the mesh of
     // an audited run is bit-identical to an unaudited one.
-    config.phase_hook = [&audit_defects](const char* phase,
-                                         const PhaseArtifacts& a) {
+    opts.phase_hook = [&audit_defects](const char* phase,
+                                       const PhaseArtifacts& a) {
       AuditReport report;
       if (std::strcmp(phase, "boundary_layer") == 0 &&
           a.boundary_layer != nullptr) {
@@ -262,22 +257,15 @@ int main(int argc, char** argv) {
   }
   try {
     if (ranks > 0) {
-      FaultConfig faults;
-      faults.enabled = fault_rate > 0.0;
-      faults.seed = fault_seed;
-      faults.drop_rate = fault_rate;
-      faults.duplicate_rate = fault_rate / 2.0;
-      faults.corrupt_rate = fault_rate / 2.0;
-      faults.delay_rate = fault_rate / 2.0;
-      ParallelMeshResult r = parallel_generate_mesh(
-          config, ranks, faults, audit ? &trace : nullptr, tuning);
+      ParallelMeshResult r =
+          parallel_generate_mesh(opts, audit ? &trace : nullptr);
       mesh = std::move(r.mesh);
       timings = r.timings;
       status = r.status;
       load_rows = rank_loads(r);
       std::printf("pool steals: %zu (bl) + %zu (inviscid)\n", r.bl_pool.steals,
                   r.inviscid_pool.steals);
-      if (faults.enabled) {
+      if (opts.fault_rate > 0.0) {
         const PoolStats& b = r.bl_pool;
         const PoolStats& i = r.inviscid_pool;
         std::printf("faults: dropped %zu, corrupt %zu, retries %zu, "
@@ -305,7 +293,7 @@ int main(int argc, char** argv) {
         audit_defects += report.defect_count;
       }
     } else {
-      MeshGenerationResult r = generate_mesh(config);
+      MeshGenerationResult r = generate_mesh(opts);
       mesh = std::move(r.mesh);
       timings = r.timings;
       status = r.status;

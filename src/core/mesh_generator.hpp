@@ -92,6 +92,11 @@ struct MeshGenerationResult {
 
 /// The push-button sequential pipeline (the parallel driver in src/runtime
 /// runs exactly these stages with the subdomain work distributed).
+///
+/// Deprecated shim: new code should build an `aero::Options` (core/options.hpp
+/// or the umbrella `aero.hpp`) and call `generate_mesh(const Options&)`, which
+/// validates before running. This struct-poking overload is kept for one
+/// release for existing callers and the internal pipeline.
 MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config);
 
 /// Stage: triangulate the boundary-layer cloud by projection-based

@@ -6,26 +6,27 @@
 #include <cstdio>
 #include <deque>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "geom/predicates.hpp"
+#include "geom/predicates_fast.hpp"
 #include "obs/trace.hpp"
 
 namespace aero {
 
-namespace {
-
 // Small deterministic PRNG for the stochastic walk (avoids pathological
-// cycles in point location without the cost of <random>).
-inline std::uint32_t next_rand() {
-  thread_local std::uint32_t state = 0x9d2c5680u;
-  state ^= state << 13;
-  state ^= state >> 17;
-  state ^= state << 5;
-  return state;
+// cycles in point location without the cost of <random>). The state is
+// per-mesh, not thread_local: a process-wide state would make the walk path
+// -- and through cavity seeding the triangle creation order -- depend on how
+// many walks earlier triangulations performed, breaking the guarantee that
+// the same input always yields a bit-identical mesh.
+std::uint32_t DelaunayMesh::next_rand() const {
+  std::uint32_t s = rand_state_;
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  rand_state_ = s;
+  return s;
 }
-
-}  // namespace
 
 std::size_t DelaunayMesh::inside_triangle_count() const {
   std::size_t n = 0;
@@ -62,7 +63,8 @@ void DelaunayMesh::set_vert_tri(TriIndex t) {
 bool DelaunayMesh::in_cavity(TriIndex t, Vec2 p) const {
   const MeshTri& mt = tris_[static_cast<size_t>(t)];
   if (!mt.is_ghost()) {
-    return incircle(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]), p) > 0.0;
+    return incircle_fast(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]), p) >
+           0.0;
   }
   // Ghost (w, u, kGhost) for finite hull edge (u, w): its "circumdisk" is
   // the open half-plane strictly beyond the hull edge, plus the open edge
@@ -72,7 +74,7 @@ bool DelaunayMesh::in_cavity(TriIndex t, Vec2 p) const {
   // retriangulation would emit a degenerate collinear triangle.
   const Vec2 w = point(mt.v[0]);
   const Vec2 u = point(mt.v[1]);
-  const double o = orient2d(w, u, p);
+  const double o = orient2d_fast(w, u, p);
   if (o > 0.0) return true;
   if (o < 0.0) return false;
   return (p - u).dot(w - u) > 0.0 && (p - w).dot(u - w) > 0.0;
@@ -85,6 +87,7 @@ bool DelaunayMesh::triangulate(const std::vector<Vec2>& pts,
   vert_tri_.clear();
   live_finite_ = 0;
   last_tri_ = kNoTri;
+  rand_state_ = 0x9d2c5680u;
 
   if (pts.size() < 3) return false;
 
@@ -192,7 +195,8 @@ LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
         o[i] = 1.0;  // we came from there; p is on this side by construction
         continue;
       }
-      o[i] = orient2d(point(mt.v[(i + 1) % 3]), point(mt.v[(i + 2) % 3]), p);
+      o[i] = orient2d_fast(point(mt.v[(i + 1) % 3]), point(mt.v[(i + 2) % 3]),
+                           p);
       if (o[i] < 0.0) neg[nneg++] = i;
       if (o[i] == 0.0) zero_mask |= 1 << i;
     }
@@ -242,21 +246,26 @@ LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
   throw std::logic_error("locate: walk failed to terminate");
 }
 
-VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
-                                           const std::vector<TriIndex>& seeds,
+VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
+                                           std::size_t nseeds,
                                            bool respect_constraints) {
   const auto vi = static_cast<VertIndex>(points_.size());
   points_.push_back(p);
   vert_tri_.push_back(kNoTri);
 
-  in_cavity_mark_.resize(tris_.size() + 8 + 4 * seeds.size(), 0);
+  if (in_cavity_mark_.size() < tris_.size()) {
+    in_cavity_mark_.resize(tris_.size() + tris_.size() / 2 + 8, 0);
+  }
   cavity_.clear();
-  std::vector<TriIndex> stack(seeds.begin(), seeds.end());
-  for (const TriIndex s : stack) in_cavity_mark_[static_cast<size_t>(s)] = 1;
+  cavity_stack_.clear();
+  for (std::size_t s = 0; s < nseeds; ++s) {
+    cavity_stack_.push_back(seeds[s]);
+    in_cavity_mark_[static_cast<size_t>(seeds[s])] = 1;
+  }
 
-  while (!stack.empty()) {
-    const TriIndex t = stack.back();
-    stack.pop_back();
+  while (!cavity_stack_.empty()) {
+    const TriIndex t = cavity_stack_.back();
+    cavity_stack_.pop_back();
     cavity_.push_back(t);
     const MeshTri& mt = tris_[static_cast<size_t>(t)];
     for (int i = 0; i < 3; ++i) {
@@ -265,22 +274,14 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
       if (respect_constraints && mt.constrained[i]) continue;
       if (in_cavity(nb, p)) {
         in_cavity_mark_[static_cast<size_t>(nb)] = 1;
-        stack.push_back(nb);
+        cavity_stack_.push_back(nb);
       }
     }
   }
 
   // Collect the directed boundary cycle of the cavity. Edge i of cavity
   // triangle t runs (v[i+1], v[i+2]) with the cavity on its left.
-  struct BoundaryEdge {
-    VertIndex a, b;
-    TriIndex outside;
-    int outside_edge;
-    bool constrained;
-    bool inside_region;
-  };
-  std::vector<BoundaryEdge> boundary;
-  boundary.reserve(cavity_.size() + 2);
+  boundary_.clear();
   for (const TriIndex t : cavity_) {
     const MeshTri& mt = tris_[static_cast<size_t>(t)];
     for (int i = 0; i < 3; ++i) {
@@ -298,19 +299,22 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
       // cavity triangle that owned its boundary edge. Ghost owners mean the
       // hull is being extended, which only happens during construction
       // (pre-carve), where everything is inside.
-      boundary.push_back({mt.v[(i + 1) % 3], mt.v[(i + 2) % 3], nb, nb_edge,
-                          mt.constrained[i],
-                          mt.is_ghost() ? true : mt.inside});
+      boundary_.push_back({mt.v[(i + 1) % 3], mt.v[(i + 2) % 3], nb, nb_edge,
+                           mt.constrained[i],
+                           mt.is_ghost() ? true : mt.inside});
     }
   }
 
   // Star retriangulation: one new triangle (vi, a, b) per boundary edge.
-  // Rotate storage so a ghost vertex always lands in slot 2.
-  std::unordered_map<VertIndex, TriIndex> tri_starting_at;
-  tri_starting_at.reserve(boundary.size() * 2);
-  std::vector<TriIndex> fresh;
-  fresh.reserve(boundary.size());
-  for (const BoundaryEdge& be : boundary) {
+  // Rotate storage so a ghost vertex always lands in slot 2. `fan_start_`
+  // maps a boundary edge's start vertex (slot a+1; kGhost lands at 0) to
+  // its fresh triangle; first write wins, matching the map semantics the
+  // pinched-cavity constrained case relies on.
+  if (fan_start_.size() < points_.size() + 1) {
+    fan_start_.resize(points_.size() + points_.size() / 2 + 2, kNoTri);
+  }
+  fresh_.clear();
+  for (const CavityEdge& be : boundary_) {
     const TriIndex nt = new_tri();
     MeshTri& m = tris_[static_cast<size_t>(nt)];
     if (be.a == kGhost) {
@@ -330,18 +334,18 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
     m.constrained[s_ab] = be.constrained;
     tris_[static_cast<size_t>(be.outside)].constrained[be.outside_edge] =
         be.constrained;
-    tri_starting_at.emplace(be.a, nt);
-    fresh.push_back(nt);
+    TriIndex& start = fan_start_[static_cast<size_t>(be.a + 1)];
+    if (start == kNoTri) start = nt;
+    fresh_.push_back(nt);
   }
 
   // Wire the fan: triangle for boundary edge (a, b) shares edge {vi, b} with
   // the triangle for the boundary edge starting at b.
-  for (std::size_t idx = 0; idx < boundary.size(); ++idx) {
-    const BoundaryEdge& be = boundary[idx];
-    const TriIndex nt = fresh[idx];
-    const auto it = tri_starting_at.find(be.b);
-    assert(it != tri_starting_at.end());
-    const TriIndex mt2 = it->second;
+  for (std::size_t idx = 0; idx < boundary_.size(); ++idx) {
+    const CavityEdge& be = boundary_[idx];
+    const TriIndex nt = fresh_[idx];
+    const TriIndex mt2 = fan_start_[static_cast<size_t>(be.b + 1)];
+    assert(mt2 != kNoTri);
     // In nt, the edge {vi, b} is the one excluding a.
     const int slot_nt = tris_[static_cast<size_t>(nt)].index_of(be.a);
     // In mt2 (edge (b, c)), the edge {vi, b} is the one excluding c, i.e.
@@ -357,15 +361,19 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
     link(nt, slot_nt, mt2, slot_m2);
   }
 
+  // Reset the touched arena entries (O(cavity), not O(mesh)).
+  for (const CavityEdge& be : boundary_) {
+    fan_start_[static_cast<size_t>(be.a + 1)] = kNoTri;
+  }
   for (const TriIndex t : cavity_) {
     in_cavity_mark_[static_cast<size_t>(t)] = 0;
     kill_tri(t);
   }
-  for (const TriIndex t : fresh) set_vert_tri(t);
-  if (!fresh.empty()) {
+  for (const TriIndex t : fresh_) set_vert_tri(t);
+  if (!fresh_.empty()) {
     // Prefer a finite triangle as the next walk hint.
-    last_tri_ = fresh[0];
-    for (const TriIndex t : fresh) {
+    last_tri_ = fresh_[0];
+    for (const TriIndex t : fresh_) {
       if (!tris_[static_cast<size_t>(t)].is_ghost()) {
         last_tri_ = t;
         break;
@@ -375,12 +383,13 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p,
   return vi;
 }
 
-VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints) {
+VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints,
+                                     TriIndex hint) {
   // Sampled: point insertion is the per-triangle hot path; recording every
   // call would swamp the trace buffer, a 1/256 sample still shows the
   // latency shape of the Bowyer-Watson cavity walk.
   AERO_TRACE_SPAN_SAMPLED("delaunay", "bw_insert", 256);
-  const LocateResult loc = locate(p);
+  const LocateResult loc = locate(p, hint);
   switch (loc.kind) {
     case LocateResult::Kind::kOnVertex:
       return tris_[static_cast<size_t>(loc.tri)].v[loc.edge];
@@ -389,13 +398,14 @@ VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints) {
       if (mt.constrained[loc.edge]) {
         return insert_point_on_edge(p, loc.tri, loc.edge);
       }
-      return insert_into_cavity(p, {loc.tri, mt.n[loc.edge]},
-                                respect_constraints);
+      const TriIndex seeds[2] = {loc.tri, mt.n[loc.edge]};
+      return insert_into_cavity(p, seeds, 2, respect_constraints);
     }
     case LocateResult::Kind::kInside:
-      return insert_into_cavity(p, {loc.tri}, respect_constraints);
-    case LocateResult::Kind::kOutside:
-      return insert_into_cavity(p, {loc.tri}, respect_constraints);
+    case LocateResult::Kind::kOutside: {
+      const TriIndex seeds[1] = {loc.tri};
+      return insert_into_cavity(p, seeds, 1, respect_constraints);
+    }
   }
   return -1;  // unreachable
 }
@@ -419,7 +429,8 @@ VertIndex DelaunayMesh::insert_point_on_edge(Vec2 p, TriIndex t, int edge) {
   mt.constrained[edge] = false;
   ms.constrained[sedge] = false;
 
-  const VertIndex vi = insert_into_cavity(p, {t, s},
+  const TriIndex seeds[2] = {t, s};
+  const VertIndex vi = insert_into_cavity(p, seeds, 2,
                                           /*respect_constraints=*/true);
   if (was_constrained) {
     for (const VertIndex end : {u, w}) {
@@ -752,10 +763,11 @@ void DelaunayMesh::flip_edge(TriIndex t, int edge) {
 }
 
 void DelaunayMesh::legalize_edge(TriIndex t0, int e0) {
-  std::vector<std::pair<TriIndex, int>> stack{{t0, e0}};
-  while (!stack.empty()) {
-    const auto [t, e] = stack.back();
-    stack.pop_back();
+  legalize_stack_.clear();
+  legalize_stack_.push_back({t0, e0});
+  while (!legalize_stack_.empty()) {
+    const auto [t, e] = legalize_stack_.back();
+    legalize_stack_.pop_back();
     MeshTri& mt = tris_[static_cast<size_t>(t)];
     if (mt.dead || mt.is_ghost() || mt.constrained[e]) continue;
     const TriIndex s = mt.n[e];
@@ -766,16 +778,16 @@ void DelaunayMesh::legalize_edge(TriIndex t0, int e0) {
       if (ms.n[i] == t) sedge = i;
     }
     const VertIndex q = ms.v[sedge];
-    if (incircle(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]), point(q)) >
-        0.0) {
+    if (incircle_fast(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]),
+                      point(q)) > 0.0) {
       flip_edge(t, e);
       // After the flip t = (p, a, q) and s = (q, b, p); re-examine the four
       // outer edges (the re-check before each flip keeps this safe even if a
       // queued (tri, slot) pair has been reused by a later flip).
-      stack.push_back({t, 0});
-      stack.push_back({t, 2});
-      stack.push_back({s, 0});
-      stack.push_back({s, 2});
+      legalize_stack_.push_back({t, 0});
+      legalize_stack_.push_back({t, 2});
+      legalize_stack_.push_back({s, 0});
+      legalize_stack_.push_back({s, 2});
     }
   }
 }

@@ -109,7 +109,11 @@ class DelaunayMesh {
   /// Insert one point. Returns the vertex index (an existing index if the
   /// point duplicates a present vertex). `respect_constraints` stops the
   /// cavity from crossing constrained edges (required once segments exist).
-  VertIndex insert_point(Vec2 p, bool respect_constraints);
+  /// `hint` seeds the locate walk (pass a triangle near/containing p when
+  /// the caller already walked there, e.g. Ruppert's circumcenter walk);
+  /// kNoTri falls back to the last touched triangle.
+  VertIndex insert_point(Vec2 p, bool respect_constraints,
+                         TriIndex hint = kNoTri);
 
   /// Insert a point known to lie in the interior of constrained edge
   /// `edge` of triangle `t`. Splits the constraint into two constrained
@@ -170,6 +174,7 @@ class DelaunayMesh {
   friend class RuppertRefiner;
 
   TriIndex new_tri();
+  std::uint32_t next_rand() const;
   void kill_tri(TriIndex t);
   void link(TriIndex t, int edge, TriIndex u, int uedge);
   void set_vert_tri(TriIndex t);
@@ -178,10 +183,12 @@ class DelaunayMesh {
   /// ghosts). Exact.
   bool in_cavity(TriIndex t, Vec2 p) const;
 
-  /// Bowyer-Watson cavity insertion. `seeds` are triangles already known to
-  /// be in the cavity. Returns the new vertex.
-  VertIndex insert_into_cavity(Vec2 p, const std::vector<TriIndex>& seeds,
-                               bool respect_constraints);
+  /// Bowyer-Watson cavity insertion. `seeds` are the (at most two) triangles
+  /// already known to be in the cavity. Returns the new vertex. All scratch
+  /// state lives in the cavity arena below: steady-state insertion performs
+  /// no heap allocation beyond the amortized growth of the mesh arrays.
+  VertIndex insert_into_cavity(Vec2 p, const TriIndex* seeds,
+                               std::size_t nseeds, bool respect_constraints);
 
   /// Replace diagonal (a, b) of the strictly convex quad around edge `edge`
   /// of t with the opposite diagonal. Both incident triangles must be finite.
@@ -197,10 +204,32 @@ class DelaunayMesh {
   std::size_t live_finite_ = 0;
   std::size_t input_point_count_ = 0;
   mutable TriIndex last_tri_ = kNoTri;
+  /// Stochastic-walk PRNG state (see next_rand in mesh.cpp). Per-mesh so a
+  /// triangulation's result never depends on process history.
+  mutable std::uint32_t rand_state_ = 0x9d2c5680u;
 
-  // Scratch buffers reused across insertions to avoid churn.
+  /// One directed edge of the cavity boundary cycle (see insert_into_cavity).
+  struct CavityEdge {
+    VertIndex a, b;
+    TriIndex outside;
+    int outside_edge;
+    bool constrained;
+    bool inside_region;
+  };
+
+  // Cavity arena: grow-only scratch owned by the mesh and *cleared, never
+  // freed* between insertions, so the Bowyer-Watson steady state touches the
+  // allocator only when an insert outgrows every previous one. `fan_start_`
+  // is a vertex-indexed map (slot v+1, so kGhost lands at 0) from a boundary
+  // edge's start vertex to its fresh triangle; entries touched by an insert
+  // are reset on the way out, keeping resets O(cavity), not O(vertices).
   std::vector<TriIndex> cavity_;
   std::vector<std::uint8_t> in_cavity_mark_;
+  std::vector<TriIndex> cavity_stack_;
+  std::vector<CavityEdge> boundary_;
+  std::vector<TriIndex> fresh_;
+  std::vector<TriIndex> fan_start_;
+  std::vector<std::pair<TriIndex, int>> legalize_stack_;
 };
 
 }  // namespace aero

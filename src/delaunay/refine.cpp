@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geom/predicates.hpp"
+#include "geom/predicates_fast.hpp"
 #include "geom/triangle_quality.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -24,7 +25,7 @@ bool RuppertRefiner::triangle_is_bad(TriIndex t) const {
     const Vec2 centroid{(a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0};
     if (area > opts_.sizing(centroid)) return true;
   }
-  if (radius_edge_ratio(a, b, c) > opts_.radius_edge_bound) {
+  if (radius_edge_exceeds(a, b, c, opts_.radius_edge_bound)) {
     // Seditious-edge guard: if the shortest edge joins two shell points of
     // the same small-angle cluster, splitting would ping-pong forever; the
     // triangle's smallest angle is already bounded by the cluster geometry.
@@ -80,8 +81,8 @@ RuppertRefiner::Walk RuppertRefiner::walk_to(Vec2 c, TriIndex t) const {
     int zeros = 0;
     for (int i = 0; i < 3; ++i) {
       if (i == came_from) continue;
-      const double o = orient2d(mesh_.point(mt.v[(i + 1) % 3]),
-                                mesh_.point(mt.v[(i + 2) % 3]), c);
+      const double o = orient2d_fast(mesh_.point(mt.v[(i + 1) % 3]),
+                                     mesh_.point(mt.v[(i + 2) % 3]), c);
       if (o < 0.0) {
         cross = i;
         break;
@@ -248,20 +249,23 @@ RefineStats RuppertRefiner::refine() {
 
     // Ruppert pre-check: would the circumcenter encroach any constrained
     // segment on its cavity boundary? If so, split those segments instead.
-    // (Simulated Bowyer-Watson cavity walk, read-only.)
-    std::vector<std::pair<VertIndex, VertIndex>> encroached;
+    // (Simulated Bowyer-Watson cavity walk, read-only; the scratch vectors
+    // are members so the steady state allocates nothing.)
+    encroached_.clear();
     {
-      std::vector<TriIndex> stack{walk.tri};
-      std::vector<TriIndex> visited{walk.tri};
-      auto seen = [&visited](TriIndex x) {
-        for (const TriIndex v : visited) {
+      precheck_stack_.clear();
+      precheck_visited_.clear();
+      precheck_stack_.push_back(walk.tri);
+      precheck_visited_.push_back(walk.tri);
+      auto seen = [this](TriIndex x) {
+        for (const TriIndex v : precheck_visited_) {
           if (v == x) return true;
         }
         return false;
       };
-      while (!stack.empty()) {
-        const TriIndex ct = stack.back();
-        stack.pop_back();
+      while (!precheck_stack_.empty()) {
+        const TriIndex ct = precheck_stack_.back();
+        precheck_stack_.pop_back();
         const MeshTri& cm = mesh_.tri(ct);
         for (int i = 0; i < 3; ++i) {
           const TriIndex nb = cm.n[i];
@@ -269,31 +273,51 @@ RefineStats RuppertRefiner::refine() {
             const Vec2 ea = mesh_.point(cm.v[(i + 1) % 3]);
             const Vec2 eb = mesh_.point(cm.v[(i + 2) % 3]);
             if ((ea - cc).dot(eb - cc) < 0.0) {
-              encroached.emplace_back(cm.v[(i + 1) % 3], cm.v[(i + 2) % 3]);
+              encroached_.emplace_back(cm.v[(i + 1) % 3], cm.v[(i + 2) % 3]);
             }
             continue;
           }
           if (nb == kNoTri || seen(nb)) continue;
           const MeshTri& nm = mesh_.tri(nb);
           if (nm.is_ghost()) continue;
-          if (incircle(mesh_.point(nm.v[0]), mesh_.point(nm.v[1]),
-                       mesh_.point(nm.v[2]), cc) > 0.0) {
-            visited.push_back(nb);
-            stack.push_back(nb);
+          if (incircle_fast(mesh_.point(nm.v[0]), mesh_.point(nm.v[1]),
+                            mesh_.point(nm.v[2]), cc) > 0.0) {
+            precheck_visited_.push_back(nb);
+            precheck_stack_.push_back(nb);
           }
         }
       }
     }
-    if (!encroached.empty()) {
+    if (!encroached_.empty()) {
       bool any = false;
-      for (const auto& [u, w] : encroached) {
+      for (const auto& [u, w] : encroached_) {
         if (split_segment(u, w) != kGhost) any = true;
       }
       if (any) tri_queue_.push_back(t);
       continue;
     }
 
-    const VertIndex vi = mesh_.insert_point(cc, /*respect_constraints=*/true);
+    // walk_to() already located the triangle containing cc, and the pre-check
+    // BFS above already computed the (constraint-respecting) cavity in
+    // precheck_visited_ -- every triangle whose circumdisk strictly contains
+    // cc, reached from walk.tri. Hand the whole set to the cavity insertion
+    // as pre-verified seeds so the incircle tests are not repeated. A short
+    // hinted locate still runs first to catch the degenerate placements
+    // (circumcenter exactly on a vertex or a constrained edge) that need the
+    // duplicate-merging / constraint-splitting paths.
+    VertIndex vi;
+    const LocateResult loc = mesh_.locate(cc, walk.tri);
+    if (loc.kind == LocateResult::Kind::kOnVertex) {
+      vi = mesh_.tri(loc.tri).v[loc.edge];
+    } else if (loc.kind == LocateResult::Kind::kOutside ||
+               (loc.kind == LocateResult::Kind::kOnEdge &&
+                mesh_.tri(loc.tri).constrained[loc.edge])) {
+      vi = mesh_.insert_point(cc, /*respect_constraints=*/true, walk.tri);
+    } else {
+      vi = mesh_.insert_into_cavity(cc, precheck_visited_.data(),
+                                    precheck_visited_.size(),
+                                    /*respect_constraints=*/true);
+    }
     if (static_cast<std::size_t>(vi) + 1 == mesh_.point_count()) {
       shell_origin_.resize(mesh_.point_count(), kGhost);
       ++stats_.circumcenters;

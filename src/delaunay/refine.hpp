@@ -81,6 +81,11 @@ class RuppertRefiner {
 
   std::vector<std::pair<VertIndex, VertIndex>> seg_queue_;
   std::vector<TriIndex> tri_queue_;
+  /// Scratch for the circumcenter encroachment pre-check (grow-only; cleared,
+  /// not freed, between circumcenter attempts).
+  std::vector<TriIndex> precheck_stack_;
+  std::vector<TriIndex> precheck_visited_;
+  std::vector<std::pair<VertIndex, VertIndex>> encroached_;
   /// For each vertex, the input vertex its concentric shell is centered on
   /// (kGhost when not a shell split point). Used to detect "seditious" short
   /// edges between shells of the same small-angle cluster.

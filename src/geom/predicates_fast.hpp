@@ -1,0 +1,111 @@
+#pragma once
+
+// Semi-static predicate filter fast path.
+//
+// The adaptive predicates in predicates.cpp are sign-exact but live behind a
+// function call: every orient2d()/incircle() in the Bowyer-Watson hot loop
+// pays call overhead even when the stage-A floating-point filter (the common
+// case by far) would have resolved the sign in a dozen flops. These inline
+// wrappers evaluate the same filters at the call site and fall through to
+// the exact adaptive predicates only on an inconclusive sign, so:
+//
+//   * the *sign* of every result is identical to the exact predicate's sign
+//     (callers of the fast path must consume only the sign -- the magnitude
+//     is the unadapted stage-A determinant, not the refined estimate);
+//   * meshes built through the fast path are bit-identical to meshes built
+//     through orient2d()/incircle() directly (verified by test_kernel.cpp on
+//     1e6 random and adversarial near-degenerate inputs);
+//   * the predicate stage counters are NOT incremented on the inline accept
+//     path (counting through a thread_local is most of the cost being
+//     removed); inconclusive calls fall into the exact predicates and count
+//     there as before.
+//
+// incircle_fast additionally carries a *semi-static* first tier: a forward
+// error bound computed from the maximum coordinate-difference magnitude
+// (4 multiplies off the critical path) that certifies the sign before the
+// dynamic stage-A permanent is even assembled. The static bound over-covers
+// the dynamic one (permanent <= 12*m^4, certified with factor 16), so a
+// sign it accepts is always one stage A would also accept.
+
+#include <cmath>
+#include <limits>
+
+#include "geom/predicates.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+namespace predicates_fast_detail {
+constexpr double kEps = std::numeric_limits<double>::epsilon() / 2.0;
+/// Stage-A bounds, identical to the ones inside predicates.cpp.
+constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEps) * kEps;
+constexpr double kIccErrBoundA = (10.0 + 96.0 * kEps) * kEps;
+/// Semi-static incircle tier: |det| > kIccStatic * m^4 certifies the sign,
+/// where m bounds every coordinate difference. The true permanent is at most
+/// 12*m^4; the factor 16 absorbs the rounding of m^2 and m^4 themselves.
+constexpr double kIccStatic = 16.0 * kIccErrBoundA;
+}  // namespace predicates_fast_detail
+
+/// Sign-exact orientation test with the floating-point filter inlined at the
+/// call site. Returns the stage-A determinant when the filter certifies its
+/// sign, otherwise the exact adaptive result. Consume only the sign.
+inline double orient2d_fast(Vec2 a, Vec2 b, Vec2 c) {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+  // Symmetric form of Shewchuk's stage-A branch ladder: when detleft and
+  // detright have opposite signs the bound is trivially met (detsum == |det|)
+  // and the sign is certified without the sign enumeration.
+  const double detsum = std::fabs(detleft) + std::fabs(detright);
+  const double errbound = predicates_fast_detail::kCcwErrBoundA * detsum;
+  if (det > errbound || -det > errbound) return det;
+  return orient2d(a, b, c);
+}
+
+/// Sign-exact incircle test with a semi-static filter and the stage-A filter
+/// inlined at the call site; falls through to the exact adaptive predicate on
+/// an inconclusive sign. Consume only the sign.
+inline double incircle_fast(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const double adx = a.x - d.x;
+  const double bdx = b.x - d.x;
+  const double cdx = c.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdy = b.y - d.y;
+  const double cdy = c.y - d.y;
+
+  const double bdxcdy = bdx * cdy;
+  const double cdxbdy = cdx * bdy;
+  const double alift = adx * adx + ady * ady;
+
+  const double cdxady = cdx * ady;
+  const double adxcdy = adx * cdy;
+  const double blift = bdx * bdx + bdy * bdy;
+
+  const double adxbdy = adx * bdy;
+  const double bdxady = bdx * ady;
+  const double clift = cdx * cdx + cdy * cdy;
+
+  const double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+                     clift * (adxbdy - bdxady);
+
+  // Tier 1 (semi-static): one max-magnitude bound instead of the permanent.
+  const double mx = std::fmax(std::fmax(std::fabs(adx), std::fabs(bdx)),
+                              std::fabs(cdx));
+  const double my = std::fmax(std::fmax(std::fabs(ady), std::fabs(bdy)),
+                              std::fabs(cdy));
+  const double m = std::fmax(mx, my);
+  const double m2 = m * m;
+  const double statbound = predicates_fast_detail::kIccStatic * (m2 * m2);
+  if (det > statbound || -det > statbound) return det;
+
+  // Tier 2 (dynamic stage A): the exact permanent-scaled bound.
+  const double permanent = (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * alift +
+                           (std::fabs(cdxady) + std::fabs(adxcdy)) * blift +
+                           (std::fabs(adxbdy) + std::fabs(bdxady)) * clift;
+  const double errbound = predicates_fast_detail::kIccErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return det;
+
+  return incircle(a, b, c, d);
+}
+
+}  // namespace aero

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+
 #include "geom/vec2.hpp"
 
 namespace aero {
@@ -22,6 +24,26 @@ double shortest_edge(Vec2 a, Vec2 b, Vec2 c);
 /// Circumradius-to-shortest-edge ratio. Ruppert's algorithm terminates with
 /// all ratios <= bound B; B = sqrt(2) corresponds to a 20.7 degree min angle.
 double radius_edge_ratio(Vec2 a, Vec2 b, Vec2 c);
+
+/// True when radius_edge_ratio(a, b, c) > bound, evaluated without square
+/// roots or divisions (compare R^2 * d^2 against bound^2 * s^2 * d^2
+/// cross-multiplied). This is the refinement-loop form of the test: it may
+/// disagree with the sqrt formulation by ~1 ulp at the threshold, which only
+/// moves the split decision of exactly-borderline triangles.
+inline bool radius_edge_exceeds(Vec2 a, Vec2 b, Vec2 c, double bound) {
+  const Vec2 ab = b - a;
+  const Vec2 ac = c - a;
+  const double d = 2.0 * ab.cross(ac);
+  const double ab2 = ab.norm2();
+  const double ac2 = ac.norm2();
+  // Circumcenter offset from `a`, scaled by d (see circumcenter()).
+  const double ux = ac.y * ab2 - ab.y * ac2;
+  const double uy = ab.x * ac2 - ac.x * ab2;
+  const double bc2 = (c - b).norm2();
+  const double s2 = std::min(std::min(ab2, ac2), bc2);
+  if (s2 == 0.0) return true;  // coincident vertices: the ratio is infinite
+  return ux * ux + uy * uy > (bound * bound) * s2 * (d * d);
+}
 
 /// Smallest interior angle in radians.
 double min_angle(Vec2 a, Vec2 b, Vec2 c);

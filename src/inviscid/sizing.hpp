@@ -17,13 +17,16 @@ struct GradedSizing {
   double surface_length = 0.02; ///< target edge length at the near-body box
   double grade = 0.25;          ///< edge-length growth per unit distance
 
-  /// Distance from p to the inner box (0 inside).
+  /// Distance from p to the inner box (0 inside). Plain sqrt, not
+  /// std::hypot: coordinates are O(farfield) chord lengths so the
+  /// overflow-proofing of hypot buys nothing, and this runs once per
+  /// triangle-quality check inside Ruppert refinement.
   double distance_to_inner(Vec2 p) const {
     const double dx =
         std::max({inner.lo.x - p.x, 0.0, p.x - inner.hi.x});
     const double dy =
         std::max({inner.lo.y - p.y, 0.0, p.y - inner.hi.y});
-    return std::hypot(dx, dy);
+    return std::sqrt(dx * dx + dy * dy);
   }
 
   /// Target edge length at p.

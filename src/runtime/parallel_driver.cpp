@@ -1,6 +1,8 @@
 #include "runtime/parallel_driver.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 
@@ -94,6 +96,35 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   result.status = worse(result.bl_pool.status, result.inviscid_pool.status);
   result.timings.record("total", total.seconds());
   return result;
+}
+
+ParallelMeshResult parallel_generate_mesh(const Options& opts,
+                                          ProtocolTrace* trace) {
+  std::vector<OptionIssue> issues = opts.validate();
+  if (opts.ranks < 1) {
+    issues.push_back({OptionIssue::Severity::kError, "ranks",
+                      "parallel run requires ranks >= 1"});
+  }
+  for (const OptionIssue& i : issues) {
+    if (i.is_error()) {
+      // Thrown on the caller's thread, before any pool thread exists.
+      throw std::invalid_argument(  // aerolint: allow(runtime-throw)
+          "invalid options:\n" + format_issues(issues));
+    }
+  }
+  FaultConfig faults;
+  faults.enabled = opts.fault_rate > 0.0;
+  faults.seed = opts.fault_seed;
+  faults.drop_rate = opts.fault_rate;
+  faults.duplicate_rate = opts.fault_rate / 2.0;
+  faults.corrupt_rate = opts.fault_rate / 2.0;
+  faults.delay_rate = opts.fault_rate / 2.0;
+  PoolTuning tuning;
+  tuning.rma = opts.rma;
+  tuning.rma_threshold = opts.rma_threshold;
+  tuning.coalesce_delay = std::chrono::microseconds(opts.coalesce_us);
+  return parallel_generate_mesh(opts.to_config(), opts.ranks, faults, trace,
+                                tuning);
 }
 
 void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/mesh_generator.hpp"
+#include "core/options.hpp"
 #include "obs/export.hpp"
 #include "runtime/pool.hpp"
 
@@ -42,6 +43,14 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           const FaultConfig& faults = {},
                                           ProtocolTrace* trace = nullptr,
                                           const PoolTuning& tuning = {});
+
+/// The unified-Options entry point: validates (throwing std::invalid_argument
+/// on errors, including ranks < 1), derives the fault/transport structs from
+/// the flat knobs (drop at `fault_rate`, duplication/corruption/delay at half
+/// of it — the CLI's historical chaos mix), and runs the pool. The
+/// struct-poking overload above remains as the deprecated fine-grained path.
+ParallelMeshResult parallel_generate_mesh(const Options& opts,
+                                          ProtocolTrace* trace = nullptr);
 
 /// Publish one pool pass's statistics into the global metrics registry under
 /// `prefix` (e.g. "pool.bl." -> "pool.bl.steals"). Called by the driver for

@@ -7,8 +7,8 @@
 
 #include "airfoil/geometry.hpp"
 #include "airfoil/naca.hpp"
-#include "geom/predicates.hpp"
-#include "geom/segment.hpp"
+#include "geom/predicates.hpp"  // aerolint: allow(public-api)
+#include "geom/segment.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

@@ -11,12 +11,12 @@
 #include <vector>
 
 #include "airfoil/geometry.hpp"
-#include "blayer/boundary_layer.hpp"
-#include "check/audit.hpp"
+#include "blayer/boundary_layer.hpp"  // aerolint: allow(public-api)
+#include "check/audit.hpp"  // aerolint: allow(public-api)
 #include "core/mesh_generator.hpp"
-#include "delaunay/mesh.hpp"
-#include "delaunay/quadedge.hpp"
-#include "geom/predicates.hpp"
+#include "delaunay/mesh.hpp"  // aerolint: allow(public-api)
+#include "delaunay/quadedge.hpp"  // aerolint: allow(public-api)
+#include "geom/predicates.hpp"  // aerolint: allow(public-api)
 #include "runtime/parallel_driver.hpp"
 
 namespace aero {

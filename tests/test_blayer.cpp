@@ -6,8 +6,8 @@
 
 #include <cmath>
 
-#include "blayer/boundary_layer.hpp"
-#include "geom/segment.hpp"
+#include "blayer/boundary_layer.hpp"  // aerolint: allow(public-api)
+#include "geom/segment.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

@@ -4,9 +4,9 @@
 
 #include <cmath>
 
-#include "core/distance_field.hpp"
+#include "core/distance_field.hpp"  // aerolint: allow(public-api)
 #include "core/mesh_generator.hpp"
-#include "geom/segment.hpp"
+#include "geom/segment.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

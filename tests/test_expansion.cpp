@@ -6,7 +6,7 @@
 #include <cmath>
 #include <random>
 
-#include "geom/expansion.hpp"
+#include "geom/expansion.hpp"  // aerolint: allow(public-api)
 
 namespace aero::expansion {
 namespace {

@@ -8,8 +8,8 @@
 #include <chrono>
 
 #include "core/mesh_generator.hpp"
-#include "core/timer.hpp"
-#include "runtime/pool.hpp"
+#include "core/timer.hpp"  // aerolint: allow(public-api)
+#include "runtime/pool.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

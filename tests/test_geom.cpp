@@ -5,10 +5,10 @@
 #include <cmath>
 #include <random>
 
-#include "geom/bbox.hpp"
-#include "geom/segment.hpp"
-#include "geom/triangle_quality.hpp"
-#include "geom/vec2.hpp"
+#include "geom/bbox.hpp"  // aerolint: allow(public-api)
+#include "geom/segment.hpp"  // aerolint: allow(public-api)
+#include "geom/triangle_quality.hpp"  // aerolint: allow(public-api)
+#include "geom/vec2.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

@@ -6,8 +6,8 @@
 #include <cmath>
 #include <random>
 
-#include "geom/predicates.hpp"
-#include "hull/monotone_chain.hpp"
+#include "geom/predicates.hpp"  // aerolint: allow(public-api)
+#include "hull/monotone_chain.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

@@ -8,8 +8,8 @@
 #include <map>
 #include <set>
 
-#include "delaunay/stats.hpp"
-#include "inviscid/decouple.hpp"
+#include "delaunay/stats.hpp"  // aerolint: allow(public-api)
+#include "inviscid/decouple.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

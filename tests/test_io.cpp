@@ -8,7 +8,7 @@
 
 #include "delaunay/triangulator.hpp"
 #include "io/mesh_io.hpp"
-#include "core/timer.hpp"
+#include "core/timer.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

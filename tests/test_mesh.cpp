@@ -6,7 +6,7 @@
 #include <cmath>
 #include <random>
 
-#include "delaunay/mesh.hpp"
+#include "delaunay/mesh.hpp"  // aerolint: allow(public-api)
 #include "delaunay/triangulator.hpp"
 
 namespace aero {

@@ -14,9 +14,9 @@
 #include <vector>
 
 #include "core/mesh_generator.hpp"
-#include "obs/export.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/export.hpp"  // aerolint: allow(public-api)
+#include "obs/metrics.hpp"  // aerolint: allow(public-api)
+#include "obs/trace.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

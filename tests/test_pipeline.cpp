@@ -7,7 +7,7 @@
 #include <cmath>
 
 #include "core/mesh_generator.hpp"
-#include "geom/triangle_quality.hpp"
+#include "geom/triangle_quality.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

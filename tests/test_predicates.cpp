@@ -7,7 +7,7 @@
 #include <cmath>
 #include <random>
 
-#include "geom/predicates.hpp"
+#include "geom/predicates.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

@@ -8,9 +8,9 @@
 #include <map>
 #include <random>
 
-#include "delaunay/quadedge.hpp"
+#include "delaunay/quadedge.hpp"  // aerolint: allow(public-api)
 #include "delaunay/triangulator.hpp"
-#include "geom/predicates.hpp"
+#include "geom/predicates.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

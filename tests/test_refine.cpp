@@ -5,7 +5,7 @@
 
 #include <cmath>
 
-#include "delaunay/stats.hpp"
+#include "delaunay/stats.hpp"  // aerolint: allow(public-api)
 #include "delaunay/triangulator.hpp"
 
 namespace aero {

@@ -10,11 +10,11 @@
 #include <random>
 #include <thread>
 
-#include "check/audit.hpp"
+#include "check/audit.hpp"  // aerolint: allow(public-api)
 #include "core/mesh_generator.hpp"
 #include "runtime/parallel_driver.hpp"
-#include "runtime/pool.hpp"
-#include "runtime/rma.hpp"
+#include "runtime/pool.hpp"  // aerolint: allow(public-api)
+#include "runtime/rma.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

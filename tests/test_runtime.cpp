@@ -8,7 +8,7 @@
 
 #include "core/mesh_generator.hpp"
 #include "runtime/parallel_driver.hpp"
-#include "runtime/pool.hpp"
+#include "runtime/pool.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

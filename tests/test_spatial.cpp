@@ -5,7 +5,7 @@
 
 #include <random>
 
-#include "spatial/adt.hpp"
+#include "spatial/adt.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

@@ -10,7 +10,7 @@
 #include <map>
 #include <random>
 
-#include "hull/subdomain.hpp"
+#include "hull/subdomain.hpp"  // aerolint: allow(public-api)
 
 namespace aero {
 namespace {

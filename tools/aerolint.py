@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """aerolint: in-tree static guardrails for the aeromesh library sources.
 
-Dependency-free (stdlib only). Lints every .hpp/.cpp under src/ for the
-project-specific rules that generic tools cannot know:
+Dependency-free (stdlib only). Lints every .hpp/.cpp under src/ (all rules)
+and under tests/ and examples/ (the public-api include-surface rule only)
+for the project-specific rules that generic tools cannot know:
 
   geom-predicates  Floating-point orientation/incircle arithmetic (sign tests
                    of cross products, inline 2x2 determinants) belongs in
@@ -29,6 +30,11 @@ project-specific rules that generic tools cannot know:
                    copies the zero-copy transport exists to eliminate.
   layering         #include edges between src/ modules must follow the
                    dependency DAG below; no cycles, no upward includes.
+  public-api       tests/ and examples/ compile against the public surface
+                   only: the umbrella src/aero.hpp plus the PUBLIC_HEADERS
+                   allowlist. A white-box test that genuinely needs an
+                   internal header opts out per include line with the
+                   escape comment.
 
 A line may opt out of one rule with an inline escape comment:
 
@@ -255,6 +261,47 @@ def check_layering(relpath, code, raw):
     return None
 
 
+# ---------------------------------------------------------------------------
+# public-api: the headers external code (tests/, examples/, downstream users)
+# may include directly. Everything else under src/ is internal; reaching for
+# it from tests/examples is a white-box dependency that must be declared with
+# an inline escape. Keep in sync with the table in src/aero.hpp.
+PUBLIC_HEADERS = {
+    "aero.hpp",
+    "core/options.hpp",
+    "core/mesh_generator.hpp",
+    "core/run_status.hpp",
+    "core/merged_mesh.hpp",
+    "io/mesh_io.hpp",
+    "runtime/parallel_driver.hpp",
+    "runtime/cluster_model.hpp",
+    "solver/panel.hpp",
+    "solver/fem.hpp",
+    "airfoil/naca.hpp",
+    "airfoil/geometry.hpp",
+    "delaunay/triangulator.hpp",
+}
+
+QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def check_public_api(relpath, code, raw):
+    top = relpath.split(os.sep)[0]
+    if top not in ("tests", "examples"):
+        return None
+    if not code.lstrip().startswith("#"):
+        return None
+    m = QUOTED_INCLUDE_RE.search(raw)
+    if m is None:
+        return None
+    target = m.group(1).replace("\\", "/")
+    if target in PUBLIC_HEADERS:
+        return None
+    return ("non-public header \"%s\"; %s/ may include only src/aero.hpp and "
+            "the public headers (white-box tests opt out per line)"
+            % (target, top))
+
+
 RULES = [
     ("geom-predicates", check_geom_predicates),
     ("determinism", check_determinism),
@@ -264,16 +311,21 @@ RULES = [
     ("runtime-throw", check_runtime_throw),
     ("payload-copy", check_payload_copy),
     ("layering", check_layering),
+    ("public-api", check_public_api),
 ]
 
+# tests/ and examples/ are not library code: only the include-surface rule
+# applies there (they may print, use raw clocks, throw, ...).
+EXTERNAL_RULES = [("public-api", check_public_api)]
 
-def lint_lines(relpath, lines):
+
+def lint_lines(relpath, lines, rules=RULES):
     """Yield (lineno, rule, message) violations for one file's lines."""
     in_block = False
     for lineno, raw in enumerate(lines, start=1):
         code, in_block = strip_code(raw, in_block)
         escapes = set(ESCAPE_RE.findall(raw))
-        for rule, check in RULES:
+        for rule, check in rules:
             if rule in escapes:
                 continue
             msg = check(relpath, code, raw)
@@ -283,18 +335,20 @@ def lint_lines(relpath, lines):
 
 def lint_tree(root):
     violations = []
-    src = os.path.join(root, "src")
-    for dirpath, _dirnames, filenames in os.walk(src):
-        for name in sorted(filenames):
-            if not name.endswith((".hpp", ".cpp")):
-                continue
-            path = os.path.join(dirpath, name)
-            relpath = os.path.relpath(path, root)
-            with open(path, "r", encoding="utf-8") as f:
-                lines = f.read().splitlines()
-            for lineno, rule, msg in lint_lines(relpath, lines):
-                violations.append("%s:%d: [%s] %s"
-                                  % (relpath, lineno, rule, msg))
+    walks = [("src", RULES), ("tests", EXTERNAL_RULES),
+             ("examples", EXTERNAL_RULES)]
+    for top, rules in walks:
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if not name.endswith((".hpp", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                relpath = os.path.relpath(path, root)
+                with open(path, "r", encoding="utf-8") as f:
+                    lines = f.read().splitlines()
+                for lineno, rule, msg in lint_lines(relpath, lines, rules):
+                    violations.append("%s:%d: [%s] %s"
+                                      % (relpath, lineno, rule, msg))
     return violations
 
 
@@ -349,6 +403,12 @@ SEEDED = [
     ("layering", os.path.join("src", "core", "x.cpp"),
      '#include "runtime/pool.hpp"',
      '#include "hull/subdomain.hpp"'),
+    ("public-api", os.path.join("tests", "x.cpp"),
+     '#include "delaunay/mesh.hpp"',
+     '#include "aero.hpp"'),
+    ("public-api", os.path.join("examples", "x.cpp"),
+     '#include "runtime/pool.hpp"',
+     '#include "runtime/parallel_driver.hpp"'),
 ]
 
 
