@@ -59,7 +59,7 @@ int main() {
   opts.steal_threshold = 1.0;
   opts.update_period = std::chrono::microseconds(50);
   opts.inviscid_target_triangles = cfg.inviscid_target_triangles;
-  opts.heartbeat_timeout = std::chrono::milliseconds(1000);
+  opts.tuning.heartbeat_timeout = std::chrono::milliseconds(1000);
 
   const auto make_initial = [&] {
     std::vector<WorkUnit> initial;
@@ -133,8 +133,8 @@ int main() {
   // The same chaos over the copy path with coalescing on: the recovery
   // machinery must deliver the identical mesh on both transports.
   PoolOptions chaos_copy = chaos;
-  chaos_copy.transport.rma = false;
-  chaos_copy.transport.coalesce_delay = std::chrono::microseconds(150);
+  chaos_copy.tuning.rma = false;
+  chaos_copy.tuning.coalesce_delay = std::chrono::microseconds(150);
   MergedMesh out_copy;
   const PoolStats sc =
       run_pool(make_initial(), domain.sizing, chaos_copy, out_copy);

@@ -16,8 +16,16 @@
 //
 // Exit codes: 0 success; 1 non-manifold mesh; 2 usage error; 3 partial or
 // failed parallel run (watchdog/lost results); 4 pipeline exception; 5 an
-// --audit pass reported defects.
+// --audit pass reported defects; 6 run stopped by a budget or signal (valid
+// partial mesh written; resumable with --resume when checkpointing).
+//
+// Signals (parallel runs): the first SIGINT/SIGTERM requests a graceful
+// drain -- in-flight subdomains finish, the checkpoint journal, partial
+// mesh, trace, and metrics are all written, and the process exits 6. A
+// second signal force-exits immediately (130).
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +52,16 @@ struct AppFlag {
   const char* value_name;  ///< nullptr for boolean switches
   const char* help;
 };
+
+/// Signal-driven graceful stop. The handler only touches lock-free atomics
+/// and _Exit, all async-signal-safe; the pool's monitor thread polls g_stop.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signals{0};
+
+void handle_stop_signal(int) {
+  if (g_signals.fetch_add(1) >= 1) std::_Exit(130);  // second signal: now
+  g_stop.store(true);
+}
 
 constexpr AppFlag kAppFlags[] = {
     {"--geometry", "NAME",
@@ -255,14 +273,37 @@ int main(int argc, char** argv) {
       audit_defects += report.defect_count;
     };
   }
+  CheckpointSummary resilience;
   try {
     if (ranks > 0) {
+      // Graceful signal handling only makes sense with the pool (the
+      // sequential pipeline has no drain point); leave the default
+      // immediate-kill behavior for sequential runs.
+      opts.stop_flag = &g_stop;
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
       ParallelMeshResult r =
           parallel_generate_mesh(opts, audit ? &trace : nullptr);
       mesh = std::move(r.mesh);
       timings = r.timings;
       status = r.status;
+      resilience = r.resilience;
       load_rows = rank_loads(r);
+      if (resilience.resume_attempted) {
+        if (resilience.resume_rejected) {
+          std::fprintf(stderr, "warning: resume rejected: %s\n",
+                       resilience.resume_error.c_str());
+        } else {
+          std::printf("resume: %zu journal record(s) loaded, %zu subdomain(s) "
+                      "replayed instead of re-meshed",
+                      resilience.resume_records, resilience.resumed_units);
+          if (resilience.discarded_bytes > 0) {
+            std::printf(" (%zu corrupt tail byte(s) discarded)",
+                        resilience.discarded_bytes);
+          }
+          std::printf("\n");
+        }
+      }
       std::printf("pool steals: %zu (bl) + %zu (inviscid)\n", r.bl_pool.steals,
                   r.inviscid_pool.steals);
       if (opts.fault_rate > 0.0) {
@@ -279,16 +320,35 @@ int main(int argc, char** argv) {
                     b.retransmits + i.retransmits,
                     b.dead_ranks + i.dead_ranks);
       }
-      if (status != RunStatus::kOk) {
+      if (status == RunStatus::kStopped) {
+        // Completeness report: what a drained run finished and how to get
+        // the rest.
+        std::printf("run stopped (%s): %zu of %zu subdomain(s) complete; "
+                    "partial mesh is valid\n",
+                    to_string(resilience.stop_cause), resilience.units_done,
+                    resilience.units_total);
+        if (resilience.checkpointed_units > 0 ||
+            !opts.checkpoint_path.empty() || !opts.resume_path.empty()) {
+          const std::string& journal = !opts.checkpoint_path.empty()
+                                           ? opts.checkpoint_path
+                                           : opts.resume_path;
+          std::printf("re-run with --resume %s to mesh the remainder\n",
+                      journal.c_str());
+        } else {
+          std::printf("re-run with --checkpoint FILE to make stopped runs "
+                      "resumable\n");
+        }
+      } else if (status != RunStatus::kOk) {
         std::fprintf(stderr, "warning: parallel run status: %s\n",
                      to_string(status));
       }
       if (audit) {
-        // Replay the recorded pool protocol. A watchdog-aborted run
-        // legitimately leaves work unfinished; only the exactly-once and
-        // ordering invariants are enforced then.
-        const AuditReport report =
-            audit_protocol(trace, status == RunStatus::kFailed);
+        // Replay the recorded pool protocol. A watchdog-aborted or drained
+        // run legitimately leaves work unfinished; only the exactly-once
+        // and ordering invariants are enforced then.
+        const AuditReport report = audit_protocol(
+            trace, status == RunStatus::kFailed ||
+                       status == RunStatus::kStopped);
         std::printf("audit[protocol]: %s\n", report.summary().c_str());
         audit_defects += report.defect_count;
       }
@@ -360,5 +420,7 @@ int main(int argc, char** argv) {
                  audit_defects);
     return 5;
   }
+  if (status == RunStatus::kStopped) return 6;
+  if (status == RunStatus::kPartial || status == RunStatus::kFailed) return 3;
   return conf.manifold ? 0 : 1;
 }

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aero {
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte range, slice-by-8. Every
+/// protocol payload carries this as a 4-byte little-endian trailer so a
+/// corrupted message is detected at the receiver instead of being
+/// deserialized into garbage; the checkpoint journal frames every record
+/// with it so a torn write is detected at resume instead of replaying
+/// garbage triangles. Lives in core so both the runtime serializers and the
+/// io journal can share one implementation.
+///
+/// `seed` chains ranges without concatenating them: crc32 of A++B equals
+/// crc32(B, nb, crc32(A, na)), which is how the journal frames a record's
+/// key and payload without copying them into one contiguous buffer first.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+}  // namespace aero

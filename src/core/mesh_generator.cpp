@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
+#include <utility>
 
 #include "geom/predicates.hpp"
 #include "geom/segment.hpp"
@@ -191,6 +193,21 @@ InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
   for (const auto& e : bl_mesh.missing_edges(surface_edges)) {
     domain.bl_interface.push_back(e);
   }
+  // Canonicalize: boundary_edges reports in hash-map iteration order, which
+  // varies run to run. The interface feeds the near-body unit's serialized
+  // content (and the CDT's constraint insertion order), so checkpoint keys
+  // and resumed meshes are bit-stable only if this list is.
+  for (auto& e : domain.bl_interface) {
+    if (std::make_pair(e.second.x, e.second.y) <
+        std::make_pair(e.first.x, e.first.y)) {
+      std::swap(e.first, e.second);
+    }
+  }
+  std::sort(domain.bl_interface.begin(), domain.bl_interface.end(),
+            [](const std::pair<Vec2, Vec2>& a, const std::pair<Vec2, Vec2>& b) {
+              return std::tie(a.first.x, a.first.y, a.second.x, a.second.y) <
+                     std::tie(b.first.x, b.first.y, b.second.x, b.second.y);
+            });
   domain.hole_seeds = bl.hole_seeds;
   return domain;
 }

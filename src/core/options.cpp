@@ -134,6 +134,36 @@ std::vector<OptionIssue> Options::validate() const {
   if (coalesce_us < 0) {
     err(issues, "coalesce_us", "coalesce delay must be >= 0");
   }
+  if (ack_timeout_ms < 1) {
+    err(issues, "ack_timeout_ms", "ack timeout must be >= 1 ms");
+  }
+  if (heartbeat_timeout_ms < 1) {
+    err(issues, "heartbeat_timeout_ms", "heartbeat timeout must be >= 1 ms");
+  } else if (heartbeat_timeout_ms <= ack_timeout_ms) {
+    warn(issues, "heartbeat_timeout_ms",
+         "heartbeat timeout at or below the ack timeout: one retransmit "
+         "window can get a live rank declared dead");
+  }
+  if (watchdog_timeout_s < 0) {
+    err(issues, "watchdog_timeout_s", "watchdog bound must be >= 0 (0 = auto)");
+  }
+  if (budget_wall_ms < 0) {
+    err(issues, "budget_wall_ms", "wall budget must be >= 0 (0 = unlimited)");
+  }
+  if (budget_rss_mb < 0) {
+    err(issues, "budget_rss_mb", "RSS budget must be >= 0 (0 = unlimited)");
+  }
+  if ((budget_wall_ms > 0 || budget_rss_mb > 0) && ranks <= 0) {
+    warn(issues, budget_wall_ms > 0 ? "budget_wall_ms" : "budget_rss_mb",
+         "run budgets are enforced by the parallel pool; the sequential "
+         "pipeline ignores them");
+  }
+  if (!checkpoint_path.empty() && ranks <= 0) {
+    err(issues, "checkpoint_path", "checkpointing requires ranks > 0");
+  }
+  if (!resume_path.empty() && ranks <= 0) {
+    err(issues, "resume_path", "resume requires ranks > 0");
+  }
   if (fault_rate < 0.0 || fault_rate >= 1.0) {
     err(issues, "fault_rate", "injection rate must be in [0, 1)");
   } else if (fault_rate > 0.0 && ranks <= 0) {
@@ -291,6 +321,53 @@ const std::vector<OptionSpec>& option_specs() {
                  [](Options& o, const char* t) {
                    return parse_long(t, &o.coalesce_us);
                  }});
+    s.push_back({"--ack-timeout-ms", "N",
+                 "retransmit unacked pool transfers after N ms",
+                 std::to_string(d.ack_timeout_ms),
+                 [](Options& o, const char* t) {
+                   return parse_long(t, &o.ack_timeout_ms);
+                 }});
+    s.push_back({"--heartbeat-timeout-ms", "N",
+                 "declare a silent rank dead after N ms without a heartbeat",
+                 std::to_string(d.heartbeat_timeout_ms),
+                 [](Options& o, const char* t) {
+                   return parse_long(t, &o.heartbeat_timeout_ms);
+                 }});
+    s.push_back({"--watchdog-timeout-s", "N",
+                 "hard watchdog bound per pool pass (0 = auto-scale with "
+                 "problem size)",
+                 std::to_string(d.watchdog_timeout_s),
+                 [](Options& o, const char* t) {
+                   return parse_long(t, &o.watchdog_timeout_s);
+                 }});
+    s.push_back({"--budget-wall-ms", "N",
+                 "wall budget per pool pass; on exhaustion drain gracefully "
+                 "to a resumable partial mesh (0 = unlimited)",
+                 std::to_string(d.budget_wall_ms),
+                 [](Options& o, const char* t) {
+                   return parse_long(t, &o.budget_wall_ms);
+                 }});
+    s.push_back({"--budget-rss-mb", "N",
+                 "peak-RSS budget in MiB; same graceful drain (0 = unlimited)",
+                 std::to_string(d.budget_rss_mb),
+                 [](Options& o, const char* t) {
+                   return parse_long(t, &o.budget_rss_mb);
+                 }});
+    s.push_back({"--checkpoint", "FILE",
+                 "append finalized subdomains to this journal",
+                 "none",
+                 [](Options& o, const char* t) {
+                   o.checkpoint_path = t;
+                   return !o.checkpoint_path.empty();
+                 }});
+    s.push_back({"--resume", "FILE",
+                 "resume from a journal: replay completed subdomains, mesh "
+                 "only the remainder (appends in place unless --checkpoint)",
+                 "none",
+                 [](Options& o, const char* t) {
+                   o.resume_path = t;
+                   return !o.resume_path.empty();
+                 }});
     s.push_back({"--fault-rate", "R",
                  "chaos run: inject message drops at rate R (dup/corrupt/"
                  "delay at R/2); requires --ranks",
@@ -316,6 +393,18 @@ const std::vector<OptionSpec>& option_specs() {
     return s;
   }();
   return specs;
+}
+
+long scaled_watchdog_seconds(const Options& opts) {
+  if (opts.watchdog_timeout_s > 0) return opts.watchdog_timeout_s;
+  // Work scales roughly with the boundary-layer point count (surface points
+  // x layers); 2500 point-layers per second is far below what even an
+  // oversubscribed CI box manages, so the bound only catches real hangs.
+  const std::size_t points = opts.airfoil.surface_point_count();
+  const long layers = static_cast<long>(opts.max_layers) + 1;
+  const long scaled =
+      120 + static_cast<long>(points) * layers / 2500;
+  return scaled < 120 ? 120 : (scaled > 7200 ? 7200 : scaled);
 }
 
 MeshGenerationResult generate_mesh(const Options& opts) {

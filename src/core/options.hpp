@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -92,6 +93,35 @@ struct Options {
   /// Coalesce small pool control messages, flushing lanes after this many
   /// microseconds (0 = coalescing off).
   long coalesce_us = 0;
+  /// Unacknowledged pool work transfers are retransmitted after this long.
+  long ack_timeout_ms = 25;
+  /// A rank whose heartbeat stalls this long is declared dead and its
+  /// queued work reclaimed.
+  long heartbeat_timeout_ms = 500;
+  /// Hard watchdog bound on a pool pass, in seconds. 0 = auto: scaled with
+  /// the problem size (see scaled_watchdog_seconds), never below 120 s.
+  long watchdog_timeout_s = 0;
+
+  // -- Run-level resilience -----------------------------------------------
+  /// Wall-clock budget per pool pass, in milliseconds (0 = unlimited). On
+  /// exhaustion the run drains gracefully: in-flight subdomains finish, the
+  /// partial mesh and checkpoint journal are written, and the run reports
+  /// RunStatus::kStopped with a completeness summary.
+  long budget_wall_ms = 0;
+  /// Peak-RSS budget for the process, in MiB (0 = unlimited). Same graceful
+  /// drain as the wall budget when exceeded.
+  long budget_rss_mb = 0;
+  /// Append finalized subdomains to this checkpoint journal ("" = off).
+  std::string checkpoint_path;
+  /// Resume from this journal: completed subdomains are replayed instead of
+  /// re-meshed; the merged result is bit-identical to an uninterrupted run.
+  /// When checkpoint_path is empty the journal is also appended in place, so
+  /// an interrupted resume is itself resumable.
+  std::string resume_path;
+  /// External stop request (programmatic, not CLI-settable): when the
+  /// pointee flips true mid-run the pool drains exactly like an exhausted
+  /// budget. The aeromesh CLI points this at its SIGINT flag.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   // -- Fault injection (chaos testing; the tolerance machinery is always
   //    on, these only control the injector) -------------------------------
@@ -142,6 +172,29 @@ struct Options {
     return *this;
   }
   Options& set_coalesce_us(long us) { coalesce_us = us; return *this; }
+  Options& set_ack_timeout_ms(long ms) { ack_timeout_ms = ms; return *this; }
+  Options& set_heartbeat_timeout_ms(long ms) {
+    heartbeat_timeout_ms = ms;
+    return *this;
+  }
+  Options& set_watchdog_timeout_s(long s) {
+    watchdog_timeout_s = s;
+    return *this;
+  }
+  Options& set_budget_wall_ms(long ms) { budget_wall_ms = ms; return *this; }
+  Options& set_budget_rss_mb(long mb) { budget_rss_mb = mb; return *this; }
+  Options& set_checkpoint_path(std::string p) {
+    checkpoint_path = std::move(p);
+    return *this;
+  }
+  Options& set_resume_path(std::string p) {
+    resume_path = std::move(p);
+    return *this;
+  }
+  Options& set_stop_flag(const std::atomic<bool>* f) {
+    stop_flag = f;
+    return *this;
+  }
   Options& set_fault_rate(double r) { fault_rate = r; return *this; }
   Options& set_fault_seed(std::uint64_t s) { fault_seed = s; return *this; }
   Options& set_trace(bool on) { trace = on; return *this; }
@@ -173,9 +226,16 @@ struct OptionSpec {
   bool (*apply)(Options& opts, const char* text);
 };
 
-/// The full table of CLI-settable knobs (everything except geometry and
-/// phase_hook, which are programmatic). Built once, in declaration order.
+/// The full table of CLI-settable knobs (everything except geometry,
+/// phase_hook, and stop_flag, which are programmatic). Built once, in
+/// declaration order.
 const std::vector<OptionSpec>& option_specs();
+
+/// Effective watchdog bound: watchdog_timeout_s when set, otherwise scaled
+/// with the problem size (surface points x layers) so big cases on slow or
+/// oversubscribed machines are not killed by a fixed 120 s default. Always
+/// at least 120 s, capped at 2 hours.
+long scaled_watchdog_seconds(const Options& opts);
 
 /// Run the sequential pipeline from validated Options: the preferred entry
 /// point (the MeshGeneratorConfig overload remains as a deprecated shim).

@@ -9,6 +9,8 @@ namespace aero {
 enum class RunStatus {
   kOk = 0,   ///< complete result
   kPartial,  ///< terminated in bounded time, but some results are missing
+  kStopped,  ///< drained on a budget/stop request; partial mesh is valid
+             ///< and a checkpoint journal makes the remainder resumable
   kFailed,   ///< aborted by the watchdog; result is best-effort
 };
 
@@ -16,6 +18,7 @@ inline const char* to_string(RunStatus s) {
   switch (s) {
     case RunStatus::kOk: return "ok";
     case RunStatus::kPartial: return "partial";
+    case RunStatus::kStopped: return "stopped";
     case RunStatus::kFailed: return "failed";
   }
   return "unknown";

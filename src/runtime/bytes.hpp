@@ -7,13 +7,9 @@
 #include <utility>
 #include <vector>
 
-namespace aero {
+#include "core/crc32.hpp"
 
-/// CRC-32 (IEEE 802.3, reflected) of a byte range. Every protocol payload
-/// carries this as a 4-byte little-endian trailer so a corrupted message is
-/// detected at the receiver instead of being deserialized into garbage.
-/// (Implemented in work.cpp next to the serializer, slice-by-8.)
-std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+namespace aero {
 
 /// Message payload container with inline small-buffer storage. Control
 /// traffic (acks, steal requests, window control frames) is 12-37 bytes;

@@ -1,0 +1,133 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+namespace aero {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+void mix(std::uint64_t& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  h = fnv1a(reinterpret_cast<const std::uint8_t*>(&v), sizeof(T), h);
+}
+
+void mix_points(std::uint64_t& h, const std::vector<Vec2>& pts) {
+  mix<std::uint64_t>(h, pts.size());
+  h = fnv1a(reinterpret_cast<const std::uint8_t*>(pts.data()),
+            pts.size() * sizeof(Vec2), h);
+}
+
+}  // namespace
+
+std::uint64_t subdomain_key(const WorkUnit& unit) {
+  const std::vector<std::uint8_t> bytes = serialize(unit);
+  // Serialized layout: id (8) | failed_ranks (8) | kind + subdomain fields
+  // | crc32 (4). The id and fault history are scheduling artifacts; the CRC
+  // is redundant with the hash. Everything between is the subdomain.
+  constexpr std::size_t kSkip = 16;
+  constexpr std::size_t kTrailer = 4;
+  return fnv1a(bytes.data() + kSkip, bytes.size() - kSkip - kTrailer,
+               kFnvOffset);
+}
+
+std::uint64_t mesh_config_hash(const Options& opts) {
+  std::uint64_t h = kFnvOffset;
+  // Geometry: the exact surface coordinates, element by element. Element
+  // names are labels, not mesh inputs, and are excluded.
+  mix<std::uint64_t>(h, opts.airfoil.elements.size());
+  for (const AirfoilElement& e : opts.airfoil.elements) {
+    mix_points(h, e.surface);
+  }
+  mix(h, opts.airfoil.chord);
+  // Boundary layer.
+  mix(h, static_cast<std::uint8_t>(opts.growth_kind));
+  mix(h, opts.first_height);
+  mix(h, opts.growth_ratio);
+  mix(h, opts.max_layers);
+  // Inviscid region.
+  mix(h, opts.farfield_chords);
+  mix(h, opts.nearbody_margin);
+  mix(h, opts.grade);
+  mix(h, opts.surface_length_factor);
+  // Decomposition: these change the subdomain tree, hence the record keys,
+  // so a journal written under a different decomposition is useless even
+  // though the final mesh would match.
+  mix<std::uint64_t>(h, opts.bl_min_points);
+  mix(h, opts.bl_max_level);
+  mix(h, opts.inviscid_target_triangles);
+  mix(h, opts.inviscid_max_level);
+  return h;
+}
+
+// A journal record's payload is the raw triangle array: array<Vec2, 3> is
+// trivially copyable and padding-free, the record CRC already guards the
+// bytes, and the wire serializers are native-endian memcpy anyway -- so the
+// checkpoint path writes straight from the mesher's vector with no
+// serialization pass, no allocation, and no extra CRC. (This is what keeps
+// checkpointing's wall overhead marginal: journaling a leaf costs one
+// chained-CRC pass and one stream write of memory that already exists.)
+using Tri = std::array<Vec2, 3>;
+static_assert(std::is_trivially_copyable_v<Tri> &&
+              sizeof(Tri) == 6 * sizeof(double));
+
+ResumeState::ResumeState(const JournalContents& journal) {
+  map_.reserve(journal.records.size());
+  for (const JournalRecord& rec : journal.records) {
+    if (rec.payload.size() % sizeof(Tri) != 0) {
+      ++decode_failures_;  // CRC-intact but not a triangle block
+      continue;
+    }
+    std::vector<Tri> tris(rec.payload.size() / sizeof(Tri));
+    if (!tris.empty()) {
+      // Decoding journal bytes into the typed vector, not copying a live
+      // payload -- the journal is the owner handoff's far side.
+      std::memcpy(tris.data(), rec.payload.data(),  // aerolint: allow(payload-copy)
+                  rec.payload.size());
+    }
+    map_.emplace(rec.key, std::move(tris));
+  }
+}
+
+bool CheckpointSink::open(const std::string& path, std::uint64_t config_hash,
+                          bool append) {
+  return writer_.open(path, config_hash, append);
+}
+
+void CheckpointSink::seed(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(m_);
+  seen_.insert(key);
+}
+
+bool CheckpointSink::record(std::uint64_t key,
+                            const std::vector<std::array<Vec2, 3>>& tris) {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (!seen_.insert(key).second) return true;  // already journaled
+  }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(tris.data());
+  if (!writer_.append(key, bytes, tris.size() * sizeof(Tri))) return false;
+  const std::lock_guard<std::mutex> lock(m_);
+  ++records_;
+  return true;
+}
+
+std::size_t CheckpointSink::records() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return records_;
+}
+
+}  // namespace aero

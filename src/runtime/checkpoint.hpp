@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/options.hpp"
+#include "io/journal.hpp"
+#include "runtime/work.hpp"  // WorkUnit, Vec2
+
+namespace aero {
+
+/// Deterministic 64-bit content key of a work unit's subdomain description.
+/// Hashes the serialized form minus the pool-assigned id, the failed_ranks
+/// fault history (both vary with thread interleaving), and the CRC trailer.
+/// The decomposition tree is a pure function of the input, so two runs of
+/// the same problem produce the same keys for the same logical subdomains
+/// regardless of rank count, schedule, transport, or injected faults --
+/// which is what lets a resumed run recognize work a dead run finished.
+std::uint64_t subdomain_key(const WorkUnit& unit);
+
+/// Canonical hash over the mesh-defining options and the input geometry:
+/// everything that changes the triangles, nothing that doesn't. Runtime
+/// knobs (ranks, transport, faults, tracing, budgets, paths) are excluded
+/// on purpose -- the pool produces rank-count-independent meshes, so a
+/// journal written by an 8-rank run legitimately resumes a 2-rank run.
+std::uint64_t mesh_config_hash(const Options& opts);
+
+/// Completed-subdomain lookup built once from a validated journal and then
+/// read lock-free by every mesher thread. Records whose triangle payload
+/// fails to decode (CRC passed but the serializer rejects it) are skipped
+/// and counted, never fatal.
+class ResumeState {
+ public:
+  explicit ResumeState(const JournalContents& journal);
+
+  /// The stored triangles for `key`, or nullptr if that subdomain must be
+  /// meshed fresh.
+  const std::vector<std::array<Vec2, 3>>* find(std::uint64_t key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return map_.size(); }
+  std::size_t decode_failures() const { return decode_failures_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::array<Vec2, 3>>> map_;
+  std::size_t decode_failures_ = 0;
+};
+
+/// Thread-safe streaming checkpoint sink: every finalized leaf's triangles
+/// are serialized and appended to the journal as the run progresses. Keys
+/// already present in the journal (seeded from a resume load, or recorded
+/// earlier this run) are skipped, so append-to-the-same-file resume chains
+/// never duplicate records. All failures are counted and absorbed: a full
+/// disk degrades checkpointing, never the mesh.
+class CheckpointSink {
+ public:
+  bool open(const std::string& path, std::uint64_t config_hash, bool append);
+  bool is_open() const { return writer_.is_open(); }
+
+  /// Mark `key` as already journaled (from a loaded journal's records).
+  void seed(std::uint64_t key);
+
+  /// Serialize and append one finalized subdomain. Returns false only on a
+  /// write error; duplicate keys return true without writing.
+  bool record(std::uint64_t key, const std::vector<std::array<Vec2, 3>>& tris);
+
+  bool flush() { return writer_.flush(); }
+  void close() { writer_.close(); }
+
+  std::size_t records() const;
+  std::size_t bytes() const { return writer_.bytes_written(); }
+  std::size_t failures() const { return writer_.write_failures(); }
+
+ private:
+  JournalWriter writer_;
+  mutable std::mutex m_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace aero

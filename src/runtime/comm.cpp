@@ -79,6 +79,22 @@ bool FaultInjector::unit_should_fail(std::uint64_t unit_id) {
   return false;
 }
 
+std::size_t FaultInjector::crash_after(int rank) const {
+  if (!cfg_.enabled || rank == 0) return 0;
+  for (const auto& [r, n] : cfg_.crash_rank_after_units) {
+    if (r == rank) return n;
+  }
+  return 0;
+}
+
+std::size_t FaultInjector::kill_mesher_after(int rank) const {
+  if (!cfg_.enabled) return 0;
+  for (const auto& [r, n] : cfg_.kill_mesher_after_units) {
+    if (r == rank) return n;
+  }
+  return 0;
+}
+
 /// One (src, dst) coalescing lane: small messages staged in send order.
 struct Communicator::Lane {
   std::vector<StagedMessage> q;

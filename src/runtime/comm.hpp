@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "obs/annotations.hpp"
@@ -59,6 +60,17 @@ struct FaultConfig {
   std::vector<std::uint64_t> fail_unit_ids;
   /// P(a unit-processing attempt throws), on top of `fail_unit_ids`.
   double unit_failure_rate = 0.0;
+  /// Process-level chaos: (rank, n) -- after the rank's mesher completes n
+  /// units, BOTH of its threads exit silently, simulating a process crash
+  /// mid-run: no shutdown handshake, no result send, heartbeats stop, and
+  /// the monitor eventually declares the rank dead and reclaims its queue.
+  /// Rank 0 hosts the gather and is never crashed (like dead_ranks).
+  std::vector<std::pair<int, std::size_t>> crash_rank_after_units;
+  /// (rank, n) -- only the mesher thread exits after n units; the
+  /// communicator keeps heartbeating and donating, so any work stranded in
+  /// the rank's queue is caught by the run budget or the watchdog bound
+  /// instead of dead-rank recovery. The nastier half-dead failure mode.
+  std::vector<std::pair<int, std::size_t>> kill_mesher_after_units;
 };
 
 /// Seed-driven chaos source consulted by the Communicator on every send and
@@ -89,6 +101,13 @@ class FaultInjector {
 
   /// True if this unit-processing attempt should throw.
   bool unit_should_fail(std::uint64_t unit_id);
+
+  /// Completed-unit count after which `rank` crashes (both threads exit
+  /// silently), or 0 if the rank is not scheduled to crash. Never rank 0.
+  std::size_t crash_after(int rank) const;
+  /// Completed-unit count after which `rank`'s mesher thread alone dies,
+  /// or 0 if not scheduled.
+  std::size_t kill_mesher_after(int rank) const;
 
   std::size_t dropped() const { return dropped_.load(); }
   std::size_t duplicated() const { return duplicated_.load(); }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
+#include "io/journal.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace aero {
 
@@ -12,12 +15,54 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                           int nranks,
                                           const FaultConfig& faults,
                                           ProtocolTrace* trace,
-                                          const PoolTuning& tuning) {
+                                          const PoolTuning& tuning,
+                                          const ResilienceOptions& resilience) {
   ParallelMeshResult result;
   obs::apply(config.trace);
   AERO_TRACE_THREAD("driver", -1);
   AERO_TRACE_SPAN("pipeline", "parallel_generate_mesh");
   Timer total;
+
+  // -- Resume load + checkpoint sink ---------------------------------------
+  // Nothing in this block is ever fatal: a missing, corrupt, or mismatched
+  // journal degrades to re-meshing from scratch, and an unopenable sink
+  // degrades to an unjournaled run.
+  CheckpointSummary& cs = result.resilience;
+  JournalContents loaded;
+  bool resume_active = false;
+  if (!resilience.resume_path.empty()) {
+    cs.resume_attempted = true;
+    loaded = read_journal(resilience.resume_path, resilience.config_hash);
+    if (!loaded.header_ok) {
+      cs.resume_rejected = true;
+      cs.resume_error =
+          "journal missing or header corrupt; re-meshing from scratch";
+    } else if (loaded.hash_mismatch) {
+      cs.resume_rejected = true;
+      cs.resume_error = "journal was written for different options/geometry; "
+                        "re-meshing from scratch";
+    } else {
+      resume_active = true;
+      cs.resume_records = loaded.records.size();
+      cs.discarded_bytes = loaded.discarded_bytes;
+    }
+  }
+  const ResumeState resume(loaded);
+  CheckpointSink sink;
+  if (!resilience.checkpoint_path.empty()) {
+    // Append in place only when extending the very journal we resumed from
+    // AND its tail was clean; a discarded tail means garbage bytes sit past
+    // the last intact record, so the file is rewritten fresh instead (the
+    // pool re-records every resumed leaf, repopulating it as the run goes).
+    const bool append_in_place =
+        resume_active && resilience.checkpoint_path == resilience.resume_path &&
+        loaded.discarded_bytes == 0;
+    if (sink.open(resilience.checkpoint_path, resilience.config_hash,
+                  append_in_place) &&
+        append_in_place) {
+      for (const JournalRecord& r : loaded.records) sink.seed(r.key);
+    }
+  }
 
   Timer t1;
   {
@@ -38,7 +83,26 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   pool_opts.inviscid_max_level = config.inviscid_max_level;
   pool_opts.faults = faults;
   pool_opts.trace = trace;
-  pool_opts.transport = tuning;
+  pool_opts.tuning = tuning;
+  pool_opts.budget = resilience.budget;
+  pool_opts.stop = resilience.stop_flag;
+  pool_opts.checkpoint = sink.is_open() ? &sink : nullptr;
+  pool_opts.resume = resume_active ? &resume : nullptr;
+
+  // Aggregate both passes' resilience stats into the summary (the BL-only
+  // early return below uses it too).
+  const auto fill_summary = [&result, &cs, &sink] {
+    const PoolStats& bl = result.bl_pool;
+    const PoolStats& inv = result.inviscid_pool;
+    cs.resumed_units = bl.resumed_units + inv.resumed_units;
+    cs.checkpointed_units = bl.checkpointed_units + inv.checkpointed_units;
+    cs.checkpoint_failures = bl.checkpoint_failures + inv.checkpoint_failures;
+    cs.units_total = bl.units_total + inv.units_total;
+    cs.units_done = bl.units_done + inv.units_done;
+    cs.stop_cause =
+        bl.stop_cause != StopCause::kNone ? bl.stop_cause : inv.stop_cause;
+    sink.flush();
+  };
 
   // Phase 1 pool: boundary-layer decomposition + triangulation. The sizing
   // is not needed by BL units; pass a placeholder.
@@ -52,11 +116,23 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                                {}});
     result.bl_pool =
         run_pool(std::move(initial), placeholder, pool_opts, result.mesh);
-    // Ring restriction on the gathered mesh (root side).
-    restrict_to_ring(result.mesh, result.boundary_layer);
+    if (result.bl_pool.status != RunStatus::kStopped) {
+      // Ring restriction on the gathered mesh (root side).
+      restrict_to_ring(result.mesh, result.boundary_layer);
+    }
   }
   publish_pool_metrics(result.bl_pool, "pool.bl.");
   result.timings.record("boundary_layer_pool", t2.seconds());
+  if (result.bl_pool.status == RunStatus::kStopped) {
+    // Drained mid-boundary-layer. The gathered subdomain triangulations form
+    // a valid conformal sub-mesh, but ring restriction and the interface
+    // extraction both assume full cloud coverage, so the run ends here: raw
+    // partial BL mesh out, journal flushed, remainder resumable.
+    fill_summary();
+    result.status = RunStatus::kStopped;
+    result.timings.record("total", total.seconds());
+    return result;
+  }
   if (config.phase_hook) {
     config.phase_hook("boundary_layer_mesh",
                       PhaseArtifacts{&result.boundary_layer, &result.mesh});
@@ -93,6 +169,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
                       PhaseArtifacts{&result.boundary_layer, &result.mesh});
   }
 
+  fill_summary();
   result.status = worse(result.bl_pool.status, result.inviscid_pool.status);
   result.timings.record("total", total.seconds());
   return result;
@@ -123,8 +200,24 @@ ParallelMeshResult parallel_generate_mesh(const Options& opts,
   tuning.rma = opts.rma;
   tuning.rma_threshold = opts.rma_threshold;
   tuning.coalesce_delay = std::chrono::microseconds(opts.coalesce_us);
+  tuning.ack_timeout = std::chrono::milliseconds(opts.ack_timeout_ms);
+  tuning.heartbeat_timeout =
+      std::chrono::milliseconds(opts.heartbeat_timeout_ms);
+  tuning.watchdog_timeout = std::chrono::seconds(scaled_watchdog_seconds(opts));
+  ResilienceOptions resilience;
+  resilience.budget.wall_ms = opts.budget_wall_ms;
+  resilience.budget.peak_rss_mb = opts.budget_rss_mb;
+  resilience.stop_flag = opts.stop_flag;
+  resilience.checkpoint_path = opts.checkpoint_path;
+  resilience.resume_path = opts.resume_path;
+  if (resilience.checkpoint_path.empty() && !resilience.resume_path.empty()) {
+    // --resume without --checkpoint appends in place, so an interrupted
+    // resume is itself resumable.
+    resilience.checkpoint_path = resilience.resume_path;
+  }
+  resilience.config_hash = mesh_config_hash(opts);
   return parallel_generate_mesh(opts.to_config(), opts.ranks, faults, trace,
-                                tuning);
+                                tuning, resilience);
 }
 
 void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {
@@ -161,6 +254,13 @@ void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {
   std::size_t units = 0;
   for (const std::size_t t : stats.tasks_per_rank) units += t;
   count("units_processed", units);
+  count("units_total", stats.units_total);
+  count("units_done", stats.units_done);
+  count("resumed_units", stats.resumed_units);
+  count("checkpointed_units", stats.checkpointed_units);
+  count("checkpoint_failures", stats.checkpoint_failures);
+  count("injected_crashes", stats.injected_crashes);
+  count("injected_mesher_kills", stats.injected_mesher_kills);
   reg.gauge(prefix + "wall_seconds").set(stats.wall_seconds);
 
   // Issue-mandated global names (aggregated across pool passes), alongside

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,40 @@
 
 namespace aero {
 
+/// Run-level resilience wiring for the struct-poking driver overload (the
+/// Options entry point derives this from the flat knobs). Everything is
+/// optional; the defaults are a plain uncheckpointed, unbudgeted run.
+struct ResilienceOptions {
+  /// Wall/RSS budget enforced per pool pass (0 = unlimited).
+  RunBudget budget;
+  /// External stop request; flipping the pointee true drains the run.
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Journal to stream finalized subdomains into ("" = no checkpointing).
+  std::string checkpoint_path;
+  /// Journal to resume from ("" = fresh run).
+  std::string resume_path;
+  /// Canonical options+geometry hash stamped into (and demanded of) the
+  /// journal; use mesh_config_hash(opts).
+  std::uint64_t config_hash = 0;
+};
+
+/// Completeness and checkpoint/resume accounting for one driver run,
+/// aggregated over both pool passes. This is the data behind the CLI's
+/// completeness report on a stopped run.
+struct CheckpointSummary {
+  bool resume_attempted = false;  ///< a resume_path was given
+  bool resume_rejected = false;   ///< journal unusable; re-meshed from scratch
+  std::string resume_error;       ///< why, when resume_rejected
+  std::size_t resume_records = 0;    ///< intact records loaded
+  std::size_t discarded_bytes = 0;   ///< corrupt/truncated tail dropped
+  std::size_t resumed_units = 0;     ///< leaves replayed instead of meshed
+  std::size_t checkpointed_units = 0;  ///< leaf records written this run
+  std::size_t checkpoint_failures = 0; ///< journal appends that failed
+  std::size_t units_total = 0;  ///< work units created across both passes
+  std::size_t units_done = 0;   ///< units that produced their output
+  StopCause stop_cause = StopCause::kNone;  ///< why a kStopped run drained
+};
+
 /// Result of a parallel (in-process rank pool) mesh generation run.
 struct ParallelMeshResult {
   MergedMesh mesh;
@@ -18,9 +54,12 @@ struct ParallelMeshResult {
   PoolStats bl_pool;
   PoolStats inviscid_pool;
   PhaseTimings timings;
+  /// Completeness + checkpoint/resume accounting across both passes.
+  CheckpointSummary resilience;
   /// Worst outcome across the two pool passes: kOk when the mesh is
-  /// complete, kPartial/kFailed when a pool lost results or hit the
-  /// watchdog bound.
+  /// complete, kStopped when a budget/stop drained the run (valid partial
+  /// mesh, resumable journal), kPartial/kFailed when a pool lost results or
+  /// hit the watchdog bound.
   RunStatus status = RunStatus::kOk;
 };
 
@@ -36,13 +75,15 @@ struct ParallelMeshResult {
 /// is always on. A non-null `trace` records both pool passes' protocol
 /// events for audit_protocol(); `config.phase_hook` fires at the same phase
 /// boundaries as in the sequential pipeline. `tuning` selects the transport
-/// (RMA windows vs full-copy frames, small-message coalescing) for both pool
-/// passes; the default keeps zero-copy on and coalescing off.
-ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
-                                          int nranks,
-                                          const FaultConfig& faults = {},
-                                          ProtocolTrace* trace = nullptr,
-                                          const PoolTuning& tuning = {});
+/// (RMA windows vs full-copy frames, small-message coalescing) and the
+/// fault-tolerance timeouts for both pool passes. `resilience` wires
+/// checkpointing, resume, budgets, and the external stop flag; a run
+/// stopped mid-boundary-layer returns the raw partial BL mesh (no ring
+/// restriction, no inviscid pass) -- valid, conformal, and resumable.
+ParallelMeshResult parallel_generate_mesh(
+    const MeshGeneratorConfig& config, int nranks,
+    const FaultConfig& faults = {}, ProtocolTrace* trace = nullptr,
+    const PoolTuning& tuning = {}, const ResilienceOptions& resilience = {});
 
 /// The unified-Options entry point: validates (throwing std::invalid_argument
 /// on errors, including ranks < 1), derives the fault/transport structs from

@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "core/timer.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/trace.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/rma.hpp"
 
 namespace aero {
@@ -41,6 +43,15 @@ struct RankState {
   std::size_t donated = 0;     ///< units donated to work stealers
   std::size_t received = 0;    ///< transfers accepted fresh (non-duplicate)
   std::size_t retransmits_sent = 0;  ///< unacked payloads this rank resent
+
+  /// Units this rank's mesher has finished processing (mesher-thread local;
+  /// drives the injector's crash/kill thresholds).
+  std::size_t mesher_units = 0;
+  /// Injected process crash: both of this rank's threads exit silently.
+  std::atomic<bool> crashed{false};
+  /// Set when the mesher thread returns (any path). A draining communicator
+  /// waits on it before reading `triangles` for the result gather.
+  std::atomic<bool> mesher_exited{false};
 };
 
 struct SharedState {
@@ -62,6 +73,12 @@ struct SharedState {
   std::atomic<bool> shutdown_broadcast{false};
   std::atomic<bool> abort{false};
   std::atomic<bool> gather_timed_out{false};
+  /// Graceful drain (budget exhausted / external stop): meshers stop taking
+  /// units, communicators run the normal bounded result gather, and the
+  /// pool reports kStopped with completeness accounting -- unlike `abort`,
+  /// which skips the gather entirely.
+  std::atomic<bool> drain{false};
+  std::atomic<int> stop_cause{0};  ///< StopCause of a drain
   /// Ranks declared dead by the heartbeat watchdog.
   std::unique_ptr<std::atomic<bool>[]> dead;
   /// Communicator threads that exited cleanly (dead ranks never set this).
@@ -80,6 +97,12 @@ struct SharedState {
   std::atomic<std::size_t> reclaimed{0};
   std::atomic<std::size_t> zero_copy{0};
   std::atomic<std::size_t> window_bytes{0};
+
+  // Run-level resilience accounting.
+  std::atomic<std::size_t> completed{0};  ///< units that produced output
+  std::atomic<std::size_t> resumed{0};    ///< leaves replayed from a journal
+  std::atomic<std::size_t> crashes{0};        ///< injected rank crashes fired
+  std::atomic<std::size_t> mesher_kills{0};   ///< injected mesher kills fired
 
   /// Units escalated to the root-side sequential fallback (meshed after the
   /// pool terminates, outside the fault injector's reach).
@@ -110,7 +133,7 @@ struct SharedState {
     }
     comm.set_fault_injector(&injector);
     CoalesceOptions co;
-    co.flush_delay = o.transport.coalesce_delay;
+    co.flush_delay = o.tuning.coalesce_delay;
     comm.set_coalescing(co);
   }
 };
@@ -159,8 +182,8 @@ void send_unit(SharedState& shared, int rank, int dest, int tag,
                std::map<std::uint64_t, InFlight>& in_flight) {
   const PoolOptions& opts = *shared.opts;
   const std::size_t payload_size = serialized_size(unit);
-  const bool windowed = opts.transport.rma &&
-                        payload_size >= opts.transport.rma_threshold;
+  const bool windowed = opts.tuning.rma &&
+                        payload_size >= opts.tuning.rma_threshold;
   const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
   shared.transfer_bytes.fetch_add(payload_size);
   if (windowed) {
@@ -177,7 +200,8 @@ void send_unit(SharedState& shared, int rank, int dest, int tag,
     ByteBuf frame = make_window_frame(nonce, rank, slot, len, digest);
     ByteBuf copy = frame;
     in_flight[nonce] = InFlight{dest, tag, std::move(frame),
-                                mono_now() + opts.ack_timeout, 0, true, slot};
+                                mono_now() + opts.tuning.ack_timeout, 0, true,
+                                slot};
     shared.comm.send(rank, dest, tag, std::move(copy));
   } else {
     auto bytes = serialize(unit, &shared.buffers, kInlineFrameHeader);
@@ -186,7 +210,8 @@ void send_unit(SharedState& shared, int rank, int dest, int tag,
     ByteBuf frame(std::move(bytes));
     ByteBuf copy = frame;
     in_flight[nonce] = InFlight{dest, tag, std::move(frame),
-                                mono_now() + opts.ack_timeout, 0, false, 0};
+                                mono_now() + opts.tuning.ack_timeout, 0, false,
+                                0};
     shared.comm.send(rank, dest, tag, std::move(copy));
   }
 }
@@ -286,6 +311,32 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
                   WorkUnit unit) {
   RankState& rs = ranks[static_cast<std::size_t>(rank)];
   const PoolOptions& opts = *shared.opts;
+
+  // Checkpoint/resume identity. The key hashes the unit's *content* (id and
+  // fault history excluded), so a leaf finished by a previous interrupted
+  // run is recognized here no matter which rank or schedule produced it.
+  std::uint64_t key = 0;
+  if (opts.checkpoint != nullptr || opts.resume != nullptr) {
+    key = subdomain_key(unit);
+  }
+  if (opts.resume != nullptr) {
+    if (const auto* stored = opts.resume->find(key)) {
+      rs.triangles.insert(rs.triangles.end(), stored->begin(), stored->end());
+      ++rs.tasks_done;
+      shared.resumed.fetch_add(1);
+      shared.completed.fetch_add(1);
+      if (opts.checkpoint != nullptr) {
+        // Re-record into the active journal (a no-op when appending to the
+        // journal the record came from; keeps a fresh journal complete).
+        opts.checkpoint->record(key, *stored);
+      }
+      AERO_TRACE_INSTANT_ARG("pool", "resume_hit", unit.id);
+      trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, rank);
+      complete_unit(shared);
+      return;
+    }
+  }
+
   std::vector<WorkUnit> children;
   std::vector<std::array<Vec2, 3>> triangles;
   bool ok = false;
@@ -315,10 +366,17 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
         trace_event(shared, ProtocolEvent::Kind::kUnitCreated, c.id, rank);
         push_local(shared, rs, std::move(c));
       }
+    } else if (opts.checkpoint != nullptr &&
+               !opts.checkpoint->record(key, triangles)) {
+      // The leaf is journaled BEFORE it is counted complete, so a crash
+      // right after loses nothing. A failed append is absorbed: the run
+      // continues unjournaled and the sink counts the failure.
+      AERO_TRACE_INSTANT_ARG("pool", "checkpoint_write_failed", unit.id);
     }
     rs.triangles.insert(rs.triangles.end(), triangles.begin(),
                         triangles.end());
     ++rs.tasks_done;
+    shared.completed.fetch_add(1);
     trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, rank);
     complete_unit(shared);
     return;
@@ -355,6 +413,9 @@ void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
       UniqueLock lock(rs.m);
       while (!rs.shutdown && rs.queue.empty()) lock.wait(rs.cv);
       if (shared.abort.load()) return;
+      // A drain stops meshing immediately: queued units stay unprocessed
+      // and are reported through the completeness accounting.
+      if (shared.drain.load()) return;
       if (rs.queue.empty()) {
         if (rs.shutdown) return;
         continue;
@@ -369,6 +430,26 @@ void mesher_main(SharedState& shared, std::vector<RankState>& ranks,
       const Timer busy;
       process_unit(shared, ranks, rank, std::move(unit));
       rs.busy_seconds += busy.seconds();
+    }
+    ++rs.mesher_units;
+    if (const std::size_t k = shared.injector.kill_mesher_after(rank);
+        k > 0 && rs.mesher_units >= k) {
+      // Injected half-dead rank: the mesher dies but the communicator keeps
+      // heartbeating, so dead-rank recovery never fires and any stranded
+      // queue is caught only by the run budget or the watchdog bound.
+      shared.mesher_kills.fetch_add(1);
+      AERO_TRACE_INSTANT_ARG("pool", "mesher_killed", rank);
+      return;
+    }
+    if (const std::size_t k = shared.injector.crash_after(rank);
+        k > 0 && rs.mesher_units >= k) {
+      // Injected process crash: both of this rank's threads exit silently.
+      // Heartbeats stop, the monitor declares the rank dead, and its queued
+      // (but not its meshed) work is reclaimed.
+      rs.crashed.store(true);
+      shared.crashes.fetch_add(1);
+      AERO_TRACE_INSTANT_ARG("pool", "rank_crashed", rank);
+      return;
     }
     // Give the communicator threads a scheduling window (matters on
     // oversubscribed machines; a real cluster has a core per thread).
@@ -468,7 +549,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
   AERO_TRACE_THREAD("comm", rank);
   RankState& rs = ranks[static_cast<std::size_t>(rank)];
   const PoolOptions& opts = *shared.opts;
-  const auto request_timeout = opts.ack_timeout * 4;
+  const auto request_timeout = opts.tuning.ack_timeout * 4;
   bool requested = false;
   auto request_deadline = mono_now();
   auto last_update = mono_now();
@@ -480,6 +561,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
   bool shut = false;
 
   while (!shut && !shared.abort.load()) {
+    if (rs.crashed.load()) return;  // injected crash: vanish silently
     shared.window.beat(static_cast<std::size_t>(rank));
     shared.comm.maybe_flush(rank);
     if (auto msg = shared.comm.try_recv(rank)) {
@@ -635,7 +717,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
           shared.retransmits.fetch_add(1);
           ++rs.retransmits_sent;
           AERO_TRACE_INSTANT_ARG("pool", "retransmit", it->first);
-          f.deadline = now + opts.ack_timeout;
+          f.deadline = now + opts.tuning.ack_timeout;
           ++f.tries;
           ++it;
         }
@@ -722,6 +804,8 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 
+  if (rs.crashed.load()) return;  // crash raced the shutdown broadcast
+
   // Shutdown phase. Any in-flight residue is ack loss on completed work:
   // termination implies every unit completed, so nothing is retransmitted.
   // Windowed residue was therefore taken; release is a harmless erase (and
@@ -740,6 +824,16 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     rs.shutdown = true;
   }
   rs.cv.notify_all();
+
+  // Under a drain the mesher may still be inside its final unit, appending
+  // to rs.triangles. The normal path orders that hand-off through
+  // `outstanding` reaching zero before shutdown; a drain bypasses it, so
+  // wait for the mesher thread to exit before the gather reads the list.
+  while (shared.drain.load() && !rs.mesher_exited.load() &&
+         !shared.abort.load()) {
+    shared.window.beat(static_cast<std::size_t>(rank));
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
 
   if (rank == 0) {
     // Bounded result gather: wait for every live rank's soup, re-acking
@@ -781,7 +875,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
     const std::uint64_t nonce = shared.next_transfer_seq.fetch_add(1);
     const std::size_t logical = serialized_triangles_size(rs.triangles.size());
     const bool windowed =
-        opts.transport.rma && logical >= opts.transport.rma_threshold;
+        opts.tuning.rma && logical >= opts.tuning.rma_threshold;
     ByteBuf frame;
     std::uint32_t slot = 0;
     if (windowed) {
@@ -805,7 +899,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
       ByteBuf first = frame;
       shared.comm.send(rank, 0, kTagResult, std::move(first));
     }
-    auto deadline = mono_now() + opts.ack_timeout;
+    auto deadline = mono_now() + opts.tuning.ack_timeout;
     int tries = 0;
     bool acked = false;
     while (!shared.abort.load()) {
@@ -825,7 +919,7 @@ void communicator_main(SharedState& shared, std::vector<RankState>& ranks,
         shared.retransmits.fetch_add(1);
         ++rs.retransmits_sent;
         AERO_TRACE_INSTANT("pool", "retransmit_result");
-        deadline = now + opts.ack_timeout;
+        deadline = now + opts.tuning.ack_timeout;
       }
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
@@ -860,6 +954,8 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
       static_cast<std::size_t>(n), start);
   auto last_rebroadcast = start;
   bool aborted = false;
+  bool draining = false;
+  unsigned rss_tick = 0;
 
   for (;;) {
     bool all_done = true;
@@ -886,8 +982,50 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
       }
     }
 
+    // Run budget / external stop: unlike the watchdog abort above, this
+    // drains gracefully -- meshers stop taking units, communicators run the
+    // normal bounded result gather, and the pool reports kStopped.
+    if (!aborted && !draining) {
+      StopCause cause = StopCause::kNone;
+      if (opts.stop != nullptr && opts.stop->load()) {
+        cause = StopCause::kExternal;
+      } else if (opts.budget.wall_ms > 0 &&
+                 now - start >=
+                     std::chrono::milliseconds(opts.budget.wall_ms)) {
+        cause = StopCause::kWallBudget;
+      } else if (opts.budget.peak_rss_mb > 0 && rss_tick++ % 16 == 0 &&
+                 obs::peak_rss_kb() >
+                     static_cast<long>(opts.budget.peak_rss_mb) * 1024) {
+        cause = StopCause::kRssBudget;
+      }
+      if (cause != StopCause::kNone) {
+        draining = true;
+        shared.stop_cause.store(static_cast<int>(cause));
+        shared.drain.store(true);
+        // Reuse the shutdown machinery: wake the meshers (they observe
+        // `drain` and exit) and move the communicators into their gather
+        // phase; the rebroadcast loop below keeps re-sending kTagShutdown
+        // until every communicator got the message.
+        shared.shutdown_broadcast.store(true);
+        AERO_TRACE_INSTANT_ARG("pool", "drain", static_cast<int>(cause));
+        for (auto& rs : ranks) {
+          {
+            MutexLock lock(rs.m);
+            rs.shutdown = true;
+          }
+          rs.cv.notify_all();
+        }
+        for (int r = 0; r < n; ++r) {
+          if (!shared.comm_exited[static_cast<std::size_t>(r)].load() &&
+              !shared.dead[static_cast<std::size_t>(r)].load()) {
+            shared.comm.send(-1, r, kTagShutdown);
+          }
+        }
+      }
+    }
+
     if (shared.shutdown_broadcast.load() && !aborted &&
-        now - last_rebroadcast >= opts.ack_timeout) {
+        now - last_rebroadcast >= opts.tuning.ack_timeout) {
       // A dropped shutdown must not strand a communicator forever.
       last_rebroadcast = now;
       for (int r = 0; r < n; ++r) {
@@ -917,7 +1055,7 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
         last_advance[ri] = now;
         continue;
       }
-      if (now - last_advance[ri] >= opts.heartbeat_timeout) {
+      if (now - last_advance[ri] >= opts.tuning.heartbeat_timeout) {
         shared.dead[ri].store(true);
         shared.dead_count.fetch_add(1);
         AERO_TRACE_INSTANT_ARG("pool", "rank_dead", r);
@@ -965,7 +1103,7 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   SharedState shared(opts);
   shared.sizing = &sizing;
   shared.opts = &opts;
-  shared.deadline = mono_now() + opts.watchdog_timeout;
+  shared.deadline = mono_now() + opts.tuning.watchdog_timeout;
   shared.outstanding = static_cast<long>(initial.size());
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opts.nranks));
@@ -975,10 +1113,23 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     push_local(shared, ranks[0], std::move(unit));
   }
 
+  // Per-pass checkpoint baselines: the driver may run two pool passes (BL,
+  // inviscid) through one shared sink, so this pass's stats are deltas.
+  const std::size_t ckpt_base =
+      opts.checkpoint != nullptr ? opts.checkpoint->records() : 0;
+  const std::size_t ckpt_fail_base =
+      opts.checkpoint != nullptr ? opts.checkpoint->failures() : 0;
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(opts.nranks) * 2 + 1);
   for (int r = 0; r < opts.nranks; ++r) {
-    threads.emplace_back(mesher_main, std::ref(shared), std::ref(ranks), r);
+    // The mesher is wrapped so `mesher_exited` flips on EVERY exit path
+    // (normal shutdown, abort, drain, injected crash/kill); a draining
+    // communicator synchronizes on it before reading rs.triangles.
+    threads.emplace_back([&shared, &ranks, r] {
+      mesher_main(shared, ranks, r);
+      ranks[static_cast<std::size_t>(r)].mesher_exited.store(true);
+    });
     threads.emplace_back(communicator_main, std::ref(shared), std::ref(ranks),
                          r);
   }
@@ -996,9 +1147,30 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   }
   stats.fallback_units = fallback.size();
   AERO_TRACE_SPAN("pool", "fallback_mesh");
+  const bool drained = shared.drain.load();
   while (!fallback.empty()) {
     WorkUnit unit = std::move(fallback.back());
     fallback.pop_back();
+    std::uint64_t key = 0;
+    if (opts.checkpoint != nullptr || opts.resume != nullptr) {
+      key = subdomain_key(unit);
+    }
+    if (opts.resume != nullptr) {
+      if (const auto* stored = opts.resume->find(key)) {
+        ranks[0].triangles.insert(ranks[0].triangles.end(), stored->begin(),
+                                  stored->end());
+        shared.resumed.fetch_add(1);
+        shared.completed.fetch_add(1);
+        if (opts.checkpoint != nullptr) opts.checkpoint->record(key, *stored);
+        trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, 0);
+        continue;
+      }
+    }
+    if (drained) {
+      // The drain stops meshing here too: escalated units join the
+      // unfinished remainder (units_done < units_total) for the next run.
+      continue;
+    }
     std::vector<WorkUnit> children;
     std::vector<std::array<Vec2, 3>> triangles;
     try {
@@ -1009,10 +1181,14 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
       continue;
     }
     trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, 0);
+    shared.completed.fetch_add(1);
     for (auto& c : children) {
       c.id = shared.next_unit_id.fetch_add(1);
       trace_event(shared, ProtocolEvent::Kind::kUnitCreated, c.id, 0);
       fallback.push_back(std::move(c));
+    }
+    if (children.empty() && opts.checkpoint != nullptr) {
+      opts.checkpoint->record(key, triangles);
     }
     ranks[0].triangles.insert(ranks[0].triangles.end(), triangles.begin(),
                               triangles.end());
@@ -1030,8 +1206,14 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
       }
     }
     for (int r = 1; r < opts.nranks; ++r) {
-      if (shared.dead[static_cast<std::size_t>(r)].load()) continue;
-      if (shared.results.find(r) == shared.results.end()) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (shared.results.find(r) != shared.results.end()) continue;
+      if (shared.dead[ri].load()) {
+        // A rank that died mid-run takes its meshed-but-ungathered triangles
+        // with it; that loss must not report kOk. A rank dead from the start
+        // (or that only split units) meshed nothing and is missing nothing.
+        if (!ranks[ri].triangles.empty()) ++stats.missing_results;
+      } else {
         ++stats.missing_results;
       }
     }
@@ -1056,6 +1238,17 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   stats.injected_corruptions = shared.injector.corrupted();
   stats.delayed_messages = shared.injector.delayed();
   stats.injected_unit_faults = shared.injector.unit_faults();
+  stats.units_total = static_cast<std::size_t>(shared.next_unit_id.load());
+  stats.units_done = shared.completed.load();
+  stats.resumed_units = shared.resumed.load();
+  stats.checkpointed_units =
+      opts.checkpoint != nullptr ? opts.checkpoint->records() - ckpt_base : 0;
+  stats.checkpoint_failures =
+      opts.checkpoint != nullptr ? opts.checkpoint->failures() - ckpt_fail_base
+                                 : 0;
+  stats.injected_crashes = shared.crashes.load();
+  stats.injected_mesher_kills = shared.mesher_kills.load();
+  stats.stop_cause = static_cast<StopCause>(shared.stop_cause.load());
   {
     const CommStats cs = shared.comm.stats();
     stats.comm_messages = cs.messages;
@@ -1081,6 +1274,10 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   }
   if (shared.abort.load()) {
     stats.status = RunStatus::kFailed;
+  } else if (drained && stats.units_done < stats.units_total) {
+    // Drained with work left over: the mesh gathered so far is valid and
+    // conformal, and the journal makes the remainder resumable.
+    stats.status = RunStatus::kStopped;
   } else if (shared.gather_timed_out.load() || stats.missing_results > 0 ||
              lost_units > 0) {
     stats.status = RunStatus::kPartial;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <vector>
 
@@ -11,10 +12,14 @@
 
 namespace aero {
 
-/// Transport tuning shared by the pool, drivers, and CLI: the RMA-vs-copy
-/// A/B switch and the small-message coalescing bound. Kept as its own struct
-/// so callers (benches, tests, aeromesh flags) can thread it through
-/// parallel_generate_mesh without restating every pool option.
+class CheckpointSink;
+class ResumeState;
+
+/// Transport and robustness tuning shared by the pool, drivers, and CLI:
+/// the RMA-vs-copy A/B switch, the small-message coalescing bound, and the
+/// fault-tolerance timeouts. Kept as its own struct so callers (benches,
+/// tests, aeromesh flags) can thread it through parallel_generate_mesh
+/// without restating every pool option.
 struct PoolTuning {
   /// Zero-copy transfers: payloads at or above `rma_threshold` bytes are
   /// published into the sender's PayloadWindow and move by ownership
@@ -25,7 +30,44 @@ struct PoolTuning {
   std::size_t rma_threshold = 1024;
   /// Bounded flush delay for small-control-message coalescing (0 = off).
   std::chrono::microseconds coalesce_delay{0};
+  /// Unacknowledged work transfers are retransmitted after this long.
+  std::chrono::milliseconds ack_timeout{25};
+  /// A rank whose heartbeat stalls this long is declared dead: its queued
+  /// work is reclaimed by the root and nobody waits on its results.
+  std::chrono::milliseconds heartbeat_timeout{500};
+  /// Global bound on the whole run (including the result gather). When it
+  /// expires the pool is force-terminated and reports RunStatus::kFailed.
+  std::chrono::seconds watchdog_timeout{120};
 };
+
+/// Run-level budget enforced by the pool's monitor thread. Unlike the
+/// watchdog (a hard fault bound that aborts), exceeding a budget drains the
+/// run gracefully: in-flight units finish, queued work is dropped, results
+/// are gathered, the checkpoint journal is intact, and the pool reports
+/// RunStatus::kStopped with completeness accounting. 0 = unlimited.
+struct RunBudget {
+  long wall_ms = 0;      ///< wall-clock bound on the pool pass
+  long peak_rss_mb = 0;  ///< process peak-RSS bound (monotonic, so once
+                         ///< exceeded every later check trips too)
+};
+
+/// Why a drained run stopped (PoolStats::stop_cause).
+enum class StopCause {
+  kNone = 0,
+  kWallBudget,  ///< RunBudget::wall_ms exhausted
+  kRssBudget,   ///< RunBudget::peak_rss_mb exceeded
+  kExternal,    ///< the external stop flag flipped (e.g. SIGINT)
+};
+
+inline const char* to_string(StopCause c) {
+  switch (c) {
+    case StopCause::kNone: return "none";
+    case StopCause::kWallBudget: return "wall-budget";
+    case StopCause::kRssBudget: return "rss-budget";
+    case StopCause::kExternal: return "stop-request";
+  }
+  return "unknown";
+}
 
 /// Options of the in-process work-stealing pool.
 struct PoolOptions {
@@ -47,21 +89,27 @@ struct PoolOptions {
   /// Re-attempts of a throwing unit on the same rank before it is re-queued
   /// to another rank / escalated to the root-side sequential fallback.
   int max_unit_retries = 2;
-  /// Unacknowledged work transfers are retransmitted after this long.
-  std::chrono::milliseconds ack_timeout{25};
-  /// A rank whose heartbeat stalls this long is declared dead: its queued
-  /// work is reclaimed by the root and nobody waits on its results.
-  std::chrono::milliseconds heartbeat_timeout{500};
-  /// Global bound on the whole run (including the result gather). When it
-  /// expires the pool is force-terminated and reports RunStatus::kFailed.
-  std::chrono::seconds watchdog_timeout{120};
 
   /// Optional protocol event recorder (audit_protocol replays it). Off by
   /// default; recording takes one short lock per protocol event.
   ProtocolTrace* trace = nullptr;
 
-  /// RMA / coalescing transport switches (see PoolTuning).
-  PoolTuning transport;
+  /// Transport switches and robustness timeouts (see PoolTuning).
+  PoolTuning tuning;
+
+  // -- Run-level resilience ------------------------------------------------
+  /// Wall/RSS budget; on exhaustion the monitor drains instead of aborting.
+  RunBudget budget;
+  /// External stop request (the CLI points this at its SIGINT flag): when
+  /// it flips true the pool drains in-flight units and gathers what exists.
+  const std::atomic<bool>* stop = nullptr;
+  /// Checkpoint journal sink: every finalized leaf's triangles stream here
+  /// before the unit is counted complete, so a crash loses only in-flight
+  /// work. Null = no journaling.
+  CheckpointSink* checkpoint = nullptr;
+  /// Completed subdomains loaded from a previous run's journal: leaves
+  /// found here replay their stored triangles instead of re-meshing.
+  const ResumeState* resume = nullptr;
 };
 
 /// Statistics of a pool run.
@@ -104,6 +152,16 @@ struct PoolStats {
   std::size_t injected_corruptions = 0;  ///< payload bytes flipped in transit
   std::size_t delayed_messages = 0;      ///< deliveries postponed by the fabric
   std::size_t injected_unit_faults = 0;  ///< unit attempts forced to throw
+
+  // Run-level resilience accounting (completeness report + checkpointing).
+  std::size_t units_total = 0;   ///< work units created (initial + spawned)
+  std::size_t units_done = 0;    ///< units that produced their output
+  std::size_t resumed_units = 0; ///< leaves replayed from a resume journal
+  std::size_t checkpointed_units = 0;  ///< leaf records streamed to journal
+  std::size_t checkpoint_failures = 0; ///< journal appends that failed
+  std::size_t injected_crashes = 0;      ///< ranks crashed by the injector
+  std::size_t injected_mesher_kills = 0; ///< mesher threads killed by it
+  StopCause stop_cause = StopCause::kNone;  ///< why a kStopped run drained
 
   // Per-rank load balance, indexed by rank (filled from thread-owned
   // accumulators after the pool threads join; feeds the obs load report).

@@ -8,31 +8,6 @@ namespace aero {
 
 namespace {
 
-/// Slice-by-8 CRC-32 tables: table[0] is the classic byte-at-a-time table;
-/// table[k][b] extends a byte processed k positions earlier, so eight bytes
-/// fold into the running CRC with eight independent lookups per iteration
-/// instead of a serial chain. Byte-at-a-time runs ~0.35 GB/s here; the
-/// result gather alone moves hundreds of KB per run, and the framing must
-/// stay under the 2% overhead budget.
-constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
-  std::array<std::array<std::uint32_t, 256>, 8> tables{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-    }
-    tables[0][i] = c;
-  }
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = tables[0][i];
-    for (std::size_t t = 1; t < 8; ++t) {
-      c = tables[0][c & 0xffu] ^ (c >> 8);
-      tables[t][i] = c;
-    }
-  }
-  return tables;
-}
-
 class Writer {
  public:
   /// `capacity` sizes the (optionally pooled) buffer exactly; `header_room`
@@ -113,28 +88,6 @@ class Reader {
 };
 
 }  // namespace
-
-std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  static constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables =
-      make_crc_tables();
-  std::uint32_t c = 0xffffffffu;
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    std::uint32_t lo;
-    std::uint32_t hi;
-    std::memcpy(&lo, data + i, 4);
-    std::memcpy(&hi, data + i + 4, 4);
-    lo ^= c;
-    c = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
-        kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
-        kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
-        kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
-  }
-  for (; i < n; ++i) {
-    c = kTables[0][(c ^ data[i]) & 0xffu] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
-}
 
 std::size_t serialized_size(const WorkUnit& unit) {
   std::size_t n = 8 + 8 + 1;  // id, failed_ranks, kind

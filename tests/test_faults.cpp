@@ -322,8 +322,8 @@ struct ChaosFixture {
     // Generous liveness bounds: this box oversubscribes all nine pool
     // threads onto very few cores, so a healthy communicator can be
     // scheduled away for tens of milliseconds at a time.
-    opts.heartbeat_timeout = std::chrono::milliseconds(1000);
-    opts.watchdog_timeout = std::chrono::seconds(120);
+    opts.tuning.heartbeat_timeout = std::chrono::milliseconds(1000);
+    opts.tuning.watchdog_timeout = std::chrono::seconds(120);
   }
 };
 
@@ -403,8 +403,8 @@ TEST(PoolFaults, ChaosRecoversOnTheCopyPathWithCoalescing) {
   }
 
   PoolOptions chaos_opts = fx.opts;
-  chaos_opts.transport.rma = false;
-  chaos_opts.transport.coalesce_delay = std::chrono::microseconds(150);
+  chaos_opts.tuning.rma = false;
+  chaos_opts.tuning.coalesce_delay = std::chrono::microseconds(150);
   chaos_opts.faults.enabled = true;
   chaos_opts.faults.seed = 31337;
   chaos_opts.faults.drop_rate = 0.06;

@@ -526,14 +526,14 @@ struct AbFixture {
     opts.steal_threshold = 1.0;
     opts.update_period = std::chrono::microseconds(50);
     opts.inviscid_target_triangles = cfg.inviscid_target_triangles;
-    opts.heartbeat_timeout = std::chrono::milliseconds(1000);
-    opts.watchdog_timeout = std::chrono::seconds(120);
+    opts.tuning.heartbeat_timeout = std::chrono::milliseconds(1000);
+    opts.tuning.watchdog_timeout = std::chrono::seconds(120);
   }
 
   PoolStats run(const PoolTuning& tuning, MergedMesh& out,
                 ProtocolTrace* trace = nullptr) const {
     PoolOptions o = opts;
-    o.transport = tuning;
+    o.tuning = tuning;
     o.trace = trace;
     auto units = initial;
     return run_pool(std::move(units), sizing, o, out);
@@ -588,7 +588,7 @@ TEST(PoolAb, CoalescingPreservesTheMeshUnderChaos) {
   o.faults.drop_rate = 0.05;
   o.faults.duplicate_rate = 0.04;
   o.faults.corrupt_rate = 0.04;
-  o.transport = coalesced;
+  o.tuning = coalesced;
   MergedMesh mesh;
   auto units = fx.initial;
   const PoolStats stats = run_pool(std::move(units), fx.sizing, o, mesh);

@@ -28,6 +28,12 @@ for the project-specific rules that generic tools cannot know:
                    payload window). memcpy/memmove outside the serializers
                    and any by-value copy of a `.payload` member are deep
                    copies the zero-copy transport exists to eliminate.
+  unchecked-io     The checkpoint journal and its serializer sink are the
+                   only copy of a crashed run's finished work: a discarded
+                   fwrite/fflush/fclose (or stream write/flush) return value
+                   there is a short write nobody notices until the resume
+                   that needed it. Statement-position I/O calls in those
+                   files are violations; use or test the return value.
   layering         #include edges between src/ modules must follow the
                    dependency DAG below; no cycles, no upward includes.
   public-api       tests/ and examples/ compile against the public surface
@@ -232,6 +238,31 @@ def check_payload_copy(relpath, code, raw):
     return None
 
 
+# unchecked-io: files whose writes ARE the durability story. A call in
+# statement position discards its result; every one of these returns a
+# value that must decide success.
+UNCHECKED_IO_FILES = {"journal.cpp", "journal.hpp",
+                      "checkpoint.cpp", "checkpoint.hpp"}
+# Only a call that IS the whole statement (`...);` ends the line) discards
+# its result; a wrapped line continuing into `== n && ...` is a checked use.
+UNCHECKED_C_IO_RE = re.compile(
+    r"^\s*(?:std::)?(?:fwrite|fflush|fclose|fputc|fputs)\s*\([^;]*\)\s*;\s*$")
+# Member spellings (stream or wrapper objects). `close()` is deliberately
+# absent: void close() wrappers that internally count failures are fine.
+UNCHECKED_STREAM_IO_RE = re.compile(
+    r"^\s*\w+(?:\.|->)(?:write|flush|put)\s*\([^;]*\)\s*;\s*$")
+
+
+def check_unchecked_io(relpath, code, raw):
+    if os.path.basename(relpath) not in UNCHECKED_IO_FILES:
+        return None
+    if UNCHECKED_C_IO_RE.search(code) or UNCHECKED_STREAM_IO_RE.search(code):
+        return ("discarded I/O return value in checkpoint persistence code; "
+                "a silent short write here loses the journal -- branch on "
+                "the result")
+    return None
+
+
 INCLUDE_RE = re.compile(r'#\s*include\s+"([A-Za-z0-9_]+)/')
 
 
@@ -310,6 +341,7 @@ RULES = [
     ("naked-new", check_naked_new),
     ("runtime-throw", check_runtime_throw),
     ("payload-copy", check_payload_copy),
+    ("unchecked-io", check_unchecked_io),
     ("layering", check_layering),
     ("public-api", check_public_api),
 ]
@@ -397,6 +429,15 @@ SEEDED = [
     ("payload-copy", os.path.join("src", "runtime", "x.cpp"),
      "ByteBuf staged = msg->payload;",
      "comm.send(rank, dest, tag, std::move(msg->payload));"),
+    ("unchecked-io", os.path.join("src", "io", "journal.cpp"),
+     "std::fwrite(frame.data(), 1, frame.size(), file_);",
+     "ok = std::fwrite(frame.data(), 1, frame.size(), file_) == frame.size();"),
+    ("unchecked-io", os.path.join("src", "io", "journal.cpp"),
+     "fflush(file_);",
+     "if (std::fflush(file_) != 0) ++failures_;"),
+    ("unchecked-io", os.path.join("src", "runtime", "checkpoint.cpp"),
+     "writer_->flush();",
+     "return writer_.flush();"),
     ("layering", os.path.join("src", "geom", "x.hpp"),
      '#include "delaunay/mesh.hpp"',
      '#include "geom/vec2.hpp"'),

@@ -10,7 +10,10 @@ perf-sensitive PR can't silently lose what an earlier PR measured.
 Wall times on a loaded or oversubscribed box are noisy, hence the generous
 default tolerance (10%) and the counter report: counters (bytes moved,
 speedups, triangle counts) are deterministic and are compared exactly in the
-summary, but only ``wall_ms`` gates.
+summary. Two fields gate: ``wall_ms`` and ``peak_rss_kb``. The RSS gate has
+its own tolerance plus an absolute slack so small benches (where a few
+freshly-touched allocator pages are a large fraction) don't flap; a report
+with ``peak_rss_kb`` of 0 (platform unsupported) is not gated.
 
 Exit codes: 0 ok, 1 regression or malformed input, 77 soft-skip (either side
 has no reports -- e.g. the benches were never run in this build tree; the
@@ -18,7 +21,8 @@ ctest entry maps 77 to SKIPPED so a test-only checkout stays green).
 
 Usage:
   bench_compare.py --baseline <dir-or-file> --current <dir-or-file>
-                   [--tolerance 0.10]
+                   [--tolerance 0.10] [--rss-tolerance 0.25]
+                   [--rss-slack-kb 16384]
 """
 
 import argparse
@@ -55,6 +59,12 @@ def main():
                     help="fresh run: a BENCH_*.json or a directory")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional wall_ms increase (default 0.10)")
+    ap.add_argument("--rss-tolerance", type=float, default=0.25,
+                    help="allowed fractional peak_rss_kb increase "
+                         "(default 0.25)")
+    ap.add_argument("--rss-slack-kb", type=float, default=16384,
+                    help="absolute peak_rss_kb headroom added on top of the "
+                         "fractional tolerance (default 16384 = 16 MB)")
     args = ap.parse_args()
 
     base = collect(args.baseline)
@@ -89,6 +99,19 @@ def main():
               f"({100.0 * (ratio - 1.0):+.1f}%, tolerance "
               f"{100.0 * args.tolerance:.0f}%) {verdict}")
 
+        # Peak-RSS gate: memory is far less noisy than wall time, but the
+        # absolute slack keeps one-page-granularity jitter out of the gate.
+        b_rss = float(b.get("peak_rss_kb", 0) or 0)
+        c_rss = float(c.get("peak_rss_kb", 0) or 0)
+        if b_rss > 0 and c_rss > 0:
+            bound = b_rss * (1.0 + args.rss_tolerance) + args.rss_slack_kb
+            rss_verdict = "ok"
+            if c_rss > bound:
+                rss_verdict = "REGRESSION"
+                failed.append(name)
+            print(f"  peak_rss_kb {b_rss:.0f} -> {c_rss:.0f} "
+                  f"(bound {bound:.0f}) {rss_verdict}")
+
         b_counters = b.get("counters", {})
         c_counters = c.get("counters", {})
         for key in sorted(set(b_counters) & set(c_counters)):
@@ -102,7 +125,9 @@ def main():
         print(f"{name}: only in {side}; not compared")
 
     if failed:
-        print(f"bench_compare: wall-clock regression in {', '.join(failed)}")
+        uniq = sorted(set(failed))
+        print(f"bench_compare: wall-clock or peak-RSS regression in "
+              f"{', '.join(uniq)}")
         return 1
     print(f"bench_compare: {len(shared)} report(s) within tolerance")
     return 0
