@@ -55,8 +55,8 @@ struct AppFlag {
 
 /// Signal-driven graceful stop. The handler only touches lock-free atomics
 /// and _Exit, all async-signal-safe; the pool's monitor thread polls g_stop.
-std::atomic<bool> g_stop{false};
-std::atomic<int> g_signals{0};
+std::atomic<bool> g_stop AERO_ATOMIC_ROLE(flag){false};
+std::atomic<int> g_signals AERO_ATOMIC_ROLE(counter){0};
 
 void handle_stop_signal(int) {
   if (g_signals.fetch_add(1) >= 1) std::_Exit(130);  // second signal: now
@@ -279,6 +279,7 @@ int main(int argc, char** argv) {
       // Graceful signal handling only makes sense with the pool (the
       // sequential pipeline has no drain point); leave the default
       // immediate-kill behavior for sequential runs.
+      // aerolint: allow(atomic-mixed: hands the atomic object itself to the pool's stop-flag observer, which loads it atomically)
       opts.stop_flag = &g_stop;
       std::signal(SIGINT, handle_stop_signal);
       std::signal(SIGTERM, handle_stop_signal);

@@ -149,10 +149,17 @@ std::vector<std::pair<Vec2, Vec2>> MergedMesh::boundary_edges(
     if (ia == point_index_.end() || ib == point_index_.end()) continue;
     excluded.insert(edge_key(ia->second, ib->second));
   }
+  // Emit in triangle-scan order, not hash order: every boundary edge has
+  // exactly one live triangle, so the scan yields each edge exactly once and
+  // the output order is a pure function of the mesh.
   std::vector<std::pair<Vec2, Vec2>> out;
-  for (const auto& [k, n] : counts) {
-    if (n != 1 || excluded.contains(k)) continue;
-    out.emplace_back(points_[k.first], points_[k.second]);
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (dead_[t]) continue;
+    for (int i = 0; i < 3; ++i) {
+      const EdgeKey k = edge_key(tris_[t][i], tris_[t][(i + 1) % 3]);
+      if (counts.at(k) != 1 || excluded.contains(k)) continue;
+      out.emplace_back(points_[k.first], points_[k.second]);
+    }
   }
   return out;
 }
@@ -193,6 +200,7 @@ MergedMesh::Conformity MergedMesh::check_conformity() const {
       ++counts[edge_key(tris_[t][i], tris_[t][(i + 1) % 3])];
     }
   }
+  // aerolint: allow(det-unordered-iter: commutative counting -- the three sums are iteration-order independent)
   for (const auto& [k, n] : counts) {
     if (n == 1) {
       ++c.boundary_edges;

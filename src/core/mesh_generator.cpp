@@ -193,10 +193,11 @@ InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
   for (const auto& e : bl_mesh.missing_edges(surface_edges)) {
     domain.bl_interface.push_back(e);
   }
-  // Canonicalize: boundary_edges reports in hash-map iteration order, which
-  // varies run to run. The interface feeds the near-body unit's serialized
+  // Canonicalize: boundary_edges reports in triangle-scan order and
+  // missing_edges in candidate order; both are deterministic, but neither is
+  // the canonical form. The interface feeds the near-body unit's serialized
   // content (and the CDT's constraint insertion order), so checkpoint keys
-  // and resumed meshes are bit-stable only if this list is.
+  // and resumed meshes are bit-stable only if this list is sorted here.
   for (auto& e : domain.bl_interface) {
     if (std::make_pair(e.second.x, e.second.y) <
         std::make_pair(e.first.x, e.first.y)) {

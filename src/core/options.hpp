@@ -207,7 +207,7 @@ struct Options {
   /// Check every knob; returns all problems found (empty = valid). Errors
   /// make the run entry points throw; warnings are advisory (the CLI prints
   /// them to stderr and continues).
-  std::vector<OptionIssue> validate() const;
+  [[nodiscard]] std::vector<OptionIssue> validate() const;
 
   /// Lower to the internal pipeline config. Does not validate.
   MeshGeneratorConfig to_config() const;

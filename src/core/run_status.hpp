@@ -6,7 +6,7 @@ namespace aero {
 /// degrades instead of hanging or dying: a run that loses results to a dead
 /// rank or hits the watchdog bound reports so here instead of blocking
 /// forever or calling std::terminate.
-enum class RunStatus {
+enum class [[nodiscard]] RunStatus {
   kOk = 0,   ///< complete result
   kPartial,  ///< terminated in bounded time, but some results are missing
   kStopped,  ///< drained on a budget/stop request; partial mesh is valid

@@ -111,8 +111,18 @@ std::pair<Subdomain, Subdomain> split_subdomain(Subdomain&& parent,
   right.cuts.push_back({axis, line, false});
 
   // Path vertices that live in the other half, sorted for the primary order.
+  // Collected by index scan (not by iterating path_set, whose hash order
+  // varies); `secondary` is sorted, so duplicates are adjacent and one
+  // std::unique pass reproduces the set's dedup exactly.
+  std::vector<Vec2> path_pts;
+  path_pts.reserve(path_set.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (is_path[i]) path_pts.push_back(secondary[i]);
+  }
+  path_pts.erase(std::unique(path_pts.begin(), path_pts.end()),
+                 path_pts.end());
   std::vector<Vec2> path_in_left, path_in_right;
-  for (const Vec2 p : path_set) {
+  for (const Vec2 p : path_pts) {
     (in_left(p) ? path_in_left : path_in_right).push_back(p);
   }
   const auto primary_less = [&](Vec2 a, Vec2 b) {

@@ -129,7 +129,7 @@ JournalContents read_journal(const std::string& path,
 
 bool JournalWriter::open(const std::string& path, std::uint64_t config_hash,
                          bool append) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   if (file_ != nullptr) return false;  // already open
   failed_ = false;
   file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
@@ -154,14 +154,14 @@ bool JournalWriter::open(const std::string& path, std::uint64_t config_hash,
 }
 
 bool JournalWriter::is_open() const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   return file_ != nullptr && !failed_;
 }
 
 bool JournalWriter::append(std::uint64_t key, const std::uint8_t* payload,
                            std::size_t n) {
   if (n > kJournalMaxPayload) return false;
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   if (file_ == nullptr || failed_) {
     ++failures_;
     return false;
@@ -191,7 +191,7 @@ bool JournalWriter::append(std::uint64_t key, const std::uint8_t* payload,
 }
 
 bool JournalWriter::flush() {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   if (file_ == nullptr || failed_) return false;
   if (std::fflush(file_) != 0) {
     ++failures_;
@@ -202,19 +202,19 @@ bool JournalWriter::flush() {
 }
 
 void JournalWriter::close() {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   if (file_ == nullptr) return;
   if (std::fclose(file_) != 0) ++failures_;
   file_ = nullptr;
 }
 
 std::size_t JournalWriter::bytes_written() const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   return bytes_;
 }
 
 std::size_t JournalWriter::write_failures() const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   return failures_;
 }
 

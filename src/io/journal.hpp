@@ -3,9 +3,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/annotations.hpp"
 
 namespace aero {
 
@@ -74,25 +75,29 @@ class JournalWriter {
   /// Open for a fresh run (truncate + write header) or, with `append`,
   /// extend an existing journal whose header the caller already validated
   /// via read_journal. Returns false (and stays closed) on any I/O error.
-  bool open(const std::string& path, std::uint64_t config_hash, bool append);
+  [[nodiscard]] bool open(const std::string& path, std::uint64_t config_hash,
+                          bool append);
   bool is_open() const;
 
   /// Append one framed record and flush it to the OS so the bytes survive
   /// this process dying. Returns false on any write error.
-  bool append(std::uint64_t key, const std::uint8_t* payload, std::size_t n);
+  [[nodiscard]] bool append(std::uint64_t key, const std::uint8_t* payload,
+                            std::size_t n);
 
-  bool flush();
+  [[nodiscard]] bool flush();
   void close();
 
   std::size_t bytes_written() const;
   std::size_t write_failures() const;
 
  private:
-  mutable std::mutex m_;
-  std::FILE* file_ = nullptr;
-  bool failed_ = false;
-  std::size_t bytes_ = 0;
-  std::size_t failures_ = 0;
+  // may_block: this lock exists to serialize the fwrite/fflush below it;
+  // holding it across those calls is its whole job.
+  mutable Mutex m_ AERO_LOCK_NAME("io.journal", 90, may_block);
+  std::FILE* file_ AERO_GUARDED_BY(m_) = nullptr;
+  bool failed_ AERO_GUARDED_BY(m_) = false;
+  std::size_t bytes_ AERO_GUARDED_BY(m_) = 0;
+  std::size_t failures_ AERO_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace aero

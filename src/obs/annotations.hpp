@@ -65,6 +65,31 @@
 #define AERO_NO_THREAD_SAFETY_ANALYSIS \
   AERO_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// aerolint v2 annotations. These expand to NOTHING for every compiler: they
+// are parsed textually by tools/aerolint's declaration model, which enforces
+// them whole-program (Clang's analysis is per-TU and order-blind). Keep the
+// lock-rank table in DESIGN.md ("Static analysis v2") in sync.
+
+/// Names and ranks a mutex member for the lock-order analysis:
+///   Mutex m_ AERO_LOCK_NAME("pool.rank", 10);
+/// Nested acquisitions must follow ascending rank. The optional third
+/// argument `may_block` marks a lock whose purpose is to serialize a
+/// blocking operation (the journal's fwrite mutex), exempting it from the
+/// lock-blocking rule.
+#define AERO_LOCK_NAME(...)
+
+/// Declares ordering intent explicitly; aerolint checks it against the
+/// ranks and adds the edge to the exported acquisition graph:
+///   Mutex m_ AERO_LOCK_NAME("pool.rank", 10) AERO_ACQUIRED_BEFORE("io.journal");
+#define AERO_ACQUIRED_BEFORE(...)
+
+/// Declares a std::atomic member's role for the atomics audit:
+///   std::atomic<std::size_t> hits_ AERO_ATOMIC_ROLE(counter);
+/// Roles: counter (statistics, any order), flag (state bits; relaxed only
+/// with the `relaxed` qualifier), published (release/acquire data handoff).
+#define AERO_ATOMIC_ROLE(...)
+
 namespace aero {
 
 /// std::mutex wrapped as a Clang capability. Same cost, same semantics; the

@@ -26,7 +26,7 @@ class Counter {
   std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  std::atomic<std::uint64_t> v_ AERO_ATOMIC_ROLE(counter){0};
 };
 
 /// Last-write-wins scalar.
@@ -36,7 +36,7 @@ class Gauge {
   double value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<double> v_{0.0};
+  std::atomic<double> v_ AERO_ATOMIC_ROLE(flag, relaxed){0.0};
 };
 
 /// Log2-binned histogram of non-negative samples: bin 0 holds [0, 1), bin i
@@ -57,9 +57,9 @@ class Histogram {
   static double bin_upper_edge(std::size_t i);
 
  private:
-  std::atomic<std::uint64_t> bins_[kBins] = {};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> bins_[kBins] AERO_ATOMIC_ROLE(counter) = {};
+  std::atomic<std::uint64_t> count_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<double> sum_ AERO_ATOMIC_ROLE(counter){0.0};
 };
 
 /// Process-wide instrument registry. Lookups lock; cache the returned
@@ -91,7 +91,7 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable Mutex m_;
+  mutable Mutex m_ AERO_LOCK_NAME("obs.metrics", 110);
   std::map<std::string, std::unique_ptr<Counter>> counters_
       AERO_GUARDED_BY(m_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ AERO_GUARDED_BY(m_);

@@ -58,6 +58,7 @@ class ThreadBuffer {
 
   /// Hot path: record one event, or count a drop when full.
   void emit(const TraceEvent& e) {
+    // aerolint: allow(atomic-order: single-writer index -- the owner rereads its own last store)
     const std::size_t i = size_.load(std::memory_order_relaxed);
     if (i >= events_.size()) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -83,10 +84,11 @@ class ThreadBuffer {
 
  private:
   std::vector<TraceEvent> events_;  ///< preallocated; slots written in order
-  std::atomic<std::size_t> size_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<const char*> name_{"thread"};
-  std::atomic<int> rank_{-1};
+  /// The release store publishes events_[0, size_) to snapshot readers.
+  std::atomic<std::size_t> size_ AERO_ATOMIC_ROLE(published){0};
+  std::atomic<std::uint64_t> dropped_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<const char*> name_ AERO_ATOMIC_ROLE(flag, relaxed){"thread"};
+  std::atomic<int> rank_ AERO_ATOMIC_ROLE(flag, relaxed){-1};
   std::uint32_t tid_;
 };
 
@@ -165,12 +167,12 @@ class TraceRecorder {
   void reset();
 
  private:
-  mutable Mutex m_;
+  mutable Mutex m_ AERO_LOCK_NAME("obs.trace", 100);
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ AERO_GUARDED_BY(m_);
-  std::atomic<bool> enabled_{false};
-  std::atomic<std::size_t> capacity_{1u << 16};
+  std::atomic<bool> enabled_ AERO_ATOMIC_ROLE(flag, relaxed){false};
+  std::atomic<std::size_t> capacity_ AERO_ATOMIC_ROLE(flag, relaxed){1u << 16};
   /// Bumped by reset(); threads holding a stale generation re-register.
-  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> generation_ AERO_ATOMIC_ROLE(counter){0};
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

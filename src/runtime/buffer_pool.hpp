@@ -41,11 +41,11 @@ class BufferPool {
   /// pool bounds steady-state memory, it is not a cache of everything ever).
   static constexpr std::size_t kMaxFreePerClass = 8;
 
-  mutable Mutex m_;
+  mutable Mutex m_ AERO_LOCK_NAME("rt.buffer_pool", 70);
   std::array<std::vector<std::vector<std::uint8_t>>, kClasses> free_
       AERO_GUARDED_BY(m_);
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> hits_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> misses_ AERO_ATOMIC_ROLE(counter){0};
 };
 
 }  // namespace aero

@@ -108,25 +108,25 @@ bool CheckpointSink::open(const std::string& path, std::uint64_t config_hash,
 }
 
 void CheckpointSink::seed(std::uint64_t key) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   seen_.insert(key);
 }
 
 bool CheckpointSink::record(std::uint64_t key,
                             const std::vector<std::array<Vec2, 3>>& tris) {
   {
-    const std::lock_guard<std::mutex> lock(m_);
+    const MutexLock lock(m_);
     if (!seen_.insert(key).second) return true;  // already journaled
   }
   const auto* bytes = reinterpret_cast<const std::uint8_t*>(tris.data());
   if (!writer_.append(key, bytes, tris.size() * sizeof(Tri))) return false;
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   ++records_;
   return true;
 }
 
 std::size_t CheckpointSink::records() const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const MutexLock lock(m_);
   return records_;
 }
 

@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -60,7 +59,8 @@ class ResumeState {
 /// disk degrades checkpointing, never the mesh.
 class CheckpointSink {
  public:
-  bool open(const std::string& path, std::uint64_t config_hash, bool append);
+  [[nodiscard]] bool open(const std::string& path, std::uint64_t config_hash,
+                          bool append);
   bool is_open() const { return writer_.is_open(); }
 
   /// Mark `key` as already journaled (from a loaded journal's records).
@@ -68,9 +68,10 @@ class CheckpointSink {
 
   /// Serialize and append one finalized subdomain. Returns false only on a
   /// write error; duplicate keys return true without writing.
-  bool record(std::uint64_t key, const std::vector<std::array<Vec2, 3>>& tris);
+  [[nodiscard]] bool record(std::uint64_t key,
+                            const std::vector<std::array<Vec2, 3>>& tris);
 
-  bool flush() { return writer_.flush(); }
+  [[nodiscard]] bool flush() { return writer_.flush(); }
   void close() { writer_.close(); }
 
   std::size_t records() const;
@@ -79,9 +80,13 @@ class CheckpointSink {
 
  private:
   JournalWriter writer_;
-  mutable std::mutex m_;
-  std::unordered_set<std::uint64_t> seen_;
-  std::size_t records_ = 0;
+  // Guards only the dedup set; the journal append happens outside this lock
+  // (JournalWriter serializes itself), keeping the blocking write out of the
+  // sink's critical section.
+  mutable Mutex m_ AERO_LOCK_NAME("ckpt.sink", 80)
+      AERO_ACQUIRED_BEFORE("io.journal");
+  std::unordered_set<std::uint64_t> seen_ AERO_GUARDED_BY(m_);
+  std::size_t records_ AERO_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace aero

@@ -106,7 +106,10 @@ struct Communicator::Lane {
 /// is the flush driver; the lock covers the rare case of two threads sending
 /// from one rank (the monitor acking on the exited root's behalf).
 struct Communicator::Sender {
-  Mutex m;
+  // Every flush path drains the lane under this lock, drops it, and only
+  // then posts into the destination mailbox; the declared edge records the
+  // one direction a future nesting would be allowed to take.
+  Mutex m AERO_LOCK_NAME("comm.sender", 40) AERO_ACQUIRED_BEFORE("comm.mailbox");
   std::vector<Lane> lanes AERO_GUARDED_BY(m);  ///< indexed by destination
 };
 

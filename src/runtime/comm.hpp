@@ -117,12 +117,12 @@ class FaultInjector {
 
  private:
   FaultConfig cfg_;
-  std::atomic<std::uint64_t> event_{0};
-  std::atomic<std::size_t> dropped_{0};
-  std::atomic<std::size_t> duplicated_{0};
-  std::atomic<std::size_t> corrupted_{0};
-  std::atomic<std::size_t> delayed_{0};
-  std::atomic<std::size_t> unit_faults_{0};
+  std::atomic<std::uint64_t> event_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> dropped_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> duplicated_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> corrupted_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> delayed_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> unit_faults_ AERO_ATOMIC_ROLE(counter){0};
 };
 
 /// Coalescing policy for small control messages: sends at or below
@@ -209,7 +209,7 @@ class Communicator {
     Message msg;
   };
   struct Mailbox {
-    mutable Mutex m;
+    mutable Mutex m AERO_LOCK_NAME("comm.mailbox", 50);
     CondVar cv;
     std::deque<Message> q AERO_GUARDED_BY(m);
     std::vector<Delayed> delayed AERO_GUARDED_BY(m);
@@ -234,11 +234,11 @@ class Communicator {
   std::vector<std::unique_ptr<Sender>> senders_;
   CoalesceOptions copts_;
   FaultInjector* injector_ = nullptr;
-  std::atomic<std::size_t> messages_{0};
-  std::atomic<std::size_t> payload_bytes_{0};
-  std::atomic<std::size_t> batches_{0};
-  std::atomic<std::size_t> coalesced_{0};
-  std::atomic<std::size_t> batch_rejects_{0};
+  std::atomic<std::size_t> messages_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> payload_bytes_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> batches_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> coalesced_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> batch_rejects_ AERO_ATOMIC_ROLE(counter){0};
 };
 
 /// Remote-memory-access window emulation for *scheduling state*: an array of
@@ -275,9 +275,9 @@ class RmaWindow {
   }
 
  private:
-  mutable Mutex m_;
+  mutable Mutex m_ AERO_LOCK_NAME("rt.rma_window", 60);
   std::vector<double> data_ AERO_GUARDED_BY(m_);
-  std::unique_ptr<std::atomic<std::uint64_t>[]> beats_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> beats_ AERO_ATOMIC_ROLE(counter);
 };
 
 }  // namespace aero

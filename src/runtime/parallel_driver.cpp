@@ -7,6 +7,7 @@
 
 #include "io/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/checkpoint.hpp"
 
 namespace aero {
@@ -101,7 +102,12 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
     cs.units_done = bl.units_done + inv.units_done;
     cs.stop_cause =
         bl.stop_cause != StopCause::kNone ? bl.stop_cause : inv.stop_cause;
-    sink.flush();
+    // A failed flush leaves the journal short its tail records; the sink's
+    // own failure counter already feeds cs.checkpoint_failures upstream, so
+    // surface the event and carry on -- checkpointing never fails the run.
+    if (sink.is_open() && !sink.flush()) {
+      AERO_TRACE_INSTANT("pipeline", "checkpoint_flush_failed");
+    }
   };
 
   // Phase 1 pool: boundary-layer decomposition + triangulation. The sizing

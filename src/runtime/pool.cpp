@@ -19,7 +19,7 @@ namespace {
 
 /// Per-rank shared state between its mesher and communicator threads.
 struct RankState {
-  Mutex m;
+  Mutex m AERO_LOCK_NAME("pool.rank", 10) AERO_ACQUIRED_BEFORE("pool.results");
   CondVar cv;
   /// Cost-descending priority queue (paper: largest subdomains meshed first,
   /// small ones saved for endgame load balancing).
@@ -48,10 +48,10 @@ struct RankState {
   /// drives the injector's crash/kill thresholds).
   std::size_t mesher_units = 0;
   /// Injected process crash: both of this rank's threads exit silently.
-  std::atomic<bool> crashed{false};
+  std::atomic<bool> crashed AERO_ATOMIC_ROLE(flag){false};
   /// Set when the mesher thread returns (any path). A draining communicator
   /// waits on it before reading `triangles` for the result gather.
-  std::atomic<bool> mesher_exited{false};
+  std::atomic<bool> mesher_exited AERO_ATOMIC_ROLE(flag){false};
 };
 
 struct SharedState {
@@ -65,52 +65,57 @@ struct SharedState {
   /// Per-rank registered payload windows for zero-copy transfers (deque:
   /// PayloadWindow owns a mutex and cannot move).
   std::deque<PayloadWindow> payload_windows;
-  std::atomic<long> outstanding{0};
-  std::atomic<std::uint64_t> next_unit_id{0};
+  std::atomic<long> outstanding AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::uint64_t> next_unit_id AERO_ATOMIC_ROLE(counter){0};
   /// Per-dispatch transfer nonces (see make_frame). Starts at 1 so 0 never
   /// names a live transfer.
-  std::atomic<std::uint64_t> next_transfer_seq{1};
-  std::atomic<bool> shutdown_broadcast{false};
-  std::atomic<bool> abort{false};
-  std::atomic<bool> gather_timed_out{false};
+  std::atomic<std::uint64_t> next_transfer_seq AERO_ATOMIC_ROLE(counter){1};
+  std::atomic<bool> shutdown_broadcast AERO_ATOMIC_ROLE(flag){false};
+  std::atomic<bool> abort AERO_ATOMIC_ROLE(flag){false};
+  std::atomic<bool> gather_timed_out AERO_ATOMIC_ROLE(flag){false};
   /// Graceful drain (budget exhausted / external stop): meshers stop taking
   /// units, communicators run the normal bounded result gather, and the
   /// pool reports kStopped with completeness accounting -- unlike `abort`,
   /// which skips the gather entirely.
-  std::atomic<bool> drain{false};
-  std::atomic<int> stop_cause{0};  ///< StopCause of a drain
+  std::atomic<bool> drain AERO_ATOMIC_ROLE(flag){false};
+  /// StopCause of a drain.
+  std::atomic<int> stop_cause AERO_ATOMIC_ROLE(flag){0};
   /// Ranks declared dead by the heartbeat watchdog.
-  std::unique_ptr<std::atomic<bool>[]> dead;
+  std::unique_ptr<std::atomic<bool>[]> dead AERO_ATOMIC_ROLE(flag);
   /// Communicator threads that exited cleanly (dead ranks never set this).
-  std::unique_ptr<std::atomic<bool>[]> comm_exited;
+  std::unique_ptr<std::atomic<bool>[]> comm_exited AERO_ATOMIC_ROLE(flag);
 
-  std::atomic<std::size_t> steals{0};
-  std::atomic<std::size_t> denials{0};
-  std::atomic<std::size_t> transfer_bytes{0};
-  std::atomic<std::size_t> result_bytes{0};
-  std::atomic<std::size_t> unit_retries{0};
-  std::atomic<std::size_t> unit_failures{0};
-  std::atomic<std::size_t> requeues{0};
-  std::atomic<std::size_t> retransmits{0};
-  std::atomic<std::size_t> crc_failures{0};
-  std::atomic<std::size_t> dead_count{0};
-  std::atomic<std::size_t> reclaimed{0};
-  std::atomic<std::size_t> zero_copy{0};
-  std::atomic<std::size_t> window_bytes{0};
+  std::atomic<std::size_t> steals AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> denials AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> transfer_bytes AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> result_bytes AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> unit_retries AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> unit_failures AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> requeues AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> retransmits AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> crc_failures AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> dead_count AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> reclaimed AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> zero_copy AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> window_bytes AERO_ATOMIC_ROLE(counter){0};
 
   // Run-level resilience accounting.
-  std::atomic<std::size_t> completed{0};  ///< units that produced output
-  std::atomic<std::size_t> resumed{0};    ///< leaves replayed from a journal
-  std::atomic<std::size_t> crashes{0};        ///< injected rank crashes fired
-  std::atomic<std::size_t> mesher_kills{0};   ///< injected mesher kills fired
+  /// Units that produced output.
+  std::atomic<std::size_t> completed AERO_ATOMIC_ROLE(counter){0};
+  /// Leaves replayed from a journal.
+  std::atomic<std::size_t> resumed AERO_ATOMIC_ROLE(counter){0};
+  /// Injected rank crashes fired.
+  std::atomic<std::size_t> crashes AERO_ATOMIC_ROLE(counter){0};
+  /// Injected mesher kills fired.
+  std::atomic<std::size_t> mesher_kills AERO_ATOMIC_ROLE(counter){0};
 
   /// Units escalated to the root-side sequential fallback (meshed after the
   /// pool terminates, outside the fault injector's reach).
-  Mutex fallback_m;
+  Mutex fallback_m AERO_LOCK_NAME("pool.fallback", 20);
   std::vector<WorkUnit> fallback AERO_GUARDED_BY(fallback_m);
 
   /// Result gather, keyed by sender rank (deduplicates resends).
-  Mutex results_m;
+  Mutex results_m AERO_LOCK_NAME("pool.results", 30);
   std::map<int, std::vector<std::array<Vec2, 3>>> results
       AERO_GUARDED_BY(results_m);
 
@@ -1104,7 +1109,8 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   shared.sizing = &sizing;
   shared.opts = &opts;
   shared.deadline = mono_now() + opts.tuning.watchdog_timeout;
-  shared.outstanding = static_cast<long>(initial.size());
+  shared.outstanding.store(static_cast<long>(initial.size()),
+                         std::memory_order_relaxed);
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opts.nranks));
   for (auto& unit : initial) {
@@ -1219,22 +1225,22 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     }
   }
 
-  stats.steals = shared.steals;
-  stats.steal_denials = shared.denials;
-  stats.transfer_bytes = shared.transfer_bytes;
-  stats.result_bytes = shared.result_bytes;
+  stats.steals = shared.steals.load(std::memory_order_relaxed);
+  stats.steal_denials = shared.denials.load(std::memory_order_relaxed);
+  stats.transfer_bytes = shared.transfer_bytes.load(std::memory_order_relaxed);
+  stats.result_bytes = shared.result_bytes.load(std::memory_order_relaxed);
   for (std::size_t r = 0; r < ranks.size(); ++r) {
     stats.tasks_per_rank[r] = ranks[r].tasks_done;
   }
-  stats.unit_retries = shared.unit_retries;
-  stats.unit_failures = shared.unit_failures;
-  stats.requeued_units = shared.requeues;
+  stats.unit_retries = shared.unit_retries.load(std::memory_order_relaxed);
+  stats.unit_failures = shared.unit_failures.load(std::memory_order_relaxed);
+  stats.requeued_units = shared.requeues.load(std::memory_order_relaxed);
   stats.dropped_messages = shared.injector.dropped();
   stats.duplicated_messages = shared.injector.duplicated();
-  stats.corrupt_payloads = shared.crc_failures;
-  stats.retransmits = shared.retransmits;
-  stats.dead_ranks = shared.dead_count;
-  stats.reclaimed_units = shared.reclaimed;
+  stats.corrupt_payloads = shared.crc_failures.load(std::memory_order_relaxed);
+  stats.retransmits = shared.retransmits.load(std::memory_order_relaxed);
+  stats.dead_ranks = shared.dead_count.load(std::memory_order_relaxed);
+  stats.reclaimed_units = shared.reclaimed.load(std::memory_order_relaxed);
   stats.injected_corruptions = shared.injector.corrupted();
   stats.delayed_messages = shared.injector.delayed();
   stats.injected_unit_faults = shared.injector.unit_faults();
@@ -1256,8 +1262,8 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     stats.coalesced_messages = cs.coalesced;
     stats.batch_rejects = cs.batch_rejects;
   }
-  stats.zero_copy_hits = shared.zero_copy;
-  stats.window_bytes = shared.window_bytes;
+  stats.zero_copy_hits = shared.zero_copy.load(std::memory_order_relaxed);
+  stats.window_bytes = shared.window_bytes.load(std::memory_order_relaxed);
   stats.buffer_pool_hits = shared.buffers.hits();
   stats.buffer_pool_misses = shared.buffers.misses();
   stats.busy_seconds_per_rank.resize(ranks.size());

@@ -161,12 +161,13 @@ class PayloadWindow {
     bool taken = false;
   };
 
-  mutable Mutex m_;
+  mutable Mutex m_ AERO_LOCK_NAME("rt.payload_window", 65)
+      AERO_ACQUIRED_BEFORE("rt.buffer_pool");
   std::map<std::uint32_t, Slot> slots_ AERO_GUARDED_BY(m_);
   std::uint32_t next_slot_ AERO_GUARDED_BY(m_) = 1;
   BufferPool* recycle_ = nullptr;
-  std::atomic<std::size_t> published_{0};
-  std::atomic<std::size_t> taken_{0};
+  std::atomic<std::size_t> published_ AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> taken_ AERO_ATOMIC_ROLE(counter){0};
 };
 
 }  // namespace aero

@@ -1,0 +1,40 @@
+// Fixture: seeded unchecked-status violations -- [[nodiscard]] results
+// dropped on the floor in statement position.
+#pragma once
+
+namespace aero {
+
+enum class [[nodiscard]] FixtureStatus { kOk, kFailed };
+
+FixtureStatus run_stage();
+
+class FrameWriter {
+ public:
+  [[nodiscard]] bool persist(int frame);
+};
+
+class StagePipeline {
+ public:
+  [[nodiscard]] bool step();
+
+  void drive() {
+    step();  // unchecked-status: own nodiscard method, result dropped
+    run_stage();  // unchecked-status: nodiscard enum return dropped
+  }
+};
+
+inline void flush_frames(FrameWriter& w) {
+  w.persist(0);  // unchecked-status: resolved receiver, result dropped
+}
+
+class FrameHolder {
+ public:
+  void flush_all() {
+    writer.persist(1);  // unchecked-status: member receiver, dropped
+  }
+
+ private:
+  FrameWriter writer;
+};
+
+}  // namespace aero

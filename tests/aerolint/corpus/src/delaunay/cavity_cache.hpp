@@ -1,0 +1,50 @@
+// Fixture: seeded determinism violations (det-unordered-iter,
+// det-pointer-key, det-clock) inside mesh-affecting code.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aero {
+
+struct CavityNode;
+
+class CavityCache {
+ public:
+  double sum_weights() {
+    double s = 0.0;
+    for (const auto& kv : weights_) {  // det-unordered-iter: hash order
+      s += kv.second;
+    }
+    return s;
+  }
+
+  int flood(int seed) {
+    std::unordered_set<int> frontier;
+    frontier.insert(seed);
+    int visited = 0;
+    for (int v : frontier) {  // det-unordered-iter: local hash order
+      visited += v;
+    }
+    return visited;
+  }
+
+  double stamp() {
+    // det-clock: wall-clock read feeding kernel code.
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<double>(t.time_since_epoch().count());
+  }
+
+  int jitter() {
+    return rand() % 3;  // det-clock + heritage determinism: PRNG in kernel
+  }
+
+ private:
+  std::unordered_map<int, double> weights_;
+  std::map<CavityNode*, int> order_;  // det-pointer-key: address ordering
+};
+
+}  // namespace aero

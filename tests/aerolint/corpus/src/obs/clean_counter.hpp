@@ -1,0 +1,30 @@
+// Fixture: a fully clean file -- annotated locks and atomics, ordered
+// containers, checked statuses. Must produce zero findings.
+#pragma once
+
+#include <atomic>
+#include <map>
+
+#include "obs/annotations.hpp"
+
+namespace aero {
+
+class CleanCounter {
+ public:
+  void add(int k, double w) {
+    MutexLock lock(m_);
+    weights_[k] += w;
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool flush();
+
+  bool drain() { return flush(); }
+
+ private:
+  mutable Mutex m_ AERO_LOCK_NAME("fx.clean", 90);
+  std::map<int, double> weights_;
+  std::atomic<long> total_ AERO_ATOMIC_ROLE(counter){0};
+};
+
+}  // namespace aero

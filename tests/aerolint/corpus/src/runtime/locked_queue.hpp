@@ -1,0 +1,53 @@
+// Fixture: seeded lock-discipline violations (lock-table, lock-order,
+// lock-blocking). Golden expectations live in tests/aerolint/expected.txt.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "obs/annotations.hpp"
+
+namespace aero {
+
+// lock-table: a mutex in scope with no AERO_LOCK_NAME annotation.
+class UnrankedBox {
+ public:
+  void poke();
+
+ private:
+  Mutex m_;
+};
+
+// lock-table: ACQUIRED_BEFORE pointing the wrong way across the ranks.
+class ContraUp {
+  Mutex m_ AERO_LOCK_NAME("fx.up", 50) AERO_ACQUIRED_BEFORE("fx.down");
+};
+class ContraDown {
+  Mutex m_ AERO_LOCK_NAME("fx.down", 40);
+};
+
+// lock-order: nested acquisition descending in rank, plus re-acquisition.
+class LockedQueue {
+ public:
+  void drain() {
+    MutexLock outer(hi_);
+    MutexLock inner(lo_);  // lock-order: rank inversion
+  }
+
+  void requeue() {
+    MutexLock a(lo_);
+    MutexLock b(lo_);  // lock-order: re-acquiring a held lock
+  }
+
+  // lock-blocking: sleeping while the queue lock is held.
+  void backoff() {
+    MutexLock lock(lo_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  Mutex lo_ AERO_LOCK_NAME("fx.queue", 10);
+  Mutex hi_ AERO_LOCK_NAME("fx.flush", 20);
+};
+
+}  // namespace aero

@@ -1,0 +1,34 @@
+// Fixture: seeded atomics violations (atomic-role, atomic-order,
+// atomic-implicit, atomic-mixed).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+
+#include "obs/annotations.hpp"
+
+namespace aero {
+
+class StatsBlock {
+ public:
+  void bump() { done_.fetch_add(1); }  // atomic-role: fetch_add on a flag
+
+  void publish() {
+    // atomic-order: a published atomic needs release on the store side.
+    head_.store(1, std::memory_order_relaxed);
+  }
+
+  void reset() { steals_ = 0; }  // atomic-implicit: plain '=' store
+
+  void wipe(const void* src) {
+    std::memcpy(&steals_, src, sizeof(steals_));  // atomic-mixed
+  }
+
+ private:
+  std::atomic<int> retries_{0};  // atomic-role: no declared role
+  std::atomic<int> done_ AERO_ATOMIC_ROLE(flag){0};
+  std::atomic<int> head_ AERO_ATOMIC_ROLE(published){0};
+  std::atomic<long> steals_ AERO_ATOMIC_ROLE(counter){0};
+};
+
+}  // namespace aero

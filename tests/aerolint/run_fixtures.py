@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Golden test for the aerolint fixture corpus.
+
+Lints tests/aerolint/corpus (a miniature source tree seeded with >=4
+violations per whole-program analysis plus clean files) and compares:
+
+  * the text findings against expected.txt (byte-for-byte), and
+  * the SARIF export against expected.sarif (parsed JSON equality, so
+    formatting churn in the writer does not break the golden).
+
+Run directly or via the `aerolint_fixtures` ctest entry. To regenerate
+the goldens after an intentional rule change:
+
+    python3 tools/aerolint tests/aerolint/corpus \
+        --sarif tests/aerolint/expected.sarif \
+        2> tests/aerolint/expected.txt
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+CORPUS = os.path.join(HERE, "corpus")
+LINTER = os.path.join(REPO, "tools", "aerolint")
+
+
+def fail(msg):
+    sys.stderr.write("aerolint fixtures FAIL: %s\n" % msg)
+    return 1
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = os.path.join(tmp, "fixtures.sarif")
+        proc = subprocess.run(
+            [sys.executable, LINTER, CORPUS, "--sarif", sarif_path],
+            capture_output=True, text=True, cwd=REPO)
+        if proc.returncode != 1:
+            return fail("expected exit 1 (violations), got %d\nstderr:\n%s"
+                        % (proc.returncode, proc.stderr))
+
+        with open(os.path.join(HERE, "expected.txt"), encoding="utf-8") as f:
+            want_text = f.read()
+        if proc.stderr != want_text:
+            import difflib
+            diff = "".join(difflib.unified_diff(
+                want_text.splitlines(keepends=True),
+                proc.stderr.splitlines(keepends=True),
+                fromfile="expected.txt", tofile="actual"))
+            return fail("text findings diverged from the golden "
+                        "(regenerate if intentional):\n" + diff)
+
+        with open(sarif_path, encoding="utf-8") as f:
+            got_sarif = json.load(f)
+        with open(os.path.join(HERE, "expected.sarif"),
+                  encoding="utf-8") as f:
+            want_sarif = json.load(f)
+        if got_sarif != want_sarif:
+            return fail("SARIF export diverged from expected.sarif "
+                        "(regenerate if intentional)")
+
+    n = sum(1 for line in want_text.splitlines() if ": [" in line)
+    sys.stderr.write("aerolint fixtures: corpus produced the %d golden "
+                     "findings and a schema-valid SARIF export\n" % n)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""aerolint v2: whole-program static analysis for the aeromesh tree.
+
+Run as a directory: `python3 tools/aerolint <repo-root>`. The package is
+dependency-free; modules import each other as top-level names so direct
+directory execution (__main__.py puts the package dir on sys.path) and
+test harnesses both work without installation.
+"""

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""aerolint v2: whole-program static guardrails for the aeromesh sources.
+
+Dependency-free (stdlib only). On top of the per-line heritage rules
+(geom-predicates, determinism, no-raw-clock, no-stdout, naked-new,
+runtime-throw, payload-copy, unchecked-io, layering, public-api), a C++
+lexer + declaration model drives four whole-program analyses:
+
+  locks        lock-table / lock-order / lock-blocking: every runtime/obs/
+               io mutex is named+ranked (AERO_LOCK_NAME), nested
+               acquisitions follow ascending rank, the acquisition graph
+               is cycle-free, and no lock is held across a blocking call.
+  determinism  det-unordered-iter / det-pointer-key / det-clock: hash-
+               order iteration, pointer-keyed ordering, and clock reads
+               must not reach mesh-affecting code.
+  atomics      atomic-role / atomic-order / atomic-implicit / atomic-
+               mixed: every std::atomic declares a role (counter | flag |
+               published) checked against its memory orders and accesses.
+  status       unchecked-status: [[nodiscard]] results (RunStatus,
+               journal/checkpoint I/O, Options::validate()) must be used.
+
+Escapes: `// aerolint: allow(rule)` for the heritage rules;
+`// aerolint: allow(rule: reason)` (reason REQUIRED) for the analyses.
+
+Usage:
+    python3 tools/aerolint <repo-root> [--sarif FILE] [--lock-graph FILE]
+    python3 tools/aerolint --self-test
+
+Exit codes: 0 clean, 1 violations, 2 usage error.
+"""
+
+import json
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import engine
+import sarif
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--self-test"]:
+        import selftest
+        return selftest.run()
+    root = None
+    sarif_path = None
+    graph_path = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--sarif":
+            i += 1
+            if i >= len(args):
+                sys.stderr.write("aerolint: --sarif needs a file\n")
+                return 2
+            sarif_path = args[i]
+        elif a == "--lock-graph":
+            i += 1
+            if i >= len(args):
+                sys.stderr.write("aerolint: --lock-graph needs a file\n")
+                return 2
+            graph_path = args[i]
+        elif a in ("-h", "--help"):
+            sys.stderr.write(__doc__)
+            return 0
+        elif a.startswith("-"):
+            sys.stderr.write("aerolint: unknown flag %s\n%s" % (a, __doc__))
+            return 2
+        elif root is None:
+            root = a
+        else:
+            sys.stderr.write(__doc__)
+            return 2
+        i += 1
+    if root is None:
+        sys.stderr.write(__doc__)
+        return 2
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write("aerolint: no src/ under %s\n" % root)
+        return 2
+
+    eng = engine.lint_tree(root)
+
+    if sarif_path:
+        doc = sarif.write_sarif(eng.findings, sarif_path)
+        schema_file = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "sarif-schema.json")
+        with open(schema_file, "r", encoding="utf-8") as f:
+            schema = json.load(f)
+        schema_errors = sarif.validate(doc, schema)
+        for e in schema_errors:
+            sys.stderr.write("aerolint: SARIF schema violation: %s\n" % e)
+        if schema_errors:
+            return 2
+    if graph_path:
+        with open(graph_path, "w", encoding="utf-8") as f:
+            json.dump(eng.lock_graph, f, indent=2, sort_keys=True)
+            f.write("\n")
+        if eng.lock_graph["cycles"]:
+            sys.stderr.write("aerolint: lock graph has cycles\n")
+
+    for v in eng.findings:
+        sys.stderr.write(v.render() + "\n")
+    if eng.findings:
+        sys.stderr.write("aerolint: %d violation(s)\n" % len(eng.findings))
+        return 1
+    sys.stderr.write("aerolint: clean (%d locks ranked, graph cycle-free)\n"
+                     % len(eng.lock_graph["locks"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,304 @@
+"""Atomics audit: every std::atomic member declares its role, and every
+access site is checked against that role.
+
+Roles (declared with AERO_ATOMIC_ROLE(role[, relaxed]) on the member):
+
+  counter    monotonic statistics: ++/--/+=/-=/fetch_add/fetch_sub/load/
+             store/compare_exchange; any memory order (relaxed counters
+             are the point -- nothing is published through them).
+  flag       state bits tested by other threads: load/store/exchange/
+             compare_exchange. Default or acquire/release orders; relaxed
+             only when the role says `relaxed` (e.g. a tag whose pointee
+             is immutable, so the load orders nothing).
+  published  data handed to other threads through the atomic: stores must
+             be release/seq_cst (or default), loads acquire/seq_cst (or
+             default); relaxed is forbidden unless the role says
+             `relaxed` or the site carries a reasoned escape.
+
+Rules:
+  atomic-role      atomic member without a role annotation, or an op the
+                   role does not admit (fetch_add on a flag, ...).
+  atomic-order     a memory order the role forbids.
+  atomic-implicit  plain `x = v` / bare `x` reads of an atomic member:
+                   implicit seq_cst conversions hide the concurrency --
+                   write .load()/.store() so the audit sees the order.
+  atomic-mixed     memcpy/memset/reinterpret_cast over an atomic member
+                   or an object that contains one.
+
+Scope: all of src/ (pointers to atomics owned elsewhere are exempt).
+"""
+
+from model import _match
+
+ROLES = ("counter", "flag", "published")
+
+_OPS_BY_ROLE = {
+    "counter": {"load", "store", "fetch_add", "fetch_sub", "exchange",
+                "compare_exchange_weak", "compare_exchange_strong"},
+    "flag": {"load", "store", "exchange", "compare_exchange_weak",
+             "compare_exchange_strong"},
+    "published": {"load", "store", "exchange", "compare_exchange_weak",
+                  "compare_exchange_strong"},
+}
+
+_ORDER_IDS = {"memory_order_relaxed", "memory_order_acquire",
+              "memory_order_release", "memory_order_acq_rel",
+              "memory_order_seq_cst", "memory_order_consume"}
+
+_LOAD_OK = {"published": {"memory_order_acquire", "memory_order_seq_cst"}}
+_STORE_OK = {"published": {"memory_order_release", "memory_order_seq_cst"}}
+
+
+class AtomicDecl(object):
+    __slots__ = ("member", "role", "relaxed_ok")
+
+    def __init__(self, member, role, relaxed_ok):
+        self.member = member
+        self.role = role
+        self.relaxed_ok = relaxed_ok
+
+
+def _is_tracked_atomic(m):
+    t = m.type_str
+    if "std::atomic<" not in t:
+        return False
+    if t.rstrip().endswith("*"):
+        return False  # pointer to an atomic owned elsewhere
+    return True
+
+
+def _collect(eng):
+    decls = {}  # (class, member) -> AtomicDecl
+    for sf in eng.src_files():
+        for cls in sf.model.classes.values():
+            for m in cls.members.values():
+                if not _is_tracked_atomic(m):
+                    continue
+                ann = m.ann("AERO_ATOMIC_ROLE")
+                if ann is None or not ann.args \
+                        or ann.args[0].strip() not in ROLES:
+                    eng.report(
+                        "atomic-role", sf.relpath, m.line,
+                        "atomic member %s has no declared role; annotate "
+                        "with AERO_ATOMIC_ROLE(counter|flag|published"
+                        "[, relaxed])" % m.qual())
+                    continue
+                role = ann.args[0].strip()
+                relaxed_ok = any(a.strip() == "relaxed"
+                                 for a in ann.args[1:])
+                decls[(cls.name, m.name)] = AtomicDecl(m, role, relaxed_ok)
+        for g in sf.model.globals:
+            if _is_tracked_atomic(g):
+                ann = g.ann("AERO_ATOMIC_ROLE")
+                if ann is None or not ann.args \
+                        or ann.args[0].strip() not in ROLES:
+                    eng.report(
+                        "atomic-role", sf.relpath, g.line,
+                        "atomic variable %s has no declared role; annotate "
+                        "with AERO_ATOMIC_ROLE(counter|flag|published"
+                        "[, relaxed])" % g.name)
+                else:
+                    decls[(None, g.name)] = AtomicDecl(
+                        g, ann.args[0].strip(),
+                        any(a.strip() == "relaxed" for a in ann.args[1:]))
+    return decls
+
+
+def _receiver_class(eng, fn, toks, lo, j):
+    """Class of the receiver expression whose last token is at j (the token
+    before the '.'/'->'). Follows member chains (r.bl_pool.steals) and
+    subscripts (tris_[i].dead); returns None when the base cannot be
+    resolved -- the audit prefers silence over a guessed receiver."""
+    segs = []
+    while True:
+        if toks[j].text == "]":
+            depth = 0
+            k = j
+            while k > lo:
+                if toks[k].text == "]":
+                    depth += 1
+                elif toks[k].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            j = k - 1  # the id the subscript applies to
+            continue
+        if j < lo or toks[j].kind != "id":
+            return None
+        segs.append(toks[j].text)
+        if j - 1 > lo and toks[j - 1].text in (".", "->"):
+            j -= 2
+            continue
+        break
+    segs.reverse()
+    cls = fn.cls if segs[0] == "this" else \
+        eng.program.resolve_receiver(fn, segs[0])
+    for name in segs[1:]:
+        if cls is None:
+            return None
+        info = eng.program.classes.get(cls)
+        m = info.members.get(name) if info else None
+        if m is None:
+            return None
+        cls = eng.program.class_in_type(m.type_str)
+    return cls
+
+
+def _resolve_atomic(eng, fn, toks, lo, i, decls):
+    """If the id at i names a tracked atomic member (via its receiver, the
+    enclosing class, or a global), return its AtomicDecl."""
+    name = toks[i].text
+    prev = toks[i - 1].text if i > lo else ""
+    if prev in (".", "->"):
+        cls = _receiver_class(eng, fn, toks, lo, i - 2)
+        return decls.get((cls, name)) if cls else None
+    if fn.cls and (fn.cls, name) in decls:
+        return decls[(fn.cls, name)]
+    if (None, name) in decls:
+        return decls[(None, name)]
+    return None
+
+
+def _call_order(toks, i, hi):
+    """Memory-order ids inside the call whose '(' is at i (or None)."""
+    end = _match(toks, i, "(", ")")
+    return [t.text for t in toks[i:end] if t.text in _ORDER_IDS], end
+
+
+def _scan_function(eng, sf, fn, decls):
+    toks = fn.tokens
+    lo, hi = fn.body
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        if t.text in ("memcpy", "memmove", "memset"):
+            i = _check_mixed(eng, sf, fn, toks, lo, i, hi, decls)
+            continue
+        d = _resolve_atomic(eng, fn, toks, lo, i, decls)
+        if d is None:
+            i += 1
+            continue
+        # follow an optional [index] (atomic arrays)
+        j = i + 1
+        if j < hi and toks[j].text == "[":
+            j = _match(toks, j, "[", "]")
+        nxt = toks[j].text if j < hi else ""
+        if nxt in (".", "->") and j + 1 < hi:
+            op = toks[j + 1].text
+            if op in ("load", "store", "exchange", "fetch_add", "fetch_sub",
+                      "compare_exchange_weak", "compare_exchange_strong"):
+                orders = []
+                if j + 2 < hi and toks[j + 2].text == "(":
+                    orders, end = _call_order(toks, j + 2, hi)
+                else:
+                    end = j + 2
+                _check_op(eng, sf, d, toks[j + 1], op, orders)
+                i = end
+                continue
+            i = j + 2
+            continue
+        if nxt in ("++", "--", "+=", "-="):
+            _check_op(eng, sf, d, toks[j], "fetch_add", [])
+            i = j + 1
+            continue
+        if nxt == "=" :
+            eng.report(
+                "atomic-implicit", sf.relpath, t.line,
+                "implicit store to atomic %s via '='; write "
+                "%s.store(value, order) so the memory order is explicit"
+                % (d.member.qual(), t.text))
+            i = j + 1
+            continue
+        prev = toks[i - 1].text if i > lo else ""
+        if prev in ("++", "--", "&"):
+            if prev == "&":
+                eng.report(
+                    "atomic-mixed", sf.relpath, t.line,
+                    "taking the address of atomic %s invites non-atomic "
+                    "access to its storage" % d.member.qual())
+            else:
+                _check_op(eng, sf, d, t, "fetch_add", [])
+            i = j
+            continue
+        # bare read: implicit seq_cst conversion
+        eng.report(
+            "atomic-implicit", sf.relpath, t.line,
+            "implicit read of atomic %s; write %s.load(order) so the "
+            "memory order is explicit" % (d.member.qual(), t.text))
+        i = j
+        continue
+    return
+
+
+def _check_op(eng, sf, d, tok, op, orders):
+    role = d.role
+    if op not in _OPS_BY_ROLE[role]:
+        eng.report(
+            "atomic-role", sf.relpath, tok.line,
+            "%s() on atomic %s contradicts its declared role '%s'"
+            % (op, d.member.qual(), role))
+        return
+    if not orders:
+        return  # default seq_cst is admissible for every role
+    for order in orders:
+        if order == "memory_order_relaxed":
+            if role == "counter" or d.relaxed_ok:
+                continue
+            eng.report(
+                "atomic-order", sf.relpath, tok.line,
+                "relaxed %s on atomic %s (role '%s'); this atomic "
+                "synchronizes -- use acquire/release, or declare the role "
+                "relaxed with a reason" % (op, d.member.qual(), role))
+        elif role == "published":
+            ok = _LOAD_OK["published"] if op == "load" \
+                else _STORE_OK["published"] if op == "store" \
+                else _ORDER_IDS
+            if order not in ok:
+                eng.report(
+                    "atomic-order", sf.relpath, tok.line,
+                    "%s with %s on published atomic %s; publication needs "
+                    "release stores and acquire loads"
+                    % (op, order, d.member.qual()))
+
+
+def _check_mixed(eng, sf, fn, toks, lo, i, hi, decls):
+    """memcpy/memset over atomic-bearing memory."""
+    if i + 1 >= hi or toks[i + 1].text != "(":
+        return i + 1
+    end = _match(toks, i + 1, "(", ")")
+    for k in range(i + 2, end - 1):
+        t = toks[k]
+        if t.kind != "id":
+            continue
+        d = _resolve_atomic(eng, fn, toks, lo, k, decls)
+        if d is not None:
+            eng.report(
+                "atomic-mixed", sf.relpath, toks[i].line,
+                "%s over atomic %s bypasses the atomic protocol; mixed "
+                "atomic/non-atomic access to the same bytes is a data race"
+                % (toks[i].text, d.member.qual()))
+            return end
+        cls = eng.program.resolve_receiver(fn, t.text)
+        if cls:
+            info = eng.program.classes.get(cls)
+            if info and any(_is_tracked_atomic(m)
+                            for m in info.members.values()):
+                eng.report(
+                    "atomic-mixed", sf.relpath, toks[i].line,
+                    "%s over an object of %s, which contains atomic "
+                    "members; byte-level access to atomic storage is a "
+                    "data race" % (toks[i].text, cls))
+                return end
+    return end
+
+
+def analyze(eng):
+    decls = _collect(eng)
+    for sf, fn in eng.functions():
+        if fn.body is None:
+            continue
+        _scan_function(eng, sf, fn, decls)

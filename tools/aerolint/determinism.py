@@ -1,0 +1,220 @@
+"""Determinism dataflow analysis: the static complement of the runtime
+audit modes. The repo's headline guarantee is bit-identical meshes, so
+anything order-sensitive feeding mesh construction must be deterministic.
+
+Scope (mesh-affecting code):
+  * the mesh kernels: src/delaunay, src/geom, src/blayer, src/hull,
+    src/inviscid;
+  * the assembly layer that orders their output: src/core;
+  * the pool's unit-dispatch path: src/runtime/pool.cpp.
+
+Rules:
+  det-unordered-iter  range-for over a std::unordered_map/unordered_set:
+                      hash-order iteration leaks the allocator/seed into
+                      whatever the loop emits. Probe-only use (find/
+                      count/contains) is fine and not flagged.
+  det-pointer-key     std::map/set ordered by a pointer key, sorting or
+                      hashing on addresses: allocation order is not
+                      reproducible across runs or ranks.
+  det-clock           clock or PRNG reads inside the mesh kernels
+                      (delaunay/geom/blayer/hull/inviscid): time must
+                      never influence element creation. (Timing in core/
+                      runtime is fine -- it feeds stats, not meshes.)
+"""
+
+import os
+
+from model import _match, _skip_angles
+
+KERNEL_DIRS = ("src/delaunay", "src/geom", "src/blayer", "src/hull",
+               "src/inviscid")
+SCOPE_DIRS = KERNEL_DIRS + ("src/core",)
+
+UNORDERED = ("unordered_map", "unordered_set", "unordered_multimap",
+             "unordered_multiset")
+
+CLOCK_IDS = {"mono_now", "steady_clock", "system_clock",
+             "high_resolution_clock", "random_device", "rand", "srand",
+             "Timer"}
+
+
+def _in_scope(eng, relpath):
+    if eng.in_scope(relpath, *SCOPE_DIRS):
+        return True
+    return os.path.basename(relpath) == "pool.cpp" \
+        and eng.in_scope(relpath, "src/runtime")
+
+
+def _type_is_unordered(type_str):
+    return any(u in type_str for u in UNORDERED)
+
+
+def _expr_type(eng, fn, toks, lo, hi):
+    """Resolved type string of a (simple) expression token range: the
+    declared type of its last id chain, or None."""
+    ids = [t for t in toks[lo:hi] if t.kind == "id"]
+    if not ids:
+        return None
+    name = ids[-1].text
+    locs = eng.program.function_locals(fn)
+    # function_locals only records class-typed vars; for container typing we
+    # need the raw declared type, so look in params and members directly.
+    for (t, n) in fn.params:
+        if n == name:
+            return t
+    if fn.cls:
+        m = eng.program.member(fn.cls, name)
+        if m is not None:
+            return m.type_str
+    if len(ids) >= 2:
+        recv_cls = locs.get(ids[-2].text) or (
+            fn.cls if ids[-2].text == "this" else
+            eng.program.resolve_receiver(fn, ids[-2].text))
+        if recv_cls:
+            m = eng.program.member(recv_cls, name)
+            if m is not None:
+                return m.type_str
+    # local declaration: scan the body for `Type ... name` before this use
+    body_lo, body_hi = fn.body
+    i = body_lo
+    while i < body_hi and fn.tokens[i].line <= ids[-1].line:
+        t = fn.tokens[i]
+        if t.kind == "id" and t.text == name and i > body_lo:
+            decl = _local_decl_type(fn.tokens, body_lo, i)
+            if decl:
+                return decl
+        i += 1
+    return None
+
+
+def _local_decl_type(toks, lo, i):
+    """If toks[i] is the declarator name of a local declaration, return the
+    type text before it."""
+    j = i - 1
+    parts = []
+    depth = 0
+    while j >= lo:
+        t = toks[j].text
+        if t in (">", ">>"):
+            depth += 2 if t == ">>" else 1
+        elif t == "<":
+            depth -= 1
+        elif depth == 0 and (t in (";", "{", "}", "(", ")", "=", ",", ":")
+                             or toks[j].kind not in ("id", "punct")
+                             and t not in ("&", "*")):
+            break
+        if toks[j].kind == "id" or t in ("::", "<", ">", ">>", "&", "*",
+                                         ","):
+            parts.append(t)
+        j -= 1
+    parts.reverse()
+    text = "".join(parts)
+    return text if any(u in text for u in UNORDERED) else None
+
+
+def _check_range_for(eng, sf, fn):
+    toks = fn.tokens
+    lo, hi = fn.body
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == "id" and t.text == "for" and i + 1 < hi \
+                and toks[i + 1].text == "(":
+            end = _match(toks, i + 1, "(", ")")
+            # find the range-for ':' at paren depth 1 (not '::')
+            colon = None
+            depth = 0
+            for k in range(i + 1, end - 1):
+                x = toks[k].text
+                if x in ("(", "[", "{"):
+                    depth += 1
+                elif x in (")", "]", "}"):
+                    depth -= 1
+                elif x == ":" and depth == 1:
+                    colon = k
+                    break
+                elif x == ";":
+                    break
+            if colon is not None:
+                type_str = _expr_type(eng, fn, toks, colon + 1, end - 1)
+                if type_str and _type_is_unordered(type_str):
+                    eng.report(
+                        "det-unordered-iter", sf.relpath, t.line,
+                        "iteration over %s visits elements in hash order, "
+                        "which is not reproducible; iterate a deterministic "
+                        "index or sort the view first" % type_str)
+            i = end
+            continue
+        i += 1
+
+
+def _check_pointer_keys(eng, sf):
+    for cls in sf.model.classes.values():
+        for m in cls.members.values():
+            _flag_pointer_key(eng, sf.relpath, m.line, m.type_str,
+                              "member %s" % m.qual())
+    for g in sf.model.globals:
+        _flag_pointer_key(eng, sf.relpath, g.line, g.type_str,
+                          "variable %s" % g.name)
+
+
+def _flag_pointer_key(eng, relpath, line, type_str, what):
+    for container in ("std::map<", "std::set<", "std::multimap<",
+                      "std::multiset<") + tuple("std::%s<" % u
+                                                for u in UNORDERED):
+        idx = type_str.find(container)
+        if idx < 0:
+            continue
+        inner = type_str[idx + len(container):]
+        key = _first_template_arg(inner)
+        if key.rstrip().endswith("*"):
+            eng.report(
+                "det-pointer-key", relpath, line,
+                "%s keys a container by pointer (%s); addresses vary "
+                "run-to-run, so any ordering or hashing over them is "
+                "non-deterministic" % (what, key.strip()))
+            return
+    if "std::hash<" in type_str and "*" in type_str.split("std::hash<", 1)[1]:
+        eng.report("det-pointer-key", relpath, line,
+                   "%s hashes a pointer; addresses vary run-to-run" % what)
+
+
+def _first_template_arg(s):
+    depth = 0
+    for k, c in enumerate(s):
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+        elif c == "," and depth == 0:
+            return s[:k]
+    return s
+
+
+def _check_clock(eng, sf, fn):
+    toks = fn.tokens
+    lo, hi = fn.body
+    for i in range(lo, hi):
+        t = toks[i]
+        if t.kind != "id" or t.text not in CLOCK_IDS:
+            continue
+        nxt = toks[i + 1].text if i + 1 < hi else ""
+        if t.text in ("mono_now", "rand", "srand") and nxt != "(":
+            continue
+        eng.report(
+            "det-clock", sf.relpath, t.line,
+            "clock/PRNG read (%s) inside a mesh kernel; time and unseeded "
+            "randomness must never influence element creation" % t.text)
+
+
+def analyze(eng):
+    for sf in eng.src_files():
+        if not _in_scope(eng, sf.relpath):
+            continue
+        _check_pointer_keys(eng, sf)
+        for fn in sf.model.functions:
+            if fn.body is None:
+                continue
+            _check_range_for(eng, sf, fn)
+            if eng.in_scope(sf.relpath, *KERNEL_DIRS):
+                _check_clock(eng, sf, fn)

@@ -1,0 +1,216 @@
+"""aerolint v2 engine: file loading, escape comments, rule orchestration.
+
+The engine runs two rule families over one shared view of the sources:
+
+  * line rules (the aerolint v1 heritage set) over comment/string-stripped
+    lines, and
+  * whole-program analyses (locks, determinism, atomics, status) over the
+    token/declaration model built by lexer.py + model.py.
+
+Everything operates on an in-memory {relpath: text} mapping so the
+self-tests and the fixture corpus can lint synthetic trees without
+touching disk.
+
+Escape comments: a line opts out of one rule with
+
+    code();  // aerolint: allow(rule-name)            (v1 rules)
+    code();  // aerolint: allow(rule-name: reason)    (v2 analyses)
+
+The v2 analyses REQUIRE the reason text: a bare allow() on one of them is
+an undocumented waiver and does not suppress the finding.
+"""
+
+import os
+import re
+
+import model
+import rules as line_rules
+from lexer import stripped_lines
+
+ESCAPE_RE = re.compile(r"//\s*aerolint:\s*allow\(([a-z-]+)(?::\s*([^)]+))?\)")
+
+# Rules whose waivers must carry a documented reason.
+REASON_REQUIRED = frozenset({
+    "lock-table", "lock-order", "lock-blocking",
+    "det-unordered-iter", "det-pointer-key", "det-clock",
+    "atomic-role", "atomic-order", "atomic-implicit", "atomic-mixed",
+    "unchecked-status",
+})
+
+ANALYSIS_OF_RULE = {
+    "lock-table": "locks", "lock-order": "locks", "lock-blocking": "locks",
+    "det-unordered-iter": "determinism", "det-pointer-key": "determinism",
+    "det-clock": "determinism",
+    "atomic-role": "atomics", "atomic-order": "atomics",
+    "atomic-implicit": "atomics", "atomic-mixed": "atomics",
+    "unchecked-status": "status",
+}
+
+
+class Finding(object):
+    __slots__ = ("rule", "relpath", "line", "message")
+
+    def __init__(self, rule, relpath, line, message):
+        self.rule = rule
+        self.relpath = relpath
+        self.line = line
+        self.message = message
+
+    def render(self):
+        return "%s:%d: [%s] %s" % (self.relpath, self.line, self.rule,
+                                   self.message)
+
+
+class SourceFile(object):
+    __slots__ = ("relpath", "lines", "code_lines", "escapes", "model",
+                 "external")
+
+    def __init__(self, relpath, text, external=False):
+        self.relpath = relpath
+        self.lines = text.splitlines()
+        self.code_lines = stripped_lines(self.lines)
+        # 1-based line -> {rule: reason-or-None}
+        self.escapes = {}
+        for ln, raw in enumerate(self.lines, start=1):
+            esc = {}
+            for rule, reason in ESCAPE_RE.findall(raw):
+                esc[rule] = reason.strip() if reason else None
+            if esc:
+                self.escapes[ln] = esc
+        self.external = external
+        self.model = None if external else model.parse_file(relpath, text)
+
+
+def _posix(relpath):
+    return relpath.replace(os.sep, "/")
+
+
+class Engine(object):
+    def __init__(self, sources, external=()):
+        """sources: {relpath: text}. Paths in `external` get only the
+        public-surface rules (tests/, examples/)."""
+        self.files = {}
+        self.program = model.Program()
+        ext = set(external)
+        for relpath in sorted(sources):
+            sf = SourceFile(relpath, sources[relpath],
+                            external=relpath in ext)
+            self.files[relpath] = sf
+            if sf.model is not None:
+                self.program.add(sf.model)
+        self.findings = []
+        self.lock_graph = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, rule, relpath, line, message):
+        """File a finding unless an escape suppresses it. Escapes attach to
+        their own line or, when written on comment-only lines, to the next
+        code line below them. Reason-required rules ignore bare allow()
+        waivers (the finding stands, annotated)."""
+        sf = self.files.get(relpath)
+        found, reason = self._escape_for(sf, line, rule) if sf else (False,
+                                                                     None)
+        if found:
+            if rule not in REASON_REQUIRED or reason:
+                return
+            message += ("  [waiver ignored: allow(%s) needs a reason -- "
+                        "write allow(%s: why)]" % (rule, rule))
+        self.findings.append(Finding(rule, relpath, line, message))
+
+    @staticmethod
+    def _escape_for(sf, line, rule):
+        esc = sf.escapes.get(line, {})
+        if rule in esc:
+            return True, esc[rule]
+        # Walk up through the contiguous comment block above the line.
+        ln = line - 1
+        while ln >= 1 and ln <= len(sf.lines):
+            if sf.code_lines[ln - 1].strip():
+                break  # a code line ends the block
+            if not sf.lines[ln - 1].strip():
+                break  # so does a blank line
+            esc = sf.escapes.get(ln, {})
+            if rule in esc:
+                return True, esc[rule]
+            ln -= 1
+        return False, None
+
+    # -- passes ------------------------------------------------------------
+
+    def run(self):
+        import atomics
+        import determinism
+        import locks
+        import status
+
+        for relpath in sorted(self.files):
+            sf = self.files[relpath]
+            ruleset = (line_rules.EXTERNAL_RULES if sf.external
+                       else line_rules.RULES)
+            self._run_line_rules(sf, ruleset)
+        self.lock_graph = locks.analyze(self)
+        determinism.analyze(self)
+        atomics.analyze(self)
+        status.analyze(self)
+        self.findings.sort(key=lambda f: (f.relpath, f.line, f.rule))
+        return self.findings
+
+    def _run_line_rules(self, sf, ruleset):
+        for lineno, (raw, code) in enumerate(zip(sf.lines, sf.code_lines),
+                                             start=1):
+            escapes = sf.escapes.get(lineno, {})
+            for rule, check in ruleset:
+                if rule in escapes:
+                    continue  # v1 rules accept bare allow()
+                msg = check(sf.relpath, code, raw)
+                if msg is not None:
+                    self.findings.append(Finding(rule, sf.relpath, lineno,
+                                                 msg))
+
+    # -- model access helpers for the analyses -----------------------------
+
+    def src_files(self):
+        for relpath in sorted(self.files):
+            sf = self.files[relpath]
+            if not sf.external:
+                yield sf
+
+    def functions(self):
+        for sf in self.src_files():
+            for fn in sf.model.functions:
+                yield sf, fn
+
+    def in_scope(self, relpath, *dirs):
+        p = _posix(relpath)
+        return any(("/" + d + "/") in ("/" + p) or p.startswith(d + "/")
+                   for d in dirs)
+
+
+def load_tree(root):
+    """Read the repo tree into (sources, external) for Engine."""
+    sources = {}
+    external = set()
+    fixtures = os.path.join("tests", "aerolint")
+    for top in ("src", "tests", "examples"):
+        base = os.path.join(root, top)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            if os.path.relpath(dirpath, root).startswith(fixtures):
+                continue  # the fixture corpus is linted as its own tree
+            for name in sorted(filenames):
+                if not name.endswith((".hpp", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                relpath = os.path.relpath(path, root)
+                with open(path, "r", encoding="utf-8") as f:
+                    sources[relpath] = f.read()
+                if top in ("tests", "examples"):
+                    external.add(relpath)
+    return sources, external
+
+
+def lint_tree(root):
+    sources, external = load_tree(root)
+    eng = Engine(sources, external)
+    eng.run()
+    return eng

@@ -1,0 +1,248 @@
+"""C++ lexer for aerolint v2.
+
+Two views of a source file, produced in one place so every analysis agrees
+on what is code and what is comment/string:
+
+  * lex(text)            -> [Token]: identifiers, numbers, literals and
+                            punctuators with 1-based line/column positions.
+                            Comments are dropped; preprocessor directives
+                            are folded into single 'pp' tokens (with line
+                            continuations resolved) so the declaration
+                            parser never sees macro soup.
+  * stripped_lines(text) -> per-line text with comments and string/char
+                            literal *contents* blanked out (quotes kept as
+                            empty literals). This is the view the line rules
+                            (aerolint v1 heritage) match against, preserved
+                            exactly so the PR 2-6 rule semantics carry over.
+
+Dependency-free; stdlib only.
+"""
+
+
+class Token(object):
+    __slots__ = ("kind", "text", "line", "col")
+
+    # kind: 'id' | 'num' | 'str' | 'chr' | 'punct' | 'pp'
+    def __init__(self, kind, text, line, col):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%r, %r, %d:%d)" % (self.kind, self.text, self.line,
+                                         self.col)
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+           "^=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "##")
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def _skip_string(text, i, quote):
+    """Index just past the closing quote of the literal starting at i
+    (i points at the opening quote)."""
+    n = len(text)
+    i += 1
+    while i < n:
+        c = text[i]
+        if c == "\\":
+            i += 2
+            continue
+        if c == quote or c == "\n":  # unterminated: stop at EOL like cpp
+            return i + 1 if c == quote else i
+        i += 1
+    return i
+
+
+def _skip_raw_string(text, i):
+    """i points at the 'R' of R"delim( ... )delim". Returns index past the
+    closing quote."""
+    n = len(text)
+    j = text.find('"', i)
+    if j < 0:
+        return n
+    k = j + 1
+    while k < n and text[k] not in "(\n":
+        k += 1
+    if k >= n or text[k] != "(":
+        return _skip_string(text, j, '"')
+    delim = text[j + 1:k]
+    end = text.find(")" + delim + '"', k)
+    return n if end < 0 else end + len(delim) + 2
+
+
+def lex(text):
+    """Tokenize C++ source. Comments vanish; a preprocessor directive becomes
+    one 'pp' token carrying its full (continuation-joined) text."""
+    tokens = []
+    i, n = 0, len(text)
+    line, col = 1, 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def advance(j):
+        """Move position from i to j, updating line/col."""
+        nonlocal line, col
+        chunk = text[i:j]
+        nl = chunk.count("\n")
+        if nl:
+            line += nl
+            col = j - chunk.rfind("\n") - i
+        else:
+            col += j - i
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            advance(i + 1)
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            advance(i + 1)
+            i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            advance(j)
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            advance(j)
+            i = j
+            continue
+        if c == "#" and at_line_start:
+            # Fold the directive (with backslash continuations) into one
+            # token; strip trailing // comments per continuation line.
+            start_line, start_col = line, col
+            j = i
+            parts = []
+            while j < n:
+                eol = text.find("\n", j)
+                eol = n if eol < 0 else eol
+                seg = text[j:eol]
+                cut = seg.find("//")
+                if cut >= 0:
+                    seg = seg[:cut]
+                if seg.rstrip().endswith("\\"):
+                    parts.append(seg.rstrip()[:-1])
+                    j = eol + 1
+                else:
+                    parts.append(seg)
+                    j = eol
+                    break
+            tok_text = " ".join(p.strip() for p in parts)
+            tokens.append(Token("pp", tok_text, start_line, start_col))
+            advance(j)
+            i = j
+            continue
+        at_line_start = False
+        if c in _ID_START:
+            # raw string literal prefix?
+            if c == "R" and i + 1 < n and text[i + 1] == '"':
+                j = _skip_raw_string(text, i)
+                tokens.append(Token("str", '""', line, col))
+                advance(j)
+                i = j
+                continue
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line, col))
+            advance(j)
+            i = j
+            continue
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d in _ID_CONT or d == "." or d == "'":
+                    j += 1
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            tokens.append(Token("num", text[i:j], line, col))
+            advance(j)
+            i = j
+            continue
+        if c == '"':
+            j = _skip_string(text, i, '"')
+            tokens.append(Token("str", text[i:j], line, col))
+            advance(j)
+            i = j
+            continue
+        if c == "'":
+            j = _skip_string(text, i, "'")
+            tokens.append(Token("chr", "''", line, col))
+            advance(j)
+            i = j
+            continue
+        three = text[i:i + 3]
+        if three in _PUNCT3:
+            tokens.append(Token("punct", three, line, col))
+            advance(i + 3)
+            i += 3
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT2:
+            tokens.append(Token("punct", two, line, col))
+            advance(i + 2)
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line, col))
+        advance(i + 1)
+        i += 1
+    return tokens
+
+
+def strip_code(raw, in_block):
+    """Return (code, in_block): one line with string/char literals and
+    comments blanked out. `in_block` carries /* */ state across lines.
+    Semantics identical to aerolint v1 so the heritage rules behave the
+    same on every line they ever matched."""
+    out = []
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        if in_block:
+            if raw.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if raw.startswith("//", i):
+            break
+        if raw.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and raw[i] != quote:
+                i += 2 if raw[i] == "\\" else 1
+            i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def stripped_lines(lines):
+    """strip_code applied to every line, threading the block-comment state."""
+    out = []
+    in_block = False
+    for raw in lines:
+        code, in_block = strip_code(raw, in_block)
+        out.append(code)
+    return out

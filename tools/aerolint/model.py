@@ -1,0 +1,713 @@
+"""Lightweight C++ declaration/scope model for aerolint v2.
+
+Built on lexer.Token streams, no regexes over raw lines. The model is
+deliberately *lightweight*: it understands exactly as much C++ as the
+analyses need --
+
+  * namespaces / class & struct definitions (including nested and
+    out-of-line `Outer::Inner`), with every member variable's type text,
+    position, and attached AERO_* annotation macros;
+  * enum definitions (with [[nodiscard]] detection);
+  * function definitions and declarations: name, enclosing class (lexical
+    or `Cls::method`), parameter names/types, [[nodiscard]], return type
+    text, and the body's token range;
+  * per-function local variable typing (declared class types, plus an
+    `auto& x = expr;` heuristic that types x from the declaration of the
+    variables `expr` mentions).
+
+It does not evaluate templates, overload sets, or expressions; analyses
+that need a receiver's class resolve it through Program helpers and fall
+back to unique-member-name lookup.
+"""
+
+from lexer import lex
+
+KEYWORDS = {
+    "const", "constexpr", "consteval", "constinit", "static", "mutable",
+    "inline", "virtual", "explicit", "volatile", "auto", "void", "bool",
+    "int", "long", "short", "double", "float", "char", "unsigned", "signed",
+    "struct", "class", "enum", "union", "using", "typedef", "operator",
+    "return", "if", "else", "for", "while", "do", "switch", "case",
+    "break", "continue", "new", "delete", "public", "private", "protected",
+    "friend", "template", "typename", "noexcept", "override", "final",
+    "default", "sizeof", "this", "namespace", "try", "catch", "throw",
+    "static_assert", "decltype", "extern", "register", "thread_local",
+    "alignas", "goto",
+}
+
+# Spellings of lockable member types (the annotated vocabulary plus the
+# std types the analyzer still accepts and checks).
+MUTEX_TYPES = ("Mutex", "std::mutex", "std::recursive_mutex",
+               "std::shared_mutex", "std::timed_mutex")
+
+
+class Annotation(object):
+    """One AERO_* macro attached to a declaration: name + raw args."""
+
+    __slots__ = ("name", "args", "line")
+
+    def __init__(self, name, args, line):
+        self.name = name
+        self.args = args  # list of strings, one per top-level comma
+        self.line = line
+
+    def __repr__(self):
+        return "%s(%s)" % (self.name, ", ".join(self.args))
+
+
+class Member(object):
+    __slots__ = ("cls", "name", "type_str", "line", "anns", "relpath")
+
+    def __init__(self, cls, name, type_str, line, anns, relpath):
+        self.cls = cls          # class name, or None for a namespace-scope var
+        self.name = name
+        self.type_str = type_str
+        self.line = line
+        self.anns = anns        # list of Annotation
+        self.relpath = relpath
+
+    def ann(self, name):
+        for a in self.anns:
+            if a.name == name:
+                return a
+        return None
+
+    def is_mutex(self):
+        t = self.type_str
+        return (any(t == m or t.endswith(" " + m) or t.endswith("::" + m)
+                    for m in MUTEX_TYPES)
+                and "Lock" not in t and "<" not in t)
+
+    def is_atomic(self):
+        return "std::atomic<" in self.type_str or \
+            self.type_str.startswith("atomic<")
+
+    def qual(self):
+        return "%s::%s" % (self.cls, self.name) if self.cls else self.name
+
+
+class ClassInfo(object):
+    __slots__ = ("name", "line", "relpath", "members", "methods")
+
+    def __init__(self, name, line, relpath):
+        self.name = name
+        self.line = line
+        self.relpath = relpath
+        self.members = {}   # name -> Member
+        self.methods = {}   # name -> FunctionInfo (last declaration wins)
+
+
+class EnumInfo(object):
+    __slots__ = ("name", "line", "relpath", "nodiscard")
+
+    def __init__(self, name, line, relpath, nodiscard):
+        self.name = name
+        self.line = line
+        self.relpath = relpath
+        self.nodiscard = nodiscard
+
+
+class FunctionInfo(object):
+    __slots__ = ("name", "cls", "line", "relpath", "params", "ret_type",
+                 "nodiscard", "body", "tokens", "_locals")
+
+    def __init__(self, name, cls, line, relpath, params, ret_type,
+                 nodiscard, body, tokens):
+        self.name = name
+        self.cls = cls              # enclosing/qualifying class or None
+        self.line = line
+        self.relpath = relpath
+        self.params = params        # list of (type_str, name)
+        self.ret_type = ret_type
+        self.nodiscard = nodiscard
+        self.body = body            # (lo, hi) token range of {...}, or None
+        self.tokens = tokens        # the file's token list (shared)
+        self._locals = None
+
+    def param_types(self):
+        return {n: t for (t, n) in self.params if n}
+
+
+class FileModel(object):
+    __slots__ = ("relpath", "tokens", "classes", "enums", "functions",
+                 "globals")
+
+    def __init__(self, relpath):
+        self.relpath = relpath
+        self.tokens = []
+        self.classes = {}    # name -> ClassInfo
+        self.enums = {}      # name -> EnumInfo
+        self.functions = []  # FunctionInfo
+        self.globals = []    # Member with cls=None
+
+
+def _is_annotation(tokens, i):
+    return (tokens[i].kind == "id" and tokens[i].text.startswith("AERO_"))
+
+
+def _match(tokens, i, opener, closer):
+    """Index just past the bracket pair opening at i (tokens[i] == opener)."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _skip_angles(tokens, i):
+    """tokens[i] == '<' known to open template args; index past the '>'.
+    Handles '>>' closing two levels."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif t in (";", "{"):
+            return i  # not template args after all
+        i += 1
+    return n
+
+
+def _collect_annotation(tokens, i):
+    """tokens[i] is an AERO_* id. Returns (Annotation-or-None, next_i)."""
+    name = tokens[i].text
+    line = tokens[i].line
+    if i + 1 < len(tokens) and tokens[i + 1].text == "(":
+        end = _match(tokens, i + 1, "(", ")")
+        args, cur, depth = [], [], 0
+        for t in tokens[i + 2:end - 1]:
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+            if t.text == "," and depth == 0:
+                args.append("".join(cur))
+                cur = []
+            else:
+                cur.append(t.text)
+        if cur:
+            args.append("".join(cur))
+        return Annotation(name, args, line), end
+    return Annotation(name, [], line), i + 1
+
+
+def _type_text(tokens):
+    """Join type tokens readably: 'std::atomic<std::size_t>'."""
+    out = []
+    for t in tokens:
+        txt = t.text
+        if out and (txt in (">", ">>", "<", "::", ",", "*", "&", "[", "]")
+                    or out[-1] in ("<", "::", "*", "&", "[")):
+            out.append(txt)
+        elif out:
+            out.append(" " + txt)
+        else:
+            out.append(txt)
+    return "".join(out).replace("< ", "<").replace(" >", ">")
+
+
+class _Parser(object):
+    def __init__(self, relpath, text):
+        self.model = FileModel(relpath)
+        self.model.tokens = [t for t in lex(text) if t.kind != "pp"]
+        self.toks = self.model.tokens
+
+    def parse(self):
+        self._scope(0, len(self.toks), cls=None)
+        return self.model
+
+    # -- scope walkers -----------------------------------------------------
+
+    def _scope(self, i, hi, cls):
+        """Parse declarations in [i, hi) at namespace or class scope."""
+        toks = self.toks
+        while i < hi:
+            t = toks[i]
+            txt = t.text
+            if txt in (";", ",") or txt in ("public", "private", "protected") \
+                    and i + 1 < hi and toks[i + 1].text == ":":
+                i += 2 if txt in ("public", "private", "protected") else 1
+                continue
+            if txt == "namespace":
+                i = self._namespace(i, hi, cls)
+                continue
+            if txt == "template":
+                i += 1
+                if i < hi and toks[i].text == "<":
+                    i = _skip_angles(toks, i)
+                continue
+            if txt in ("using", "typedef", "friend", "static_assert",
+                       "extern"):
+                i = self._skip_stmt(i, hi)
+                continue
+            if txt == "enum":
+                i = self._enum(i, hi)
+                continue
+            if txt in ("class", "struct", "union"):
+                handled, i = self._class(i, hi)
+                if handled:
+                    continue
+                # fall through: elaborated type in a declaration
+            i = self._declaration(i, hi, cls)
+
+    def _namespace(self, i, hi, cls):
+        toks = self.toks
+        i += 1
+        while i < hi and toks[i].text != "{":
+            if toks[i].text == ";":  # namespace alias
+                return i + 1
+            i += 1
+        if i >= hi:
+            return hi
+        end = _match(toks, i, "{", "}")
+        self._scope(i + 1, end - 1, cls)
+        return end
+
+    def _enum(self, i, hi):
+        toks = self.toks
+        start = i
+        i += 1
+        if i < hi and toks[i].text in ("class", "struct"):
+            i += 1
+        nodiscard = False
+        # attributes / annotations before the name
+        while i < hi:
+            if toks[i].text == "[" and i + 1 < hi and toks[i + 1].text == "[":
+                end = _match(toks, i, "[", "]")
+                if any(t.text == "nodiscard" for t in toks[i:end]):
+                    nodiscard = True
+                i = end
+            elif _is_annotation(toks, i):
+                _, i = _collect_annotation(toks, i)
+            else:
+                break
+        name = toks[i].text if i < hi and toks[i].kind == "id" else None
+        while i < hi and toks[i].text not in ("{", ";"):
+            i += 1
+        if i < hi and toks[i].text == "{":
+            i = _match(toks, i, "{", "}")
+        if name:
+            self.model.enums[name] = EnumInfo(name, toks[start].line,
+                                              self.model.relpath, nodiscard)
+        return self._skip_stmt(i, hi)
+
+    def _class(self, i, hi):
+        """Parse class/struct at i. Returns (handled, next_i); handled is
+        False for elaborated-type uses like `struct Foo x;`."""
+        toks = self.toks
+        i0 = i
+        i += 1
+        names = []
+        while i < hi:
+            t = toks[i]
+            if t.text == "[" and i + 1 < hi and toks[i + 1].text == "[":
+                i = _match(toks, i, "[", "]")
+            elif _is_annotation(toks, i):
+                _, i = _collect_annotation(toks, i)
+            elif t.kind == "id" and t.text not in ("final",):
+                names.append(t.text)
+                i += 1
+            elif t.text == "::":
+                i += 1
+            elif t.text == "final":
+                i += 1
+            else:
+                break
+        if not names:
+            return True, self._skip_stmt(i, hi)
+        name = names[-1]
+        # forward declaration / elaborated use?
+        j = i
+        while j < hi and toks[j].text not in ("{", ";", "(", "="):
+            j += 1
+        return self._class_tail(i0, i, j, hi, name)
+
+    def _class_tail(self, i0, i, j, hi, name):
+        toks = self.toks
+        if j >= hi or toks[j].text != "{":
+            if j < hi and toks[j].text == ";" and j == i:
+                return True, j + 1  # plain forward declaration
+            return False, i0 + 1   # elaborated type in a declaration
+        end = _match(toks, j, "{", "}")
+        info = self.model.classes.setdefault(
+            name, ClassInfo(name, toks[i0].line, self.model.relpath))
+        # record, then parse the body with `cls` set
+        self._scope(j + 1, end - 1, cls=info)
+        return True, self._skip_stmt(end, hi)
+
+    def _skip_stmt(self, i, hi):
+        """Skip to just past the next ';' at bracket depth 0."""
+        toks = self.toks
+        depth = 0
+        while i < hi:
+            t = toks[i].text
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == ";" and depth <= 0:
+                return i + 1
+            i += 1
+        return hi
+
+    # -- declarations ------------------------------------------------------
+
+    def _declaration(self, i, hi, cls):
+        """Parse one member/namespace-scope declaration starting at i:
+        either a variable or a function (definition or declaration)."""
+        toks = self.toks
+        start = i
+        anns = []
+        nodiscard = False
+        head = []          # tokens before the declarator decision point
+        angle = 0
+        while i < hi:
+            t = toks[i]
+            txt = t.text
+            if txt == "[" and i + 1 < hi and toks[i + 1].text == "[":
+                end = _match(toks, i, "[", "]")
+                if any(x.text == "nodiscard" for x in toks[i:end]):
+                    nodiscard = True
+                i = end
+                continue
+            if _is_annotation(toks, i):
+                ann, i = _collect_annotation(toks, i)
+                anns.append(ann)
+                continue
+            if txt == "<" and head and head[-1].kind == "id":
+                end = _skip_angles(toks, i)
+                head.extend(toks[i:end])
+                i = end
+                continue
+            if txt == "(" and angle == 0:
+                return self._function(start, i, hi, head, cls, anns,
+                                      nodiscard)
+            if txt == "=" and head and head[-1].text == "operator":
+                head.append(t)  # operator=: the '=' is part of the name
+                i += 1
+                continue
+            if txt in ("=", "{", ";") and angle == 0:
+                return self._variable(start, i, hi, head, cls, anns)
+            if txt == "}":
+                return i + 1  # stray: bail out of a confused parse
+            head.append(t)
+            i += 1
+        return hi
+
+    def _variable(self, start, i, hi, head, cls, anns):
+        toks = self.toks
+        # declarator name: last id in head not followed by '::' or '<'
+        name = None
+        name_idx = -1
+        for k, t in enumerate(head):
+            if t.kind != "id" or t.text in KEYWORDS:
+                continue
+            nxt = head[k + 1].text if k + 1 < len(head) else None
+            if nxt in ("::", "<"):
+                continue
+            prev = head[k - 1].text if k > 0 else None
+            if prev in (".",):
+                continue
+            name = t.text
+            name_idx = k
+        if name is not None:
+            type_toks = [t for t in head[:name_idx]
+                         if t.text not in ("mutable", "static", "constexpr",
+                                           "inline", "thread_local")]
+            m = Member(cls.name if cls else None, name,
+                       _type_text(type_toks), head[name_idx].line, anns,
+                       self.model.relpath)
+            if cls is not None:
+                cls.members.setdefault(name, m)
+            else:
+                self.model.globals.append(m)
+        return self._skip_stmt(i, hi)
+
+    def _function(self, start, lparen, hi, head, cls, anns, nodiscard):
+        toks = self.toks
+        # name: token just before '('; possibly `Cls :: name`
+        name = None
+        qual_cls = cls.name if cls else None
+        if head:
+            last = head[-1]
+            if last.kind == "id":
+                name = last.text
+                k = len(head) - 2
+                if k >= 0 and head[k].text == "::" and k - 1 >= 0 \
+                        and head[k - 1].kind == "id":
+                    qual_cls = head[k - 1].text
+                    head = head[:k - 1]
+                else:
+                    head = head[:-1]
+            elif last.text == "operator" or (last.kind == "punct"):
+                # operator overloads and conversion operators: name them
+                # 'operator' and move on.
+                name = "operator"
+        params_end = _match(toks, lparen, "(", ")")
+        params = _parse_params(toks[lparen + 1:params_end - 1])
+        ret_type = _type_text([t for t in head
+                               if t.text not in ("static", "virtual",
+                                                 "explicit", "inline",
+                                                 "constexpr", "friend")])
+        # trailer: qualifiers, annotations, ctor-init, then body or ';'
+        i = params_end
+        body = None
+        while i < hi:
+            txt = toks[i].text
+            if _is_annotation(toks, i):
+                ann, i = _collect_annotation(toks, i)
+                anns.append(ann)
+                continue
+            if txt == "[" and i + 1 < hi and toks[i + 1].text == "[":
+                i = _match(toks, i, "[", "]")
+                continue
+            if txt in ("const", "noexcept", "override", "final", "mutable",
+                       "&", "&&", "->", "::") or toks[i].kind == "id":
+                i += 1
+                continue
+            if txt == "(":  # noexcept(...) or trailing return type bits
+                i = _match(toks, i, "(", ")")
+                continue
+            if txt == "<":
+                i = _skip_angles(toks, i)
+                continue
+            if txt == ":":  # ctor-init list
+                i += 1
+                while i < hi and toks[i].text != "{":
+                    if toks[i].text == "(":
+                        i = _match(toks, i, "(", ")")
+                    elif toks[i].text == "{":
+                        break
+                    elif toks[i].text == ";":
+                        break
+                    elif toks[i].text == "<":
+                        i = _skip_angles(toks, i)
+                    else:
+                        i += 1
+                continue
+            if txt == "{":
+                end = _match(toks, i, "{", "}")
+                body = (i, end)
+                i = end
+                break
+            if txt == "=":  # = default / = delete / = 0
+                i = self._skip_stmt(i, hi)
+                break
+            if txt == ";":
+                i += 1
+                break
+            i += 1
+        if name:
+            fn = FunctionInfo(name, qual_cls, toks[start].line,
+                              self.model.relpath, params, ret_type,
+                              nodiscard, body, toks)
+            self.model.functions.append(fn)
+            if cls is not None:
+                cls.methods[name] = fn
+            elif qual_cls and qual_cls in self.model.classes:
+                self.model.classes[qual_cls].methods.setdefault(name, fn)
+        return i
+
+
+def _parse_params(tokens):
+    """Split a parameter token list into (type_str, name) pairs."""
+    params = []
+    depth = 0
+    cur = []
+    groups = []
+    for t in tokens:
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == "<" and cur and cur[-1].kind == "id":
+            depth += 1
+        elif t.text == ">" and depth > 0:
+            depth -= 1
+        elif t.text == ">>" and depth > 0:
+            depth -= 2
+        if t.text == "," and depth <= 0:
+            groups.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        groups.append(cur)
+    for g in groups:
+        # drop default argument
+        for k, t in enumerate(g):
+            if t.text == "=":
+                g = g[:k]
+                break
+        name = None
+        if g and g[-1].kind == "id" and g[-1].text not in KEYWORDS \
+                and len(g) > 1:
+            name = g[-1].text
+            g = g[:-1]
+        params.append((_type_text(g), name))
+    return params
+
+
+def parse_file(relpath, text):
+    return _Parser(relpath, text).parse()
+
+
+class Program(object):
+    """Whole-program view: every parsed file, with merged class registry."""
+
+    def __init__(self):
+        self.files = {}        # relpath -> FileModel
+        self.classes = {}      # name -> ClassInfo (first definition wins;
+                               # members merged across files)
+        self.enums = {}
+
+    def add(self, model):
+        self.files[model.relpath] = model
+        for name, info in model.classes.items():
+            if name in self.classes:
+                merged = self.classes[name]
+                for mn, mv in info.members.items():
+                    merged.members.setdefault(mn, mv)
+                for fn, fv in info.methods.items():
+                    merged.methods.setdefault(fn, fv)
+            else:
+                self.classes[name] = info
+        for name, e in model.enums.items():
+            self.enums.setdefault(name, e)
+
+    def member(self, cls, name):
+        info = self.classes.get(cls)
+        return info.members.get(name) if info else None
+
+    def members_named(self, name, pred=None):
+        out = []
+        for info in self.classes.values():
+            m = info.members.get(name)
+            if m is not None and (pred is None or pred(m)):
+                out.append(m)
+        return out
+
+    # -- type resolution helpers ------------------------------------------
+
+    def class_in_type(self, type_str):
+        """Innermost known class named by a type string, e.g.
+        'std::vector<std::unique_ptr<RankState>>' -> 'RankState'."""
+        best = None
+        for name in self.classes:
+            idx = type_str.rfind(name)
+            if idx < 0:
+                continue
+            before = type_str[idx - 1] if idx > 0 else " "
+            after_i = idx + len(name)
+            after = type_str[after_i] if after_i < len(type_str) else " "
+            if before.isalnum() or before == "_":
+                continue
+            if after.isalnum() or after == "_":
+                continue
+            if best is None or idx > best[0]:
+                best = (idx, name)
+        return best[1] if best else None
+
+    def function_locals(self, fn):
+        """name -> class-name map for a function body: parameters, declared
+        locals of known class types, and `auto& x = expr;` resolved through
+        the declarations `expr` mentions."""
+        if fn._locals is not None:
+            return fn._locals
+        out = {}
+        for (t, n) in fn.params:
+            if n:
+                c = self.class_in_type(t)
+                if c:
+                    out[n] = c
+        if fn.body:
+            toks = fn.tokens
+            lo, hi = fn.body
+            i = lo
+            while i < hi:
+                t = toks[i]
+                if t.kind == "id" and t.text in self.classes:
+                    # Type name [&*]* name [=({;] -- also matches the class
+                    # buried in a container type (vector<unique_ptr<C>> v),
+                    # typing v by its element class, consistent with
+                    # class_in_type for members.
+                    j = i + 1
+                    while j < hi and toks[j].text in ("&", "*", "const",
+                                                      ">", ">>", "]"):
+                        j += 1
+                    if j < hi and toks[j].kind == "id" \
+                            and toks[j].text not in KEYWORDS:
+                        nxt = toks[j + 1].text if j + 1 < hi else None
+                        # ':' is the range-for declarator terminator
+                        # (for (const MeshTri& t : tris_)).
+                        if nxt in ("=", "(", "{", ";", ",", ":"):
+                            out.setdefault(toks[j].text, t.text)
+                            i = j + 1
+                            continue
+                if t.kind == "id" and t.text == "auto":
+                    j = i + 1
+                    while j < hi and toks[j].text in ("&", "*", "const"):
+                        j += 1
+                    if j < hi and toks[j].kind == "id" and j + 1 < hi \
+                            and toks[j + 1].text in ("=", ":"):
+                        # `auto& x = expr;` or range-for `auto& x : expr)`:
+                        # type x by the classes the initializer/range names.
+                        var = toks[j].text
+                        stop = ";" if toks[j + 1].text == "=" else ")"
+                        k = j + 2
+                        resolved = None
+                        while k < hi and toks[k].text != stop:
+                            tk = toks[k]
+                            if tk.kind == "id":
+                                c = self._id_class(fn, tk.text, out)
+                                if c:
+                                    resolved = c
+                            k += 1
+                        if resolved:
+                            out.setdefault(var, resolved)
+                        i = k
+                        continue
+                i += 1
+        fn._locals = out
+        return out
+
+    def _id_class(self, fn, ident, locals_so_far):
+        if ident in self.classes:
+            return ident
+        if ident in locals_so_far:
+            return locals_so_far[ident]
+        if fn.cls:
+            m = self.member(fn.cls, ident)
+            if m is not None:
+                return self.class_in_type(m.type_str)
+        return None
+
+    def resolve_receiver(self, fn, var):
+        """Class of `var` as seen inside `fn`: local/param, else a member of
+        the enclosing class, else None."""
+        if var == "this":
+            return fn.cls
+        locs = self.function_locals(fn)
+        if var in locs:
+            return locs[var]
+        if fn.cls:
+            m = self.member(fn.cls, var)
+            if m is not None:
+                return self.class_in_type(m.type_str) or None
+        return None

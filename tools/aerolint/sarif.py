@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 export for aerolint findings, plus a dependency-free
+structural validator for the committed schema subset.
+
+The export is the minimal SARIF shape CI dashboards ingest: one run, one
+tool, one rule entry per aerolint rule, one result per finding with a
+physical location. tools/aerolint/sarif-schema.json pins exactly the
+properties we emit; `validate()` checks a document against it (type /
+required / properties / items / enum / const -- the subset the schema
+uses) so CI can prove the artifact is well-formed without jsonschema.
+"""
+
+import json
+
+from rules import RULE_HELP
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "aerolint"
+TOOL_VERSION = "2.0.0"
+
+
+def to_sarif(findings):
+    rule_ids = sorted({f.rule for f in findings} | set(RULE_HELP))
+    rules = [{"id": rid,
+              "shortDescription": {"text": RULE_HELP.get(rid, rid)}}
+             for rid in rule_ids]
+    index = {rid: k for k, rid in enumerate(rule_ids)}
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.relpath.replace("\\", "/"),
+                    },
+                    "region": {"startLine": f.line},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri":
+                        "https://example.invalid/aeromesh/tools/aerolint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(findings, path):
+    doc = to_sarif(findings)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Minimal JSON-schema structural validator (draft-07 subset).
+
+def validate(doc, schema, path="$"):
+    """Return a list of violation strings (empty = valid). Supports the
+    subset our sarif-schema.json uses: type, required, properties, items,
+    enum, const, additionalProperties=false."""
+    errors = []
+    _validate(doc, schema, path, errors)
+    return errors
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def _validate(doc, schema, path, errors):
+    t = schema.get("type")
+    if t is not None:
+        py = _TYPES.get(t)
+        ok = isinstance(doc, py)
+        if t == "integer" and isinstance(doc, bool):
+            ok = False
+        if not ok:
+            errors.append("%s: expected %s, got %s"
+                          % (path, t, type(doc).__name__))
+            return
+    if "const" in schema and doc != schema["const"]:
+        errors.append("%s: expected const %r, got %r"
+                      % (path, schema["const"], doc))
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append("%s: %r not in enum %r"
+                      % (path, doc, schema["enum"]))
+    if isinstance(doc, dict):
+        for req in schema.get("required", ()):
+            if req not in doc:
+                errors.append("%s: missing required property '%s'"
+                              % (path, req))
+        props = schema.get("properties", {})
+        for key, val in doc.items():
+            if key in props:
+                _validate(val, props[key], "%s.%s" % (path, key), errors)
+            elif schema.get("additionalProperties") is False:
+                errors.append("%s: unexpected property '%s'" % (path, key))
+    if isinstance(doc, list) and "items" in schema:
+        for k, item in enumerate(doc):
+            _validate(item, schema["items"], "%s[%d]" % (path, k), errors)

@@ -1,0 +1,120 @@
+"""Unchecked-status enforcement: a [[nodiscard]] result that is discarded
+is a silent failure path.
+
+The registry is self-discovered from the declarations the model parsed:
+
+  * every function/method declared [[nodiscard]];
+  * every function returning a [[nodiscard]] enum type (RunStatus).
+
+A call in statement position (the call IS the whole statement) discards
+the result. The receiver is resolved through the scope model; when it
+cannot be resolved, the call is flagged only if *every* known
+declaration of that method name is nodiscard (conservative on overload
+ambiguity, strict on unambiguous names like JournalWriter::append).
+
+Rule: unchecked-status. Scope: all of src/.
+"""
+
+from model import _match
+
+# Method names shared with std types the model cannot see (streams, ...):
+# an *unresolved* receiver for these is not evidence of a discard. Resolved
+# receivers are still checked.
+_AMBIENT = {"flush", "write", "put", "open", "close", "clear", "reset"}
+
+
+def _registry(eng):
+    nodiscard_enums = {name for name, e in eng.program.enums.items()
+                       if e.nodiscard}
+    methods = {}  # name -> {cls or None: nodiscard?}
+    for sf, fn in eng.functions():
+        nd = fn.nodiscard or any(e in fn.ret_type.split()
+                                 or ("::" + e) in fn.ret_type
+                                 or fn.ret_type == e
+                                 for e in nodiscard_enums)
+        slot = methods.setdefault(fn.name, {})
+        # a later declaration of the same (cls, name) that IS nodiscard wins
+        slot[fn.cls] = slot.get(fn.cls, False) or nd
+    return methods
+
+
+def _scan_function(eng, sf, fn, methods):
+    toks = fn.tokens
+    lo, hi = fn.body
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind != "id" or t.text not in methods:
+            i += 1
+            continue
+        if i + 1 >= hi or toks[i + 1].text != "(":
+            i += 1
+            continue
+        prev = toks[i - 1].text if i > lo else ""
+        recv = None
+        stmt_start = None
+        if prev in (".", "->"):
+            # Walk back through a chained receiver like
+            # opts.checkpoint->record(...): ids alternating with . / ->.
+            k = i - 2
+            while k - 1 > lo and toks[k].kind == "id" \
+                    and toks[k - 1].text in (".", "->"):
+                k -= 2
+            if toks[k].kind == "id":
+                stmt_start = toks[k - 1].text if k - 1 >= lo else "{"
+            else:
+                stmt_start = toks[k].text  # ']' / ')' receivers: not a
+                # plain statement-position discard we can attribute
+            recv_tok = toks[i - 2]
+            if recv_tok.kind == "id":
+                recv = "this" if recv_tok.text == "this" else recv_tok.text
+        else:
+            stmt_start = toks[i - 1].text if i > lo else "{"
+        if stmt_start not in (";", "{", "}"):
+            i += 1
+            continue
+        end = _match(toks, i + 1, "(", ")")
+        if end >= hi or toks[end].text != ";":
+            i = end
+            continue
+        # statement-position call of a registry name: is it nodiscard?
+        slot = methods[t.text]
+        discard = False
+        target_cls = None
+        if prev in (".", "->"):
+            cls = fn.cls if recv == "this" else (
+                eng.program.resolve_receiver(fn, recv) if recv else None)
+            if cls is not None and cls in slot:
+                discard = slot[cls]
+                target_cls = cls
+            elif cls is None and t.text not in _AMBIENT:
+                named = [c for c, nd in slot.items() if c is not None]
+                if named and all(slot[c] for c in named):
+                    discard = True
+                    target_cls = named[0]
+        else:
+            if fn.cls and fn.cls in slot:
+                discard = slot[fn.cls]
+                target_cls = fn.cls
+            elif None in slot:
+                discard = slot[None]
+        if discard:
+            qual = "%s::%s" % (target_cls, t.text) if target_cls else t.text
+            eng.report(
+                "unchecked-status", sf.relpath, t.line,
+                "discarded [[nodiscard]] result of %s(); branch on it or "
+                "waive with an aerolint allow(unchecked-status: reason)"
+                % qual)
+        i = end
+        continue
+
+
+def analyze(eng):
+    methods = _registry(eng)
+    # prune names with no nodiscard declaration at all (fast path)
+    methods = {n: slot for n, slot in methods.items()
+               if any(slot.values())}
+    for sf, fn in eng.functions():
+        if fn.body is None:
+            continue
+        _scan_function(eng, sf, fn, methods)

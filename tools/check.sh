@@ -2,9 +2,11 @@
 # One-shot local gate: everything CI runs, in dependency order. Fails fast.
 #
 #   1. configure + build (compile_commands.json exported for tidy)
-#   2. aerolint (project-specific static rules) + its self-test
+#   2. aerolint v2 as a hard gate: self-test, fixture goldens, then the
+#      tree lint with SARIF export + schema check and the lock graph,
+#      which must come back cycle-free
 #   3. the full ctest suite (unit, pipeline, runtime, audit tests)
-#   4. clang-tidy profile (no-op when clang-tidy is absent)
+#   4. clang-tidy profile (exit 77 = soft skip when clang-tidy is absent)
 #
 # Usage: tools/check.sh [build-dir]   (default: build)
 set -eu
@@ -17,13 +19,26 @@ cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" -j"$(nproc)"
 
 echo "== aerolint"
-python3 "$repo_root/tools/aerolint.py" --self-test
-python3 "$repo_root/tools/aerolint.py" "$repo_root"
+python3 "$repo_root/tools/aerolint" --self-test
+python3 "$repo_root/tests/aerolint/run_fixtures.py"
+python3 "$repo_root/tools/aerolint" "$repo_root" \
+    --sarif "$build_dir/aerolint.sarif" \
+    --lock-graph "$build_dir/lock_graph.json"
+if grep -q '"cycles": \[\]' "$build_dir/lock_graph.json"; then
+  echo "aerolint: lock graph exported cycle-free"
+else
+  echo "check: lock graph has cycles ($build_dir/lock_graph.json)" >&2
+  exit 1
+fi
 
 echo "== ctest"
 ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
 
 echo "== clang-tidy"
-"$repo_root/tools/run_tidy.sh" "$build_dir"
+tidy_rc=0
+"$repo_root/tools/run_tidy.sh" "$build_dir" || tidy_rc=$?
+if [ "$tidy_rc" -ne 0 ] && [ "$tidy_rc" -ne 77 ]; then
+  exit "$tidy_rc"
+fi
 
 echo "check: all gates passed"

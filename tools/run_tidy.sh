@@ -1,7 +1,9 @@
 #!/bin/sh
 # Run clang-tidy (profile: .clang-tidy) over every library/test source using
-# the exported compile database. A quiet no-op when clang-tidy is not
-# installed, so CI images without LLVM still pass tools/check.sh.
+# the exported compile database. When clang-tidy is not installed the script
+# states why and exits 77 -- the conventional "skipped" code that ctest
+# (SKIP_RETURN_CODE 77) and tools/check.sh both treat as a soft skip, so CI
+# images without LLVM report SKIPPED rather than silently passing.
 #
 # Usage: tools/run_tidy.sh [build-dir]   (default: build)
 set -eu
@@ -10,8 +12,8 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "run_tidy: clang-tidy not found; skipping (install LLVM to enable)"
-  exit 0
+  echo "run_tidy: SKIP -- clang-tidy not on PATH (install LLVM to enable)"
+  exit 77
 fi
 if [ ! -f "$build_dir/compile_commands.json" ]; then
   echo "run_tidy: $build_dir/compile_commands.json missing; configure first" >&2
