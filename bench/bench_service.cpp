@@ -1,0 +1,200 @@
+// Meshing-as-a-service throughput and latency.
+//
+// Three legs, all through the in-process MeshServer (the daemon adds only
+// unix-socket framing around it):
+//   1. Cache economics: one configuration meshed cold, then requested
+//      again. Reports the hit/cold speedup (the acceptance bar is >= 100x)
+//      and proves the cached bytes are bit-identical to the fresh mesh.
+//   2. Multi-tenant throughput: 8 tenant threads, each submitting a mix of
+//      repeat configurations at mixed priorities against 4 workers.
+//      Reports requests/s and client-observed p50/p99 latency -- the
+//      numbers tools/bench_compare.py gates.
+//   3. Fault leg: 4-rank pooled requests under the PR 1 chaos fabric.
+//      Every request must come back exactly once (zero dropped, zero
+//      duplicated) with a complete mesh.
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/timer.hpp"
+#include "obs/bench_report.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+aero::MeshRequest request_of(std::uint64_t id, int priority,
+                             std::size_t points, int ranks = 0) {
+  aero::MeshRequest req;
+  req.id = id;
+  req.priority = priority;
+  req.options = aero::Options()
+                    .geometry(aero::make_naca0012(points))
+                    .set_max_layers(12)
+                    .set_farfield_chords(8.0)
+                    .set_ranks(ranks);
+  return req;
+}
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aero;
+  obs::BenchReport report;
+  report.bench = "bench_service";
+  report.case_name = "naca0012-multitenant";
+  report.ranks = 1;
+
+  // -- Leg 1: cache economics -----------------------------------------------
+  double cold_ms = 0.0, hit_ms = 0.0;
+  bool bit_identical = false;
+  {
+    ServerConfig config;
+    config.workers = 1;
+    MeshServer server(config);
+    Timer t_cold;
+    const MeshResponse fresh = server.submit_wait(request_of(1, 0, 200));
+    cold_ms = t_cold.seconds() * 1e3;
+    Timer t_hit;
+    const MeshResponse hit = server.submit_wait(request_of(2, 0, 200));
+    hit_ms = t_hit.seconds() * 1e3;
+    bit_identical = fresh.status == ServiceStatus::kOk &&
+                    hit.status == ServiceStatus::kOk && hit.cache_hit &&
+                    hit.mesh_blob == fresh.mesh_blob &&
+                    !fresh.mesh_blob.empty();
+    std::printf("cache: cold %.2f ms, hit %.4f ms, speedup %.0fx, "
+                "bit-identical %s\n",
+                cold_ms, hit_ms, cold_ms / hit_ms,
+                bit_identical ? "yes" : "NO");
+  }
+
+  // -- Leg 2: multi-tenant throughput ---------------------------------------
+  constexpr int kTenants = 8;
+  constexpr int kPerTenant = 12;
+  constexpr int kConfigs = 6;  // distinct geometries cycled by every tenant
+  std::vector<double> latencies_ms;
+  std::size_t throughput_hits = 0;
+  double wall_ms = 0.0;
+  {
+    ServerConfig config;
+    config.workers = 4;
+    config.queue_capacity = 128;  // sized so this leg measures service, not
+                                  // backpressure (leg-3 tests rejection)
+    MeshServer server(config);
+    std::mutex m;
+    Timer wall;
+    std::vector<std::thread> tenants;
+    tenants.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+      tenants.emplace_back([&, t] {
+        std::vector<double> mine;
+        mine.reserve(kPerTenant);
+        for (int j = 0; j < kPerTenant; ++j) {
+          const std::uint64_t id =
+              static_cast<std::uint64_t>(t * kPerTenant + j + 1);
+          // Repeat configurations (cache hits) at mixed priorities.
+          const std::size_t points =
+              120 + 10 * static_cast<std::size_t>((t + j) % kConfigs);
+          Timer rt;
+          const MeshResponse resp =
+              server.submit_wait(request_of(id, j % 3, points));
+          if (resp.status != ServiceStatus::kOk) {
+            std::fprintf(stderr, "request %llu failed: %s\n",
+                         static_cast<unsigned long long>(id),
+                         to_string(resp.status));
+            std::exit(1);
+          }
+          mine.push_back(rt.seconds() * 1e3);
+        }
+        const std::lock_guard<std::mutex> lock(m);
+        latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+      });
+    }
+    for (std::thread& t : tenants) t.join();
+    wall_ms = wall.seconds() * 1e3;
+    throughput_hits = server.stats().cache_hits;
+  }
+  const double total = kTenants * kPerTenant;
+  const double requests_per_s = total / (wall_ms / 1e3);
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  std::printf(
+      "throughput: %d requests (%d tenants x %d), %.0f req/s, p50 %.2f ms, "
+      "p99 %.2f ms, %zu cache hits\n",
+      static_cast<int>(total), kTenants, kPerTenant, requests_per_s, p50,
+      p99, throughput_hits);
+
+  // -- Leg 3: 4-rank fault-injected sustained load --------------------------
+  constexpr int kFaultRequests = 8;
+  std::size_t fault_dropped = 0, fault_duplicated = 0, fault_ok = 0;
+  {
+    ServerConfig config;
+    config.workers = 2;
+    MeshServer server(config);
+    std::vector<std::future<MeshResponse>> futures;
+    futures.reserve(kFaultRequests);
+    for (int i = 0; i < kFaultRequests; ++i) {
+      MeshRequest req = request_of(static_cast<std::uint64_t>(100 + i),
+                                   i % 2, 80 + 2 * static_cast<std::size_t>(i),
+                                   /*ranks=*/4);
+      req.options.set_fault_rate(0.02).set_fault_seed(
+          static_cast<std::uint64_t>(i) * 7919 + 1);
+      futures.push_back(server.submit(std::move(req)));
+    }
+    std::vector<int> responses(kFaultRequests, 0);
+    for (int i = 0; i < kFaultRequests; ++i) {
+      const MeshResponse resp = futures[static_cast<std::size_t>(i)].get();
+      const std::size_t idx = static_cast<std::size_t>(resp.id) - 100;
+      if (idx < responses.size()) ++responses[idx];
+      if (resp.status == ServiceStatus::kOk && resp.triangles > 0) ++fault_ok;
+    }
+    for (const int n : responses) {
+      if (n == 0) ++fault_dropped;
+      if (n > 1) ++fault_duplicated;
+    }
+    std::printf(
+        "fault leg: %d 4-rank chaos requests, %zu ok, %zu dropped, "
+        "%zu duplicated\n",
+        kFaultRequests, fault_ok, fault_dropped, fault_duplicated);
+  }
+
+  report.wall_ms = wall_ms;
+  report.counters = {
+      {"requests_per_s", requests_per_s},
+      {"p50_ms", p50},
+      {"p99_ms", p99},
+      {"throughput_requests", total},
+      {"throughput_cache_hits", static_cast<double>(throughput_hits)},
+      {"cache_cold_ms", cold_ms},
+      {"cache_hit_ms", hit_ms},
+      {"cache_hit_speedup", cold_ms / hit_ms},
+      {"cache_bit_identical", bit_identical ? 1.0 : 0.0},
+      {"fault_requests", static_cast<double>(kFaultRequests)},
+      {"fault_ok", static_cast<double>(fault_ok)},
+      {"fault_dropped", static_cast<double>(fault_dropped)},
+      {"fault_duplicated", static_cast<double>(fault_duplicated)},
+  };
+  if (obs::write_bench_json(report, "BENCH_service.json")) {
+    std::printf("wrote BENCH_service.json\n");
+  }
+
+  const bool pass = bit_identical && cold_ms / hit_ms >= 100.0 &&
+                    fault_dropped == 0 && fault_duplicated == 0 &&
+                    fault_ok == static_cast<std::size_t>(kFaultRequests);
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

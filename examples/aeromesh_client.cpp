@@ -1,0 +1,159 @@
+// aeromesh-client: thin tenant CLI over the aeromeshd unix socket. Builds a
+// small NACA 0012 request from a few flags, sends it, prints the typed
+// response, and (optionally) writes the returned mesh block to disk. The
+// --expect flag turns it into an assertion tool for the smoke test: exit 0
+// iff the daemon answered with exactly the named status.
+//
+// One invocation is one connection and one request, so "three concurrent
+// tenants" is just three client processes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "aero.hpp"
+#include "service/client.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, bool requested) {
+  FILE* out = requested ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s --socket PATH [options]\n"
+               "  --socket PATH          aeromeshd unix socket (required)\n"
+               "  --id N                 correlation id (default 1)\n"
+               "  --priority N           dispatch priority (default 0)\n"
+               "  --surface-points N     NACA 0012 points per side "
+               "(default 120)\n"
+               "  --ranks N              mesh on the in-process rank pool "
+               "(0 = sequential, default 0)\n"
+               "  --fault-rate P         chaos-inject the pooled run "
+               "(default 0)\n"
+               "  --max-layers N         boundary-layer cap (default 20)\n"
+               "  --output FILE          write the mesh block to FILE\n"
+               "  --expect STATUS        exit 0 iff the response status is "
+               "STATUS (ok, overloaded, invalid-options, ...)\n"
+               "  --shutdown             ask the daemon to exit instead of "
+               "meshing\n"
+               "  --help                 this table\n",
+               argv0);
+  std::exit(requested ? 0 : 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string output_path;
+  std::string expect;
+  bool shutdown = false;
+  std::uint64_t id = 1;
+  std::int32_t priority = 0;
+  std::size_t surface_points = 120;
+  int ranks = 0;
+  double fault_rate = 0.0;
+  int max_layers = 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        usage(argv[0], false);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") usage(argv[0], true);
+    if (arg == "--shutdown") {
+      shutdown = true;
+    } else if (const char* v = value("--socket")) {
+      socket_path = v;
+    } else if (const char* v = value("--id")) {
+      id = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--priority")) {
+      priority = std::atoi(v);
+    } else if (const char* v = value("--surface-points")) {
+      surface_points = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--ranks")) {
+      ranks = std::atoi(v);
+    } else if (const char* v = value("--fault-rate")) {
+      fault_rate = std::atof(v);
+    } else if (const char* v = value("--max-layers")) {
+      max_layers = std::atoi(v);
+    } else if (const char* v = value("--output")) {
+      output_path = v;
+    } else if (const char* v = value("--expect")) {
+      expect = v;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      usage(argv[0], false);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    usage(argv[0], false);
+  }
+
+  aero::ServiceClient client;
+  if (!client.connect(socket_path)) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  if (shutdown) {
+    if (!client.shutdown_server()) {
+      std::fprintf(stderr, "error: could not send shutdown frame\n");
+      return 1;
+    }
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+
+  aero::MeshRequest req;
+  req.id = id;
+  req.priority = priority;
+  req.options = aero::Options()
+                    .geometry(aero::make_naca0012(surface_points))
+                    .set_max_layers(max_layers)
+                    .set_farfield_chords(10.0)
+                    .set_ranks(ranks)
+                    .set_fault_rate(fault_rate);
+
+  const aero::MeshResponse resp = client.request(req);
+  std::printf(
+      "id=%llu status=%s cache_hit=%d key=%016llx triangles=%llu "
+      "vertices=%llu mesh_ms=%.2f queue_ms=%.2f\n",
+      static_cast<unsigned long long>(resp.id), to_string(resp.status),
+      resp.cache_hit ? 1 : 0,
+      static_cast<unsigned long long>(resp.cache_key),
+      static_cast<unsigned long long>(resp.triangles),
+      static_cast<unsigned long long>(resp.vertices), resp.mesh_wall_ms,
+      resp.queue_ms);
+  if (!resp.error.empty()) std::printf("error: %s\n", resp.error.c_str());
+
+  if (!output_path.empty() && !resp.mesh_blob.empty()) {
+    std::ofstream out(output_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(resp.mesh_blob.data()),
+              static_cast<std::streamsize>(resp.mesh_blob.size()));
+    if (out) {
+      std::printf("wrote %s (%zu bytes)\n", output_path.c_str(),
+                  resp.mesh_blob.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   output_path.c_str());
+    }
+  }
+
+  if (!expect.empty()) {
+    const bool match = expect == to_string(resp.status);
+    if (!match) {
+      std::fprintf(stderr, "expectation failed: wanted %s, got %s\n",
+                   expect.c_str(), to_string(resp.status));
+    }
+    return match ? 0 : 3;
+  }
+  return resp.status == aero::ServiceStatus::kOk ? 0 : 1;
+}

@@ -22,6 +22,9 @@
 //   solver/panel.hpp, solver/fem.hpp  verification solvers
 //   airfoil/naca.hpp, airfoil/geometry.hpp  input geometry builders
 //   delaunay/triangulator.hpp    standalone (C)DT + refinement entry point
+//   service/server.hpp           in-process meshing service (MeshServer)
+//   service/wire.hpp             MeshRequest/MeshResponse + codec
+//   service/client.hpp           unix-socket client for aeromeshd
 
 #include "core/mesh_generator.hpp"
 #include "core/options.hpp"

@@ -1,0 +1,64 @@
+#include "core/options_hash.hpp"
+
+#include <type_traits>
+#include <vector>
+
+namespace aero {
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+namespace {
+
+template <typename T>
+void mix(std::uint64_t& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  h = fnv1a(reinterpret_cast<const std::uint8_t*>(&v), sizeof(T), h);
+}
+
+void mix_points(std::uint64_t& h, const std::vector<Vec2>& pts) {
+  mix<std::uint64_t>(h, pts.size());
+  h = fnv1a(reinterpret_cast<const std::uint8_t*>(pts.data()),
+            pts.size() * sizeof(Vec2), h);
+}
+
+}  // namespace
+
+std::uint64_t mesh_config_hash(const Options& opts) {
+  std::uint64_t h = kFnv1aOffset;
+  // Geometry: the exact surface coordinates, element by element. Element
+  // names are labels, not mesh inputs, and are excluded.
+  mix<std::uint64_t>(h, opts.airfoil.elements.size());
+  for (const AirfoilElement& e : opts.airfoil.elements) {
+    mix_points(h, e.surface);
+  }
+  mix(h, opts.airfoil.chord);
+  // Boundary layer.
+  mix(h, static_cast<std::uint8_t>(opts.growth_kind));
+  mix(h, opts.first_height);
+  mix(h, opts.growth_ratio);
+  mix(h, opts.max_layers);
+  // Inviscid region.
+  mix(h, opts.farfield_chords);
+  mix(h, opts.nearbody_margin);
+  mix(h, opts.grade);
+  mix(h, opts.surface_length_factor);
+  // Decomposition: these change the subdomain tree, hence the checkpoint
+  // record keys, so a journal written under a different decomposition is
+  // useless even though the final mesh would match. (The service cache
+  // inherits the same conservatism: a decomposition change misses.)
+  mix<std::uint64_t>(h, opts.bl_min_points);
+  mix(h, opts.bl_max_level);
+  mix(h, opts.inviscid_target_triangles);
+  mix(h, opts.inviscid_max_level);
+  return h;
+}
+
+}  // namespace aero

@@ -7,7 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "core/options.hpp"
+#include "core/options_hash.hpp"  // fnv1a, mesh_config_hash
 #include "io/journal.hpp"
 #include "runtime/work.hpp"  // WorkUnit, Vec2
 
@@ -20,14 +20,12 @@ namespace aero {
 /// the same problem produce the same keys for the same logical subdomains
 /// regardless of rank count, schedule, transport, or injected faults --
 /// which is what lets a resumed run recognize work a dead run finished.
+///
+/// The companion config-level key, mesh_config_hash(), moved to
+/// core/options_hash.hpp in PR 8 so the service result cache and the
+/// checkpoint journal share one list of mesh-defining fields; it is
+/// re-exported by the include above for existing callers.
 std::uint64_t subdomain_key(const WorkUnit& unit);
-
-/// Canonical hash over the mesh-defining options and the input geometry:
-/// everything that changes the triangles, nothing that doesn't. Runtime
-/// knobs (ranks, transport, faults, tracing, budgets, paths) are excluded
-/// on purpose -- the pool produces rank-count-independent meshes, so a
-/// journal written by an 8-rank run legitimately resumes a 2-rank run.
-std::uint64_t mesh_config_hash(const Options& opts);
 
 /// Completed-subdomain lookup built once from a validated journal and then
 /// read lock-free by every mesher thread. Records whose triangle payload

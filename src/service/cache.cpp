@@ -1,0 +1,66 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+namespace aero {
+
+bool ResultCache::lookup(std::uint64_t key, Entry* out) {
+  const MutexLock lock(m_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  // Refresh recency: splice the key to the front without reallocating.
+  lru_.splice(lru_.begin(), lru_, it->second.pos);
+  it->second.pos = lru_.begin();
+  ++stats_.hits;
+  *out = it->second.entry;
+  return true;
+}
+
+void ResultCache::insert(std::uint64_t key, Entry entry) {
+  const std::size_t need = entry.mesh_blob.size();
+  const MutexLock lock(m_);
+  if (need > budget_) {
+    ++stats_.rejected_oversize;
+    return;
+  }
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh in place (deterministic meshing means the bytes match, but a
+    // refresh keeps the accounting honest if an entry was re-meshed).
+    stats_.bytes -= it->second.entry.mesh_blob.size();
+    stats_.bytes += need;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    it->second.pos = lru_.begin();
+    it->second.entry = std::move(entry);
+    evict_for(0);
+    return;
+  }
+  evict_for(need);
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  stats_.bytes += need;
+  ++stats_.insertions;
+  stats_.entries = map_.size();
+}
+
+void ResultCache::evict_for(std::size_t need) {
+  while (!lru_.empty() && stats_.bytes + need > budget_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = map_.find(victim);
+    stats_.bytes -= it->second.entry.mesh_blob.size();
+    map_.erase(it);
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const MutexLock lock(m_);
+  return stats_;
+}
+
+}  // namespace aero

@@ -1,0 +1,142 @@
+#include "service/channel.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aero {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x414d4652;  // "AMFR"
+/// Generous payload bound (well above any realistic serialized mesh): a
+/// corrupted length field must not turn into an allocation bomb.
+constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 33;
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* buf, std::size_t n) {
+  std::uint8_t* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // peer closed mid-frame (or clean EOF)
+    p += static_cast<std::size_t>(r);
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, FrameKind kind, const std::uint8_t* payload,
+                 std::size_t n) {
+  std::uint8_t header[4 + 1 + 8];
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint64_t len = n;
+  std::memcpy(header, &magic, 4);
+  header[4] = static_cast<std::uint8_t>(kind);
+  std::memcpy(header + 5, &len, 8);
+  if (!write_all(fd, header, sizeof(header))) return false;
+  if (n == 0) return true;
+  return write_all(fd, payload, n);
+}
+
+bool write_frame(int fd, FrameKind kind,
+                 const std::vector<std::uint8_t>& payload) {
+  return write_frame(fd, kind, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, FrameKind* kind, std::vector<std::uint8_t>* payload) {
+  std::uint8_t header[4 + 1 + 8];
+  if (!read_all(fd, header, sizeof(header))) return false;
+  std::uint32_t magic = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&len, header + 5, 8);
+  if (magic != kFrameMagic) return false;
+  const std::uint8_t k = header[4];
+  if (k < static_cast<std::uint8_t>(FrameKind::kRequest) ||
+      k > static_cast<std::uint8_t>(FrameKind::kShutdown)) {
+    return false;
+  }
+  if (len > kMaxFramePayload) return false;
+  *kind = static_cast<FrameKind>(k);
+  payload->resize(static_cast<std::size_t>(len));
+  if (len == 0) return true;
+  return read_all(fd, payload->data(), payload->size());
+}
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error) *error = std::string("bind ") + path + ": " +
+                        std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) < 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error) *error = std::string("connect ") + path + ": " +
+                        std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace aero

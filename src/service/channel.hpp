@@ -1,0 +1,50 @@
+#pragma once
+
+// Byte-stream framing and AF_UNIX plumbing shared by the aeromeshd daemon
+// and the aeromesh-client library. A frame is
+//
+//   [magic u32 | kind u8 | payload_len u64 | payload bytes]
+//
+// where the payload is a wire.hpp-encoded message (which carries its own
+// CRC-32 trailer, so the channel does not re-checksum). kShutdown frames
+// have an empty payload: they are a control message asking the daemon to
+// stop accepting and exit once in-flight requests finish.
+//
+// All reads/writes loop over short transfers and EINTR; errors and peer
+// hangups surface as boolean failures, never exceptions, because a broken
+// client connection must cost the daemon one session, not the process.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aero {
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kShutdown = 3,
+};
+
+/// Write one frame to `fd`. False on any short write or socket error.
+[[nodiscard]] bool write_frame(int fd, FrameKind kind,
+                               const std::uint8_t* payload, std::size_t n);
+[[nodiscard]] bool write_frame(int fd, FrameKind kind,
+                               const std::vector<std::uint8_t>& payload);
+
+/// Read one frame from `fd`. False on EOF, a bad magic/kind, an oversized
+/// length, or a short read.
+[[nodiscard]] bool read_frame(int fd, FrameKind* kind,
+                              std::vector<std::uint8_t>* payload);
+
+/// Create, bind, and listen on an AF_UNIX stream socket at `path`
+/// (unlinking any stale socket file first). Returns the listening fd, or
+/// -1 with a message in `*error`.
+int listen_unix(const std::string& path, std::string* error);
+
+/// Connect to the AF_UNIX socket at `path`. Returns the connected fd, or
+/// -1 with a message in `*error`.
+int connect_unix(const std::string& path, std::string* error);
+
+}  // namespace aero

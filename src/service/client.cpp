@@ -1,0 +1,66 @@
+#include "service/client.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "service/channel.hpp"
+
+namespace aero {
+
+ServiceClient::~ServiceClient() { close(); }
+
+bool ServiceClient::connect(const std::string& socket_path) {
+  close();
+  error_.clear();
+  fd_ = connect_unix(socket_path, &error_);
+  return fd_ >= 0;
+}
+
+MeshResponse ServiceClient::request(const MeshRequest& req) {
+  MeshResponse resp;
+  resp.id = req.id;
+  resp.status = ServiceStatus::kFailed;
+  if (fd_ < 0) {
+    resp.error = error_.empty() ? "not connected" : error_;
+    return resp;
+  }
+  const std::vector<std::uint8_t> bytes = encode_request(req);
+  if (!write_frame(fd_, FrameKind::kRequest, bytes)) {
+    error_ = "send failed (daemon gone?)";
+    resp.error = error_;
+    close();
+    return resp;
+  }
+  FrameKind kind{};
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(fd_, &kind, &payload) || kind != FrameKind::kResponse) {
+    error_ = "receive failed (daemon gone or corrupt frame)";
+    resp.error = error_;
+    close();
+    return resp;
+  }
+  if (!decode_response(payload, &resp)) {
+    resp = MeshResponse{};
+    resp.id = req.id;
+    resp.status = ServiceStatus::kFailed;
+    error_ = "response failed CRC/format checks";
+    resp.error = error_;
+    return resp;
+  }
+  return resp;
+}
+
+bool ServiceClient::shutdown_server() {
+  if (fd_ < 0) return false;
+  return write_frame(fd_, FrameKind::kShutdown, nullptr, 0);
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace aero

@@ -1,0 +1,47 @@
+#pragma once
+
+// Client-side convenience over the service wire: connect to an aeromeshd
+// unix socket, send requests, collect typed responses. One ServiceClient is
+// one connection; requests on it are answered in submission order (the
+// daemon pipelines per-connection responses back in request order, so a
+// tenant wanting concurrency opens several connections).
+
+#include <cstdint>
+#include <string>
+
+#include "service/wire.hpp"
+
+namespace aero {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connect to the daemon at `socket_path`. False (with `error()` set) on
+  /// failure. Reconnecting an already-connected client closes the old
+  /// connection first.
+  [[nodiscard]] bool connect(const std::string& socket_path);
+
+  /// Send one request and block for its response. A transport failure
+  /// (daemon gone, corrupt frame) is reported as a kFailed response with
+  /// the detail in `error` -- callers always get a MeshResponse.
+  MeshResponse request(const MeshRequest& req);
+
+  /// Ask the daemon to shut down (finish in-flight work, then exit).
+  /// False if the control frame could not be sent.
+  [[nodiscard]] bool shutdown_server();
+
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace aero

@@ -1,0 +1,106 @@
+#pragma once
+
+// Meshing-as-a-service wire contract: the request/response value types the
+// aeromeshd daemon, the in-process MeshServer, and aeromesh-client all speak.
+//
+// A MeshRequest is a validated-Options problem statement: the geometry plus
+// every mesh-defining and runtime knob a remote tenant may set. Server-side
+// concerns (checkpoint/resume paths, budgets, phase hooks, stop flags) are
+// deliberately NOT on the wire -- a tenant describes the mesh it wants, not
+// the server's disk layout. A MeshResponse carries a typed ServiceStatus,
+// the cache verdict, latency accounting, and (on success) the mesh itself in
+// the same flat little-endian block format as io/mesh_io's write_binary.
+//
+// Codec: encode_* produce a self-contained byte string ending in the same
+// CRC-32 trailer as the pool's protocol payloads (core/crc32), so a
+// corrupted or truncated message is detected at the receiver instead of
+// being deserialized into garbage; decode_* return false instead of
+// throwing, because a malformed request from one tenant must degrade to one
+// kMalformed response, never take down the daemon.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/merged_mesh.hpp"
+#include "core/options.hpp"
+
+namespace aero {
+
+/// Typed outcome of one service request. Small and stable on purpose: the
+/// daemon's exit codes, the client's --expect checks, and the smoke test all
+/// match on these names.
+enum class ServiceStatus : std::uint8_t {
+  kOk = 0,          ///< complete mesh in the response payload
+  kOverloaded = 1,  ///< admission queue full; retry later (backpressure)
+  kInvalidOptions = 2,  ///< Options::validate() reported errors (see error)
+  kPartial = 3,     ///< pool lost results; best-effort mesh returned
+  kStopped = 4,     ///< run drained on a budget/stop; partial mesh returned
+  kFailed = 5,      ///< meshing threw or the watchdog aborted the run
+  kMalformed = 6,   ///< request bytes failed the CRC/format checks
+  kShutdown = 7,    ///< server stopping; request was not processed
+};
+
+const char* to_string(ServiceStatus s);
+
+/// One tenant request: a problem statement over validated aero::Options.
+struct MeshRequest {
+  /// Caller-chosen correlation id, echoed verbatim in the response.
+  std::uint64_t id = 0;
+  /// Dispatch priority: among queued requests a higher value dispatches
+  /// first; equal priorities dispatch FIFO (admission order).
+  std::int32_t priority = 0;
+  /// Geometry + knobs. Only wire-carried fields survive a round-trip:
+  /// paths, hooks, stop flags, and budgets are server-side and reset to
+  /// their defaults by decode_request.
+  Options options;
+};
+
+/// One service response. `mesh_blob` is empty unless status is kOk,
+/// kPartial, or kStopped (a partial mesh is still a valid mesh).
+struct MeshResponse {
+  std::uint64_t id = 0;
+  ServiceStatus status = ServiceStatus::kFailed;
+  bool cache_hit = false;
+  /// Canonical cache key of the request (mesh_config_hash); 0 when the
+  /// request never reached admission (malformed/invalid).
+  std::uint64_t cache_key = 0;
+  std::uint64_t triangles = 0;
+  std::uint64_t vertices = 0;
+  /// Time spent meshing (0 on a cache hit).
+  double mesh_wall_ms = 0.0;
+  /// Admission-to-dispatch wait (0 for requests answered at admission).
+  double queue_ms = 0.0;
+  /// Human-readable detail for error statuses (validation issues, throw
+  /// messages); empty on success.
+  std::string error;
+  /// Flat mesh block: [n_points u64 | n_tris u64 | points (2 f64 each) |
+  /// tris (3 u32 each)], identical to io/mesh_io write_binary's layout.
+  std::vector<std::uint8_t> mesh_blob;
+};
+
+/// Serialize a merged mesh into the response's flat block format.
+std::vector<std::uint8_t> serialize_mesh(const MergedMesh& mesh);
+
+/// Parse a mesh block's header; false when the blob is truncated or the
+/// counts are inconsistent with its size.
+bool mesh_blob_counts(const std::vector<std::uint8_t>& blob,
+                      std::uint64_t* points, std::uint64_t* triangles);
+
+/// Encode/decode a request. The decoder accepts exactly what the encoder
+/// emits (one version, CRC-checked) and rejects everything else.
+std::vector<std::uint8_t> encode_request(const MeshRequest& request);
+[[nodiscard]] bool decode_request(const std::uint8_t* data, std::size_t n,
+                                  MeshRequest* out);
+[[nodiscard]] bool decode_request(const std::vector<std::uint8_t>& bytes,
+                                  MeshRequest* out);
+
+/// Encode/decode a response. Same contract as the request codec.
+std::vector<std::uint8_t> encode_response(const MeshResponse& response);
+[[nodiscard]] bool decode_response(const std::uint8_t* data, std::size_t n,
+                                   MeshResponse* out);
+[[nodiscard]] bool decode_response(const std::vector<std::uint8_t>& bytes,
+                                   MeshResponse* out);
+
+}  // namespace aero

@@ -5,6 +5,7 @@
 // and the driver-level end-to-end paths.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <array>
@@ -30,10 +31,14 @@ namespace {
 // Helpers.
 
 /// A journal path in the test working directory, removed on scope exit.
+/// The pid keeps concurrent instances of the same test apart: ctest runs
+/// the soak both as a discovered test and as the named checkpoint_soak
+/// entry, and under `ctest -j` the two overlap in the same directory.
 struct TempJournal {
   std::string path;
   explicit TempJournal(const std::string& name)
-      : path("ckpt_test_" + name + ".aerojnl") {
+      : path("ckpt_test_" + name + "_" + std::to_string(::getpid()) +
+             ".aerojnl") {
     std::remove(path.c_str());
   }
   ~TempJournal() { std::remove(path.c_str()); }

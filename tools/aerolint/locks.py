@@ -31,7 +31,7 @@ Rules:
                  *other* lock held across it.
 """
 
-SCOPE_DIRS = ("src/runtime", "src/obs", "src/io")
+SCOPE_DIRS = ("src/runtime", "src/obs", "src/io", "src/service")
 
 # RAII lock spellings: `Type[<...>] var(expr, ...);`
 RAII_TYPES = {"MutexLock", "UniqueLock", "lock_guard", "unique_lock",

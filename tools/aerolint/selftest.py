@@ -79,6 +79,25 @@ V1_SEEDED = [
     ("public-api", os.path.join("examples", "x.cpp"),
      '#include "runtime/pool.hpp"',
      '#include "aero.hpp"'),
+    # Service layering: the service may reach down into the runtime but not
+    # sideways into mesh internals, and nothing in src/ may reach into the
+    # service (it has no entry in any ALLOWED_DEPS value set).
+    ("layering", os.path.join("src", "service", "x.cpp"),
+     '#include "blayer/growth.hpp"',
+     '#include "runtime/pool.hpp"'),
+    ("layering", os.path.join("src", "runtime", "x.cpp"),
+     '#include "service/server.hpp"',
+     '#include "io/journal.hpp"'),
+    ("layering", os.path.join("src", "core", "x.cpp"),
+     '#include "service/cache.hpp"',
+     '#include "obs/metrics.hpp"'),
+    # Tests/examples consume the service through its public surface only.
+    ("public-api", os.path.join("examples", "x.cpp"),
+     '#include "service/cache.hpp"',
+     '#include "service/client.hpp"'),
+    ("public-api", os.path.join("tests", "x.cpp"),
+     '#include "service/channel.hpp"',
+     '#include "service/wire.hpp"'),
 ]
 
 # Comment/string stripping: keywords inside comments and literals are not

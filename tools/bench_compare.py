@@ -15,6 +15,14 @@ its own tolerance plus an absolute slack so small benches (where a few
 freshly-touched allocator pages are a large fraction) don't flap; a report
 with ``peak_rss_kb`` of 0 (platform unsupported) is not gated.
 
+Service throughput: reports carrying ``requests_per_s`` and/or ``p99_ms``
+counters (BENCH_service.json) are additionally gated on those -- a
+throughput drop beyond the tolerance (default 10%) fails with the same
+noise tolerance as wall_ms; the p99 ceiling uses its own ``--p99-tolerance``
+(default 3x the wall tolerance) because a queue-tail latency is dominated by
+scheduling jitter and legitimately swings far more than a mean under load.
+Reports without the counters (every other bench) are unaffected.
+
 Exit codes: 0 ok, 1 regression or malformed input, 77 soft-skip (either side
 has no reports -- e.g. the benches were never run in this build tree; the
 ctest entry maps 77 to SKIPPED so a test-only checkout stays green).
@@ -22,7 +30,7 @@ ctest entry maps 77 to SKIPPED so a test-only checkout stays green).
 Usage:
   bench_compare.py --baseline <dir-or-file> --current <dir-or-file>
                    [--tolerance 0.10] [--rss-tolerance 0.25]
-                   [--rss-slack-kb 16384]
+                   [--rss-slack-kb 16384] [--p99-tolerance 0.30]
 """
 
 import argparse
@@ -51,6 +59,17 @@ def collect(path):
     return reports
 
 
+def throughput_counter(report, key):
+    """Fetch a numeric gate counter (requests_per_s, p99_ms) or None."""
+    value = report.get("counters", {}).get(key)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -65,7 +84,13 @@ def main():
     ap.add_argument("--rss-slack-kb", type=float, default=16384,
                     help="absolute peak_rss_kb headroom added on top of the "
                          "fractional tolerance (default 16384 = 16 MB)")
+    ap.add_argument("--p99-tolerance", type=float, default=None,
+                    help="allowed fractional p99_ms increase (default: "
+                         "3x --tolerance; queue-tail latency is far noisier "
+                         "than a mean)")
     args = ap.parse_args()
+    if args.p99_tolerance is None:
+        args.p99_tolerance = 3.0 * args.tolerance
 
     base = collect(args.baseline)
     cur = collect(args.current)
@@ -111,6 +136,30 @@ def main():
                 failed.append(name)
             print(f"  peak_rss_kb {b_rss:.0f} -> {c_rss:.0f} "
                   f"(bound {bound:.0f}) {rss_verdict}")
+
+        # Service throughput gates: lower requests/s is the regression
+        # direction, higher p99 is. Both sides must carry the counter --
+        # a baseline without it (pre-service repo states, non-service
+        # benches) is simply not gated.
+        b_rps, c_rps = (throughput_counter(r, "requests_per_s")
+                        for r in (b, c))
+        if b_rps is not None and c_rps is not None and b_rps > 0:
+            floor = b_rps * (1.0 - args.tolerance)
+            rps_verdict = "ok"
+            if c_rps < floor:
+                rps_verdict = "REGRESSION"
+                failed.append(name)
+            print(f"  requests_per_s {b_rps:.1f} -> {c_rps:.1f} "
+                  f"(floor {floor:.1f}) {rps_verdict}")
+        b_p99, c_p99 = (throughput_counter(r, "p99_ms") for r in (b, c))
+        if b_p99 is not None and c_p99 is not None and b_p99 > 0:
+            ceiling = b_p99 * (1.0 + args.p99_tolerance)
+            p99_verdict = "ok"
+            if c_p99 > ceiling:
+                p99_verdict = "REGRESSION"
+                failed.append(name)
+            print(f"  p99_ms {b_p99:.2f} -> {c_p99:.2f} "
+                  f"(ceiling {ceiling:.2f}) {p99_verdict}")
 
         b_counters = b.get("counters", {})
         c_counters = c.get("counters", {})

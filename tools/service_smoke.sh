@@ -1,0 +1,83 @@
+#!/bin/sh
+# aeromeshd end-to-end smoke: start the daemon deliberately tiny (one
+# worker, queue capacity one, each request held 1500 ms after dequeue so
+# queue occupancy is deterministic), then drive the full status surface
+# through aeromesh-client over the unix socket:
+#
+#   req1  ok           (cold mesh; held by --hold-ms, occupying the worker)
+#   req2  ok           (queued behind req1; fills the 1-slot queue)
+#   req3  overloaded   (queue full -> typed backpressure, not a hang)
+#   req4  ok+cache_hit (req1's configuration again, answered at admission)
+#
+# then a client-initiated shutdown frame, and the daemon must exit 0 after
+# answering everything. Any unexpected status, a hung client, or a non-zero
+# daemon exit fails the smoke.
+#
+# Usage: tools/service_smoke.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+daemon="$build_dir/src/service/aeromeshd"
+client="$build_dir/examples/aeromesh-client"
+sock="/tmp/aeromeshd-smoke-$$.sock"
+log="/tmp/aeromeshd-smoke-$$.log"
+
+[ -x "$daemon" ] || { echo "smoke: $daemon not built" >&2; exit 1; }
+[ -x "$client" ] || { echo "smoke: $client not built" >&2; exit 1; }
+
+cleanup() {
+  kill "$daemon_pid" 2>/dev/null || true
+  rm -f "$sock" "$log" /tmp/aeromeshd-smoke-$$.*
+}
+trap cleanup EXIT INT TERM
+
+"$daemon" --socket "$sock" --workers 1 --queue-capacity 1 \
+    --hold-ms 1500 >"$log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the socket to come up (the daemon prints after listen()).
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || { echo "smoke: daemon never listened" >&2; exit 1; }
+  kill -0 "$daemon_pid" 2>/dev/null || {
+    echo "smoke: daemon died at startup:" >&2; cat "$log" >&2; exit 1; }
+  sleep 0.1
+done
+
+# req1: dequeued immediately, then held 1500 ms -- the worker is busy.
+"$client" --socket "$sock" --id 1 --surface-points 60 --expect ok \
+    >/tmp/aeromeshd-smoke-$$.req1 &
+req1_pid=$!
+sleep 0.5
+
+# req2: different configuration, queued behind req1 -- the queue is full.
+"$client" --socket "$sock" --id 2 --surface-points 70 --expect ok \
+    >/tmp/aeromeshd-smoke-$$.req2 &
+req2_pid=$!
+sleep 0.3
+
+# req3: must bounce with the typed backpressure status, immediately.
+"$client" --socket "$sock" --id 3 --surface-points 80 --expect overloaded
+
+wait "$req1_pid" || { echo "smoke: req1 failed" >&2; exit 1; }
+wait "$req2_pid" || { echo "smoke: req2 failed" >&2; exit 1; }
+
+# req4: req1's configuration again -- answered from the result cache at
+# admission (no queue, no hold), so it returns fast and flags cache_hit.
+"$client" --socket "$sock" --id 4 --surface-points 60 --expect ok \
+    >/tmp/aeromeshd-smoke-$$.req4
+grep -q "cache_hit=1" /tmp/aeromeshd-smoke-$$.req4 || {
+  echo "smoke: req4 was not a cache hit:" >&2
+  cat /tmp/aeromeshd-smoke-$$.req4 >&2
+  exit 1
+}
+
+"$client" --socket "$sock" --shutdown
+wait "$daemon_pid" || { echo "smoke: daemon exited non-zero:" >&2
+                        cat "$log" >&2; exit 1; }
+grep -q "aeromeshd: exiting" "$log" || {
+  echo "smoke: daemon log missing exit summary" >&2; cat "$log" >&2; exit 1; }
+
+echo "service smoke: ok (mesh, queue, overload, cache hit, shutdown)"
