@@ -275,7 +275,8 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
     AERO_TRACE_SPAN("pipeline", "inviscid_refinement");
     for (const InviscidSubdomain& sub : subdomains) {
       Timer t;
-      const TriangulateResult r = refine_subdomain(sub, domain.sizing);
+      const TriangulateResult r =
+          refine_subdomain(sub, domain.sizing, config.threads_per_rank);
       result.inviscid_task_seconds.push_back(t.seconds());
       result.mesh.append(r.mesh);
     }

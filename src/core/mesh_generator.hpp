@@ -53,6 +53,13 @@ struct MeshGeneratorConfig {
   double inviscid_target_triangles = 40000.0;
   int inviscid_max_level = 10;
 
+  /// Intra-rank threads for each subdomain refinement (the paper's ranks
+  /// are processes; this adds threads inside one). Deliberately NOT
+  /// mesh-defining: it reaches only RefineOptions::threads, whose chunked
+  /// scan is thread-count invariant, so any value produces the identical
+  /// mesh — which is why the service strips it from cache keys.
+  int threads_per_rank = 1;
+
   /// Optional phase-boundary observer (see PhaseHook). Both the sequential
   /// pipeline and the parallel driver fire it after the boundary layer is
   /// built ("boundary_layer"), after the boundary-layer triangulation is

@@ -128,6 +128,9 @@ std::vector<OptionIssue> Options::validate() const {
     err(issues, "inviscid_max_level", "depth cap must be >= 0");
   }
   if (ranks < 0) err(issues, "ranks", "rank count must be >= 0");
+  if (threads_per_rank < 1) {
+    err(issues, "threads_per_rank", "thread count must be >= 1");
+  }
   if (rma_threshold == 0) {
     err(issues, "rma_threshold", "threshold must be >= 1 byte");
   }
@@ -188,6 +191,7 @@ MeshGeneratorConfig Options::to_config() const {
   config.bl_decompose.max_level = bl_max_level;
   config.inviscid_target_triangles = inviscid_target_triangles;
   config.inviscid_max_level = inviscid_max_level;
+  config.threads_per_rank = threads_per_rank;
   config.phase_hook = phase_hook;
   config.trace.enabled = trace;
   config.trace.events_per_thread = trace_events;
@@ -298,6 +302,16 @@ const std::vector<OptionSpec>& option_specs() {
                    long v;
                    if (!parse_long(t, &v)) return false;
                    o.ranks = static_cast<int>(v);
+                   return true;
+                 }});
+    s.push_back({"--threads-per-rank", "T",
+                 "threads inside each rank's subdomain refinement "
+                 "(performance-only; the mesh is identical at every T)",
+                 std::to_string(d.threads_per_rank),
+                 [](Options& o, const char* t) {
+                   long v;
+                   if (!parse_long(t, &v)) return false;
+                   o.threads_per_rank = static_cast<int>(v);
                    return true;
                  }});
     s.push_back({"--rma", "on|off",

@@ -85,6 +85,11 @@ struct Options {
   // -- Parallel runtime ---------------------------------------------------
   /// Rank count of the in-process pool; 0 = run the sequential pipeline.
   int ranks = 0;
+  /// Intra-rank threads for each subdomain refinement (1 = sequential
+  /// kernel). Performance-only: the mesh is bit-identical at every value
+  /// (see RefineOptions::threads), so — like the transport knobs below —
+  /// this never participates in mesh-defining hashes or cache keys.
+  int threads_per_rank = 1;
   /// Zero-copy RMA-window transport for large pool payloads (off = the
   /// full-copy frame path, kept for differential testing).
   bool rma = true;
@@ -166,6 +171,7 @@ struct Options {
     return *this;
   }
   Options& set_ranks(int n) { ranks = n; return *this; }
+  Options& set_threads_per_rank(int n) { threads_per_rank = n; return *this; }
   Options& set_rma(bool on) { rma = on; return *this; }
   Options& set_rma_threshold(std::size_t bytes) {
     rma_threshold = bytes;

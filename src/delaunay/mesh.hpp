@@ -8,6 +8,7 @@
 
 #include "geom/bbox.hpp"
 #include "geom/vec2.hpp"
+#include "obs/annotations.hpp"
 
 namespace aero {
 
@@ -172,6 +173,11 @@ class DelaunayMesh {
 
  private:
   friend class RuppertRefiner;
+  /// The intra-rank parallel construction engine (parallel_insert.hpp):
+  /// phase A reads the mesh from worker threads while it is frozen, phase B
+  /// replays speculated cavities through the same mutations
+  /// insert_into_cavity performs. See that header for the phase protocol.
+  friend class ParallelInserter;
 
   TriIndex new_tri();
   std::uint32_t next_rand() const;
@@ -203,10 +209,16 @@ class DelaunayMesh {
   std::vector<TriIndex> vert_tri_;
   std::size_t live_finite_ = 0;
   std::size_t input_point_count_ = 0;
-  mutable TriIndex last_tri_ = kNoTri;
+  /// Walk-hint cache. Shared-state discipline under the parallel engine:
+  /// only the committing (main) thread reads or writes it; speculating
+  /// workers carry their own hints (parallel_insert.hpp).
+  mutable TriIndex last_tri_ AERO_SHARED_STATE("main thread only") = kNoTri;
   /// Stochastic-walk PRNG state (see next_rand in mesh.cpp). Per-mesh so a
-  /// triangulation's result never depends on process history.
-  mutable std::uint32_t rand_state_ = 0x9d2c5680u;
+  /// triangulation's result never depends on process history; under the
+  /// parallel engine it is consumed only by main-thread commits (workers
+  /// seed a local generator per point).
+  mutable std::uint32_t rand_state_
+      AERO_SHARED_STATE("main thread only") = 0x9d2c5680u;
 
   /// One directed edge of the cavity boundary cycle (see insert_into_cavity).
   struct CavityEdge {

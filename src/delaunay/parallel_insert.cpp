@@ -1,0 +1,537 @@
+#include "delaunay/parallel_insert.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <thread>
+
+#include "delaunay/brio.hpp"
+#include "geom/predicates_fast.hpp"
+#include "obs/trace.hpp"
+
+namespace aero {
+
+namespace {
+
+/// Local xorshift32 step for the speculative walk. Same generator as
+/// DelaunayMesh::next_rand, but the state lives on the speculating thread
+/// and is seeded per point, so a speculation's walk path -- and through it
+/// the recorded cavity order -- is a pure function of the point's sequence
+/// index, never of which thread ran it or what ran before.
+inline std::uint32_t spec_rand(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+inline std::uint32_t walk_seed(std::uint32_t seq_index) {
+  const auto h = static_cast<std::uint32_t>(
+      splitmix64(0xa5a5u ^ static_cast<std::uint64_t>(seq_index)));
+  return h != 0 ? h : 0x9d2c5680u;  // xorshift state must be nonzero
+}
+
+/// Window schedule: sized from committed progress only (never the thread
+/// count), so every thread count executes the identical speculate/commit
+/// sequence. The divisor keeps the expected conflict fraction low: a commit
+/// perturbs O(1) triangles out of ~2x the committed count, so a window of
+/// committed/384 keeps same-window overlaps at a few percent under the
+/// scatter order while still amortizing the phase barrier.
+constexpr std::size_t kWindowDivisor = 384;
+constexpr std::size_t kMinWindow = 64;
+constexpr std::size_t kMaxWindow = 8192;
+
+inline std::size_t window_size(std::size_t committed, std::size_t remaining) {
+  const std::size_t w =
+      std::clamp(committed / kWindowDivisor, kMinWindow, kMaxWindow);
+  return std::min(w, remaining);
+}
+
+}  // namespace
+
+ParallelInserter::ParallelInserter(DelaunayMesh& mesh, int threads)
+    : mesh_(mesh), threads_(std::max(1, threads)) {
+  scratch_.resize(static_cast<std::size_t>(threads_));
+}
+
+// ---------------------------------------------------------------------------
+// Committed-vertex hint grid.
+
+void ParallelInserter::build_grid(const std::vector<Vec2>& ordered) {
+  grid_box_ = BBox2{ordered[0], ordered[0]};
+  for (const Vec2 p : ordered) grid_box_.expand(p);
+  // ~2 points per cell at full occupancy: fine enough that the hint vertex
+  // is a handful of triangles from the query, coarse enough that the spiral
+  // search after the sparse bootstrap stays short.
+  const auto dim = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(ordered.size()) / 2.0));
+  grid_dim_ = std::clamp<std::size_t>(dim, 8, 2048);
+  const double w = grid_box_.hi.x - grid_box_.lo.x;
+  const double h = grid_box_.hi.y - grid_box_.lo.y;
+  grid_sx_ = w > 0.0 ? static_cast<double>(grid_dim_ - 1) / w : 0.0;
+  grid_sy_ = h > 0.0 ? static_cast<double>(grid_dim_ - 1) / h : 0.0;
+  grid_.assign(grid_dim_ * grid_dim_, kGhost);
+}
+
+std::size_t ParallelInserter::grid_cell(Vec2 p) const {
+  const double fx = std::max(0.0, (p.x - grid_box_.lo.x) * grid_sx_);
+  const double fy = std::max(0.0, (p.y - grid_box_.lo.y) * grid_sy_);
+  const std::size_t gx =
+      std::min(static_cast<std::size_t>(fx), grid_dim_ - 1);
+  const std::size_t gy =
+      std::min(static_cast<std::size_t>(fy), grid_dim_ - 1);
+  return gy * grid_dim_ + gx;
+}
+
+void ParallelInserter::grid_note(Vec2 p, VertIndex v) {
+  grid_[grid_cell(p)] = v;
+}
+
+VertIndex ParallelInserter::grid_lookup(Vec2 p) const {
+  const std::size_t cell = grid_cell(p);
+  const VertIndex direct = grid_[cell];
+  if (direct != kGhost) return direct;
+  const auto cx = static_cast<std::ptrdiff_t>(cell % grid_dim_);
+  const auto cy = static_cast<std::ptrdiff_t>(cell / grid_dim_);
+  const auto dim = static_cast<std::ptrdiff_t>(grid_dim_);
+  // Deterministic ring search outward from the empty home cell. The grid is
+  // never fully empty once the bootstrap prefix is in, so this terminates.
+  for (std::ptrdiff_t r = 1; r < dim; ++r) {
+    const std::ptrdiff_t x0 = std::max<std::ptrdiff_t>(0, cx - r);
+    const std::ptrdiff_t x1 = std::min(dim - 1, cx + r);
+    const std::ptrdiff_t y0 = std::max<std::ptrdiff_t>(0, cy - r);
+    const std::ptrdiff_t y1 = std::min(dim - 1, cy + r);
+    for (std::ptrdiff_t y = y0; y <= y1; ++y) {
+      const bool edge_row = (y == cy - r || y == cy + r);
+      const std::ptrdiff_t step = edge_row ? 1 : std::max<std::ptrdiff_t>(
+                                                     1, (x1 - x0));
+      for (std::ptrdiff_t x = x0; x <= x1; x += step) {
+        const VertIndex v = grid_[static_cast<std::size_t>(y * dim + x)];
+        if (v != kGhost) return v;
+      }
+    }
+  }
+  return kGhost;
+}
+
+// ---------------------------------------------------------------------------
+// Phase A: read-only speculation.
+
+bool ParallelInserter::spec_locate(Vec2 p, TriIndex start, std::uint32_t& rng,
+                                   LocateResult& res) const {
+  const std::vector<MeshTri>& tris = mesh_.tris_;
+  TriIndex t = start;
+  if (t == kNoTri || tris[static_cast<std::size_t>(t)].dead) return false;
+  if (tris[static_cast<std::size_t>(t)].is_ghost()) {
+    t = tris[static_cast<std::size_t>(t)].n[2];  // its finite partner
+  }
+  // Mirror of DelaunayMesh::locate (same classification, same stochastic
+  // crossing rule) minus every mesh write: last_tri_ and rand_state_ belong
+  // to the commit phase.
+  int came_from = -1;
+  for (std::size_t guard = 0; guard <= 4 * tris.size() + 16; ++guard) {
+    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    double o[3];
+    int neg[3];
+    int nneg = 0;
+    int zero_mask = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (i == came_from) {
+        o[i] = 1.0;
+        continue;
+      }
+      o[i] = orient2d_fast(mesh_.point(mt.v[(i + 1) % 3]),
+                           mesh_.point(mt.v[(i + 2) % 3]), p);
+      if (o[i] < 0.0) neg[nneg++] = i;
+      if (o[i] == 0.0) zero_mask |= 1 << i;
+    }
+    if (nneg == 0) {
+      const int nzero = (zero_mask & 1) + ((zero_mask >> 1) & 1) +
+                        ((zero_mask >> 2) & 1);
+      res.tri = t;
+      if (nzero == 0) {
+        res.kind = LocateResult::Kind::kInside;
+      } else if (nzero == 1) {
+        res.kind = LocateResult::Kind::kOnEdge;
+        res.edge = zero_mask == 1 ? 0 : (zero_mask == 2 ? 1 : 2);
+      } else {
+        int e0 = -1, e1 = -1;
+        for (int i = 0; i < 3; ++i) {
+          if (zero_mask & (1 << i)) (e0 < 0 ? e0 : e1) = i;
+        }
+        res.kind = LocateResult::Kind::kOnVertex;
+        res.edge = 3 - e0 - e1;
+      }
+      return true;
+    }
+    const int cross =
+        neg[nneg == 1 ? 0
+                      : static_cast<int>(spec_rand(rng) %
+                                         static_cast<unsigned>(nneg))];
+    const TriIndex nb = mt.n[cross];
+    const MeshTri& nbt = tris[static_cast<std::size_t>(nb)];
+    if (nbt.is_ghost()) {
+      res.kind = LocateResult::Kind::kOutside;
+      res.tri = nb;
+      return true;
+    }
+    came_from = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (nbt.n[i] == t) {
+        came_from = i;
+        break;
+      }
+    }
+    t = nb;
+  }
+  return false;  // guard tripped; commit re-inserts sequentially
+}
+
+void ParallelInserter::speculate(Vec2 p, std::uint32_t seq_index,
+                                 WorkerScratch& ws, Spec& spec) const {
+  spec.kind = Spec::Kind::kFailed;
+  const VertIndex hv = grid_lookup(p);
+  if (hv == kGhost) return;
+  std::uint32_t rng = walk_seed(seq_index);
+  LocateResult loc;
+  if (!spec_locate(p, mesh_.vert_tri_[static_cast<std::size_t>(hv)], rng,
+                   loc)) {
+    return;
+  }
+  if (loc.kind == LocateResult::Kind::kOnVertex) {
+    spec.kind = Spec::Kind::kDuplicate;
+    spec.dup = mesh_.tris_[static_cast<std::size_t>(loc.tri)].v[loc.edge];
+    return;
+  }
+
+  const std::vector<MeshTri>& tris = mesh_.tris_;
+  if (ws.mark.size() < tris.size()) {
+    ws.mark.resize(tris.size() + tris.size() / 2 + 8, 0);
+  }
+  if (++ws.epoch == 0) {  // stamp wrap: reset marks once per 2^32 points
+    std::fill(ws.mark.begin(), ws.mark.end(), 0u);
+    ws.epoch = 1;
+  }
+  const std::uint32_t epoch = ws.epoch;
+
+  // Same DFS discipline as insert_into_cavity, against the frozen mesh.
+  spec.cavity.clear();
+  spec.boundary.clear();
+  ws.stack.clear();
+  TriIndex seeds[2];
+  std::size_t nseeds = 1;
+  seeds[0] = loc.tri;
+  if (loc.kind == LocateResult::Kind::kOnEdge) {
+    seeds[1] = tris[static_cast<std::size_t>(loc.tri)].n[loc.edge];
+    nseeds = 2;
+  }
+  for (std::size_t s = 0; s < nseeds; ++s) {
+    ws.stack.push_back(seeds[s]);
+    ws.mark[static_cast<std::size_t>(seeds[s])] = epoch;
+  }
+  while (!ws.stack.empty()) {
+    const TriIndex t = ws.stack.back();
+    ws.stack.pop_back();
+    spec.cavity.push_back(t);
+    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const TriIndex nb = mt.n[i];
+      if (nb == kNoTri || ws.mark[static_cast<std::size_t>(nb)] == epoch) {
+        continue;
+      }
+      if (mesh_.in_cavity(nb, p)) {
+        ws.mark[static_cast<std::size_t>(nb)] = epoch;
+        ws.stack.push_back(nb);
+      }
+    }
+  }
+  for (const TriIndex t : spec.cavity) {
+    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const TriIndex nb = mt.n[i];
+      if (nb != kNoTri && ws.mark[static_cast<std::size_t>(nb)] == epoch) {
+        continue;
+      }
+      int nb_edge = -1;
+      const MeshTri& nbt = tris[static_cast<std::size_t>(nb)];
+      for (int j = 0; j < 3; ++j) {
+        if (nbt.n[j] == t) {
+          nb_edge = j;
+          break;
+        }
+      }
+      spec.boundary.push_back({mt.v[(i + 1) % 3], mt.v[(i + 2) % 3], nb,
+                               nb_edge, mt.is_ghost() ? true : mt.inside});
+    }
+  }
+  spec.kind = Spec::Kind::kCavity;
+}
+
+void ParallelInserter::speculate_stride(int worker) {
+  WorkerScratch& ws = scratch_[static_cast<std::size_t>(worker)];
+  const std::vector<Vec2>& ordered = *ordered_;
+  for (std::size_t j = static_cast<std::size_t>(worker);
+       j < window_end_ - window_begin_;
+       j += static_cast<std::size_t>(threads_)) {
+    const std::size_t seq = window_begin_ + j;
+    speculate(ordered[seq], static_cast<std::uint32_t>(seq), ws, specs_[j]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: serial commit.
+
+bool ParallelInserter::spec_valid(const Spec& spec) const {
+  const std::vector<MeshTri>& tris = mesh_.tris_;
+  const auto untouched = [&](TriIndex t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (tris[i].dead) return false;
+    return i >= touched_.size() || touched_[i] != window_id_;
+  };
+  // A speculation stays exact iff nothing it read moved: every cavity
+  // member and every boundary-outside neighbor must be alive and unlinked
+  // since the window froze. (An alive, untouched triangle still has the
+  // vertices and adjacency the speculation saw -- commits only relink the
+  // neighbors of the fresh star, and those are all stamped.)
+  for (const TriIndex t : spec.cavity) {
+    if (!untouched(t)) return false;
+  }
+  for (const SpecEdge& be : spec.boundary) {
+    if (!untouched(be.outside)) return false;
+  }
+  return true;
+}
+
+void ParallelInserter::stamp_neighbors_of_fresh(std::size_t tris_before) {
+  if (touched_.size() < mesh_.tris_.size()) {
+    touched_.resize(mesh_.tris_.size() + mesh_.tris_.size() / 2 + 8, 0);
+  }
+  for (std::size_t f = tris_before; f < mesh_.tris_.size(); ++f) {
+    for (const TriIndex nb : mesh_.tris_[f].n) {
+      if (nb != kNoTri && static_cast<std::size_t>(nb) < tris_before) {
+        touched_[static_cast<std::size_t>(nb)] = window_id_;
+      }
+    }
+  }
+}
+
+VertIndex ParallelInserter::commit_replay(Vec2 p, const Spec& spec) {
+  DelaunayMesh& m = mesh_;
+  const std::size_t tris_before = m.tris_.size();
+  const auto vi = static_cast<VertIndex>(m.points_.size());
+  m.points_.push_back(p);
+  m.vert_tri_.push_back(kNoTri);
+
+  // The star-retriangulation half of insert_into_cavity, fed from the
+  // recorded boundary instead of a fresh DFS: all predicate work already
+  // happened in phase A. Plain construction has no constrained edges, so
+  // the constraint wiring of the sequential path is omitted (it would only
+  // re-store `false`).
+  if (m.fan_start_.size() < m.points_.size() + 1) {
+    m.fan_start_.resize(m.points_.size() + m.points_.size() / 2 + 2, kNoTri);
+  }
+  m.fresh_.clear();
+  for (const SpecEdge& be : spec.boundary) {
+    const TriIndex nt = m.new_tri();
+    MeshTri& t = m.tris_[static_cast<std::size_t>(nt)];
+    if (be.a == kGhost) {
+      t.v = {be.b, vi, kGhost};
+      t.inside = false;
+    } else if (be.b == kGhost) {
+      t.v = {vi, be.a, kGhost};
+      t.inside = false;
+    } else {
+      t.v = {vi, be.a, be.b};
+      t.inside = be.inside_region;
+      ++m.live_finite_;
+    }
+    const int s_ab = t.index_of(vi);
+    m.link(nt, s_ab, be.outside, be.outside_edge);
+    TriIndex& start = m.fan_start_[static_cast<std::size_t>(be.a + 1)];
+    if (start == kNoTri) start = nt;
+    m.fresh_.push_back(nt);
+  }
+  for (std::size_t idx = 0; idx < spec.boundary.size(); ++idx) {
+    const SpecEdge& be = spec.boundary[idx];
+    const TriIndex nt = m.fresh_[idx];
+    const TriIndex mt2 = m.fan_start_[static_cast<std::size_t>(be.b + 1)];
+    const int slot_nt = m.tris_[static_cast<std::size_t>(nt)].index_of(be.a);
+    const MeshTri& m2 = m.tris_[static_cast<std::size_t>(mt2)];
+    int slot_m2 = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (m2.v[i] != vi && m2.v[i] != be.b) {
+        slot_m2 = i;
+        break;
+      }
+    }
+    m.link(nt, slot_nt, mt2, slot_m2);
+  }
+  for (const SpecEdge& be : spec.boundary) {
+    m.fan_start_[static_cast<std::size_t>(be.a + 1)] = kNoTri;
+  }
+  for (const TriIndex t : spec.cavity) m.kill_tri(t);
+  for (const TriIndex t : m.fresh_) m.set_vert_tri(t);
+  m.last_tri_ = m.fresh_[0];
+  for (const TriIndex t : m.fresh_) {
+    if (!m.tris_[static_cast<std::size_t>(t)].is_ghost()) {
+      m.last_tri_ = t;
+      break;
+    }
+  }
+  stamp_neighbors_of_fresh(tris_before);
+  return vi;
+}
+
+VertIndex ParallelInserter::commit_fallback(Vec2 p) {
+  const std::size_t tris_before = mesh_.tris_.size();
+  const VertIndex hv = grid_lookup(p);
+  const TriIndex hint =
+      hv == kGhost ? kNoTri : mesh_.vert_tri_[static_cast<std::size_t>(hv)];
+  const VertIndex vi =
+      mesh_.insert_point(p, /*respect_constraints=*/false, hint);
+  stamp_neighbors_of_fresh(tris_before);
+  return vi;
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+bool ParallelInserter::run(const std::vector<Vec2>& ordered,
+                           std::vector<VertIndex>* ids) {
+  AERO_TRACE_SPAN("delaunay", "parallel_insert");
+  const std::size_t n = ordered.size();
+  if (n < 3) return false;
+
+  // Bootstrap a sequential prefix so the frozen mesh the first window
+  // speculates against is dense enough for short walks. A fully collinear
+  // prefix grows until a non-collinear triple appears.
+  std::size_t prefix = std::min(kBootstrapPoints, n);
+  std::vector<VertIndex> boot_ids;
+  for (;;) {
+    const std::vector<Vec2> pre(ordered.begin(),
+                                ordered.begin() +
+                                    static_cast<std::ptrdiff_t>(prefix));
+    if (mesh_.triangulate(pre, &boot_ids)) break;
+    if (prefix == n) return false;  // every input point collinear
+    prefix = std::min(n, prefix * 2);
+  }
+  if (ids) {
+    ids->assign(n, kGhost);
+    std::copy(boot_ids.begin(), boot_ids.end(), ids->begin());
+  }
+
+  build_grid(ordered);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    grid_note(ordered[i], boot_ids[i]);
+  }
+  touched_.assign(mesh_.tris_.size() + mesh_.tris_.size() / 2 + 8, 0);
+  window_id_ = 0;
+  ordered_ = &ordered;
+  stats_ = Stats{};
+
+  const auto commit_window = [&] {
+    const std::size_t count = window_end_ - window_begin_;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t seq = window_begin_ + j;
+      const Vec2 p = ordered[seq];
+      Spec& spec = specs_[j];
+      VertIndex vi;
+      switch (spec.kind) {
+        case Spec::Kind::kDuplicate:
+          vi = spec.dup;
+          ++stats_.duplicates;
+          break;
+        case Spec::Kind::kCavity:
+          if (spec_valid(spec)) {
+            vi = commit_replay(p, spec);
+            ++stats_.replayed;
+          } else {
+            ++stats_.conflicts;
+            ++stats_.fallbacks;
+            vi = commit_fallback(p);
+          }
+          break;
+        case Spec::Kind::kFailed:
+        default:
+          ++stats_.fallbacks;
+          vi = commit_fallback(p);
+          break;
+      }
+      if (ids) (*ids)[seq] = vi;
+      grid_note(p, vi);
+    }
+    stats_.speculated += count;
+    ++stats_.windows;
+  };
+
+  const auto prepare_window = [&](std::size_t next) {
+    window_begin_ = next;
+    window_end_ = next + window_size(next, n - next);
+    ++window_id_;
+    const std::size_t count = window_end_ - window_begin_;
+    if (specs_.size() < count) specs_.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      specs_[j].kind = Spec::Kind::kFailed;
+    }
+  };
+
+  if (threads_ <= 1 || n - prefix < kMinWindow) {
+    for (std::size_t next = prefix; next < n; next = window_end_) {
+      prepare_window(next);
+      speculate_stride(0);
+      commit_window();
+    }
+  } else {
+    // Persistent worker team; the two barriers alternate speculate (all
+    // threads, mesh frozen) and commit (main thread only, workers parked at
+    // the start barrier). Each arrive_and_wait is a full synchronization
+    // point, so phase-A reads and phase-B writes never overlap.
+    std::barrier start_phase(threads_);
+    std::barrier end_phase(threads_);
+    stop_workers_ = false;
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w) {
+      team.emplace_back([this, w, &start_phase, &end_phase] {
+        for (;;) {
+          start_phase.arrive_and_wait();
+          if (stop_workers_) break;
+          try {
+            speculate_stride(w);
+          } catch (...) {
+            // Slots this worker did not finish stay kFailed; the commit
+            // phase re-inserts them sequentially (and re-raises any real
+            // resource failure on the main thread).
+          }
+          end_phase.arrive_and_wait();
+        }
+      });
+    }
+    try {
+      for (std::size_t next = prefix; next < n; next = window_end_) {
+        prepare_window(next);
+        start_phase.arrive_and_wait();
+        try {
+          speculate_stride(0);
+        } catch (...) {
+        }
+        end_phase.arrive_and_wait();
+        commit_window();
+      }
+      stop_workers_ = true;
+      start_phase.arrive_and_wait();
+    } catch (...) {
+      stop_workers_ = true;
+      start_phase.arrive_and_wait();
+      for (std::thread& t : team) t.join();
+      throw;
+    }
+    for (std::thread& t : team) t.join();
+  }
+
+  ordered_ = nullptr;
+  mesh_.input_point_count_ = mesh_.points_.size();
+  return true;
+}
+
+}  // namespace aero

@@ -1,0 +1,172 @@
+#pragma once
+
+// Intra-rank parallel Bowyer-Watson construction.
+//
+// The insertion sequence is fixed up front (the caller passes the already
+// permuted point array), so the triangulation to produce is *defined* before
+// any thread runs: plain Bowyer-Watson construction never legalizes and its
+// cavity is the exact-predicate set {t : p strictly in circumdisk(t)}, a pure
+// function of the committed mesh and the point. Parallelism therefore cannot
+// be allowed to change the answer -- only to precompute it.
+//
+// The engine runs speculate-parallel / commit-serial windows over the
+// insertion sequence:
+//
+//   Phase A (parallel, read-only): the worker team speculates every point of
+//   the current window against the frozen mesh -- grid-hinted locate walk,
+//   cavity DFS with exact in-circle predicates, boundary-cycle collection --
+//   into per-thread scratch. No thread writes the mesh, the walk PRNG is
+//   derived per point (splitmix64 of the point's sequence index), and the
+//   visit marks are per-thread, so a speculation's content is a pure function
+//   of (frozen mesh, point index): identical for every thread count.
+//
+//   Phase B (serial, main thread): commit in sequence order. A speculation is
+//   valid iff every triangle it read (cavity members and boundary-outside
+//   neighbors) is still alive and untouched by earlier commits of the same
+//   window; a valid one replays its recorded star retriangulation with zero
+//   predicate work, an invalidated one falls back to the ordinary sequential
+//   insert. Conflicts between two points of one window thus resolve by the
+//   deterministic priority the ISSUE asks for -- the lower sequence index
+//   commits speculatively, the higher one re-inserts against the updated
+//   mesh -- and the result is bit-identical to inserting the same sequence
+//   sequentially, for every input (including cocircular and duplicate
+//   degeneracies, which simply invalidate and take the fallback).
+//
+// The two phases are separated by a std::barrier, which gives every phase-A
+// read a happens-before edge from the previous phase-B writes and vice
+// versa: the mesh needs no locks and no atomics, and the engine is clean
+// under TSan by construction (the kernel_tsan ctest entry pins this).
+//
+// Window sizing and the speculation schedule depend only on committed
+// progress, never on the thread count, so T=1 and T=8 runs execute the same
+// speculations and the same commits. The T=1 path runs the identical code
+// inline (no threads, no barrier) and is the baseline bench_kernel's
+// strong-scaling case measures against.
+
+#include <cstdint>
+#include <vector>
+
+#include "delaunay/mesh.hpp"
+#include "geom/bbox.hpp"
+#include "obs/annotations.hpp"
+
+namespace aero {
+
+/// Deterministic multi-threaded incremental construction over a fixed
+/// insertion sequence. Friend of DelaunayMesh: phase B replays recorded
+/// cavities through the same mutation sequence insert_into_cavity performs.
+class ParallelInserter {
+ public:
+  /// Counters for benches/tests: how speculation fared.
+  struct Stats {
+    std::size_t windows = 0;
+    std::size_t speculated = 0;   ///< points speculated in phase A
+    std::size_t replayed = 0;     ///< valid speculations committed by replay
+    std::size_t conflicts = 0;    ///< invalidated by an earlier commit
+    std::size_t fallbacks = 0;    ///< walk failures + conflicts, re-inserted
+    std::size_t duplicates = 0;   ///< merged onto an existing vertex
+  };
+
+  /// `threads` <= 1 runs the identical windowed algorithm inline.
+  ParallelInserter(DelaunayMesh& mesh, int threads);
+
+  /// Triangulate `ordered` (already permuted into insertion order) into the
+  /// mesh, exactly as mesh.triangulate(ordered, ids) would, including the
+  /// duplicate-merging `ids` output. Returns false if all points are
+  /// collinear. The mesh is reset first (same contract as triangulate()).
+  bool run(const std::vector<Vec2>& ordered, std::vector<VertIndex>* ids);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Sequential prefix bootstrapped before the windowed loop starts; also
+  /// the minimum cloud size for which triangulate() engages this engine.
+  static constexpr std::size_t kBootstrapPoints = 1024;
+
+ private:
+  /// One directed boundary edge of a speculated cavity (the subset of
+  /// DelaunayMesh::CavityEdge plain construction needs: constraints do not
+  /// exist yet, and during construction every region flag is `inside`).
+  struct SpecEdge {
+    VertIndex a, b;
+    TriIndex outside;
+    int outside_edge;
+    bool inside_region;
+  };
+
+  /// Phase-A result for one point of the window.
+  struct Spec {
+    enum class Kind : std::uint8_t {
+      kFailed,     ///< walk did not terminate cleanly; commit re-inserts
+      kDuplicate,  ///< coincides with vertex `dup`
+      kCavity,     ///< recorded cavity + boundary ready for replay
+    };
+    Kind kind = Kind::kFailed;
+    VertIndex dup = kGhost;
+    std::vector<TriIndex> cavity;
+    std::vector<SpecEdge> boundary;
+  };
+
+  /// Per-worker read-only scratch (epoch-stamped visit marks + DFS stack).
+  struct WorkerScratch {
+    std::vector<std::uint32_t> mark;
+    std::uint32_t epoch = 0;
+    std::vector<TriIndex> stack;
+  };
+
+  void build_grid(const std::vector<Vec2>& ordered);
+  std::size_t grid_cell(Vec2 p) const;
+  void grid_note(Vec2 p, VertIndex v);
+  VertIndex grid_lookup(Vec2 p) const;
+
+  /// Read-only stochastic walk (mirrors DelaunayMesh::locate) with a local
+  /// PRNG; returns false when the guard trips (spec falls back).
+  bool spec_locate(Vec2 p, TriIndex start, std::uint32_t& rng,
+                   LocateResult& res) const;
+  /// Speculate one point into `spec` using this worker's scratch.
+  void speculate(Vec2 p, std::uint32_t seq_index, WorkerScratch& ws,
+                 Spec& spec) const;
+  /// Phase-A body for one worker: speculate window positions
+  /// `worker`, `worker + threads_`, ... of [window_begin_, window_end_).
+  void speculate_stride(int worker);
+
+  /// True iff every triangle `spec` read is alive and untouched this window.
+  bool spec_valid(const Spec& spec) const;
+  /// Replay a valid speculation (the star-retriangulation half of
+  /// insert_into_cavity, fed from the recorded lists; no predicates).
+  VertIndex commit_replay(Vec2 p, const Spec& spec);
+  /// Sequential re-insert for failed/invalidated speculations.
+  VertIndex commit_fallback(Vec2 p);
+  /// Mark the old triangles a commit relinked (neighbors of fresh ids).
+  void stamp_neighbors_of_fresh(std::size_t tris_before);
+
+  DelaunayMesh& mesh_;
+  const int threads_;
+  Stats stats_;
+
+  const std::vector<Vec2>* ordered_ = nullptr;
+
+  // Window control block. Written by the main thread strictly between
+  // barrier phases; workers read it only inside phase A. The barrier pair
+  // orders every write before every read, so none of this needs atomics.
+  std::size_t window_begin_ AERO_SHARED_STATE("written between barriers") = 0;
+  std::size_t window_end_ AERO_SHARED_STATE("written between barriers") = 0;
+  bool stop_workers_ AERO_SHARED_STATE("written between barriers") = false;
+  /// Slot j = window position j; worker-disjoint writes in phase A (reused).
+  std::vector<Spec> specs_ AERO_SHARED_STATE("worker-disjoint slots");
+  std::vector<WorkerScratch> scratch_;  ///< one per worker, self-owned
+
+  // Commit-side bookkeeping (main thread only).
+  std::uint32_t window_id_ = 0;
+  std::vector<std::uint32_t> touched_;  ///< tri -> last window that relinked it
+
+  // Committed-vertex hint grid for the locate walk under scatter order
+  // (consecutive points are spatially unrelated, so walk-from-last loses
+  // its O(1) locality; walk-from-nearest-committed-vertex restores it).
+  // Updated at commit (serial), read frozen during phase A.
+  BBox2 grid_box_;
+  double grid_sx_ = 0.0, grid_sy_ = 0.0;
+  std::size_t grid_dim_ = 0;
+  std::vector<VertIndex> grid_;
+};
+
+}  // namespace aero

@@ -80,7 +80,13 @@ std::vector<InviscidSubdomain> plus_split(const InviscidSubdomain& sub,
 /// (plus hole borders) with Ruppert refinement bounded by sqrt(2) and the
 /// graded sizing. Shared border segments are protected from splitting; the
 /// decoupling spacing guarantees refinement never needs to split them.
+///
+/// `threads` parallelizes only the refiner's initial scan (see
+/// RefineOptions::threads) — never the border triangulation — so the
+/// subdomain mesh is identical at every thread count. That invariance is
+/// what lets threads_per_rank stay out of the service cache key.
 TriangulateResult refine_subdomain(const InviscidSubdomain& sub,
-                                   const GradedSizing& sizing);
+                                   const GradedSizing& sizing,
+                                   int threads = 1);
 
 }  // namespace aero

@@ -90,6 +90,19 @@
 /// with the `relaxed` qualifier), published (release/acquire data handoff).
 #define AERO_ATOMIC_ROLE(...)
 
+/// Declares shared mutable state in the Delaunay/geometry kernel modules
+/// and names its synchronization discipline for the kernel-shared-state
+/// audit:
+///   mutable TriIndex last_tri_ AERO_SHARED_STATE("main thread only");
+/// The audit (tools/aerolint/kernel_state.py) flags every `mutable` member,
+/// namespace-scope mutable global, and function-local `static` in
+/// src/delaunay and src/geom that lacks this annotation: each one is state
+/// the multi-threaded kernel insert path could reach, and each must declare
+/// who may touch it (phase-barrier ownership, main-thread-only, per-thread).
+/// `thread_local`, `const`, `constexpr`, and std::atomic declarations are
+/// exempt (per-thread or immutable or covered by the atomics audit).
+#define AERO_SHARED_STATE(...)
+
 namespace aero {
 
 /// std::mutex wrapped as a Clang capability. Same cost, same semantics; the

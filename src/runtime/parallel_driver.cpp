@@ -210,6 +210,7 @@ ParallelMeshResult parallel_generate_mesh(const Options& opts,
   tuning.heartbeat_timeout =
       std::chrono::milliseconds(opts.heartbeat_timeout_ms);
   tuning.watchdog_timeout = std::chrono::seconds(scaled_watchdog_seconds(opts));
+  tuning.threads_per_rank = opts.threads_per_rank;
   ResilienceOptions resilience;
   resilience.budget.wall_ms = opts.budget_wall_ms;
   resilience.budget.peak_rss_mb = opts.budget_rss_mb;

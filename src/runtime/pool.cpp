@@ -279,7 +279,8 @@ void expand_unit(const GradedSizing& sizing, const PoolOptions& opts,
     std::vector<InviscidSubdomain> kids;
     if (!leaf) kids = plus_split(unit.inv, sizing);
     if (leaf || kids.empty()) {
-      const TriangulateResult r = refine_subdomain(unit.inv, sizing);
+      const TriangulateResult r =
+          refine_subdomain(unit.inv, sizing, opts.tuning.threads_per_rank);
       r.mesh.for_each_triangle([&](TriIndex t) {
         const MeshTri& mt = r.mesh.tri(t);
         if (!mt.inside) return;

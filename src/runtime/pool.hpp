@@ -38,6 +38,11 @@ struct PoolTuning {
   /// Global bound on the whole run (including the result gather). When it
   /// expires the pool is force-terminated and reports RunStatus::kFailed.
   std::chrono::seconds watchdog_timeout{120};
+  /// Intra-rank threads for each subdomain refinement (RefineOptions::
+  /// threads on the mesher's refine_subdomain calls). Performance-only:
+  /// the refined subdomain mesh is identical at every value, so this is
+  /// runtime tuning like the timeouts above, never mesh-defining.
+  int threads_per_rank = 1;
 };
 
 /// Run-level budget enforced by the pool's monitor thread. Unlike the

@@ -1,0 +1,36 @@
+// Fixture: kernel-shared-state violations (and exempt forms) on the
+// Delaunay kernel path. Four seeded findings: two unannotated mutable
+// members, one non-const namespace-scope global, one non-const
+// function-local static. The const/constexpr/thread_local/atomic and
+// AERO_SHARED_STATE-annotated declarations below must stay quiet.
+#pragma once
+
+namespace aero {
+
+int g_walk_restarts = 0;                       // finding: mutable global
+constexpr int kWalkGuard = 64;                 // quiet: constexpr
+thread_local int tl_walk_depth = 0;            // quiet: thread_local
+
+class LocateScratch {
+ public:
+  int hint() const;
+
+ private:
+  mutable int last_tri_ = -1;                  // finding: unannotated
+  mutable unsigned rng_state_ = 1u;            // finding: unannotated
+  mutable int hits_ AERO_SHARED_STATE("main thread only") = 0;  // quiet
+  std::atomic<int> epoch_ AERO_ATOMIC_ROLE(counter){0};         // quiet
+  int capacity_ = 0;                           // quiet: not mutable
+};
+
+inline int next_probe_id() {
+  static int counter = 0;                      // finding: mutable static
+  return ++counter;
+}
+
+inline int probe_limit() {
+  static const int limit = 128;                // quiet: const static
+  return limit;
+}
+
+}  // namespace aero

@@ -4,7 +4,7 @@
 Dependency-free (stdlib only). On top of the per-line heritage rules
 (geom-predicates, determinism, no-raw-clock, no-stdout, naked-new,
 runtime-throw, payload-copy, unchecked-io, layering, public-api), a C++
-lexer + declaration model drives four whole-program analyses:
+lexer + declaration model drives five whole-program analyses:
 
   locks        lock-table / lock-order / lock-blocking: every runtime/obs/
                io mutex is named+ranked (AERO_LOCK_NAME), nested
@@ -18,6 +18,12 @@ lexer + declaration model drives four whole-program analyses:
                published) checked against its memory orders and accesses.
   status       unchecked-status: [[nodiscard]] results (RunStatus,
                journal/checkpoint I/O, Options::validate()) must be used.
+  kernel_state kernel-shared-state: mutable members, non-const globals,
+               and function-local statics reachable from the Delaunay
+               insert path (src/delaunay, src/geom) declare their
+               threading discipline with AERO_SHARED_STATE(why); atomics
+               and thread_local/const state are exempt (owned by the
+               audits above / safe by construction).
 
 Escapes: `// aerolint: allow(rule)` for the heritage rules;
 `// aerolint: allow(rule: reason)` (reason REQUIRED) for the analyses.

@@ -34,7 +34,7 @@ REASON_REQUIRED = frozenset({
     "lock-table", "lock-order", "lock-blocking",
     "det-unordered-iter", "det-pointer-key", "det-clock",
     "atomic-role", "atomic-order", "atomic-implicit", "atomic-mixed",
-    "unchecked-status",
+    "unchecked-status", "kernel-shared-state",
 })
 
 ANALYSIS_OF_RULE = {
@@ -44,6 +44,7 @@ ANALYSIS_OF_RULE = {
     "atomic-role": "atomics", "atomic-order": "atomics",
     "atomic-implicit": "atomics", "atomic-mixed": "atomics",
     "unchecked-status": "status",
+    "kernel-shared-state": "kernel_state",
 }
 
 
@@ -141,6 +142,7 @@ class Engine(object):
     def run(self):
         import atomics
         import determinism
+        import kernel_state
         import locks
         import status
 
@@ -153,6 +155,7 @@ class Engine(object):
         determinism.analyze(self)
         atomics.analyze(self)
         status.analyze(self)
+        kernel_state.analyze(self)
         self.findings.sort(key=lambda f: (f.relpath, f.line, f.rule))
         return self.findings
 

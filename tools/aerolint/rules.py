@@ -307,4 +307,8 @@ RULE_HELP = {
     "atomic-mixed": "no byte-level access to atomic-bearing memory",
     "unchecked-status": "[[nodiscard]] results (RunStatus, journal I/O, "
                         "validate()) must be used",
+    "kernel-shared-state": "mutable members, non-const globals, and "
+                           "function-local statics on the Delaunay kernel "
+                           "path declare their threading discipline "
+                           "(AERO_SHARED_STATE)",
 }

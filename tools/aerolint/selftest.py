@@ -6,7 +6,7 @@ mandatory reason for the analyses).
 
 Run with `python3 tools/aerolint --self-test`, or via the
 `aerolint_selftest` ctest entry, which is the single consolidated
-invocation covering all 21 rules.
+invocation covering all 22 rules.
 """
 
 import os
@@ -575,6 +575,86 @@ class StHolder {
   }
  private:
   StSink sink;
+};
+}  // namespace aero
+"""}),
+    # ---- kernel shared state ---------------------------------------------
+    dict(
+        name="kernel-shared-state: unannotated mutable member in scope",
+        rule="kernel-shared-state",
+        bad={DL: """
+namespace aero {
+class StCache {
+ public:
+  int probe() const;
+ private:
+  mutable int last_hit_ = 0;
+};
+}  // namespace aero
+"""},
+        good={DL: """
+namespace aero {
+class StCache {
+ public:
+  int probe() const;
+ private:
+  mutable int last_hit_ AERO_SHARED_STATE("main thread only") = 0;
+};
+}  // namespace aero
+"""}),
+    dict(
+        name="kernel-shared-state: non-const namespace-scope global",
+        rule="kernel-shared-state",
+        bad={GM: """
+namespace aero {
+int st_filter_failures = 0;
+}  // namespace aero
+"""},
+        good={GM: """
+namespace aero {
+constexpr int st_filter_limit = 8;
+thread_local int st_filter_failures = 0;
+}  // namespace aero
+"""}),
+    dict(
+        name="kernel-shared-state: non-const function-local static",
+        rule="kernel-shared-state",
+        bad={DL: """
+namespace aero {
+inline int st_next_id() {
+  static int counter = 0;
+  return ++counter;
+}
+}  // namespace aero
+"""},
+        good={DL: """
+namespace aero {
+inline int st_limit() {
+  static const int limit = 64;
+  return limit;
+}
+}  // namespace aero
+"""}),
+    dict(
+        name="kernel-shared-state: out of scope (src/core) stays quiet",
+        rule="kernel-shared-state",
+        bad={DL: """
+namespace aero {
+class StDirty {
+ public:
+  int get() const;
+ private:
+  mutable int seen_ = 0;
+};
+}  // namespace aero
+"""},
+        good={CR: """
+namespace aero {
+class StDirty {
+ public:
+  int get() const;
+ private:
+  mutable int seen_ = 0;
 };
 }  // namespace aero
 """}),

@@ -23,6 +23,21 @@ noise tolerance as wall_ms; the p99 ceiling uses its own ``--p99-tolerance``
 scheduling jitter and legitimately swings far more than a mean under load.
 Reports without the counters (every other bench) are unaffected.
 
+Per-counter gates: a ``<report>.tolerances.json`` sidecar next to the
+*baseline* report opts individual counters into gating with their own
+tolerance, replacing the old one-global-flag-fits-all scheme. Schema::
+
+  { "speedup_4t":  {"tolerance": 0.50, "higher_is_better": true},
+    "threads_4_s": {"tolerance": 0.50},
+    "refine_triangles": {"tolerance": 0.0} }
+
+``higher_is_better`` flips the regression direction (a speedup falling below
+``baseline * (1 - tolerance)`` fails; the default direction fails when the
+counter rises above ``baseline * (1 + tolerance)``). ``tolerance: 0`` pins a
+deterministic counter exactly. Counters absent from the sidecar keep the old
+behavior: printed with a ``(changed)`` marker, never gated. Entries whose
+value is not an object are ignored (room for ``_comment`` keys).
+
 Exit codes: 0 ok, 1 regression or malformed input, 77 soft-skip (either side
 has no reports -- e.g. the benches were never run in this build tree; the
 ctest entry maps 77 to SKIPPED so a test-only checkout stays green).
@@ -43,20 +58,58 @@ SKIP = 77
 
 
 def collect(path):
-    """Map report basename -> parsed JSON for a file or a directory."""
+    """Map report basename -> (parsed JSON, file path) for a file or dir."""
     if os.path.isfile(path):
         files = [path]
     else:
-        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        files = sorted(f for f in glob.glob(os.path.join(path, "BENCH_*.json"))
+                       if not f.endswith(".tolerances.json"))
     reports = {}
     for f in files:
         try:
             with open(f, encoding="utf-8") as fh:
-                reports[os.path.basename(f)] = json.load(fh)
+                reports[os.path.basename(f)] = (json.load(fh), f)
         except (OSError, json.JSONDecodeError) as e:
             print(f"bench_compare: cannot read {f}: {e}", file=sys.stderr)
             sys.exit(1)
     return reports
+
+
+def load_tolerances(baseline_file):
+    """Per-counter gate spec from the baseline's .tolerances.json sidecar.
+
+    Returns {counter: {"tolerance": float, "higher_is_better": bool}}; empty
+    when there is no sidecar. A malformed sidecar is an error (exit 1): a
+    typo silently ungating every counter is exactly what the sidecar is
+    meant to prevent.
+    """
+    sidecar = baseline_file + ".tolerances.json"
+    if not os.path.isfile(sidecar):
+        return {}
+    try:
+        with open(sidecar, encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {sidecar}: {e}", file=sys.stderr)
+        sys.exit(1)
+    spec = {}
+    for key, entry in raw.items():
+        if not isinstance(entry, dict):
+            continue  # room for "_comment" keys
+        try:
+            tol = float(entry["tolerance"])
+        except (KeyError, TypeError, ValueError):
+            print(f"bench_compare: {sidecar}: entry {key!r} needs a numeric "
+                  f"'tolerance'", file=sys.stderr)
+            sys.exit(1)
+        if tol < 0:
+            print(f"bench_compare: {sidecar}: entry {key!r} has a negative "
+                  f"tolerance", file=sys.stderr)
+            sys.exit(1)
+        spec[key] = {"tolerance": tol,
+                     "higher_is_better": bool(entry.get("higher_is_better",
+                                                        False))}
+    return spec
 
 
 def throughput_counter(report, key):
@@ -109,7 +162,8 @@ def main():
 
     failed = []
     for name in shared:
-        b, c = base[name], cur[name]
+        (b, b_file), (c, _) = base[name], cur[name]
+        gated = load_tolerances(b_file)
         try:
             b_wall, c_wall = float(b["wall_ms"]), float(c["wall_ms"])
         except (KeyError, TypeError, ValueError):
@@ -165,8 +219,34 @@ def main():
         c_counters = c.get("counters", {})
         for key in sorted(set(b_counters) & set(c_counters)):
             bv, cv = b_counters[key], c_counters[key]
-            marker = "" if bv == cv else "  (changed)"
-            print(f"  {key}: {bv} -> {cv}{marker}")
+            if key in gated:
+                spec = gated[key]
+                try:
+                    bf, cf = float(bv), float(cv)
+                except (TypeError, ValueError):
+                    print(f"{name}: counter {key} is gated but not numeric")
+                    return 1
+                tol = spec["tolerance"]
+                if spec["higher_is_better"]:
+                    bound = bf * (1.0 - tol)
+                    bad = cf < bound
+                    bound_name = "floor"
+                else:
+                    bound = bf * (1.0 + tol)
+                    bad = cf > bound
+                    bound_name = "ceiling"
+                verdict = "ok"
+                if bad:
+                    verdict = "REGRESSION"
+                    failed.append(name)
+                print(f"  {key}: {bv} -> {cv} ({bound_name} {bound:g}) "
+                      f"{verdict}")
+            else:
+                marker = "" if bv == cv else "  (changed)"
+                print(f"  {key}: {bv} -> {cv}{marker}")
+        for key in sorted(set(gated) - (set(b_counters) & set(c_counters))):
+            print(f"  {key}: gated by sidecar but missing from a report; "
+                  f"not compared")
 
     skipped = sorted(set(base) ^ set(cur))
     for name in skipped:
