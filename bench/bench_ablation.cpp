@@ -114,13 +114,16 @@ int main() {
   // --- 4. scheduling policy in the cluster model ---------------------------
   {
     std::printf("ablation 4: largest-first vs smallest-first scheduling\n");
-    MeshGeneratorConfig config;
+    Options config;
     config.airfoil = make_three_element(300);
-    config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.22};
-    config.blayer.max_layers = 40;
+    config.growth_kind = GrowthKind::kGeometric;
+    config.first_height = 3e-4;
+    config.growth_ratio = 1.22;
+    config.max_layers = 40;
     config.farfield_chords = 15.0;
     config.inviscid_target_triangles = 15000.0;
-    config.bl_decompose = {.min_points = 1000, .max_level = 12};
+    config.bl_min_points = 1000;
+    config.bl_max_level = 12;
     TaskGraph graph = build_task_graph(config);
 
     const SimResult largest = simulate_cluster(graph, 32, ClusterOptions{});

@@ -23,7 +23,7 @@ namespace {
 /// Isotropic reference: same surfaces, same sizing function, but the
 /// boundary layer region is refined isotropically (quality 20.7 degrees and
 /// the near-body area bound everywhere) instead of anisotropically.
-MergedMesh isotropic_reference(const MeshGeneratorConfig& config,
+MergedMesh isotropic_reference(const Options& config,
                                const GradedSizing& sizing,
                                double wall_length, double band) {
   // Distance field over the near-body region: inside `band` of a surface the
@@ -92,10 +92,12 @@ std::pair<std::size_t, std::size_t> solve_iterations(const MergedMesh& mesh,
 }  // namespace
 
 int main() {
-  MeshGeneratorConfig config;
+  Options config;
   config.airfoil = make_three_element(260);
-  config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.25};
-  config.blayer.max_layers = 40;
+  config.growth_kind = GrowthKind::kGeometric;
+  config.first_height = 3e-4;
+  config.growth_ratio = 1.25;
+  config.max_layers = 40;
   config.farfield_chords = 8.0;
   config.grade = 0.35;  // coarse shared background: the ratio is about the
                         // near-wall resolution difference
@@ -108,7 +110,7 @@ int main() {
   // Wall resolution ~3x the first boundary-layer cell, banded over the
   // boundary-layer thickness.
   const MergedMesh iso = isotropic_reference(
-      config, aniso.sizing, 1.5 * config.blayer.growth.first_height, 0.012);
+      config, aniso.sizing, 1.5 * config.first_height, 0.012);
 
   const std::size_t n_aniso = aniso.mesh.triangle_count();
   const std::size_t n_iso = iso.triangle_count();

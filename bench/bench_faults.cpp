@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/mesh_generator.hpp"
+#include "core/pipeline_config.hpp"  // aerolint: allow(public-api)
 #include "core/timer.hpp"
 #include "runtime/pool.hpp"
 
@@ -41,17 +42,20 @@ int main() {
     std::printf("crc32 throughput: %.2f GB/s\n", crc_gbps);
   }
 
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(200);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 5e-4, 1.25};
-  cfg.blayer.max_layers = 35;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 5e-4;
+  cfg.growth_ratio = 1.25;
+  cfg.max_layers = 35;
   cfg.farfield_chords = 10.0;
   cfg.inviscid_target_triangles = 6000.0;
-  cfg.bl_decompose = {.min_points = 500, .max_level = 10};
+  cfg.bl_min_points = 500;
+  cfg.bl_max_level = 10;
 
-  const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, cfg.blayer);
+  const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, blayer_options(cfg));
   MergedMesh bl_mesh;
-  triangulate_boundary_layer(bl, cfg.bl_decompose, bl_mesh, nullptr, nullptr);
+  triangulate_boundary_layer(bl, bl_decompose_options(cfg), bl_mesh, nullptr, nullptr);
   const InviscidDomain domain = make_inviscid_domain(bl, cfg, bl_mesh);
 
   PoolOptions opts;

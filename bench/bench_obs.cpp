@@ -58,13 +58,16 @@ int main() {
               span_ns, instant_ns, disabled_ns);
 
   // --- Pipeline cost -------------------------------------------------------
-  MeshGeneratorConfig config;
+  Options config;
   config.airfoil = make_three_element(400);
-  config.blayer.growth = {GrowthKind::kGeometric, 4e-4, 1.2};
-  config.blayer.max_layers = 40;
+  config.growth_kind = GrowthKind::kGeometric;
+  config.first_height = 4e-4;
+  config.growth_ratio = 1.2;
+  config.max_layers = 40;
   config.farfield_chords = 10.0;
   config.inviscid_target_triangles = 200000.0;
-  config.bl_decompose = {.min_points = 800, .max_level = 12};
+  config.bl_min_points = 800;
+  config.bl_max_level = 12;
 
   generate_mesh(config);  // warm-up: fault caches and the allocator
 
@@ -73,7 +76,7 @@ int main() {
   constexpr int kReps = 6;
   std::vector<double> off_s, on_s;
   const auto run_once = [&](bool traced, std::vector<double>& out) {
-    config.trace.enabled = traced;
+    config.trace = traced;
     rec.set_enabled(false);
     rec.reset();
     Timer t;

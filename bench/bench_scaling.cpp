@@ -37,10 +37,12 @@ int main(int argc, char** argv) {
   // --big roughly quadruples the measured mesh (slower, sharper curves).
   const bool big = argc > 1 && std::string_view(argv[1]) == "--big";
 
-  MeshGeneratorConfig config;
+  Options config;
   config.airfoil = make_three_element(big ? 600 : 400);
-  config.blayer.growth = {GrowthKind::kGeometric, big ? 1.5e-4 : 2.5e-4, 1.2};
-  config.blayer.max_layers = 45;
+  config.growth_kind = GrowthKind::kGeometric;
+  config.first_height = big ? 1.5e-4 : 2.5e-4;
+  config.growth_ratio = 1.2;
+  config.max_layers = 45;
   config.farfield_chords = 30.0;
   // Mild gradation, as in the paper's regime (172.7M triangles over a
   // 60-chord box is fine nearly everywhere): this is what makes the
@@ -51,7 +53,8 @@ int main(int argc, char** argv) {
   // Coarse-partitioner granularity: several subdomains per rank at P = 256.
   config.inviscid_target_triangles = big ? 2500.0 : 1500.0;
   config.inviscid_max_level = 16;
-  config.bl_decompose = {.min_points = big ? 600u : 400u, .max_level = 16};
+  config.bl_min_points = big ? 600 : 400;
+  config.bl_max_level = 16;
 
   std::printf("measuring task graph on this machine...\n");
   const TaskGraph graph = build_task_graph(config);
@@ -126,15 +129,18 @@ int main(int argc, char** argv) {
   // transfers on vs. the full-copy mailbox path. Same work, same mesh --
   // the only difference is how many payload bytes ride the fabric.
   std::printf("Transport A/B (real pool, 8 ranks):\n");
-  MeshGeneratorConfig ab = config;
+  Options ab = config;
   ab.airfoil = make_naca0012(200);
-  ab.blayer.growth = {GrowthKind::kGeometric, 5e-4, 1.25};
-  ab.blayer.max_layers = 30;
+  ab.growth_kind = GrowthKind::kGeometric;
+  ab.first_height = 5e-4;
+  ab.growth_ratio = 1.25;
+  ab.max_layers = 30;
   ab.farfield_chords = 10.0;
   ab.grade = 0.05;
   ab.inviscid_target_triangles = 4000.0;
   ab.inviscid_max_level = 10;
-  ab.bl_decompose = {.min_points = 400, .max_level = 10};
+  ab.bl_min_points = 400;
+  ab.bl_max_level = 10;
 
   const auto pool_bytes = [](const ParallelMeshResult& r) {
     return r.bl_pool.comm_bytes + r.inviscid_pool.comm_bytes;

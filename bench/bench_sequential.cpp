@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/mesh_generator.hpp"
+#include "core/pipeline_config.hpp"  // aerolint: allow(public-api)
 #include "delaunay/triangulator.hpp"
 #include <unordered_map>
 
@@ -21,17 +22,20 @@ int main() {
   using namespace aero;
   Timer bench_wall;
 
-  MeshGeneratorConfig config;
+  Options config;
   config.airfoil = make_three_element(400);
-  config.blayer.growth = {GrowthKind::kGeometric, 2e-4, 1.2};
-  config.blayer.max_layers = 45;
+  config.growth_kind = GrowthKind::kGeometric;
+  config.first_height = 2e-4;
+  config.growth_ratio = 1.2;
+  config.max_layers = 45;
   config.farfield_chords = 25.0;
   config.grade = 0.01;
   config.surface_length_factor = 2.0;
   config.inviscid_target_triangles = 100000.0;
-  config.bl_decompose = {.min_points = 2000, .max_level = 12};
+  config.bl_min_points = 2000;
+  config.bl_max_level = 12;
 
-  const BoundaryLayer bl = build_boundary_layer(config.airfoil, config.blayer);
+  const BoundaryLayer bl = build_boundary_layer(config.airfoil, blayer_options(config));
   std::printf("boundary-layer cloud: %zu points\n\n", bl.points.size());
 
   // --- Boundary layer: direct vs decomposed -------------------------------
@@ -50,7 +54,7 @@ int main() {
     Timer t;
     MergedMesh mesh;
     std::size_t nsub;
-    triangulate_boundary_layer(bl, config.bl_decompose, mesh, &nsub, nullptr);
+    triangulate_boundary_layer(bl, bl_decompose_options(config), mesh, &nsub, nullptr);
     t_decomposed = t.seconds();
     tris_decomposed = mesh.triangle_count();
     std::printf("decomposition produced %zu subdomains\n", nsub);
@@ -63,6 +67,10 @@ int main() {
   Timer t_all;
   const MeshGenerationResult full = generate_mesh(config);
   const double t_pipeline = t_all.seconds();
+  // Peak RSS sampled here covers the pipeline (plus the small direct BL
+  // runs above), before the reference's quadedge mesh inflates the process
+  // peak -- this is the number that measures the SoA mesh core.
+  const long pipeline_rss_kb = obs::peak_rss_kb();
   std::printf("\npipeline stages:\n");
   for (const auto& [phase, sec] : full.timings.entries()) {
     std::printf("  %-32s %8.3f s\n", phase.c_str(), sec);
@@ -125,6 +133,14 @@ int main() {
               "[paper: ~98%% (192 s vs 196 s)]\n",
               100.0 * t_reference / t_pipeline);
 
+  // Storage-compactness counter: process peak RSS amortized over the final
+  // mesh. The SoA mesh core's whole point is lowering this; the tolerances
+  // sidecar gates it so a storage regression fails bench_compare.
+  const double rss_per_tri =
+      1024.0 * static_cast<double>(pipeline_rss_kb) /
+      static_cast<double>(full.mesh.triangle_count());
+  std::printf("peak RSS per final triangle: %.1f B/tri\n", rss_per_tri);
+
   obs::BenchReport report;
   report.bench = "bench_sequential";
   report.case_name = "three-element-400";
@@ -139,6 +155,7 @@ int main() {
       {"pipeline_triangles",
        static_cast<double>(full.mesh.triangle_count())},
       {"sequential_efficiency_pct", 100.0 * t_reference / t_pipeline},
+      {"peak_rss_per_triangle_b", rss_per_tri},
   };
   if (write_bench_json(report, "BENCH_sequential.json")) {
     std::printf("wrote BENCH_sequential.json\n");

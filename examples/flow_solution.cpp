@@ -17,10 +17,12 @@ int main() {
   using namespace aero;
   constexpr double kDeg = 3.14159265358979323846 / 180.0;
 
-  MeshGeneratorConfig config;
+  Options config;
   config.airfoil = make_three_element(200);
-  config.blayer.growth = {GrowthKind::kGeometric, 4e-4, 1.25};
-  config.blayer.max_layers = 35;
+  config.growth_kind = GrowthKind::kGeometric;
+  config.first_height = 4e-4;
+  config.growth_ratio = 1.25;
+  config.max_layers = 35;
   config.farfield_chords = 6.0;
   config.grade = 0.4;
 
@@ -33,11 +35,12 @@ int main() {
   const PanelMethod panel(config.airfoil, 5.0 * kDeg);
   std::printf("  lift coefficient Cl = %.3f\n", panel.lift_coefficient());
 
-  const auto& pts = result.mesh.points();
-  std::vector<double> cp(pts.size()), mach(pts.size());
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    cp[i] = panel.pressure_coefficient(pts[i]);
-    mach[i] = panel.mach(pts[i], 0.3);
+  const std::size_t np = result.mesh.point_count();
+  std::vector<double> cp(np), mach(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    const Vec2 p = result.mesh.point(i);
+    cp[i] = panel.pressure_coefficient(p);
+    mach[i] = panel.mach(p, 0.3);
   }
   write_vtk(result.mesh, "flow_pressure.vtk", &cp, "cp");
   write_vtk(result.mesh, "flow_mach.vtk", &mach, "mach");

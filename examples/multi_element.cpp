@@ -15,11 +15,12 @@
 int main() {
   using namespace aero;
 
-  MeshGeneratorConfig config;
+  Options config;
   config.airfoil = make_three_element(360);
-  config.blayer.growth = {GrowthKind::kGeometric, 3e-4, 1.22};
-  config.blayer.max_layers = 40;
-  config.blayer.large_angle_deg = 20.0;
+  config.growth_kind = GrowthKind::kGeometric;
+  config.first_height = 3e-4;
+  config.growth_ratio = 1.22;
+  config.max_layers = 40;
   config.farfield_chords = 15.0;
 
   std::printf("Elements:\n");

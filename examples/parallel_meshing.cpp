@@ -39,7 +39,7 @@ int main() {
 
   std::printf("\n=== cluster performance model ===\n");
   std::printf("building measured task graph...\n");
-  const TaskGraph graph = build_task_graph(opts.to_config());
+  const TaskGraph graph = build_task_graph(opts);
   std::printf("tasks=%zu total work=%.2f s (distributable stages %.3f s)\n",
               graph.nodes.size(), graph.total_seconds(),
               graph.distributable_before[0] + graph.distributable_before[1]);

@@ -11,11 +11,13 @@
 // Public surface re-exported here:
 //   core/options.hpp         aero::Options, validate(), option_specs(),
 //                            generate_mesh(Options)
-//   core/mesh_generator.hpp  MeshGeneratorConfig (deprecated shim),
+//   core/mesh_generator.hpp  sequential pipeline entry points,
 //                            MeshGenerationResult, pipeline stages
 //   core/run_status.hpp      RunStatus
 //
 // Additional public headers that stay separate (they pull heavier deps):
+//   core/merged_mesh.hpp       assembled mesh (MergedMesh) + stats
+//   core/mesh_view.hpp         MeshView read facade + "AMSH" blob codec
 //   io/mesh_io.hpp             mesh writers/readers
 //   runtime/parallel_driver.hpp  parallel_generate_mesh
 //   runtime/cluster_model.hpp    strong-scaling performance model

@@ -188,11 +188,10 @@ AuditReport audit_delaunay(
     const DelaunayMesh& m,
     const std::vector<std::pair<VertIndex, VertIndex>>& required_segments) {
   AuditReport report;
-  const std::vector<MeshTri>& tris = m.triangles();
-  const auto tri_count = static_cast<TriIndex>(tris.size());
+  const auto tri_count = static_cast<TriIndex>(m.triangle_slots());
 
   for (TriIndex t = 0; t < tri_count; ++t) {
-    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    const MeshTri mt = m.tri(t);
     if (mt.dead) continue;
     ++report.checked;
 
@@ -221,7 +220,7 @@ AuditReport audit_delaunay(
         report.fail(os.str());
         continue;
       }
-      const MeshTri& mn = tris[static_cast<std::size_t>(nb)];
+      const MeshTri mn = m.tri(nb);
       if (mn.dead) {
         std::ostringstream os;
         os << "triangle " << t << " edge " << i << ": neighbor " << nb
@@ -482,14 +481,14 @@ AuditReport audit_blayer(const BoundaryLayer& bl) {
 
 AuditReport audit_merged(const MergedMesh& mesh) {
   AuditReport report;
-  const std::vector<Vec2>& pts = mesh.points();
+  const std::size_t np = mesh.point_count();
 
   std::unordered_set<Vec2, Vec2Hash> seen;
-  seen.reserve(pts.size());
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    if (!seen.insert(pts[i]).second) {
+  seen.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    if (!seen.insert(mesh.point(i)).second) {
       std::ostringstream os;
-      os << "point " << i << " " << fmt_point(pts[i])
+      os << "point " << i << " " << fmt_point(mesh.point(i))
          << " duplicates an earlier interned point";
       report.fail(os.str());
     }
@@ -500,18 +499,17 @@ AuditReport audit_merged(const MergedMesh& mesh) {
     std::size_t forward_count = 0;  ///< traversals in (lo, hi) direction
   };
   std::unordered_map<std::uint64_t, EdgeUse> edges;
-  const std::vector<std::array<std::uint32_t, 3>>& tris = mesh.triangles();
-  for (std::size_t t = 0; t < tris.size(); ++t) {
+  for (std::size_t t = 0; t < mesh.record_count(); ++t) {
     if (!mesh.alive(t)) continue;
     ++report.checked;
-    const std::array<std::uint32_t, 3>& tri = tris[t];
+    const std::array<std::uint32_t, 3>& tri = mesh.tri(t);
 
     bool degenerate = false;
     for (int i = 0; i < 3; ++i) {
-      if (tri[i] >= pts.size()) {
+      if (tri[i] >= np) {
         std::ostringstream os;
         os << "triangle " << t << ": vertex index " << tri[i]
-           << " out of range (" << pts.size() << " points)";
+           << " out of range (" << np << " points)";
         report.fail(os.str());
         degenerate = true;
       }
@@ -526,7 +524,8 @@ AuditReport audit_merged(const MergedMesh& mesh) {
     }
     if (degenerate) continue;
 
-    if (orient2d(pts[tri[0]], pts[tri[1]], pts[tri[2]]) <= 0.0) {
+    if (orient2d(mesh.point(tri[0]), mesh.point(tri[1]), mesh.point(tri[2])) <=
+        0.0) {
       std::ostringstream os;
       os << "triangle " << t << " (" << tri[0] << ", " << tri[1] << ", "
          << tri[2] << ") is not strictly CCW";

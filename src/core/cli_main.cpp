@@ -17,7 +17,9 @@
 // Exit codes: 0 success; 1 non-manifold mesh; 2 usage error; 3 partial or
 // failed parallel run (watchdog/lost results); 4 pipeline exception; 5 an
 // --audit pass reported defects; 6 run stopped by a budget or signal (valid
-// partial mesh written; resumable with --resume when checkpointing).
+// partial mesh written; resumable with --resume when checkpointing); 7 mesh
+// exceeded 32-bit index capacity (checked kMeshTooLarge, never a silent
+// index truncation).
 //
 // Signals (parallel runs): the first SIGINT/SIGTERM requests a graceful
 // drain -- in-flight subdomains finish, the checkpoint journal, partial
@@ -359,6 +361,10 @@ int main(int argc, char** argv) {
       timings = r.timings;
       status = r.status;
     }
+  } catch (const MeshTooLargeError& e) {
+    status = RunStatus::kMeshTooLarge;
+    std::fprintf(stderr, "error: %s: %s\n", to_string(status), e.what());
+    return 7;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: mesh generation failed: %s\n", e.what());
     return 4;

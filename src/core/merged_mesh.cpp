@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "geom/predicates.hpp"
@@ -11,27 +12,67 @@
 
 namespace aero {
 
+std::size_t MergedMesh::probe(Vec2 p) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = Vec2Hash{}(p) & mask;
+  while (true) {
+    const std::uint32_t s = slots_[i];
+    if (s == 0 || points_[s - 1] == p) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+void MergedMesh::rehash(std::size_t new_cap) {
+  slots_.assign(new_cap, 0);
+  for (std::size_t id = 0; id < points_.size(); ++id) {
+    slots_[probe(points_[id])] = static_cast<std::uint32_t>(id) + 1;
+  }
+}
+
 std::uint32_t MergedMesh::add_point(Vec2 p) {
-  const auto [it, inserted] =
-      point_index_.try_emplace(p, static_cast<std::uint32_t>(points_.size()));
-  if (inserted) points_.push_back(p);
-  return it->second;
+  // Keep load factor <= 1/2 (linear probing stays short). Rehashing only
+  // changes lookup cost: ids are insertion-ordered, so mesh identity is
+  // independent of the table layout.
+  if (2 * (points_.size() + 1) > slots_.size()) {
+    rehash(slots_.empty() ? 1024 : slots_.size() * 2);
+  }
+  const std::size_t i = probe(p);
+  if (slots_[i] != 0) return slots_[i] - 1;
+  if (points_.size() >= capacity_limit_) {
+    throw MeshTooLargeError("merged mesh exceeds 32-bit point capacity");
+  }
+  const auto id = static_cast<std::uint32_t>(points_.size());
+  points_.push_back(p);
+  slots_[i] = id + 1;
+  return id;
+}
+
+std::uint32_t MergedMesh::find_point(Vec2 p) const {
+  if (slots_.empty()) return kNoPoint;
+  const std::uint32_t s = slots_[probe(p)];
+  return s == 0 ? kNoPoint : s - 1;
 }
 
 void MergedMesh::add_triangle(Vec2 a, Vec2 b, Vec2 c) {
+  if (tris_.size() >= capacity_limit_) {
+    throw MeshTooLargeError("merged mesh exceeds 32-bit triangle capacity");
+  }
   tris_.push_back({add_point(a), add_point(b), add_point(c)});
   dead_.push_back(0);
 }
 
 void MergedMesh::append(const DelaunayMesh& mesh) {
   // Intern each piece vertex once instead of hashing every triangle corner:
-  // a triangle soup probes the coordinate map ~6x per interior vertex, and
+  // a triangle soup probes the coordinate table ~6x per interior vertex, and
   // that hashing dominated merge time in profiles.
   constexpr auto kUnmapped = std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> remap(mesh.point_count(), kUnmapped);
   mesh.for_each_triangle([&](TriIndex t) {
-    const MeshTri& mt = mesh.tri(t);
+    const MeshTri mt = mesh.tri(t);
     if (!mt.inside) return;
+    if (tris_.size() >= capacity_limit_) {
+      throw MeshTooLargeError("merged mesh exceeds 32-bit triangle capacity");
+    }
     std::array<std::uint32_t, 3> ids;
     for (int i = 0; i < 3; ++i) {
       std::uint32_t& slot = remap[static_cast<std::size_t>(mt.v[i])];
@@ -62,10 +103,10 @@ std::vector<std::uint8_t> MergedMesh::flood_from(
   std::unordered_set<EdgeKey, EdgeKeyHash> blocked;
   blocked.reserve(barrier.size() * 2);
   for (const auto& [a, b] : barrier) {
-    const auto ia = point_index_.find(a);
-    const auto ib = point_index_.find(b);
-    if (ia == point_index_.end() || ib == point_index_.end()) continue;
-    blocked.insert(edge_key(ia->second, ib->second));
+    const std::uint32_t ia = find_point(a);
+    const std::uint32_t ib = find_point(b);
+    if (ia == kNoPoint || ib == kNoPoint) continue;
+    blocked.insert(edge_key(ia, ib));
   }
 
   std::vector<std::uint8_t> reached(tris_.size(), 0);
@@ -144,10 +185,10 @@ std::vector<std::pair<Vec2, Vec2>> MergedMesh::boundary_edges(
   std::unordered_set<EdgeKey, EdgeKeyHash> excluded;
   excluded.reserve(exclude.size() * 2);
   for (const auto& [a, b] : exclude) {
-    const auto ia = point_index_.find(a);
-    const auto ib = point_index_.find(b);
-    if (ia == point_index_.end() || ib == point_index_.end()) continue;
-    excluded.insert(edge_key(ia->second, ib->second));
+    const std::uint32_t ia = find_point(a);
+    const std::uint32_t ib = find_point(b);
+    if (ia == kNoPoint || ib == kNoPoint) continue;
+    excluded.insert(edge_key(ia, ib));
   }
   // Emit in triangle-scan order, not hash order: every boundary edge has
   // exactly one live triangle, so the scan yields each edge exactly once and
@@ -176,10 +217,10 @@ std::vector<std::pair<Vec2, Vec2>> MergedMesh::missing_edges(
   }
   std::vector<std::pair<Vec2, Vec2>> out;
   for (const auto& [a, b] : candidates) {
-    const auto ia = point_index_.find(a);
-    const auto ib = point_index_.find(b);
-    if (ia == point_index_.end() || ib == point_index_.end() ||
-        !present.contains(edge_key(ia->second, ib->second))) {
+    const std::uint32_t ia = find_point(a);
+    const std::uint32_t ib = find_point(b);
+    if (ia == kNoPoint || ib == kNoPoint ||
+        !present.contains(edge_key(ia, ib))) {
       out.emplace_back(a, b);
     }
   }
@@ -216,7 +257,7 @@ MergedMesh::Conformity MergedMesh::check_conformity() const {
 
 MergedStats compute_stats(const MergedMesh& mesh) {
   MergedStats s;
-  s.vertices = mesh.points().size();
+  s.vertices = mesh.point_count();
   mesh.for_each_triangle([&](Vec2 a, Vec2 b, Vec2 c) {
     ++s.triangles;
     constexpr double kRad2Deg = 180.0 / 3.14159265358979323846;

@@ -2,23 +2,41 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "delaunay/chunked.hpp"
 #include "delaunay/mesh.hpp"
 #include "geom/vec2.hpp"
 
 namespace aero {
+
+/// Thrown when a merged mesh outgrows 32-bit index capacity. The pipeline
+/// drivers catch it and report RunStatus::kMeshTooLarge instead of silently
+/// truncating vertex ids.
+struct MeshTooLargeError : std::length_error {
+  using std::length_error::length_error;
+};
 
 /// Global mesh assembled from independently generated pieces (boundary-layer
 /// subdomain triangulations and inviscid subdomain refinements). Vertices
 /// are welded by exact coordinate identity -- the whole pipeline guarantees
 /// shared border points are bit-identical on both sides, which is what makes
 /// the distributed pieces conform without any stitching pass.
+///
+/// Storage is structure-of-arrays over chunked grow-only arenas: point
+/// coordinates, triangle connectivity, and the dead flags each live in their
+/// own ChunkedArray, and the coordinate interner is a flat open-addressing
+/// table of 32-bit ids (no per-node heap allocations). Growing never
+/// relocates elements, so peak RSS tracks the live mesh instead of the
+/// transient doubling of vector reallocation. Read access goes through the
+/// index-based accessors below or the aero::MeshView facade; the arenas
+/// themselves are private.
 class MergedMesh {
  public:
   /// Intern a point, returning its global index.
+  /// Throws MeshTooLargeError past 32-bit index capacity.
   std::uint32_t add_point(Vec2 p);
 
   /// Append one triangle by coordinates (CCW).
@@ -43,14 +61,21 @@ class MergedMesh {
   void keep_only(const std::vector<std::pair<Vec2, Vec2>>& barrier,
                  const std::vector<Vec2>& seeds);
 
+  /// Live triangles (records minus carved ones).
   std::size_t triangle_count() const { return tris_.size() - dead_count_; }
-  const std::vector<Vec2>& points() const { return points_; }
+  /// Interned points, in insertion order. Ids are dense in [0, point_count).
+  std::size_t point_count() const { return points_.size(); }
   /// All triangle records including carved ones; check alive().
-  const std::vector<std::array<std::uint32_t, 3>>& triangles() const {
-    return tris_;
+  std::size_t record_count() const { return tris_.size(); }
+  const std::array<std::uint32_t, 3>& tri(std::size_t t) const {
+    return tris_[t];
   }
   bool alive(std::size_t t) const { return !dead_[t]; }
   Vec2 point(std::uint32_t i) const { return points_[i]; }
+
+  /// Interner lookup: the id of an exact-coordinate match, or kNoPoint.
+  static constexpr std::uint32_t kNoPoint = 0xffffffffu;
+  std::uint32_t find_point(Vec2 p) const;
 
   /// Remove a single triangle by record index.
   void kill(std::size_t t) {
@@ -91,7 +116,15 @@ class MergedMesh {
   };
   Conformity check_conformity() const;
 
+  /// Test-only: lower the 32-bit capacity ceiling so the kMeshTooLarge path
+  /// is reachable without interning four billion points.
+  void set_capacity_limit_for_test(std::uint64_t limit) {
+    capacity_limit_ = limit;
+  }
+
  private:
+  friend class MeshView;  ///< chunk-level access for zero-copy serialization
+
   using EdgeKey = std::pair<std::uint32_t, std::uint32_t>;
   struct EdgeKeyHash {
     std::size_t operator()(const EdgeKey& e) const {
@@ -108,11 +141,22 @@ class MergedMesh {
       const std::vector<std::pair<Vec2, Vec2>>& barrier,
       const std::vector<Vec2>& seeds) const;
 
-  std::vector<Vec2> points_;
-  std::unordered_map<Vec2, std::uint32_t, Vec2Hash> point_index_;
-  std::vector<std::array<std::uint32_t, 3>> tris_;
-  std::vector<std::uint8_t> dead_;
+  /// Interner slot for p: either the occupied slot holding p's id+1 or the
+  /// empty slot where p would go. Requires a non-empty table.
+  std::size_t probe(Vec2 p) const;
+  void rehash(std::size_t new_cap);
+
+  ChunkedArray<Vec2> points_;
+  ChunkedArray<std::array<std::uint32_t, 3>> tris_;
+  ChunkedArray<std::uint8_t> dead_;
   std::size_t dead_count_ = 0;
+
+  // Flat open-addressing interner: each slot holds id+1 (0 = empty).
+  // Power-of-two capacity, linear probing, rehash at 1/2 load. Ids are
+  // assigned in insertion order, so the table layout never affects mesh
+  // identity -- only lookup cost.
+  std::vector<std::uint32_t> slots_;
+  std::uint64_t capacity_limit_ = 0xffffffffull;
 };
 
 /// Quality statistics of a merged mesh (same fields as delaunay/stats).

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <tuple>
 #include <utility>
 
+#include "core/pipeline_config.hpp"
 #include "geom/predicates.hpp"
 #include "geom/segment.hpp"
+#include "obs/trace.hpp"
 #include "spatial/adt.hpp"
 
 namespace aero {
@@ -22,7 +25,6 @@ namespace {
 /// the same tree.
 void remove_body_overlaps(MergedMesh& mesh,
                           const std::vector<std::vector<Vec2>>& surfaces) {
-  const auto& tris = mesh.triangles();
   for (const auto& surface : surfaces) {
     BBox2 box;
     for (const Vec2 p : surface) box.expand(p);
@@ -49,11 +51,12 @@ void remove_body_overlaps(MergedMesh& mesh,
       return inside;
     };
 
-    for (std::size_t t = 0; t < tris.size(); ++t) {
+    for (std::size_t t = 0; t < mesh.record_count(); ++t) {
       if (!mesh.alive(t)) continue;
-      const Vec2 a = mesh.point(tris[t][0]);
-      const Vec2 b = mesh.point(tris[t][1]);
-      const Vec2 c = mesh.point(tris[t][2]);
+      const std::array<std::uint32_t, 3>& tri = mesh.tri(t);
+      const Vec2 a = mesh.point(tri[0]);
+      const Vec2 b = mesh.point(tri[1]);
+      const Vec2 c = mesh.point(tri[2]);
       BBox2 tb;
       tb.expand(a);
       tb.expand(b);
@@ -103,10 +106,10 @@ std::vector<std::pair<Vec2, Vec2>> ring_barrier(const BoundaryLayer& bl) {
 }
 
 /// Fire the configured phase observer (no-op when none is installed).
-void notify_phase(const MeshGeneratorConfig& config, const char* phase,
+void notify_phase(const Options& opts, const char* phase,
                   const BoundaryLayer* bl, const MergedMesh* mesh) {
-  if (config.phase_hook) {
-    config.phase_hook(phase, PhaseArtifacts{bl, mesh});
+  if (opts.phase_hook) {
+    opts.phase_hook(phase, PhaseArtifacts{bl, mesh});
   }
 }
 
@@ -144,7 +147,7 @@ void restrict_to_ring(MergedMesh& mesh, const BoundaryLayer& bl) {
 }
 
 InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
-                                    const MeshGeneratorConfig& config,
+                                    const Options& opts,
                                     const MergedMesh& bl_mesh) {
   InviscidDomain domain;
 
@@ -159,20 +162,20 @@ InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
     }
   }
   mean_border_len = nseg > 0 ? mean_border_len / static_cast<double>(nseg)
-                             : 0.01 * config.airfoil.chord;
+                             : 0.01 * opts.airfoil.chord;
 
   BBox2 cloud_box;
   for (const Vec2 p : bl.points) cloud_box.expand(p);
   domain.inner =
-      cloud_box.inflated(config.nearbody_margin * config.airfoil.chord);
+      cloud_box.inflated(opts.nearbody_margin * opts.airfoil.chord);
   const Vec2 center = cloud_box.center();
-  const double half = config.farfield_chords * config.airfoil.chord;
+  const double half = opts.farfield_chords * opts.airfoil.chord;
   domain.outer = BBox2{{center.x - half, center.y - half},
                        {center.x + half, center.y + half}};
   domain.sizing =
       GradedSizing{domain.inner,
-                   config.surface_length_factor * mean_border_len,
-                   config.grade};
+                   opts.surface_length_factor * mean_border_len,
+                   opts.grade};
 
   // The exact interface: the *actual* boundary of the assembled
   // boundary-layer mesh (minus the airfoil surfaces) becomes the hole
@@ -213,9 +216,16 @@ InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
   return domain;
 }
 
-MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
+MeshGenerationResult generate_mesh(const Options& opts) {
+  const std::vector<OptionIssue> issues = opts.validate();
+  for (const OptionIssue& i : issues) {
+    if (i.is_error()) {
+      throw std::invalid_argument("invalid options:\n" + format_issues(issues));
+    }
+  }
+
   MeshGenerationResult result;
-  obs::apply(config.trace);
+  obs::apply(trace_config(opts));
   AERO_TRACE_THREAD("pipeline", -1);
   AERO_TRACE_SPAN("pipeline", "generate_mesh");
   Timer total;
@@ -225,29 +235,30 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
   {
     AERO_TRACE_SPAN("pipeline", "boundary_layer_points");
     result.boundary_layer =
-        build_boundary_layer(config.airfoil, config.blayer);
+        build_boundary_layer(opts.airfoil, blayer_options(opts));
   }
   result.timings.record("boundary_layer_points", t1.seconds());
-  notify_phase(config, "boundary_layer", &result.boundary_layer, nullptr);
+  notify_phase(opts, "boundary_layer", &result.boundary_layer, nullptr);
 
   // Stage 2: parallel-decomposed boundary-layer triangulation.
   Timer t3;
   {
     AERO_TRACE_SPAN("pipeline", "boundary_layer_triangulation");
-    triangulate_boundary_layer(result.boundary_layer, config.bl_decompose,
-                               result.mesh, &result.bl_subdomains,
+    triangulate_boundary_layer(result.boundary_layer,
+                               bl_decompose_options(opts), result.mesh,
+                               &result.bl_subdomains,
                                &result.bl_task_seconds);
   }
   result.bl_triangles = result.mesh.triangle_count();
   result.timings.record("boundary_layer_triangulation", t3.seconds());
-  notify_phase(config, "boundary_layer_mesh", &result.boundary_layer,
+  notify_phase(opts, "boundary_layer_mesh", &result.boundary_layer,
                &result.mesh);
 
   // Stage 3: inviscid domain layout around the boundary-layer mesh.
   Timer t2;
   const InviscidDomain domain = [&] {
     AERO_TRACE_SPAN("pipeline", "inviscid_layout");
-    return make_inviscid_domain(result.boundary_layer, config, result.mesh);
+    return make_inviscid_domain(result.boundary_layer, opts, result.mesh);
   }();
   result.sizing = domain.sizing;
   result.timings.record("inviscid_layout", t2.seconds());
@@ -260,8 +271,8 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
     for (InviscidSubdomain& quad : initial_quadrants(domain)) {
       for (InviscidSubdomain& leaf :
            decouple_recursive(std::move(quad), domain.sizing,
-                              config.inviscid_target_triangles,
-                              config.inviscid_max_level)) {
+                              opts.inviscid_target_triangles,
+                              opts.inviscid_max_level)) {
         subdomains.push_back(std::move(leaf));
       }
     }
@@ -276,7 +287,7 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
     for (const InviscidSubdomain& sub : subdomains) {
       Timer t;
       const TriangulateResult r =
-          refine_subdomain(sub, domain.sizing, config.threads_per_rank);
+          refine_subdomain(sub, domain.sizing, opts.threads_per_rank);
       result.inviscid_task_seconds.push_back(t.seconds());
       result.mesh.append(r.mesh);
     }
@@ -284,7 +295,7 @@ MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config) {
   result.inviscid_triangles =
       result.mesh.triangle_count() - result.bl_triangles;
   result.timings.record("inviscid_refinement", t5.seconds());
-  notify_phase(config, "final_mesh", &result.boundary_layer, &result.mesh);
+  notify_phase(opts, "final_mesh", &result.boundary_layer, &result.mesh);
 
   result.status = RunStatus::kOk;  // every stage completed (throws otherwise)
   result.timings.record("total", total.seconds());

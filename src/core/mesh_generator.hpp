@@ -7,71 +7,14 @@
 #include "airfoil/geometry.hpp"
 #include "blayer/boundary_layer.hpp"
 #include "core/merged_mesh.hpp"
+#include "core/options.hpp"
+#include "core/phase_hook.hpp"
 #include "core/run_status.hpp"
 #include "hull/subdomain.hpp"
 #include "inviscid/decouple.hpp"
 #include "core/timer.hpp"
-#include "obs/trace.hpp"
 
 namespace aero {
-
-/// Artifacts visible to a phase observer; pointers are null for artifacts
-/// the pipeline has not produced yet.
-struct PhaseArtifacts {
-  const BoundaryLayer* boundary_layer = nullptr;
-  const MergedMesh* mesh = nullptr;
-};
-
-/// Observer invoked at pipeline phase boundaries. The pipeline stays
-/// ignorant of who observes it (the CLI's --audit mode installs the
-/// src/check invariant auditors here); observers must be read-only so an
-/// observed run produces a mesh bit-identical to an unobserved one.
-using PhaseHook =
-    std::function<void(const char* phase, const PhaseArtifacts&)>;
-
-/// Configuration of the push-button mesh generator: the user provides the
-/// geometry and boundary-layer parameters; everything else is derived.
-struct MeshGeneratorConfig {
-  AirfoilConfig airfoil;
-  BoundaryLayerOptions blayer;
-
-  /// Far-field half-extent in chord lengths (paper: 30-50).
-  double farfield_chords = 30.0;
-  /// Near-body box margin beyond the boundary-layer cloud, in chords. Keep
-  /// it tight: the near-body subdomain is never split (it owns the airfoil
-  /// holes), so everything inside it is one rank's work.
-  double nearbody_margin = 0.12;
-  /// Inviscid edge-length growth per unit distance from the near-body box.
-  double grade = 0.25;
-  /// Inviscid sizing at the near-body box, as a multiple of the mean
-  /// boundary-layer outer-border spacing (the isotropic transition size).
-  double surface_length_factor = 1.5;
-
-  /// Boundary-layer decomposition tolerances (coarse partitioner).
-  DecomposeOptions bl_decompose{.min_points = 2048, .max_level = 12};
-  /// Inviscid decoupling recursion target.
-  double inviscid_target_triangles = 40000.0;
-  int inviscid_max_level = 10;
-
-  /// Intra-rank threads for each subdomain refinement (the paper's ranks
-  /// are processes; this adds threads inside one). Deliberately NOT
-  /// mesh-defining: it reaches only RefineOptions::threads, whose chunked
-  /// scan is thread-count invariant, so any value produces the identical
-  /// mesh — which is why the service strips it from cache keys.
-  int threads_per_rank = 1;
-
-  /// Optional phase-boundary observer (see PhaseHook). Both the sequential
-  /// pipeline and the parallel driver fire it after the boundary layer is
-  /// built ("boundary_layer"), after the boundary-layer triangulation is
-  /// assembled and ring-restricted ("boundary_layer_mesh"), and after the
-  /// final mesh is complete ("final_mesh").
-  PhaseHook phase_hook;
-
-  /// Observability trace settings (see src/obs). Applied on entry to the
-  /// pipeline; recording is observation-only, so a traced run produces a
-  /// mesh bit-identical to an untraced one.
-  obs::TraceConfig trace;
-};
 
 /// Everything the pipeline produces, including the per-stage artifacts the
 /// benchmarks and figures are generated from.
@@ -98,13 +41,11 @@ struct MeshGenerationResult {
 };
 
 /// The push-button sequential pipeline (the parallel driver in src/runtime
-/// runs exactly these stages with the subdomain work distributed).
-///
-/// Deprecated shim: new code should build an `aero::Options` (core/options.hpp
-/// or the umbrella `aero.hpp`) and call `generate_mesh(const Options&)`, which
-/// validates before running. This struct-poking overload is kept for one
-/// release for existing callers and the internal pipeline.
-MeshGenerationResult generate_mesh(const MeshGeneratorConfig& config);
+/// runs exactly these stages with the subdomain work distributed). Validates
+/// first: throws std::invalid_argument listing every issue when validate()
+/// reports an error. `ranks`/transport/fault knobs are ignored here
+/// (sequential) — use parallel_generate_mesh(Options) for a pool run.
+MeshGenerationResult generate_mesh(const Options& opts);
 
 /// Stage: triangulate the boundary-layer cloud by projection-based
 /// decomposition, merge the owned triangles, and keep exactly the ring
@@ -125,7 +66,7 @@ void restrict_to_ring(MergedMesh& mesh, const BoundaryLayer& bl);
 /// Stage: build the inviscid domain description around the assembled
 /// boundary-layer mesh (whose actual boundary becomes the near-body hole).
 InviscidDomain make_inviscid_domain(const BoundaryLayer& bl,
-                                    const MeshGeneratorConfig& config,
+                                    const Options& opts,
                                     const MergedMesh& bl_mesh);
 
 }  // namespace aero

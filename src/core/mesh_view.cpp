@@ -1,0 +1,88 @@
+#include "core/mesh_view.hpp"
+
+#include <cstring>
+
+namespace aero {
+
+namespace {
+
+template <typename T>
+void put_raw(std::vector<std::uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get_raw(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+MeshBlobStatus mesh_blob_status(const std::uint8_t* data, std::size_t len,
+                                std::uint64_t* points,
+                                std::uint64_t* triangles) {
+  if (len < kMeshBlobHeaderSize) return MeshBlobStatus::kTruncated;
+  if (std::memcmp(data, kMeshBlobMagic.data(), 4) != 0) {
+    return MeshBlobStatus::kBadMagic;
+  }
+  if (get_raw<std::uint32_t>(data + 4) != kMeshBlobVersion) {
+    return MeshBlobStatus::kBadVersion;
+  }
+  const auto np = get_raw<std::uint64_t>(data + 8);
+  const auto nt = get_raw<std::uint64_t>(data + 16);
+  const std::uint64_t body = len - kMeshBlobHeaderSize;
+  if (np * 2 * sizeof(double) + nt * 3 * sizeof(std::uint32_t) != body) {
+    return MeshBlobStatus::kCountMismatch;
+  }
+  if (points != nullptr) *points = np;
+  if (triangles != nullptr) *triangles = nt;
+  return MeshBlobStatus::kOk;
+}
+
+MeshBlobStatus MeshView::parse(const std::uint8_t* data, std::size_t len,
+                               MeshView& out) {
+  out = MeshView{};
+  std::uint64_t np = 0, nt = 0;
+  const MeshBlobStatus st = mesh_blob_status(data, len, &np, &nt);
+  if (st != MeshBlobStatus::kOk) return st;
+  const std::uint8_t* p = data + kMeshBlobHeaderSize;
+  out.own_pts_.resize(np);
+  std::memcpy(out.own_pts_.data(), p, np * 2 * sizeof(double));
+  p += np * 2 * sizeof(double);
+  out.own_tris_.resize(nt);
+  std::memcpy(out.own_tris_.data(), p, nt * 3 * sizeof(std::uint32_t));
+  return MeshBlobStatus::kOk;
+}
+
+std::vector<std::uint8_t> MeshView::serialize() const {
+  std::vector<std::uint8_t> out;
+  const std::uint64_t np = point_count();
+  const std::uint64_t nt = triangle_count();
+  out.reserve(kMeshBlobHeaderSize + np * 2 * sizeof(double) +
+              nt * 3 * sizeof(std::uint32_t));
+  out.insert(out.end(), kMeshBlobMagic.begin(), kMeshBlobMagic.end());
+  put_raw(out, kMeshBlobVersion);
+  put_raw(out, np);
+  put_raw(out, nt);
+  if (mesh_ != nullptr) {
+    // Chunk-wise copies straight out of the SoA arenas.
+    const auto& pts = mesh_->points_;
+    for (std::size_t c = 0; c < pts.chunk_count(); ++c) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(pts.chunk_data(c));
+      out.insert(out.end(), p, p + pts.chunk_len(c) * sizeof(Vec2));
+    }
+  } else {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(own_pts_.data());
+    out.insert(out.end(), p, p + own_pts_.size() * sizeof(Vec2));
+  }
+  for_each_tri_ids([&](const std::array<std::uint32_t, 3>& ids) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(ids.data());
+    out.insert(out.end(), p, p + 3 * sizeof(std::uint32_t));
+  });
+  return out;
+}
+
+}  // namespace aero

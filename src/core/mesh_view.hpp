@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/merged_mesh.hpp"
+#include "geom/vec2.hpp"
+
+namespace aero {
+
+/// Typed outcome of parsing a serialized mesh blob. Consumers (service
+/// cache, journal replay, checkpoint sink) reject mismatched layouts with
+/// one of these instead of silently mis-decoding.
+enum class MeshBlobStatus {
+  kOk = 0,
+  kTruncated,      ///< shorter than the fixed header
+  kBadMagic,       ///< not an "AMSH" blob
+  kBadVersion,     ///< layout version this build does not speak
+  kCountMismatch,  ///< header counts disagree with the payload size
+};
+
+inline const char* to_string(MeshBlobStatus s) {
+  switch (s) {
+    case MeshBlobStatus::kOk: return "ok";
+    case MeshBlobStatus::kTruncated: return "truncated";
+    case MeshBlobStatus::kBadMagic: return "bad-magic";
+    case MeshBlobStatus::kBadVersion: return "bad-version";
+    case MeshBlobStatus::kCountMismatch: return "count-mismatch";
+  }
+  return "unknown";
+}
+
+/// Serialized mesh layout: "AMSH" | u32 version | u64 points | u64 live
+/// triangles | point coords (2 doubles each) | triangle vertex-id triples
+/// (3 u32 each), all little-endian. Version 1 is the first tagged layout;
+/// the pre-tag form (bare counts) is rejected as kBadMagic.
+inline constexpr std::array<std::uint8_t, 4> kMeshBlobMagic = {'A', 'M', 'S',
+                                                               'H'};
+inline constexpr std::uint32_t kMeshBlobVersion = 1;
+inline constexpr std::size_t kMeshBlobHeaderSize = 4 + 4 + 8 + 8;
+
+/// Validate a blob header without materializing the mesh. On kOk the counts
+/// are stored through the optional out-pointers.
+MeshBlobStatus mesh_blob_status(const std::uint8_t* data, std::size_t len,
+                                std::uint64_t* points = nullptr,
+                                std::uint64_t* triangles = nullptr);
+inline MeshBlobStatus mesh_blob_status(const std::vector<std::uint8_t>& blob,
+                                       std::uint64_t* points = nullptr,
+                                       std::uint64_t* triangles = nullptr) {
+  return mesh_blob_status(blob.data(), blob.size(), points, triangles);
+}
+
+/// Stable read-only facade over an assembled mesh: index-based handles,
+/// range iteration, and the one serialized form shared by the service
+/// cache, the result journal, and the checkpoint sink. Callers outside the
+/// mesh core consume this instead of reaching into MergedMesh internals.
+///
+/// A view is either borrowed (zero-copy over a live MergedMesh -- the mesh
+/// must outlive the view) or owning (parsed from a serialized blob, in
+/// which case every record is live and ids are the blob's ids).
+class MeshView {
+ public:
+  MeshView() = default;
+  /// Borrowed view; `mesh` must outlive the view.
+  explicit MeshView(const MergedMesh& mesh) : mesh_(&mesh) {}
+
+  /// Parse an "AMSH" blob into an owning view. On any status other than
+  /// kOk, `out` is left empty.
+  static MeshBlobStatus parse(const std::uint8_t* data, std::size_t len,
+                              MeshView& out);
+  static MeshBlobStatus parse(const std::vector<std::uint8_t>& blob,
+                              MeshView& out) {
+    return parse(blob.data(), blob.size(), out);
+  }
+
+  std::size_t point_count() const {
+    return mesh_ ? mesh_->point_count() : own_pts_.size();
+  }
+  /// Triangle records including dead ones; iterate with alive().
+  std::size_t record_count() const {
+    return mesh_ ? mesh_->record_count() : own_tris_.size();
+  }
+  /// Live triangles only.
+  std::size_t triangle_count() const {
+    return mesh_ ? mesh_->triangle_count() : own_tris_.size();
+  }
+  bool alive(std::size_t t) const { return mesh_ ? mesh_->alive(t) : true; }
+  const std::array<std::uint32_t, 3>& tri(std::size_t t) const {
+    return mesh_ ? mesh_->tri(t) : own_tris_[t];
+  }
+  Vec2 point(std::uint32_t i) const {
+    return mesh_ ? mesh_->point(i) : own_pts_[i];
+  }
+
+  /// Visit each live triangle's vertex ids, in record order.
+  template <typename Fn>
+  void for_each_tri_ids(Fn&& fn) const {
+    const std::size_t n = record_count();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!alive(t)) continue;
+      fn(tri(t));
+    }
+  }
+
+  /// Visit each live triangle's vertex coordinates, in record order.
+  template <typename Fn>
+  void for_each_triangle(Fn&& fn) const {
+    for_each_tri_ids([&](const std::array<std::uint32_t, 3>& ids) {
+      fn(point(ids[0]), point(ids[1]), point(ids[2]));
+    });
+  }
+
+  /// Serialize to the versioned "AMSH" form. Points keep their interned
+  /// ids (including ids orphaned by carving); only live triangles are
+  /// emitted. Borrowed views copy chunk-wise out of the SoA arenas.
+  std::vector<std::uint8_t> serialize() const;
+
+ private:
+  const MergedMesh* mesh_ = nullptr;  ///< borrowed backing (nullptr = owning)
+  std::vector<Vec2> own_pts_;
+  std::vector<std::array<std::uint32_t, 3>> own_tris_;
+};
+
+}  // namespace aero

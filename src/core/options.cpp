@@ -167,6 +167,13 @@ std::vector<OptionIssue> Options::validate() const {
   if (!resume_path.empty() && ranks <= 0) {
     err(issues, "resume_path", "resume requires ranks > 0");
   }
+  if (!merge_spill_dir.empty() && ranks <= 0) {
+    err(issues, "merge_spill_dir",
+        "out-of-core merge is a parallel-pool feature; requires ranks > 0");
+  }
+  if (merge_resident_mb <= 0) {
+    err(issues, "merge_resident_mb", "merge resident budget must be > 0 MiB");
+  }
   if (fault_rate < 0.0 || fault_rate >= 1.0) {
     err(issues, "fault_rate", "injection rate must be in [0, 1)");
   } else if (fault_rate > 0.0 && ranks <= 0) {
@@ -176,26 +183,6 @@ std::vector<OptionIssue> Options::validate() const {
     err(issues, "trace_events", "trace buffer capacity must be > 0");
   }
   return issues;
-}
-
-MeshGeneratorConfig Options::to_config() const {
-  MeshGeneratorConfig config;
-  config.airfoil = airfoil;
-  config.blayer.growth = {growth_kind, first_height, growth_ratio};
-  config.blayer.max_layers = max_layers;
-  config.farfield_chords = farfield_chords;
-  config.nearbody_margin = nearbody_margin;
-  config.grade = grade;
-  config.surface_length_factor = surface_length_factor;
-  config.bl_decompose.min_points = bl_min_points;
-  config.bl_decompose.max_level = bl_max_level;
-  config.inviscid_target_triangles = inviscid_target_triangles;
-  config.inviscid_max_level = inviscid_max_level;
-  config.threads_per_rank = threads_per_rank;
-  config.phase_hook = phase_hook;
-  config.trace.enabled = trace;
-  config.trace.events_per_thread = trace_events;
-  return config;
 }
 
 const std::vector<OptionSpec>& option_specs() {
@@ -382,6 +369,20 @@ const std::vector<OptionSpec>& option_specs() {
                    o.resume_path = t;
                    return !o.resume_path.empty();
                  }});
+    s.push_back({"--merge-spill-dir", "DIR",
+                 "out-of-core merge: spill finalized subdomains to journals "
+                 "in DIR, merge under the resident budget",
+                 "none",
+                 [](Options& o, const char* t) {
+                   o.merge_spill_dir = t;
+                   return !o.merge_spill_dir.empty();
+                 }});
+    s.push_back({"--merge-resident-mb", "N",
+                 "resident-payload budget per spill-merge window in MiB",
+                 std::to_string(d.merge_resident_mb),
+                 [](Options& o, const char* t) {
+                   return parse_long(t, &o.merge_resident_mb);
+                 }});
     s.push_back({"--fault-rate", "R",
                  "chaos run: inject message drops at rate R (dup/corrupt/"
                  "delay at R/2); requires --ranks",
@@ -419,16 +420,6 @@ long scaled_watchdog_seconds(const Options& opts) {
   const long scaled =
       120 + static_cast<long>(points) * layers / 2500;
   return scaled < 120 ? 120 : (scaled > 7200 ? 7200 : scaled);
-}
-
-MeshGenerationResult generate_mesh(const Options& opts) {
-  const std::vector<OptionIssue> issues = opts.validate();
-  for (const OptionIssue& i : issues) {
-    if (i.is_error()) {
-      throw std::invalid_argument("invalid options:\n" + format_issues(issues));
-    }
-  }
-  return generate_mesh(opts.to_config());
 }
 
 }  // namespace aero

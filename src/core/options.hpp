@@ -8,7 +8,7 @@
 
 #include "airfoil/geometry.hpp"
 #include "blayer/growth.hpp"
-#include "core/mesh_generator.hpp"
+#include "core/phase_hook.hpp"
 
 namespace aero {
 
@@ -28,8 +28,9 @@ struct OptionIssue {
 std::string format_issues(const std::vector<OptionIssue>& issues);
 
 /// The unified public configuration of the mesher: one value type covering
-/// everything the scattered structs (`MeshGeneratorConfig`, `PoolTuning`,
-/// `obs::TraceConfig`, `FaultConfig`) used to split across four headers.
+/// everything the internal stage structs (`BoundaryLayerOptions`,
+/// `DecomposeOptions`, `PoolTuning`, `obs::TraceConfig`, `FaultConfig`)
+/// split across their own headers.
 /// Defaults below are the library defaults; the CLI and the benches render
 /// their `--help`/flag tables from option_specs(), so the documented
 /// defaults can never drift from these initializers.
@@ -123,6 +124,15 @@ struct Options {
   /// When checkpoint_path is empty the journal is also appended in place, so
   /// an interrupted resume is itself resumable.
   std::string resume_path;
+  /// Out-of-core finalization: when non-empty, each pool pass spills
+  /// finalized subdomains to a CRC-framed journal in this directory instead
+  /// of holding their triangle soup resident, then merges window-by-window
+  /// under the resident budget below. The merged mesh is bit-identical to
+  /// the in-RAM path at every rank/thread count ("" = merge in RAM).
+  std::string merge_spill_dir;
+  /// Resident-payload budget for the spill merge, in MiB. Each merge window
+  /// loads at most this many payload bytes (always at least one record).
+  long merge_resident_mb = 256;
   /// External stop request (programmatic, not CLI-settable): when the
   /// pointee flips true mid-run the pool drains exactly like an exhausted
   /// budget. The aeromesh CLI points this at its SIGINT flag.
@@ -197,6 +207,14 @@ struct Options {
     resume_path = std::move(p);
     return *this;
   }
+  Options& set_merge_spill_dir(std::string d) {
+    merge_spill_dir = std::move(d);
+    return *this;
+  }
+  Options& set_merge_resident_mb(long mb) {
+    merge_resident_mb = mb;
+    return *this;
+  }
   Options& set_stop_flag(const std::atomic<bool>* f) {
     stop_flag = f;
     return *this;
@@ -214,9 +232,6 @@ struct Options {
   /// make the run entry points throw; warnings are advisory (the CLI prints
   /// them to stderr and continues).
   [[nodiscard]] std::vector<OptionIssue> validate() const;
-
-  /// Lower to the internal pipeline config. Does not validate.
-  MeshGeneratorConfig to_config() const;
 };
 
 /// Metadata row describing one CLI-settable Options knob. The CLI's parser
@@ -242,12 +257,5 @@ const std::vector<OptionSpec>& option_specs();
 /// oversubscribed machines are not killed by a fixed 120 s default. Always
 /// at least 120 s, capped at 2 hours.
 long scaled_watchdog_seconds(const Options& opts);
-
-/// Run the sequential pipeline from validated Options: the preferred entry
-/// point (the MeshGeneratorConfig overload remains as a deprecated shim).
-/// Throws std::invalid_argument listing every issue when validate() reports
-/// an error; `ranks`/transport/fault knobs are ignored here (sequential) —
-/// use parallel_generate_mesh(Options) for a pool run.
-MeshGenerationResult generate_mesh(const Options& opts);
 
 }  // namespace aero

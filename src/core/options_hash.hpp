@@ -31,6 +31,12 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
 /// journal header and the service result cache both key off it, so a new
 /// Options knob that changes the triangles must be added here (and only
 /// here) to invalidate both.
+///
+/// The hash covers option *values*, not serialization layout: format
+/// changes to the stored bytes are versioned separately by the "AMSH" mesh
+/// blob tag (core/mesh_view.hpp) and the "ASUP" checkpoint soup tag
+/// (runtime/checkpoint.hpp), so a layout bump rejects stale bytes with a
+/// typed status even when the config hash still matches.
 std::uint64_t mesh_config_hash(const Options& opts);
 
 }  // namespace aero

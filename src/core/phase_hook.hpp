@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+
+namespace aero {
+
+struct BoundaryLayer;
+class MergedMesh;
+
+/// Artifacts visible to a phase observer; pointers are null for artifacts
+/// the pipeline has not produced yet.
+struct PhaseArtifacts {
+  const BoundaryLayer* boundary_layer = nullptr;
+  const MergedMesh* mesh = nullptr;
+};
+
+/// Observer invoked at pipeline phase boundaries. The pipeline stays
+/// ignorant of who observes it (the CLI's --audit mode installs the
+/// src/check invariant auditors here); observers must be read-only so an
+/// observed run produces a mesh bit-identical to an unobserved one.
+using PhaseHook =
+    std::function<void(const char* phase, const PhaseArtifacts&)>;
+
+}  // namespace aero

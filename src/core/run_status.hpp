@@ -12,6 +12,8 @@ enum class [[nodiscard]] RunStatus {
   kStopped,  ///< drained on a budget/stop request; partial mesh is valid
              ///< and a checkpoint journal makes the remainder resumable
   kFailed,   ///< aborted by the watchdog; result is best-effort
+  kMeshTooLarge,  ///< mesh outgrew 32-bit index capacity; checked, never
+                  ///< silently truncated (see MergedMesh::add_point)
 };
 
 inline const char* to_string(RunStatus s) {
@@ -20,6 +22,7 @@ inline const char* to_string(RunStatus s) {
     case RunStatus::kPartial: return "partial";
     case RunStatus::kStopped: return "stopped";
     case RunStatus::kFailed: return "failed";
+    case RunStatus::kMeshTooLarge: return "mesh-too-large";
   }
   return "unknown";
 }

@@ -30,41 +30,40 @@ std::uint32_t DelaunayMesh::next_rand() const {
 
 std::size_t DelaunayMesh::inside_triangle_count() const {
   std::size_t n = 0;
-  for (const MeshTri& t : tris_) {
-    if (!t.dead && !t.is_ghost() && t.inside) ++n;
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tri_v_.size()); ++t) {
+    if (is_live_finite(t) && tri_inside(t)) ++n;
   }
   return n;
 }
 
 TriIndex DelaunayMesh::new_tri() {
-  tris_.emplace_back();
-  return static_cast<TriIndex>(tris_.size() - 1);
+  tri_v_.emplace_back() = {kGhost, kGhost, kGhost};
+  tri_n_.emplace_back() = {kNoTri, kNoTri, kNoTri};
+  tri_flags_.emplace_back() = kInside;
+  return static_cast<TriIndex>(tri_v_.size() - 1);
 }
 
 void DelaunayMesh::kill_tri(TriIndex t) {
-  MeshTri& mt = tris_[static_cast<size_t>(t)];
-  assert(!mt.dead);
-  if (!mt.is_ghost()) --live_finite_;
-  mt.dead = true;
+  assert(!tri_dead(t));
+  if (!tri_ghost(t)) --live_finite_;
+  set_flag(t, kDead, true);
 }
 
 void DelaunayMesh::link(TriIndex t, int edge, TriIndex u, int uedge) {
-  tris_[static_cast<size_t>(t)].n[edge] = u;
-  tris_[static_cast<size_t>(u)].n[uedge] = t;
+  tn(t)[edge] = u;
+  tn(u)[uedge] = t;
 }
 
 void DelaunayMesh::set_vert_tri(TriIndex t) {
-  const MeshTri& mt = tris_[static_cast<size_t>(t)];
-  for (const VertIndex v : mt.v) {
+  for (const VertIndex v : tv(t)) {
     if (v != kGhost) vert_tri_[static_cast<size_t>(v)] = t;
   }
 }
 
 bool DelaunayMesh::in_cavity(TriIndex t, Vec2 p) const {
-  const MeshTri& mt = tris_[static_cast<size_t>(t)];
-  if (!mt.is_ghost()) {
-    return incircle_fast(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]), p) >
-           0.0;
+  const auto& v = tv(t);
+  if (v[2] != kGhost) {
+    return incircle_fast(point(v[0]), point(v[1]), point(v[2]), p) > 0.0;
   }
   // Ghost (w, u, kGhost) for finite hull edge (u, w): its "circumdisk" is
   // the open half-plane strictly beyond the hull edge, plus the open edge
@@ -72,8 +71,8 @@ bool DelaunayMesh::in_cavity(TriIndex t, Vec2 p) const {
   // must dissolve). A point collinear with the edge but beyond its endpoints
   // leaves this hull edge intact and must NOT claim the ghost, or the star
   // retriangulation would emit a degenerate collinear triangle.
-  const Vec2 w = point(mt.v[0]);
-  const Vec2 u = point(mt.v[1]);
+  const Vec2 w = point(v[0]);
+  const Vec2 u = point(v[1]);
   const double o = orient2d_fast(w, u, p);
   if (o > 0.0) return true;
   if (o < 0.0) return false;
@@ -83,7 +82,9 @@ bool DelaunayMesh::in_cavity(TriIndex t, Vec2 p) const {
 bool DelaunayMesh::triangulate(const std::vector<Vec2>& pts,
                                std::vector<VertIndex>* ids) {
   points_.clear();
-  tris_.clear();
+  tri_v_.clear();
+  tri_n_.clear();
+  tri_flags_.clear();
   vert_tri_.clear();
   live_finite_ = 0;
   last_tri_ = kNoTri;
@@ -108,24 +109,26 @@ bool DelaunayMesh::triangulate(const std::vector<Vec2>& pts,
   if (k == pts.size()) return false;  // all collinear
 
   // Seed triangle (CCW) plus three ghosts closing the sphere.
-  points_ = {p0, p1, pts[k]};
+  points_.push_back(p0);
+  points_.push_back(p1);
+  points_.push_back(pts[k]);
   if (orient < 0.0) std::swap(points_[1], points_[2]);
   vert_tri_.assign(3, kNoTri);
 
   const TriIndex f = new_tri();
-  tris_[static_cast<size_t>(f)].v = {0, 1, 2};
+  tv(f) = {0, 1, 2};
   live_finite_ = 1;
   // Ghost for hull edge (a, b) is stored (b, a, kGhost); finite edge slots:
   // edge 0 = (1,2), edge 1 = (2,0), edge 2 = (0,1).
   const TriIndex g01 = new_tri();
   const TriIndex g12 = new_tri();
   const TriIndex g20 = new_tri();
-  tris_[static_cast<size_t>(g01)].v = {1, 0, kGhost};
-  tris_[static_cast<size_t>(g12)].v = {2, 1, kGhost};
-  tris_[static_cast<size_t>(g20)].v = {0, 2, kGhost};
-  tris_[static_cast<size_t>(g01)].inside = false;
-  tris_[static_cast<size_t>(g12)].inside = false;
-  tris_[static_cast<size_t>(g20)].inside = false;
+  tv(g01) = {1, 0, kGhost};
+  tv(g12) = {2, 1, kGhost};
+  tv(g20) = {0, 2, kGhost};
+  set_flag(g01, kInside, false);
+  set_flag(g12, kInside, false);
+  set_flag(g20, kInside, false);
   link(f, 2, g01, 2);  // finite edge (0,1) <-> ghost edge (1,0)
   link(f, 0, g12, 2);
   link(f, 1, g20, 2);
@@ -168,10 +171,10 @@ bool DelaunayMesh::triangulate(const std::vector<Vec2>& pts,
 LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
   LocateResult res;
   TriIndex t = hint != kNoTri ? hint : last_tri_;
-  if (t == kNoTri || tris_[static_cast<size_t>(t)].dead) {
+  if (t == kNoTri || tri_dead(t)) {
     // Fallback: any live finite triangle.
     t = kNoTri;
-    for (TriIndex i = 0; i < static_cast<TriIndex>(tris_.size()); ++i) {
+    for (TriIndex i = 0; i < static_cast<TriIndex>(tri_v_.size()); ++i) {
       if (is_live_finite(i)) {
         t = i;
         break;
@@ -179,13 +182,13 @@ LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
     }
     if (t == kNoTri) throw std::logic_error("locate on empty triangulation");
   }
-  if (tris_[static_cast<size_t>(t)].is_ghost()) {
-    t = tris_[static_cast<size_t>(t)].n[2];  // its finite partner
+  if (tri_ghost(t)) {
+    t = tn(t)[2];  // its finite partner
   }
 
   int came_from = -1;  // edge slot we entered through, in current triangle
-  for (std::size_t guard = 0; guard <= 4 * tris_.size() + 16; ++guard) {
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+  for (std::size_t guard = 0; guard <= 4 * tri_v_.size() + 16; ++guard) {
+    const auto& v = tv(t);
     double o[3];
     int neg[3];
     int nneg = 0;
@@ -195,8 +198,7 @@ LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
         o[i] = 1.0;  // we came from there; p is on this side by construction
         continue;
       }
-      o[i] = orient2d_fast(point(mt.v[(i + 1) % 3]), point(mt.v[(i + 2) % 3]),
-                           p);
+      o[i] = orient2d_fast(point(v[(i + 1) % 3]), point(v[(i + 2) % 3]), p);
       if (o[i] < 0.0) neg[nneg++] = i;
       if (o[i] == 0.0) zero_mask |= 1 << i;
     }
@@ -225,9 +227,8 @@ LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
     // Cross a random violated edge (stochastic walk: terminates with exact
     // predicates).
     const int cross = neg[nneg == 1 ? 0 : static_cast<int>(next_rand() % static_cast<unsigned>(nneg))];
-    const TriIndex nb = mt.n[cross];
-    const MeshTri& nbt = tris_[static_cast<size_t>(nb)];
-    if (nbt.is_ghost()) {
+    const TriIndex nb = tn(t)[cross];
+    if (tri_ghost(nb)) {
       last_tri_ = t;
       res.kind = LocateResult::Kind::kOutside;
       res.tri = nb;
@@ -235,8 +236,9 @@ LocateResult DelaunayMesh::locate(Vec2 p, TriIndex hint) const {
     }
     // Entering nb across the shared edge; find its slot in nb.
     came_from = -1;
+    const auto& nbn = tn(nb);
     for (int i = 0; i < 3; ++i) {
-      if (nbt.n[i] == t) {
+      if (nbn[i] == t) {
         came_from = i;
         break;
       }
@@ -253,8 +255,8 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
   points_.push_back(p);
   vert_tri_.push_back(kNoTri);
 
-  if (in_cavity_mark_.size() < tris_.size()) {
-    in_cavity_mark_.resize(tris_.size() + tris_.size() / 2 + 8, 0);
+  if (in_cavity_mark_.size() < tri_v_.size()) {
+    in_cavity_mark_.resize(tri_v_.size() + tri_v_.size() / 2 + 8, 0);
   }
   cavity_.clear();
   cavity_stack_.clear();
@@ -267,11 +269,11 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
     const TriIndex t = cavity_stack_.back();
     cavity_stack_.pop_back();
     cavity_.push_back(t);
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    const auto& n = tn(t);
     for (int i = 0; i < 3; ++i) {
-      const TriIndex nb = mt.n[i];
+      const TriIndex nb = n[i];
       if (nb == kNoTri || in_cavity_mark_[static_cast<size_t>(nb)]) continue;
-      if (respect_constraints && mt.constrained[i]) continue;
+      if (respect_constraints && tri_constrained(t, i)) continue;
       if (in_cavity(nb, p)) {
         in_cavity_mark_[static_cast<size_t>(nb)] = 1;
         cavity_stack_.push_back(nb);
@@ -283,14 +285,15 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
   // triangle t runs (v[i+1], v[i+2]) with the cavity on its left.
   boundary_.clear();
   for (const TriIndex t : cavity_) {
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    const auto& v = tv(t);
+    const auto& n = tn(t);
     for (int i = 0; i < 3; ++i) {
-      const TriIndex nb = mt.n[i];
+      const TriIndex nb = n[i];
       if (nb != kNoTri && in_cavity_mark_[static_cast<size_t>(nb)]) continue;
       int nb_edge = -1;
-      const MeshTri& nbt = tris_[static_cast<size_t>(nb)];
+      const auto& nbn = tn(nb);
       for (int j = 0; j < 3; ++j) {
-        if (nbt.n[j] == t) {
+        if (nbn[j] == t) {
           nb_edge = j;
           break;
         }
@@ -299,9 +302,9 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
       // cavity triangle that owned its boundary edge. Ghost owners mean the
       // hull is being extended, which only happens during construction
       // (pre-carve), where everything is inside.
-      boundary_.push_back({mt.v[(i + 1) % 3], mt.v[(i + 2) % 3], nb, nb_edge,
-                           mt.constrained[i],
-                           mt.is_ghost() ? true : mt.inside});
+      boundary_.push_back({v[(i + 1) % 3], v[(i + 2) % 3], nb, nb_edge,
+                           tri_constrained(t, i),
+                           v[2] == kGhost ? true : tri_inside(t)});
     }
   }
 
@@ -316,24 +319,22 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
   fresh_.clear();
   for (const CavityEdge& be : boundary_) {
     const TriIndex nt = new_tri();
-    MeshTri& m = tris_[static_cast<size_t>(nt)];
     if (be.a == kGhost) {
-      m.v = {be.b, vi, kGhost};
-      m.inside = false;
+      tv(nt) = {be.b, vi, kGhost};
+      set_flag(nt, kInside, false);
     } else if (be.b == kGhost) {
-      m.v = {vi, be.a, kGhost};
-      m.inside = false;
+      tv(nt) = {vi, be.a, kGhost};
+      set_flag(nt, kInside, false);
     } else {
-      m.v = {vi, be.a, be.b};
-      m.inside = be.inside_region;
+      tv(nt) = {vi, be.a, be.b};
+      set_flag(nt, kInside, be.inside_region);
       ++live_finite_;
     }
     // Wire across the boundary edge (the slot opposite vi).
-    const int s_ab = m.index_of(vi);
+    const int s_ab = index_of(nt, vi);
     link(nt, s_ab, be.outside, be.outside_edge);
-    m.constrained[s_ab] = be.constrained;
-    tris_[static_cast<size_t>(be.outside)].constrained[be.outside_edge] =
-        be.constrained;
+    set_constrained(nt, s_ab, be.constrained);
+    set_constrained(be.outside, be.outside_edge, be.constrained);
     TriIndex& start = fan_start_[static_cast<size_t>(be.a + 1)];
     if (start == kNoTri) start = nt;
     fresh_.push_back(nt);
@@ -347,13 +348,13 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
     const TriIndex mt2 = fan_start_[static_cast<size_t>(be.b + 1)];
     assert(mt2 != kNoTri);
     // In nt, the edge {vi, b} is the one excluding a.
-    const int slot_nt = tris_[static_cast<size_t>(nt)].index_of(be.a);
+    const int slot_nt = index_of(nt, be.a);
     // In mt2 (edge (b, c)), the edge {vi, b} is the one excluding c, i.e.
     // excluding the vertex that is neither vi nor b.
-    const MeshTri& m2 = tris_[static_cast<size_t>(mt2)];
+    const auto& v2 = tv(mt2);
     int slot_m2 = -1;
     for (int i = 0; i < 3; ++i) {
-      if (m2.v[i] != vi && m2.v[i] != be.b) {
+      if (v2[i] != vi && v2[i] != be.b) {
         slot_m2 = i;
         break;
       }
@@ -374,7 +375,7 @@ VertIndex DelaunayMesh::insert_into_cavity(Vec2 p, const TriIndex* seeds,
     // Prefer a finite triangle as the next walk hint.
     last_tri_ = fresh_[0];
     for (const TriIndex t : fresh_) {
-      if (!tris_[static_cast<size_t>(t)].is_ghost()) {
+      if (!tri_ghost(t)) {
         last_tri_ = t;
         break;
       }
@@ -392,13 +393,12 @@ VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints,
   const LocateResult loc = locate(p, hint);
   switch (loc.kind) {
     case LocateResult::Kind::kOnVertex:
-      return tris_[static_cast<size_t>(loc.tri)].v[loc.edge];
+      return tv(loc.tri)[loc.edge];
     case LocateResult::Kind::kOnEdge: {
-      const MeshTri& mt = tris_[static_cast<size_t>(loc.tri)];
-      if (mt.constrained[loc.edge]) {
+      if (tri_constrained(loc.tri, loc.edge)) {
         return insert_point_on_edge(p, loc.tri, loc.edge);
       }
-      const TriIndex seeds[2] = {loc.tri, mt.n[loc.edge]};
+      const TriIndex seeds[2] = {loc.tri, tn(loc.tri)[loc.edge]};
       return insert_into_cavity(p, seeds, 2, respect_constraints);
     }
     case LocateResult::Kind::kInside:
@@ -411,23 +411,24 @@ VertIndex DelaunayMesh::insert_point(Vec2 p, bool respect_constraints,
 }
 
 VertIndex DelaunayMesh::insert_point_on_edge(Vec2 p, TriIndex t, int edge) {
-  MeshTri& mt = tris_[static_cast<size_t>(t)];
-  const VertIndex u = mt.v[(edge + 1) % 3];
-  const VertIndex w = mt.v[(edge + 2) % 3];
-  const TriIndex s = mt.n[edge];
+  const VertIndex u = tv(t)[(edge + 1) % 3];
+  const VertIndex w = tv(t)[(edge + 2) % 3];
+  const TriIndex s = tn(t)[edge];
   assert(s != kNoTri);
-  MeshTri& ms = tris_[static_cast<size_t>(s)];
   int sedge = -1;
-  for (int i = 0; i < 3; ++i) {
-    if (ms.n[i] == t) {
-      sedge = i;
-      break;
+  {
+    const auto& sn = tn(s);
+    for (int i = 0; i < 3; ++i) {
+      if (sn[i] == t) {
+        sedge = i;
+        break;
+      }
     }
   }
-  const bool was_constrained = mt.constrained[edge];
+  const bool was_constrained = tri_constrained(t, edge);
   // Temporarily unmark so the cavity can span both sides of the split edge.
-  mt.constrained[edge] = false;
-  ms.constrained[sedge] = false;
+  set_constrained(t, edge, false);
+  set_constrained(s, sedge, false);
 
   const TriIndex seeds[2] = {t, s};
   const VertIndex vi = insert_into_cavity(p, seeds, 2,
@@ -436,12 +437,11 @@ VertIndex DelaunayMesh::insert_point_on_edge(Vec2 p, TriIndex t, int edge) {
     for (const VertIndex end : {u, w}) {
       const auto [et, eslot] = find_edge(vi, end);
       assert(et != kNoTri);
-      MeshTri& m = tris_[static_cast<size_t>(et)];
-      m.constrained[eslot] = true;
-      const TriIndex other = m.n[eslot];
-      MeshTri& mo = tris_[static_cast<size_t>(other)];
+      set_constrained(et, eslot, true);
+      const TriIndex other = tn(et)[eslot];
+      const auto& on = tn(other);
       for (int i = 0; i < 3; ++i) {
-        if (mo.n[i] == et) mo.constrained[i] = true;
+        if (on[i] == et) set_constrained(other, i, true);
       }
     }
   }
@@ -455,16 +455,15 @@ std::pair<TriIndex, int> DelaunayMesh::find_edge(VertIndex u,
   TriIndex t = start;
   // Rotate around u; the sphere topology guarantees the orbit closes.
   do {
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
-    const int k = mt.index_of(u);
+    const int k = index_of(t, u);
     assert(k >= 0);
-    if (mt.v[(k + 1) % 3] == w) {
+    if (tv(t)[(k + 1) % 3] == w) {
       // Directed edge (u, w) is edge (k+... ) — edge containing (u, w) is the
       // one excluding the third vertex, slot (k + 2) % 3.
       return {t, (k + 2) % 3};
     }
     // Advance: cross the edge (v[k+2], v[k]) to rotate around u.
-    t = mt.n[(k + 1) % 3];
+    t = tn(t)[(k + 1) % 3];
   } while (t != start && t != kNoTri);
   return {kNoTri, -1};
 }
@@ -472,12 +471,11 @@ std::pair<TriIndex, int> DelaunayMesh::find_edge(VertIndex u,
 void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
   if (u == w) return;
   const auto mark_constrained = [this](TriIndex t, int slot) {
-    MeshTri& mt = tris_[static_cast<size_t>(t)];
-    mt.constrained[slot] = true;
-    const TriIndex o = mt.n[slot];
-    MeshTri& mo = tris_[static_cast<size_t>(o)];
+    set_constrained(t, slot, true);
+    const TriIndex o = tn(t)[slot];
+    const auto& on = tn(o);
     for (int i = 0; i < 3; ++i) {
-      if (mo.n[i] == t) mo.constrained[i] = true;
+      if (on[i] == t) set_constrained(o, i, true);
     }
   };
   {
@@ -501,11 +499,11 @@ void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
   {
     TriIndex t = start;
     do {
-      const MeshTri& mt = tris_[static_cast<size_t>(t)];
-      const int k = mt.index_of(u);
-      const VertIndex a = mt.v[(k + 1) % 3];
-      const VertIndex b = mt.v[(k + 2) % 3];
-      if (!mt.is_ghost() && a != kGhost && b != kGhost) {
+      const auto& v = tv(t);
+      const int k = index_of(t, u);
+      const VertIndex a = v[(k + 1) % 3];
+      const VertIndex b = v[(k + 2) % 3];
+      if (v[2] != kGhost && a != kGhost && b != kGhost) {
         const double oa = orient2d(pu, pw, point(a));
         const double ob = orient2d(pu, pw, point(b));
         if (oa == 0.0 && (point(a) - pu).dot(pw - pu) > 0.0 &&
@@ -523,7 +521,7 @@ void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
           break;
         }
       }
-      t = mt.n[(k + 1) % 3];
+      t = tn(t)[(k + 1) % 3];
     } while (t != start);
   }
   if (split_vertex != kGhost) {
@@ -541,12 +539,11 @@ void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
   std::deque<std::pair<VertIndex, VertIndex>> queue;
   {
     TriIndex cur = entry;
-    int cure = tris_[static_cast<size_t>(entry)].index_of(u);
+    int cure = index_of(entry, u);
     while (true) {
-      const MeshTri& mc = tris_[static_cast<size_t>(cur)];
-      const VertIndex a = mc.v[(cure + 1) % 3];
-      const VertIndex b = mc.v[(cure + 2) % 3];
-      if (mc.constrained[cure]) {
+      const VertIndex a = tv(cur)[(cure + 1) % 3];
+      const VertIndex b = tv(cur)[(cure + 2) % 3];
+      if (tri_constrained(cur, cure)) {
         char buf[256];
         std::snprintf(buf, sizeof buf,
                       "insert_segment: segment (%.17g,%.17g)-(%.17g,%.17g) "
@@ -557,13 +554,13 @@ void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
       }
       queue.emplace_back(a, b);
 
-      const TriIndex nb = mc.n[cure];
-      const MeshTri& mn = tris_[static_cast<size_t>(nb)];
+      const TriIndex nb = tn(cur)[cure];
+      const auto& nn = tn(nb);
       int nbslot = -1;
       for (int i = 0; i < 3; ++i) {
-        if (mn.n[i] == cur) nbslot = i;
+        if (nn[i] == cur) nbslot = i;
       }
-      const VertIndex q = mn.v[nbslot];
+      const VertIndex q = tv(nb)[nbslot];
       if (q == w) break;  // reached the far endpoint
       if (q == kGhost) {
         throw std::logic_error("insert_segment: channel left the hull");
@@ -576,15 +573,15 @@ void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
       }
       // The segment continues through (q, a) or (q, b), whichever straddles.
       const int qslot = nbslot;
-      // In mn, q is at qslot; edges (q, a) and (q, b) are the two slots
+      // In nb, q is at qslot; edges (q, a) and (q, b) are the two slots
       // other than qslot; pick by which far vertex lies across the line.
       cure = oq > 0.0 ? (qslot + 2) % 3   // continue through edge (b, q)?
                       : (qslot + 1) % 3;
-      // Edge (cure) of mn excludes mn.v[cure]; verify it straddles: its
-      // endpoints are q and one of a/b with opposite orientation signs.
+      // Edge (cure) of nb excludes its vertex `cure`; verify it straddles:
+      // its endpoints are q and one of a/b with opposite orientation signs.
       {
-        const VertIndex e1 = mn.v[(cure + 1) % 3];
-        const VertIndex e2 = mn.v[(cure + 2) % 3];
+        const VertIndex e1 = tv(nb)[(cure + 1) % 3];
+        const VertIndex e2 = tv(nb)[(cure + 2) % 3];
         const double o1 = orient2d(pu, pw, point(e1));
         const double o2 = orient2d(pu, pw, point(e2));
         if (!((o1 > 0.0 && o2 < 0.0) || (o1 < 0.0 && o2 > 0.0))) {
@@ -613,16 +610,17 @@ void DelaunayMesh::insert_segment(VertIndex u, VertIndex w) {
       const double ob = orient2d(pu, pw, point(b));
       if (!((oa > 0.0 && ob < 0.0) || (oa < 0.0 && ob > 0.0))) continue;
     }
-    MeshTri& mt = tris_[static_cast<size_t>(t)];
     const int e = (slot + 0) % 3;  // edge slot containing (a, b) is `slot`
-    const VertIndex p = mt.v[e];
-    const TriIndex s = mt.n[e];
-    const MeshTri& ms = tris_[static_cast<size_t>(s)];
+    const VertIndex p = tv(t)[e];
+    const TriIndex s = tn(t)[e];
     int sedge = -1;
-    for (int i = 0; i < 3; ++i) {
-      if (ms.n[i] == t) sedge = i;
+    {
+      const auto& sn = tn(s);
+      for (int i = 0; i < 3; ++i) {
+        if (sn[i] == t) sedge = i;
+      }
     }
-    const VertIndex q = ms.v[sedge];
+    const VertIndex q = tv(s)[sedge];
     bool convex = false;
     if (q != kGhost && p != kGhost) {
       const double op1 = orient2d(point(p), point(q), point(a));
@@ -667,28 +665,26 @@ void DelaunayMesh::carve(const std::vector<Vec2>& hole_seeds) {
   std::vector<TriIndex> stack;
   // Phase 1: everything reachable from the outer face without crossing a
   // constrained edge is outside.
-  for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
-    MeshTri& mt = tris_[static_cast<size_t>(t)];
-    if (mt.dead) continue;
-    if (mt.is_ghost()) {
-      mt.inside = false;
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tri_v_.size()); ++t) {
+    if (tri_dead(t)) continue;
+    if (tri_ghost(t)) {
+      set_flag(t, kInside, false);
       stack.push_back(t);
     } else {
-      mt.inside = true;
+      set_flag(t, kInside, true);
     }
   }
   auto flood = [this, &stack]() {
     while (!stack.empty()) {
       const TriIndex t = stack.back();
       stack.pop_back();
-      const MeshTri& mt = tris_[static_cast<size_t>(t)];
+      const auto& n = tn(t);
       for (int i = 0; i < 3; ++i) {
-        if (mt.constrained[i]) continue;
-        const TriIndex nb = mt.n[i];
+        if (tri_constrained(t, i)) continue;
+        const TriIndex nb = n[i];
         if (nb == kNoTri) continue;
-        MeshTri& mn = tris_[static_cast<size_t>(nb)];
-        if (mn.dead || !mn.inside) continue;
-        mn.inside = false;
+        if (tri_dead(nb) || !tri_inside(nb)) continue;
+        set_flag(nb, kInside, false);
         stack.push_back(nb);
       }
     }
@@ -699,59 +695,69 @@ void DelaunayMesh::carve(const std::vector<Vec2>& hole_seeds) {
   for (const Vec2 h : hole_seeds) {
     const LocateResult loc = locate(h);
     if (loc.kind == LocateResult::Kind::kOutside) continue;
-    MeshTri& mt = tris_[static_cast<size_t>(loc.tri)];
-    if (!mt.inside) continue;
-    mt.inside = false;
+    if (!tri_inside(loc.tri)) continue;
+    set_flag(loc.tri, kInside, false);
     stack.push_back(loc.tri);
     flood();
   }
 }
 
 void DelaunayMesh::flip_edge(TriIndex t, int edge) {
-  MeshTri& mt = tris_[static_cast<size_t>(t)];
-  const TriIndex s = mt.n[edge];
-  MeshTri& ms = tris_[static_cast<size_t>(s)];
-  assert(!mt.is_ghost() && !ms.is_ghost());
+  const TriIndex s = tn(t)[edge];
+  assert(!tri_ghost(t) && !tri_ghost(s));
   int sedge = -1;
-  for (int i = 0; i < 3; ++i) {
-    if (ms.n[i] == t) sedge = i;
+  {
+    const auto& sn = tn(s);
+    for (int i = 0; i < 3; ++i) {
+      if (sn[i] == t) sedge = i;
+    }
   }
   assert(sedge >= 0);
 
-  const VertIndex p = mt.v[edge];
-  const VertIndex a = mt.v[(edge + 1) % 3];
-  const VertIndex b = mt.v[(edge + 2) % 3];
-  const VertIndex q = ms.v[sedge];
-  assert(ms.v[(sedge + 1) % 3] == b && ms.v[(sedge + 2) % 3] == a);
+  const VertIndex p = tv(t)[edge];
+  const VertIndex a = tv(t)[(edge + 1) % 3];
+  const VertIndex b = tv(t)[(edge + 2) % 3];
+  const VertIndex q = tv(s)[sedge];
+  assert(tv(s)[(sedge + 1) % 3] == b && tv(s)[(sedge + 2) % 3] == a);
 
-  const TriIndex t_bp = mt.n[(edge + 1) % 3];
-  const TriIndex t_pa = mt.n[(edge + 2) % 3];
-  const bool c_bp = mt.constrained[(edge + 1) % 3];
-  const bool c_pa = mt.constrained[(edge + 2) % 3];
-  const TriIndex s_aq = ms.n[(sedge + 1) % 3];
-  const TriIndex s_qb = ms.n[(sedge + 2) % 3];
-  const bool c_aq = ms.constrained[(sedge + 1) % 3];
-  const bool c_qb = ms.constrained[(sedge + 2) % 3];
+  const TriIndex t_bp = tn(t)[(edge + 1) % 3];
+  const TriIndex t_pa = tn(t)[(edge + 2) % 3];
+  const bool c_bp = tri_constrained(t, (edge + 1) % 3);
+  const bool c_pa = tri_constrained(t, (edge + 2) % 3);
+  const TriIndex s_aq = tn(s)[(sedge + 1) % 3];
+  const TriIndex s_qb = tn(s)[(sedge + 2) % 3];
+  const bool c_aq = tri_constrained(s, (sedge + 1) % 3);
+  const bool c_qb = tri_constrained(s, (sedge + 2) % 3);
 
   // Reuse storage: t becomes (p, a, q), s becomes (q, b, p).
-  mt.v = {p, a, q};
-  mt.constrained = {c_aq, false, c_pa};
-  ms.v = {q, b, p};
-  ms.constrained = {c_bp, false, c_qb};
-  mt.n = {s_aq, s, t_pa};
-  ms.n = {t_bp, t, s_qb};
+  tv(t) = {p, a, q};
+  set_constrained(t, 0, c_aq);
+  set_constrained(t, 1, false);
+  set_constrained(t, 2, c_pa);
+  tv(s) = {q, b, p};
+  set_constrained(s, 0, c_bp);
+  set_constrained(s, 1, false);
+  set_constrained(s, 2, c_qb);
+  tn(t) = {s_aq, s, t_pa};
+  tn(s) = {t_bp, t, s_qb};
 
   // Fix the two backlinks that changed owners.
-  MeshTri& maq = tris_[static_cast<size_t>(s_aq)];
-  for (int i = 0; i < 3; ++i) {
-    if (maq.n[i] == s && maq.v[(i + 1) % 3] == q && maq.v[(i + 2) % 3] == a) {
-      maq.n[i] = t;
+  {
+    const auto& v_aq = tv(s_aq);
+    auto& n_aq = tn(s_aq);
+    for (int i = 0; i < 3; ++i) {
+      if (n_aq[i] == s && v_aq[(i + 1) % 3] == q && v_aq[(i + 2) % 3] == a) {
+        n_aq[i] = t;
+      }
     }
   }
-  MeshTri& mbp = tris_[static_cast<size_t>(t_bp)];
-  for (int i = 0; i < 3; ++i) {
-    if (mbp.n[i] == t && mbp.v[(i + 1) % 3] == p && mbp.v[(i + 2) % 3] == b) {
-      mbp.n[i] = s;
+  {
+    const auto& v_bp = tv(t_bp);
+    auto& n_bp = tn(t_bp);
+    for (int i = 0; i < 3; ++i) {
+      if (n_bp[i] == t && v_bp[(i + 1) % 3] == p && v_bp[(i + 2) % 3] == b) {
+        n_bp[i] = s;
+      }
     }
   }
 
@@ -768,18 +774,20 @@ void DelaunayMesh::legalize_edge(TriIndex t0, int e0) {
   while (!legalize_stack_.empty()) {
     const auto [t, e] = legalize_stack_.back();
     legalize_stack_.pop_back();
-    MeshTri& mt = tris_[static_cast<size_t>(t)];
-    if (mt.dead || mt.is_ghost() || mt.constrained[e]) continue;
-    const TriIndex s = mt.n[e];
-    const MeshTri& ms = tris_[static_cast<size_t>(s)];
-    if (ms.is_ghost()) continue;
+    if (tri_dead(t) || tri_ghost(t) || tri_constrained(t, e)) continue;
+    const TriIndex s = tn(t)[e];
+    if (tri_ghost(s)) continue;
     int sedge = -1;
-    for (int i = 0; i < 3; ++i) {
-      if (ms.n[i] == t) sedge = i;
+    {
+      const auto& sn = tn(s);
+      for (int i = 0; i < 3; ++i) {
+        if (sn[i] == t) sedge = i;
+      }
     }
-    const VertIndex q = ms.v[sedge];
-    if (incircle_fast(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]),
-                      point(q)) > 0.0) {
+    const VertIndex q = tv(s)[sedge];
+    const auto& v = tv(t);
+    if (incircle_fast(point(v[0]), point(v[1]), point(v[2]), point(q)) >
+        0.0) {
       flip_edge(t, e);
       // After the flip t = (p, a, q) and s = (q, b, p); re-examine the four
       // outer edges (the re-check before each flip keeps this safe even if a
@@ -793,53 +801,55 @@ void DelaunayMesh::legalize_edge(TriIndex t0, int e0) {
 }
 
 bool DelaunayMesh::check_topology() const {
-  for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
-    if (mt.dead) continue;
-    if (!mt.is_ghost()) {
-      if (orient2d(point(mt.v[0]), point(mt.v[1]), point(mt.v[2])) <= 0.0) {
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tri_v_.size()); ++t) {
+    if (tri_dead(t)) continue;
+    const auto& v = tv(t);
+    const auto& n = tn(t);
+    if (!tri_ghost(t)) {
+      if (orient2d(point(v[0]), point(v[1]), point(v[2])) <= 0.0) {
         return false;  // not CCW / degenerate
       }
-    } else if (mt.v[0] == kGhost || mt.v[1] == kGhost) {
+    } else if (v[0] == kGhost || v[1] == kGhost) {
       return false;  // ghost vertex must be in slot 2
     }
     for (int i = 0; i < 3; ++i) {
-      const TriIndex nb = mt.n[i];
+      const TriIndex nb = n[i];
       if (nb == kNoTri) return false;  // sphere: every edge has two sides
-      const MeshTri& mn = tris_[static_cast<size_t>(nb)];
-      if (mn.dead) return false;
+      if (tri_dead(nb)) return false;
+      const auto& nbn = tn(nb);
       int back = -1;
       for (int j = 0; j < 3; ++j) {
-        if (mn.n[j] == t) back = j;
+        if (nbn[j] == t) back = j;
       }
       if (back < 0) return false;  // adjacency not mutual
       // Shared edge must have the same vertex set, opposite direction.
-      const VertIndex a = mt.v[(i + 1) % 3];
-      const VertIndex b = mt.v[(i + 2) % 3];
-      const VertIndex c = mn.v[(back + 1) % 3];
-      const VertIndex d = mn.v[(back + 2) % 3];
+      const VertIndex a = v[(i + 1) % 3];
+      const VertIndex b = v[(i + 2) % 3];
+      const VertIndex c = tv(nb)[(back + 1) % 3];
+      const VertIndex d = tv(nb)[(back + 2) % 3];
       if (!(a == d && b == c)) return false;
-      if (mt.constrained[i] != mn.constrained[back]) return false;
+      if (tri_constrained(t, i) != tri_constrained(nb, back)) return false;
     }
   }
   return true;
 }
 
 bool DelaunayMesh::check_delaunay() const {
-  for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tri_v_.size()); ++t) {
     if (!is_live_finite(t)) continue;
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
+    const auto& v = tv(t);
     for (int i = 0; i < 3; ++i) {
-      if (mt.constrained[i]) continue;
-      const MeshTri& mn = tris_[static_cast<size_t>(mt.n[i])];
-      if (mn.is_ghost()) continue;
+      if (tri_constrained(t, i)) continue;
+      const TriIndex nb = tn(t)[i];
+      if (tri_ghost(nb)) continue;
       int back = -1;
+      const auto& nbn = tn(nb);
       for (int j = 0; j < 3; ++j) {
-        if (mn.n[j] == t) back = j;
+        if (nbn[j] == t) back = j;
       }
-      const VertIndex apex = mn.v[back];
-      if (incircle(point(mt.v[0]), point(mt.v[1]), point(mt.v[2]),
-                   point(apex)) > 0.0) {
+      const VertIndex apex = tv(nb)[back];
+      if (incircle(point(v[0]), point(v[1]), point(v[2]), point(apex)) >
+          0.0) {
         return false;
       }
     }

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "delaunay/chunked.hpp"
 #include "geom/bbox.hpp"
 #include "geom/vec2.hpp"
 #include "obs/annotations.hpp"
@@ -20,7 +21,8 @@ using TriIndex = std::int32_t;
 inline constexpr VertIndex kGhost = -1;
 inline constexpr TriIndex kNoTri = -1;
 
-/// A triangle of the mesh. Finite triangles store their vertices in
+/// A value snapshot of one triangle, assembled from the SoA arrays by
+/// DelaunayMesh::tri(). Finite triangles store their vertices in
 /// counter-clockwise order. Ghost triangles have v[2] == kGhost and
 /// (v[0], v[1]) traversing the convex hull so that the finite interior is on
 /// the right of v[0]->v[1] (i.e. the matching finite triangle owns the
@@ -67,6 +69,14 @@ struct LocateResult {
 /// kGhost) covers the outer face. This removes every hull special case from
 /// insertion: a point outside the current hull simply has ghost triangles in
 /// its cavity.
+///
+/// Storage is structure-of-arrays over chunked grow-only arenas
+/// (delaunay/chunked.hpp): vertex coordinates, triangle connectivity
+/// (`tri_v_`), adjacency (`tri_n_`), and a packed per-triangle flag byte
+/// each live in their own arena. 25 bytes per triangle slot (vs 32 for the
+/// old array-of-structs record) and no reallocation spikes. Triangle ids
+/// are never reused within one triangulation run, so the id sequence — and
+/// through it the merged-mesh output — is identical to the old layout.
 class DelaunayMesh {
  public:
   DelaunayMesh() = default;
@@ -77,24 +87,36 @@ class DelaunayMesh {
   std::size_t inside_triangle_count() const;
   std::size_t point_count() const { return points_.size(); }
 
-  const std::vector<Vec2>& points() const { return points_; }
   Vec2 point(VertIndex v) const { return points_[static_cast<size_t>(v)]; }
 
-  /// All triangle storage including dead and ghost entries; callers filter
+  /// Total triangle slots including dead and ghost entries; callers filter
   /// with is_live_finite(). Index stability: triangle ids are never reused
   /// within one triangulation run.
-  const std::vector<MeshTri>& triangles() const { return tris_; }
-  const MeshTri& tri(TriIndex t) const { return tris_[static_cast<size_t>(t)]; }
+  std::size_t triangle_slots() const { return tri_v_.size(); }
+
+  /// Value snapshot of triangle t (dead and ghost slots included).
+  MeshTri tri(TriIndex t) const {
+    const auto i = static_cast<std::size_t>(t);
+    MeshTri m;
+    m.v = tri_v_[i];
+    m.n = tri_n_[i];
+    const std::uint8_t f = tri_flags_[i];
+    m.constrained = {(f & kConstrained0) != 0, (f & kConstrained1) != 0,
+                     (f & kConstrained2) != 0};
+    m.inside = (f & kInside) != 0;
+    m.dead = (f & kDead) != 0;
+    return m;
+  }
 
   /// Override the region flag of a triangle (used by the decomposition's
   /// circumcenter ownership rule and by global carving).
   void set_inside(TriIndex t, bool inside) {
-    tris_[static_cast<size_t>(t)].inside = inside;
+    set_flag(t, kInside, inside);
   }
 
   bool is_live_finite(TriIndex t) const {
-    const MeshTri& mt = tris_[static_cast<size_t>(t)];
-    return !mt.dead && !mt.is_ghost();
+    const auto i = static_cast<std::size_t>(t);
+    return (tri_flags_[i] & kDead) == 0 && tri_v_[i][2] != kGhost;
   }
 
   /// Initialize from at least two distinct points; returns false if all
@@ -155,7 +177,7 @@ class DelaunayMesh {
   /// Visit each live finite triangle index.
   template <typename Fn>
   void for_each_triangle(Fn&& fn) const {
-    for (TriIndex t = 0; t < static_cast<TriIndex>(tris_.size()); ++t) {
+    for (TriIndex t = 0; t < static_cast<TriIndex>(tri_v_.size()); ++t) {
       if (is_live_finite(t)) fn(t);
     }
   }
@@ -178,6 +200,56 @@ class DelaunayMesh {
   /// replays speculated cavities through the same mutations
   /// insert_into_cavity performs. See that header for the phase protocol.
   friend class ParallelInserter;
+
+  // Flag byte layout (tri_flags_): three per-edge constraint bits aligned
+  // with tri_n_, the carve region bit, and the tombstone bit.
+  static constexpr std::uint8_t kConstrained0 = 1u << 0;
+  static constexpr std::uint8_t kConstrained1 = 1u << 1;
+  static constexpr std::uint8_t kConstrained2 = 1u << 2;
+  static constexpr std::uint8_t kInside = 1u << 3;
+  static constexpr std::uint8_t kDead = 1u << 4;
+  static constexpr std::uint8_t kConstrainedMask =
+      kConstrained0 | kConstrained1 | kConstrained2;
+
+  // -- SoA accessors (the only paths to the arenas; friends use these) -----
+  std::array<VertIndex, 3>& tv(TriIndex t) {
+    return tri_v_[static_cast<std::size_t>(t)];
+  }
+  const std::array<VertIndex, 3>& tv(TriIndex t) const {
+    return tri_v_[static_cast<std::size_t>(t)];
+  }
+  std::array<TriIndex, 3>& tn(TriIndex t) {
+    return tri_n_[static_cast<std::size_t>(t)];
+  }
+  const std::array<TriIndex, 3>& tn(TriIndex t) const {
+    return tri_n_[static_cast<std::size_t>(t)];
+  }
+  bool tri_dead(TriIndex t) const {
+    return (tri_flags_[static_cast<std::size_t>(t)] & kDead) != 0;
+  }
+  bool tri_ghost(TriIndex t) const { return tv(t)[2] == kGhost; }
+  bool tri_inside(TriIndex t) const {
+    return (tri_flags_[static_cast<std::size_t>(t)] & kInside) != 0;
+  }
+  bool tri_constrained(TriIndex t, int edge) const {
+    return (tri_flags_[static_cast<std::size_t>(t)] &
+            (kConstrained0 << edge)) != 0;
+  }
+  void set_flag(TriIndex t, std::uint8_t bit, bool on) {
+    std::uint8_t& f = tri_flags_[static_cast<std::size_t>(t)];
+    f = on ? static_cast<std::uint8_t>(f | bit)
+           : static_cast<std::uint8_t>(f & ~bit);
+  }
+  void set_constrained(TriIndex t, int edge, bool on) {
+    set_flag(t, static_cast<std::uint8_t>(kConstrained0 << edge), on);
+  }
+  int index_of(TriIndex t, VertIndex u) const {
+    const auto& v = tv(t);
+    for (int i = 0; i < 3; ++i) {
+      if (v[i] == u) return i;
+    }
+    return -1;
+  }
 
   TriIndex new_tri();
   std::uint32_t next_rand() const;
@@ -204,9 +276,12 @@ class DelaunayMesh {
   /// starting from the given edge.
   void legalize_edge(TriIndex t, int edge);
 
-  std::vector<Vec2> points_;
-  std::vector<MeshTri> tris_;
-  std::vector<TriIndex> vert_tri_;
+  // SoA arenas (see class comment).
+  ChunkedArray<Vec2> points_;
+  ChunkedArray<std::array<VertIndex, 3>> tri_v_;
+  ChunkedArray<std::array<TriIndex, 3>> tri_n_;
+  ChunkedArray<std::uint8_t> tri_flags_;
+  ChunkedArray<TriIndex> vert_tri_;
   std::size_t live_finite_ = 0;
   std::size_t input_point_count_ = 0;
   /// Walk-hint cache. Shared-state discipline under the parallel engine:

@@ -119,18 +119,18 @@ VertIndex ParallelInserter::grid_lookup(Vec2 p) const {
 
 bool ParallelInserter::spec_locate(Vec2 p, TriIndex start, std::uint32_t& rng,
                                    LocateResult& res) const {
-  const std::vector<MeshTri>& tris = mesh_.tris_;
+  const DelaunayMesh& m = mesh_;
   TriIndex t = start;
-  if (t == kNoTri || tris[static_cast<std::size_t>(t)].dead) return false;
-  if (tris[static_cast<std::size_t>(t)].is_ghost()) {
-    t = tris[static_cast<std::size_t>(t)].n[2];  // its finite partner
+  if (t == kNoTri || m.tri_dead(t)) return false;
+  if (m.tri_ghost(t)) {
+    t = m.tn(t)[2];  // its finite partner
   }
   // Mirror of DelaunayMesh::locate (same classification, same stochastic
   // crossing rule) minus every mesh write: last_tri_ and rand_state_ belong
   // to the commit phase.
   int came_from = -1;
-  for (std::size_t guard = 0; guard <= 4 * tris.size() + 16; ++guard) {
-    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+  for (std::size_t guard = 0; guard <= 4 * m.triangle_slots() + 16; ++guard) {
+    const auto& v = m.tv(t);
     double o[3];
     int neg[3];
     int nneg = 0;
@@ -140,8 +140,8 @@ bool ParallelInserter::spec_locate(Vec2 p, TriIndex start, std::uint32_t& rng,
         o[i] = 1.0;
         continue;
       }
-      o[i] = orient2d_fast(mesh_.point(mt.v[(i + 1) % 3]),
-                           mesh_.point(mt.v[(i + 2) % 3]), p);
+      o[i] = orient2d_fast(m.point(v[(i + 1) % 3]),
+                           m.point(v[(i + 2) % 3]), p);
       if (o[i] < 0.0) neg[nneg++] = i;
       if (o[i] == 0.0) zero_mask |= 1 << i;
     }
@@ -168,16 +168,16 @@ bool ParallelInserter::spec_locate(Vec2 p, TriIndex start, std::uint32_t& rng,
         neg[nneg == 1 ? 0
                       : static_cast<int>(spec_rand(rng) %
                                          static_cast<unsigned>(nneg))];
-    const TriIndex nb = mt.n[cross];
-    const MeshTri& nbt = tris[static_cast<std::size_t>(nb)];
-    if (nbt.is_ghost()) {
+    const TriIndex nb = m.tn(t)[cross];
+    if (m.tri_ghost(nb)) {
       res.kind = LocateResult::Kind::kOutside;
       res.tri = nb;
       return true;
     }
     came_from = -1;
+    const auto& nbn = m.tn(nb);
     for (int i = 0; i < 3; ++i) {
-      if (nbt.n[i] == t) {
+      if (nbn[i] == t) {
         came_from = i;
         break;
       }
@@ -200,13 +200,14 @@ void ParallelInserter::speculate(Vec2 p, std::uint32_t seq_index,
   }
   if (loc.kind == LocateResult::Kind::kOnVertex) {
     spec.kind = Spec::Kind::kDuplicate;
-    spec.dup = mesh_.tris_[static_cast<std::size_t>(loc.tri)].v[loc.edge];
+    spec.dup = mesh_.tv(loc.tri)[loc.edge];
     return;
   }
 
-  const std::vector<MeshTri>& tris = mesh_.tris_;
-  if (ws.mark.size() < tris.size()) {
-    ws.mark.resize(tris.size() + tris.size() / 2 + 8, 0);
+  const DelaunayMesh& m = mesh_;
+  const std::size_t slots = m.triangle_slots();
+  if (ws.mark.size() < slots) {
+    ws.mark.resize(slots + slots / 2 + 8, 0);
   }
   if (++ws.epoch == 0) {  // stamp wrap: reset marks once per 2^32 points
     std::fill(ws.mark.begin(), ws.mark.end(), 0u);
@@ -222,7 +223,7 @@ void ParallelInserter::speculate(Vec2 p, std::uint32_t seq_index,
   std::size_t nseeds = 1;
   seeds[0] = loc.tri;
   if (loc.kind == LocateResult::Kind::kOnEdge) {
-    seeds[1] = tris[static_cast<std::size_t>(loc.tri)].n[loc.edge];
+    seeds[1] = m.tn(loc.tri)[loc.edge];
     nseeds = 2;
   }
   for (std::size_t s = 0; s < nseeds; ++s) {
@@ -233,35 +234,37 @@ void ParallelInserter::speculate(Vec2 p, std::uint32_t seq_index,
     const TriIndex t = ws.stack.back();
     ws.stack.pop_back();
     spec.cavity.push_back(t);
-    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    const auto& tn = m.tn(t);
     for (int i = 0; i < 3; ++i) {
-      const TriIndex nb = mt.n[i];
+      const TriIndex nb = tn[i];
       if (nb == kNoTri || ws.mark[static_cast<std::size_t>(nb)] == epoch) {
         continue;
       }
-      if (mesh_.in_cavity(nb, p)) {
+      if (m.in_cavity(nb, p)) {
         ws.mark[static_cast<std::size_t>(nb)] = epoch;
         ws.stack.push_back(nb);
       }
     }
   }
   for (const TriIndex t : spec.cavity) {
-    const MeshTri& mt = tris[static_cast<std::size_t>(t)];
+    const auto& tvv = m.tv(t);
+    const auto& tnn = m.tn(t);
     for (int i = 0; i < 3; ++i) {
-      const TriIndex nb = mt.n[i];
+      const TriIndex nb = tnn[i];
       if (nb != kNoTri && ws.mark[static_cast<std::size_t>(nb)] == epoch) {
         continue;
       }
       int nb_edge = -1;
-      const MeshTri& nbt = tris[static_cast<std::size_t>(nb)];
+      const auto& nbn = m.tn(nb);
       for (int j = 0; j < 3; ++j) {
-        if (nbt.n[j] == t) {
+        if (nbn[j] == t) {
           nb_edge = j;
           break;
         }
       }
-      spec.boundary.push_back({mt.v[(i + 1) % 3], mt.v[(i + 2) % 3], nb,
-                               nb_edge, mt.is_ghost() ? true : mt.inside});
+      spec.boundary.push_back({tvv[(i + 1) % 3], tvv[(i + 2) % 3], nb,
+                               nb_edge,
+                               m.tri_ghost(t) ? true : m.tri_inside(t)});
     }
   }
   spec.kind = Spec::Kind::kCavity;
@@ -282,10 +285,10 @@ void ParallelInserter::speculate_stride(int worker) {
 // Phase B: serial commit.
 
 bool ParallelInserter::spec_valid(const Spec& spec) const {
-  const std::vector<MeshTri>& tris = mesh_.tris_;
+  const DelaunayMesh& m = mesh_;
   const auto untouched = [&](TriIndex t) {
+    if (m.tri_dead(t)) return false;
     const auto i = static_cast<std::size_t>(t);
-    if (tris[i].dead) return false;
     return i >= touched_.size() || touched_[i] != window_id_;
   };
   // A speculation stays exact iff nothing it read moved: every cavity
@@ -303,11 +306,12 @@ bool ParallelInserter::spec_valid(const Spec& spec) const {
 }
 
 void ParallelInserter::stamp_neighbors_of_fresh(std::size_t tris_before) {
-  if (touched_.size() < mesh_.tris_.size()) {
-    touched_.resize(mesh_.tris_.size() + mesh_.tris_.size() / 2 + 8, 0);
+  const std::size_t slots = mesh_.triangle_slots();
+  if (touched_.size() < slots) {
+    touched_.resize(slots + slots / 2 + 8, 0);
   }
-  for (std::size_t f = tris_before; f < mesh_.tris_.size(); ++f) {
-    for (const TriIndex nb : mesh_.tris_[f].n) {
+  for (std::size_t f = tris_before; f < slots; ++f) {
+    for (const TriIndex nb : mesh_.tri_n_[f]) {
       if (nb != kNoTri && static_cast<std::size_t>(nb) < tris_before) {
         touched_[static_cast<std::size_t>(nb)] = window_id_;
       }
@@ -317,7 +321,7 @@ void ParallelInserter::stamp_neighbors_of_fresh(std::size_t tris_before) {
 
 VertIndex ParallelInserter::commit_replay(Vec2 p, const Spec& spec) {
   DelaunayMesh& m = mesh_;
-  const std::size_t tris_before = m.tris_.size();
+  const std::size_t tris_before = m.triangle_slots();
   const auto vi = static_cast<VertIndex>(m.points_.size());
   m.points_.push_back(p);
   m.vert_tri_.push_back(kNoTri);
@@ -333,19 +337,18 @@ VertIndex ParallelInserter::commit_replay(Vec2 p, const Spec& spec) {
   m.fresh_.clear();
   for (const SpecEdge& be : spec.boundary) {
     const TriIndex nt = m.new_tri();
-    MeshTri& t = m.tris_[static_cast<std::size_t>(nt)];
     if (be.a == kGhost) {
-      t.v = {be.b, vi, kGhost};
-      t.inside = false;
+      m.tv(nt) = {be.b, vi, kGhost};
+      m.set_flag(nt, DelaunayMesh::kInside, false);
     } else if (be.b == kGhost) {
-      t.v = {vi, be.a, kGhost};
-      t.inside = false;
+      m.tv(nt) = {vi, be.a, kGhost};
+      m.set_flag(nt, DelaunayMesh::kInside, false);
     } else {
-      t.v = {vi, be.a, be.b};
-      t.inside = be.inside_region;
+      m.tv(nt) = {vi, be.a, be.b};
+      m.set_flag(nt, DelaunayMesh::kInside, be.inside_region);
       ++m.live_finite_;
     }
-    const int s_ab = t.index_of(vi);
+    const int s_ab = m.index_of(nt, vi);
     m.link(nt, s_ab, be.outside, be.outside_edge);
     TriIndex& start = m.fan_start_[static_cast<std::size_t>(be.a + 1)];
     if (start == kNoTri) start = nt;
@@ -355,11 +358,11 @@ VertIndex ParallelInserter::commit_replay(Vec2 p, const Spec& spec) {
     const SpecEdge& be = spec.boundary[idx];
     const TriIndex nt = m.fresh_[idx];
     const TriIndex mt2 = m.fan_start_[static_cast<std::size_t>(be.b + 1)];
-    const int slot_nt = m.tris_[static_cast<std::size_t>(nt)].index_of(be.a);
-    const MeshTri& m2 = m.tris_[static_cast<std::size_t>(mt2)];
+    const int slot_nt = m.index_of(nt, be.a);
+    const auto& v2 = m.tv(mt2);
     int slot_m2 = -1;
     for (int i = 0; i < 3; ++i) {
-      if (m2.v[i] != vi && m2.v[i] != be.b) {
+      if (v2[i] != vi && v2[i] != be.b) {
         slot_m2 = i;
         break;
       }
@@ -373,7 +376,7 @@ VertIndex ParallelInserter::commit_replay(Vec2 p, const Spec& spec) {
   for (const TriIndex t : m.fresh_) m.set_vert_tri(t);
   m.last_tri_ = m.fresh_[0];
   for (const TriIndex t : m.fresh_) {
-    if (!m.tris_[static_cast<std::size_t>(t)].is_ghost()) {
+    if (!m.tri_ghost(t)) {
       m.last_tri_ = t;
       break;
     }
@@ -383,7 +386,7 @@ VertIndex ParallelInserter::commit_replay(Vec2 p, const Spec& spec) {
 }
 
 VertIndex ParallelInserter::commit_fallback(Vec2 p) {
-  const std::size_t tris_before = mesh_.tris_.size();
+  const std::size_t tris_before = mesh_.triangle_slots();
   const VertIndex hv = grid_lookup(p);
   const TriIndex hint =
       hv == kGhost ? kNoTri : mesh_.vert_tri_[static_cast<std::size_t>(hv)];
@@ -424,7 +427,8 @@ bool ParallelInserter::run(const std::vector<Vec2>& ordered,
   for (std::size_t i = 0; i < prefix; ++i) {
     grid_note(ordered[i], boot_ids[i]);
   }
-  touched_.assign(mesh_.tris_.size() + mesh_.tris_.size() / 2 + 8, 0);
+  const std::size_t slots = mesh_.triangle_slots();
+  touched_.assign(slots + slots / 2 + 8, 0);
   window_id_ = 0;
   ordered_ = &ordered;
   stats_ = Stats{};

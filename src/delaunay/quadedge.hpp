@@ -66,10 +66,13 @@ class QuadEdge {
   struct TestAccess;
 
  private:
-  std::vector<EdgeRef> next_;     ///< Onext per quarter-edge
-  std::vector<VertIndex> data_;   ///< origin vertex per primal quarter
-  std::vector<std::uint8_t> dead_;///< per physical edge
-  std::vector<EdgeRef> free_;     ///< recycled physical edges (base ids)
+  // Chunked grow-only arenas (delaunay/chunked.hpp): same no-realloc /
+  // stable-address properties as the mesh SoA arrays; the free list is
+  // transient scratch and stays a plain vector.
+  ChunkedArray<EdgeRef> next_;      ///< Onext per quarter-edge
+  ChunkedArray<VertIndex> data_;    ///< origin vertex per primal quarter
+  ChunkedArray<std::uint8_t> dead_; ///< per physical edge
+  std::vector<EdgeRef> free_;       ///< recycled physical edges (base ids)
 };
 
 /// Divide-and-conquer Delaunay triangulation (Guibas-Stolfi) with vertical

@@ -75,7 +75,7 @@ bool RuppertRefiner::edge_is_encroached(TriIndex t, int slot) const {
 RuppertRefiner::Walk RuppertRefiner::walk_to(Vec2 c, TriIndex t) const {
   Walk w;
   int came_from = -1;
-  const std::size_t guard = 4 * mesh_.triangles().size() + 16;
+  const std::size_t guard = 4 * mesh_.triangle_slots() + 16;
   for (std::size_t step = 0; step < guard; ++step) {
     const MeshTri& mt = mesh_.tri(t);
     int cross = -1;
@@ -212,7 +212,7 @@ RefineStats RuppertRefiner::refine() {
       }
     }
   };
-  const auto total = static_cast<TriIndex>(mesh_.triangles().size());
+  const auto total = static_cast<TriIndex>(mesh_.triangle_slots());
   const int threads = std::max(1, opts_.threads);
   if (threads > 1 && total >= 16384) {
     constexpr std::size_t kChunks = 64;  // fixed: independent of `threads`

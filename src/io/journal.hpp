@@ -24,13 +24,16 @@ namespace aero {
 /// `config_hash` is the canonical options+geometry hash of the run that
 /// wrote the journal; a resume against different options is rejected whole.
 /// `key` is the deterministic subdomain content key (runtime/checkpoint),
-/// `payload` an opaque serialized triangle block. Each record is framed
-/// independently so a torn tail -- the normal outcome of a crash mid-write
-/// -- invalidates only the bytes after the last intact record, never the
-/// journal: the loader stops at the first truncated or corrupt record and
-/// reports the discarded byte count.
+/// `payload` an opaque serialized block -- since journal version 2 every
+/// checkpoint payload carries its own "ASUP" tag + version prefix (see
+/// runtime/checkpoint.hpp), so a payload-format change is rejected per
+/// record with a typed status instead of silently mis-decoding. Each record
+/// is framed independently so a torn tail -- the normal outcome of a crash
+/// mid-write -- invalidates only the bytes after the last intact record,
+/// never the journal: the loader stops at the first truncated or corrupt
+/// record and reports the discarded byte count.
 
-inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 /// Hard sanity bound on a single record's payload: a corrupt length field
 /// must not become a multi-gigabyte allocation.
@@ -60,6 +63,53 @@ struct JournalContents {
 JournalContents read_journal(const std::string& path,
                              std::uint64_t expected_config_hash);
 
+/// One record's location in a journal file: everything the out-of-core
+/// merge needs to schedule a seek-read later, without the payload bytes.
+struct JournalFrame {
+  std::uint64_t key = 0;
+  std::uint64_t payload_offset = 0;  ///< file offset of the payload bytes
+  std::uint32_t payload_len = 0;
+};
+
+/// read_journal's bounded-memory sibling: same header and per-record CRC
+/// validation, but payloads are streamed through a small scratch buffer for
+/// the CRC check and only their offsets are kept. Peak resident memory is
+/// O(1) regardless of journal size -- this is what lets the out-of-core
+/// merge index a spill file bigger than the resident budget.
+struct JournalIndex {
+  bool header_ok = false;
+  bool hash_mismatch = false;
+  std::uint32_t version = 0;
+  std::uint64_t config_hash = 0;
+  std::vector<JournalFrame> frames;
+  std::size_t discarded_bytes = 0;
+};
+JournalIndex scan_journal_index(const std::string& path,
+                                std::uint64_t expected_config_hash);
+
+/// Random-access payload reader over an indexed journal: seeks to a frame
+/// and re-verifies its CRC trailer on every read, so a file torn or
+/// rewritten between scan and read is caught, never mis-decoded.
+class JournalReader {
+ public:
+  JournalReader() = default;
+  ~JournalReader() { close(); }
+  JournalReader(const JournalReader&) = delete;
+  JournalReader& operator=(const JournalReader&) = delete;
+
+  [[nodiscard]] bool open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  void close();
+
+  /// Load one frame's payload into `out` (resized to payload_len). False on
+  /// seek/read failure or CRC mismatch; `out` is unusable then.
+  [[nodiscard]] bool read(const JournalFrame& frame,
+                          std::vector<std::uint8_t>& out);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
 /// Thread-safe append-only writer. Every write and flush return value is
 /// checked: the first failure (disk full, torn mount) latches the writer
 /// into a failed state so callers see `false` instead of silently losing
@@ -82,6 +132,15 @@ class JournalWriter {
   /// Append one framed record and flush it to the OS so the bytes survive
   /// this process dying. Returns false on any write error.
   [[nodiscard]] bool append(std::uint64_t key, const std::uint8_t* payload,
+                            std::size_t n) {
+    return append(key, nullptr, 0, payload, n);
+  }
+
+  /// Two-span append: `prefix` (a small framing header) then `payload`,
+  /// CRC-chained as one logical record. Lets a caller prepend a payload tag
+  /// without copying the payload into a contiguous buffer first.
+  [[nodiscard]] bool append(std::uint64_t key, const std::uint8_t* prefix,
+                            std::size_t prefix_n, const std::uint8_t* payload,
                             std::size_t n);
 
   [[nodiscard]] bool flush();

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/mesh_view.hpp"
+
 namespace aero {
 
 namespace {
@@ -22,69 +24,60 @@ void write_vtk(const MergedMesh& mesh, const std::string& path,
   std::ofstream f = open_out(path);
   f << "# vtk DataFile Version 3.0\naeromesh\nASCII\n"
     << "DATASET UNSTRUCTURED_GRID\n";
-  const auto& pts = mesh.points();
-  f << "POINTS " << pts.size() << " double\n";
-  for (const Vec2 p : pts) f << p.x << ' ' << p.y << " 0\n";
-
-  const std::size_t nt = mesh.triangle_count();
-  f << "CELLS " << nt << ' ' << nt * 4 << '\n';
-  const auto& tris = mesh.triangles();
-  for (std::size_t t = 0; t < tris.size(); ++t) {
-    if (!mesh.alive(t)) continue;
-    f << "3 " << tris[t][0] << ' ' << tris[t][1] << ' ' << tris[t][2] << '\n';
+  const MeshView view(mesh);
+  const std::size_t np = view.point_count();
+  f << "POINTS " << np << " double\n";
+  for (std::uint32_t i = 0; i < np; ++i) {
+    const Vec2 p = view.point(i);
+    f << p.x << ' ' << p.y << " 0\n";
   }
+
+  const std::size_t nt = view.triangle_count();
+  f << "CELLS " << nt << ' ' << nt * 4 << '\n';
+  view.for_each_tri_ids([&](const std::array<std::uint32_t, 3>& tri) {
+    f << "3 " << tri[0] << ' ' << tri[1] << ' ' << tri[2] << '\n';
+  });
   f << "CELL_TYPES " << nt << '\n';
   for (std::size_t t = 0; t < nt; ++t) f << "5\n";
 
   if (point_scalars) {
-    if (point_scalars->size() != pts.size()) {
+    if (point_scalars->size() != np) {
       throw std::invalid_argument("scalar field size mismatch");
     }
-    f << "POINT_DATA " << pts.size() << "\nSCALARS " << scalar_name
+    f << "POINT_DATA " << np << "\nSCALARS " << scalar_name
       << " double 1\nLOOKUP_TABLE default\n";
     for (const double v : *point_scalars) f << v << '\n';
   }
 }
 
 void write_node_ele(const MergedMesh& mesh, const std::string& basename) {
+  const MeshView view(mesh);
   {
     std::ofstream f = open_out(basename + ".node");
-    const auto& pts = mesh.points();
-    f << pts.size() << " 2 0 0\n";
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      f << i << ' ' << pts[i].x << ' ' << pts[i].y << '\n';
+    f << view.point_count() << " 2 0 0\n";
+    for (std::uint32_t i = 0; i < view.point_count(); ++i) {
+      const Vec2 p = view.point(i);
+      f << i << ' ' << p.x << ' ' << p.y << '\n';
     }
   }
   {
     std::ofstream f = open_out(basename + ".ele");
-    f << mesh.triangle_count() << " 3 0\n";
-    const auto& tris = mesh.triangles();
+    f << view.triangle_count() << " 3 0\n";
     std::size_t id = 0;
-    for (std::size_t t = 0; t < tris.size(); ++t) {
-      if (!mesh.alive(t)) continue;
-      f << id++ << ' ' << tris[t][0] << ' ' << tris[t][1] << ' '
-        << tris[t][2] << '\n';
-    }
+    view.for_each_tri_ids([&](const std::array<std::uint32_t, 3>& tri) {
+      f << id++ << ' ' << tri[0] << ' ' << tri[1] << ' ' << tri[2] << '\n';
+    });
   }
 }
 
 void write_binary(const MergedMesh& mesh, const std::string& path) {
+  // The on-disk .bin layout is the MeshView blob minus its tag+version
+  // header: [np u64 | nt u64 | points | tris]. It predates the versioned
+  // blob and external tooling reads it, so the bytes stay as they are.
   std::ofstream f = open_out(path, /*binary=*/true);
-  const auto& pts = mesh.points();
-  const std::uint64_t np = pts.size();
-  const std::uint64_t nt = mesh.triangle_count();
-  f.write(reinterpret_cast<const char*>(&np), sizeof np);
-  f.write(reinterpret_cast<const char*>(&nt), sizeof nt);
-  for (const Vec2 p : pts) {
-    f.write(reinterpret_cast<const char*>(&p.x), sizeof p.x);
-    f.write(reinterpret_cast<const char*>(&p.y), sizeof p.y);
-  }
-  const auto& tris = mesh.triangles();
-  for (std::size_t t = 0; t < tris.size(); ++t) {
-    if (!mesh.alive(t)) continue;
-    f.write(reinterpret_cast<const char*>(tris[t].data()),
-            sizeof(std::uint32_t) * 3);
-  }
+  const std::vector<std::uint8_t> blob = MeshView(mesh).serialize();
+  f.write(reinterpret_cast<const char*>(blob.data() + 8),
+          static_cast<std::streamsize>(blob.size() - 8));
 }
 
 void write_poly(const Pslg& pslg, const std::string& path) {

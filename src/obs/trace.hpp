@@ -92,7 +92,7 @@ class ThreadBuffer {
   std::uint32_t tid_;
 };
 
-/// Per-run trace configuration, surfaced on MeshGeneratorConfig and the
+/// Per-run trace configuration, lowered from the flat aero::Options and the
 /// aeromesh --trace flag.
 struct TraceConfig {
   bool enabled = false;

@@ -7,11 +7,32 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/mesh_view.hpp"  // MeshBlobStatus
 #include "core/options_hash.hpp"  // fnv1a, mesh_config_hash
 #include "io/journal.hpp"
 #include "runtime/work.hpp"  // WorkUnit, Vec2
 
 namespace aero {
+
+/// Every checkpoint payload ("triangle soup" of one finalized leaf) carries
+/// its own 8-byte prefix -- "ASUP" tag + u32 format version -- mirroring the
+/// "AMSH" prefix on serialized meshes (core/mesh_view.hpp). The journal's
+/// file-level version guards the framing; this guards the payload encoding,
+/// so a soup-layout change is rejected per record with a typed status
+/// instead of silently mis-decoding into garbage triangles.
+inline constexpr std::array<std::uint8_t, 4> kSoupMagic = {'A', 'S', 'U',
+                                                           'P'};
+inline constexpr std::uint32_t kSoupVersion = 1;
+inline constexpr std::size_t kSoupHeaderSize = 4 + 4;
+
+/// Classify a checkpoint payload: kOk when the tag, version, and triangle
+/// block length all check out (an empty soup is valid). Reuses the
+/// MeshBlobStatus vocabulary so journal and service-cache rejections read
+/// the same way in logs and tests.
+MeshBlobStatus soup_status(const std::uint8_t* data, std::size_t len);
+inline MeshBlobStatus soup_status(const std::vector<std::uint8_t>& payload) {
+  return soup_status(payload.data(), payload.size());
+}
 
 /// Deterministic 64-bit content key of a work unit's subdomain description.
 /// Hashes the serialized form minus the pool-assigned id, the failed_ranks
@@ -29,8 +50,8 @@ std::uint64_t subdomain_key(const WorkUnit& unit);
 
 /// Completed-subdomain lookup built once from a validated journal and then
 /// read lock-free by every mesher thread. Records whose triangle payload
-/// fails to decode (CRC passed but the serializer rejects it) are skipped
-/// and counted, never fatal.
+/// fails to decode (CRC passed but soup_status rejects the tag, version, or
+/// block length) are skipped and counted, never fatal.
 class ResumeState {
  public:
   explicit ResumeState(const JournalContents& journal);
@@ -43,10 +64,14 @@ class ResumeState {
   }
   std::size_t size() const { return map_.size(); }
   std::size_t decode_failures() const { return decode_failures_; }
+  /// Subset of decode_failures: intact "ASUP" payloads written by a
+  /// different soup format version.
+  std::size_t version_rejects() const { return version_rejects_; }
 
  private:
   std::unordered_map<std::uint64_t, std::vector<std::array<Vec2, 3>>> map_;
   std::size_t decode_failures_ = 0;
+  std::size_t version_rejects_ = 0;
 };
 
 /// Thread-safe streaming checkpoint sink: every finalized leaf's triangles

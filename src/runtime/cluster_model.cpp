@@ -1,5 +1,7 @@
 #include "runtime/cluster_model.hpp"
 
+#include "core/pipeline_config.hpp"
+
 #include <algorithm>
 #include <map>
 #include <queue>
@@ -96,36 +98,36 @@ std::size_t instrument_inviscid(InviscidSubdomain sub,
 
 }  // namespace
 
-TaskGraph build_task_graph(const MeshGeneratorConfig& config) {
+TaskGraph build_task_graph(const Options& opts) {
   TaskGraph graph;
 
   Timer serial0;
-  BoundaryLayer bl = build_boundary_layer(config.airfoil, config.blayer);
+  BoundaryLayer bl = build_boundary_layer(opts.airfoil, blayer_options(opts));
   graph.serial_before.push_back(0.0);
   graph.distributable_before.push_back(serial0.seconds());
 
   MergedMesh mesh;
   std::vector<std::size_t> phase0;
   phase0.push_back(instrument_bl(make_root_subdomain(bl.points),
-                                 config.bl_decompose, graph, &mesh));
+                                 bl_decompose_options(opts), graph, &mesh));
   graph.phases.push_back(std::move(phase0));
 
   // Serial inter-phase work: ring restriction + interface extraction.
   Timer serial1;
   restrict_to_ring(mesh, bl);
-  const InviscidDomain domain = make_inviscid_domain(bl, config, mesh);
+  const InviscidDomain domain = make_inviscid_domain(bl, opts, mesh);
   graph.serial_before.push_back(0.0);
   graph.distributable_before.push_back(serial1.seconds());
 
   std::vector<std::size_t> phase1;
   for (InviscidSubdomain& quad : initial_quadrants(domain)) {
     phase1.push_back(instrument_inviscid(
-        std::move(quad), domain.sizing, config.inviscid_target_triangles,
-        config.inviscid_max_level, graph, nullptr));
+        std::move(quad), domain.sizing, opts.inviscid_target_triangles,
+        opts.inviscid_max_level, graph, nullptr));
   }
   phase1.push_back(instrument_inviscid(
       near_body_subdomain(domain), domain.sizing,
-      config.inviscid_target_triangles, config.inviscid_max_level, graph,
+      opts.inviscid_target_triangles, opts.inviscid_max_level, graph,
       nullptr));
   graph.phases.push_back(std::move(phase1));
   return graph;

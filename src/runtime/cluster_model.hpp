@@ -49,7 +49,7 @@ struct TaskGraph {
 /// Build the measured task graph by running the full pipeline sequentially
 /// with per-task timers: boundary-layer splits and leaf triangulations,
 /// inviscid '+' splits and refinements (near-body included).
-TaskGraph build_task_graph(const MeshGeneratorConfig& config);
+TaskGraph build_task_graph(const Options& opts);
 
 /// Interconnect and scheduling parameters of the simulated cluster
 /// (defaults approximate the paper's 4X FDR Infiniband testbed).

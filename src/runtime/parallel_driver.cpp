@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/pipeline_config.hpp"
 #include "io/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -12,14 +13,13 @@
 
 namespace aero {
 
-ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
-                                          int nranks,
+ParallelMeshResult parallel_generate_mesh(const Options& opts, int nranks,
                                           const FaultConfig& faults,
                                           ProtocolTrace* trace,
                                           const PoolTuning& tuning,
                                           const ResilienceOptions& resilience) {
   ParallelMeshResult result;
-  obs::apply(config.trace);
+  obs::apply(trace_config(opts));
   AERO_TRACE_THREAD("driver", -1);
   AERO_TRACE_SPAN("pipeline", "parallel_generate_mesh");
   Timer total;
@@ -69,19 +69,19 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   {
     AERO_TRACE_SPAN("pipeline", "boundary_layer_points");
     result.boundary_layer =
-        build_boundary_layer(config.airfoil, config.blayer);
+        build_boundary_layer(opts.airfoil, blayer_options(opts));
   }
   result.timings.record("boundary_layer_points", t1.seconds());
-  if (config.phase_hook) {
-    config.phase_hook("boundary_layer",
+  if (opts.phase_hook) {
+    opts.phase_hook("boundary_layer",
                       PhaseArtifacts{&result.boundary_layer, nullptr});
   }
 
   PoolOptions pool_opts;
   pool_opts.nranks = nranks;
-  pool_opts.bl_decompose = config.bl_decompose;
-  pool_opts.inviscid_target_triangles = config.inviscid_target_triangles;
-  pool_opts.inviscid_max_level = config.inviscid_max_level;
+  pool_opts.bl_decompose = bl_decompose_options(opts);
+  pool_opts.inviscid_target_triangles = opts.inviscid_target_triangles;
+  pool_opts.inviscid_max_level = opts.inviscid_max_level;
   pool_opts.faults = faults;
   pool_opts.trace = trace;
   pool_opts.tuning = tuning;
@@ -89,6 +89,8 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   pool_opts.stop = resilience.stop_flag;
   pool_opts.checkpoint = sink.is_open() ? &sink : nullptr;
   pool_opts.resume = resume_active ? &resume : nullptr;
+  pool_opts.merge_resident_bytes =
+      static_cast<std::size_t>(opts.merge_resident_mb) << 20;
 
   // Aggregate both passes' resilience stats into the summary (the BL-only
   // early return below uses it too).
@@ -116,6 +118,9 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   GradedSizing placeholder;
   {
     AERO_TRACE_SPAN("pipeline", "boundary_layer_pool");
+    if (!opts.merge_spill_dir.empty()) {
+      pool_opts.spill_path = opts.merge_spill_dir + "/bl.spill";
+    }
     std::vector<WorkUnit> initial;
     initial.push_back(WorkUnit{WorkUnit::Kind::kBlDecompose,
                                make_root_subdomain(result.boundary_layer.points),
@@ -139,8 +144,8 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
     result.timings.record("total", total.seconds());
     return result;
   }
-  if (config.phase_hook) {
-    config.phase_hook("boundary_layer_mesh",
+  if (opts.phase_hook) {
+    opts.phase_hook("boundary_layer_mesh",
                       PhaseArtifacts{&result.boundary_layer, &result.mesh});
   }
 
@@ -148,7 +153,7 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   Timer t3;
   const InviscidDomain domain = [&] {
     AERO_TRACE_SPAN("pipeline", "inviscid_layout");
-    return make_inviscid_domain(result.boundary_layer, config, result.mesh);
+    return make_inviscid_domain(result.boundary_layer, opts, result.mesh);
   }();
   result.sizing = domain.sizing;
   result.timings.record("inviscid_layout", t3.seconds());
@@ -157,6 +162,9 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   Timer t4;
   {
     AERO_TRACE_SPAN("pipeline", "inviscid_pool");
+    if (!opts.merge_spill_dir.empty()) {
+      pool_opts.spill_path = opts.merge_spill_dir + "/inviscid.spill";
+    }
     std::vector<WorkUnit> initial;
     for (InviscidSubdomain& quad : initial_quadrants(domain)) {
       initial.push_back(
@@ -170,8 +178,8 @@ ParallelMeshResult parallel_generate_mesh(const MeshGeneratorConfig& config,
   }
   publish_pool_metrics(result.inviscid_pool, "pool.inviscid.");
   result.timings.record("inviscid_pool", t4.seconds());
-  if (config.phase_hook) {
-    config.phase_hook("final_mesh",
+  if (opts.phase_hook) {
+    opts.phase_hook("final_mesh",
                       PhaseArtifacts{&result.boundary_layer, &result.mesh});
   }
 
@@ -223,8 +231,8 @@ ParallelMeshResult parallel_generate_mesh(const Options& opts,
     resilience.checkpoint_path = resilience.resume_path;
   }
   resilience.config_hash = mesh_config_hash(opts);
-  return parallel_generate_mesh(opts.to_config(), opts.ranks, faults, trace,
-                                tuning, resilience);
+  return parallel_generate_mesh(opts, opts.ranks, faults, trace, tuning,
+                                resilience);
 }
 
 void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {
@@ -268,6 +276,12 @@ void publish_pool_metrics(const PoolStats& stats, const std::string& prefix) {
   count("checkpoint_failures", stats.checkpoint_failures);
   count("injected_crashes", stats.injected_crashes);
   count("injected_mesher_kills", stats.injected_mesher_kills);
+  count("spill_records", stats.spill_records);
+  count("spill_bytes", stats.spill_bytes);
+  count("spill_write_failures", stats.spill_write_failures);
+  count("spill_max_record_bytes", stats.spill_max_record_bytes);
+  count("merge_windows", stats.merge_windows);
+  count("merge_resident_peak_bytes", stats.merge_resident_peak_bytes);
   reg.gauge(prefix + "wall_seconds").set(stats.wall_seconds);
 
   // Issue-mandated global names (aggregated across pool passes), alongside

@@ -1,6 +1,9 @@
 #include "runtime/pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <memory>
@@ -8,6 +11,7 @@
 #include <thread>
 
 #include "core/timer.hpp"
+#include "io/journal.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/trace.hpp"
 #include "runtime/checkpoint.hpp"
@@ -119,6 +123,22 @@ struct SharedState {
   std::map<int, std::vector<std::array<Vec2, 3>>> results
       AERO_GUARDED_BY(results_m);
 
+  /// Out-of-core finalization (see PoolOptions::spill_path). `spilling` is
+  /// decided once before any worker thread starts; the writer serializes its
+  /// own appends. Blocks whose spill write failed fall back to this resident
+  /// overflow map, keyed identically to their would-be spill records, so the
+  /// merge walks one global key order regardless of where a block ended up.
+  bool spilling = false;
+  JournalWriter spill;
+  std::atomic<std::uint64_t> spill_seq AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> spill_records AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> spill_payload_bytes AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> spill_max_record AERO_ATOMIC_ROLE(counter){0};
+  std::atomic<std::size_t> spill_failures AERO_ATOMIC_ROLE(counter){0};
+  Mutex overflow_m AERO_LOCK_NAME("pool.spill_overflow", 35);
+  std::map<std::uint64_t, std::vector<std::array<Vec2, 3>>> spill_overflow
+      AERO_GUARDED_BY(overflow_m);
+
   std::chrono::steady_clock::time_point deadline;
   const GradedSizing* sizing = nullptr;
   const PoolOptions* opts = nullptr;
@@ -152,6 +172,46 @@ void trace_event(SharedState& shared, ProtocolEvent::Kind kind,
   if (shared.opts->trace != nullptr) {
     shared.opts->trace->record(kind, id, rank, peer);
   }
+}
+
+/// Spill-record key of a finalized block. Root blocks (rank 0's own leaves,
+/// resume replays, fallback output) take (0 << 32) | seq with seq in append
+/// order; rank r's single gathered soup takes (r << 32). Sorting all keys
+/// ascending therefore replays exactly the in-RAM merge order -- rank 0's
+/// triangles in append order, then each rank's soup rank-ascending -- which
+/// is what keeps the spill-merged mesh bit-identical to the resident one.
+std::uint64_t spill_rank_key(int rank) {
+  return static_cast<std::uint64_t>(rank) << 32;
+}
+
+/// Stream one finalized triangle block to the root's spill journal under
+/// `key`, tagged with the same "ASUP" prefix as checkpoint soups. A write
+/// failure (disk full, torn mount) degrades the block to the resident
+/// overflow map -- out-of-core finalization is an optimization, never a
+/// correctness dependency.
+void spill_block(SharedState& shared, std::uint64_t key,
+                 std::vector<std::array<Vec2, 3>> tris) {
+  if (tris.empty()) return;
+  std::uint8_t soup_head[kSoupHeaderSize];
+  // ASUP tag framing (8 bytes), not a payload copy; the triangle bytes go
+  // to the spill journal by pointer.
+  std::memcpy(soup_head, kSoupMagic.data(), kSoupMagic.size());  // aerolint: allow(payload-copy)
+  std::memcpy(soup_head + 4, &kSoupVersion, sizeof(kSoupVersion));  // aerolint: allow(payload-copy)
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(tris.data());
+  const std::size_t n = tris.size() * sizeof(std::array<Vec2, 3>);
+  if (shared.spill.append(key, soup_head, sizeof(soup_head), bytes, n)) {
+    shared.spill_records.fetch_add(1);
+    shared.spill_payload_bytes.fetch_add(n + sizeof(soup_head));
+    const std::size_t record = n + sizeof(soup_head);
+    std::size_t prev = shared.spill_max_record.load();
+    while (prev < record &&
+           !shared.spill_max_record.compare_exchange_weak(prev, record)) {
+    }
+    return;
+  }
+  shared.spill_failures.fetch_add(1);
+  const MutexLock lock(shared.overflow_m);
+  shared.spill_overflow.emplace(key, std::move(tris));
 }
 
 /// Deserialize the unit carried by an inline transfer frame we built
@@ -327,7 +387,12 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
   }
   if (opts.resume != nullptr) {
     if (const auto* stored = opts.resume->find(key)) {
-      rs.triangles.insert(rs.triangles.end(), stored->begin(), stored->end());
+      if (rank == 0 && shared.spilling) {
+        spill_block(shared, shared.spill_seq.fetch_add(1), *stored);
+      } else {
+        rs.triangles.insert(rs.triangles.end(), stored->begin(),
+                            stored->end());
+      }
       ++rs.tasks_done;
       shared.resumed.fetch_add(1);
       shared.completed.fetch_add(1);
@@ -379,8 +444,12 @@ void process_unit(SharedState& shared, std::vector<RankState>& ranks, int rank,
       // continues unjournaled and the sink counts the failure.
       AERO_TRACE_INSTANT_ARG("pool", "checkpoint_write_failed", unit.id);
     }
-    rs.triangles.insert(rs.triangles.end(), triangles.begin(),
-                        triangles.end());
+    if (rank == 0 && shared.spilling) {
+      spill_block(shared, shared.spill_seq.fetch_add(1), std::move(triangles));
+    } else {
+      rs.triangles.insert(rs.triangles.end(), triangles.begin(),
+                          triangles.end());
+    }
     ++rs.tasks_done;
     shared.completed.fetch_add(1);
     trace_event(shared, ProtocolEvent::Kind::kUnitCompleted, unit.id, rank);
@@ -516,11 +585,24 @@ void root_accept_result(SharedState& shared, const Message& msg) {
       }
       logical_bytes = parsed->size;
     }
+    bool accepted = false;
     {
       MutexLock lock(shared.results_m);
-      if (shared.results.emplace(from, std::move(tris)).second) {
-        shared.result_bytes.fetch_add(logical_bytes);
+      if (shared.spilling) {
+        // Presence marker only: the triangles go to the spill file, while
+        // the empty vector keeps the nonce dedupe and the missing-results
+        // accounting exactly as in the resident path.
+        accepted =
+            shared.results
+                .emplace(from, std::vector<std::array<Vec2, 3>>{})
+                .second;
+      } else {
+        accepted = shared.results.emplace(from, std::move(tris)).second;
       }
+      if (accepted) shared.result_bytes.fetch_add(logical_bytes);
+    }
+    if (accepted && shared.spilling) {
+      spill_block(shared, spill_rank_key(from), std::move(tris));
     }
     trace_event(shared, ProtocolEvent::Kind::kAccept, parsed->nonce, 0, from);
   } else {
@@ -1090,6 +1172,113 @@ void monitor_main(SharedState& shared, std::vector<RankState>& ranks) {
   }
 }
 
+/// Out-of-core finalization: seal the spill journal, index it with the
+/// bounded-memory scanner, and replay every block into `out` in global key
+/// order, loading at most `merge_resident_bytes` of payload at a time (one
+/// record minimum, so an oversized block still merges). Blocks that
+/// overflowed to RAM on a spill-write failure are interleaved at their key
+/// position, so the merged order is identical to the resident path's.
+void merge_spilled(SharedState& shared, const PoolOptions& opts,
+                   MergedMesh& out, PoolStats& stats,
+                   std::size_t& lost_units) {
+  using Tri = std::array<Vec2, 3>;
+  if (!shared.spill.flush()) {
+    AERO_TRACE_INSTANT("pool", "spill_flush_failed");
+  }
+  shared.spill.close();
+
+  JournalIndex index = scan_journal_index(opts.spill_path, 0);
+  std::sort(index.frames.begin(), index.frames.end(),
+            [](const JournalFrame& a, const JournalFrame& b) {
+              return a.key < b.key;
+            });
+  // A torn tail (disk full mid-append) drops whole blocks; surface the loss
+  // through the same accounting as an unmeshable unit so the run reports
+  // kPartial instead of a silently thinner mesh.
+  const std::size_t written = shared.spill_records.load();
+  if (index.frames.size() < written) {
+    lost_units += written - index.frames.size();
+  }
+
+  std::map<std::uint64_t, std::vector<Tri>> overflow;
+  {
+    const MutexLock lock(shared.overflow_m);
+    overflow.swap(shared.spill_overflow);
+  }
+  auto ov = overflow.begin();
+  const auto emit_overflow_below = [&](std::uint64_t key) {
+    for (; ov != overflow.end() && ov->first < key; ++ov) {
+      for (const Tri& tri : ov->second) {
+        out.add_triangle(tri[0], tri[1], tri[2]);
+      }
+    }
+  };
+
+  JournalReader reader;
+  const bool reader_ok = reader.open(opts.spill_path);
+  const std::size_t budget =
+      opts.merge_resident_bytes > 0 ? opts.merge_resident_bytes : 1;
+  std::size_t fi = 0;
+  std::vector<std::vector<std::uint8_t>> loaded;
+  while (fi < index.frames.size()) {
+    // Window = the longest run of key-ordered frames whose payloads fit the
+    // resident budget (always at least one frame).
+    std::size_t fj = fi;
+    std::size_t window_bytes = 0;
+    while (fj < index.frames.size()) {
+      const std::size_t len = index.frames[fj].payload_len;
+      if (fj > fi && window_bytes + len > budget) break;
+      window_bytes += len;
+      ++fj;
+    }
+    loaded.assign(fj - fi, {});
+    std::size_t resident = 0;
+    for (std::size_t k = fi; k < fj; ++k) {
+      if (!reader_ok || !reader.read(index.frames[k], loaded[k - fi])) {
+        loaded[k - fi].clear();  // torn between scan and read; block lost
+        ++lost_units;
+        continue;
+      }
+      resident += loaded[k - fi].size();
+    }
+    ++stats.merge_windows;
+    if (resident > stats.merge_resident_peak_bytes) {
+      stats.merge_resident_peak_bytes = resident;
+    }
+    for (std::size_t k = fi; k < fj; ++k) {
+      emit_overflow_below(index.frames[k].key);
+      const std::vector<std::uint8_t>& payload = loaded[k - fi];
+      if (payload.empty()) continue;  // read failure, counted above
+      if (soup_status(payload) != MeshBlobStatus::kOk) {
+        ++lost_units;
+        continue;
+      }
+      const std::uint8_t* body = payload.data() + kSoupHeaderSize;
+      const std::size_t ntris = (payload.size() - kSoupHeaderSize) /
+                                sizeof(Tri);
+      for (std::size_t t = 0; t < ntris; ++t) {
+        Tri tri;
+        // Deframing one 48-byte triangle from the spill record.
+        std::memcpy(&tri, body + t * sizeof(Tri), sizeof(Tri));  // aerolint: allow(payload-copy)
+        out.add_triangle(tri[0], tri[1], tri[2]);
+      }
+    }
+    fi = fj;
+  }
+  emit_overflow_below(~std::uint64_t{0});
+  // Flush any overflow at or past the largest key (emit_overflow_below is
+  // strictly below; the sentinel above covers all real keys, but be exact).
+  for (; ov != overflow.end(); ++ov) {
+    for (const Tri& tri : ov->second) {
+      out.add_triangle(tri[0], tri[1], tri[2]);
+    }
+  }
+  reader.close();
+  // The spill is single-run scratch; remove it once merged. Failure to
+  // remove is harmless (the next run truncates it on open).
+  std::remove(opts.spill_path.c_str());
+}
+
 }  // namespace
 
 PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
@@ -1109,6 +1298,11 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
   SharedState shared(opts);
   shared.sizing = &sizing;
   shared.opts = &opts;
+  if (!opts.spill_path.empty()) {
+    // Hash 0: the spill is a single-run scratch file, created and consumed
+    // here; an unopenable spill degrades to the in-RAM merge.
+    shared.spilling = shared.spill.open(opts.spill_path, 0, /*append=*/false);
+  }
   shared.deadline = mono_now() + opts.tuning.watchdog_timeout;
   shared.outstanding.store(static_cast<long>(initial.size()),
                          std::memory_order_relaxed);
@@ -1164,8 +1358,12 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     }
     if (opts.resume != nullptr) {
       if (const auto* stored = opts.resume->find(key)) {
-        ranks[0].triangles.insert(ranks[0].triangles.end(), stored->begin(),
-                                  stored->end());
+        if (shared.spilling) {
+          spill_block(shared, shared.spill_seq.fetch_add(1), *stored);
+        } else {
+          ranks[0].triangles.insert(ranks[0].triangles.end(), stored->begin(),
+                                    stored->end());
+        }
         shared.resumed.fetch_add(1);
         shared.completed.fetch_add(1);
         if (opts.checkpoint != nullptr) opts.checkpoint->record(key, *stored);
@@ -1197,11 +1395,22 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
     if (children.empty() && opts.checkpoint != nullptr) {
       opts.checkpoint->record(key, triangles);
     }
-    ranks[0].triangles.insert(ranks[0].triangles.end(), triangles.begin(),
-                              triangles.end());
+    if (shared.spilling) {
+      spill_block(shared, shared.spill_seq.fetch_add(1), std::move(triangles));
+    } else {
+      ranks[0].triangles.insert(ranks[0].triangles.end(), triangles.begin(),
+                                triangles.end());
+    }
   }
 
-  // Root-side merge: rank 0's own triangles plus every gathered soup.
+  // Root-side merge: rank 0's own triangles plus every gathered soup --
+  // either resident (the two loops below) or replayed from the spill file
+  // window-by-window under the resident budget. The spill keys reproduce
+  // exactly this loop's order (see spill_rank_key), so both paths build the
+  // identical mesh.
+  if (shared.spilling) {
+    merge_spilled(shared, opts, out, stats, lost_units);
+  }
   for (const auto& tri : ranks[0].triangles) {
     out.add_triangle(tri[0], tri[1], tri[2]);
   }
@@ -1255,6 +1464,13 @@ PoolStats run_pool(std::vector<WorkUnit> initial, const GradedSizing& sizing,
                                  : 0;
   stats.injected_crashes = shared.crashes.load();
   stats.injected_mesher_kills = shared.mesher_kills.load();
+  stats.spill_records = shared.spill_records.load(std::memory_order_relaxed);
+  stats.spill_bytes =
+      shared.spill_payload_bytes.load(std::memory_order_relaxed);
+  stats.spill_write_failures =
+      shared.spill_failures.load(std::memory_order_relaxed);
+  stats.spill_max_record_bytes =
+      shared.spill_max_record.load(std::memory_order_relaxed);
   stats.stop_cause = static_cast<StopCause>(shared.stop_cause.load());
   {
     const CommStats cs = shared.comm.stats();

@@ -115,6 +115,19 @@ struct PoolOptions {
   /// Completed subdomains loaded from a previous run's journal: leaves
   /// found here replay their stored triangles instead of re-meshing.
   const ResumeState* resume = nullptr;
+
+  // -- Out-of-core finalization --------------------------------------------
+  /// When non-empty, the root streams every finalized triangle block (its
+  /// own leaves, resume replays, gathered rank soups, fallback output) into
+  /// this CRC-framed spill journal instead of holding them resident, then
+  /// merges window-by-window under `merge_resident_bytes`. The merged mesh
+  /// is bit-identical to the in-RAM path; a spill write failure degrades
+  /// that block back to resident, never the run. "" = in-RAM merge.
+  std::string spill_path;
+  /// Resident-payload budget of the windowed spill merge, in bytes. At
+  /// least one record is always loaded per window, so the merge progresses
+  /// even when a single block exceeds the budget.
+  std::size_t merge_resident_bytes = std::size_t{256} << 20;
 };
 
 /// Statistics of a pool run.
@@ -167,6 +180,18 @@ struct PoolStats {
   std::size_t injected_crashes = 0;      ///< ranks crashed by the injector
   std::size_t injected_mesher_kills = 0; ///< mesher threads killed by it
   StopCause stop_cause = StopCause::kNone;  ///< why a kStopped run drained
+
+  // Out-of-core finalization accounting (zero unless spill_path was set).
+  std::size_t spill_records = 0;  ///< triangle blocks streamed to the spill
+  std::size_t spill_bytes = 0;    ///< payload bytes written to the spill
+  std::size_t spill_write_failures = 0;  ///< blocks degraded to resident
+  std::size_t spill_max_record_bytes = 0;  ///< largest single spilled block
+  std::size_t merge_windows = 0;  ///< bounded-resident merge passes
+  /// Largest window resident set. Bounded by merge_resident_bytes, except
+  /// that a single record larger than the whole budget still merges as its
+  /// own window (the merge never splits a record), so the true invariant is
+  /// peak <= max(merge_resident_bytes, spill_max_record_bytes).
+  std::size_t merge_resident_peak_bytes = 0;
 
   // Per-rank load balance, indexed by rank (filled from thread-owned
   // accumulators after the pool threads join; feeds the obs load report).

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/mesh_view.hpp"
 #include "core/options_hash.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -21,6 +22,7 @@ namespace {
 Options scrub_server_side(Options opts) {
   opts.checkpoint_path.clear();
   opts.resume_path.clear();
+  opts.merge_spill_dir.clear();  // spill placement is the operator's call
   opts.stop_flag = nullptr;
   opts.phase_hook = nullptr;
   opts.budget_wall_ms = 0;
@@ -35,6 +37,7 @@ ServiceStatus from_run_status(RunStatus s) {
     case RunStatus::kPartial: return ServiceStatus::kPartial;
     case RunStatus::kStopped: return ServiceStatus::kStopped;
     case RunStatus::kFailed: return ServiceStatus::kFailed;
+    case RunStatus::kMeshTooLarge: return ServiceStatus::kFailed;
   }
   return ServiceStatus::kFailed;
 }
@@ -92,7 +95,8 @@ std::future<MeshResponse> MeshServer::submit(MeshRequest request) {
   // touching the queue or a worker.
   resp.cache_key = mesh_config_hash(request.options);
   ResultCache::Entry entry;
-  if (cache_.lookup(resp.cache_key, &entry)) {
+  if (cache_.lookup(resp.cache_key, &entry) &&
+      mesh_blob_status(entry.mesh_blob) == MeshBlobStatus::kOk) {
     AERO_TRACE_INSTANT("service", "cache_hit");
     resp.status = ServiceStatus::kOk;
     resp.cache_hit = true;
@@ -234,7 +238,7 @@ MeshResponse MeshServer::mesh_one(const MeshRequest& request,
     }
     resp.mesh_wall_ms = wall.seconds() * 1e3;
     resp.triangles = mesh.triangle_count();
-    resp.vertices = mesh.points().size();
+    resp.vertices = mesh.point_count();
     ResultCache::Entry entry;
     entry.mesh_blob = serialize_mesh(mesh);
     entry.triangles = resp.triangles;

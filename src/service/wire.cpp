@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "core/crc32.hpp"
+#include "core/mesh_view.hpp"
 
 namespace aero {
 
@@ -111,38 +112,14 @@ const char* to_string(ServiceStatus s) {
 }
 
 std::vector<std::uint8_t> serialize_mesh(const MergedMesh& mesh) {
-  std::vector<std::uint8_t> out;
-  const auto& pts = mesh.points();
-  const std::uint64_t np = pts.size();
-  const std::uint64_t nt = mesh.triangle_count();
-  out.reserve(16 + np * 2 * sizeof(double) + nt * 3 * sizeof(std::uint32_t));
-  put(out, np);
-  put(out, nt);
-  for (const Vec2 p : pts) {
-    put(out, p.x);
-    put(out, p.y);
-  }
-  const auto& tris = mesh.triangles();
-  for (std::size_t t = 0; t < tris.size(); ++t) {
-    if (!mesh.alive(t)) continue;
-    put_bytes(out, reinterpret_cast<const std::uint8_t*>(tris[t].data()),
-              3 * sizeof(std::uint32_t));
-  }
-  return out;
+  // The wire form IS the versioned MeshView blob; the cache stores it
+  // verbatim and replayed journals parse it back through MeshView.
+  return MeshView(mesh).serialize();
 }
 
 bool mesh_blob_counts(const std::vector<std::uint8_t>& blob,
                       std::uint64_t* points, std::uint64_t* triangles) {
-  Reader r(blob.data(), blob.size());
-  std::uint64_t np = 0, nt = 0;
-  if (!r.get(&np) || !r.get(&nt)) return false;
-  if (r.remaining() !=
-      np * 2 * sizeof(double) + nt * 3 * sizeof(std::uint32_t)) {
-    return false;
-  }
-  if (points != nullptr) *points = np;
-  if (triangles != nullptr) *triangles = nt;
-  return true;
+  return mesh_blob_status(blob, points, triangles) == MeshBlobStatus::kOk;
 }
 
 std::vector<std::uint8_t> encode_request(const MeshRequest& request) {

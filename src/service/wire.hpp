@@ -75,16 +75,19 @@ struct MeshResponse {
   /// Human-readable detail for error statuses (validation issues, throw
   /// messages); empty on success.
   std::string error;
-  /// Flat mesh block: [n_points u64 | n_tris u64 | points (2 f64 each) |
-  /// tris (3 u32 each)], identical to io/mesh_io write_binary's layout.
+  /// Versioned MeshView blob: ["AMSH" | u32 version | n_points u64 |
+  /// n_tris u64 | points (2 f64 each) | tris (3 u32 each)]. See
+  /// core/mesh_view.hpp for the layout contract and typed rejection.
   std::vector<std::uint8_t> mesh_blob;
 };
 
-/// Serialize a merged mesh into the response's flat block format.
+/// Serialize a merged mesh into the response's versioned blob format
+/// (thin wrapper over MeshView::serialize).
 std::vector<std::uint8_t> serialize_mesh(const MergedMesh& mesh);
 
-/// Parse a mesh block's header; false when the blob is truncated or the
-/// counts are inconsistent with its size.
+/// Parse a mesh blob's header; false when the blob is untagged, truncated,
+/// from another layout version, or its counts are inconsistent with its
+/// size. Use mesh_blob_status (core/mesh_view.hpp) for the typed reason.
 bool mesh_blob_counts(const std::vector<std::uint8_t>& blob,
                       std::uint64_t* points, std::uint64_t* triangles);
 

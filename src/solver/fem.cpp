@@ -25,18 +25,18 @@ FemProblem::FemProblem(const MergedMesh& mesh, double nu, Vec2 advection,
                        std::function<double(Vec2)> forcing,
                        std::function<double(Vec2)> dirichlet)
     : mesh_(mesh) {
-  const std::size_t np = mesh.points().size();
+  const std::size_t np = mesh.point_count();
 
   // Boundary vertices: endpoints of edges with a single incident triangle.
   std::vector<std::uint8_t> is_boundary(np, 0);
   {
     std::map<std::pair<std::uint32_t, std::uint32_t>, int> counts;
-    const auto& tris = mesh.triangles();
-    for (std::size_t t = 0; t < tris.size(); ++t) {
+    for (std::size_t t = 0; t < mesh.record_count(); ++t) {
       if (!mesh.alive(t)) continue;
+      const std::array<std::uint32_t, 3>& tri = mesh.tri(t);
       for (int i = 0; i < 3; ++i) {
-        auto a = tris[t][i];
-        auto b = tris[t][(i + 1) % 3];
+        auto a = tri[i];
+        auto b = tri[(i + 1) % 3];
         if (b < a) std::swap(a, b);
         ++counts[{a, b}];
       }
@@ -53,7 +53,7 @@ FemProblem::FemProblem(const MergedMesh& mesh, double nu, Vec2 advection,
   boundary_value_.assign(np, 0.0);
   for (std::uint32_t v = 0; v < np; ++v) {
     if (is_boundary[v]) {
-      boundary_value_[v] = dirichlet(mesh.points()[v]);
+      boundary_value_[v] = dirichlet(mesh.point(v));
     } else {
       vertex_to_unknown_[v] = static_cast<std::int64_t>(free_.size());
       free_.push_back(v);
@@ -64,13 +64,13 @@ FemProblem::FemProblem(const MergedMesh& mesh, double nu, Vec2 advection,
   std::vector<std::map<std::uint32_t, double>> rows(free_.size());
   rhs_.assign(free_.size(), 0.0);
 
-  const auto& tris = mesh.triangles();
-  for (std::size_t t = 0; t < tris.size(); ++t) {
+  for (std::size_t t = 0; t < mesh.record_count(); ++t) {
     if (!mesh.alive(t)) continue;
-    const std::uint32_t vid[3] = {tris[t][0], tris[t][1], tris[t][2]};
-    const Vec2 p0 = mesh.points()[vid[0]];
-    const Vec2 p1 = mesh.points()[vid[1]];
-    const Vec2 p2 = mesh.points()[vid[2]];
+    const std::array<std::uint32_t, 3>& tri = mesh.tri(t);
+    const std::uint32_t vid[3] = {tri[0], tri[1], tri[2]};
+    const Vec2 p0 = mesh.point(vid[0]);
+    const Vec2 p1 = mesh.point(vid[1]);
+    const Vec2 p2 = mesh.point(vid[2]);
     const double area = signed_area(p0, p1, p2);
     if (area <= 0.0) continue;
 

@@ -1,0 +1,26 @@
+// Fixture: seeded mesh-internal-access violations -- code outside the mesh
+// core (src/delaunay + core/merged_mesh.* / mesh_view.*) reaching into the
+// SoA storage instead of reading through MergedMesh or aero::MeshView.
+#pragma once
+
+#include "delaunay/chunked.hpp"  // mesh-internal-access: arena header leaked
+#include "core/merged_mesh.hpp"  // clean: the public assembled-mesh header
+
+namespace aero {
+
+class MeshProbe {
+ public:
+  void scan(const MergedMesh& mesh) {
+    ChunkedArray<int> marks;  // mesh-internal-access: arena type named
+    for (std::size_t t = 0; t < mesh.record_count(); ++t) {
+      total_ += mesh.tris_[t][0];  // mesh-internal-access: SoA member poked
+    }
+    // Clean: the accessor surface is the sanctioned read path.
+    total_ += mesh.tri(0)[0];
+  }
+
+ private:
+  long total_ = 0;
+};
+
+}  // namespace aero

@@ -21,14 +21,24 @@
 
 namespace aero {
 
+// White-box corruption fixture: the auditors are tested by mutating kernel
+// storage directly, which is exactly what the mesh-internal-access rule
+// forbids everywhere else.
 struct QuadEdge::TestAccess {
-  static std::vector<QuadEdge::EdgeRef>& next(QuadEdge& q) { return q.next_; }
-  static std::vector<VertIndex>& data(QuadEdge& q) { return q.data_; }
+  static ChunkedArray<QuadEdge::EdgeRef>& next(QuadEdge& q) {  // aerolint: allow(mesh-internal-access)
+    return q.next_;
+  }
+  static ChunkedArray<VertIndex>& data(QuadEdge& q) { return q.data_; }  // aerolint: allow(mesh-internal-access)
 };
 
 struct DelaunayMesh::TestAccess {
-  static std::vector<MeshTri>& tris(DelaunayMesh& m) { return m.tris_; }
-  static std::vector<Vec2>& points(DelaunayMesh& m) { return m.points_; }
+  static ChunkedArray<std::array<VertIndex, 3>>& tri_v(DelaunayMesh& m) {  // aerolint: allow(mesh-internal-access)
+    return m.tri_v_;
+  }
+  static ChunkedArray<std::array<TriIndex, 3>>& tri_n(DelaunayMesh& m) {  // aerolint: allow(mesh-internal-access)
+    return m.tri_n_;
+  }
+  static ChunkedArray<Vec2>& points(DelaunayMesh& m) { return m.points_; }  // aerolint: allow(mesh-internal-access)
   static void flip(DelaunayMesh& m, TriIndex t, int edge) {
     m.flip_edge(t, edge);
   }
@@ -125,10 +135,9 @@ TEST(AuditDelaunay, CavityCorruptionViolatesIncircle) {
       {{0.0, 0.0}, {2.0, 0.0}, {3.0, 1.5}, {1.0, 2.2}, {1.2, 0.9}}));
   ASSERT_TRUE(audit_delaunay(m).ok());
 
-  const auto& tris = m.triangles();
   bool flipped = false;
-  for (TriIndex t = 0; t < static_cast<TriIndex>(tris.size()) && !flipped;
-       ++t) {
+  for (TriIndex t = 0;
+       t < static_cast<TriIndex>(m.triangle_slots()) && !flipped; ++t) {
     if (!m.is_live_finite(t)) continue;
     const MeshTri& mt = m.tri(t);
     for (int i = 0; i < 3 && !flipped; ++i) {
@@ -162,13 +171,13 @@ TEST(AuditDelaunay, CavityCorruptionViolatesIncircle) {
 
 TEST(AuditDelaunay, AdjacencyCorruptionReported) {
   DelaunayMesh m = make_fan_mesh();
-  auto& tris = DelaunayMesh::TestAccess::tris(m);
+  auto& tri_n = DelaunayMesh::TestAccess::tri_n(m);
   TriIndex victim = kNoTri;
-  for (TriIndex t = 0; t < static_cast<TriIndex>(tris.size()); ++t) {
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tri_n.size()); ++t) {
     if (m.is_live_finite(t)) victim = t;
   }
   ASSERT_NE(victim, kNoTri);
-  tris[static_cast<std::size_t>(victim)].n[0] = kNoTri;
+  tri_n[static_cast<std::size_t>(victim)][0] = kNoTri;
   const AuditReport r = audit_delaunay(m);
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(has_issue(r, "missing/out-of-range neighbor")) << r.summary();
@@ -176,11 +185,11 @@ TEST(AuditDelaunay, AdjacencyCorruptionReported) {
 
 TEST(AuditDelaunay, OrientationCorruptionReported) {
   DelaunayMesh m = make_fan_mesh();
-  auto& tris = DelaunayMesh::TestAccess::tris(m);
-  for (TriIndex t = 0; t < static_cast<TriIndex>(tris.size()); ++t) {
+  auto& tri_v = DelaunayMesh::TestAccess::tri_v(m);
+  for (TriIndex t = 0; t < static_cast<TriIndex>(tri_v.size()); ++t) {
     if (m.is_live_finite(t)) {
-      std::swap(tris[static_cast<std::size_t>(t)].v[0],
-                tris[static_cast<std::size_t>(t)].v[1]);
+      std::swap(tri_v[static_cast<std::size_t>(t)][0],
+                tri_v[static_cast<std::size_t>(t)][1]);
       break;
     }
   }
@@ -291,13 +300,16 @@ TEST(AuditProtocol, UnitIdsAreScopedPerRun) {
 // Seed pipeline artifacts stay audit-clean
 
 TEST(AuditPipeline, SequentialArtifactsClean) {
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(120);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 6e-4, 1.25};
-  cfg.blayer.max_layers = 20;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 6e-4;
+  cfg.growth_ratio = 1.25;
+  cfg.max_layers = 20;
   cfg.farfield_chords = 6.0;
   cfg.inviscid_target_triangles = 8000.0;
-  cfg.bl_decompose = {.min_points = 800, .max_level = 10};
+  cfg.bl_min_points = 800;
+  cfg.bl_max_level = 10;
 
   const MeshGenerationResult r = generate_mesh(cfg);
   ASSERT_EQ(r.status, RunStatus::kOk);
@@ -309,13 +321,16 @@ TEST(AuditPipeline, SequentialArtifactsClean) {
 }
 
 TEST(AuditPipeline, ParallelProtocolTraceClean) {
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(120);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 6e-4, 1.25};
-  cfg.blayer.max_layers = 20;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 6e-4;
+  cfg.growth_ratio = 1.25;
+  cfg.max_layers = 20;
   cfg.farfield_chords = 6.0;
   cfg.inviscid_target_triangles = 8000.0;
-  cfg.bl_decompose = {.min_points = 800, .max_level = 10};
+  cfg.bl_min_points = 800;
+  cfg.bl_max_level = 10;
 
   ProtocolTrace trace;
   const ParallelMeshResult r =

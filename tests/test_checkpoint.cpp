@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/mesh_generator.hpp"
+#include "core/pipeline_config.hpp"  // aerolint: allow(public-api)
 #include "io/journal.hpp"  // aerolint: allow(public-api)
 #include "runtime/checkpoint.hpp"  // aerolint: allow(public-api)
 #include "runtime/parallel_driver.hpp"  // aerolint: allow(public-api)
@@ -64,11 +65,11 @@ void dump(const std::string& path, const std::vector<std::uint8_t>& bytes) {
 std::vector<std::array<double, 6>> canonical_triangles(const MergedMesh& m) {
   std::vector<std::array<double, 6>> out;
   out.reserve(m.triangle_count());
-  for (std::size_t t = 0; t < m.triangles().size(); ++t) {
+  for (std::size_t t = 0; t < m.record_count(); ++t) {
     if (!m.alive(t)) continue;
     std::array<std::pair<double, double>, 3> v;
     for (int i = 0; i < 3; ++i) {
-      const Vec2 p = m.point(m.triangles()[t][static_cast<std::size_t>(i)]);
+      const Vec2 p = m.point(m.tri(t)[static_cast<std::size_t>(i)]);
       v[static_cast<std::size_t>(i)] = {p.x, p.y};
     }
     std::sort(v.begin(), v.end());
@@ -215,24 +216,27 @@ TEST(Journal, WriterFailureLatchesInsteadOfThrowing) {
 // Shared small-domain fixture (mirrors test_faults.cpp's ChaosFixture).
 
 struct CheckpointFixture {
-  MeshGeneratorConfig cfg;
+  Options cfg;
   GradedSizing sizing;
   std::vector<WorkUnit> initial;
   PoolOptions opts;
 
   CheckpointFixture() {
     cfg.airfoil = make_naca0012(120);
-    cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
-    cfg.blayer.max_layers = 25;
+    cfg.growth_kind = GrowthKind::kGeometric;
+    cfg.first_height = 8e-4;
+    cfg.growth_ratio = 1.3;
+    cfg.max_layers = 25;
     cfg.farfield_chords = 6.0;
     // Small target so the quadrants decompose into a real work tree (dozens
     // of units): resilience scenarios need mid-run state worth losing.
     cfg.inviscid_target_triangles = 300.0;
-    cfg.bl_decompose = {.min_points = 600, .max_level = 8};
+    cfg.bl_min_points = 600;
+    cfg.bl_max_level = 8;
 
-    const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, cfg.blayer);
+    const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, blayer_options(cfg));
     MergedMesh bl_mesh;
-    triangulate_boundary_layer(bl, cfg.bl_decompose, bl_mesh, nullptr,
+    triangulate_boundary_layer(bl, bl_decompose_options(cfg), bl_mesh, nullptr,
                                nullptr);
     const InviscidDomain domain = make_inviscid_domain(bl, cfg, bl_mesh);
     sizing = domain.sizing;

@@ -101,13 +101,16 @@ TEST(ClusterModel, SweepCoversAllRankCounts) {
 }
 
 TEST(ClusterModel, MeasuredGraphFromRealPipeline) {
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(120);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
-  cfg.blayer.max_layers = 25;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 8e-4;
+  cfg.growth_ratio = 1.3;
+  cfg.max_layers = 25;
   cfg.farfield_chords = 12.0;
   cfg.inviscid_target_triangles = 4000.0;
-  cfg.bl_decompose = {.min_points = 500, .max_level = 8};
+  cfg.bl_min_points = 500;
+  cfg.bl_max_level = 8;
 
   const TaskGraph g = build_task_graph(cfg);
   EXPECT_EQ(g.phases.size(), 2u);

@@ -85,7 +85,7 @@ TEST(RestrictToRing, KeepsTheAnisotropicLayer) {
                              nullptr, nullptr);
   // The kept ring has far more vertices than the surface alone (the layer
   // points survive).
-  EXPECT_GT(mesh.points().size(), bl.surfaces[0].size());
+  EXPECT_GT(mesh.point_count(), bl.surfaces[0].size());
   // The ring's area is small (thin layer) but positive.
   const MergedStats st = compute_stats(mesh);
   EXPECT_GT(st.total_area, 0.0);

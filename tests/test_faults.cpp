@@ -8,6 +8,7 @@
 #include <chrono>
 
 #include "core/mesh_generator.hpp"
+#include "core/pipeline_config.hpp"  // aerolint: allow(public-api)
 #include "core/timer.hpp"  // aerolint: allow(public-api)
 #include "runtime/pool.hpp"  // aerolint: allow(public-api)
 
@@ -296,17 +297,20 @@ struct ChaosFixture {
   PoolOptions opts;
 
   ChaosFixture() {
-    MeshGeneratorConfig cfg;
+    Options cfg;
     cfg.airfoil = make_naca0012(120);
-    cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
-    cfg.blayer.max_layers = 25;
+    cfg.growth_kind = GrowthKind::kGeometric;
+    cfg.first_height = 8e-4;
+    cfg.growth_ratio = 1.3;
+    cfg.max_layers = 25;
     cfg.farfield_chords = 6.0;
     cfg.inviscid_target_triangles = 4000.0;
-    cfg.bl_decompose = {.min_points = 600, .max_level = 8};
+    cfg.bl_min_points = 600;
+    cfg.bl_max_level = 8;
 
-    const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, cfg.blayer);
+    const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, blayer_options(cfg));
     MergedMesh bl_mesh;
-    triangulate_boundary_layer(bl, cfg.bl_decompose, bl_mesh, nullptr,
+    triangulate_boundary_layer(bl, bl_decompose_options(cfg), bl_mesh, nullptr,
                                nullptr);
     const InviscidDomain domain = make_inviscid_domain(bl, cfg, bl_mesh);
     sizing = domain.sizing;
@@ -370,7 +374,7 @@ TEST(PoolFaults, ChaosRunProducesTheFaultFreeMesh) {
   // the same deterministic expansion, so the mesh is bit-for-bit the size
   // of the fault-free one.
   EXPECT_EQ(chaotic.triangle_count(), clean.triangle_count());
-  EXPECT_EQ(chaotic.points().size(), clean.points().size());
+  EXPECT_EQ(chaotic.point_count(), clean.point_count());
   EXPECT_EQ(stats.status, RunStatus::kOk);
 
   // The run actually suffered: messages were dropped, unit 0 threw through
@@ -418,7 +422,7 @@ TEST(PoolFaults, ChaosRecoversOnTheCopyPathWithCoalescing) {
 
   EXPECT_EQ(stats.status, RunStatus::kOk);
   EXPECT_EQ(chaotic.triangle_count(), clean.triangle_count());
-  EXPECT_EQ(chaotic.points().size(), clean.points().size());
+  EXPECT_EQ(chaotic.point_count(), clean.point_count());
   EXPECT_EQ(stats.zero_copy_hits, 0u);
   EXPECT_EQ(stats.window_bytes, 0u);
   EXPECT_GT(stats.dropped_messages, 0u);

@@ -13,7 +13,7 @@ TEST(MergedMesh, WeldsIdenticalPoints) {
   MergedMesh m;
   m.add_triangle({0, 0}, {1, 0}, {0, 1});
   m.add_triangle({1, 0}, {1, 1}, {0, 1});
-  EXPECT_EQ(m.points().size(), 4u);  // shared edge endpoints welded
+  EXPECT_EQ(m.point_count(), 4u);  // shared edge endpoints welded
   EXPECT_EQ(m.triangle_count(), 2u);
   const auto conf = m.check_conformity();
   EXPECT_TRUE(conf.manifold);

@@ -381,12 +381,13 @@ TEST(ObsExport, MacroEmissionExportsValidJson) {
 /// Exact byte image of a mesh: point coordinates plus live-triangle indices.
 std::string mesh_bytes(const MergedMesh& m) {
   std::string bytes;
-  const std::vector<Vec2>& pts = m.points();
-  bytes.append(reinterpret_cast<const char*>(pts.data()),
-               pts.size() * sizeof(Vec2));
-  for (std::size_t t = 0; t < m.triangles().size(); ++t) {
+  for (std::uint32_t i = 0; i < m.point_count(); ++i) {
+    const Vec2 p = m.point(i);
+    bytes.append(reinterpret_cast<const char*>(&p), sizeof(Vec2));
+  }
+  for (std::size_t t = 0; t < m.record_count(); ++t) {
     if (!m.alive(t)) continue;
-    const auto& tri = m.triangles()[t];
+    const auto& tri = m.tri(t);
     bytes.append(reinterpret_cast<const char*>(tri.data()), sizeof(tri));
   }
   return bytes;
@@ -395,19 +396,22 @@ std::string mesh_bytes(const MergedMesh& m) {
 // The observation-only guarantee: a traced run produces a mesh bit-identical
 // to an untraced one (tracing must never feed back into the pipeline).
 TEST(ObsDeterminism, TraceLeavesMeshBitIdentical) {
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(150);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
-  cfg.blayer.max_layers = 20;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 8e-4;
+  cfg.growth_ratio = 1.3;
+  cfg.max_layers = 20;
   cfg.farfield_chords = 6.0;
   cfg.inviscid_target_triangles = 8000.0;
-  cfg.bl_decompose = {.min_points = 800, .max_level = 8};
+  cfg.bl_min_points = 800;
+  cfg.bl_max_level = 8;
 
   TraceRecorder::global().set_enabled(false);
   TraceRecorder::global().reset();
   const MeshGenerationResult plain = generate_mesh(cfg);
 
-  cfg.trace.enabled = true;
+  cfg.trace = true;
   const MeshGenerationResult traced = generate_mesh(cfg);
   TraceRecorder::global().set_enabled(false);
 
@@ -422,7 +426,7 @@ TEST(ObsDeterminism, TraceLeavesMeshBitIdentical) {
   TraceRecorder::global().reset();
 
   // ...and changed nothing.
-  ASSERT_EQ(plain.mesh.points().size(), traced.mesh.points().size());
+  ASSERT_EQ(plain.mesh.point_count(), traced.mesh.point_count());
   ASSERT_EQ(plain.mesh.triangle_count(), traced.mesh.triangle_count());
   EXPECT_EQ(mesh_bytes(plain.mesh), mesh_bytes(traced.mesh));
 }

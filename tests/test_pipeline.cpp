@@ -12,21 +12,24 @@
 namespace aero {
 namespace {
 
-MeshGeneratorConfig small_config(AirfoilConfig airfoil) {
-  MeshGeneratorConfig cfg;
+Options small_config(AirfoilConfig airfoil) {
+  Options cfg;
   cfg.airfoil = std::move(airfoil);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 6e-4, 1.25};
-  cfg.blayer.max_layers = 30;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 6e-4;
+  cfg.growth_ratio = 1.25;
+  cfg.max_layers = 30;
   cfg.farfield_chords = 8.0;
   cfg.inviscid_target_triangles = 15000.0;
-  cfg.bl_decompose = {.min_points = 800, .max_level = 10};
+  cfg.bl_min_points = 800;
+  cfg.bl_max_level = 10;
   return cfg;
 }
 
 class PipelineTest : public ::testing::Test {
  protected:
   static void verify_common(const MeshGenerationResult& r,
-                            const MeshGeneratorConfig& cfg) {
+                            const Options& cfg) {
     const auto conf = r.mesh.check_conformity();
     EXPECT_TRUE(conf.manifold);
     EXPECT_EQ(conf.nonmanifold_edges, 0u);
@@ -53,7 +56,7 @@ class PipelineTest : public ::testing::Test {
 };
 
 TEST_F(PipelineTest, Naca0012) {
-  const MeshGeneratorConfig cfg = small_config(make_naca0012(200));
+  const Options cfg = small_config(make_naca0012(200));
   const MeshGenerationResult r = generate_mesh(cfg);
   verify_common(r, cfg);
 
@@ -74,7 +77,7 @@ TEST_F(PipelineTest, Naca0012) {
 }
 
 TEST_F(PipelineTest, ThreeElement) {
-  const MeshGeneratorConfig cfg = small_config(make_three_element(200));
+  const Options cfg = small_config(make_three_element(200));
   const MeshGenerationResult r = generate_mesh(cfg);
   verify_common(r, cfg);
   // All the paper's special cases fired.
@@ -85,7 +88,7 @@ TEST_F(PipelineTest, ThreeElement) {
 }
 
 TEST_F(PipelineTest, BluntTrailingEdge) {
-  const MeshGeneratorConfig cfg =
+  const Options cfg =
       small_config(make_naca0012(150, /*sharp_te=*/false));
   const MeshGenerationResult r = generate_mesh(cfg);
   const auto conf = r.mesh.check_conformity();
@@ -96,16 +99,16 @@ TEST_F(PipelineTest, BluntTrailingEdge) {
 }
 
 TEST_F(PipelineTest, PushButtonDeterminism) {
-  const MeshGeneratorConfig cfg = small_config(make_naca0012(120));
+  const Options cfg = small_config(make_naca0012(120));
   const MeshGenerationResult r1 = generate_mesh(cfg);
   const MeshGenerationResult r2 = generate_mesh(cfg);
   EXPECT_EQ(r1.mesh.triangle_count(), r2.mesh.triangle_count());
-  EXPECT_EQ(r1.mesh.points().size(), r2.mesh.points().size());
+  EXPECT_EQ(r1.mesh.point_count(), r2.mesh.point_count());
 }
 
 TEST_F(PipelineTest, SizingControlsInviscidCount) {
-  MeshGeneratorConfig coarse = small_config(make_naca0012(120));
-  MeshGeneratorConfig fine = small_config(make_naca0012(120));
+  Options coarse = small_config(make_naca0012(120));
+  Options fine = small_config(make_naca0012(120));
   fine.surface_length_factor = coarse.surface_length_factor * 0.5;
   const auto rc = generate_mesh(coarse);
   const auto rf = generate_mesh(fine);
@@ -115,7 +118,7 @@ TEST_F(PipelineTest, SizingControlsInviscidCount) {
 }
 
 TEST_F(PipelineTest, TaskCostsRecorded) {
-  const MeshGeneratorConfig cfg = small_config(make_naca0012(120));
+  const Options cfg = small_config(make_naca0012(120));
   const MeshGenerationResult r = generate_mesh(cfg);
   EXPECT_EQ(r.bl_task_seconds.size(), r.bl_subdomains);
   EXPECT_EQ(r.inviscid_task_seconds.size(), r.inviscid_subdomains);

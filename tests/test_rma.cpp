@@ -12,6 +12,7 @@
 
 #include "check/audit.hpp"  // aerolint: allow(public-api)
 #include "core/mesh_generator.hpp"
+#include "core/pipeline_config.hpp"  // aerolint: allow(public-api)
 #include "runtime/parallel_driver.hpp"
 #include "runtime/pool.hpp"  // aerolint: allow(public-api)
 #include "runtime/rma.hpp"  // aerolint: allow(public-api)
@@ -503,17 +504,20 @@ struct AbFixture {
   PoolOptions opts;
 
   AbFixture() {
-    MeshGeneratorConfig cfg;
+    Options cfg;
     cfg.airfoil = make_naca0012(120);
-    cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
-    cfg.blayer.max_layers = 25;
+    cfg.growth_kind = GrowthKind::kGeometric;
+    cfg.first_height = 8e-4;
+    cfg.growth_ratio = 1.3;
+    cfg.max_layers = 25;
     cfg.farfield_chords = 6.0;
     cfg.inviscid_target_triangles = 4000.0;
-    cfg.bl_decompose = {.min_points = 600, .max_level = 8};
+    cfg.bl_min_points = 600;
+    cfg.bl_max_level = 8;
 
-    const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, cfg.blayer);
+    const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, blayer_options(cfg));
     MergedMesh bl_mesh;
-    triangulate_boundary_layer(bl, cfg.bl_decompose, bl_mesh, nullptr,
+    triangulate_boundary_layer(bl, bl_decompose_options(cfg), bl_mesh, nullptr,
                                nullptr);
     const InviscidDomain domain = make_inviscid_domain(bl, cfg, bl_mesh);
     sizing = domain.sizing;
@@ -556,7 +560,7 @@ TEST(PoolAb, RmaAndCopyPathsProduceBitIdenticalMeshes) {
   // The transport must never change what gets computed: identical triangle
   // and welded point counts (the pool's determinism contract).
   EXPECT_EQ(mesh_on.triangle_count(), mesh_off.triangle_count());
-  EXPECT_EQ(mesh_on.points().size(), mesh_off.points().size());
+  EXPECT_EQ(mesh_on.point_count(), mesh_off.point_count());
 
   // The window path actually engaged and the copy path never did.
   EXPECT_GT(on.zero_copy_hits, 0u);
@@ -594,7 +598,7 @@ TEST(PoolAb, CoalescingPreservesTheMeshUnderChaos) {
   const PoolStats stats = run_pool(std::move(units), fx.sizing, o, mesh);
   EXPECT_EQ(stats.status, RunStatus::kOk);
   EXPECT_EQ(mesh.triangle_count(), reference.triangle_count());
-  EXPECT_EQ(mesh.points().size(), reference.points().size());
+  EXPECT_EQ(mesh.point_count(), reference.point_count());
   EXPECT_GT(stats.coalesced_messages, 0u);  // batching really happened
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/mesh_generator.hpp"
+#include "core/pipeline_config.hpp"  // aerolint: allow(public-api)
 #include "runtime/parallel_driver.hpp"
 #include "runtime/pool.hpp"  // aerolint: allow(public-api)
 
@@ -122,13 +123,16 @@ class PoolEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(PoolEquivalence, ParallelMatchesSequential) {
   const int nranks = GetParam();
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(120);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 8e-4, 1.3};
-  cfg.blayer.max_layers = 25;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 8e-4;
+  cfg.growth_ratio = 1.3;
+  cfg.max_layers = 25;
   cfg.farfield_chords = 6.0;
   cfg.inviscid_target_triangles = 8000.0;
-  cfg.bl_decompose = {.min_points = 600, .max_level = 8};
+  cfg.bl_min_points = 600;
+  cfg.bl_max_level = 8;
 
   const MeshGenerationResult seq = generate_mesh(cfg);
   const ParallelMeshResult par = parallel_generate_mesh(cfg, nranks);
@@ -136,7 +140,7 @@ TEST_P(PoolEquivalence, ParallelMatchesSequential) {
   // The mesh is deterministic: identical triangle counts and identical
   // welded point counts regardless of rank count and steal interleaving.
   EXPECT_EQ(par.mesh.triangle_count(), seq.mesh.triangle_count());
-  EXPECT_EQ(par.mesh.points().size(), seq.mesh.points().size());
+  EXPECT_EQ(par.mesh.point_count(), seq.mesh.point_count());
   const auto conf = par.mesh.check_conformity();
   EXPECT_TRUE(conf.manifold);
   EXPECT_TRUE(conf.orientation_ok);
@@ -150,17 +154,20 @@ TEST(Pool, WorkIsActuallyDistributed) {
   // (threshold 1) and the update period is tight, so even on a single
   // oversubscribed core the requests land while rank 0 still has queued
   // units.
-  MeshGeneratorConfig cfg;
+  Options cfg;
   cfg.airfoil = make_naca0012(150);
-  cfg.blayer.growth = {GrowthKind::kGeometric, 6e-4, 1.25};
-  cfg.blayer.max_layers = 30;
+  cfg.growth_kind = GrowthKind::kGeometric;
+  cfg.first_height = 6e-4;
+  cfg.growth_ratio = 1.25;
+  cfg.max_layers = 30;
   cfg.farfield_chords = 8.0;
   cfg.inviscid_target_triangles = 3000.0;
-  cfg.bl_decompose = {.min_points = 400, .max_level = 10};
+  cfg.bl_min_points = 400;
+  cfg.bl_max_level = 10;
 
-  const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, cfg.blayer);
+  const BoundaryLayer bl = build_boundary_layer(cfg.airfoil, blayer_options(cfg));
   MergedMesh bl_mesh;
-  triangulate_boundary_layer(bl, cfg.bl_decompose, bl_mesh, nullptr, nullptr);
+  triangulate_boundary_layer(bl, bl_decompose_options(cfg), bl_mesh, nullptr, nullptr);
   const InviscidDomain domain = make_inviscid_domain(bl, cfg, bl_mesh);
 
   PoolOptions opts;

@@ -60,6 +60,8 @@ TEST(ServiceCacheKey, NonMeshKnobsDoNotChangeKey) {
       base_options().set_budget_rss_mb(512),
       base_options().set_checkpoint_path("ckpt.aerojnl"),
       base_options().set_resume_path("resume.aerojnl"),
+      base_options().set_merge_spill_dir("/tmp/spill"),
+      base_options().set_merge_resident_mb(1),
       base_options().set_stop_flag(&stop),
       base_options().set_fault_rate(0.05),
       base_options().set_fault_seed(42),
@@ -172,6 +174,7 @@ TEST(ServiceWire, RequestScrubsServerSideFields) {
   std::atomic<bool> stop{false};
   req.options.set_checkpoint_path("evil.aerojnl")
       .set_resume_path("evil2.aerojnl")
+      .set_merge_spill_dir("/evil/spill")
       .set_stop_flag(&stop)
       .set_budget_wall_ms(1)
       .set_trace(true)
@@ -180,6 +183,7 @@ TEST(ServiceWire, RequestScrubsServerSideFields) {
   ASSERT_TRUE(decode_request(encode_request(req), &out));
   EXPECT_TRUE(out.options.checkpoint_path.empty());
   EXPECT_TRUE(out.options.resume_path.empty());
+  EXPECT_TRUE(out.options.merge_spill_dir.empty());
   EXPECT_EQ(out.options.stop_flag, nullptr);
   EXPECT_EQ(out.options.budget_wall_ms, 0);
   EXPECT_FALSE(out.options.trace);

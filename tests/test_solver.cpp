@@ -37,8 +37,8 @@ TEST(Fem, LaplaceLinearSolutionIsExact) {
   const SolveResult r = problem.solve(opts);
   ASSERT_TRUE(r.converged);
   const auto full = problem.expand(r.u);
-  for (std::size_t v = 0; v < mesh.points().size(); ++v) {
-    EXPECT_NEAR(full[v], mesh.points()[v].x, 1e-8);
+  for (std::size_t v = 0; v < mesh.point_count(); ++v) {
+    EXPECT_NEAR(full[v], mesh.point(v).x, 1e-8);
   }
 }
 
@@ -58,8 +58,8 @@ TEST(Fem, PoissonAgainstManufacturedSolution) {
   ASSERT_TRUE(r.converged);
   const auto full = problem.expand(r.u);
   double max_err = 0.0;
-  for (std::size_t v = 0; v < mesh.points().size(); ++v) {
-    const Vec2 p = mesh.points()[v];
+  for (std::size_t v = 0; v < mesh.point_count(); ++v) {
+    const Vec2 p = mesh.point(v);
     const double exact = std::sin(kPi * p.x) * std::sin(kPi * p.y);
     max_err = std::max(max_err, std::fabs(full[v] - exact));
   }
@@ -132,10 +132,10 @@ TEST(Fem, AdvectionSkewsSolution) {
   const auto full_d = diffusion.expand(rd.u);
   const auto full_a = advected.expand(ra.u);
   double cx_d = 0, sum_d = 0, cx_a = 0, sum_a = 0;
-  for (std::size_t v = 0; v < mesh.points().size(); ++v) {
-    cx_d += full_d[v] * mesh.points()[v].x;
+  for (std::size_t v = 0; v < mesh.point_count(); ++v) {
+    cx_d += full_d[v] * mesh.point(v).x;
     sum_d += full_d[v];
-    cx_a += full_a[v] * mesh.points()[v].x;
+    cx_a += full_a[v] * mesh.point(v).x;
     sum_a += full_a[v];
   }
   EXPECT_GT(cx_a / sum_a, cx_d / sum_d + 0.02);

@@ -226,6 +226,7 @@ PUBLIC_HEADERS = {
     "core/mesh_generator.hpp",
     "core/run_status.hpp",
     "core/merged_mesh.hpp",
+    "core/mesh_view.hpp",
     "io/mesh_io.hpp",
     "runtime/parallel_driver.hpp",
     "runtime/cluster_model.hpp",
@@ -259,6 +260,39 @@ def check_public_api(relpath, code, raw):
             % (target, top))
 
 
+# ---------------------------------------------------------------------------
+# mesh-internal-access: the SoA mesh storage (chunked arenas + the flat
+# interner) is private to the mesh core. Everything else reads through the
+# MergedMesh accessors or the aero::MeshView facade, which is what lets the
+# storage layout change (32-bit ids, chunk size, interner scheme) without a
+# ripple. The mesh core = src/delaunay/ plus the two core files that own the
+# merged-mesh arenas. White-box tests opt out per line with
+# allow(mesh-internal-access).
+MESH_CORE_FILES = {
+    os.path.join("src", "core", "merged_mesh.hpp"),
+    os.path.join("src", "core", "merged_mesh.cpp"),
+    os.path.join("src", "core", "mesh_view.hpp"),
+    os.path.join("src", "core", "mesh_view.cpp"),
+}
+CHUNKED_INCLUDE_RE = re.compile(r'#\s*include\s+"delaunay/chunked\.hpp"')
+MESH_INTERNAL_RE = re.compile(
+    r"\bChunkedArray\b|(?:\.|->)\s*(?:points_|tris_|dead_|slots_)\b")
+
+
+def check_mesh_internal_access(relpath, code, raw):
+    if in_module(relpath, "delaunay") or relpath in MESH_CORE_FILES:
+        return None
+    if code.lstrip().startswith("#"):
+        if CHUNKED_INCLUDE_RE.search(raw):
+            return ("the chunked arena header is mesh-core internal; consume "
+                    "the mesh through MergedMesh accessors or aero::MeshView")
+        return None
+    if MESH_INTERNAL_RE.search(code):
+        return ("direct access to the SoA mesh storage outside the mesh "
+                "core; read through MergedMesh accessors or aero::MeshView")
+    return None
+
+
 RULES = [
     ("geom-predicates", check_geom_predicates),
     ("determinism", check_determinism),
@@ -270,11 +304,14 @@ RULES = [
     ("unchecked-io", check_unchecked_io),
     ("layering", check_layering),
     ("public-api", check_public_api),
+    ("mesh-internal-access", check_mesh_internal_access),
 ]
 
-# tests/ and examples/ are not library code: only the include-surface rule
-# applies there (they may print, use raw clocks, throw, ...).
-EXTERNAL_RULES = [("public-api", check_public_api)]
+# tests/ and examples/ are not library code: only the include-surface rules
+# apply there (they may print, use raw clocks, throw, ...) -- the public
+# header surface and the mesh-core storage boundary.
+EXTERNAL_RULES = [("public-api", check_public_api),
+                  ("mesh-internal-access", check_mesh_internal_access)]
 
 # Rule descriptions for --help / SARIF rule metadata.
 RULE_HELP = {
@@ -290,6 +327,8 @@ RULE_HELP = {
     "unchecked-io": "journal/checkpoint I/O results must be checked",
     "layering": "module includes follow the dependency DAG",
     "public-api": "tests/examples include the public surface only",
+    "mesh-internal-access": "the SoA mesh arenas are read through MergedMesh "
+                            "accessors or aero::MeshView only",
     "lock-table": "every runtime/obs/io mutex is named and ranked "
                   "(AERO_LOCK_NAME)",
     "lock-order": "nested lock acquisitions follow the rank order",

@@ -98,6 +98,20 @@ V1_SEEDED = [
     ("public-api", os.path.join("tests", "x.cpp"),
      '#include "service/channel.hpp"',
      '#include "service/wire.hpp"'),
+    # The SoA mesh storage stays behind the MergedMesh/MeshView read surface:
+    # nothing outside the mesh core names the chunked arenas or the interner.
+    ("mesh-internal-access", os.path.join("src", "io", "x.cpp"),
+     '#include "delaunay/chunked.hpp"',
+     '#include "core/merged_mesh.hpp"'),
+    ("mesh-internal-access", os.path.join("src", "solver", "x.cpp"),
+     "ChunkedArray<Vec2> scratch;",
+     "std::vector<Vec2> scratch;"),
+    ("mesh-internal-access", os.path.join("src", "check", "x.cpp"),
+     "const auto& t = mesh.tris_[i];",
+     "const auto& t = mesh.tri(i);"),
+    ("mesh-internal-access", os.path.join("tests", "x.cpp"),
+     "auto p = m.points_[0];",
+     "auto p = m.point(0);"),
 ]
 
 # Comment/string stripping: keywords inside comments and literals are not
